@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Every bench writes its regenerated paper table to ``results/`` next to
+this directory, so ``pytest benchmarks/ --benchmark-only`` leaves both
+timing numbers (pytest-benchmark) and the human-readable tables that
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """``write_result(name, text)`` -> saves and echoes a table."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _write

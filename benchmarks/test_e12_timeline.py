@@ -1,0 +1,59 @@
+"""E12 / the always-on loop end to end: outages averted over time.
+
+Ties the whole reproduction together: a multi-epoch timeline with
+diurnal traffic, two bad-rollout windows, and a persistent Hodor with
+reject-and-fallback.  Asserted shape: every faulty epoch is flagged,
+every damaging epoch is averted by the fallback, no healthy epoch is
+disturbed.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.faults import PartialDemandAggregation, PartialTopologyStitch
+from repro.net import gravity_demand
+from repro.scenarios import EpochSpec, Timeline
+from repro.topologies import abilene
+
+EPOCHS = 16
+
+
+def test_timeline_outages_averted(benchmark, write_result):
+    topology = abilene()
+    base_demand = gravity_demand(
+        topology.node_names(), total=58.0, seed=3, weights={"atlam": 0.15}
+    )
+    demand_bug = EpochSpec(
+        demand_bugs=(PartialDemandAggregation(drop_fraction=0.5, seed=11),),
+        label="demand rollout bug",
+    )
+    topo_bug = EpochSpec(
+        topo_bugs=(PartialTopologyStitch({"kscy", "ipls"}),),
+        label="partial stitch bug",
+    )
+    schedule = {4: demand_bug, 5: demand_bug, 6: demand_bug, 10: topo_bug, 11: topo_bug}
+
+    timeline = Timeline(topology, base_demand, schedule=schedule, seed=7)
+    result = benchmark.pedantic(lambda: timeline.run(epochs=EPOCHS), rounds=1, iterations=1)
+
+    faulty_epochs = sorted(schedule)
+    for record in result.records:
+        if record.epoch in faulty_epochs:
+            assert record.detected, f"epoch {record.epoch} not flagged"
+        else:
+            assert not record.detected, f"epoch {record.epoch} false positive"
+
+    damaged_without = result.damaged_epochs(protected=False)
+    damaged_with = result.damaged_epochs(protected=True)
+    assert damaged_without, "the faults must hurt somebody"
+    assert damaged_with == []
+    assert result.epochs_averted() == damaged_without
+
+    write_result(
+        "E12_timeline",
+        result.render()
+        + f"\n\nepochs damaged without hodor: {damaged_without}"
+        + f"\nepochs damaged with hodor   : {damaged_with}"
+        + f"\nepochs averted              : {result.epochs_averted()}",
+    )
+    benchmark.extra_info["averted"] = len(result.epochs_averted())

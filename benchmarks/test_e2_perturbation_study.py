@@ -1,0 +1,89 @@
+"""E2 / Section 4.1 numbers: perturbed-demand detection accuracy.
+
+Paper: "with tau_e = 0.02, our approach detects 99.2% of perturbed
+matrices with two zeroed-out (missing) values out of 144, and 100% of
+perturbed matrices with three or more zeroed-out values."
+
+The bench regenerates the detection-rate table over k in 1..6 and the
+tau_e sweep, asserting the paper's shape: near-total detection at
+k = 2, total at k >= 3, zero false positives.
+"""
+
+import pytest
+
+from repro.experiments import PerturbationStudy, format_percent, format_table
+
+TRIALS = 240
+
+
+@pytest.fixture(scope="module")
+def study():
+    return PerturbationStudy(matrices=8, seed=0)
+
+
+def test_detection_vs_zeroed_entries(benchmark, study, write_result):
+    rows = benchmark.pedantic(
+        lambda: study.run(zero_counts=(1, 2, 3, 4, 5, 6), trials=TRIALS),
+        rounds=1,
+        iterations=1,
+    )
+    by_zeroed = {row.zeroed: row for row in rows}
+
+    # Paper shape: ~99% at k=2, 100% at k>=3.
+    assert by_zeroed[2].detection_rate >= 0.95
+    assert by_zeroed[3].detection_rate >= 0.98
+    assert by_zeroed[4].detection_rate >= 0.99
+    assert by_zeroed[6].detection_rate == 1.0
+    assert study.false_positive_rate(tau_e=0.02) == 0.0
+
+    table = format_table(
+        ["zeroed entries", "detection rate", "paper"],
+        [
+            [
+                row.zeroed,
+                format_percent(row.detection_rate),
+                {2: "99.2%", 3: "100%", 4: "100%", 5: "100%", 6: "100%"}.get(row.zeroed, "-"),
+            ]
+            for row in rows
+        ],
+    )
+    write_result("E2_perturbation", table)
+    benchmark.extra_info["rate_at_2"] = by_zeroed[2].detection_rate
+    benchmark.extra_info["rate_at_3"] = by_zeroed[3].detection_rate
+
+
+def test_tau_sweep(benchmark, study, write_result):
+    rows = benchmark.pedantic(
+        lambda: study.tau_sweep(taus=(0.005, 0.01, 0.02, 0.05, 0.1), zeroed=2, trials=120),
+        rounds=1,
+        iterations=1,
+    )
+    rates = [row.detection_rate for row in rows]
+    # Tighter tolerance detects at least as much as looser tolerance.
+    assert all(a >= b - 1e-9 for a, b in zip(rates, rates[1:]))
+
+    table = format_table(
+        ["tau_e", "detection rate (k=2)"],
+        [[f"{row.tau_e:g}", format_percent(row.detection_rate)] for row in rows],
+    )
+    write_result("E2_tau_sweep", table)
+
+
+def test_scaled_entry_detection(benchmark, study, write_result):
+    results = benchmark.pedantic(
+        lambda: study.scaling_perturbations(
+            factors=(0.5, 0.8, 0.9, 1.1, 1.25, 2.0), count=2, trials=120
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_factor = {factor: row.detection_rate for factor, row in results}
+    # Far from 1.0 is easy; near 1.0 approaches the tolerance floor.
+    assert by_factor[0.5] >= by_factor[0.9] - 1e-9
+    assert by_factor[2.0] >= by_factor[1.1] - 1e-9
+
+    table = format_table(
+        ["scale factor", "detection rate"],
+        [[f"{factor:g}", format_percent(rate)] for factor, rate in sorted(by_factor.items())],
+    )
+    write_result("E2_scaling", table)

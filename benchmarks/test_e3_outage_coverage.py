@@ -1,0 +1,74 @@
+"""E3 / the "averted the majority of outages" claim.
+
+Replays every Section 2 outage scenario and scores Hodor against the
+static-check and anomaly-detection baselines.  Asserted shape:
+
+- Hodor flags 100% of the incorrect-input scenarios (the paper claims
+  "the majority"; the mechanisms it sketches cover all of ours),
+- both baselines flag strictly fewer,
+- only the static heuristics false-positive on the legitimate disaster.
+"""
+
+import pytest
+
+from repro.experiments import OutageStudy, format_percent, format_table
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return OutageStudy(history_epochs=8, seed=1).run()
+
+
+def test_outage_replay(benchmark, write_result):
+    study = OutageStudy(history_epochs=8, seed=1)
+    outcomes = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    summary = OutageStudy.summarize(outcomes)
+
+    assert summary["hodor_detection_rate"] == 1.0
+    assert summary["static_detection_rate"] < summary["hodor_detection_rate"]
+    assert summary["anomaly_detection_rate"] < summary["hodor_detection_rate"]
+    assert summary["hodor_false_positive_rate"] == 0.0
+    assert summary["anomaly_false_positive_rate"] == 0.0
+    assert summary["static_false_positive_rate"] == 1.0
+
+    rows = [
+        [
+            o.scenario.scenario_id,
+            o.scenario.title[:44],
+            o.scenario.category,
+            "yes" if o.hodor_flagged else "no",
+            ",".join(o.hodor_channels) or "-",
+            "yes" if o.static_flagged else "no",
+            "yes" if o.anomaly_flagged else "no",
+            "yes" if o.damaged else "no",
+        ]
+        for o in outcomes
+    ]
+    table = format_table(
+        ["id", "scenario", "category", "hodor", "channels", "static", "anomaly", "damage"],
+        rows,
+    )
+    summary_lines = [
+        table,
+        "",
+        f"hodor detection   : {format_percent(summary['hodor_detection_rate'], 0)}",
+        f"static detection  : {format_percent(summary['static_detection_rate'], 0)}",
+        f"anomaly detection : {format_percent(summary['anomaly_detection_rate'], 0)}",
+        f"static false positive on legitimate disaster: "
+        f"{format_percent(summary['static_false_positive_rate'], 0)}",
+    ]
+    write_result("E3_outage_coverage", "\n".join(summary_lines))
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in summary.items()})
+
+
+def test_every_expected_channel_fires(outcomes):
+    for outcome in outcomes:
+        failed = set(outcome.hodor_channels)
+        for channel in outcome.scenario.expected_channels:
+            if channel == "hardening":
+                assert outcome.hodor_flagged
+            else:
+                assert channel in failed, (
+                    f"{outcome.scenario.scenario_id}: {channel} expected in {failed}"
+                )

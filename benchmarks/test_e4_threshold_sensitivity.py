@@ -1,0 +1,142 @@
+"""E4 / footnote 2: the hardening threshold tau_h = 2%.
+
+Paper: "This threshold depends on the network sampling frequency and
+traffic patterns.  Based on production logs, we find 2% to be an
+appropriate threshold."
+
+Regenerated as two sweeps:
+
+- false-positive rate of R1 flagging on clean snapshots, over
+  (tau_h, jitter) -- at ~1% per-reading jitter (the production-like
+  operating point), tau_h = 2% produces essentially no false flags
+  while tau_h = 0.5% drowns in them;
+- detection rate of a single corrupted counter vs corruption size --
+  the minimum detectable error tracks tau_h.
+"""
+
+import pytest
+
+from repro.experiments import ThresholdStudy, format_percent, format_table
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ThresholdStudy(seed=0)
+
+
+def test_false_positive_sweep(benchmark, study, write_result):
+    rows = benchmark.pedantic(
+        lambda: study.false_positive_sweep(
+            tau_values=(0.005, 0.01, 0.02, 0.05),
+            jitters=(0.005, 0.01, 0.02, 0.04),
+            trials=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cell = {(row.tau_h, row.jitter): row.false_positive_rate for row in rows}
+
+    # The paper's operating point: tau_h=2% at ~1% jitter is clean.
+    assert cell[(0.02, 0.01)] <= 0.02
+    # A too-tight threshold misfires at the same jitter.
+    assert cell[(0.005, 0.01)] > cell[(0.02, 0.01)]
+    # More jitter means more false flags at fixed tau_h.
+    assert cell[(0.02, 0.04)] >= cell[(0.02, 0.01)]
+
+    taus = sorted({row.tau_h for row in rows})
+    jitters = sorted({row.jitter for row in rows})
+    table = format_table(
+        ["tau_h \\ jitter"] + [f"{j:g}" for j in jitters],
+        [
+            [f"{tau:g}"] + [format_percent(cell[(tau, j)]) for j in jitters]
+            for tau in taus
+        ],
+    )
+    write_result("E4_false_positives", table)
+    benchmark.extra_info["fp_at_paper_point"] = cell[(0.02, 0.01)]
+
+
+def test_threshold_calibration(benchmark, write_result):
+    """Footnote 2's procedure itself: calibrate tau_h from clean logs.
+
+    History with ~1% per-reading jitter recommends ~2% -- the paper's
+    number -- and the recommendation tracks the telemetry noise.
+    """
+    from repro.core import calibrate_tau_h
+    from repro.net import NetworkSimulator, gravity_demand
+    from repro.telemetry import Jitter, TelemetryCollector
+    from repro.topologies import abilene
+
+    def history(jitter, epochs=8):
+        topo = abilene()
+        snapshots = []
+        for epoch in range(epochs):
+            demand = gravity_demand(
+                topo.node_names(),
+                total=30.0 * (1 + 0.05 * (epoch % 4)),
+                seed=epoch,
+                weights={"atlam": 0.15},
+            )
+            truth = NetworkSimulator(topo, demand).run()
+            snapshots.append(
+                TelemetryCollector(Jitter(jitter, seed=epoch)).collect(truth)
+            )
+        return topo, snapshots
+
+    def calibrate_all():
+        rows = []
+        for jitter in (0.002, 0.005, 0.01, 0.02):
+            topo, snapshots = history(jitter)
+            result = calibrate_tau_h(snapshots, topo)
+            rows.append((jitter, result))
+        return rows
+
+    rows = benchmark.pedantic(calibrate_all, rounds=1, iterations=1)
+    by_jitter = {jitter: result for jitter, result in rows}
+
+    # The paper's operating point: ~1% noise -> ~2% threshold.
+    assert 0.015 <= by_jitter[0.01].recommended_tau_h <= 0.03
+    # Monotone in telemetry noise.
+    recommendations = [result.recommended_tau_h for _j, result in rows]
+    assert recommendations == sorted(recommendations)
+
+    table = format_table(
+        ["per-reading jitter", "recommended tau_h", "paper"],
+        [
+            [f"{jitter:g}", f"{result.recommended_tau_h:.3f}",
+             "2%" if jitter == 0.01 else "-"]
+            for jitter, result in rows
+        ],
+    )
+    write_result("E4_calibration", table)
+
+
+def test_detectability_sweep(benchmark, study, write_result):
+    rows = benchmark.pedantic(
+        lambda: study.detectability_sweep(
+            tau_values=(0.01, 0.02, 0.05),
+            corruptions=(0.01, 0.03, 0.05, 0.1, 0.25, 0.5, 1.0),
+            trials=20,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cell = {(row.tau_h, row.corruption): row.detection_rate for row in rows}
+
+    # Corruptions far above tau_h are always caught; below, never.
+    assert cell[(0.02, 1.0)] == 1.0
+    assert cell[(0.02, 0.5)] == 1.0
+    assert cell[(0.02, 0.01)] <= 0.2
+    # A looser threshold misses mid-size corruptions a tighter one catches.
+    assert cell[(0.05, 0.03)] <= cell[(0.01, 0.03)]
+
+    taus = sorted({row.tau_h for row in rows})
+    corruptions = sorted({row.corruption for row in rows})
+    table = format_table(
+        ["tau_h \\ corruption"] + [f"{c:g}" for c in corruptions],
+        [
+            [f"{tau:g}"] + [format_percent(cell[(tau, c)], 0) for c in corruptions]
+            for tau in taus
+        ],
+    )
+    write_result("E4_detectability", table)

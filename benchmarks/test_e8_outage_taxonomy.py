@@ -1,0 +1,69 @@
+"""E8 / the Section 2 root-cause taxonomy.
+
+Paper: "incorrect inputs caused over one third of all major outages
+over the past five years."  Our synthetic corpus is the substitution
+for that proprietary dataset: this bench verifies the corpus covers
+every Section 2 category and that the incorrect-input fraction clears
+the paper's "over one third" bar, then prints the census table.
+"""
+
+import pytest
+
+from repro.experiments import format_percent, format_table, taxonomy_census
+from repro.scenarios.catalog import Category, all_scenarios
+
+
+def test_taxonomy_census(benchmark, write_result):
+    census = benchmark(taxonomy_census)
+    scenarios = all_scenarios()
+    total = sum(census.values())
+
+    assert total == len(scenarios)
+    for category in (
+        Category.ROUTER_TELEMETRY,
+        Category.ROUTER_INTENT,
+        Category.CONTROL_AGGREGATION,
+        Category.EXTERNAL_INPUT,
+    ):
+        assert census[category] >= 2, f"need >= 2 scenarios of {category}"
+
+    incorrect_inputs = total - census[Category.LEGITIMATE]
+    assert incorrect_inputs / total > 1 / 3  # paper: "over one third"
+
+    table = format_table(
+        ["root-cause category", "paper section", "scenarios", "share"],
+        [
+            [
+                Category.ROUTER_TELEMETRY,
+                "2.1 telemetry bugs",
+                census[Category.ROUTER_TELEMETRY],
+                format_percent(census[Category.ROUTER_TELEMETRY] / total, 0),
+            ],
+            [
+                Category.ROUTER_INTENT,
+                "2.1 incorrect intent",
+                census[Category.ROUTER_INTENT],
+                format_percent(census[Category.ROUTER_INTENT] / total, 0),
+            ],
+            [
+                Category.CONTROL_AGGREGATION,
+                "2.2 control-plane bugs",
+                census[Category.CONTROL_AGGREGATION],
+                format_percent(census[Category.CONTROL_AGGREGATION] / total, 0),
+            ],
+            [
+                Category.EXTERNAL_INPUT,
+                "2.2 external input",
+                census[Category.EXTERNAL_INPUT],
+                format_percent(census[Category.EXTERNAL_INPUT] / total, 0),
+            ],
+            [
+                Category.LEGITIMATE,
+                "1 (disaster false-positive probe)",
+                census[Category.LEGITIMATE],
+                format_percent(census[Category.LEGITIMATE] / total, 0),
+            ],
+        ],
+    )
+    write_result("E8_taxonomy", table)
+    benchmark.extra_info["incorrect_input_share"] = incorrect_inputs / total

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The Section 4.1 sensitivity study on Abilene, interactively sized.
+
+Reproduces the paper's preliminary evaluation: heavy-tailed demand
+matrices over the Abilene topology are perturbed by zeroing out k
+entries, and the 2v demand invariants (tau_e = 0.02) are asked whether
+the perturbed matrix is consistent with hardened interface counters.
+
+Paper numbers: 99.2% detection at k = 2, 100% at k >= 3.
+
+Run:  python examples/demand_validation_abilene.py [trials-per-k]
+"""
+
+import sys
+
+from repro.experiments import PerturbationStudy, format_percent, format_table
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 240
+    study = PerturbationStudy(matrices=8, seed=0)
+
+    print(f"detection rate vs zeroed entries (tau_e = 0.02, {trials} trials/k):\n")
+    rows = study.run(zero_counts=(1, 2, 3, 4, 5, 6), trials=trials)
+    print(
+        format_table(
+            ["zeroed entries", "detected", "trials", "rate", "paper"],
+            [
+                [
+                    row.zeroed,
+                    row.detected,
+                    row.trials,
+                    format_percent(row.detection_rate),
+                    {2: "99.2%", 3: "100%"}.get(row.zeroed, "-"),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    print(f"\nfalse-positive rate on clean matrices: "
+          f"{format_percent(study.false_positive_rate())}")
+
+    print("\ndetection rate vs tau_e (2 zeroed entries):\n")
+    tau_rows = study.tau_sweep(taus=(0.005, 0.01, 0.02, 0.05, 0.1), trials=max(60, trials // 2))
+    print(
+        format_table(
+            ["tau_e", "rate"],
+            [[f"{row.tau_e:.3f}", format_percent(row.detection_rate)] for row in tau_rows],
+        )
+    )
+
+    print("\ndetection of scaled (mis-aggregated) entries, 2 per matrix:\n")
+    scaled = study.scaling_perturbations(trials=max(60, trials // 2))
+    print(
+        format_table(
+            ["scale factor", "rate"],
+            [[f"{factor:g}", format_percent(row.detection_rate)] for factor, row in scaled],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

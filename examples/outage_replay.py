@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Replay the paper's Section 2 outage catalog against three validators.
+
+For every outage scenario (telemetry bugs, intent bugs, aggregation
+bugs, external-input bugs) plus the legitimate mass-drain disaster,
+this script shows whether:
+
+- Hodor (dynamic validation) flags the epoch,
+- today's static checks flag it,
+- statistical anomaly detection flags it,
+
+and what actually happens to the network when the inputs are used.
+
+Run:  python examples/outage_replay.py
+"""
+
+from repro.experiments import OutageStudy, format_table
+
+
+def main() -> None:
+    study = OutageStudy(history_epochs=8, seed=1)
+    outcomes = study.run()
+
+    rows = []
+    for outcome in outcomes:
+        scenario = outcome.scenario
+        rows.append(
+            [
+                scenario.scenario_id,
+                scenario.title[:46],
+                scenario.category,
+                "yes" if outcome.hodor_flagged else "no",
+                ",".join(outcome.hodor_channels) or "-",
+                "yes" if outcome.static_flagged else "no",
+                "yes" if outcome.anomaly_flagged else "no",
+                "yes" if outcome.damaged else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["id", "scenario", "category", "hodor", "via", "static", "anomaly", "damage"],
+            rows,
+        )
+    )
+
+    summary = OutageStudy.summarize(outcomes)
+    print("\ndetection of incorrect-input scenarios:")
+    print(f"  hodor   : {summary['hodor_detection_rate']:.0%}")
+    print(f"  static  : {summary['static_detection_rate']:.0%}")
+    print(f"  anomaly : {summary['anomaly_detection_rate']:.0%}")
+    print("false positives on the legitimate disaster scenario:")
+    print(f"  hodor   : {summary['hodor_false_positive_rate']:.0%}")
+    print(f"  static  : {summary['static_false_positive_rate']:.0%}  "
+          "(the Section 1 heuristic failure: a real disaster gets rejected)")
+    print(f"  anomaly : {summary['anomaly_false_positive_rate']:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design-time signal selection via the gNMI-style telemetry surface.
+
+Hodor's collection step rests on a practical observation (Section 3.2,
+step 1): operators maintain detailed network models and vendor-agnostic
+APIs whose documented paths let the relevant signals be "chosen once at
+system design time".  This example plays that design-time session:
+
+1. enumerate the signal registry (what the fleet can report),
+2. walk a live snapshot through the gNMI facade,
+3. read a handful of raw values by path -- including one a fault made
+   malformed, which the transport hands over untouched,
+4. show the collection step turning that mess into typed values plus
+   findings.
+
+Run:  python examples/signal_inventory.py
+"""
+
+from repro.core import SignalCollector
+from repro.faults import FaultInjector, MalformedTelemetry
+from repro.net import NetworkSimulator, gravity_demand
+from repro.telemetry import (
+    SIGNAL_REGISTRY,
+    GnmiFacade,
+    Jitter,
+    ProbeEngine,
+    SignalKind,
+    SignalPath,
+    TelemetryCollector,
+)
+from repro.topologies import abilene
+
+
+def main() -> None:
+    print("signal registry (the design-time catalog):\n")
+    for kind, (template, description) in SIGNAL_REGISTRY.items():
+        print(f"  {kind.value:<13} {description}")
+        print(f"  {'':<13} {template}")
+
+    topology = abilene()
+    demand = gravity_demand(
+        topology.node_names(), total=40.0, seed=2, weights={"atlam": 0.15}
+    )
+    truth = NetworkSimulator(topology, demand).run()
+    collector = TelemetryCollector(Jitter(0.005, seed=1), probe_engine=ProbeEngine(seed=2))
+    snapshot = collector.collect(truth)
+    snapshot, _ = FaultInjector(
+        [MalformedTelemetry(interfaces=[("atla", "hstn")])]
+    ).inject(snapshot)
+
+    facade = GnmiFacade(snapshot)
+    print(f"\nlive snapshot answers {len(facade.walk())} paths; e.g.:\n")
+    for path in facade.walk(kinds=[SignalKind.TX_RATE])[:3]:
+        print(f"  {path} = {facade.get(path)!r}")
+
+    corrupted = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+    print(f"\nthe transport does not interpret values:")
+    print(f"  {corrupted} = {facade.get(corrupted)!r}")
+
+    collected = SignalCollector().collect(snapshot)
+    counter = collected.counter("atla", "hstn")
+    print("\nafter Hodor's collection step:")
+    print(f"  typed value : rx={counter.rx} tx={counter.tx}")
+    for finding in collected.findings:
+        print(f"  finding     : [{finding.severity.value}] {finding.code} "
+              f"{finding.subject}: {finding.detail}")
+
+
+if __name__ == "__main__":
+    main()

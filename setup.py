@@ -1,0 +1,7 @@
+"""Setup shim so `pip install -e .` works on environments without the
+`wheel` package (PEP 517 editable builds need it; the legacy path does
+not).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of "The Case for Validating Inputs in Software-Defined WANs".
+
+This package implements Hodor -- the three-step input-validation approach
+proposed in the HotNets '24 paper -- together with every substrate the
+paper's analysis depends on: a WAN simulator with ground-truth traffic, a
+router telemetry layer, a fault-injection framework that reproduces the
+paper's outage taxonomy, the SDN control infrastructure (instrumentation
+services and a traffic-engineering controller), baselines (static checks
+and statistical anomaly detection), and the experiment harness that
+regenerates the paper's quantitative results.
+
+The most important entry points:
+
+- :class:`repro.core.Hodor` -- the validation pipeline (collect, harden,
+  dynamically check).
+- :class:`repro.net.Topology` / :class:`repro.net.NetworkSimulator` -- the
+  simulated WAN that produces ground-truth signals.
+- :mod:`repro.faults.catalog` -- the outage scenarios from Section 2 of
+  the paper.
+- :mod:`repro.experiments` -- runnable studies behind each table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,262 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Exposes the library's studies and demos without writing any Python:
+
+- ``demo``        the Figure 3 worked example,
+- ``replay``      the Section 2 outage catalog vs three validators,
+- ``perturb``     the Section 4.1 demand-perturbation study,
+- ``thresholds``  the tau_h sensitivity sweep (footnote 2),
+- ``hardening``   the hardening-efficacy ablation,
+- ``drains``      drain validation incl. the reasons extension,
+- ``scale``       validation cost vs network size,
+- ``scenarios``   list the outage catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.core import Hodor
+    from repro.net import NetworkSimulator
+    from repro.telemetry import Jitter, ProbeEngine, TelemetryCollector
+    from repro.topologies import fig3_demand, fig3_network
+
+    topology = fig3_network()
+    demand = fig3_demand()
+    truth = NetworkSimulator(topology, demand, strategy="single").run()
+    snapshot = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0)).collect(truth)
+    snapshot.counters[("A", "B")].tx_rate = 120.0
+
+    hodor = Hodor(topology)
+    report = hodor.validate_demand(snapshot, demand)
+    repaired = report.hardened.edge_flows[("A", "B")]
+    print("Figure 3 worked example (tx@A->B corrupted to 120, truth 76):")
+    print(f"  repaired value : {repaired.value:g} ({repaired.confidence.value})")
+    print(report.render())
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.experiments import OutageStudy, format_table
+
+    study = OutageStudy(history_epochs=args.history, seed=args.seed)
+    outcomes = study.run()
+    rows = [
+        [
+            o.scenario.scenario_id,
+            o.scenario.title[:44],
+            "yes" if o.hodor_flagged else "no",
+            "yes" if o.static_flagged else "no",
+            "yes" if o.anomaly_flagged else "no",
+            "yes" if o.damaged else "no",
+        ]
+        for o in outcomes
+    ]
+    print(format_table(["id", "scenario", "hodor", "static", "anomaly", "damage"], rows))
+    summary = OutageStudy.summarize(outcomes)
+    print()
+    for key, value in summary.items():
+        print(f"{key:32}: {value:.0%}")
+    return 0
+
+
+def _cmd_perturb(args: argparse.Namespace) -> int:
+    from repro.experiments import PerturbationStudy, format_percent, format_table
+
+    study = PerturbationStudy(matrices=args.matrices, seed=args.seed)
+    rows = study.run(zero_counts=tuple(range(1, args.max_zeroed + 1)), trials=args.trials)
+    print(
+        format_table(
+            ["zeroed", "detection rate"],
+            [[row.zeroed, format_percent(row.detection_rate)] for row in rows],
+        )
+    )
+    print(f"\nfalse positives on clean matrices: {format_percent(study.false_positive_rate())}")
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    from repro.experiments import ThresholdStudy, format_percent, format_table
+
+    study = ThresholdStudy(seed=args.seed)
+    rows = study.false_positive_sweep(trials=args.trials)
+    taus = sorted({row.tau_h for row in rows})
+    jitters = sorted({row.jitter for row in rows})
+    cell = {(row.tau_h, row.jitter): row.false_positive_rate for row in rows}
+    print(
+        format_table(
+            ["tau_h \\ jitter"] + [f"{j:g}" for j in jitters],
+            [[f"{t:g}"] + [format_percent(cell[(t, j)]) for j in jitters] for t in taus],
+        )
+    )
+    return 0
+
+
+def _cmd_hardening(args: argparse.Namespace) -> int:
+    from repro.experiments import HardeningStudy, format_percent, format_table
+
+    study = HardeningStudy(seed=args.seed)
+    rows = study.corruption_sweep(trials=args.trials)
+    print(
+        format_table(
+            ["corrupted", "recall", "repair rate", "unknown"],
+            [
+                [
+                    row.corrupted,
+                    format_percent(row.recall),
+                    format_percent(row.repair_rate),
+                    format_percent(row.unknown_rate),
+                ]
+                for row in rows
+            ],
+        )
+    )
+    correlated = study.correlated_vendor_bug()
+    print(
+        f"\ncorrelated vendor bug: {correlated.blind_flagged}/{correlated.blind_directions} "
+        f"blind directions flagged, {correlated.visible_flagged}/"
+        f"{correlated.visible_directions} visible directions flagged"
+    )
+    return 0
+
+
+def _cmd_drains(args: argparse.Namespace) -> int:
+    from repro.experiments import DrainStudy, format_percent, format_table
+
+    study = DrainStudy(seed=args.seed)
+    rows = study.run(trials=args.trials) + study.run_with_reasons(trials=args.trials)
+    print(
+        format_table(
+            ["case", "flagged", "should flag"],
+            [
+                [row.case, format_percent(row.rate, 0), "yes" if row.should_flag else "no"]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments import ScaleStudy, format_table
+
+    rows = ScaleStudy(seed=args.seed).run(sizes=tuple(args.sizes))
+    print(
+        format_table(
+            ["nodes", "links", "signals", "validate (ms)"],
+            [[row.nodes, row.links, row.signals, f"{row.validate_ms:.1f}"] for row in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ReportConfig, run_full_report
+
+    config = ReportConfig.quick() if args.quick else ReportConfig()
+    report = run_full_report(config)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table
+    from repro.scenarios import all_scenarios
+
+    if not args.verbose:
+        print(
+            format_table(
+                ["id", "section", "category", "title"],
+                [
+                    [s.scenario_id, s.paper_section, s.category, s.title]
+                    for s in all_scenarios()
+                ],
+            )
+        )
+        return 0
+
+    for scenario in all_scenarios():
+        print(f"{scenario.scenario_id}  {scenario.title}")
+        print(f"    paper section : {scenario.paper_section}")
+        print(f"    category      : {scenario.category}")
+        print(f"    detection     : {'expected' if scenario.expect_detection else 'must NOT flag'}"
+              + (f" via {', '.join(scenario.expected_channels)}" if scenario.expected_channels else ""))
+        print(f"    network damage: {'yes' if scenario.expect_damage else 'no'}")
+        print(f"    {scenario.description}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hodor: input validation for software-defined WANs (HotNets '24 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="the Figure 3 worked example").set_defaults(func=_cmd_demo)
+
+    replay = sub.add_parser("replay", help="Section 2 outage catalog vs validators")
+    replay.add_argument("--history", type=int, default=8)
+    replay.add_argument("--seed", type=int, default=1)
+    replay.set_defaults(func=_cmd_replay)
+
+    perturb = sub.add_parser("perturb", help="Section 4.1 demand-perturbation study")
+    perturb.add_argument("--trials", type=int, default=240)
+    perturb.add_argument("--matrices", type=int, default=8)
+    perturb.add_argument("--max-zeroed", type=int, default=6)
+    perturb.add_argument("--seed", type=int, default=0)
+    perturb.set_defaults(func=_cmd_perturb)
+
+    thresholds = sub.add_parser("thresholds", help="tau_h sensitivity (footnote 2)")
+    thresholds.add_argument("--trials", type=int, default=4)
+    thresholds.add_argument("--seed", type=int, default=0)
+    thresholds.set_defaults(func=_cmd_thresholds)
+
+    hardening = sub.add_parser("hardening", help="hardening-efficacy ablation")
+    hardening.add_argument("--trials", type=int, default=10)
+    hardening.add_argument("--seed", type=int, default=0)
+    hardening.set_defaults(func=_cmd_hardening)
+
+    drains = sub.add_parser("drains", help="drain validation incl. reasons extension")
+    drains.add_argument("--trials", type=int, default=6)
+    drains.add_argument("--seed", type=int, default=0)
+    drains.set_defaults(func=_cmd_drains)
+
+    scale = sub.add_parser("scale", help="validation cost vs network size")
+    scale.add_argument("--sizes", type=int, nargs="+", default=[10, 20, 40, 80])
+    scale.add_argument("--seed", type=int, default=0)
+    scale.set_defaults(func=_cmd_scale)
+
+    scenarios = sub.add_parser("scenarios", help="list the outage catalog")
+    scenarios.add_argument(
+        "--verbose", "-v", action="store_true", help="full descriptions"
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
+
+    report = sub.add_parser("report", help="run every study, emit one markdown report")
+    report.add_argument("--quick", action="store_true", help="fast low-trial profile")
+    report.add_argument("--output", "-o", default="", help="write to a file instead of stdout")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

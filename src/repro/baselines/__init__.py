@@ -1,0 +1,27 @@
+"""Baselines Hodor is compared against: static checks and anomaly detection."""
+
+from repro.baselines.anomaly import AnomalyFlag, DemandAnomalyBaseline, EwmaDetector
+from repro.baselines.correlation_miner import (
+    CorrelationMiner,
+    MinedInvariant,
+    MinedViolation,
+)
+from repro.baselines.static_checks import (
+    StaticCheckConfig,
+    StaticReport,
+    StaticValidator,
+    StaticViolation,
+)
+
+__all__ = [
+    "AnomalyFlag",
+    "CorrelationMiner",
+    "DemandAnomalyBaseline",
+    "EwmaDetector",
+    "MinedInvariant",
+    "MinedViolation",
+    "StaticCheckConfig",
+    "StaticReport",
+    "StaticValidator",
+    "StaticViolation",
+]

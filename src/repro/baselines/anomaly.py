@@ -1,0 +1,132 @@
+"""Statistical anomaly-detection baseline.
+
+Related work the paper contrasts against (Section 5): "Anomaly
+detection approaches detecting outliers in input data through
+statistical analysis of a signal's past history.  In contrast, we focus
+on whether a signal reflects the ground truth, and for that we look
+across signals for corroboration."
+
+We implement the classic per-signal EWMA + z-score detector and a
+wrapper that applies it entrywise to demand matrices.  Experiments use
+it to show the structural limitation: an input can be squarely inside
+its historical distribution and still not describe the *current*
+network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.demand import DemandMatrix
+
+__all__ = ["EwmaDetector", "DemandAnomalyBaseline", "AnomalyFlag"]
+
+
+class EwmaDetector:
+    """Exponentially weighted mean/variance with z-score flagging.
+
+    Args:
+        alpha: EWMA smoothing factor in (0, 1]; higher adapts faster.
+        z_threshold: |z| above which an observation is anomalous.
+        min_observations: Observations required before scoring (the
+            detector never flags during warm-up).
+    """
+
+    def __init__(
+        self, alpha: float = 0.2, z_threshold: float = 3.0, min_observations: int = 5
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+        self._alpha = alpha
+        self._z_threshold = z_threshold
+        self._min_observations = min_observations
+        self._mean: Optional[float] = None
+        self._variance = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def z_threshold(self) -> float:
+        return self._z_threshold
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._mean
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self._count += 1
+        if self._mean is None:
+            self._mean = value
+            return
+        delta = value - self._mean
+        self._mean += self._alpha * delta
+        self._variance = (1 - self._alpha) * (self._variance + self._alpha * delta * delta)
+
+    def zscore(self, value: float) -> Optional[float]:
+        """Z-score of a value against the learned distribution.
+
+        Returns None during warm-up.
+        """
+        if self._count < self._min_observations or self._mean is None:
+            return None
+        std = math.sqrt(self._variance)
+        if std <= 1e-12:
+            return 0.0 if abs(value - self._mean) <= 1e-9 * max(1.0, abs(self._mean)) else math.inf
+        return (value - self._mean) / std
+
+    def is_anomalous(self, value: float) -> bool:
+        z = self.zscore(value)
+        return z is not None and abs(z) > self._z_threshold
+
+
+@dataclass(frozen=True)
+class AnomalyFlag:
+    """One flagged demand entry."""
+
+    src: str
+    dst: str
+    value: float
+    zscore: float
+
+
+class DemandAnomalyBaseline:
+    """Entrywise anomaly detection over demand matrices.
+
+    Args:
+        alpha, z_threshold, min_observations: Passed to the per-entry
+            :class:`EwmaDetector`.
+    """
+
+    def __init__(
+        self, alpha: float = 0.2, z_threshold: float = 3.0, min_observations: int = 5
+    ) -> None:
+        self._make = lambda: EwmaDetector(alpha, z_threshold, min_observations)
+        self._detectors: Dict[Tuple[str, str], EwmaDetector] = {}
+
+    def observe(self, demand: DemandMatrix) -> None:
+        """Learn one historical demand matrix."""
+        for src, dst, rate in demand.entries():
+            self._detectors.setdefault((src, dst), self._make()).observe(rate)
+
+    def check(self, demand: DemandMatrix) -> List[AnomalyFlag]:
+        """Flag entries outside their historical distribution."""
+        flags = []
+        for src, dst, rate in demand.entries():
+            detector = self._detectors.get((src, dst))
+            if detector is None:
+                continue
+            z = detector.zscore(rate)
+            if z is not None and abs(z) > detector.z_threshold:
+                flags.append(AnomalyFlag(src, dst, rate, z))
+        return flags
+
+    def passed(self, demand: DemandMatrix) -> bool:
+        return not self.check(demand)

@@ -1,0 +1,148 @@
+"""The Section 3.1 "general approach": unsupervised invariant mining.
+
+The paper sketches an alternative to Hodor's expert-knowledge design:
+"Unsupervised learning techniques can be applied to discover this
+structure by analyzing historical system data, bundling all available
+data ... for each timestamp, and using methods like masked autoencoders
+and symbolic regression to identify relationships within these bundles
+that persist over time."
+
+This module implements the simplest member of that family -- a pairwise
+approximate-equality miner -- both as a usable baseline and to
+demonstrate the paper's criticism: "these techniques may capture
+spurious relationships that, while true during the historical
+observation period, are not *fundamental* to the system's operation.
+For example, if the routers in a particular POP remain drained ...
+during the historically observed period, unsupervised methods might
+infer that all interface counters in that POP should always be equal,
+which would no longer be accurate once the routers ... are undrained."
+
+The miner genuinely rediscovers the R1 symmetry pairs from clean
+history -- and, trained on a drained region, learns exactly the
+spurious all-zero equalities the paper predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["MinedInvariant", "MinedViolation", "CorrelationMiner"]
+
+
+@dataclass(frozen=True)
+class MinedInvariant:
+    """A learned approximate-equality between two signals."""
+
+    left: str
+    right: str
+    tolerance: float
+
+    def holds(self, bundle: Mapping[str, float], floor: float) -> Optional[bool]:
+        """Evaluate against one bundle; None when a signal is absent."""
+        a = bundle.get(self.left)
+        b = bundle.get(self.right)
+        if a is None or b is None:
+            return None
+        magnitude = max(abs(a), abs(b))
+        if magnitude <= floor:
+            return True
+        return abs(a - b) / magnitude <= self.tolerance
+
+
+@dataclass(frozen=True)
+class MinedViolation:
+    """One mined invariant that failed on a checked bundle."""
+
+    invariant: MinedInvariant
+    left_value: float
+    right_value: float
+
+
+class CorrelationMiner:
+    """Mines pairwise equality invariants from historical bundles.
+
+    A candidate pair graduates to an invariant when it held (within
+    ``tolerance``) in *every* historical bundle and at least
+    ``min_epochs`` bundles were seen.  There is deliberately no notion
+    of which relationships are fundamental -- that is the point of the
+    paper's criticism.
+
+    Args:
+        tolerance: Relative-equality tolerance for mining and checking.
+        floor: Values whose magnitudes are both below this are treated
+            as equal (zero counters "agree" -- the spurious-invariant
+            trap).
+        min_epochs: Minimum history size before any invariant is mined.
+    """
+
+    def __init__(
+        self, tolerance: float = 0.02, floor: float = 1e-6, min_epochs: int = 3
+    ) -> None:
+        if not 0 <= tolerance < 1:
+            raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+        if min_epochs < 1:
+            raise ValueError(f"min_epochs must be >= 1, got {min_epochs}")
+        self._tolerance = tolerance
+        self._floor = floor
+        self._min_epochs = min_epochs
+        self._history: List[Dict[str, float]] = []
+        self._mined: Optional[List[MinedInvariant]] = None
+
+    # ------------------------------------------------------------------
+
+    def observe(self, bundle: Mapping[str, float]) -> None:
+        """Record one historical bundle; invalidates the mined set."""
+        self._history.append(dict(bundle))
+        self._mined = None
+
+    @property
+    def history_length(self) -> int:
+        return len(self._history)
+
+    def mine(self) -> List[MinedInvariant]:
+        """All pairwise equalities that persisted over the history.
+
+        Raises:
+            RuntimeError: With fewer than ``min_epochs`` observations.
+        """
+        if len(self._history) < self._min_epochs:
+            raise RuntimeError(
+                f"need >= {self._min_epochs} bundles, have {len(self._history)}"
+            )
+        if self._mined is not None:
+            return list(self._mined)
+
+        common: Set[str] = set(self._history[0])
+        for bundle in self._history[1:]:
+            common &= set(bundle)
+
+        survivors: List[MinedInvariant] = []
+        for left, right in combinations(sorted(common), 2):
+            candidate = MinedInvariant(left, right, self._tolerance)
+            if all(
+                candidate.holds(bundle, self._floor) for bundle in self._history
+            ):
+                survivors.append(candidate)
+        self._mined = survivors
+        return list(survivors)
+
+    # ------------------------------------------------------------------
+
+    def check(self, bundle: Mapping[str, float]) -> List[MinedViolation]:
+        """Violated mined invariants on a new bundle."""
+        violations = []
+        for invariant in self.mine():
+            if invariant.holds(bundle, self._floor) is False:
+                violations.append(
+                    MinedViolation(
+                        invariant=invariant,
+                        left_value=bundle.get(invariant.left, float("nan")),
+                        right_value=bundle.get(invariant.right, float("nan")),
+                    )
+                )
+        return violations
+
+    def passed(self, bundle: Mapping[str, float]) -> bool:
+        return not self.check(bundle)

@@ -1,0 +1,254 @@
+"""The status-quo baseline: static sanity checks.
+
+Reproduces what the paper says operators do today (Section 1): checks
+"typically *static* in nature", crafted to prevent *impossible* values
+("topologies with more nodes than actually exist in the network") plus
+heuristics for *unlikely* inputs "based on historically correct
+values".  The paper's two criticisms are both observable with this
+implementation:
+
+- static checks pass inputs that are wrong *now* (a plausible demand
+  matrix with entries zeroed out sails through), and
+- the historical heuristics fire false positives on legitimate but
+  atypical inputs ("e.g., in a disaster scenario that impacts a large
+  number of routers").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.control.inputs import ControllerInputs
+from repro.net.topology import Topology
+
+__all__ = ["StaticCheckConfig", "StaticViolation", "StaticReport", "StaticValidator"]
+
+
+@dataclass(frozen=True)
+class StaticCheckConfig:
+    """Tunables for the heuristic (historical) checks.
+
+    Attributes:
+        total_demand_band: Allowed multiplicative deviation of total
+            demand from the historical mean (0.5 = +/-50%).
+        entry_cap_multiplier: An entry larger than this multiple of the
+            largest historically seen entry is "unlikely".
+        min_link_fraction: Topology must retain at least this fraction
+            of the historically seen link count.
+        max_drained_fraction: At most this fraction of routers may be
+            drained at once (the check that misfires in disasters).
+    """
+
+    total_demand_band: float = 0.5
+    entry_cap_multiplier: float = 3.0
+    min_link_fraction: float = 0.7
+    max_drained_fraction: float = 0.25
+
+
+@dataclass(frozen=True)
+class StaticViolation:
+    """One static-check failure."""
+
+    check: str
+    kind: str  # "impossible" or "unlikely"
+    detail: str
+
+
+@dataclass
+class StaticReport:
+    """Outcome of one static validation pass."""
+
+    violations: List[StaticViolation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def impossible(self) -> List[StaticViolation]:
+        return [v for v in self.violations if v.kind == "impossible"]
+
+    def unlikely(self) -> List[StaticViolation]:
+        return [v for v in self.violations if v.kind == "unlikely"]
+
+
+class StaticValidator:
+    """Static input validation as practised today.
+
+    Args:
+        reference: The design-time inventory (impossible-value bounds).
+        config: Heuristic thresholds.
+    """
+
+    def __init__(
+        self, reference: Topology, config: Optional[StaticCheckConfig] = None
+    ) -> None:
+        self._reference = reference
+        self._config = config or StaticCheckConfig()
+        self._demand_totals: List[float] = []
+        self._max_entry_seen = 0.0
+        self._link_counts: List[int] = []
+
+    # ------------------------------------------------------------------
+    # History (the "historically correct values" the heuristics lean on)
+    # ------------------------------------------------------------------
+
+    def observe(self, inputs: ControllerInputs) -> None:
+        """Record one historical (assumed good) input epoch."""
+        self._demand_totals.append(inputs.demand.total())
+        entries = [rate for _s, _d, rate in inputs.demand.nonzero_entries()]
+        if entries:
+            self._max_entry_seen = max(self._max_entry_seen, max(entries))
+        self._link_counts.append(inputs.topology.num_links)
+
+    @property
+    def history_length(self) -> int:
+        return len(self._demand_totals)
+
+    # ------------------------------------------------------------------
+
+    def check(self, inputs: ControllerInputs) -> StaticReport:
+        """Run all static checks against one input epoch."""
+        report = StaticReport()
+        self._check_impossible(inputs, report)
+        self._check_unlikely(inputs, report)
+        return report
+
+    def _check_impossible(self, inputs: ControllerInputs, report: StaticReport) -> None:
+        known_nodes = set(self._reference.node_names())
+
+        if inputs.topology.num_nodes > len(known_nodes):
+            report.violations.append(
+                StaticViolation(
+                    check="topology/node-count",
+                    kind="impossible",
+                    detail=(
+                        f"topology has {inputs.topology.num_nodes} nodes but only "
+                        f"{len(known_nodes)} exist"
+                    ),
+                )
+            )
+        unknown = [n for n in inputs.topology.node_names() if n not in known_nodes]
+        if unknown:
+            report.violations.append(
+                StaticViolation(
+                    check="topology/unknown-nodes",
+                    kind="impossible",
+                    detail=f"topology names unknown routers: {unknown}",
+                )
+            )
+        for link in inputs.topology.links():
+            known = self._reference.link_between(link.a, link.b)
+            if known is None:
+                report.violations.append(
+                    StaticViolation(
+                        check="topology/unknown-link",
+                        kind="impossible",
+                        detail=f"link {link.name} does not exist in the inventory",
+                    )
+                )
+            elif link.capacity > known.capacity * (1 + 1e-9):
+                report.violations.append(
+                    StaticViolation(
+                        check="topology/capacity",
+                        kind="impossible",
+                        detail=(
+                            f"link {link.name} capacity {link.capacity:g} exceeds "
+                            f"physical {known.capacity:g}"
+                        ),
+                    )
+                )
+
+        for src, dst, rate in inputs.demand.entries():
+            if math.isnan(rate) or math.isinf(rate):
+                report.violations.append(
+                    StaticViolation(
+                        check="demand/finite",
+                        kind="impossible",
+                        detail=f"demand {src}->{dst} is not finite",
+                    )
+                )
+        unknown_demand = [n for n in inputs.demand.nodes if n not in known_nodes]
+        if unknown_demand:
+            report.violations.append(
+                StaticViolation(
+                    check="demand/unknown-nodes",
+                    kind="impossible",
+                    detail=f"demand matrix names unknown routers: {unknown_demand}",
+                )
+            )
+
+        unknown_drains = [n for n in inputs.drains.nodes if n not in known_nodes]
+        if unknown_drains:
+            report.violations.append(
+                StaticViolation(
+                    check="drain/unknown-nodes",
+                    kind="impossible",
+                    detail=f"drain input names unknown routers: {unknown_drains}",
+                )
+            )
+
+    def _check_unlikely(self, inputs: ControllerInputs, report: StaticReport) -> None:
+        config = self._config
+
+        if self._demand_totals:
+            mean_total = sum(self._demand_totals) / len(self._demand_totals)
+            total = inputs.demand.total()
+            if mean_total > 0:
+                deviation = abs(total - mean_total) / mean_total
+                if deviation > config.total_demand_band:
+                    report.violations.append(
+                        StaticViolation(
+                            check="demand/total-band",
+                            kind="unlikely",
+                            detail=(
+                                f"total demand {total:g} deviates {deviation:.0%} from "
+                                f"historical mean {mean_total:g}"
+                            ),
+                        )
+                    )
+
+        if self._max_entry_seen > 0:
+            cap = self._max_entry_seen * config.entry_cap_multiplier
+            for src, dst, rate in inputs.demand.nonzero_entries():
+                if rate > cap:
+                    report.violations.append(
+                        StaticViolation(
+                            check="demand/entry-cap",
+                            kind="unlikely",
+                            detail=(
+                                f"demand {src}->{dst} = {rate:g} exceeds {cap:g} "
+                                "(historical max x multiplier)"
+                            ),
+                        )
+                    )
+
+        if self._link_counts:
+            typical = max(self._link_counts)
+            floor = typical * config.min_link_fraction
+            if inputs.topology.num_links < floor:
+                report.violations.append(
+                    StaticViolation(
+                        check="topology/link-floor",
+                        kind="unlikely",
+                        detail=(
+                            f"topology has {inputs.topology.num_links} links, below "
+                            f"{floor:.0f} ({config.min_link_fraction:.0%} of historical)"
+                        ),
+                    )
+                )
+
+        drained = len(inputs.drains.drained_nodes())
+        total_nodes = max(1, self._reference.num_nodes)
+        if drained / total_nodes > config.max_drained_fraction:
+            report.violations.append(
+                StaticViolation(
+                    check="drain/mass-drain",
+                    kind="unlikely",
+                    detail=(
+                        f"{drained}/{total_nodes} routers drained exceeds "
+                        f"{config.max_drained_fraction:.0%} heuristic"
+                    ),
+                )
+            )

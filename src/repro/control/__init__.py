@@ -1,0 +1,26 @@
+"""SDN control infrastructure: instrumentation services and controller."""
+
+from repro.control.controller import SdnController
+from repro.control.demand_service import DemandRecord, DemandService, records_from_matrix
+from repro.control.drain_service import DrainService
+from repro.control.infra import ControlPlane
+from repro.control.inputs import ControllerInputs, DrainView
+from repro.control.metrics import HealthReport, Severity, assess_health
+from repro.control.te import greedy_te
+from repro.control.topo_service import TopologyService
+
+__all__ = [
+    "ControlPlane",
+    "ControllerInputs",
+    "DemandRecord",
+    "DemandService",
+    "DrainService",
+    "DrainView",
+    "HealthReport",
+    "SdnController",
+    "Severity",
+    "TopologyService",
+    "assess_health",
+    "greedy_te",
+    "records_from_matrix",
+]

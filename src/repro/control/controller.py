@@ -1,0 +1,54 @@
+"""The SDN controller.
+
+Consumes :class:`~repro.control.inputs.ControllerInputs` and programs
+path allocations.  The controller is deliberately simple and *correct*:
+all the outage scenarios in this repository are caused by feeding it
+inputs that do not reflect the network, never by controller bugs.
+"""
+
+from __future__ import annotations
+
+from repro.control.inputs import ControllerInputs
+from repro.control.te import greedy_te
+from repro.net.flows import FlowAssignment
+from repro.net.topology import Topology
+
+__all__ = ["SdnController"]
+
+
+class SdnController:
+    """Turns controller inputs into a flow assignment.
+
+    Args:
+        k_paths: Path diversity per ingress/egress pair for TE.
+        target_utilization: Per-link engineering headroom for TE.
+    """
+
+    def __init__(self, k_paths: int = 4, target_utilization: float = 0.9) -> None:
+        if k_paths < 1:
+            raise ValueError(f"k_paths must be >= 1, got {k_paths}")
+        self._k_paths = k_paths
+        self._target_utilization = target_utilization
+
+    def serving_topology(self, inputs: ControllerInputs) -> Topology:
+        """The believed-usable graph: topology input minus drained gear."""
+        serving = Topology(f"{inputs.topology.name}:serving")
+        for node in inputs.topology.nodes():
+            if not inputs.drains.is_node_drained(node.name):
+                serving.add_node(node)
+        for link in inputs.topology.links():
+            if inputs.drains.is_link_drained(link.name):
+                continue
+            if serving.has_node(link.a) and serving.has_node(link.b):
+                serving.add_link(link)
+        return serving
+
+    def program(self, inputs: ControllerInputs) -> FlowAssignment:
+        """Compute the path allocation for this epoch's inputs."""
+        serving = self.serving_topology(inputs)
+        return greedy_te(
+            serving,
+            inputs.demand,
+            k=self._k_paths,
+            target_utilization=self._target_utilization,
+        )

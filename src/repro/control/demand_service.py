@@ -1,0 +1,143 @@
+"""Demand instrumentation service.
+
+In the network the paper analyzed, demand is computed from measurements
+at end hosts (BwE-style [21]) rather than from routers.  We model the
+raw material as a stream of per-aggregate :class:`DemandRecord` entries
+-- one ingress/egress pair may be covered by many records (different
+host clusters) -- which the service sums into the controller's demand
+matrix.
+
+The Section 2.2 external-input bugs are interpreted here:
+
+- :class:`~repro.faults.external_faults.PartialDemandAggregation`
+  silently drops records,
+- :class:`~repro.faults.external_faults.DoubleCountedDemand` counts
+  some records multiple times,
+- :class:`~repro.faults.external_faults.ThrottledDemandMismatch` is
+  accepted (it is an external-input bug) but acts at the scenario
+  level: the measurement is *correct*, the hosts just do not send that
+  much -- see :class:`repro.scenarios.World`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.faults.base import AggregationBug
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.net.demand import DemandMatrix
+
+__all__ = ["DemandRecord", "DemandService", "records_from_matrix"]
+
+
+@dataclass(frozen=True)
+class DemandRecord:
+    """One end-host-side demand measurement for an ingress/egress pair."""
+
+    src: str
+    dst: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"negative demand record rate: {self.rate}")
+        if self.src == self.dst:
+            raise ValueError(f"self-demand record at {self.src!r}")
+
+
+def records_from_matrix(
+    demand: DemandMatrix, shards_per_pair: int = 3, seed: int = 0
+) -> List[DemandRecord]:
+    """Split a demand matrix into per-host-cluster records.
+
+    Each non-zero pair is split into ``shards_per_pair`` records with
+    random proportions, mimicking per-cluster aggregation upstream of
+    the service.  Summing the records exactly recovers the matrix.
+    """
+    if shards_per_pair < 1:
+        raise ValueError(f"shards_per_pair must be >= 1, got {shards_per_pair}")
+    rng = random.Random(seed)
+    records: List[DemandRecord] = []
+    for src, dst, rate in demand.nonzero_entries():
+        cuts = sorted(rng.random() for _ in range(shards_per_pair - 1))
+        bounds = [0.0] + cuts + [1.0]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            share = (hi - lo) * rate
+            if share > 0:
+                records.append(DemandRecord(src, dst, share))
+    return records
+
+
+class DemandService:
+    """Aggregates end-host demand records into the controller's matrix.
+
+    Args:
+        nodes: The router set the output matrix is defined over.
+        bugs: Active aggregation bugs.
+
+    Raises:
+        TypeError: If given a bug type this service does not interpret.
+    """
+
+    _SUPPORTED_BUGS = (
+        PartialDemandAggregation,
+        DoubleCountedDemand,
+        ThrottledDemandMismatch,
+    )
+
+    def __init__(self, nodes: Sequence[str], bugs: Sequence[AggregationBug] = ()) -> None:
+        self._nodes = list(nodes)
+        for bug in bugs:
+            if not isinstance(bug, self._SUPPORTED_BUGS):
+                raise TypeError(f"DemandService does not interpret {type(bug).__name__}")
+        self._bugs = list(bugs)
+
+    def build(self, records: Iterable[DemandRecord]) -> DemandMatrix:
+        """Aggregate records into the demand matrix the controller sees."""
+        records = list(records)
+        for bug in self._bugs:
+            if isinstance(bug, PartialDemandAggregation):
+                records = self._apply_partial(records, bug)
+            elif isinstance(bug, DoubleCountedDemand):
+                records = self._apply_double_count(records, bug)
+            # ThrottledDemandMismatch: measurement itself is correct.
+
+        matrix = DemandMatrix(self._nodes)
+        for record in records:
+            if record.src not in self._nodes or record.dst not in self._nodes:
+                continue  # records for unknown routers are dropped silently
+            matrix[record.src, record.dst] = matrix[record.src, record.dst] + record.rate
+        return matrix
+
+    @staticmethod
+    def _apply_partial(
+        records: List[DemandRecord], bug: PartialDemandAggregation
+    ) -> List[DemandRecord]:
+        rng = random.Random(bug.seed)
+        kept = []
+        for record in records:
+            if (record.src, record.dst) in bug.drop_pairs:
+                continue
+            if bug.drop_fraction > 0 and rng.random() < bug.drop_fraction:
+                continue
+            kept.append(record)
+        return kept
+
+    @staticmethod
+    def _apply_double_count(
+        records: List[DemandRecord], bug: DoubleCountedDemand
+    ) -> List[DemandRecord]:
+        rng = random.Random(bug.seed)
+        out = []
+        for record in records:
+            if rng.random() < bug.fraction:
+                out.append(DemandRecord(record.src, record.dst, record.rate * bug.multiplier))
+            else:
+                out.append(record)
+        return out

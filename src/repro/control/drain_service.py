@@ -1,0 +1,87 @@
+"""Drain instrumentation service.
+
+Aggregates per-router drain reports and per-endpoint link-drain reports
+into the controller's :class:`~repro.control.inputs.DrainView`.
+
+Aggregation rules:
+
+- a router is drained when its reported drain bit is truthy; a missing
+  report means not drained (the dangerous default the paper's restart
+  race exploited),
+- a link is drained when *either* endpoint reports it drained (the
+  service has no symmetry check -- adding one is exactly the paper's
+  Section 4.3 proposal, implemented in Hodor's drain validation).
+
+The :class:`~repro.faults.aggregation_faults.IgnoredDrain` bug makes
+the service skip named routers' (correct) drain signals, reproducing
+the outage where drained capacity was wrongly counted as available.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.control.inputs import DrainView
+from repro.faults.aggregation_faults import IgnoredDrain
+from repro.faults.base import AggregationBug
+from repro.net.topology import EXTERNAL_PEER, Topology
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["DrainService"]
+
+
+def _drain_is_set(raw: object) -> bool:
+    """Naive truthiness the production aggregation code would apply."""
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, str):
+        return raw.strip().lower() in ("true", "drained", "1")
+    if isinstance(raw, (int, float)):
+        return raw == 1
+    return False
+
+
+class DrainService:
+    """Builds the drain-status controller input from a snapshot.
+
+    Args:
+        reference: The design-time network model (router and link
+            inventory).
+        bugs: Active aggregation bugs.
+
+    Raises:
+        TypeError: If given a bug type this service does not interpret.
+    """
+
+    _SUPPORTED_BUGS = (IgnoredDrain,)
+
+    def __init__(self, reference: Topology, bugs: Sequence[AggregationBug] = ()) -> None:
+        self._reference = reference
+        for bug in bugs:
+            if not isinstance(bug, self._SUPPORTED_BUGS):
+                raise TypeError(f"DrainService does not interpret {type(bug).__name__}")
+        self._bugs = list(bugs)
+
+    def build(self, snapshot: NetworkSnapshot) -> DrainView:
+        """Aggregate drain reports into the controller's drain input."""
+        ignored = set()
+        for bug in self._bugs:
+            if isinstance(bug, IgnoredDrain):
+                ignored |= bug.nodes
+
+        view = DrainView()
+        for node in self._reference.node_names():
+            if node in ignored:
+                view.nodes[node] = False
+                continue
+            view.nodes[node] = _drain_is_set(snapshot.drains.get(node, False))
+
+        for link in self._reference.links():
+            drained = False
+            for endpoint, peer in link.directions():
+                if endpoint in ignored:
+                    continue
+                if _drain_is_set(snapshot.link_drains.get((endpoint, peer), False)):
+                    drained = True
+            view.links[link.name] = drained
+        return view

@@ -1,0 +1,75 @@
+"""Control-plane orchestration: services feeding the controller.
+
+:class:`ControlPlane` wires the three instrumentation services and the
+SDN controller into the pipeline of the paper's Figure 1: router
+signals (plus external demand records) flow through the control
+infrastructure and come out as controller inputs, which the controller
+turns into a path allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.control.controller import SdnController
+from repro.control.demand_service import DemandRecord, DemandService
+from repro.control.drain_service import DrainService
+from repro.control.inputs import ControllerInputs
+from repro.control.topo_service import TopologyService
+from repro.faults.base import AggregationBug
+from repro.net.flows import FlowAssignment
+from repro.net.topology import Topology
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """The full control infrastructure of Figure 1.
+
+    Args:
+        reference: Design-time network model shared by the services.
+        topo_bugs: Bugs active in the topology service.
+        demand_bugs: Bugs active in the demand service.
+        drain_bugs: Bugs active in the drain service.
+        k_paths: Controller TE path diversity.
+    """
+
+    def __init__(
+        self,
+        reference: Topology,
+        topo_bugs: Sequence[AggregationBug] = (),
+        demand_bugs: Sequence[AggregationBug] = (),
+        drain_bugs: Sequence[AggregationBug] = (),
+        k_paths: int = 4,
+        infer_faulty_from_counters: bool = False,
+    ) -> None:
+        self._reference = reference
+        self.topology_service = TopologyService(
+            reference, topo_bugs, infer_faulty_from_counters=infer_faulty_from_counters
+        )
+        self.demand_service = DemandService(reference.node_names(), demand_bugs)
+        self.drain_service = DrainService(reference, drain_bugs)
+        self.controller = SdnController(k_paths=k_paths)
+
+    @property
+    def reference(self) -> Topology:
+        return self._reference
+
+    def compute_inputs(
+        self,
+        snapshot: NetworkSnapshot,
+        demand_records: Iterable[DemandRecord],
+        timestamp: float = 0.0,
+    ) -> ControllerInputs:
+        """Run all three services against one snapshot."""
+        return ControllerInputs(
+            topology=self.topology_service.build(snapshot),
+            demand=self.demand_service.build(demand_records),
+            drains=self.drain_service.build(snapshot),
+            timestamp=timestamp,
+        )
+
+    def program(self, inputs: ControllerInputs) -> FlowAssignment:
+        """Have the controller compute the allocation for these inputs."""
+        return self.controller.program(inputs)

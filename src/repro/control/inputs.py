@@ -1,0 +1,62 @@
+"""The three inputs to the SDN controller.
+
+The paper's Section 4 focuses on exactly three controller inputs, the
+root causes of all large input-related outages it analyzed: the traffic
+demand matrix, the topology, and the drain status.  This module defines
+the container the instrumentation services fill in and the controller
+(and Hodor's dynamic checking) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.net.demand import DemandMatrix
+from repro.net.topology import Topology
+
+__all__ = ["DrainView", "ControllerInputs"]
+
+
+@dataclass
+class DrainView:
+    """The drain-status input: which gear the controller must avoid.
+
+    Attributes:
+        nodes: Router name -> drained bit, as aggregated by the drain
+            instrumentation service.
+        links: Canonical link name -> drained bit.
+    """
+
+    nodes: Dict[str, bool] = field(default_factory=dict)
+    links: Dict[str, bool] = field(default_factory=dict)
+
+    def drained_nodes(self) -> list:
+        return sorted(n for n, drained in self.nodes.items() if drained)
+
+    def drained_links(self) -> list:
+        return sorted(l for l, drained in self.links.items() if drained)
+
+    def is_node_drained(self, node: str) -> bool:
+        return bool(self.nodes.get(node, False))
+
+    def is_link_drained(self, link_name: str) -> bool:
+        return bool(self.links.get(link_name, False))
+
+
+@dataclass
+class ControllerInputs:
+    """Everything the SDN controller sees for one epoch.
+
+    Attributes:
+        topology: The controller's believed graph of *live* links (a
+            link absent here is believed down or unknown).
+        demand: The believed ingress/egress demand matrix.
+        drains: The believed drain status.
+        timestamp: Epoch the inputs claim to describe.
+    """
+
+    topology: Topology
+    demand: DemandMatrix
+    drains: DrainView
+    timestamp: float = 0.0

@@ -1,0 +1,114 @@
+"""Traffic engineering: capacity-aware greedy multipath placement.
+
+The controller's job is to turn (topology, demand) into path
+allocations.  We implement a standard greedy k-shortest-path
+water-filling heuristic: demands are placed largest-first, each split
+across its k shortest paths up to residual capacity.  Demand that
+cannot fit anywhere is still sent down the shortest path -- in a real
+WAN the packets are transmitted regardless and drop at the bottleneck,
+which is precisely how incorrect inputs turn into congestion outages.
+
+This is intentionally a *correct* TE algorithm: the paper's premise is
+that "the SDN controller itself operates correctly, but is compromised
+because it receives inputs that do not accurately reflect the current
+state of the network."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.demand import DemandMatrix
+from repro.net.flows import FlowAssignment, FlowRule
+from repro.net.routing import NoRouteError, Path, k_shortest_paths
+from repro.net.topology import Topology
+
+__all__ = ["greedy_te"]
+
+#: Placements smaller than this are noise and are skipped.
+_MIN_PLACEMENT = 1e-9
+
+
+def greedy_te(
+    topology: Topology,
+    demand: DemandMatrix,
+    k: int = 4,
+    target_utilization: float = 0.9,
+) -> FlowAssignment:
+    """Place a demand matrix on a topology, largest demands first.
+
+    Args:
+        topology: The graph the controller believes in (already
+            filtered to usable gear).
+        demand: The demand matrix the controller believes in.
+        k: Path diversity per ingress/egress pair.
+        target_utilization: Engineering headroom -- water-filling
+            spreads traffic once a link reaches this fraction of its
+            capacity (real TE keeps headroom for bursts and estimation
+            error; it is also what makes *under*-reported demand
+            dangerous, since a controller that believes in less traffic
+            sees no reason to spread).
+
+    Returns:
+        A :class:`FlowAssignment`; pairs with no path at all land in
+        ``unrouted``.
+    """
+    if not 0 < target_utilization <= 1:
+        raise ValueError(
+            f"target_utilization must be in (0, 1], got {target_utilization}"
+        )
+    residual: Dict[Tuple[str, str], float] = {}
+    for src, dst in topology.directed_edges():
+        link = topology.link_between(src, dst)
+        assert link is not None
+        residual[(src, dst)] = link.capacity * target_utilization
+
+    assignment = FlowAssignment()
+    entries = sorted(
+        demand.nonzero_entries(), key=lambda entry: (-entry[2], entry[0], entry[1])
+    )
+    for src, dst, rate in entries:
+        if not topology.has_node(src) or not topology.has_node(dst):
+            assignment.unrouted[(src, dst)] = rate
+            continue
+        try:
+            paths = k_shortest_paths(topology, src, dst, k)
+        except NoRouteError:
+            assignment.unrouted[(src, dst)] = rate
+            continue
+        rules = _water_fill(paths, rate, residual)
+        assignment.rules[(src, dst)] = rules
+    return assignment
+
+
+def _water_fill(
+    paths: List[Path], rate: float, residual: Dict[Tuple[str, str], float]
+) -> List[FlowRule]:
+    """Fill paths in cost order up to residual capacity.
+
+    Any remainder that fits nowhere is sent down the first (shortest)
+    path anyway; the network, not the allocator, will drop it.
+    """
+    rules: List[FlowRule] = []
+    remaining = rate
+    for path in paths:
+        if remaining <= _MIN_PLACEMENT:
+            break
+        headroom = min(residual[edge] for edge in path.edges())
+        placed = min(remaining, max(0.0, headroom))
+        if placed <= _MIN_PLACEMENT:
+            continue
+        for edge in path.edges():
+            residual[edge] -= placed
+        rules.append(FlowRule(path, placed))
+        remaining -= placed
+
+    if remaining > _MIN_PLACEMENT:
+        spill_path = paths[0]
+        for edge in spill_path.edges():
+            residual[edge] -= remaining
+        if rules and rules[0].path == spill_path:
+            rules[0] = FlowRule(spill_path, rules[0].rate + remaining)
+        else:
+            rules.insert(0, FlowRule(spill_path, remaining))
+    return rules

@@ -1,0 +1,163 @@
+"""Topology instrumentation service.
+
+Stitches per-interface link-status reports into the controller's graph
+view of the network (paper Section 2: "constructing a topology from
+individual link statuses").  The service owns a *reference model* --
+the design-time inventory of routers, links, and capacities the paper
+notes operators maintain [23, 25, 35] -- and telemetry decides which of
+those links are currently usable.
+
+Stitching rule: a link enters the controller topology only when **both**
+endpoint interfaces report operationally up.  Missing or malformed
+status reports are treated as down (the conservative reading); the
+Section 2.2 bugs change exactly these behaviours:
+
+- :class:`~repro.faults.aggregation_faults.PartialTopologyStitch`
+  discards the named routers' reports before stitching,
+- :class:`~repro.faults.aggregation_faults.LivenessMisreport` forces
+  the liveness of named links,
+- :class:`~repro.faults.aggregation_faults.StaleTopology` ignores
+  current statuses entirely and reports the full reference model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.faults.aggregation_faults import (
+    LivenessMisreport,
+    PartialTopologyStitch,
+    StaleTopology,
+)
+from repro.faults.base import AggregationBug
+from repro.net.topology import Link, Topology
+from repro.telemetry.counters import MalformedValueError, coerce_rate
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["TopologyService"]
+
+
+def _rate_or_none(raw: object) -> Optional[float]:
+    """Best-effort rate coercion; None for missing/unparseable values."""
+    try:
+        return coerce_rate(raw)  # type: ignore[arg-type]
+    except MalformedValueError:
+        return None
+
+
+def _status_is_up(raw: object) -> bool:
+    """The service's (naive) interpretation of a raw status value.
+
+    Production aggregation code coerces loosely; anything that is not
+    a clean truthy report counts as down.
+    """
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, str):
+        return raw.strip().lower() in ("up", "true", "1")
+    if isinstance(raw, (int, float)):
+        return raw == 1
+    return False
+
+
+class TopologyService:
+    """Builds the controller's topology input from a snapshot.
+
+    Args:
+        reference: The design-time network model (all routers and links
+            that exist, with capacities).
+        bugs: Aggregation bugs active in this service build.
+        infer_faulty_from_counters: Also treat a link as faulty when one
+            endpoint's rx counter reads (near) zero while the opposite
+            endpoint is transmitting.  This mirrors the production
+            behaviour behind the paper's zeroed-telemetry outage: "these
+            messages led the control plane to interpret these interfaces
+            as faulty and refrain from routing traffic through these
+            otherwise functioning interfaces."  Unparseable counters are
+            treated the same way.
+
+    Raises:
+        TypeError: If given a bug type this service does not interpret.
+    """
+
+    _SUPPORTED_BUGS = (PartialTopologyStitch, LivenessMisreport, StaleTopology)
+
+    #: Rates below this count as "not transmitting" for counter liveness.
+    _ACTIVITY_THRESHOLD = 1e-3
+
+    def __init__(
+        self,
+        reference: Topology,
+        bugs: Sequence[AggregationBug] = (),
+        infer_faulty_from_counters: bool = False,
+    ) -> None:
+        self._reference = reference
+        for bug in bugs:
+            if not isinstance(bug, self._SUPPORTED_BUGS):
+                raise TypeError(
+                    f"TopologyService does not interpret {type(bug).__name__}"
+                )
+        self._bugs = list(bugs)
+        self._infer_faulty_from_counters = infer_faulty_from_counters
+
+    @property
+    def reference(self) -> Topology:
+        return self._reference
+
+    def build(self, snapshot: NetworkSnapshot) -> Topology:
+        """Stitch the controller's topology view for this snapshot."""
+        discarded_nodes = set()
+        forced_liveness = {}
+        stale = False
+        for bug in self._bugs:
+            if isinstance(bug, PartialTopologyStitch):
+                discarded_nodes |= bug.missing_nodes
+            elif isinstance(bug, LivenessMisreport):
+                for link_name in bug.links:
+                    forced_liveness[link_name] = bug.report_up
+            elif isinstance(bug, StaleTopology):
+                stale = True
+
+        view = Topology(f"{self._reference.name}:controller-view")
+        for node in self._reference.nodes():
+            view.add_node(node)
+
+        for link in self._reference.links():
+            if stale:
+                live = True
+            elif link.name in forced_liveness:
+                live = forced_liveness[link.name]
+            else:
+                live = self._stitched_liveness(snapshot, link, discarded_nodes)
+            if live:
+                view.add_link(link)
+        return view
+
+    def _stitched_liveness(
+        self, snapshot: NetworkSnapshot, link: Link, discarded_nodes: set
+    ) -> bool:
+        """Both endpoints must report up; discarded/missing means down."""
+        for node, peer in link.directions():
+            if node in discarded_nodes:
+                return False
+            report = snapshot.status(node, peer)
+            if report is None or not _status_is_up(report.oper_up):
+                return False
+        if self._infer_faulty_from_counters and self._counters_look_faulty(snapshot, link):
+            return False
+        return True
+
+    def _counters_look_faulty(self, snapshot: NetworkSnapshot, link: Link) -> bool:
+        """One side silent while the other transmits, or junk counters."""
+        for node, peer in link.directions():
+            rx_reading = snapshot.counter(node, peer)
+            tx_reading = snapshot.counter(peer, node)
+            if rx_reading is None or tx_reading is None:
+                continue
+            rx = _rate_or_none(rx_reading.rx_rate)
+            tx = _rate_or_none(tx_reading.tx_rate)
+            if rx is None or tx is None:
+                return True  # unparseable counters read as a faulty interface
+            if rx <= self._ACTIVITY_THRESHOLD < tx:
+                return True
+        return False

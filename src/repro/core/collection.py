@@ -1,0 +1,176 @@
+"""Hodor step 1: collecting input signals.
+
+Turns a raw :class:`~repro.telemetry.snapshot.NetworkSnapshot` into a
+typed :class:`~repro.core.signals.CollectedState`.  The relevant
+signals were "chosen once at system design time" (Section 3.2) -- here,
+that design-time choice is the set of
+:class:`~repro.telemetry.paths.SignalKind` families this collector
+reads.
+
+Collection is deliberately defensive but lossless in intent: a value
+that cannot be interpreted (malformed type, unparseable string,
+negative rate) becomes ``None`` *plus a finding*, never an exception --
+production telemetry bugs must degrade Hodor's knowledge, not crash it.
+Stale readings (delayed-telemetry bugs) are likewise dropped with a
+finding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import HodorConfig
+from repro.core.drain_reasons import parse_reason
+from repro.core.signals import (
+    CollectedCounter,
+    CollectedState,
+    CollectedStatus,
+    Finding,
+    FindingSeverity,
+)
+from repro.telemetry.counters import MalformedValueError, coerce_rate
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["SignalCollector"]
+
+
+def _coerce_bool(raw: object) -> Optional[bool]:
+    """Interpret a raw boolean-ish telemetry value, or None if hopeless."""
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, str):
+        lowered = raw.strip().lower()
+        if lowered in ("up", "true", "1", "drained"):
+            return True
+        if lowered in ("down", "false", "0", "undrained"):
+            return False
+        return None
+    if isinstance(raw, (int, float)) and raw in (0, 1):
+        return bool(raw)
+    return None
+
+
+class SignalCollector:
+    """Hodor's collection step.
+
+    Args:
+        config: Pipeline configuration (staleness bound is used here).
+    """
+
+    def __init__(self, config: Optional[HodorConfig] = None) -> None:
+        self._config = config or HodorConfig()
+
+    def collect(self, snapshot: NetworkSnapshot) -> CollectedState:
+        """Coerce every signal in the snapshot into typed form."""
+        state = CollectedState(timestamp=snapshot.timestamp)
+        self._collect_counters(snapshot, state)
+        self._collect_statuses(snapshot, state)
+        self._collect_drains(snapshot, state)
+        self._collect_drops(snapshot, state)
+        state.probes = {key: result.ok for key, result in snapshot.probes.items()}
+        return state
+
+    # ------------------------------------------------------------------
+
+    def _collect_counters(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
+        for key in sorted(snapshot.counters):
+            reading = snapshot.counters[key]
+            subject = f"{key[0]}->{key[1]}"
+
+            if snapshot.timestamp - reading.timestamp > self._config.max_staleness_s:
+                state.counters[key] = CollectedCounter(
+                    rx=None, tx=None, timestamp=reading.timestamp
+                )
+                state.findings.append(
+                    Finding(
+                        code="STALE_READING",
+                        severity=FindingSeverity.WARNING,
+                        subject=subject,
+                        detail=(
+                            f"reading is {snapshot.timestamp - reading.timestamp:.0f}s "
+                            "old; treated as missing"
+                        ),
+                    )
+                )
+                continue
+
+            rx = self._coerce_counter(reading.rx_rate, subject, "rx", state)
+            tx = self._coerce_counter(reading.tx_rate, subject, "tx", state)
+            state.counters[key] = CollectedCounter(rx=rx, tx=tx, timestamp=reading.timestamp)
+
+    def _coerce_counter(
+        self, raw: object, subject: str, side: str, state: CollectedState
+    ) -> Optional[float]:
+        try:
+            return coerce_rate(raw)  # type: ignore[arg-type]
+        except MalformedValueError as exc:
+            state.findings.append(
+                Finding(
+                    code="MALFORMED_COUNTER",
+                    severity=FindingSeverity.WARNING,
+                    subject=subject,
+                    detail=f"{side} counter malformed: {exc}",
+                )
+            )
+            return None
+
+    def _collect_statuses(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
+        for key in sorted(snapshot.link_status):
+            report = snapshot.link_status[key]
+            subject = f"{key[0]}->{key[1]}"
+            oper = _coerce_bool(report.oper_up)
+            admin = _coerce_bool(report.admin_up)
+            if oper is None and report.oper_up is not None:
+                state.findings.append(
+                    Finding(
+                        code="MALFORMED_STATUS",
+                        severity=FindingSeverity.WARNING,
+                        subject=subject,
+                        detail=f"uninterpretable oper-status {report.oper_up!r}",
+                    )
+                )
+            state.statuses[key] = CollectedStatus(oper_up=oper, admin_up=admin)
+
+    def _collect_drains(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
+        for node in sorted(snapshot.drains):
+            value = _coerce_bool(snapshot.drains[node])
+            if value is None and snapshot.drains[node] is not None:
+                state.findings.append(
+                    Finding(
+                        code="MALFORMED_DRAIN",
+                        severity=FindingSeverity.WARNING,
+                        subject=node,
+                        detail=f"uninterpretable drain bit {snapshot.drains[node]!r}",
+                    )
+                )
+            state.drains[node] = value
+        for node in sorted(snapshot.drain_reasons):
+            raw = snapshot.drain_reasons[node]
+            reason = parse_reason(raw)
+            if reason is None:
+                state.findings.append(
+                    Finding(
+                        code="MALFORMED_DRAIN_REASON",
+                        severity=FindingSeverity.WARNING,
+                        subject=node,
+                        detail=f"uninterpretable drain reason {raw!r}",
+                    )
+                )
+            state.drain_reasons[node] = reason
+        for key in sorted(snapshot.link_drains):
+            state.link_drains[key] = _coerce_bool(snapshot.link_drains[key])
+
+    def _collect_drops(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
+        for node in sorted(snapshot.drops):
+            try:
+                state.drops[node] = coerce_rate(snapshot.drops[node])  # type: ignore[arg-type]
+            except MalformedValueError as exc:
+                state.drops[node] = None
+                state.findings.append(
+                    Finding(
+                        code="MALFORMED_DROPS",
+                        severity=FindingSeverity.WARNING,
+                        subject=node,
+                        detail=f"drop counter malformed: {exc}",
+                    )
+                )

@@ -1,0 +1,96 @@
+"""Hodor configuration.
+
+All tunables in one frozen dataclass.  Defaults follow the paper where
+it states values: the hardening threshold tau_h and the equality
+threshold tau_e both default to 2% (Section 4.1 and its footnote 2:
+"Based on production logs, we find 2% to be an appropriate threshold").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["RiskProfile", "HodorConfig"]
+
+
+class RiskProfile:
+    """Named operating points for the link-status truth table.
+
+    Section 4.2: the combination of status / counter / probe evidence
+    "can be adjusted based on risk tolerance of the operator."
+
+    - ``CONSERVATIVE``: any negative evidence marks a link unusable.
+    - ``BALANCED``: majority evidence wins; unresolved conflicts are
+      suspect.
+    - ``PERMISSIVE``: a link counts as up unless all evidence is
+      negative.
+    """
+
+    CONSERVATIVE = "conservative"
+    BALANCED = "balanced"
+    PERMISSIVE = "permissive"
+
+    ALL = (CONSERVATIVE, BALANCED, PERMISSIVE)
+
+
+@dataclass(frozen=True)
+class HodorConfig:
+    """Tunables for the whole validation pipeline.
+
+    Attributes:
+        tau_h: Hardening threshold -- maximum relative disagreement
+            between the two ends of a link before the pair is flagged
+            spurious (paper default 2%).
+        tau_e: Equality threshold for dynamic-check invariants (paper
+            default 2%).
+        rate_floor: Absolute rate below which values are treated as
+            "approximately zero"; relative thresholds are meaningless
+            around zero, so pairs within the floor always agree.
+        max_staleness_s: Readings older than this (relative to the
+            snapshot timestamp) are treated as missing and flagged.
+        use_probes: Whether manufactured probe signals (R4) are
+            consulted when hardening link status.
+        use_counters_for_status: Whether counter activity (R3) is
+            consulted when hardening link status.
+        risk_profile: Truth-table operating point, one of
+            :class:`RiskProfile`.
+        active_threshold: Counter rate above which an interface counts
+            as "actively carrying traffic" for R3 purposes.
+        repair_residual_tol: Maximum acceptable flow-conservation
+            residual (relative to node throughput) when accepting a
+            repair.
+        enable_repair: Whether the R2 flow-conservation repair runs at
+            all.  Disabling it gives the R1-only ablation (detection
+            without repair) used in the hardening-efficacy study.
+    """
+
+    tau_h: float = 0.02
+    tau_e: float = 0.02
+    rate_floor: float = 1e-6
+    max_staleness_s: float = 60.0
+    use_probes: bool = True
+    use_counters_for_status: bool = True
+    risk_profile: str = RiskProfile.BALANCED
+    active_threshold: float = 1e-3
+    repair_residual_tol: float = 0.05
+    enable_repair: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tau_h < 1:
+            raise ValueError(f"tau_h must be in [0, 1), got {self.tau_h}")
+        if not 0 <= self.tau_e < 1:
+            raise ValueError(f"tau_e must be in [0, 1), got {self.tau_e}")
+        if self.rate_floor < 0:
+            raise ValueError(f"rate_floor must be non-negative, got {self.rate_floor}")
+        if self.max_staleness_s <= 0:
+            raise ValueError(
+                f"max_staleness_s must be positive, got {self.max_staleness_s}"
+            )
+        if self.risk_profile not in RiskProfile.ALL:
+            raise ValueError(
+                f"risk_profile must be one of {RiskProfile.ALL}, got {self.risk_profile!r}"
+            )
+
+    def with_overrides(self, **kwargs: object) -> "HodorConfig":
+        """A copy with some fields replaced (sweeps use this)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,184 @@
+"""Dynamic checking of the drain input (paper Section 4.3).
+
+Drain is "semantically overloaded", and the paper identifies two
+incorrect-drain shapes:
+
+1. **Drain not marked when it should be** -- the router cannot actually
+   carry traffic yet the controller's drain input says serving.  The
+   Section 4.2 machinery covers the detectable part: such a router's
+   links are down, not forwarding, or idle while its status stays up.
+   We check the drain input against hardened link evidence.
+2. **Drain marked when the router could still carry traffic** -- harder,
+   because preemptive drains are legitimate.  The check degrades to a
+   consistency comparison with the hardened drain reports plus a
+   warning-level signal when a drained router demonstrably carries
+   traffic.
+
+The paper's standardization proposal -- all drains become link drains
+with both ends required to agree -- is implemented as the symmetry
+invariant over hardened link-drain verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.inputs import DrainView
+from repro.core.config import HodorConfig
+from repro.core.drain_reasons import reason_requires_faulty_link
+from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
+from repro.core.signals import DrainVerdict, HardenedState, LinkVerdict
+
+__all__ = ["DrainChecker"]
+
+
+def _condition(name: str, description: str, holds: Optional[bool]) -> InvariantResult:
+    invariant = Invariant(
+        name=name,
+        description=description,
+        lhs=None if holds is None else 1.0,
+        rhs=None if holds is None else (1.0 if holds else 0.0),
+        tolerance=0.0,
+    )
+    if holds is None:
+        return InvariantResult(invariant, InvariantStatus.SKIPPED, error=None)
+    status = InvariantStatus.PASSED if holds else InvariantStatus.VIOLATED
+    return InvariantResult(invariant, status, error=0.0 if holds else 1.0)
+
+
+class DrainChecker:
+    """Validates the controller's drain input against hardened signals."""
+
+    def __init__(self, config: Optional[HodorConfig] = None) -> None:
+        self._config = config or HodorConfig()
+
+    def check(self, drains: DrainView, hardened: HardenedState) -> CheckResult:
+        result = CheckResult(input_name="drain")
+        self._check_nodes(drains, hardened, result)
+        self._check_links(drains, hardened, result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _check_nodes(
+        self, drains: DrainView, hardened: HardenedState, result: CheckResult
+    ) -> None:
+        for node in sorted(hardened.node_drains):
+            reported = hardened.node_drains[node]
+            believed_drained = drains.is_node_drained(node)
+
+            if reported.verdict == DrainVerdict.CONFLICTED:
+                result.results.append(
+                    _condition(
+                        f"drain/node-consistent/{node}",
+                        f"{node}: hardened drain state conflicted; cannot decide",
+                        holds=None,
+                    )
+                )
+                continue
+
+            hardened_drained = reported.verdict == DrainVerdict.DRAINED
+            result.results.append(
+                _condition(
+                    f"drain/node-consistent/{node}",
+                    (
+                        f"{node}: drain input says "
+                        f"{'drained' if believed_drained else 'serving'}, hardened "
+                        f"signals say {'drained' if hardened_drained else 'serving'}"
+                    ),
+                    holds=believed_drained == hardened_drained,
+                )
+            )
+
+            # Case 1: input says serving, but the router's links cannot
+            # actually carry traffic.
+            if not believed_drained and not self._node_can_carry(node, hardened):
+                result.results.append(
+                    _condition(
+                        f"drain/node-capable/{node}",
+                        f"{node}: drain input says serving but no usable hardened "
+                        "link touches it (should be drained)",
+                        holds=False,
+                    )
+                )
+
+            # Case 2: input says drained yet traffic demonstrably flows.
+            # Legitimate for fresh/preemptive drains, so warning-grade:
+            # recorded as a note, not a violation.
+            if believed_drained and reported.carrying_traffic:
+                result.notes.append(
+                    f"{node}: drained in input but carrying traffic "
+                    "(legitimate if the drain is fresh or preemptive)"
+                )
+
+            # Section 4.3 reasons extension: a drain that *claims* a
+            # faulty link must be corroborated by hardened link
+            # evidence; a disproven reason exposes erroneous automation.
+            if (
+                hardened_drained
+                and reported.reason is not None
+                and reason_requires_faulty_link(reported.reason)
+            ):
+                result.results.append(
+                    _condition(
+                        f"drain/reason-supported/{node}",
+                        f"{node}: drain claims a faulty link; hardened evidence "
+                        "must show a non-usable link at this router",
+                        holds=self._has_faulty_link(node, hardened),
+                    )
+                )
+
+    def _has_faulty_link(self, node: str, hardened: HardenedState) -> bool:
+        """Does hardened evidence show a bad link at this router?"""
+        for link_name, status in hardened.links.items():
+            if node in link_name.split("~") and not status.usable:
+                return True
+        return False
+
+    def _node_can_carry(self, node: str, hardened: HardenedState) -> bool:
+        """Any usable hardened link touching this router?"""
+        usable = False
+        touched = False
+        for link_name, status in hardened.links.items():
+            endpoints = link_name.split("~")
+            if node not in endpoints:
+                continue
+            touched = True
+            if status.usable:
+                usable = True
+        # A router hardening knows nothing about gets the benefit of
+        # the doubt.
+        return usable or not touched
+
+    # ------------------------------------------------------------------
+
+    def _check_links(
+        self, drains: DrainView, hardened: HardenedState, result: CheckResult
+    ) -> None:
+        for link_name in sorted(hardened.link_drains):
+            reported = hardened.link_drains[link_name]
+            believed_drained = drains.is_link_drained(link_name)
+
+            # The Section 4.3 symmetry proposal: both sides must agree.
+            result.results.append(
+                _condition(
+                    f"drain/link-symmetric/{link_name}",
+                    f"{link_name}: link-drain bits must agree at both endpoints",
+                    holds=reported.verdict != DrainVerdict.CONFLICTED,
+                )
+            )
+            if reported.verdict == DrainVerdict.CONFLICTED:
+                continue
+
+            hardened_drained = reported.verdict == DrainVerdict.DRAINED
+            result.results.append(
+                _condition(
+                    f"drain/link-consistent/{link_name}",
+                    (
+                        f"{link_name}: drain input says "
+                        f"{'drained' if believed_drained else 'serving'}, hardened "
+                        f"reports say {'drained' if hardened_drained else 'serving'}"
+                    ),
+                    holds=believed_drained == hardened_drained,
+                )
+            )

@@ -1,0 +1,82 @@
+"""Drain reasons: the Section 4.3 standardization proposal.
+
+The paper's future-work direction for making drain validatable:
+"One approach may be to attach reasons to drain labels, which can then
+be used to validate the drain.  For example, a drain due to faulty
+neighbor connectivity can be validated by Hodor by checking the
+supposedly affected connection causing the drain."
+
+This module implements that proposal as an optional extension:
+
+- routers report a :class:`DrainReason` next to their drain bit,
+- the drain checker knows how to corroborate each reason against the
+  hardened network state (:func:`reason_expectations`),
+- reasons that *predict observable evidence* (a faulty link) are
+  checked against that evidence, and disproven reasons become
+  violations -- which is exactly how an erroneous automation drain
+  that *claims* a faulty link gets caught,
+- reasons that legitimately coexist with flowing traffic (fresh
+  maintenance or disaster drains) suppress the "drained but carrying"
+  false positive the paper acknowledges for its case 2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+__all__ = ["DrainReason", "parse_reason", "reason_allows_traffic", "reason_requires_faulty_link"]
+
+
+class DrainReason(str, Enum):
+    """Why a router says it is drained."""
+
+    #: Planned maintenance; traffic may still be draining away.
+    MAINTENANCE = "maintenance"
+    #: Automation drained it because an attached link is faulty.
+    FAULTY_LINK = "faulty-link"
+    #: Manual drain during an incident/disaster.
+    INCIDENT = "incident"
+    #: Drain reported without a reason (legacy behaviour).
+    UNSPECIFIED = "unspecified"
+
+
+def parse_reason(raw: object) -> Optional[DrainReason]:
+    """Interpret a raw drain-reason value.
+
+    Returns ``None`` for values that are present but not interpretable
+    (callers flag those); missing (``None``/empty) values parse to
+    :attr:`DrainReason.UNSPECIFIED`.
+    """
+    if raw is None or raw == "":
+        return DrainReason.UNSPECIFIED
+    if isinstance(raw, DrainReason):
+        return raw
+    if isinstance(raw, str):
+        lowered = raw.strip().lower()
+        for reason in DrainReason:
+            if lowered == reason.value:
+                return reason
+        return None
+    return None
+
+
+def reason_allows_traffic(reason: DrainReason) -> bool:
+    """May a router drained for this reason still carry traffic?
+
+    Fresh maintenance and incident drains legitimately overlap with
+    traffic still moving off the router; a faulty-link drain claims the
+    router *cannot* serve properly, and an unspecified drain gives no
+    cover (it keeps today's warning behaviour).
+    """
+    return reason in (DrainReason.MAINTENANCE, DrainReason.INCIDENT)
+
+
+def reason_requires_faulty_link(reason: DrainReason) -> bool:
+    """Does this reason predict observable link evidence?
+
+    A ``faulty-link`` drain is only justified if hardening actually
+    sees a non-usable or suspect link at the router; otherwise the
+    claimed reason is disproven.
+    """
+    return reason == DrainReason.FAULTY_LINK

@@ -1,0 +1,197 @@
+"""Flow-conservation repair (the paper's R2 redundancy).
+
+Section 4.1: "Formulating this as a dot product between the incidence
+matrix M and v_partial, we can solve for up to |V| - 1 unknowns, the
+rank of M, to recover missing/corrupted values."
+
+We build exactly that system.  One conservation equation per router::
+
+    sum(in-edges) + ext_in  =  sum(out-edges) + ext_out + dropped
+
+Unknowns (flagged or missing values -- the "variables" in the paper's
+flow vector) move to the left-hand side of ``A x = b``; knowns fold
+into ``b``.  The least-squares solution gives candidate repairs, and an
+SVD null-space test tells us *which* unknowns are uniquely determined
+-- an unknown whose value can trade off against another along a null
+direction is not recoverable and must stay unknown rather than be
+"repaired" with an arbitrary minimum-norm guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["VarKey", "edge_var", "ext_in_var", "ext_out_var", "drop_var", "RepairResult", "solve_flow_conservation"]
+
+#: Variable identifiers in the conservation system.
+VarKey = Tuple[str, ...]
+
+
+def edge_var(src: str, dst: str) -> VarKey:
+    return ("edge", src, dst)
+
+
+def ext_in_var(node: str) -> VarKey:
+    return ("ext_in", node)
+
+
+def ext_out_var(node: str) -> VarKey:
+    return ("ext_out", node)
+
+
+def drop_var(node: str) -> VarKey:
+    return ("drop", node)
+
+
+#: Null-space components smaller than this count as zero (an unknown is
+#: uniquely determined when every null vector is ~zero at its index).
+_NULLSPACE_TOL = 1e-8
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one conservation solve.
+
+    Attributes:
+        values: Solved value per unknown; ``None`` when the unknown is
+            not uniquely determined by the system.
+        residual: Relative residual of the least-squares solution
+            (``||Ax - b|| / max(1, ||b||)``); a large residual means
+            the *known* values already violate conservation, i.e. more
+            corruption than the unknowns can explain.
+        rank: Rank of the unknown-coefficient matrix.
+        num_unknowns: How many unknowns the system had.
+    """
+
+    values: Dict[VarKey, Optional[float]] = field(default_factory=dict)
+    residual: float = 0.0
+    rank: int = 0
+    num_unknowns: int = 0
+
+    def solved(self) -> Dict[VarKey, float]:
+        """Only the uniquely determined unknowns."""
+        return {key: value for key, value in self.values.items() if value is not None}
+
+    def is_consistent(self, tolerance: float) -> bool:
+        return self.residual <= tolerance
+
+
+def solve_flow_conservation(
+    nodes: Sequence[str],
+    edges: Sequence[Tuple[str, str]],
+    edge_values: Mapping[Tuple[str, str], Optional[float]],
+    ext_in: Mapping[str, Optional[float]],
+    ext_out: Mapping[str, Optional[float]],
+    drops: Mapping[str, Optional[float]],
+) -> RepairResult:
+    """Solve the conservation system for all ``None`` values.
+
+    Args:
+        nodes: Every router (one equation each).
+        edges: Every directed edge in the network.
+        edge_values: Known hardened flow per directed edge, ``None``
+            for unknowns.
+        ext_in: Known external ingress per router, ``None`` unknown.
+        ext_out: Known external egress per router, ``None`` unknown.
+        drops: Known dropped rate per router, ``None`` unknown.
+
+    Returns:
+        A :class:`RepairResult`; values are clamped at zero when the
+        solve lands a hair negative (rates cannot be negative), but
+        meaningfully negative solutions are preserved so callers can
+        flag the inconsistency.
+    """
+    node_index = {node: i for i, node in enumerate(nodes)}
+    unknowns: List[VarKey] = []
+
+    def classify(key: VarKey, value: Optional[float]) -> Optional[float]:
+        if value is None:
+            unknowns.append(key)
+        return value
+
+    # Coefficient of each variable in each node equation, written as
+    # LHS = sum(in) + ext_in - sum(out) - ext_out - drop = 0.
+    terms: List[Tuple[VarKey, int, float, Optional[float]]] = []
+    for src, dst in edges:
+        value = classify(edge_var(src, dst), edge_values.get((src, dst)))
+        if dst in node_index:
+            terms.append((edge_var(src, dst), node_index[dst], 1.0, value))
+        if src in node_index:
+            terms.append((edge_var(src, dst), node_index[src], -1.0, value))
+    for node in nodes:
+        row = node_index[node]
+        terms.append((ext_in_var(node), row, 1.0, classify(ext_in_var(node), ext_in.get(node))))
+        terms.append(
+            (ext_out_var(node), row, -1.0, classify(ext_out_var(node), ext_out.get(node)))
+        )
+        terms.append((drop_var(node), row, -1.0, classify(drop_var(node), drops.get(node))))
+
+    # classify() may record the same unknown twice (edges touch two
+    # equations); dedupe preserving order.
+    seen = set()
+    unique_unknowns = []
+    for key in unknowns:
+        if key not in seen:
+            seen.add(key)
+            unique_unknowns.append(key)
+    unknown_index = {key: j for j, key in enumerate(unique_unknowns)}
+
+    num_equations = len(nodes)
+    num_unknowns = len(unique_unknowns)
+    matrix = np.zeros((num_equations, num_unknowns))
+    rhs = np.zeros(num_equations)
+
+    for key, row, coefficient, value in terms:
+        if value is None:
+            matrix[row, unknown_index[key]] += coefficient
+        else:
+            rhs[row] -= coefficient * value
+
+    if num_unknowns == 0:
+        residual = float(np.linalg.norm(rhs)) / max(
+            1.0, _system_scale(edge_values, ext_in, ext_out)
+        )
+        return RepairResult(values={}, residual=residual, rank=0, num_unknowns=0)
+
+    solution, _residuals, rank, _singular = np.linalg.lstsq(matrix, rhs, rcond=None)
+    fitted = matrix @ solution
+    scale = max(1.0, _system_scale(edge_values, ext_in, ext_out))
+    residual = float(np.linalg.norm(fitted - rhs)) / scale
+
+    # Null-space analysis: which unknowns are uniquely determined?
+    _u, singular, vt = np.linalg.svd(matrix)
+    tol = max(matrix.shape) * (singular[0] if singular.size else 0.0) * np.finfo(float).eps
+    effective_rank = int((singular > tol).sum()) if singular.size else 0
+    null_vectors = vt[effective_rank:]
+
+    values: Dict[VarKey, Optional[float]] = {}
+    for key, j in unknown_index.items():
+        if null_vectors.size and np.any(np.abs(null_vectors[:, j]) > _NULLSPACE_TOL):
+            values[key] = None  # underdetermined
+            continue
+        value = float(solution[j])
+        if -1e-6 < value < 0:
+            value = 0.0
+        values[key] = value
+
+    return RepairResult(
+        values=values, residual=residual, rank=effective_rank, num_unknowns=num_unknowns
+    )
+
+
+def _system_scale(
+    edge_values: Mapping[Tuple[str, str], Optional[float]],
+    ext_in: Mapping[str, Optional[float]],
+    ext_out: Mapping[str, Optional[float]],
+) -> float:
+    """Typical magnitude of the system, for relative residuals."""
+    known = [
+        value
+        for mapping in (edge_values, ext_in, ext_out)
+        for value in mapping.values()
+        if value is not None
+    ]
+    return max(known) if known else 1.0

@@ -1,0 +1,118 @@
+"""Invariant machinery for dynamic checking.
+
+Step 3 of the paper generates input-specific invariants that relate
+controller inputs to the hardened network state.  This module provides
+the shared shape: an :class:`Invariant` is a named approximate-equality
+(or expected-condition) over hardened values, and an
+:class:`InvariantResult` records how it evaluated.  Checkers in
+:mod:`repro.core.demand_check` and friends produce lists of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+__all__ = ["InvariantStatus", "Invariant", "InvariantResult", "CheckResult", "relative_error"]
+
+
+def relative_error(lhs: float, rhs: float, floor: float = 1e-6) -> float:
+    """Relative disagreement between two quantities, floor-protected."""
+    magnitude = max(abs(lhs), abs(rhs))
+    if magnitude <= floor:
+        return 0.0
+    return abs(lhs - rhs) / magnitude
+
+
+class InvariantStatus(Enum):
+    """How one invariant evaluated."""
+
+    PASSED = "passed"
+    VIOLATED = "violated"
+    #: Could not be evaluated (a hardened operand is unknown).
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One dynamically generated check.
+
+    Attributes:
+        name: Stable identifier, e.g. ``"demand/row-sum/atla"``.
+        description: Human-readable equation.
+        lhs: Input-side quantity.
+        rhs: Hardened-signal-side quantity.
+        tolerance: Accepted relative error (tau_e).
+    """
+
+    name: str
+    description: str
+    lhs: Optional[float]
+    rhs: Optional[float]
+    tolerance: float
+
+    def evaluate(self, floor: float = 1e-6) -> "InvariantResult":
+        """Evaluate to a result; unknown operands yield SKIPPED."""
+        if self.lhs is None or self.rhs is None:
+            return InvariantResult(self, InvariantStatus.SKIPPED, error=None)
+        error = relative_error(self.lhs, self.rhs, floor)
+        status = (
+            InvariantStatus.PASSED if error <= self.tolerance else InvariantStatus.VIOLATED
+        )
+        return InvariantResult(self, status, error=error)
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Evaluation outcome of one invariant."""
+
+    invariant: Invariant
+    status: InvariantStatus
+    error: Optional[float]
+
+    @property
+    def violated(self) -> bool:
+        return self.status == InvariantStatus.VIOLATED
+
+    def describe(self) -> str:
+        error = "n/a" if self.error is None else f"{self.error:.2%}"
+        return f"[{self.status.value}] {self.invariant.name}: {self.invariant.description} (err={error})"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of dynamically checking one controller input.
+
+    Attributes:
+        input_name: ``"demand"``, ``"topology"``, or ``"drain"``.
+        results: Every invariant evaluated.
+        notes: Free-form context (e.g. why invariants were skipped).
+    """
+
+    input_name: str
+    results: List[InvariantResult] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[InvariantResult]:
+        return [r for r in self.results if r.violated]
+
+    @property
+    def passed(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    @property
+    def num_evaluated(self) -> int:
+        return sum(1 for r in self.results if r.status != InvariantStatus.SKIPPED)
+
+    @property
+    def num_skipped(self) -> int:
+        return sum(1 for r in self.results if r.status == InvariantStatus.SKIPPED)
+
+    def summary(self) -> str:
+        return (
+            f"{self.input_name}: {len(self.violations)} violated / "
+            f"{self.num_evaluated} evaluated ({self.num_skipped} skipped)"
+        )

@@ -1,0 +1,169 @@
+"""Hardened link status: the Section 4.2 truth table.
+
+Combines three kinds of evidence about one link:
+
+- **R1, status symmetry**: the oper-status reported at the two ends
+  must agree;
+- **R3, alternative signals**: interface counters -- a link whose
+  counters show substantial traffic is evidently passing traffic
+  regardless of what the status bits claim;
+- **R4, manufactured signals**: active neighbor probes, which also
+  catch dataplane-level "up but not forwarding" semantic failures.
+
+The paper leaves the full truth table operator-tunable ("it can be
+adjusted based on risk tolerance"); we implement the three profiles of
+:class:`~repro.core.config.RiskProfile` and keep the combination logic
+in one pure function so tests can enumerate it exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import HodorConfig, RiskProfile
+from repro.core.signals import HardenedLinkStatus, LinkVerdict
+
+__all__ = ["LinkEvidence", "combine_link_evidence"]
+
+
+class LinkEvidence:
+    """Raw evidence about one link, as collected from both ends.
+
+    Attributes:
+        status_a: Oper-status reported by endpoint A (None = missing).
+        status_b: Oper-status reported by endpoint B.
+        rates: All counter rates observed on the link's interfaces
+            (rx and tx at both ends), ``None`` entries for missing.
+        probe_ab: Probe result A -> B (None = not probed).
+        probe_ba: Probe result B -> A.
+    """
+
+    def __init__(
+        self,
+        status_a: Optional[bool],
+        status_b: Optional[bool],
+        rates: Tuple[Optional[float], ...] = (),
+        probe_ab: Optional[bool] = None,
+        probe_ba: Optional[bool] = None,
+    ) -> None:
+        self.status_a = status_a
+        self.status_b = status_b
+        self.rates = rates
+        self.probe_ab = probe_ab
+        self.probe_ba = probe_ba
+
+    def status_consensus(self) -> str:
+        """``"up"``, ``"down"``, ``"conflict"``, or ``"unknown"``."""
+        a, b = self.status_a, self.status_b
+        if a is None and b is None:
+            return "unknown"
+        if a is None or b is None:
+            known = a if a is not None else b
+            return "up" if known else "down"
+        if a and b:
+            return "up"
+        if not a and not b:
+            return "down"
+        return "conflict"
+
+    def counters_active(self, threshold: float) -> Optional[bool]:
+        """True when any counter shows real traffic; None if all missing."""
+        known = [rate for rate in self.rates if rate is not None]
+        if not known:
+            return None
+        return any(rate > threshold for rate in known)
+
+    def probe_consensus(self) -> str:
+        """``"ok"`` (all present probes pass), ``"fail"``, or ``"unknown"``."""
+        probes = [p for p in (self.probe_ab, self.probe_ba) if p is not None]
+        if not probes:
+            return "unknown"
+        return "ok" if all(probes) else "fail"
+
+
+def combine_link_evidence(
+    evidence: LinkEvidence, config: Optional[HodorConfig] = None
+) -> HardenedLinkStatus:
+    """Apply the truth table to one link's evidence.
+
+    Returns a :class:`HardenedLinkStatus` whose ``verdict`` reflects
+    physical usability and whose ``forwarding`` reflects whether the
+    dataplane demonstrably moves traffic.
+    """
+    config = config or HodorConfig()
+    status = evidence.status_consensus()
+    active = (
+        evidence.counters_active(config.active_threshold)
+        if config.use_counters_for_status
+        else None
+    )
+    probe = evidence.probe_consensus() if config.use_probes else "unknown"
+
+    notes: List[str] = [f"status:{status}"]
+    if active is not None:
+        notes.append("counters:active" if active else "counters:idle")
+    if probe != "unknown":
+        notes.append(f"probe:{probe}")
+
+    forwarding = _forwarding_verdict(probe, active)
+    verdict = _physical_verdict(status, active, probe, config.risk_profile)
+
+    return HardenedLinkStatus(
+        verdict=verdict, forwarding=forwarding, evidence=tuple(notes)
+    )
+
+
+def _forwarding_verdict(probe: str, active: Optional[bool]) -> Optional[bool]:
+    """Does the dataplane demonstrably forward traffic?
+
+    Idle counters are NOT evidence of non-forwarding -- an unused link
+    forwards fine; only a failed probe (or active counters, which prove
+    forwarding) decides.  Without probes an idle link's forwarding is
+    unknown.
+    """
+    if probe == "ok":
+        return True
+    if probe == "fail":
+        # Active counters can outvote a single lost probe; with idle
+        # counters a failed probe is decisive.
+        return True if active else False
+    return True if active else None  # no probe: idle proves nothing
+
+
+def _physical_verdict(
+    status: str, active: Optional[bool], probe: str, risk_profile: str
+) -> LinkVerdict:
+    positive_evidence = bool(active) or probe == "ok"
+
+    if status == "up":
+        if risk_profile == RiskProfile.CONSERVATIVE and probe == "fail" and not active:
+            return LinkVerdict.SUSPECT
+        return LinkVerdict.UP
+
+    if status == "down":
+        # Paper's example: both ends may report down while counters and
+        # probes prove traffic flows (misreported status).
+        if positive_evidence:
+            if risk_profile == RiskProfile.PERMISSIVE:
+                return LinkVerdict.UP
+            return LinkVerdict.SUSPECT
+        return LinkVerdict.DOWN
+
+    if status == "conflict":
+        # "If one side of a link reports up and the other down, but rate
+        # counters are all large and a probe succeeds, the link is
+        # likely up."
+        if positive_evidence:
+            if risk_profile == RiskProfile.CONSERVATIVE:
+                return LinkVerdict.SUSPECT
+            return LinkVerdict.UP
+        if active is False or probe == "fail":
+            return LinkVerdict.DOWN
+        return LinkVerdict.SUSPECT
+
+    # status unknown entirely
+    if positive_evidence:
+        return LinkVerdict.UP if risk_profile != RiskProfile.CONSERVATIVE else LinkVerdict.SUSPECT
+    if active is False or probe == "fail":
+        return LinkVerdict.DOWN
+    return LinkVerdict.SUSPECT

@@ -1,0 +1,104 @@
+"""Response policies: what to do when validation fails.
+
+Paper, Section 3.2 step 3: "Hodor can reject inputs that fail
+validation and fall back temporarily to the last input state, or
+trigger an alert for a reliability engineer to intervene.  We leave
+this policy for operators to configure based on their operational
+model."  Both policies are implemented; operators plug either (or a
+custom subclass) into the pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.control.inputs import ControllerInputs
+from repro.core.report import ValidationReport
+
+__all__ = ["PolicyDecision", "Policy", "AlertOnlyPolicy", "RejectAndFallbackPolicy"]
+
+
+@dataclass
+class PolicyDecision:
+    """What the policy decided for one epoch.
+
+    Attributes:
+        inputs: The inputs the controller should actually consume.
+        accepted: True when the fresh inputs were used as-is.
+        fell_back: True when last-known-good inputs were substituted.
+        alerts: Messages for the operator alerting pipeline.
+    """
+
+    inputs: ControllerInputs
+    accepted: bool
+    fell_back: bool = False
+    alerts: List[str] = field(default_factory=list)
+
+
+class Policy(abc.ABC):
+    """Decides what happens to inputs given a validation report."""
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        inputs: ControllerInputs,
+        report: ValidationReport,
+        last_good: Optional[ControllerInputs],
+    ) -> PolicyDecision:
+        """Return the decision for this epoch."""
+
+
+class AlertOnlyPolicy(Policy):
+    """Never blocks inputs; raises alerts on failed validation."""
+
+    def decide(
+        self,
+        inputs: ControllerInputs,
+        report: ValidationReport,
+        last_good: Optional[ControllerInputs],
+    ) -> PolicyDecision:
+        alerts = [
+            f"input '{name}' failed validation" for name in report.invalid_inputs()
+        ]
+        alerts.extend(
+            f"critical hardening finding: {finding.code} at {finding.subject}"
+            for finding in report.critical_findings()
+        )
+        return PolicyDecision(inputs=inputs, accepted=True, alerts=alerts)
+
+
+class RejectAndFallbackPolicy(Policy):
+    """Rejects invalid inputs, substituting the last validated ones.
+
+    When no last-known-good inputs exist yet, the fresh inputs are used
+    regardless (blocking the controller entirely is worse than using a
+    suspect input on day one), with an alert saying so.
+    """
+
+    def decide(
+        self,
+        inputs: ControllerInputs,
+        report: ValidationReport,
+        last_good: Optional[ControllerInputs],
+    ) -> PolicyDecision:
+        if report.all_valid:
+            return PolicyDecision(inputs=inputs, accepted=True)
+
+        invalid = ", ".join(report.invalid_inputs())
+        if last_good is None:
+            return PolicyDecision(
+                inputs=inputs,
+                accepted=True,
+                alerts=[
+                    f"inputs failed validation ({invalid}) but no last-known-good "
+                    "state exists; using them anyway"
+                ],
+            )
+        return PolicyDecision(
+            inputs=last_good,
+            accepted=False,
+            fell_back=True,
+            alerts=[f"inputs rejected ({invalid}); fell back to last validated state"],
+        )

@@ -1,0 +1,250 @@
+"""Typed signal model for Hodor's pipeline.
+
+Hodor's steps pass increasingly trustworthy views of the network:
+
+- :class:`CollectedState` (after step 1): every raw signal coerced into
+  a typed value or flagged as missing/malformed/stale.
+- :class:`HardenedState` (after step 2): per-signal
+  :class:`HardenedValue` entries carrying a :class:`Confidence` level
+  and provenance, plus the findings the hardening process produced.
+
+Terminology follows the paper: the per-link traffic values form the
+"flow vector containing constants and variables"; hardening replaces
+variables with repaired constants where flow conservation permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.drain_reasons import DrainReason
+
+__all__ = [
+    "Confidence",
+    "FindingSeverity",
+    "Finding",
+    "HardenedValue",
+    "LinkVerdict",
+    "HardenedLinkStatus",
+    "DrainVerdict",
+    "HardenedDrain",
+    "CollectedCounter",
+    "CollectedStatus",
+    "CollectedState",
+    "HardenedState",
+]
+
+
+class Confidence(Enum):
+    """How much a hardened value can be trusted, strongest first."""
+
+    #: Two independent vantage points agreed (R1 symmetry held).
+    CORROBORATED = "corroborated"
+    #: Recovered through flow conservation / alternative signals.
+    REPAIRED = "repaired"
+    #: Only one vantage point exists (e.g. external counters).
+    REPORTED = "reported"
+    #: Flagged or missing, and repair was impossible.
+    UNKNOWN = "unknown"
+
+
+class FindingSeverity(Enum):
+    """Severity of one hardening/validation finding."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected inconsistency or repair action.
+
+    Attributes:
+        code: Stable machine-readable finding code (e.g.
+            ``"R1_COUNTER_MISMATCH"``).
+        severity: How alarming this finding is.
+        subject: What the finding is about (link name, router, pair).
+        detail: Human-readable description.
+        redundancy: Which paper redundancy produced it (``"R1"``..
+            ``"R4"``, or ``""`` for non-redundancy findings).
+    """
+
+    code: str
+    severity: FindingSeverity
+    subject: str
+    detail: str
+    redundancy: str = ""
+
+
+@dataclass(frozen=True)
+class HardenedValue:
+    """A scalar signal after hardening.
+
+    Attributes:
+        value: The hardened rate, or ``None`` when unknown.
+        confidence: Trust level.
+        source: Short provenance note ("avg of both ends",
+            "flow conservation at B", ...).
+    """
+
+    value: Optional[float]
+    confidence: Confidence
+    source: str = ""
+
+    @property
+    def known(self) -> bool:
+        return self.value is not None
+
+    def require(self) -> float:
+        """The value, raising if unknown (for callers that checked)."""
+        if self.value is None:
+            raise ValueError("hardened value is unknown")
+        return self.value
+
+
+class LinkVerdict(Enum):
+    """Hardened link status (Section 4.2 truth-table output)."""
+
+    UP = "up"
+    DOWN = "down"
+    #: Status signals conflict and evidence cannot resolve them.
+    SUSPECT = "suspect"
+
+
+@dataclass(frozen=True)
+class HardenedLinkStatus:
+    """Hardened view of one link's usability.
+
+    Attributes:
+        verdict: Up, down, or suspect.
+        forwarding: Whether evidence shows traffic actually flows
+            (False catches the "up but can't forward" semantic bugs).
+        evidence: Which signals contributed (e.g.
+            ``("status:agree", "counters:active", "probe:ok")``).
+    """
+
+    verdict: LinkVerdict
+    forwarding: Optional[bool] = None
+    evidence: Tuple[str, ...] = ()
+
+    @property
+    def usable(self) -> bool:
+        """Conservatively usable: verdict up and not proven non-forwarding."""
+        return self.verdict == LinkVerdict.UP and self.forwarding is not False
+
+
+class DrainVerdict(Enum):
+    """Hardened view of a drain signal."""
+
+    DRAINED = "drained"
+    SERVING = "serving"
+    CONFLICTED = "conflicted"
+
+
+@dataclass(frozen=True)
+class HardenedDrain:
+    """Hardened drain state with supporting evidence.
+
+    Attributes:
+        verdict: Drained, serving, or conflicted.
+        carrying_traffic: Whether the hardened flow vector shows
+            traffic at this router (``None`` when undecidable).
+        reason: The parsed drain reason (Section 4.3 extension);
+            ``None`` for serving routers or unparseable reasons.
+        evidence: Supporting signal notes.
+    """
+
+    verdict: DrainVerdict
+    carrying_traffic: Optional[bool] = None
+    reason: Optional["DrainReason"] = None
+    evidence: Tuple[str, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Step-1 output
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CollectedCounter:
+    """One interface's counters after coercion.
+
+    ``None`` fields mean the signal was missing, malformed, or too
+    stale to use; the corresponding anomaly finding says which.
+    """
+
+    rx: Optional[float]
+    tx: Optional[float]
+    timestamp: float = 0.0
+
+
+@dataclass
+class CollectedStatus:
+    """One interface's link status after coercion."""
+
+    oper_up: Optional[bool]
+    admin_up: Optional[bool]
+
+
+@dataclass
+class CollectedState:
+    """Everything collection (step 1) extracted from a snapshot."""
+
+    timestamp: float = 0.0
+    counters: Dict[Tuple[str, str], CollectedCounter] = field(default_factory=dict)
+    statuses: Dict[Tuple[str, str], CollectedStatus] = field(default_factory=dict)
+    drains: Dict[str, Optional[bool]] = field(default_factory=dict)
+    drain_reasons: Dict[str, Optional["DrainReason"]] = field(default_factory=dict)
+    link_drains: Dict[Tuple[str, str], Optional[bool]] = field(default_factory=dict)
+    drops: Dict[str, Optional[float]] = field(default_factory=dict)
+    probes: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    def counter(self, node: str, peer: str) -> Optional[CollectedCounter]:
+        return self.counters.get((node, peer))
+
+
+# ----------------------------------------------------------------------
+# Step-2 output
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class HardenedState:
+    """The trusted low-level view of the network after hardening.
+
+    Attributes:
+        edge_flows: Hardened traffic volume per directed edge -- the
+            paper's flow vector.
+        ext_in: Hardened external ingress rate per router.
+        ext_out: Hardened external egress rate per router.
+        drops: Hardened dropped rate per router.
+        links: Hardened link status per canonical link name.
+        node_drains: Hardened drain state per router.
+        link_drains: Hardened drain state per canonical link name.
+        findings: Everything hardening detected or repaired.
+    """
+
+    edge_flows: Dict[Tuple[str, str], HardenedValue] = field(default_factory=dict)
+    ext_in: Dict[str, HardenedValue] = field(default_factory=dict)
+    ext_out: Dict[str, HardenedValue] = field(default_factory=dict)
+    drops: Dict[str, HardenedValue] = field(default_factory=dict)
+    links: Dict[str, HardenedLinkStatus] = field(default_factory=dict)
+    node_drains: Dict[str, HardenedDrain] = field(default_factory=dict)
+    link_drains: Dict[str, HardenedDrain] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    def findings_with_severity(self, severity: FindingSeverity) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def unknown_edges(self) -> List[Tuple[str, str]]:
+        """Directed edges whose hardened flow is still unknown."""
+        return sorted(e for e, v in self.edge_flows.items() if not v.known)
+
+    def repaired_edges(self) -> List[Tuple[str, str]]:
+        return sorted(
+            e for e, v in self.edge_flows.items() if v.confidence == Confidence.REPAIRED
+        )

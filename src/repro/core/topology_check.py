@@ -1,0 +1,104 @@
+"""Dynamic checking of the topology input (paper Section 4.2).
+
+"Once we have a hardened view of link status, dynamic checking is
+straightforward: we compare our hardened link status directly with the
+topology view at the SDN controller."
+
+Violations come in both directions plus the semantic case:
+
+- the controller believes a link exists/is live, but hardened evidence
+  says it is down (the overload direction),
+- the controller is missing a link that hardened evidence says is up
+  (the lost-capacity direction, as in the partial-stitch outage),
+- the controller includes a link that is physically up but demonstrably
+  not forwarding (the design-time semantic bug hardening is meant to
+  re-enforce).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import HodorConfig
+from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
+from repro.core.signals import HardenedState, LinkVerdict
+from repro.net.topology import Topology
+
+__all__ = ["TopologyChecker"]
+
+
+def _condition(name: str, description: str, holds: Optional[bool]) -> InvariantResult:
+    """A boolean invariant; ``None`` means not decidable -> skipped."""
+    invariant = Invariant(
+        name=name,
+        description=description,
+        lhs=None if holds is None else 1.0,
+        rhs=None if holds is None else (1.0 if holds else 0.0),
+        tolerance=0.0,
+    )
+    if holds is None:
+        return InvariantResult(invariant, InvariantStatus.SKIPPED, error=None)
+    status = InvariantStatus.PASSED if holds else InvariantStatus.VIOLATED
+    return InvariantResult(invariant, status, error=0.0 if holds else 1.0)
+
+
+class TopologyChecker:
+    """Validates the controller's topology input against hardened links."""
+
+    def __init__(self, config: Optional[HodorConfig] = None) -> None:
+        self._config = config or HodorConfig()
+
+    def check(self, topology_input: Topology, hardened: HardenedState) -> CheckResult:
+        """One invariant per link in the union of both views."""
+        result = CheckResult(input_name="topology")
+
+        believed_links = {link.name for link in topology_input.links()}
+        for link_name in sorted(set(hardened.links) | believed_links):
+            status = hardened.links.get(link_name)
+            believed_live = link_name in believed_links
+
+            if status is None:
+                result.results.append(
+                    _condition(
+                        f"topology/unknown-link/{link_name}",
+                        f"{link_name} appears in the controller topology but "
+                        "hardening knows nothing about it",
+                        holds=not believed_live,
+                    )
+                )
+                continue
+
+            if status.verdict == LinkVerdict.SUSPECT:
+                result.results.append(
+                    _condition(
+                        f"topology/live-iff-up/{link_name}",
+                        f"{link_name}: hardened status is suspect; cannot decide",
+                        holds=None,
+                    )
+                )
+                result.notes.append(f"{link_name}: hardened verdict suspect, skipped")
+                continue
+
+            hardened_up = status.verdict == LinkVerdict.UP
+            result.results.append(
+                _condition(
+                    f"topology/live-iff-up/{link_name}",
+                    (
+                        f"{link_name}: controller believes "
+                        f"{'live' if believed_live else 'absent'}, hardened says "
+                        f"{'up' if hardened_up else 'down'}"
+                    ),
+                    holds=believed_live == hardened_up,
+                )
+            )
+
+            if believed_live and hardened_up and status.forwarding is False:
+                result.results.append(
+                    _condition(
+                        f"topology/forwarding/{link_name}",
+                        f"{link_name}: in controller topology, status up, but the "
+                        "dataplane does not forward (semantic failure)",
+                        holds=False,
+                    )
+                )
+        return result

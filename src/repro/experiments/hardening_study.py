@@ -1,0 +1,232 @@
+"""E5: hardening efficacy -- the paper's Section 3.2 open question.
+
+"A detailed evaluation of hardening efficacy remains an open question
+that we are actively exploring."  This study provides that evaluation
+on the simulator:
+
+- **Detection**: precision/recall of R1 flagging as the number of
+  independently corrupted counters grows.
+- **Repair**: fraction of corrupted traffic directions whose hardened
+  value lands within tolerance of ground truth, with the R1-only
+  ablation (repair disabled) as contrast.  The paper's bound -- flow
+  conservation recovers "up to |V| - 1 unknowns" -- shows up as repair
+  rate collapsing once corruptions cluster.
+- **Correlated failures**: the vendor-OS bug thought experiment, where
+  whole routers mis-scale all their counters; when both endpoints of a
+  link are affected equally, R1 is structurally blind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import HodorConfig
+from repro.core.pipeline import Hodor
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import CorrelatedCounterFault, RandomCounterCorruption
+from repro.net.demand import gravity_demand
+from repro.net.simulation import GroundTruth, NetworkSimulator
+from repro.net.topology import Topology
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.topologies.abilene import abilene
+
+__all__ = ["HardeningRow", "CorrelatedRow", "HardeningStudy"]
+
+
+@dataclass(frozen=True)
+class HardeningRow:
+    """Detection and repair quality for one corruption count.
+
+    Attributes:
+        corrupted: Counters corrupted per trial.
+        trials: Number of trials.
+        recall: Corrupted directions flagged or repaired / corrupted.
+        precision: Flagged directions actually corrupted / flagged.
+        repair_rate: Corrupted directions whose hardened value is
+            within ``repair_tol`` of ground truth.
+        unknown_rate: Corrupted directions left unknown after repair.
+        repair_enabled: Whether R2 repair ran (ablation axis).
+    """
+
+    corrupted: int
+    trials: int
+    recall: float
+    precision: float
+    repair_rate: float
+    unknown_rate: float
+    repair_enabled: bool
+
+
+@dataclass(frozen=True)
+class CorrelatedRow:
+    """Outcome of the correlated vendor-bug experiment.
+
+    Attributes:
+        affected_nodes: Routers hit by the correlated fault.
+        blind_directions: Traffic directions where both measurements
+            scaled identically (R1 structurally cannot flag these).
+        blind_flagged: Of those, how many hardening still flagged.
+        visible_directions: Directions where only one side scaled.
+        visible_flagged: Of those, how many hardening flagged.
+    """
+
+    affected_nodes: int
+    blind_directions: int
+    blind_flagged: int
+    visible_directions: int
+    visible_flagged: int
+
+
+class HardeningStudy:
+    """Hardening detection/repair efficacy on Abilene.
+
+    Args:
+        topology: Evaluation graph; defaults to Abilene.
+        demand_total: Matrix total (unsaturated).
+        jitter_magnitude: Telemetry noise.
+        repair_tol: Relative error under which a repair counts correct.
+        seed: Base seed.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        demand_total: float = 30.0,
+        jitter_magnitude: float = 0.005,
+        repair_tol: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology or abilene()
+        self._demand_total = demand_total
+        self._jitter = jitter_magnitude
+        self._repair_tol = repair_tol
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _simulate(self, seed: int) -> Tuple[GroundTruth, object]:
+        demand = gravity_demand(
+            self._topology.node_names(), total=self._demand_total, seed=seed
+        )
+        truth = NetworkSimulator(self._topology, demand).run()
+        snapshot = TelemetryCollector(Jitter(self._jitter, seed=seed + 31)).collect(truth)
+        return truth, snapshot
+
+    @staticmethod
+    def _affected_directions(records) -> Set[Tuple[str, str]]:
+        """Map injection records to the traffic directions they distort.
+
+        The rx counter of interface ``(node, peer)`` measures traffic
+        ``peer -> node``; its tx counter measures ``node -> peer``.
+        """
+        directions: Set[Tuple[str, str]] = set()
+        for record in records:
+            if record.peer is None:
+                continue
+            if record.signal == "rx":
+                directions.add((record.peer, record.node))
+            elif record.signal == "tx":
+                directions.add((record.node, record.peer))
+            elif record.signal == "reading":
+                directions.add((record.peer, record.node))
+                directions.add((record.node, record.peer))
+        return directions
+
+    # ------------------------------------------------------------------
+
+    def corruption_sweep(
+        self,
+        counts: Sequence[int] = (1, 2, 4, 8, 12),
+        trials: int = 20,
+        mode: str = "scale",
+        enable_repair: bool = True,
+    ) -> List[HardeningRow]:
+        """Detection/repair vs number of independently corrupted counters."""
+        config = HodorConfig(enable_repair=enable_repair)
+        hodor = Hodor(self._topology, config)
+        rows = []
+        for count in counts:
+            recall_hits = recall_total = 0
+            precision_hits = precision_total = 0
+            repaired_ok = unknown = 0
+            for trial in range(trials):
+                truth, snapshot = self._simulate(self._seed + trial)
+                injector = FaultInjector(
+                    [RandomCounterCorruption(count, mode=mode, side="rx", factor=3.0)],
+                    seed=self._seed + 677 * trial + count,
+                )
+                corrupted_snapshot, records = injector.inject(snapshot)
+                affected = self._affected_directions(records)
+                hardened = hodor.harden(corrupted_snapshot)
+
+                flagged = {
+                    edge
+                    for edge, value in hardened.edge_flows.items()
+                    if not value.known or value.confidence.value == "repaired"
+                }
+                recall_total += len(affected)
+                recall_hits += len(affected & flagged)
+                precision_total += len(flagged)
+                precision_hits += len(flagged & affected)
+
+                for edge in affected:
+                    value = hardened.edge_flows.get(edge)
+                    if value is None or not value.known:
+                        unknown += 1
+                        continue
+                    true_rate = truth.edge_flows.get(edge, 0.0)
+                    scale = max(abs(true_rate), 1e-9)
+                    if abs(value.value - true_rate) / scale <= self._repair_tol + self._jitter:
+                        repaired_ok += 1
+
+            rows.append(
+                HardeningRow(
+                    corrupted=count,
+                    trials=trials,
+                    recall=recall_hits / recall_total if recall_total else 1.0,
+                    precision=precision_hits / precision_total if precision_total else 1.0,
+                    repair_rate=repaired_ok / recall_total if recall_total else 1.0,
+                    unknown_rate=unknown / recall_total if recall_total else 0.0,
+                    repair_enabled=enable_repair,
+                )
+            )
+        return rows
+
+    def correlated_vendor_bug(
+        self, nodes: Sequence[str] = ("kscy", "ipls", "atla"), factor: float = 0.5
+    ) -> CorrelatedRow:
+        """The correlated-failure thought experiment from Section 3.2."""
+        truth, snapshot = self._simulate(self._seed)
+        injector = FaultInjector(
+            [CorrelatedCounterFault(nodes, factor=factor)], seed=self._seed
+        )
+        corrupted_snapshot, records = injector.inject(snapshot)
+        hodor = Hodor(self._topology)
+        hardened = hodor.harden(corrupted_snapshot)
+
+        node_set = set(nodes)
+        blind = visible = blind_flagged = visible_flagged = 0
+        for src, dst in self._topology.directed_edges():
+            if src not in node_set and dst not in node_set:
+                continue
+            # tx measured at src, rx measured at dst: both scale only
+            # when both endpoints are affected.
+            both = src in node_set and dst in node_set
+            value = hardened.edge_flows[(src, dst)]
+            flagged = not value.known or value.confidence.value == "repaired"
+            if both:
+                blind += 1
+                blind_flagged += int(flagged)
+            else:
+                visible += 1
+                visible_flagged += int(flagged)
+
+        return CorrelatedRow(
+            affected_nodes=len(node_set),
+            blind_directions=blind,
+            blind_flagged=blind_flagged,
+            visible_directions=visible,
+            visible_flagged=visible_flagged,
+        )

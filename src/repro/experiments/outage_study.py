@@ -1,0 +1,174 @@
+"""E3 + E8: replaying the Section 2 outages against three validators.
+
+The paper's central quantitative claims:
+
+- "a root cause of over one third of these major outages is ...
+  incorrect inputs to the SDN controller" (E8: the taxonomy census of
+  our scenario corpus mirrors that distribution), and
+- "our early analysis suggests that this methodology could have averted
+  the majority of the outages that stem from incorrect inputs in our
+  dataset" (E3: Hodor detects the corrupted epoch before the controller
+  acts on it).
+
+Each catalog scenario runs through three validators:
+
+- **Hodor** (dynamic validation, the paper's proposal),
+- **static checks** (today's practice: impossible-value checks plus
+  history-based heuristics),
+- **anomaly detection** (per-entry statistical outlier detection on the
+  demand input).
+
+Static and anomaly baselines are trained on a window of clean epochs
+from the same world, exactly as their production counterparts learn
+from "historically correct values".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.anomaly import DemandAnomalyBaseline
+from repro.baselines.static_checks import StaticValidator
+from repro.control.demand_service import records_from_matrix
+from repro.control.infra import ControlPlane
+from repro.net.demand import DemandMatrix
+from repro.scenarios.catalog import Category, OutageScenario, all_scenarios
+from repro.scenarios.world import World
+
+__all__ = ["ScenarioOutcome", "OutageStudy", "taxonomy_census"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """How each validator fared on one scenario.
+
+    Attributes:
+        scenario: The scenario replayed.
+        hodor_flagged: Hodor raised violations or warning+ findings.
+        hodor_channels: Which inputs failed Hodor validation.
+        static_flagged: The static-check baseline raised anything.
+        anomaly_flagged: The statistical baseline flagged the demand.
+        damaged: The network was visibly hurt when inputs were used.
+    """
+
+    scenario: OutageScenario
+    hodor_flagged: bool
+    hodor_channels: Tuple[str, ...]
+    static_flagged: bool
+    anomaly_flagged: bool
+    damaged: bool
+
+    @property
+    def hodor_correct(self) -> bool:
+        """Flagged when it should, silent when it should not."""
+        return self.hodor_flagged == self.scenario.expect_detection
+
+    @property
+    def static_correct(self) -> bool:
+        return self.static_flagged == self.scenario.expect_detection
+
+    @property
+    def anomaly_correct(self) -> bool:
+        return self.anomaly_flagged == self.scenario.expect_detection
+
+
+class OutageStudy:
+    """Replays the scenario catalog against all three validators.
+
+    Args:
+        history_epochs: Clean epochs used to train the baselines.
+        seed: Base seed for scenario builds.
+    """
+
+    def __init__(self, history_epochs: int = 8, seed: int = 1) -> None:
+        if history_epochs < 1:
+            raise ValueError(f"history_epochs must be >= 1, got {history_epochs}")
+        self._history_epochs = history_epochs
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _train_baselines(
+        self, scenario: OutageScenario
+    ) -> Tuple[StaticValidator, DemandAnomalyBaseline]:
+        """Fit both baselines on clean epochs of this scenario's world.
+
+        History comes from a *clean* control plane observing the same
+        network with day-to-day demand variation (+-5%), mirroring how
+        production heuristics accumulate from healthy operation.
+        """
+        world = scenario.build(self._seed)
+        static = StaticValidator(world.topology)
+        anomaly = DemandAnomalyBaseline(min_observations=3)
+
+        clean_plane = ControlPlane(world.topology)
+        truth = world.steady_state()
+        snapshot = world.collector.collect(truth, health=world.link_health)
+        for epoch in range(self._history_epochs):
+            wiggle = 1.0 + 0.05 * ((epoch % 5) - 2) / 2.0
+            demand = world.actual_demand.scaled(wiggle)
+            records = records_from_matrix(demand, seed=self._seed + epoch)
+            inputs = clean_plane.compute_inputs(snapshot, records)
+            static.observe(inputs)
+            anomaly.observe(inputs.demand)
+        return static, anomaly
+
+    def run_scenario(self, scenario: OutageScenario) -> ScenarioOutcome:
+        """Replay one scenario through all three validators."""
+        static, anomaly = self._train_baselines(scenario)
+        world = scenario.build(self._seed)
+        outcome = world.run_epoch()
+
+        channels = tuple(
+            sorted(
+                name
+                for name, verdict in outcome.report.verdicts.items()
+                if not verdict.valid
+            )
+        )
+        return ScenarioOutcome(
+            scenario=scenario,
+            hodor_flagged=outcome.detected,
+            hodor_channels=channels,
+            static_flagged=not static.check(outcome.inputs).passed,
+            anomaly_flagged=not anomaly.passed(outcome.inputs.demand),
+            damaged=outcome.damaged,
+        )
+
+    def run(self, scenarios: Sequence[OutageScenario] = ()) -> List[ScenarioOutcome]:
+        """Replay the whole catalog (or a subset)."""
+        return [self.run_scenario(s) for s in (scenarios or all_scenarios())]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def summarize(outcomes: Sequence[ScenarioOutcome]) -> Dict[str, float]:
+        """Aggregate detection statistics over incorrect-input scenarios.
+
+        Returns a dict with, per validator, the fraction of
+        incorrect-input scenarios flagged ("averted") and whether the
+        legitimate scenarios were wrongly flagged (false positives).
+        """
+        buggy = [o for o in outcomes if o.scenario.expect_detection]
+        legit = [o for o in outcomes if not o.scenario.expect_detection]
+
+        def rate(flags: List[bool]) -> float:
+            return sum(flags) / len(flags) if flags else 0.0
+
+        return {
+            "hodor_detection_rate": rate([o.hodor_flagged for o in buggy]),
+            "static_detection_rate": rate([o.static_flagged for o in buggy]),
+            "anomaly_detection_rate": rate([o.anomaly_flagged for o in buggy]),
+            "hodor_false_positive_rate": rate([o.hodor_flagged for o in legit]),
+            "static_false_positive_rate": rate([o.static_flagged for o in legit]),
+            "anomaly_false_positive_rate": rate([o.anomaly_flagged for o in legit]),
+        }
+
+
+def taxonomy_census(scenarios: Sequence[OutageScenario] = ()) -> Dict[str, int]:
+    """E8: scenario counts per Section 2 root-cause category."""
+    census: Dict[str, int] = {category: 0 for category in Category.ALL}
+    for scenario in scenarios or all_scenarios():
+        census[scenario.category] += 1
+    return census

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every study prints results in the same aligned-column format so bench
+logs read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent", "format_rate"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.992 -> '99.2%'``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_rate(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}g}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: Column titles.
+        rows: Row cells; every cell is rendered with ``str``.
+
+    Returns:
+        The table as one string (no trailing newline).
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render_row(headers), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""E9: validation cost vs network size.
+
+The paper envisions Hodor "as an always-on system that continuously
+validates inputs to the SDN controller as it receives them" (Section
+3.2), which only works if a validation pass is cheap at WAN scale.
+This study measures wall-clock cost of the full pipeline (collect +
+harden + all three checks) over random Waxman topologies of growing
+size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.control.demand_service import records_from_matrix
+from repro.control.infra import ControlPlane
+from repro.core.pipeline import Hodor
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import ProbeEngine
+from repro.topologies.synthetic import waxman_topology
+
+__all__ = ["ScaleRow", "ScaleStudy"]
+
+
+@dataclass(frozen=True)
+class ScaleRow:
+    """Pipeline cost at one network size.
+
+    Attributes:
+        nodes: Router count.
+        links: Link count.
+        signals: Individual signals in the snapshot.
+        validate_ms: Mean wall-clock per full validation pass.
+        harden_ms: Mean wall-clock for collect+harden only.
+    """
+
+    nodes: int
+    links: int
+    signals: int
+    validate_ms: float
+    harden_ms: float
+
+
+class ScaleStudy:
+    """Validation-latency scaling over random WAN topologies.
+
+    Args:
+        seed: Topology/demand seed.
+        repetitions: Timed repetitions per size (mean reported).
+    """
+
+    def __init__(self, seed: int = 0, repetitions: int = 3) -> None:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        self._seed = seed
+        self._repetitions = repetitions
+
+    def run(self, sizes: Sequence[int] = (10, 20, 40, 80)) -> List[ScaleRow]:
+        """Measure pipeline cost at each node count."""
+        rows = []
+        for size in sizes:
+            topology = waxman_topology(size, seed=self._seed)
+            demand = gravity_demand(
+                topology.node_names(), total=4.0 * size, seed=self._seed
+            )
+            truth = NetworkSimulator(topology, demand, strategy="single").run()
+            collector = TelemetryCollector(
+                Jitter(0.005, seed=self._seed), probe_engine=ProbeEngine(seed=self._seed)
+            )
+            snapshot = collector.collect(truth)
+
+            plane = ControlPlane(topology)
+            records = records_from_matrix(demand, seed=self._seed)
+            inputs = plane.compute_inputs(snapshot, records)
+            hodor = Hodor(topology)
+
+            start = time.perf_counter()
+            for _ in range(self._repetitions):
+                hodor.validate(snapshot, inputs)
+            validate_ms = (time.perf_counter() - start) * 1000 / self._repetitions
+
+            start = time.perf_counter()
+            for _ in range(self._repetitions):
+                hodor.harden(snapshot)
+            harden_ms = (time.perf_counter() - start) * 1000 / self._repetitions
+
+            rows.append(
+                ScaleRow(
+                    nodes=topology.num_nodes,
+                    links=topology.num_links,
+                    signals=snapshot.signal_count(),
+                    validate_ms=validate_ms,
+                    harden_ms=harden_ms,
+                )
+            )
+        return rows

@@ -1,0 +1,188 @@
+"""E6: topology validation and the link-status truth table (Section 4.2).
+
+Sweeps the link-failure modes the paper's Section 4.2 discusses over
+every link of the evaluation topology and scores whether the hardened
+verdict matches physical reality, per risk profile and per evidence
+ablation (status only / + counters / + probes).
+
+Failure modes:
+
+- ``clean``: link healthy, everything reported truthfully.
+- ``one-end-lies-down``: healthy link, one endpoint misreports down.
+- ``both-lie-up``: physically dead link, both endpoints report up.
+- ``blackhole``: status truthfully up, dataplane does not forward.
+- ``down``: honestly dead link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import HodorConfig, RiskProfile
+from repro.core.pipeline import Hodor
+from repro.core.signals import LinkVerdict
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import WrongLinkStatus
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import Topology
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import LinkHealth, ProbeEngine
+from repro.topologies.abilene import abilene
+
+__all__ = ["FAULT_MODES", "TopologyRow", "TopologyStudy"]
+
+FAULT_MODES = ("clean", "one-end-lies-down", "both-lie-up", "blackhole", "down")
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """Truth-table accuracy for one (mode, profile, evidence) cell.
+
+    Attributes:
+        mode: Fault mode exercised.
+        risk_profile: Truth-table profile.
+        use_counters: Whether R3 counter evidence was enabled.
+        use_probes: Whether R4 probe evidence was enabled.
+        links: Links tested.
+        correct: Links whose hardened usability matched reality.
+        suspect: Links left suspect (counted separately; a suspect
+            verdict is an alarm, not an error).
+    """
+
+    mode: str
+    risk_profile: str
+    use_counters: bool
+    use_probes: bool
+    links: int
+    correct: int
+    suspect: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.links if self.links else 1.0
+
+
+class TopologyStudy:
+    """Link-status hardening accuracy sweep.
+
+    Args:
+        topology: Evaluation graph; defaults to Abilene.
+        demand_total: Matrix total.
+        seed: Base seed.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        demand_total: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self._topology = topology or abilene()
+        self._demand_total = demand_total
+        self._seed = seed
+
+    def _run_mode(
+        self, link_name: str, mode: str, config: HodorConfig
+    ) -> Optional[bool]:
+        """Harden one faulted link; return verdict correctness.
+
+        Returns None when the verdict came out suspect (scored apart).
+        """
+        topo = self._topology
+        link = topo.link(link_name)
+        demand = gravity_demand(topo.node_names(), total=self._demand_total, seed=self._seed)
+
+        health: Dict[str, LinkHealth] = {}
+        truly_usable = True
+        if mode in ("both-lie-up", "down"):
+            health[link_name] = LinkHealth(up=False)
+            truly_usable = False
+        elif mode == "blackhole":
+            health[link_name] = LinkHealth(up=True, forwarding=False)
+            truly_usable = False
+
+        blackholes = [d for name, h in health.items() if not h.carries_traffic for d in topo.link(name).directions()]
+        truth = NetworkSimulator(topo, demand, blackholes=blackholes).run()
+        probe_engine = ProbeEngine(seed=self._seed + 5) if config.use_probes else None
+        collector = TelemetryCollector(
+            Jitter(0.005, seed=self._seed + 7), probe_engine=probe_engine
+        )
+        snapshot = collector.collect(truth, health=health)
+
+        faults = []
+        if mode == "one-end-lies-down":
+            faults = [WrongLinkStatus([(link.a, link.b)], report_up=False)]
+        elif mode == "both-lie-up":
+            faults = [WrongLinkStatus([(link.a, link.b), (link.b, link.a)], report_up=True)]
+        if faults:
+            snapshot, _records = FaultInjector(faults, seed=self._seed).inject(snapshot)
+
+        hodor = Hodor(topo, config)
+        hardened = hodor.harden(snapshot)
+        status = hardened.links[link_name]
+        if status.verdict == LinkVerdict.SUSPECT:
+            return None
+        return status.usable == truly_usable
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        modes: Sequence[str] = FAULT_MODES,
+        profiles: Sequence[str] = RiskProfile.ALL,
+        use_counters: bool = True,
+        use_probes: bool = True,
+        max_links: Optional[int] = None,
+    ) -> List[TopologyRow]:
+        """Score every (mode, profile) cell over all links."""
+        link_names = sorted(link.name for link in self._topology.links())
+        if max_links is not None:
+            link_names = link_names[:max_links]
+        rows = []
+        for mode in modes:
+            if mode not in FAULT_MODES:
+                raise ValueError(f"unknown fault mode {mode!r}")
+            for profile in profiles:
+                config = HodorConfig(
+                    risk_profile=profile,
+                    use_counters_for_status=use_counters,
+                    use_probes=use_probes,
+                )
+                correct = suspect = 0
+                for link_name in link_names:
+                    verdict = self._run_mode(link_name, mode, config)
+                    if verdict is None:
+                        suspect += 1
+                    elif verdict:
+                        correct += 1
+                rows.append(
+                    TopologyRow(
+                        mode=mode,
+                        risk_profile=profile,
+                        use_counters=use_counters,
+                        use_probes=use_probes,
+                        links=len(link_names),
+                        correct=correct,
+                        suspect=suspect,
+                    )
+                )
+        return rows
+
+    def evidence_ablation(
+        self, mode: str = "both-lie-up", profile: str = RiskProfile.BALANCED
+    ) -> List[TopologyRow]:
+        """The same mode scored with progressively less redundancy."""
+        rows = []
+        for use_counters, use_probes in ((False, False), (True, False), (True, True)):
+            rows.extend(
+                self.run(
+                    modes=(mode,),
+                    profiles=(profile,),
+                    use_counters=use_counters,
+                    use_probes=use_probes,
+                )
+            )
+        return rows

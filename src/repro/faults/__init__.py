@@ -1,0 +1,54 @@
+"""Fault injection reproducing the paper's Section 2 outage taxonomy."""
+
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+    StaleTopology,
+)
+from repro.faults.base import AggregationBug, FaultInjector, InjectionRecord, SignalFault
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    FormatChangeTelemetry,
+    MalformedTelemetry,
+    MissingTelemetry,
+    ProbeOutage,
+    RandomCounterCorruption,
+    UnitChangeTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+
+__all__ = [
+    "AggregationBug",
+    "CorrelatedCounterFault",
+    "DelayedTelemetry",
+    "DoubleCountedDemand",
+    "FaultInjector",
+    "FormatChangeTelemetry",
+    "IgnoredDrain",
+    "InconsistentLinkDrain",
+    "InjectionRecord",
+    "LivenessMisreport",
+    "MalformedTelemetry",
+    "MissedDrain",
+    "MissingTelemetry",
+    "PartialDemandAggregation",
+    "PartialTopologyStitch",
+    "ProbeOutage",
+    "RandomCounterCorruption",
+    "SignalFault",
+    "SpuriousDrain",
+    "StaleTopology",
+    "ThrottledDemandMismatch",
+    "UnitChangeTelemetry",
+    "WrongLinkStatus",
+    "ZeroedDuplicateTelemetry",
+]

@@ -1,0 +1,92 @@
+"""Control-infrastructure aggregation bugs (paper Section 2.2).
+
+These are *configurations*, not snapshot mutations: each dataclass
+parameterises one bug in an instrumentation service, and the service in
+:mod:`repro.control` interprets it while aggregating (correct) router
+signals into a (now incorrect) controller input.  The paper's three
+control-plane outages map directly:
+
+- :class:`PartialTopologyStitch`: "a new rollout of the topology
+  instrumentation service introduced a bug that did not wait for all
+  routers to provide their link statuses before stitching together the
+  topology."
+- :class:`LivenessMisreport`: "a bug in a different instrumentation
+  service caused it to misreport the liveness of particular links."
+- :class:`IgnoredDrain`: "a router's (correct) drain signal was
+  partially ignored by the topology instrumentation service."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.faults.base import AggregationBug
+
+__all__ = ["PartialTopologyStitch", "LivenessMisreport", "IgnoredDrain", "StaleTopology"]
+
+
+@dataclass(frozen=True)
+class PartialTopologyStitch(AggregationBug):
+    """Stitch the topology before some routers have reported.
+
+    Attributes:
+        missing_nodes: Routers whose link reports are not waited for;
+            every link with an endpoint here is absent from the
+            controller's topology input.
+    """
+
+    missing_nodes: FrozenSet[str]
+
+    def __init__(self, missing_nodes) -> None:  # type: ignore[no-untyped-def]
+        object.__setattr__(self, "missing_nodes", frozenset(missing_nodes))
+
+
+@dataclass(frozen=True)
+class LivenessMisreport(AggregationBug):
+    """Misreport the liveness of particular links.
+
+    Attributes:
+        links: Canonical link names to misreport.
+        report_up: The wrong liveness to assign.  ``False`` reproduces
+            the paper's outage (less bandwidth than actually available,
+            causing sub-optimal placement); ``True`` is the overload
+            direction.
+    """
+
+    links: FrozenSet[str]
+    report_up: bool = False
+
+    def __init__(self, links, report_up: bool = False) -> None:  # type: ignore[no-untyped-def]
+        object.__setattr__(self, "links", frozenset(links))
+        object.__setattr__(self, "report_up", report_up)
+
+
+@dataclass(frozen=True)
+class IgnoredDrain(AggregationBug):
+    """Ignore (correct) drain signals for some routers during stitching.
+
+    The drained gear's capacity is wrongly included in the topology
+    the controller sees.
+
+    Attributes:
+        nodes: Routers whose drain signal the service ignores.
+    """
+
+    nodes: FrozenSet[str]
+
+    def __init__(self, nodes) -> None:  # type: ignore[no-untyped-def]
+        object.__setattr__(self, "nodes", frozenset(nodes))
+
+
+@dataclass(frozen=True)
+class StaleTopology(AggregationBug):
+    """Serve a topology built from an earlier snapshot.
+
+    A generic delayed-pipeline bug: the controller input reflects the
+    network as of some past instant.  The service substitutes the
+    provided stale snapshot timestamp's view; in this simulator, it
+    simply reports every link up regardless of current status.
+    """
+
+    description: str = "topology built from a stale snapshot"

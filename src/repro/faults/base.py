@@ -1,0 +1,128 @@
+"""Fault-injection framework.
+
+The paper's Section 2 taxonomy splits incorrect inputs into two
+families, and this framework mirrors that split:
+
+- **Signal faults** (Section 2.1) corrupt what routers report.  They
+  mutate a :class:`~repro.telemetry.snapshot.NetworkSnapshot` -- the
+  corruption is visible to *everyone* downstream, including Hodor,
+  whose hardening step must detect and repair it.
+- **Aggregation bugs** (Section 2.2) corrupt how correct signals are
+  processed into controller inputs.  They are configuration objects
+  interpreted by the instrumentation services in :mod:`repro.control`;
+  the snapshot stays clean, which is why Hodor's dynamic checking
+  (comparing inputs against hardened signals) catches them.
+
+Every injection produces :class:`InjectionRecord` entries naming the
+exact signals corrupted, so experiments can score detection precision
+and recall against injection ground truth.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["InjectionRecord", "SignalFault", "AggregationBug", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """Ground truth about one corrupted signal.
+
+    Attributes:
+        fault: Name of the fault that did the corrupting.
+        signal: Which signal family was touched (``"rx"``, ``"tx"``,
+            ``"oper_status"``, ``"drain"``, ``"link_drain"``,
+            ``"drops"``, ``"reading"``).
+        node: Reporting router.
+        peer: Facing peer for interface-scoped signals, else ``None``.
+        detail: Free-form description of the corruption.
+    """
+
+    fault: str
+    signal: str
+    node: str
+    peer: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def interface_key(self) -> Optional[Tuple[str, str]]:
+        if self.peer is None:
+            return None
+        return (self.node, self.peer)
+
+
+class SignalFault(abc.ABC):
+    """A router-level telemetry/intent bug (paper Section 2.1).
+
+    Subclasses mutate the snapshot in place inside :meth:`apply` and
+    return records of everything they corrupted.
+    """
+
+    #: Human-readable fault name; defaults to the class name.
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    @abc.abstractmethod
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        """Corrupt ``snapshot`` in place; return what was corrupted."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class AggregationBug:
+    """Marker base for control-infrastructure bug configurations.
+
+    Instances carry the parameters of one Section 2.2 bug; the
+    instrumentation service that recognises the bug type interprets it
+    while building its controller input.  Services raise on bug types
+    they do not recognise, so a misrouted bug config is loud.
+    """
+
+
+class FaultInjector:
+    """Applies an ordered list of signal faults to snapshots.
+
+    Faults are applied in the order given (later faults can stack on
+    earlier ones, as in production where independent bugs co-occur).
+    The injector never mutates the input snapshot.
+
+    Example:
+        >>> injector = FaultInjector([], seed=7)
+        >>> snapshot2, records = injector.inject(NetworkSnapshot())
+        >>> records
+        []
+    """
+
+    def __init__(self, faults: Sequence[SignalFault] = (), seed: int = 0) -> None:
+        self._faults = list(faults)
+        self._seed = seed
+
+    @property
+    def faults(self) -> List[SignalFault]:
+        return list(self._faults)
+
+    def add(self, fault: SignalFault) -> None:
+        self._faults.append(fault)
+
+    def inject(
+        self, snapshot: NetworkSnapshot
+    ) -> Tuple[NetworkSnapshot, List[InjectionRecord]]:
+        """Return a corrupted copy of ``snapshot`` plus injection records."""
+        rng = random.Random(self._seed)
+        corrupted = snapshot.copy()
+        records: List[InjectionRecord] = []
+        for fault in self._faults:
+            records.extend(fault.apply(corrupted, rng))
+        return corrupted, records

@@ -1,0 +1,100 @@
+"""External-input bugs (paper Section 2.2, "External Input").
+
+Demand is measured at end hosts, outside the network, so the demand
+input can be wrong "despite everything in the network working
+correctly".  The paper's two production outages:
+
+- :class:`PartialDemandAggregation`: "a new rollout of the demand
+  instrumentation system introduced a bug that incorrectly aggregated
+  demand at the end hosts ... the SDN controller received a partial
+  view of the demand."
+- :class:`ThrottledDemandMismatch`: "traffic was incorrectly throttled
+  at the end hosts causing the measured demand to differ from the
+  traffic that was allowed onto the network."
+
+plus :class:`DoubleCountedDemand`, the over-reporting mirror image of
+partial aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.faults.base import AggregationBug
+
+__all__ = [
+    "PartialDemandAggregation",
+    "DoubleCountedDemand",
+    "ThrottledDemandMismatch",
+]
+
+
+@dataclass(frozen=True)
+class PartialDemandAggregation(AggregationBug):
+    """Silently drop a subset of demand records during aggregation.
+
+    Attributes:
+        drop_fraction: Fraction of (src, dst) records dropped, chosen
+            deterministically from ``seed``.
+        drop_pairs: Explicit pairs to drop (unioned with the random
+            selection; use alone with ``drop_fraction=0`` for exact
+            control).
+        seed: Selection seed.
+    """
+
+    drop_fraction: float = 0.0
+    drop_pairs: FrozenSet[Tuple[str, str]] = frozenset()
+    seed: int = 0
+
+    def __init__(self, drop_fraction: float = 0.0, drop_pairs=(), seed: int = 0) -> None:  # type: ignore[no-untyped-def]
+        if not 0 <= drop_fraction <= 1:
+            raise ValueError(f"drop_fraction must be in [0, 1], got {drop_fraction}")
+        object.__setattr__(self, "drop_fraction", drop_fraction)
+        object.__setattr__(self, "drop_pairs", frozenset(tuple(p) for p in drop_pairs))
+        object.__setattr__(self, "seed", seed)
+
+
+@dataclass(frozen=True)
+class DoubleCountedDemand(AggregationBug):
+    """Count a subset of demand records more than once.
+
+    Attributes:
+        fraction: Fraction of records affected.
+        multiplier: How many times each affected record is counted.
+        seed: Selection seed.
+    """
+
+    fraction: float = 0.1
+    multiplier: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction <= 1:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.multiplier < 0:
+            raise ValueError(f"multiplier must be non-negative, got {self.multiplier}")
+
+
+@dataclass(frozen=True)
+class ThrottledDemandMismatch(AggregationBug):
+    """Hosts admit only a fraction of what the instrumentation measured.
+
+    This bug is special: the *measurement* is correct; the *network*
+    carries less.  The demand service reports the measured (higher)
+    matrix while the scenario runs the throttled traffic, so interface
+    counters and the demand input disagree -- exactly the mismatch
+    Hodor's dynamic demand checks surface.
+
+    Attributes:
+        admitted_fraction: Fraction of measured demand actually allowed
+            onto the network.
+    """
+
+    admitted_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.admitted_fraction <= 1:
+            raise ValueError(
+                f"admitted_fraction must be in [0, 1], got {self.admitted_fraction}"
+            )

@@ -1,0 +1,126 @@
+"""Incorrect-intent faults (paper Section 2.1, "Incorrect intent").
+
+Drain status is an operator-intent signal, and the paper reports two
+production outage shapes:
+
+- a controller-restart/drain race left "an inconsistent view of the
+  drain status of the router's links" (:class:`InconsistentLinkDrain`),
+- "an incorrect drain condition ... erroneously drained a series of
+  routers that were actually capable of carrying traffic"
+  (:class:`SpuriousDrain`), and the mirror image where a router that
+  must be avoided fails to report drained (:class:`MissedDrain`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.faults.base import InjectionRecord, SignalFault
+from repro.telemetry.snapshot import InterfaceKey, NetworkSnapshot
+
+__all__ = ["SpuriousDrain", "MissedDrain", "InconsistentLinkDrain"]
+
+
+class SpuriousDrain(SignalFault):
+    """Routers report drained although the operator intends them serving.
+
+    The paper's outage: automation erroneously drained a series of
+    healthy routers, concentrating traffic and congesting the rest.
+
+    Args:
+        nodes: Routers to mark drained.
+        claimed_reason: Optional drain reason the bogus drain carries
+            (Section 4.3 reasons extension).  Erroneous automation
+            typically claims ``"faulty-link"`` -- which Hodor can then
+            disprove against hardened link evidence.
+    """
+
+    def __init__(self, nodes: Iterable[str], claimed_reason: str = "") -> None:
+        self._nodes = list(nodes)
+        self._claimed_reason = claimed_reason
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for node in self._nodes:
+            if node not in snapshot.drains:
+                continue
+            snapshot.drains[node] = True
+            if self._claimed_reason:
+                snapshot.drain_reasons[node] = self._claimed_reason
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="drain",
+                    node=node,
+                    detail="reports drained against operator intent"
+                    + (
+                        f" (claiming {self._claimed_reason})"
+                        if self._claimed_reason
+                        else ""
+                    ),
+                )
+            )
+        return records
+
+
+class MissedDrain(SignalFault):
+    """Routers that should be drained report themselves serving.
+
+    The controller keeps sending traffic into gear undergoing
+    maintenance or known-faulty behaviour.
+    """
+
+    def __init__(self, nodes: Iterable[str]) -> None:
+        self._nodes = list(nodes)
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for node in self._nodes:
+            if node not in snapshot.drains:
+                continue
+            snapshot.drains[node] = False
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="drain",
+                    node=node,
+                    detail="hides an intended drain",
+                )
+            )
+        return records
+
+
+class InconsistentLinkDrain(SignalFault):
+    """One end of a link reports it drained, the other does not.
+
+    Reproduces the controller-restart race outage.  Section 4.3 of the
+    paper proposes exactly the symmetry this violates as the validation
+    hook: "both sides must agree that the link is drained."
+
+    Args:
+        interfaces: The ``(node, peer)`` endpoints whose link-drain bit
+            is flipped (only those endpoints; their peers keep the
+            original value, creating the asymmetry).
+    """
+
+    def __init__(self, interfaces: Iterable[InterfaceKey]) -> None:
+        self._interfaces = list(interfaces)
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for key in self._interfaces:
+            current = snapshot.link_drains.get(key)
+            if current is None:
+                continue
+            snapshot.link_drains[key] = not bool(current)
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="link_drain",
+                    node=key[0],
+                    peer=key[1],
+                    detail="link-drain bit flipped at one endpoint",
+                )
+            )
+        return records

@@ -1,0 +1,516 @@
+"""Router-level telemetry faults (paper Section 2.1, "Telemetry Bugs").
+
+Each fault class reproduces one bug family the paper reports from
+production:
+
+- :class:`ZeroedDuplicateTelemetry`: "one observed bug in the router OS
+  caused certain telemetry messages to be duplicated, with one of the
+  two messages reporting (at random) that the number of packets
+  received on the router's interfaces was zero."
+- :class:`MalformedTelemetry`: "OS-level bugs that led to malformed
+  telemetry responses."
+- :class:`FormatChangeTelemetry`: "changes in telemetry format (e.g.,
+  from string to int)."
+- :class:`DelayedTelemetry`: "delayed telemetry reporting" (stale
+  readings from an earlier traffic epoch).
+- :class:`MissingTelemetry`: signals missing entirely (e.g. dropped due
+  to "incorrect QoS marking on telemetry packets").
+- :class:`WrongLinkStatus`: an interface misreports its operational
+  status.
+- :class:`UnitChangeTelemetry`: rates reported in the wrong unit -- a
+  magnitude-class corruption used in sensitivity studies.
+- :class:`RandomCounterCorruption` / :class:`CorrelatedCounterFault`:
+  parameterised corruption generators for the hardening-efficacy
+  ablation (the Section 3.2 open question).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults.base import InjectionRecord, SignalFault
+from repro.net.topology import EXTERNAL_PEER
+from repro.telemetry.counters import MalformedValueError, coerce_rate
+from repro.telemetry.snapshot import InterfaceKey, NetworkSnapshot
+
+
+def _rate_or_none(raw: object) -> Optional[float]:
+    """Coerce a possibly-already-corrupted value; None when hopeless.
+
+    Faults stack (a scaling bug can hit an interface another bug already
+    garbled), so fault mutation must tolerate any current value.
+    """
+    try:
+        return coerce_rate(raw)  # type: ignore[arg-type]
+    except MalformedValueError:
+        return None
+
+__all__ = [
+    "ZeroedDuplicateTelemetry",
+    "MalformedTelemetry",
+    "FormatChangeTelemetry",
+    "UnitChangeTelemetry",
+    "DelayedTelemetry",
+    "MissingTelemetry",
+    "WrongLinkStatus",
+    "ProbeOutage",
+    "RandomCounterCorruption",
+    "CorrelatedCounterFault",
+]
+
+
+def _eligible_keys(
+    snapshot: NetworkSnapshot, include_external: bool
+) -> List[InterfaceKey]:
+    keys = sorted(snapshot.counters)
+    if include_external:
+        return keys
+    return [key for key in keys if key[1] != EXTERNAL_PEER]
+
+
+def _pick(
+    keys: Sequence[InterfaceKey], count: int, rng: random.Random
+) -> List[InterfaceKey]:
+    if count >= len(keys):
+        return list(keys)
+    return rng.sample(list(keys), count)
+
+
+class ZeroedDuplicateTelemetry(SignalFault):
+    """Duplicate messages where one copy zeroes the received counters.
+
+    Args:
+        interfaces: Explicit interfaces to hit, or ``None`` to pick
+            ``count`` random WAN interfaces.
+        count: Number of random interfaces when ``interfaces`` is None.
+    """
+
+    def __init__(
+        self,
+        interfaces: Optional[Iterable[InterfaceKey]] = None,
+        count: int = 1,
+    ) -> None:
+        self._interfaces = list(interfaces) if interfaces is not None else None
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._count = count
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        targets = (
+            self._interfaces
+            if self._interfaces is not None
+            else _pick(_eligible_keys(snapshot, include_external=False), self._count, rng)
+        )
+        records = []
+        for key in targets:
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            reading.rx_rate = 0.0
+            # The duplicate reuses the previous sequence number.
+            reading.sequence = max(0, reading.sequence - 1)
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="rx",
+                    node=key[0],
+                    peer=key[1],
+                    detail="duplicated message zeroed rx counters",
+                )
+            )
+        return records
+
+
+class MalformedTelemetry(SignalFault):
+    """Counter values replaced by unparseable garbage.
+
+    Args:
+        interfaces: Explicit targets, or ``None`` for random selection.
+        count: Number of random interfaces when unspecified.
+        garbage: The junk value to report.
+    """
+
+    def __init__(
+        self,
+        interfaces: Optional[Iterable[InterfaceKey]] = None,
+        count: int = 1,
+        garbage: object = "ERR:OVERFLOW",
+    ) -> None:
+        self._interfaces = list(interfaces) if interfaces is not None else None
+        self._count = count
+        self._garbage = garbage
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        targets = (
+            self._interfaces
+            if self._interfaces is not None
+            else _pick(_eligible_keys(snapshot, include_external=False), self._count, rng)
+        )
+        records = []
+        for key in targets:
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            reading.rx_rate = self._garbage
+            reading.tx_rate = self._garbage
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="reading",
+                    node=key[0],
+                    peer=key[1],
+                    detail=f"rates replaced with {self._garbage!r}",
+                )
+            )
+        return records
+
+
+class FormatChangeTelemetry(SignalFault):
+    """Rates arrive as decimal strings, truncated to integers.
+
+    Parseable -- coercion succeeds -- but precision is silently lost,
+    modeling a rollout that changed the wire format.
+    """
+
+    def __init__(
+        self, interfaces: Optional[Iterable[InterfaceKey]] = None, count: int = 1
+    ) -> None:
+        self._interfaces = list(interfaces) if interfaces is not None else None
+        self._count = count
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        targets = (
+            self._interfaces
+            if self._interfaces is not None
+            else _pick(_eligible_keys(snapshot, include_external=False), self._count, rng)
+        )
+        records = []
+        for key in targets:
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            for attr in ("rx_rate", "tx_rate"):
+                value = _rate_or_none(getattr(reading, attr))
+                if value is not None:
+                    setattr(reading, attr, str(int(value)))
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="reading",
+                    node=key[0],
+                    peer=key[1],
+                    detail="rates restated as truncated integer strings",
+                )
+            )
+        return records
+
+
+class UnitChangeTelemetry(SignalFault):
+    """Rates reported in the wrong unit (scaled by a constant factor)."""
+
+    def __init__(
+        self,
+        interfaces: Optional[Iterable[InterfaceKey]] = None,
+        count: int = 1,
+        factor: float = 1000.0,
+    ) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self._interfaces = list(interfaces) if interfaces is not None else None
+        self._count = count
+        self._factor = factor
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        targets = (
+            self._interfaces
+            if self._interfaces is not None
+            else _pick(_eligible_keys(snapshot, include_external=False), self._count, rng)
+        )
+        records = []
+        for key in targets:
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            for attr in ("rx_rate", "tx_rate"):
+                value = _rate_or_none(getattr(reading, attr))
+                if value is not None:
+                    setattr(reading, attr, value * self._factor)
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="reading",
+                    node=key[0],
+                    peer=key[1],
+                    detail=f"rates scaled by x{self._factor:g} (unit bug)",
+                )
+            )
+        return records
+
+
+class DelayedTelemetry(SignalFault):
+    """Stale readings from an earlier traffic epoch.
+
+    The reading's timestamp is pushed into the past and its rates are
+    scaled by ``drift`` (traffic has changed since the stale sample was
+    taken).
+    """
+
+    def __init__(
+        self,
+        interfaces: Optional[Iterable[InterfaceKey]] = None,
+        count: int = 1,
+        delay_s: float = 300.0,
+        drift: float = 0.5,
+    ) -> None:
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {delay_s}")
+        if drift < 0:
+            raise ValueError(f"drift must be non-negative, got {drift}")
+        self._interfaces = list(interfaces) if interfaces is not None else None
+        self._count = count
+        self._delay_s = delay_s
+        self._drift = drift
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        targets = (
+            self._interfaces
+            if self._interfaces is not None
+            else _pick(_eligible_keys(snapshot, include_external=False), self._count, rng)
+        )
+        records = []
+        for key in targets:
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            reading.timestamp -= self._delay_s
+            for attr in ("rx_rate", "tx_rate"):
+                value = _rate_or_none(getattr(reading, attr))
+                if value is not None:
+                    setattr(reading, attr, value * self._drift)
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="reading",
+                    node=key[0],
+                    peer=key[1],
+                    detail=f"stale by {self._delay_s:g}s, drifted x{self._drift:g}",
+                )
+            )
+        return records
+
+
+class MissingTelemetry(SignalFault):
+    """Signals vanish: whole routers go silent or readings are dropped.
+
+    Args:
+        nodes: Routers whose every signal disappears.
+        interfaces: Individual interfaces whose counter reading is lost.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        interfaces: Iterable[InterfaceKey] = (),
+    ) -> None:
+        self._nodes = list(nodes)
+        self._interfaces = list(interfaces)
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for node in self._nodes:
+            snapshot.drop_node(node)
+            records.append(
+                InjectionRecord(
+                    fault=self.name, signal="reading", node=node, detail="router silent"
+                )
+            )
+        for key in self._interfaces:
+            if snapshot.counters.pop(key, None) is not None:
+                records.append(
+                    InjectionRecord(
+                        fault=self.name,
+                        signal="reading",
+                        node=key[0],
+                        peer=key[1],
+                        detail="counter reading lost",
+                    )
+                )
+        return records
+
+
+class WrongLinkStatus(SignalFault):
+    """One endpoint misreports its operational link status.
+
+    Args:
+        interfaces: The ``(node, peer)`` endpoints to corrupt.
+        report_up: The (wrong) status to report.
+    """
+
+    def __init__(self, interfaces: Iterable[InterfaceKey], report_up: bool) -> None:
+        self._interfaces = list(interfaces)
+        self._report_up = report_up
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for key in self._interfaces:
+            status = snapshot.link_status.get(key)
+            if status is None:
+                continue
+            status.oper_up = self._report_up
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="oper_status",
+                    node=key[0],
+                    peer=key[1],
+                    detail=f"oper-status forced to {'up' if self._report_up else 'down'}",
+                )
+            )
+        return records
+
+
+class ProbeOutage(SignalFault):
+    """The probe subsystem itself fails (a correlated R4 failure).
+
+    The paper pitches manufactured signals as *additional* redundancy;
+    Hodor's defense-in-depth stance requires that losing them degrades
+    gracefully (counters and statuses still decide) rather than taking
+    the validator down.  This fault makes probes report failure on the
+    given routers' adjacencies -- or everywhere when ``nodes`` is empty
+    -- modelling a broken probe agent rollout.
+
+    Args:
+        nodes: Routers whose outgoing probes all fail; empty = all.
+    """
+
+    def __init__(self, nodes: Iterable[str] = ()) -> None:
+        self._nodes = set(nodes)
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        from repro.telemetry.snapshot import ProbeResult
+
+        records = []
+        for key in sorted(snapshot.probes):
+            if self._nodes and key[0] not in self._nodes:
+                continue
+            if not snapshot.probes[key].ok:
+                continue
+            snapshot.probes[key] = ProbeResult(ok=False, rtt_ms=None)
+            records.append(
+                InjectionRecord(
+                    fault=self.name,
+                    signal="probe",
+                    node=key[0],
+                    peer=key[1],
+                    detail="probe agent down; probe falsely fails",
+                )
+            )
+        return records
+
+
+class RandomCounterCorruption(SignalFault):
+    """Corrupt N random counters -- the hardening-study workhorse.
+
+    Args:
+        count: How many interface counters to corrupt.
+        mode: ``"zero"`` (counter reads 0), ``"scale"`` (multiplied by
+            ``factor``), or ``"missing"`` (value becomes None).
+        side: ``"rx"``, ``"tx"``, or ``"both"``.
+        factor: Multiplier for ``"scale"`` mode.
+        include_external: Whether host-facing interfaces are eligible.
+    """
+
+    _MODES = ("zero", "scale", "missing")
+
+    def __init__(
+        self,
+        count: int,
+        mode: str = "zero",
+        side: str = "rx",
+        factor: float = 3.0,
+        include_external: bool = False,
+    ) -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        if side not in ("rx", "tx", "both"):
+            raise ValueError(f"side must be rx/tx/both, got {side!r}")
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._count = count
+        self._mode = mode
+        self._side = side
+        self._factor = factor
+        self._include_external = include_external
+
+    def _corrupt(self, value: object) -> object:
+        if self._mode == "zero":
+            return 0.0
+        if self._mode == "missing":
+            return None
+        rate = _rate_or_none(value)
+        return value if rate is None else rate * self._factor
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        keys = _eligible_keys(snapshot, self._include_external)
+        records = []
+        for key in _pick(keys, self._count, rng):
+            reading = snapshot.counters.get(key)
+            if reading is None:
+                continue
+            sides = ("rx", "tx") if self._side == "both" else (self._side,)
+            for side in sides:
+                attr = f"{side}_rate"
+                setattr(reading, attr, self._corrupt(getattr(reading, attr)))
+                records.append(
+                    InjectionRecord(
+                        fault=self.name,
+                        signal=side,
+                        node=key[0],
+                        peer=key[1],
+                        detail=f"{side} {self._mode}",
+                    )
+                )
+        return records
+
+
+class CorrelatedCounterFault(SignalFault):
+    """The same corruption on every interface of a set of routers.
+
+    Models the correlated vendor-OS bug from the paper's Section 3.2
+    open question: "a bug in the vendor OS that causes multiple routers
+    to report incorrect, but equal signal values."
+
+    Args:
+        nodes: The routers (e.g. everything from one vendor).
+        factor: Multiplier applied to both counters of every interface
+            those routers own (1.0 would be a no-op).
+    """
+
+    def __init__(self, nodes: Iterable[str], factor: float = 0.5) -> None:
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        self._nodes = set(nodes)
+        self._factor = factor
+
+    def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
+        records = []
+        for key in sorted(snapshot.counters):
+            if key[0] not in self._nodes:
+                continue
+            reading = snapshot.counters[key]
+            for attr, signal in (("rx_rate", "rx"), ("tx_rate", "tx")):
+                value = _rate_or_none(getattr(reading, attr))
+                if value is None:
+                    continue
+                setattr(reading, attr, value * self._factor)
+                records.append(
+                    InjectionRecord(
+                        fault=self.name,
+                        signal=signal,
+                        node=key[0],
+                        peer=key[1],
+                        detail=f"correlated scale x{self._factor:g}",
+                    )
+                )
+        return records

@@ -1,0 +1,86 @@
+"""Network substrate: topology, routing, demand, flows, and simulation.
+
+This subpackage is the simulated WAN the paper's analysis runs on.  It
+produces the *ground truth* -- actual per-edge traffic, external
+ingress/egress, and drops -- that the telemetry layer samples and that
+the experiments compare controller behaviour against.
+"""
+
+from repro.net.demand import (
+    DemandError,
+    DemandMatrix,
+    bimodal_demand,
+    drop_ingress,
+    gravity_demand,
+    lognormal_demand,
+    scale_entries,
+    throttle,
+    uniform_demand,
+    zero_entries,
+)
+from repro.net.flows import (
+    FlowAssignment,
+    FlowRule,
+    PlacementError,
+    edge_offered_loads,
+    place_flows,
+)
+from repro.net.routing import (
+    NoRouteError,
+    Path,
+    ecmp_paths,
+    k_shortest_paths,
+    path_cost,
+    path_links,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.net.realize import realize_traffic
+from repro.net.serialize import (
+    demand_from_dict,
+    demand_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.net.simulation import GroundTruth, NetworkSimulator, SimulationError
+from repro.net.topology import EXTERNAL_PEER, Interface, Link, Node, Topology, TopologyError
+
+__all__ = [
+    "DemandError",
+    "DemandMatrix",
+    "EXTERNAL_PEER",
+    "FlowAssignment",
+    "FlowRule",
+    "GroundTruth",
+    "Interface",
+    "Link",
+    "NetworkSimulator",
+    "NoRouteError",
+    "Node",
+    "Path",
+    "PlacementError",
+    "SimulationError",
+    "Topology",
+    "TopologyError",
+    "bimodal_demand",
+    "demand_from_dict",
+    "demand_to_dict",
+    "drop_ingress",
+    "ecmp_paths",
+    "edge_offered_loads",
+    "gravity_demand",
+    "k_shortest_paths",
+    "lognormal_demand",
+    "path_cost",
+    "path_links",
+    "place_flows",
+    "realize_traffic",
+    "scale_entries",
+    "shortest_path",
+    "shortest_path_lengths",
+    "throttle",
+    "topology_from_dict",
+    "topology_to_dict",
+    "uniform_demand",
+    "zero_entries",
+]

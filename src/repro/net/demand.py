@@ -1,0 +1,367 @@
+"""Traffic demand matrices and their generators.
+
+The controller's demand input is a matrix ``D`` where ``D[i][j]`` is the
+rate of traffic entering the WAN at ingress router ``i`` destined for
+egress router ``j`` (paper Section 4.1, citing the traffic-matrix primer
+[36]).  This module provides the matrix type, synthetic generators
+(gravity model and friends -- standing in for the SNDlib Abilene traces,
+see DESIGN.md substitutions), and the perturbation operations used by
+the paper's Section 4.1 sensitivity study.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DemandMatrix",
+    "DemandError",
+    "gravity_demand",
+    "uniform_demand",
+    "bimodal_demand",
+    "zero_entries",
+    "scale_entries",
+    "drop_ingress",
+    "throttle",
+]
+
+
+class DemandError(ValueError):
+    """Raised on invalid demand-matrix operations."""
+
+
+class DemandMatrix:
+    """An ingress/egress traffic-rate matrix over a fixed router set.
+
+    The matrix is dense (numpy-backed) with a zero diagonal: a router
+    does not send WAN demand to itself.
+
+    Example:
+        >>> d = DemandMatrix(["a", "b"], [[0.0, 3.0], [1.0, 0.0]])
+        >>> d["a", "b"]
+        3.0
+        >>> d.total()
+        4.0
+    """
+
+    def __init__(self, nodes: Sequence[str], values: Optional[object] = None) -> None:
+        if len(set(nodes)) != len(nodes):
+            raise DemandError("duplicate node names in demand matrix")
+        if not nodes:
+            raise DemandError("demand matrix needs at least one node")
+        self._nodes: Tuple[str, ...] = tuple(nodes)
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self._nodes)}
+        n = len(self._nodes)
+        if values is None:
+            self._values = np.zeros((n, n), dtype=float)
+        else:
+            array = np.asarray(values, dtype=float)
+            if array.shape != (n, n):
+                raise DemandError(f"expected a {n}x{n} matrix, got shape {array.shape}")
+            self._values = array.copy()
+        if np.any(self._values < 0):
+            raise DemandError("demand rates must be non-negative")
+        np.fill_diagonal(self._values, 0.0)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return self._nodes
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, key: Tuple[str, str]) -> float:
+        src, dst = key
+        return float(self._values[self._index[src], self._index[dst]])
+
+    def __setitem__(self, key: Tuple[str, str], rate: float) -> None:
+        src, dst = key
+        if src == dst:
+            raise DemandError("diagonal demand entries must stay zero")
+        if rate < 0:
+            raise DemandError(f"negative demand {rate} for {src}->{dst}")
+        self._values[self._index[src], self._index[dst]] = rate
+
+    def to_array(self) -> np.ndarray:
+        """A defensive copy of the underlying matrix."""
+        return self._values.copy()
+
+    def entries(self) -> Iterator[Tuple[str, str, float]]:
+        """All off-diagonal entries, including zeros, row-major."""
+        for i, src in enumerate(self._nodes):
+            for j, dst in enumerate(self._nodes):
+                if i != j:
+                    yield src, dst, float(self._values[i, j])
+
+    def nonzero_entries(self) -> List[Tuple[str, str, float]]:
+        return [(s, d, r) for s, d, r in self.entries() if r > 0]
+
+    def row_sum(self, src: str) -> float:
+        """Total demand *from* ``src`` -- its expected external ingress."""
+        return float(self._values[self._index[src]].sum())
+
+    def column_sum(self, dst: str) -> float:
+        """Total demand *to* ``dst`` -- its expected external egress."""
+        return float(self._values[:, self._index[dst]].sum())
+
+    def total(self) -> float:
+        return float(self._values.sum())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "DemandMatrix":
+        return DemandMatrix(self._nodes, self._values)
+
+    def scaled(self, factor: float) -> "DemandMatrix":
+        """A copy with every rate multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise DemandError(f"scale factor must be non-negative, got {factor}")
+        return DemandMatrix(self._nodes, self._values * factor)
+
+    def restricted_to(self, nodes: Sequence[str]) -> "DemandMatrix":
+        """A sub-matrix over a subset of routers (order preserved)."""
+        missing = [n for n in nodes if n not in self._index]
+        if missing:
+            raise DemandError(f"unknown nodes {missing}")
+        idx = [self._index[n] for n in nodes]
+        return DemandMatrix(list(nodes), self._values[np.ix_(idx, idx)])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DemandMatrix):
+            return NotImplemented
+        return self._nodes == other._nodes and np.array_equal(self._values, other._values)
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable container
+        raise TypeError("DemandMatrix is mutable and unhashable")
+
+    def allclose(self, other: "DemandMatrix", rel_tol: float = 1e-9) -> bool:
+        """Approximate equality with relative tolerance."""
+        if self._nodes != other._nodes:
+            return False
+        return bool(np.allclose(self._values, other._values, rtol=rel_tol, atol=1e-12))
+
+    def __repr__(self) -> str:
+        return f"DemandMatrix(nodes={self.size}, total={self.total():.3f})"
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def gravity_demand(
+    nodes: Sequence[str],
+    total: float,
+    seed: int = 0,
+    weight_spread: float = 2.0,
+    weights: Optional[Mapping[str, float]] = None,
+) -> DemandMatrix:
+    """Gravity-model demand: ``D[i][j] ∝ w_i * w_j``.
+
+    Node weights are drawn log-uniformly over ``[1, weight_spread]`` so
+    bigger "cities" both send and receive more, which matches the
+    heavy-row/heavy-column structure of real WAN matrices (the property
+    the Section 4.1 study depends on).
+
+    Args:
+        nodes: Router names.
+        total: Desired sum over all entries.
+        seed: RNG seed for reproducibility.
+        weight_spread: Ratio between the largest and smallest possible
+            node weight (1.0 gives a uniform matrix).
+        weights: Optional explicit per-node weights; nodes present here
+            use the given weight, others draw randomly.  Use to model
+            known-small sites (e.g. Abilene's M5 testbed router).
+    """
+    if total < 0:
+        raise DemandError(f"total demand must be non-negative, got {total}")
+    if weight_spread < 1.0:
+        raise DemandError(f"weight_spread must be >= 1, got {weight_spread}")
+    explicit = dict(weights or {})
+    for node, weight in explicit.items():
+        if weight < 0:
+            raise DemandError(f"negative weight for {node!r}")
+    rng = random.Random(seed)
+    weights_array = [
+        explicit.get(node, None) for node in nodes
+    ]
+    weights = np.array(
+        [
+            weight if weight is not None else weight_spread ** rng.random()
+            for weight in weights_array
+        ],
+        dtype=float,
+    )
+    raw = np.outer(weights, weights)
+    np.fill_diagonal(raw, 0.0)
+    denominator = raw.sum()
+    values = raw * (total / denominator) if denominator > 0 else raw
+    return DemandMatrix(nodes, values)
+
+
+def lognormal_demand(
+    nodes: Sequence[str],
+    total: float,
+    sigma: float = 1.8,
+    seed: int = 0,
+) -> DemandMatrix:
+    """Heavy-tailed demand: entries i.i.d. LogNormal(0, sigma^2), normalized.
+
+    Real WAN traffic matrices (including the Abilene traces the paper's
+    Section 4.1 study uses) are strongly heavy-tailed: a few elephant
+    pairs dominate while many pairs carry near-negligible traffic.  The
+    tail weight is what makes small missing-entry perturbations hard --
+    zeroing a pair that was already tiny moves row/column sums by less
+    than the tolerance -- so detection-accuracy studies must use a
+    generator with a realistic tail.
+
+    Args:
+        nodes: Router names.
+        total: Desired sum over all entries.
+        sigma: Log-scale standard deviation; ~1.5-2.0 matches published
+            traffic-matrix fits.
+        seed: RNG seed.
+    """
+    if total < 0:
+        raise DemandError(f"total demand must be non-negative, got {total}")
+    if sigma < 0:
+        raise DemandError(f"sigma must be non-negative, got {sigma}")
+    rng = np.random.default_rng(seed)
+    n = len(nodes)
+    values = rng.lognormal(mean=0.0, sigma=sigma, size=(n, n))
+    np.fill_diagonal(values, 0.0)
+    denominator = values.sum()
+    if denominator > 0:
+        values *= total / denominator
+    return DemandMatrix(nodes, values)
+
+
+def uniform_demand(nodes: Sequence[str], rate: float) -> DemandMatrix:
+    """Every ordered router pair demands exactly ``rate``."""
+    if rate < 0:
+        raise DemandError(f"rate must be non-negative, got {rate}")
+    n = len(nodes)
+    values = np.full((n, n), rate, dtype=float)
+    return DemandMatrix(nodes, values)
+
+
+def bimodal_demand(
+    nodes: Sequence[str],
+    total: float,
+    elephant_fraction: float = 0.2,
+    elephant_share: float = 0.8,
+    seed: int = 0,
+) -> DemandMatrix:
+    """Elephant/mice demand: few pairs carry most of the traffic.
+
+    Args:
+        nodes: Router names.
+        total: Desired sum over all entries.
+        elephant_fraction: Fraction of ordered pairs that are elephants.
+        elephant_share: Fraction of ``total`` carried by elephants.
+        seed: RNG seed.
+    """
+    if not 0 < elephant_fraction < 1:
+        raise DemandError("elephant_fraction must be in (0, 1)")
+    if not 0 < elephant_share < 1:
+        raise DemandError("elephant_share must be in (0, 1)")
+    rng = random.Random(seed)
+    pairs = [(s, d) for s in nodes for d in nodes if s != d]
+    rng.shuffle(pairs)
+    num_elephants = max(1, int(len(pairs) * elephant_fraction))
+    elephants = pairs[:num_elephants]
+    mice = pairs[num_elephants:]
+
+    matrix = DemandMatrix(nodes)
+    for src, dst in elephants:
+        matrix[src, dst] = elephant_share * total / num_elephants
+    if mice:
+        for src, dst in mice:
+            matrix[src, dst] = (1.0 - elephant_share) * total / len(mice)
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Perturbations (Section 4.1 sensitivity study)
+# ----------------------------------------------------------------------
+
+
+def zero_entries(matrix: DemandMatrix, count: int, seed: int = 0) -> DemandMatrix:
+    """Zero out ``count`` random non-zero entries.
+
+    This mimics the "missing demand" bugs of Section 2.2: a buggy
+    demand-instrumentation rollout silently drops part of the demand.
+
+    Raises:
+        DemandError: If the matrix has fewer than ``count`` non-zero
+            entries.
+    """
+    if count < 0:
+        raise DemandError(f"count must be non-negative, got {count}")
+    candidates = matrix.nonzero_entries()
+    if count > len(candidates):
+        raise DemandError(
+            f"cannot zero {count} entries; only {len(candidates)} are non-zero"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(candidates, count)
+    perturbed = matrix.copy()
+    for src, dst, _rate in chosen:
+        perturbed[src, dst] = 0.0
+    return perturbed
+
+
+def scale_entries(
+    matrix: DemandMatrix, count: int, factor: float, seed: int = 0
+) -> DemandMatrix:
+    """Multiply ``count`` random non-zero entries by ``factor``.
+
+    Models partial mis-aggregation (e.g. an entry counted twice with
+    ``factor=2``, or half-reported with ``factor=0.5``).
+    """
+    if count < 0:
+        raise DemandError(f"count must be non-negative, got {count}")
+    if factor < 0:
+        raise DemandError(f"factor must be non-negative, got {factor}")
+    candidates = matrix.nonzero_entries()
+    if count > len(candidates):
+        raise DemandError(
+            f"cannot scale {count} entries; only {len(candidates)} are non-zero"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(candidates, count)
+    perturbed = matrix.copy()
+    for src, dst, rate in chosen:
+        perturbed[src, dst] = rate * factor
+    return perturbed
+
+
+def drop_ingress(matrix: DemandMatrix, node: str) -> DemandMatrix:
+    """Zero an entire ingress row -- one router's demand goes missing."""
+    perturbed = matrix.copy()
+    for dst in matrix.nodes:
+        if dst != node:
+            perturbed[node, dst] = 0.0
+    return perturbed
+
+
+def throttle(matrix: DemandMatrix, fraction: float) -> DemandMatrix:
+    """Uniformly reduce all demand to ``fraction`` of its value.
+
+    Models the Section 2.2 outage where end hosts throttled traffic so
+    the *measured* demand exceeded what actually entered the network.
+    """
+    if not 0 <= fraction <= 1:
+        raise DemandError(f"fraction must be in [0, 1], got {fraction}")
+    return matrix.scaled(fraction)

@@ -1,0 +1,74 @@
+"""Traffic realization: what hosts actually send over programmed paths.
+
+The controller sizes paths for the demand it *believes*; the hosts send
+the demand that is *true*.  This module reconciles the two, which is
+the mechanism by which incorrect demand inputs become congestion (paper
+Section 2.2: "the routes programmed by the controller did not take into
+account a significant fraction of the demand").
+
+Rules, per ingress/egress pair with true rate ``r``:
+
+- The controller programmed paths for the pair: the true traffic
+  follows those paths, split in the same proportions (the programmed
+  split is a forwarding configuration; it does not rate-limit).
+- The controller programmed nothing for the pair (believed rate zero,
+  or believed the pair unroutable): traffic falls back to the default
+  IGP route -- the shortest path on the *actually live* topology -- or
+  is unrouted if no live path exists.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.net.demand import DemandMatrix
+from repro.net.flows import FlowAssignment, FlowRule
+from repro.net.routing import NoRouteError, shortest_path
+from repro.net.topology import Topology
+
+__all__ = ["realize_traffic"]
+
+
+def realize_traffic(
+    programmed: FlowAssignment,
+    true_demand: DemandMatrix,
+    live_topology: Topology,
+) -> FlowAssignment:
+    """Scale a programmed allocation to the traffic hosts actually send.
+
+    Args:
+        programmed: The controller's allocation (rates reflect believed
+            demand).
+        true_demand: What hosts actually offer.
+        live_topology: The actually-usable graph (physically up,
+            forwarding links only) used for default-route fallback.
+
+    Returns:
+        The realized assignment whose rates sum to the true demand
+        (minus truly unroutable pairs, recorded in ``unrouted``).
+    """
+    realized = FlowAssignment()
+    for src, dst, rate in true_demand.nonzero_entries():
+        rules = programmed.rules.get((src, dst), [])
+        programmed_rate = sum(rule.rate for rule in rules)
+        if rules and programmed_rate > 0:
+            scale = rate / programmed_rate
+            realized.rules[(src, dst)] = [
+                FlowRule(rule.path, rule.rate * scale) for rule in rules
+            ]
+            continue
+        fallback = _default_route(live_topology, src, dst)
+        if fallback is None:
+            realized.unrouted[(src, dst)] = rate
+        else:
+            realized.rules[(src, dst)] = [FlowRule(fallback, rate)]
+    return realized
+
+
+def _default_route(topology: Topology, src: str, dst: str):
+    if not topology.has_node(src) or not topology.has_node(dst):
+        return None
+    try:
+        return shortest_path(topology, src, dst)
+    except NoRouteError:
+        return None

@@ -1,0 +1,267 @@
+"""Path computation over WAN topologies.
+
+Provides the routing primitives the traffic-engineering controller and
+the ground-truth simulator share: shortest paths, k-shortest simple
+paths (Yen's algorithm), and ECMP path sets.  All functions operate on
+:class:`repro.net.topology.Topology` and return paths as node-name
+lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.topology import Topology, TopologyError
+
+__all__ = [
+    "Path",
+    "NoRouteError",
+    "shortest_path",
+    "shortest_path_lengths",
+    "k_shortest_paths",
+    "ecmp_paths",
+    "path_links",
+    "path_cost",
+]
+
+
+class NoRouteError(TopologyError):
+    """Raised when no path exists between two routers."""
+
+
+@dataclass(frozen=True)
+class Path:
+    """An ordered sequence of router names from source to destination."""
+
+    nodes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise TopologyError("path must contain at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise TopologyError(f"path revisits a node: {self.nodes}")
+
+    @property
+    def source(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.nodes) - 1
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Directed edges traversed by the path, in order."""
+        return list(zip(self.nodes[:-1], self.nodes[1:]))
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+CostFn = Callable[[str, str], float]
+
+
+def _unit_cost(_src: str, _dst: str) -> float:
+    return 1.0
+
+
+def _validate_endpoints(topology: Topology, source: str, destination: str) -> None:
+    for endpoint in (source, destination):
+        if not topology.has_node(endpoint):
+            raise TopologyError(f"unknown node {endpoint!r}")
+
+
+def shortest_path(
+    topology: Topology,
+    source: str,
+    destination: str,
+    cost: Optional[CostFn] = None,
+) -> Path:
+    """Dijkstra shortest path from ``source`` to ``destination``.
+
+    Args:
+        topology: The graph to route over.
+        source: Origin router name.
+        destination: Target router name.
+        cost: Optional per-directed-edge cost function; defaults to hop
+            count.  Costs must be non-negative.
+
+    Raises:
+        NoRouteError: If the destination is unreachable.
+    """
+    _validate_endpoints(topology, source, destination)
+    cost = cost or _unit_cost
+    if source == destination:
+        return Path((source,))
+
+    distances: Dict[str, float] = {source: 0.0}
+    previous: Dict[str, str] = {}
+    # Heap entries carry the node name as a tiebreaker so exploration
+    # order (and thus path selection among equal-cost routes) is
+    # deterministic.
+    frontier: List[Tuple[float, str]] = [(0.0, source)]
+    visited = set()
+
+    while frontier:
+        dist, here = heapq.heappop(frontier)
+        if here in visited:
+            continue
+        visited.add(here)
+        if here == destination:
+            break
+        for neighbor in sorted(topology.neighbors(here)):
+            if neighbor in visited:
+                continue
+            edge_cost = cost(here, neighbor)
+            if edge_cost < 0:
+                raise ValueError(f"negative edge cost on {here}->{neighbor}")
+            candidate = dist + edge_cost
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                previous[neighbor] = here
+                heapq.heappush(frontier, (candidate, neighbor))
+
+    if destination not in distances:
+        raise NoRouteError(f"no route from {source!r} to {destination!r}")
+
+    nodes = [destination]
+    while nodes[-1] != source:
+        nodes.append(previous[nodes[-1]])
+    nodes.reverse()
+    return Path(tuple(nodes))
+
+
+def shortest_path_lengths(
+    topology: Topology, source: str, cost: Optional[CostFn] = None
+) -> Dict[str, float]:
+    """Single-source shortest-path distances to every reachable node."""
+    if not topology.has_node(source):
+        raise TopologyError(f"unknown node {source!r}")
+    cost = cost or _unit_cost
+    distances: Dict[str, float] = {source: 0.0}
+    frontier: List[Tuple[float, str]] = [(0.0, source)]
+    visited = set()
+    while frontier:
+        dist, here = heapq.heappop(frontier)
+        if here in visited:
+            continue
+        visited.add(here)
+        for neighbor in sorted(topology.neighbors(here)):
+            candidate = dist + cost(here, neighbor)
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                heapq.heappush(frontier, (candidate, neighbor))
+    return distances
+
+
+def k_shortest_paths(
+    topology: Topology,
+    source: str,
+    destination: str,
+    k: int,
+    cost: Optional[CostFn] = None,
+) -> List[Path]:
+    """Yen's algorithm for the k shortest loop-free paths.
+
+    Returns at most ``k`` paths ordered by total cost (ties broken by
+    node-name order, deterministically).  Returns fewer than ``k``
+    paths when the graph does not contain that many simple paths.
+
+    Raises:
+        NoRouteError: If not even one path exists.
+        ValueError: If ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    cost = cost or _unit_cost
+
+    best = shortest_path(topology, source, destination, cost)
+    found: List[Path] = [best]
+    candidates: List[Tuple[float, Tuple[str, ...]]] = []
+    seen_candidates = {best.nodes}
+
+    for _ in range(1, k):
+        prev_path = found[-1].nodes
+        for spur_index in range(len(prev_path) - 1):
+            spur_node = prev_path[spur_index]
+            root = prev_path[: spur_index + 1]
+
+            pruned = topology.copy(f"{topology.name}:yen")
+            # Remove edges that would recreate already-found paths
+            # sharing this root.
+            for path in found:
+                nodes = path.nodes
+                if len(nodes) > spur_index and nodes[: spur_index + 1] == root:
+                    if pruned.link_between(nodes[spur_index], nodes[spur_index + 1]):
+                        pruned.remove_link(nodes[spur_index], nodes[spur_index + 1])
+            # Remove root nodes (except the spur) to keep paths simple.
+            for node in root[:-1]:
+                for neighbor in list(pruned.neighbors(node)):
+                    pruned.remove_link(node, neighbor)
+
+            try:
+                spur_path = shortest_path(pruned, spur_node, destination, cost)
+            except NoRouteError:
+                continue
+
+            total_nodes = root[:-1] + spur_path.nodes
+            if total_nodes in seen_candidates:
+                continue
+            seen_candidates.add(total_nodes)
+            total_cost = sum(cost(u, v) for u, v in zip(total_nodes[:-1], total_nodes[1:]))
+            heapq.heappush(candidates, (total_cost, total_nodes))
+
+        if not candidates:
+            break
+        _, nodes = heapq.heappop(candidates)
+        found.append(Path(nodes))
+
+    return found
+
+
+def ecmp_paths(
+    topology: Topology,
+    source: str,
+    destination: str,
+    max_paths: int = 8,
+    cost: Optional[CostFn] = None,
+) -> List[Path]:
+    """All equal-cost shortest paths, capped at ``max_paths``.
+
+    Computed as the k-shortest paths filtered to those matching the
+    minimum cost, which keeps the implementation shared and the output
+    deterministic.
+    """
+    paths = k_shortest_paths(topology, source, destination, max_paths, cost)
+    cost = cost or _unit_cost
+    best_cost = path_cost(paths[0], cost)
+    return [p for p in paths if path_cost(p, cost) <= best_cost + 1e-12]
+
+
+def path_cost(path: Path, cost: Optional[CostFn] = None) -> float:
+    """Total cost of a path under a per-edge cost function."""
+    cost = cost or _unit_cost
+    return sum(cost(u, v) for u, v in path.edges())
+
+
+def path_links(topology: Topology, path: Path) -> List[str]:
+    """Canonical link names traversed by ``path``.
+
+    Raises:
+        TopologyError: If the path uses a non-existent link.
+    """
+    names = []
+    for u, v in path.edges():
+        link = topology.link_between(u, v)
+        if link is None:
+            raise TopologyError(f"path uses missing link {u}-{v}")
+        names.append(link.name)
+    return names

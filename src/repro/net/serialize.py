@@ -1,0 +1,109 @@
+"""Serialization for network objects: topologies and demand matrices.
+
+Operators keep their network models in version-controlled files (the
+paper cites model-based management [23, 25, 35]); these round-trippable
+dict forms let topologies and matrices be stored as JSON/YAML, diffed,
+and loaded back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.net.demand import DemandMatrix
+from repro.net.topology import Link, Node, Topology
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "demand_to_dict",
+    "demand_from_dict",
+]
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """A JSON-safe description of a topology."""
+    return {
+        "name": topology.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "site": node.site,
+                "drained": node.drained,
+                "drain_reason": node.drain_reason,
+                "vendor": node.vendor,
+            }
+            for node in sorted(topology.nodes(), key=lambda n: n.name)
+        ],
+        "links": [
+            {
+                "a": link.a,
+                "b": link.b,
+                "capacity": link.capacity,
+                "drained": link.drained,
+            }
+            for link in sorted(topology.links(), key=lambda l: l.name)
+        ],
+    }
+
+
+def topology_from_dict(payload: Dict[str, Any]) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output.
+
+    Raises:
+        KeyError / TypeError: On malformed payloads (missing fields).
+    """
+    topology = Topology(payload.get("name", "topology"))
+    for node in payload["nodes"]:
+        topology.add_node(
+            Node(
+                node["name"],
+                site=node.get("site", ""),
+                drained=bool(node.get("drained", False)),
+                drain_reason=node.get("drain_reason", ""),
+                vendor=node.get("vendor", "vendor-a"),
+            )
+        )
+    for link in payload["links"]:
+        topology.add_link(
+            Link(
+                link["a"],
+                link["b"],
+                capacity=float(link["capacity"]),
+                drained=bool(link.get("drained", False)),
+            )
+        )
+    return topology
+
+
+def demand_to_dict(demand: DemandMatrix, sparse: bool = True) -> Dict[str, Any]:
+    """A JSON-safe demand matrix.
+
+    Args:
+        demand: The matrix.
+        sparse: Store only non-zero entries (the natural form for the
+            heavy-tailed matrices real WANs have).
+    """
+    if sparse:
+        return {
+            "nodes": list(demand.nodes),
+            "entries": [
+                {"src": src, "dst": dst, "rate": rate}
+                for src, dst, rate in demand.nonzero_entries()
+            ],
+        }
+    return {
+        "nodes": list(demand.nodes),
+        "matrix": demand.to_array().tolist(),
+    }
+
+
+def demand_from_dict(payload: Dict[str, Any]) -> DemandMatrix:
+    """Rebuild a demand matrix from :func:`demand_to_dict` output."""
+    nodes: List[str] = list(payload["nodes"])
+    if "matrix" in payload:
+        return DemandMatrix(nodes, payload["matrix"])
+    demand = DemandMatrix(nodes)
+    for entry in payload.get("entries", []):
+        demand[entry["src"], entry["dst"]] = float(entry["rate"])
+    return demand

@@ -1,0 +1,243 @@
+"""Ground-truth traffic simulation.
+
+Given a topology and a demand matrix, the simulator places flows and
+runs a fluid model with per-edge proportional drops to a fixed point.
+The output, :class:`GroundTruth`, is the *actual* state of the network:
+post-drop traffic on every directed edge, external ingress/egress at
+every router, and per-router drop totals.  The telemetry layer samples
+this ground truth (with noise and injected bugs) to produce the signals
+Hodor collects; flow conservation holds on the ground truth *exactly*,
+which is what makes the paper's R2 redundancy sound.
+
+Dataplane blackholes model the paper's Section 4.2 "semantically
+incorrect" topology inputs: a link whose status is up but which cannot
+actually forward traffic (ACL misconfiguration, dataplane bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.net.demand import DemandMatrix
+from repro.net.flows import FlowAssignment, place_flows
+from repro.net.topology import Topology, TopologyError
+
+__all__ = ["GroundTruth", "NetworkSimulator", "SimulationError"]
+
+#: Convergence tolerance for the fluid drop model.
+_FLUID_TOLERANCE = 1e-9
+_FLUID_MAX_ITERATIONS = 100
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator cannot produce a consistent state."""
+
+
+@dataclass
+class GroundTruth:
+    """The actual state of the network for one simulation epoch.
+
+    All rates are post-drop actuals.  Flow conservation holds exactly:
+    for every router ``v``,
+    ``ext_in[v] + sum(in-edges) == ext_out[v] + sum(out-edges) + dropped[v]``.
+
+    Attributes:
+        topology: The topology that was simulated (as given, including
+            drained gear).
+        demand: The true offered demand.
+        assignment: The flow placement that was simulated.
+        edge_flows: Transmitted (post-drop) rate per directed edge.
+        edge_arrivals: Rate arriving at the head of each directed edge
+            before that edge's own drop.
+        ext_in: Traffic admitted into the WAN at each router.
+        ext_out: Traffic delivered out of the WAN at each router.
+        dropped: Traffic dropped at each router (attributed to the
+            transmitting side of oversubscribed or blackholed edges).
+        delivered: Post-drop delivered rate per ingress/egress pair.
+        blackholes: Directed edges that silently drop all traffic.
+    """
+
+    topology: Topology
+    demand: DemandMatrix
+    assignment: FlowAssignment
+    edge_flows: Dict[Tuple[str, str], float]
+    edge_arrivals: Dict[Tuple[str, str], float]
+    ext_in: Dict[str, float]
+    ext_out: Dict[str, float]
+    dropped: Dict[str, float]
+    delivered: Dict[Tuple[str, str], float]
+    blackholes: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def flow_on(self, src: str, dst: str) -> float:
+        """Transmitted rate on directed edge ``src -> dst`` (0 if unused)."""
+        return self.edge_flows.get((src, dst), 0.0)
+
+    def utilization(self, src: str, dst: str) -> float:
+        """Post-drop utilization of a directed edge."""
+        link = self.topology.link_between(src, dst)
+        if link is None:
+            raise TopologyError(f"no link between {src!r} and {dst!r}")
+        return self.flow_on(src, dst) / link.capacity
+
+    def max_link_utilization(self) -> float:
+        """The network-wide MLU over all directed edges (0 when idle)."""
+        mlu = 0.0
+        for src, dst in self.topology.directed_edges():
+            mlu = max(mlu, self.utilization(src, dst))
+        return mlu
+
+    def total_dropped(self) -> float:
+        return sum(self.dropped.values())
+
+    def total_delivered(self) -> float:
+        return sum(self.delivered.values())
+
+    def loss_rate(self) -> float:
+        """Fraction of admitted traffic that was dropped."""
+        admitted = sum(self.ext_in.values())
+        if admitted <= 0:
+            return 0.0
+        return self.total_dropped() / admitted
+
+    def congested_edges(self, threshold: float = 1.0 - 1e-9) -> List[Tuple[str, str]]:
+        """Directed edges at or above a utilization threshold."""
+        return [
+            (src, dst)
+            for src, dst in self.topology.directed_edges()
+            if self.utilization(src, dst) >= threshold
+        ]
+
+    def conservation_residual(self, node: str) -> float:
+        """Flow-conservation residual at a router (≈0 by construction)."""
+        inbound = self.ext_in.get(node, 0.0) + sum(
+            rate for (u, v), rate in self.edge_flows.items() if v == node
+        )
+        outbound = self.ext_out.get(node, 0.0) + sum(
+            rate for (u, v), rate in self.edge_flows.items() if u == node
+        )
+        return inbound - outbound - self.dropped.get(node, 0.0)
+
+
+class NetworkSimulator:
+    """Routes demand over a topology and computes ground truth.
+
+    Example:
+        >>> from repro.topologies import abilene
+        >>> from repro.net.demand import gravity_demand
+        >>> topo = abilene()
+        >>> demand = gravity_demand(topo.node_names(), total=200.0, seed=1)
+        >>> truth = NetworkSimulator(topo, demand).run()
+        >>> round(truth.conservation_residual("atla"), 9)
+        0.0
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        demand: DemandMatrix,
+        strategy: str = "ecmp",
+        k: int = 4,
+        blackholes: Iterable[Tuple[str, str]] = (),
+        respect_drains: bool = True,
+    ) -> None:
+        self._topology = topology
+        self._demand = demand
+        self._strategy = strategy
+        self._k = k
+        self._respect_drains = respect_drains
+        self._blackholes = frozenset(blackholes)
+        for src, dst in self._blackholes:
+            if topology.link_between(src, dst) is None:
+                raise SimulationError(f"blackhole on missing edge {src}->{dst}")
+
+    def run(self) -> GroundTruth:
+        """Place flows and run the fluid drop model to a fixed point."""
+        assignment = place_flows(
+            self._topology,
+            self._demand,
+            strategy=self._strategy,
+            k=self._k,
+            respect_drains=self._respect_drains,
+        )
+        return self.evaluate(assignment)
+
+    def evaluate(self, assignment: FlowAssignment) -> GroundTruth:
+        """Run the fluid model for an externally supplied placement.
+
+        Used by the control layer to measure what a controller's path
+        allocation (computed from possibly *incorrect* inputs) does to
+        the real network.
+        """
+        capacity: Dict[Tuple[str, str], float] = {}
+        for u, v in self._topology.directed_edges():
+            link = self._topology.link_between(u, v)
+            assert link is not None  # directed_edges only yields real links
+            capacity[(u, v)] = link.capacity
+        survival: Dict[Tuple[str, str], float] = {edge: 1.0 for edge in capacity}
+        for edge in self._blackholes:
+            survival[edge] = 0.0
+
+        flows = [
+            (src, dst, rule.rate, rule.path.edges())
+            for src, dst, rule in assignment.iter_rules()
+        ]
+        for src, dst, _rate, edges in flows:
+            for edge in edges:
+                if edge not in capacity:
+                    raise SimulationError(
+                        f"flow {src}->{dst} routed over missing edge {edge}"
+                    )
+
+        arrivals: Dict[Tuple[str, str], float] = {}
+        for _ in range(_FLUID_MAX_ITERATIONS):
+            arrivals = {edge: 0.0 for edge in capacity}
+            for _src, _dst, rate, edges in flows:
+                remaining = rate
+                for edge in edges:
+                    arrivals[edge] += remaining
+                    remaining *= survival[edge]
+            updated = {}
+            for edge, arriving in arrivals.items():
+                if edge in self._blackholes:
+                    updated[edge] = 0.0
+                elif arriving > capacity[edge]:
+                    updated[edge] = capacity[edge] / arriving
+                else:
+                    updated[edge] = 1.0
+            delta = max(abs(updated[e] - survival[e]) for e in capacity) if capacity else 0.0
+            survival = updated
+            if delta < _FLUID_TOLERANCE:
+                break
+
+        edge_flows = {edge: arrivals.get(edge, 0.0) * survival[edge] for edge in capacity}
+
+        ext_in: Dict[str, float] = {n: 0.0 for n in self._topology.node_names()}
+        ext_out: Dict[str, float] = {n: 0.0 for n in self._topology.node_names()}
+        delivered: Dict[Tuple[str, str], float] = {}
+        for src, dst, rate, edges in flows:
+            ext_in[src] += rate
+            through = rate
+            for edge in edges:
+                through *= survival[edge]
+            ext_out[dst] += through
+            delivered[(src, dst)] = delivered.get((src, dst), 0.0) + through
+
+        dropped: Dict[str, float] = {n: 0.0 for n in self._topology.node_names()}
+        for (u, _v), arriving in arrivals.items():
+            lost = arriving - edge_flows[(u, _v)]
+            if lost > 0:
+                dropped[u] += lost
+
+        return GroundTruth(
+            topology=self._topology,
+            demand=self._demand,
+            assignment=assignment,
+            edge_flows=edge_flows,
+            edge_arrivals=arrivals,
+            ext_in=ext_in,
+            ext_out=ext_out,
+            dropped=dropped,
+            delivered=delivered,
+            blackholes=self._blackholes,
+        )

@@ -1,0 +1,18 @@
+"""Outage scenarios: the World orchestrator and the Section 2 catalog."""
+
+from repro.scenarios.catalog import Category, OutageScenario, all_scenarios, scenario_by_id
+from repro.scenarios.timeline import EpochRecord, EpochSpec, Timeline, TimelineResult
+from repro.scenarios.world import EpochOutcome, World
+
+__all__ = [
+    "Category",
+    "EpochOutcome",
+    "EpochRecord",
+    "EpochSpec",
+    "OutageScenario",
+    "Timeline",
+    "TimelineResult",
+    "World",
+    "all_scenarios",
+    "scenario_by_id",
+]

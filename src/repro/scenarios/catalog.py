@@ -1,0 +1,623 @@
+"""The outage-scenario catalog: every Section 2 outage, reproducible.
+
+The paper's evidence is five years of proprietary outage reports; the
+substitution (see DESIGN.md) is this catalog, which encodes each
+described outage mechanism as a fault-injected :class:`World`.  Every
+scenario records:
+
+- which paper section describes it,
+- its root-cause category (the Section 2 taxonomy),
+- whether Hodor is expected to flag it and through which channels,
+- whether the bug, left unvalidated, visibly damages the network within
+  the epoch (some paper outages hurt only later, e.g. when maintenance
+  actually starts on gear the controller thinks is serving).
+
+The final scenario is the *legitimate disaster* from Section 1 -- a
+mass drain that is atypical but correct -- used to show the
+false-positive failure mode of static heuristic checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+)
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    MalformedTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+from repro.net.demand import DemandMatrix, gravity_demand
+from repro.net.topology import Node, Topology
+from repro.scenarios.world import World
+from repro.telemetry.probes import LinkHealth
+from repro.topologies.abilene import abilene
+from repro.topologies.b4 import b4
+
+__all__ = ["Category", "OutageScenario", "all_scenarios", "scenario_by_id"]
+
+
+class Category:
+    """Root-cause taxonomy from Section 2."""
+
+    ROUTER_TELEMETRY = "router-telemetry"  # 2.1 telemetry bugs
+    ROUTER_INTENT = "router-intent"  # 2.1 incorrect intent
+    CONTROL_AGGREGATION = "control-aggregation"  # 2.2 infra bugs
+    EXTERNAL_INPUT = "external-input"  # 2.2 external input
+    LEGITIMATE = "legitimate"  # correct but atypical
+
+    ALL = (
+        ROUTER_TELEMETRY,
+        ROUTER_INTENT,
+        CONTROL_AGGREGATION,
+        EXTERNAL_INPUT,
+        LEGITIMATE,
+    )
+
+
+@dataclass(frozen=True)
+class OutageScenario:
+    """One reproducible outage (or legitimate-input) scenario.
+
+    Attributes:
+        scenario_id: Stable identifier (``"S01"``...).
+        title: Short human-readable name.
+        paper_section: Where the paper describes this mechanism.
+        category: One of :class:`Category`.
+        description: What goes wrong and how.
+        expect_detection: Should Hodor flag this epoch?
+        expected_channels: Detection channels expected to fire, a
+            subset of ``{"hardening", "demand", "topology", "drain"}``.
+        expect_damage: Does the bug visibly damage the network within
+            the epoch when nobody intervenes (health at least CONGESTED)?
+        builder: ``seed -> World`` factory.
+    """
+
+    scenario_id: str
+    title: str
+    paper_section: str
+    category: str
+    description: str
+    expect_detection: bool
+    expected_channels: Tuple[str, ...]
+    expect_damage: bool
+    builder: Callable[[int], World]
+
+    def build(self, seed: int = 0) -> World:
+        return self.builder(seed)
+
+
+# ----------------------------------------------------------------------
+# Shared scaffolding
+# ----------------------------------------------------------------------
+
+#: Gravity-demand total that keeps healthy Abilene comfortably below
+#: saturation while leaving enough pressure that meaningful capacity
+#: loss congests it.
+_DEMAND_TOTAL = 55.0
+
+#: The Atlanta M5 testbed router sits behind the one OC-48 (2.5G) spur
+#: and carries little traffic in the real Abilene matrices; weighting it
+#: down keeps that spur from being the bottleneck in every scenario.
+_ABILENE_WEIGHTS = {"atlam": 0.15}
+
+
+def _abilene_demand(seed: int, total: float = _DEMAND_TOTAL) -> DemandMatrix:
+    topo = abilene()
+    return gravity_demand(
+        topo.node_names(), total=total, seed=seed, weights=_ABILENE_WEIGHTS
+    )
+
+
+def _drained_topology(drained_nodes: Tuple[str, ...]) -> Topology:
+    """Abilene with operator drain intent set on some routers."""
+    topo = abilene()
+    for name in drained_nodes:
+        node = topo.node(name)
+        topo.replace_node(Node(name, site=node.site, drained=True, vendor=node.vendor))
+    return topo
+
+
+def _demand_without(demand: DemandMatrix, nodes: Tuple[str, ...]) -> DemandMatrix:
+    """Zero all demand to/from the given routers (hosts behind drained
+    gear cannot source or sink WAN traffic)."""
+    reduced = demand.copy()
+    for node in nodes:
+        for other in demand.nodes:
+            if other == node:
+                continue
+            reduced[node, other] = 0.0
+            reduced[other, node] = 0.0
+    return reduced
+
+
+# ----------------------------------------------------------------------
+# Section 2.1: incorrect router signals
+# ----------------------------------------------------------------------
+
+
+def _s01_zeroed_telemetry(seed: int) -> World:
+    interfaces = [("ipls", "kscy"), ("atla", "wash"), ("chin", "nycm")]
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[ZeroedDuplicateTelemetry(interfaces=interfaces)],
+        infer_faulty_from_counters=True,
+        seed=seed,
+    )
+
+
+def _s02_malformed_telemetry(seed: int) -> World:
+    interfaces = [
+        ("ipls", "atla"),
+        ("ipls", "chin"),
+        ("ipls", "kscy"),
+        ("kscy", "dnvr"),
+        ("kscy", "hstn"),
+    ]
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[MalformedTelemetry(interfaces=interfaces)],
+        infer_faulty_from_counters=True,
+        seed=seed,
+    )
+
+
+def _s03_delayed_telemetry(seed: int) -> World:
+    interfaces = [("snva", "sttl"), ("losa", "snva")]
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[DelayedTelemetry(interfaces=interfaces, delay_s=600.0, drift=0.4)],
+        seed=seed,
+    )
+
+
+def _s04_drain_race(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[InconsistentLinkDrain([("ipls", "kscy"), ("atla", "ipls")])],
+        seed=seed,
+    )
+
+
+def _s05_erroneous_auto_drain(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[SpuriousDrain(["kscy", "ipls"])],
+        seed=seed,
+    )
+
+
+def _s06_missed_drain(seed: int) -> World:
+    # Operator drained dnvr because its dataplane is broken, but the
+    # router reports itself serving; its links are up but do not forward.
+    topo = _drained_topology(("dnvr",))
+    demand = _demand_without(_abilene_demand(seed), ("dnvr",))
+    health = {
+        topo.link_between("dnvr", peer).name: LinkHealth(up=True, forwarding=False)
+        for peer in topo.neighbors("dnvr")
+    }
+    return World(
+        topo,
+        demand,
+        link_health=health,
+        signal_faults=[MissedDrain(["dnvr"])],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 2.2: incorrect aggregation
+# ----------------------------------------------------------------------
+
+
+def _s07_partial_stitch(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        topo_bugs=[PartialTopologyStitch({"kscy", "ipls"})],
+        seed=seed,
+    )
+
+
+def _s08_liveness_down(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        topo_bugs=[LivenessMisreport({"ipls~kscy", "atla~ipls", "chin~ipls"}, report_up=False)],
+        seed=seed,
+    )
+
+
+def _s09_liveness_up(seed: int) -> World:
+    # The ipls~kscy fiber is cut, but the instrumentation service keeps
+    # reporting the link alive; the controller overloads a dead link.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        link_health={"ipls~kscy": LinkHealth(up=False)},
+        topo_bugs=[LivenessMisreport({"ipls~kscy"}, report_up=True)],
+        seed=seed,
+    )
+
+
+def _s10_ignored_drain(seed: int) -> World:
+    topo = _drained_topology(("kscy",))
+    demand = _demand_without(_abilene_demand(seed), ("kscy",))
+    return World(
+        topo,
+        demand,
+        drain_bugs=[IgnoredDrain({"kscy"})],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 2.2: external input
+# ----------------------------------------------------------------------
+
+
+def _s11_partial_demand(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed, total=65.0),
+        demand_bugs=[PartialDemandAggregation(drop_fraction=0.5, seed=seed + 10)],
+        seed=seed,
+    )
+
+
+def _s12_double_count(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed, total=40.0),
+        demand_bugs=[DoubleCountedDemand(fraction=0.4, multiplier=2.0, seed=seed + 10)],
+        seed=seed,
+    )
+
+
+def _s13_throttled_demand(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed, total=40.0),
+        demand_bugs=[ThrottledDemandMismatch(admitted_fraction=0.55)],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.2: semantic topology failures
+# ----------------------------------------------------------------------
+
+
+def _s14_acl_blackhole(seed: int) -> World:
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        link_health={"ipls~kscy": LinkHealth(up=True, forwarding=False)},
+        seed=seed,
+    )
+
+
+def _s15_status_lies_up(seed: int) -> World:
+    # Fiber cut on nycm~wash; both interfaces keep claiming oper-up.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        link_health={"nycm~wash": LinkHealth(up=False)},
+        signal_faults=[WrongLinkStatus([("nycm", "wash"), ("wash", "nycm")], report_up=True)],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# B4-like inter-datacenter WAN variants (topology diversity)
+# ----------------------------------------------------------------------
+
+
+def _b4_demand(seed: int, total: float = 600.0) -> DemandMatrix:
+    topo = b4()
+    return gravity_demand(topo.node_names(), total=total, seed=seed)
+
+
+def _s17_b4_vendor_bug(seed: int) -> World:
+    # A buggy OS rollout on one vendor's fleet mis-scales every counter
+    # on those routers (the Section 3.2 correlated-failure worry), on
+    # the B4-like WAN whose sites alternate vendors by design.
+    topo = b4()
+    vendor_b = [node.name for node in topo.nodes() if node.vendor == "vendor-b"]
+    return World(
+        topo,
+        _b4_demand(seed),
+        signal_faults=[CorrelatedCounterFault(vendor_b, factor=0.5)],
+        seed=seed,
+    )
+
+
+def _s18_b4_transpacific_cut(seed: int) -> World:
+    # A trans-Pacific fiber cut whose endpoints keep reporting up; the
+    # controller keeps loading a dead 200G link.
+    return World(
+        b4(),
+        _b4_demand(seed, total=700.0),
+        link_health={"asia-ne1~us-w1": LinkHealth(up=False)},
+        signal_faults=[
+            WrongLinkStatus([("us-w1", "asia-ne1"), ("asia-ne1", "us-w1")], report_up=True)
+        ],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 1: the legitimate disaster (false-positive probe)
+# ----------------------------------------------------------------------
+
+
+def _s16_mass_drain_disaster(seed: int) -> World:
+    drained = ("sttl", "snva", "losa", "dnvr")  # west coast event
+    topo = _drained_topology(drained)
+    demand = _demand_without(_abilene_demand(seed, total=10.0), drained)
+    return World(topo, demand, seed=seed)
+
+
+# ----------------------------------------------------------------------
+
+
+_SCENARIOS: List[OutageScenario] = [
+    OutageScenario(
+        "S01",
+        "zeroed duplicate telemetry",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A router-OS bug duplicates telemetry messages with zeroed rx counters; "
+        "the control plane declares healthy interfaces faulty and routes around "
+        "them, congesting the rest.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s01_zeroed_telemetry,
+    ),
+    OutageScenario(
+        "S02",
+        "malformed telemetry responses",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "Interfaces report unparseable counter values; the control plane treats "
+        "the links as faulty and sheds their capacity.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s02_malformed_telemetry,
+    ),
+    OutageScenario(
+        "S03",
+        "delayed telemetry reporting",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "Some interfaces report stale rates from an earlier traffic epoch.",
+        expect_detection=True,
+        expected_channels=("hardening",),
+        expect_damage=False,
+        builder=_s03_delayed_telemetry,
+    ),
+    OutageScenario(
+        "S04",
+        "drain/restart race leaves inconsistent link drains",
+        "2.1",
+        Category.ROUTER_INTENT,
+        "A controller job restart races a router drain; one endpoint of two "
+        "links reports drained, the peer does not.  The drain service's "
+        "either-endpoint rule removes live capacity.",
+        expect_detection=True,
+        expected_channels=("drain",),
+        expect_damage=True,
+        builder=_s04_drain_race,
+    ),
+    OutageScenario(
+        "S05",
+        "erroneous automation drains healthy routers",
+        "2.1",
+        Category.ROUTER_INTENT,
+        "An incorrect drain condition marks two healthy, traffic-carrying "
+        "routers drained; the controller moves their traffic onto the rest.",
+        expect_detection=True,
+        expected_channels=("hardening",),
+        expect_damage=True,
+        builder=_s05_erroneous_auto_drain,
+    ),
+    OutageScenario(
+        "S06",
+        "broken router fails to report drained",
+        "2.1",
+        Category.ROUTER_INTENT,
+        "A router whose dataplane is broken (and which the operator drained) "
+        "reports itself serving; its links are up but black-hole traffic.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology", "drain"),
+        expect_damage=True,
+        builder=_s06_missed_drain,
+    ),
+    OutageScenario(
+        "S07",
+        "topology stitched before all routers reported",
+        "2.2",
+        Category.CONTROL_AGGREGATION,
+        "A buggy instrumentation rollout stitches the topology without waiting "
+        "for two routers; the controller sees a partial network and squeezes "
+        "all traffic through what remains.",
+        expect_detection=True,
+        expected_channels=("topology",),
+        expect_damage=True,
+        builder=_s07_partial_stitch,
+    ),
+    OutageScenario(
+        "S08",
+        "liveness misreported down",
+        "2.2",
+        Category.CONTROL_AGGREGATION,
+        "An instrumentation bug reports three live links as down; the "
+        "controller sees less bandwidth than exists and places traffic "
+        "sub-optimally.",
+        expect_detection=True,
+        expected_channels=("topology",),
+        expect_damage=True,
+        builder=_s08_liveness_down,
+    ),
+    OutageScenario(
+        "S09",
+        "liveness misreported up (dead link used)",
+        "2.2",
+        Category.CONTROL_AGGREGATION,
+        "A cut fiber stays 'alive' in the topology input; the controller "
+        "keeps loading a link that drops everything.",
+        expect_detection=True,
+        expected_channels=("topology",),
+        expect_damage=True,
+        builder=_s09_liveness_up,
+    ),
+    OutageScenario(
+        "S10",
+        "drain signal ignored during aggregation",
+        "2.2",
+        Category.CONTROL_AGGREGATION,
+        "A router's correct drain signal is partially ignored; its capacity "
+        "is wrongly counted as available.  (The damage lands when maintenance "
+        "actually starts, hence no same-epoch outage.)",
+        expect_detection=True,
+        expected_channels=("drain",),
+        expect_damage=False,
+        builder=_s10_ignored_drain,
+    ),
+    OutageScenario(
+        "S11",
+        "partial demand aggregation",
+        "2.2",
+        Category.EXTERNAL_INPUT,
+        "A demand-instrumentation rollout silently drops ~45% of demand "
+        "records; programmed routes ignore a large traffic fraction, which "
+        "still arrives and congests them.",
+        expect_detection=True,
+        expected_channels=("demand",),
+        expect_damage=True,
+        builder=_s11_partial_demand,
+    ),
+    OutageScenario(
+        "S12",
+        "demand double-counted",
+        "2.2",
+        Category.EXTERNAL_INPUT,
+        "A fraction of demand records is counted twice; the believed matrix "
+        "exceeds what hosts send.",
+        expect_detection=True,
+        expected_channels=("demand",),
+        expect_damage=False,
+        builder=_s12_double_count,
+    ),
+    OutageScenario(
+        "S13",
+        "measured demand throttled at hosts",
+        "2.2",
+        Category.EXTERNAL_INPUT,
+        "Demand is measured correctly but hosts are erroneously throttled; "
+        "measurement and admitted traffic diverge.",
+        expect_detection=True,
+        expected_channels=("demand",),
+        expect_damage=False,
+        builder=_s13_throttled_demand,
+    ),
+    OutageScenario(
+        "S14",
+        "link up but not forwarding (ACL misconfiguration)",
+        "4.2",
+        Category.ROUTER_TELEMETRY,
+        "A link's status is up and it sits in the topology input, but the "
+        "dataplane black-holes traffic -- the semantic, design-time bug class.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s14_acl_blackhole,
+    ),
+    OutageScenario(
+        "S15",
+        "both ends misreport a dead link as up",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A fiber cut with lying oper-status at both ends; counters and probes "
+        "contradict the status bits.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s15_status_lies_up,
+    ),
+    OutageScenario(
+        "S17",
+        "correlated vendor-OS counter bug (B4)",
+        "3.2",
+        Category.ROUTER_TELEMETRY,
+        "A staged OS rollout on one vendor's routers mis-scales all their "
+        "counters equally; vendor-diverse link endpoints still expose the "
+        "bug through R1 asymmetry.",
+        expect_detection=True,
+        expected_channels=("hardening",),
+        expect_damage=False,
+        builder=_s17_b4_vendor_bug,
+    ),
+    OutageScenario(
+        "S18",
+        "trans-Pacific fiber cut misreported up (B4)",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A cut subsea link keeps claiming oper-up at both ends; the "
+        "controller black-holes inter-continental traffic onto it.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s18_b4_transpacific_cut,
+    ),
+    OutageScenario(
+        "S16",
+        "legitimate mass drain (disaster scenario)",
+        "1",
+        Category.LEGITIMATE,
+        "A regional event drains four routers; every signal and input is "
+        "correct.  Hodor must accept this epoch -- static heuristics reject "
+        "it (the Section 1 false-positive).",
+        expect_detection=False,
+        expected_channels=(),
+        expect_damage=False,
+        builder=_s16_mass_drain_disaster,
+    ),
+]
+
+
+def all_scenarios() -> List[OutageScenario]:
+    """The full catalog, in scenario-id order."""
+    return list(_SCENARIOS)
+
+
+def scenario_by_id(scenario_id: str) -> OutageScenario:
+    """Look up one scenario.
+
+    Raises:
+        KeyError: For unknown ids.
+    """
+    for scenario in _SCENARIOS:
+        if scenario.scenario_id == scenario_id:
+            return scenario
+    raise KeyError(f"unknown scenario {scenario_id!r}")

@@ -1,0 +1,211 @@
+"""Multi-epoch timelines: always-on validation over evolving traffic.
+
+The paper envisions Hodor as "an always-on system that continuously
+validates inputs to the SDN controller as it receives them", with a
+reject-and-fallback response.  A :class:`Timeline` runs that loop over
+many epochs of a simulated WAN:
+
+- demand follows a diurnal curve with per-epoch noise,
+- faults switch on and off per a schedule (a bad rollout lands at epoch
+  k, gets reverted at epoch m),
+- one persistent :class:`~repro.core.pipeline.Hodor` instance carries
+  last-known-good inputs across epochs,
+
+and records, for every epoch, what the network looked like with the
+inputs used as-is versus with Hodor's policy decision -- the
+"outages averted" time series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.control.infra import ControlPlane
+from repro.control.metrics import HealthReport, Severity, assess_health
+from repro.core.config import HodorConfig
+from repro.core.pipeline import Hodor
+from repro.core.policy import Policy, RejectAndFallbackPolicy
+from repro.experiments.reporting import format_table
+from repro.net.demand import DemandMatrix
+from repro.net.realize import realize_traffic
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import Topology
+from repro.scenarios.world import World
+
+__all__ = ["EpochSpec", "EpochRecord", "TimelineResult", "Timeline"]
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """Fault configuration active during one epoch.
+
+    All fields mirror :class:`~repro.scenarios.world.World` arguments;
+    an empty spec is a healthy epoch.
+    """
+
+    signal_faults: tuple = ()
+    topo_bugs: tuple = ()
+    demand_bugs: tuple = ()
+    drain_bugs: tuple = ()
+    link_health: Mapping[str, object] = field(default_factory=dict)
+    label: str = ""
+
+
+@dataclass
+class EpochRecord:
+    """Everything one timeline epoch produced.
+
+    Attributes:
+        epoch: Epoch index.
+        label: The active spec's label ("" for healthy epochs).
+        demand_total: True offered demand this epoch.
+        detected: Hodor flagged something.
+        fell_back: The policy substituted last-known-good inputs.
+        unprotected: Network health had the fresh inputs been used.
+        protected: Network health under the policy's decision.
+    """
+
+    epoch: int
+    label: str
+    demand_total: float
+    detected: bool
+    fell_back: bool
+    unprotected: HealthReport
+    protected: HealthReport
+
+
+@dataclass
+class TimelineResult:
+    """A full timeline run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def damaged_epochs(self, protected: bool) -> List[int]:
+        """Epochs where the network was CONGESTED or worse."""
+        return [
+            record.epoch
+            for record in self.records
+            if (record.protected if protected else record.unprotected).severity.at_least(
+                Severity.CONGESTED
+            )
+        ]
+
+    def epochs_averted(self) -> List[int]:
+        """Epochs damaged without Hodor but healthy with it."""
+        without = set(self.damaged_epochs(protected=False))
+        with_hodor = set(self.damaged_epochs(protected=True))
+        return sorted(without - with_hodor)
+
+    def render(self) -> str:
+        rows = []
+        for record in self.records:
+            rows.append(
+                [
+                    record.epoch,
+                    record.label or "-",
+                    f"{record.demand_total:.0f}",
+                    "yes" if record.detected else "no",
+                    "fallback" if record.fell_back else "accept",
+                    record.unprotected.severity.value,
+                    record.protected.severity.value,
+                ]
+            )
+        return format_table(
+            ["epoch", "active fault", "demand", "flagged", "decision", "as-is", "with hodor"],
+            rows,
+        )
+
+
+class Timeline:
+    """Runs the always-on validation loop over many epochs.
+
+    Args:
+        topology: The real network.
+        base_demand: Mean demand matrix; epochs scale it.
+        schedule: Epoch index -> :class:`EpochSpec` for faulty epochs;
+            missing epochs are healthy.
+        diurnal_amplitude: Peak-to-mean demand swing (0.2 = +/-20%).
+        period: Epochs per diurnal cycle.
+        noise: Extra deterministic per-epoch demand wiggle amplitude.
+        hodor_config: Validation tunables.
+        policy: Response policy; defaults to reject-and-fallback.
+        seed: Base seed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        base_demand: DemandMatrix,
+        schedule: Optional[Mapping[int, EpochSpec]] = None,
+        diurnal_amplitude: float = 0.15,
+        period: int = 8,
+        noise: float = 0.02,
+        hodor_config: Optional[HodorConfig] = None,
+        policy: Optional[Policy] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= diurnal_amplitude < 1:
+            raise ValueError(f"diurnal_amplitude must be in [0, 1), got {diurnal_amplitude}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self._topology = topology
+        self._base_demand = base_demand
+        self._schedule = dict(schedule or {})
+        self._amplitude = diurnal_amplitude
+        self._period = period
+        self._noise = noise
+        self._seed = seed
+        self._hodor = Hodor(
+            topology, config=hodor_config, policy=policy or RejectAndFallbackPolicy()
+        )
+
+    def demand_at(self, epoch: int) -> DemandMatrix:
+        """The diurnal + noise demand for one epoch (deterministic)."""
+        diurnal = 1.0 + self._amplitude * math.sin(2 * math.pi * epoch / self._period)
+        wiggle = 1.0 + self._noise * (((epoch * 2654435761) % 1000) / 1000.0 - 0.5)
+        return self._base_demand.scaled(diurnal * wiggle)
+
+    def run(self, epochs: int) -> TimelineResult:
+        """Run the loop for ``epochs`` epochs."""
+        result = TimelineResult()
+        for epoch in range(epochs):
+            spec = self._schedule.get(epoch, EpochSpec())
+            demand = self.demand_at(epoch)
+            world = World(
+                self._topology,
+                demand,
+                link_health=dict(spec.link_health),
+                signal_faults=list(spec.signal_faults),
+                topo_bugs=list(spec.topo_bugs),
+                demand_bugs=list(spec.demand_bugs),
+                drain_bugs=list(spec.drain_bugs),
+                seed=self._seed + epoch,
+            )
+            outcome = world.run_epoch(timestamp=float(epoch))
+
+            decision = self._hodor.validate_and_decide(outcome.snapshot, outcome.inputs)
+            protected_health = self._evaluate(world, decision.inputs)
+
+            result.records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    label=spec.label,
+                    demand_total=world.actual_demand.total(),
+                    detected=outcome.detected,
+                    fell_back=decision.fell_back,
+                    unprotected=outcome.health,
+                    protected=protected_health,
+                )
+            )
+        return result
+
+    def _evaluate(self, world: World, inputs) -> HealthReport:
+        """Network health when the controller uses ``inputs``."""
+        programmed = world.control_plane.controller.program(inputs)
+        realized = realize_traffic(programmed, world.actual_demand, world.live_topology())
+        truth = NetworkSimulator(
+            world.topology, world.actual_demand, blackholes=world.blackholes()
+        ).evaluate(realized)
+        return assess_health(truth, world.actual_demand)

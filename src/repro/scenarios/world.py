@@ -1,0 +1,257 @@
+"""World: one fully wired epoch of the simulated SDN WAN.
+
+A :class:`World` assembles everything the paper's Figure 1 contains --
+the network (with ground-truth traffic), router telemetry, injectable
+router faults, the control infrastructure (with injectable aggregation
+bugs), the SDN controller, and Hodor watching the controller's inputs
+-- and runs one epoch:
+
+1. Steady-state ground truth is simulated for the traffic hosts
+   *actually* send (measured demand, unless a throttling bug makes the
+   two differ), honouring operator drain intent and physical link
+   health.
+2. Routers report a telemetry snapshot (with rolling-window jitter);
+   Section 2.1 signal faults corrupt it.
+3. The control infrastructure aggregates the snapshot plus end-host
+   demand records into controller inputs; Section 2.2 aggregation bugs
+   corrupt that step.
+4. Hodor validates the inputs against the same snapshot.
+5. The controller programs routes from the (possibly bad) inputs, hosts
+   send their real traffic over them, and the resulting network health
+   is assessed -- did the incorrect input cause an outage?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.control.infra import ControlPlane
+from repro.control.demand_service import records_from_matrix
+from repro.control.inputs import ControllerInputs
+from repro.control.metrics import HealthReport, Severity, assess_health
+from repro.core.config import HodorConfig
+from repro.core.pipeline import Hodor
+from repro.core.report import ValidationReport
+from repro.faults.base import AggregationBug, FaultInjector, InjectionRecord, SignalFault
+from repro.faults.external_faults import ThrottledDemandMismatch
+from repro.net.demand import DemandMatrix
+from repro.net.flows import FlowAssignment
+from repro.net.realize import realize_traffic
+from repro.net.simulation import GroundTruth, NetworkSimulator
+from repro.net.topology import Topology
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import LinkHealth, ProbeEngine
+from repro.telemetry.self_correct import peer_exchange_correct
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["EpochOutcome", "World"]
+
+
+@dataclass
+class EpochOutcome:
+    """Everything one epoch produced.
+
+    Attributes:
+        snapshot: The (faulted) snapshot routers reported.
+        injections: Ground truth of corrupted signals.
+        inputs: What the controller saw.
+        report: Hodor's validation of those inputs.
+        programmed: The controller's path allocation.
+        realized: The traffic hosts actually sent over it.
+        truth: The resulting real network state.
+        health: Health assessment of that state.
+    """
+
+    snapshot: NetworkSnapshot
+    injections: List[InjectionRecord]
+    inputs: ControllerInputs
+    report: ValidationReport
+    programmed: FlowAssignment
+    realized: FlowAssignment
+    truth: GroundTruth
+    health: HealthReport
+
+    @property
+    def detected(self) -> bool:
+        """Did Hodor flag anything this epoch?"""
+        return self.report.detected_anything()
+
+    @property
+    def outage(self) -> bool:
+        return self.health.is_outage()
+
+    @property
+    def damaged(self) -> bool:
+        """Network visibly hurt: saturated links/loss or worse."""
+        return self.health.severity.at_least(Severity.CONGESTED)
+
+
+class World:
+    """A fully wired simulated WAN epoch factory.
+
+    Args:
+        topology: The real network (drain intent lives on its nodes and
+            links).
+        measured_demand: Demand as the instrumentation measures it at
+            end hosts.
+        link_health: Physical/dataplane ground truth per canonical link
+            name; absent links are healthy.
+        signal_faults: Section 2.1 router faults applied to snapshots.
+        topo_bugs / demand_bugs / drain_bugs: Section 2.2 aggregation
+            bugs wired into the respective services.
+        hodor_config: Validation tunables.
+        jitter_magnitude: Rolling-window noise on counters.
+        probe_loss: Per-probe loss probability (R4 noise).
+        use_probes: Whether the telemetry layer runs probes at all.
+        strategy: Ground-truth steady-state routing strategy.
+        k_paths: Controller TE path diversity.
+        shards_per_pair: Demand records per ingress/egress pair.
+        seed: Base seed; all internal randomness derives from it.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        measured_demand: DemandMatrix,
+        link_health: Optional[Mapping[str, LinkHealth]] = None,
+        signal_faults: Sequence[SignalFault] = (),
+        topo_bugs: Sequence[AggregationBug] = (),
+        demand_bugs: Sequence[AggregationBug] = (),
+        drain_bugs: Sequence[AggregationBug] = (),
+        hodor_config: Optional[HodorConfig] = None,
+        jitter_magnitude: float = 0.01,
+        probe_loss: float = 0.0,
+        use_probes: bool = True,
+        strategy: str = "ecmp",
+        k_paths: int = 4,
+        shards_per_pair: int = 3,
+        seed: int = 0,
+        infer_faulty_from_counters: bool = False,
+        self_correct: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.measured_demand = measured_demand
+        self.link_health: Dict[str, LinkHealth] = dict(link_health or {})
+        self.signal_faults = list(signal_faults)
+        self.hodor_config = hodor_config or HodorConfig()
+        self.self_correct = self_correct
+        self._seed = seed
+        self._strategy = strategy
+        self._shards = shards_per_pair
+
+        probe_engine = (
+            ProbeEngine(loss_probability=probe_loss, seed=seed + 1) if use_probes else None
+        )
+        self.collector = TelemetryCollector(
+            jitter=Jitter(jitter_magnitude, seed=seed + 2), probe_engine=probe_engine
+        )
+        self.injector = FaultInjector(self.signal_faults, seed=seed + 3)
+        self.control_plane = ControlPlane(
+            topology,
+            topo_bugs=topo_bugs,
+            demand_bugs=demand_bugs,
+            drain_bugs=drain_bugs,
+            k_paths=k_paths,
+            infer_faulty_from_counters=infer_faulty_from_counters,
+        )
+        self.hodor = Hodor(topology, config=self.hodor_config)
+
+        # A throttling bug means hosts send less than was measured.
+        admitted = 1.0
+        for bug in demand_bugs:
+            if isinstance(bug, ThrottledDemandMismatch):
+                admitted *= bug.admitted_fraction
+        self.actual_demand = measured_demand.scaled(admitted)
+
+    # ------------------------------------------------------------------
+
+    def blackholes(self) -> List[Tuple[str, str]]:
+        """Directed edges of links that cannot carry traffic."""
+        holes = []
+        for link_name, health in self.link_health.items():
+            if health.carries_traffic:
+                continue
+            link = self.topology.link(link_name)
+            holes.extend(link.directions())
+        return holes
+
+    def live_topology(self) -> Topology:
+        """The actually-usable graph (dead links removed)."""
+        live = Topology(f"{self.topology.name}:live")
+        for node in self.topology.nodes():
+            live.add_node(node)
+        for link in self.topology.links():
+            health = self.link_health.get(link.name, LinkHealth())
+            if health.carries_traffic:
+                live.add_link(link)
+        return live
+
+    def steady_state(self) -> GroundTruth:
+        """Ground truth before the controller reacts to this epoch."""
+        return NetworkSimulator(
+            self.topology,
+            self.actual_demand,
+            strategy=self._strategy,
+            blackholes=self.blackholes(),
+        ).run()
+
+    def run_epoch(self, timestamp: float = 0.0) -> EpochOutcome:
+        """Run the full Figure 1 pipeline once."""
+        truth_before = self.steady_state()
+        clean_snapshot = self.collector.collect(
+            truth_before, health=self.link_health, timestamp=timestamp
+        )
+        snapshot, injections = self.injector.inject(clean_snapshot)
+        if self.self_correct:
+            # Section 6 future direction: routers repair their own
+            # counter anomalies via peer exchange before anything
+            # downstream reads the telemetry.
+            snapshot, _corrections = peer_exchange_correct(
+                snapshot, self.topology, tau=self.hodor_config.tau_h
+            )
+
+        records = records_from_matrix(
+            self.measured_demand, shards_per_pair=self._shards, seed=self._seed + 4
+        )
+        inputs = self.control_plane.compute_inputs(snapshot, records, timestamp=timestamp)
+        report = self.hodor.validate(snapshot, inputs)
+
+        programmed = self.control_plane.program(inputs)
+        realized = realize_traffic(programmed, self.actual_demand, self.live_topology())
+        truth_after = NetworkSimulator(
+            self.topology, self.actual_demand, blackholes=self.blackholes()
+        ).evaluate(realized)
+        health = assess_health(truth_after, self.actual_demand)
+
+        return EpochOutcome(
+            snapshot=snapshot,
+            injections=injections,
+            inputs=inputs,
+            report=report,
+            programmed=programmed,
+            realized=realized,
+            truth=truth_after,
+            health=health,
+        )
+
+    def baseline_health(self) -> HealthReport:
+        """Health with a bug-free control plane on a clean snapshot.
+
+        The counterfactual experiments compare against: what this epoch
+        would have looked like had inputs been correct.
+        """
+        truth_before = self.steady_state()
+        clean_snapshot = self.collector.collect(truth_before, health=self.link_health)
+        clean_plane = ControlPlane(self.topology)
+        records = records_from_matrix(
+            self.actual_demand, shards_per_pair=self._shards, seed=self._seed + 4
+        )
+        inputs = clean_plane.compute_inputs(clean_snapshot, records)
+        programmed = clean_plane.program(inputs)
+        realized = realize_traffic(programmed, self.actual_demand, self.live_topology())
+        truth = NetworkSimulator(
+            self.topology, self.actual_demand, blackholes=self.blackholes()
+        ).evaluate(realized)
+        return assess_health(truth, self.actual_demand)

@@ -1,0 +1,110 @@
+"""Telemetry collection: sampling ground truth into a snapshot.
+
+The :class:`TelemetryCollector` plays the role of the routers' gNMI
+telemetry stack: it turns the simulator's ground truth into the signal
+set routers would report, applying rolling-window jitter.  The output
+snapshot is *pre-fault*: router-level bugs (Section 2.1) are injected
+afterwards by :mod:`repro.faults`, so tests can compare faulted and
+clean snapshots of the same instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.net.simulation import GroundTruth
+from repro.net.topology import EXTERNAL_PEER, Topology
+from repro.telemetry.counters import CounterReading, Jitter
+from repro.telemetry.probes import LinkHealth, ProbeEngine
+from repro.telemetry.snapshot import LinkStatusReport, NetworkSnapshot
+
+__all__ = ["TelemetryCollector"]
+
+
+class TelemetryCollector:
+    """Samples a :class:`GroundTruth` into a :class:`NetworkSnapshot`.
+
+    Args:
+        jitter: Rolling-window measurement noise applied to every rate.
+        probe_engine: When given, active neighbor probes (R4) are run
+            and included in the snapshot.
+        window_s: Rolling window length stamped on readings.
+    """
+
+    def __init__(
+        self,
+        jitter: Optional[Jitter] = None,
+        probe_engine: Optional[ProbeEngine] = None,
+        window_s: float = 5.0,
+    ) -> None:
+        self._jitter = jitter if jitter is not None else Jitter()
+        self._probe_engine = probe_engine
+        self._window_s = window_s
+        self._sequence = 0
+
+    def collect(
+        self,
+        truth: GroundTruth,
+        health: Optional[Mapping[str, LinkHealth]] = None,
+        timestamp: float = 0.0,
+    ) -> NetworkSnapshot:
+        """Produce the snapshot the routers would report right now.
+
+        Args:
+            truth: Simulator output for this instant.
+            health: Per-link physical/dataplane health, keyed by
+                canonical link name.  Links not present are healthy.
+                A physically-down link reports zero rates and
+                oper-status down at both ends (callers are responsible
+                for also blackholing such links in the simulator so
+                ground truth agrees).
+            timestamp: Epoch time stamped on all readings.
+        """
+        health = dict(health or {})
+        topology = truth.topology
+        rng = self._jitter.rng()
+        self._sequence += 1
+        snapshot = NetworkSnapshot(timestamp=timestamp)
+
+        def reading(rx: float, tx: float) -> CounterReading:
+            return CounterReading(
+                rx_rate=self._jitter.apply(rx, rng),
+                tx_rate=self._jitter.apply(tx, rng),
+                window_s=self._window_s,
+                timestamp=timestamp,
+                sequence=self._sequence,
+            )
+
+        for src, dst in topology.directed_edges():
+            link = topology.link_between(src, dst)
+            assert link is not None
+            link_health = health.get(link.name, LinkHealth())
+            if link_health.up:
+                tx = truth.flow_on(src, dst)
+                rx = truth.flow_on(dst, src)
+            else:
+                tx = rx = 0.0
+            snapshot.counters[(src, dst)] = reading(rx=rx, tx=tx)
+            snapshot.link_status[(src, dst)] = LinkStatusReport(
+                oper_up=link_health.up, admin_up=not link.drained
+            )
+            snapshot.link_drains[(src, dst)] = link.drained
+
+        for node in topology.nodes():
+            key = (node.name, EXTERNAL_PEER)
+            snapshot.counters[key] = reading(
+                rx=truth.ext_in.get(node.name, 0.0),
+                tx=truth.ext_out.get(node.name, 0.0),
+            )
+            snapshot.link_status[key] = LinkStatusReport(oper_up=True, admin_up=True)
+            snapshot.drains[node.name] = node.drained
+            if node.drained:
+                snapshot.drain_reasons[node.name] = node.drain_reason
+            snapshot.drops[node.name] = self._jitter.apply(
+                truth.dropped.get(node.name, 0.0), rng
+            )
+
+        if self._probe_engine is not None:
+            snapshot.probes = self._probe_engine.run(topology, health)
+
+        return snapshot

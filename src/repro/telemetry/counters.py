@@ -1,0 +1,118 @@
+"""Counter readings and the rolling-window sampling model.
+
+Routers report traffic *rates* measured over a few-second rolling
+window (paper Section 4.1).  Two ends of a link therefore never agree
+exactly -- their windows are not aligned -- which is why the paper's
+hardening threshold tau_h exists.  We model that by applying an
+independent multiplicative jitter to every reading.
+
+Readings are deliberately loosely typed: production telemetry bugs
+include values arriving as the wrong type entirely ("changes in
+telemetry format (e.g., from string to int)", Section 2.1), so a
+reading's raw value may be a float, a string, or missing.  The
+:func:`coerce_rate` helper is the single place where raw values are
+normalized, and is what Hodor's collection step uses to flag malformed
+signals instead of crashing on them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = ["RawValue", "CounterReading", "Jitter", "coerce_rate", "MalformedValueError"]
+
+#: What a telemetry value can look like on the wire.
+RawValue = Union[float, int, str, None]
+
+
+class MalformedValueError(ValueError):
+    """Raised when a raw telemetry value cannot be interpreted as a rate."""
+
+
+def coerce_rate(value: RawValue) -> Optional[float]:
+    """Normalize a raw telemetry value into a rate.
+
+    Returns:
+        The value as a float, or ``None`` when the value is missing.
+
+    Raises:
+        MalformedValueError: When the value is present but not
+            interpretable as a non-negative finite rate (wrong type,
+            unparseable string, negative, NaN/inf).
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        raise MalformedValueError(f"boolean is not a rate: {value!r}")
+    if isinstance(value, str):
+        try:
+            value = float(value.strip())
+        except ValueError:
+            raise MalformedValueError(f"unparseable rate string: {value!r}") from None
+    if isinstance(value, (int, float)):
+        rate = float(value)
+        if rate != rate or rate in (float("inf"), float("-inf")):
+            raise MalformedValueError(f"non-finite rate: {value!r}")
+        if rate < 0:
+            raise MalformedValueError(f"negative rate: {value!r}")
+        return rate
+    raise MalformedValueError(f"unsupported rate type: {type(value).__name__}")
+
+
+@dataclass
+class CounterReading:
+    """One interface's counters as reported by its router.
+
+    Attributes:
+        rx_rate: Received rate (raw; may be malformed or missing).
+        tx_rate: Transmitted rate (raw; may be malformed or missing).
+        window_s: Length of the rolling measurement window, seconds.
+        timestamp: Epoch time the reading was taken at.
+        sequence: Monotonic per-interface message sequence number;
+            duplicated-telemetry bugs reuse a sequence number.
+    """
+
+    rx_rate: RawValue
+    tx_rate: RawValue
+    window_s: float = 5.0
+    timestamp: float = 0.0
+    sequence: int = 0
+
+    def copy(self) -> "CounterReading":
+        return CounterReading(
+            rx_rate=self.rx_rate,
+            tx_rate=self.tx_rate,
+            window_s=self.window_s,
+            timestamp=self.timestamp,
+            sequence=self.sequence,
+        )
+
+
+@dataclass(frozen=True)
+class Jitter:
+    """Multiplicative measurement noise for rolling-window counters.
+
+    Every sampled rate is multiplied by an independent draw from
+    ``U(1 - magnitude, 1 + magnitude)``.  The paper's production logs
+    put natural cross-window discrepancy within ~2%; the default 1%
+    per-reading magnitude yields pairwise disagreement within that.
+    """
+
+    magnitude: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.magnitude < 1:
+            raise ValueError(f"jitter magnitude must be in [0, 1), got {self.magnitude}")
+
+    def rng(self) -> random.Random:
+        """A fresh RNG seeded for reproducibility."""
+        return random.Random(self.seed)
+
+    def apply(self, rate: float, rng: random.Random) -> float:
+        """One noisy sample of a true rate."""
+        if self.magnitude == 0:
+            return rate
+        return rate * rng.uniform(1.0 - self.magnitude, 1.0 + self.magnitude)

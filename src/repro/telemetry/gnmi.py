@@ -1,0 +1,146 @@
+"""A gNMI-flavoured access layer over snapshots.
+
+The paper's collection step leans on vendor-agnostic management APIs
+(gNMI/OpenConfig [5, 26]) whose documented paths let operators select
+relevant signals once, at design time.  :class:`GnmiFacade` provides
+that interface over a :class:`~repro.telemetry.snapshot.NetworkSnapshot`:
+
+- :meth:`get` -- fetch one signal by path string,
+- :meth:`get_many` -- batched fetch (one RPC in real gNMI),
+- :meth:`walk` -- enumerate every path the snapshot can answer,
+- :meth:`subscribe` -- iterate (path, value) updates for a path set,
+  the shape of a gNMI ONCE subscription.
+
+Values come back raw -- exactly what the router reported, malformed
+bytes included -- because interpreting them defensively is Hodor's
+collection step's job, not the transport's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.telemetry.paths import PathError, SignalKind, SignalPath
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["GnmiError", "GnmiFacade"]
+
+
+class GnmiError(KeyError):
+    """Raised when a path cannot be answered from the snapshot."""
+
+
+class GnmiFacade:
+    """Path-addressed reads over one snapshot.
+
+    Example:
+        >>> facade = GnmiFacade(snapshot)  # doctest: +SKIP
+        >>> facade.get("/interfaces/interface[name=atla:hstn]/state/counters/out-rate")  # doctest: +SKIP
+        4.27
+    """
+
+    def __init__(self, snapshot: NetworkSnapshot) -> None:
+        self._snapshot = snapshot
+
+    # ------------------------------------------------------------------
+
+    def get(self, path: str) -> object:
+        """Fetch one signal's raw value.
+
+        Raises:
+            PathError: For syntactically invalid paths.
+            GnmiError: For valid paths the snapshot has no data for.
+        """
+        parsed = SignalPath.parse(path)
+        value = self._lookup(parsed)
+        if value is _MISSING:
+            raise GnmiError(f"no data for {path}")
+        return value
+
+    def get_many(self, paths: Iterable[str]) -> Dict[str, object]:
+        """Batched :meth:`get`; missing paths are omitted, not errors."""
+        out: Dict[str, object] = {}
+        for path in paths:
+            try:
+                out[path] = self.get(path)
+            except (GnmiError, PathError):
+                continue
+        return out
+
+    def walk(self, kinds: Optional[Iterable[SignalKind]] = None) -> List[str]:
+        """Every answerable path, optionally filtered by signal kind."""
+        wanted = set(kinds) if kinds is not None else set(SignalKind)
+        paths: List[str] = []
+
+        if SignalKind.RX_RATE in wanted or SignalKind.TX_RATE in wanted:
+            for node, peer in sorted(self._snapshot.counters):
+                if SignalKind.RX_RATE in wanted:
+                    paths.append(SignalPath(SignalKind.RX_RATE, node, peer).render())
+                if SignalKind.TX_RATE in wanted:
+                    paths.append(SignalPath(SignalKind.TX_RATE, node, peer).render())
+        if SignalKind.OPER_STATUS in wanted or SignalKind.ADMIN_STATUS in wanted:
+            for node, peer in sorted(self._snapshot.link_status):
+                if SignalKind.OPER_STATUS in wanted:
+                    paths.append(SignalPath(SignalKind.OPER_STATUS, node, peer).render())
+                if SignalKind.ADMIN_STATUS in wanted:
+                    paths.append(SignalPath(SignalKind.ADMIN_STATUS, node, peer).render())
+        if SignalKind.DRAIN in wanted:
+            for node in sorted(self._snapshot.drains):
+                paths.append(SignalPath(SignalKind.DRAIN, node).render())
+        if SignalKind.DRAIN_REASON in wanted:
+            for node in sorted(self._snapshot.drain_reasons):
+                paths.append(SignalPath(SignalKind.DRAIN_REASON, node).render())
+        if SignalKind.LINK_DRAIN in wanted:
+            for node, peer in sorted(self._snapshot.link_drains):
+                paths.append(SignalPath(SignalKind.LINK_DRAIN, node, peer).render())
+        if SignalKind.NODE_DROPS in wanted:
+            for node in sorted(self._snapshot.drops):
+                paths.append(SignalPath(SignalKind.NODE_DROPS, node).render())
+        if SignalKind.PROBE in wanted:
+            for node, peer in sorted(self._snapshot.probes):
+                paths.append(SignalPath(SignalKind.PROBE, node, peer).render())
+        return paths
+
+    def subscribe(self, paths: Iterable[str]) -> Iterator[Tuple[str, object]]:
+        """Yield (path, raw value) for each answerable subscription path.
+
+        Models a gNMI ONCE subscription: one update per path, missing
+        paths silently skipped (real collectors time those out).
+        """
+        for path, value in self.get_many(paths).items():
+            yield path, value
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, parsed: SignalPath) -> object:
+        snapshot = self._snapshot
+        if parsed.kind in (SignalKind.RX_RATE, SignalKind.TX_RATE):
+            reading = snapshot.counter(parsed.node, parsed.peer or "")
+            if reading is None:
+                return _MISSING
+            return reading.rx_rate if parsed.kind == SignalKind.RX_RATE else reading.tx_rate
+        if parsed.kind in (SignalKind.OPER_STATUS, SignalKind.ADMIN_STATUS):
+            status = snapshot.status(parsed.node, parsed.peer or "")
+            if status is None:
+                return _MISSING
+            return status.oper_up if parsed.kind == SignalKind.OPER_STATUS else status.admin_up
+        if parsed.kind == SignalKind.DRAIN:
+            return snapshot.drains.get(parsed.node, _MISSING)
+        if parsed.kind == SignalKind.DRAIN_REASON:
+            return snapshot.drain_reasons.get(parsed.node, _MISSING)
+        if parsed.kind == SignalKind.LINK_DRAIN:
+            return snapshot.link_drains.get((parsed.node, parsed.peer or ""), _MISSING)
+        if parsed.kind == SignalKind.NODE_DROPS:
+            return snapshot.drops.get(parsed.node, _MISSING)
+        if parsed.kind == SignalKind.PROBE:
+            probe = snapshot.probe(parsed.node, parsed.peer or "")
+            return _MISSING if probe is None else probe.ok
+        return _MISSING  # pragma: no cover - enum is exhaustive
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

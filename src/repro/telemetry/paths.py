@@ -1,0 +1,149 @@
+"""OpenConfig-style signal paths.
+
+The paper (Section 3.2, step 1) notes that operators rely on
+vendor-agnostic telemetry APIs -- gNMI/OpenConfig -- whose documented
+paths make it possible to enumerate available router signals once, at
+design time.  This module provides that naming layer: every signal the
+simulator can produce has a canonical, parseable path string, and the
+:data:`SIGNAL_REGISTRY` is the design-time catalog Hodor's collection
+step selects from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SignalKind", "SignalPath", "PathError", "SIGNAL_REGISTRY"]
+
+
+class PathError(ValueError):
+    """Raised for malformed signal paths."""
+
+
+class SignalKind(str, Enum):
+    """Every router signal the telemetry layer can report."""
+
+    #: Traffic rate received on an interface (rolling window average).
+    RX_RATE = "rx-rate"
+    #: Traffic rate transmitted on an interface.
+    TX_RATE = "tx-rate"
+    #: Physical/operational link status at one interface ("light").
+    OPER_STATUS = "oper-status"
+    #: Administrative status at one interface.
+    ADMIN_STATUS = "admin-status"
+    #: Router-level drain intent bit.
+    DRAIN = "drain"
+    #: Router-level drain reason label (Section 4.3 extension).
+    DRAIN_REASON = "drain-reason"
+    #: Per-endpoint link drain intent bit (Section 4.3 proposal).
+    LINK_DRAIN = "link-drain"
+    #: Total traffic rate dropped at the router.
+    NODE_DROPS = "node-drops"
+    #: Active neighbor probe result (manufactured signal, R4).
+    PROBE = "probe"
+
+
+#: Template and description per signal kind; ``{node}`` / ``{peer}``
+#: placeholders follow OpenConfig conventions loosely.
+SIGNAL_REGISTRY: Dict[SignalKind, Tuple[str, str]] = {
+    SignalKind.RX_RATE: (
+        "/interfaces/interface[name={node}:{peer}]/state/counters/in-rate",
+        "received rate over the rolling window",
+    ),
+    SignalKind.TX_RATE: (
+        "/interfaces/interface[name={node}:{peer}]/state/counters/out-rate",
+        "transmitted rate over the rolling window",
+    ),
+    SignalKind.OPER_STATUS: (
+        "/interfaces/interface[name={node}:{peer}]/state/oper-status",
+        "operational (physical) link status",
+    ),
+    SignalKind.ADMIN_STATUS: (
+        "/interfaces/interface[name={node}:{peer}]/state/admin-status",
+        "administrative link status",
+    ),
+    SignalKind.DRAIN: (
+        "/system/processes/drain[node={node}]/state/drained",
+        "router drain intent",
+    ),
+    SignalKind.DRAIN_REASON: (
+        "/system/processes/drain[node={node}]/state/reason",
+        "router drain reason label",
+    ),
+    SignalKind.LINK_DRAIN: (
+        "/interfaces/interface[name={node}:{peer}]/state/drained",
+        "per-endpoint link drain intent",
+    ),
+    SignalKind.NODE_DROPS: (
+        "/qos/interfaces/aggregate[node={node}]/state/dropped-rate",
+        "aggregate dropped rate at the router",
+    ),
+    SignalKind.PROBE: (
+        "/probes/probe[name={node}:{peer}]/state/reachable",
+        "active neighbor probe reachability",
+    ),
+}
+
+_NODE_ONLY_KINDS = frozenset(
+    {SignalKind.DRAIN, SignalKind.DRAIN_REASON, SignalKind.NODE_DROPS}
+)
+
+_PATH_PATTERNS = {
+    kind: re.compile(
+        "^"
+        + re.escape(template).replace(r"\{node\}", "(?P<node>[^:\\]/]+)").replace(
+            r"\{peer\}", "(?P<peer>[^:\\]/]+)"
+        )
+        + "$"
+    )
+    for kind, (template, _description) in SIGNAL_REGISTRY.items()
+}
+
+
+@dataclass(frozen=True)
+class SignalPath:
+    """A fully qualified signal identifier.
+
+    Attributes:
+        kind: The signal family.
+        node: Reporting router.
+        peer: Facing router for interface-scoped signals (``None`` for
+            router-scoped ones like drain and drops).  External
+            interfaces use :data:`repro.net.topology.EXTERNAL_PEER`.
+    """
+
+    kind: SignalKind
+    node: str
+    peer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in _NODE_ONLY_KINDS:
+            if self.peer is not None:
+                raise PathError(f"{self.kind.value} is router-scoped; peer must be None")
+        elif self.peer is None:
+            raise PathError(f"{self.kind.value} is interface-scoped; peer is required")
+
+    def render(self) -> str:
+        """The canonical path string."""
+        template, _description = SIGNAL_REGISTRY[self.kind]
+        return template.format(node=self.node, peer=self.peer or "")
+
+    @classmethod
+    def parse(cls, text: str) -> "SignalPath":
+        """Parse a rendered path back into a :class:`SignalPath`.
+
+        Raises:
+            PathError: If the text matches no registered template.
+        """
+        for kind, pattern in _PATH_PATTERNS.items():
+            match = pattern.match(text)
+            if match:
+                groups = match.groupdict()
+                return cls(kind, groups["node"], groups.get("peer"))
+        raise PathError(f"unrecognized signal path: {text!r}")
+
+    def __str__(self) -> str:
+        return self.render()

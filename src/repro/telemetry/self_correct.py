@@ -1,0 +1,148 @@
+"""Router-level self-correction: the Section 6 future direction.
+
+"We are also curious if some of the techniques we identified might be
+useful to incorporate back into routers and the control infrastructure
+to help prevent the occurrence of incorrect inputs in the first place.
+For example, a router may exchange interface counters with its
+neighboring routers, in order to detect and self-correct anomalies in
+its reported data."
+
+:func:`peer_exchange_correct` implements that: before telemetry leaves
+the routers, each pair of link neighbors exchanges the counters for
+their shared link and applies the R1 symmetry test locally.  A counter
+that disagrees with its peer beyond the threshold -- while the peer's
+value is corroborated by the router's *other* local evidence -- is
+replaced by the peer's measurement, and the correction is logged.
+
+The corrected signal set is what the control infrastructure then
+aggregates, so bug classes like zeroed duplicate telemetry never reach
+the SDN controller at all -- prevention rather than validation.  Hodor
+still runs downstream (self-correction shares R1's blindness to
+symmetric corruption), making this an explicit defense-in-depth layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.topology import Topology
+from repro.telemetry.counters import MalformedValueError, coerce_rate
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["SelfCorrection", "peer_exchange_correct"]
+
+
+@dataclass(frozen=True)
+class SelfCorrection:
+    """One counter a router corrected from its neighbor's copy.
+
+    Attributes:
+        node: The router that corrected its own data.
+        peer: The neighbor whose measurement was adopted.
+        side: ``"rx"`` or ``"tx"`` of the node's interface to the peer.
+        old_value: The anomalous local value (None when missing or
+            malformed).
+        new_value: The adopted peer measurement.
+    """
+
+    node: str
+    peer: str
+    side: str
+    old_value: Optional[float]
+    new_value: float
+
+
+def _rate(raw: object) -> Optional[float]:
+    try:
+        return coerce_rate(raw)  # type: ignore[arg-type]
+    except MalformedValueError:
+        return None
+
+
+def peer_exchange_correct(
+    snapshot: NetworkSnapshot,
+    topology: Topology,
+    tau: float = 0.02,
+    floor: float = 1e-6,
+) -> Tuple[NetworkSnapshot, List[SelfCorrection]]:
+    """Run one round of neighbor counter exchange over a snapshot.
+
+    For each traffic direction ``u -> v`` there are two measurements:
+    tx at ``u``'s interface and rx at ``v``'s.  When they disagree
+    beyond ``tau``, the router whose value fails its *local* flow
+    balance adopts the peer's measurement; when localization is not
+    possible (both pass or both fail locally), nothing is corrected --
+    self-correction must never guess.
+
+    Returns:
+        ``(corrected_snapshot, corrections)``; the input snapshot is
+        not mutated.
+    """
+    corrected = snapshot.copy()
+    corrections: List[SelfCorrection] = []
+
+    for link in topology.links():
+        for src, dst in link.directions():
+            tx_reading = corrected.counter(src, dst)
+            rx_reading = corrected.counter(dst, src)
+            if tx_reading is None or rx_reading is None:
+                continue
+            tx = _rate(tx_reading.tx_rate)
+            rx = _rate(rx_reading.rx_rate)
+
+            if tx is None and rx is None:
+                continue
+            if tx is None or rx is None:
+                # A hole is repaired from the surviving peer copy.
+                if tx is None:
+                    tx_reading.tx_rate = rx
+                    corrections.append(SelfCorrection(src, dst, "tx", None, rx))
+                else:
+                    rx_reading.rx_rate = tx
+                    corrections.append(SelfCorrection(dst, src, "rx", None, tx))
+                continue
+
+            magnitude = max(abs(tx), abs(rx))
+            if magnitude <= floor or abs(tx - rx) / magnitude <= tau:
+                continue
+
+            tx_ok = _local_balance_holds(corrected, topology, src, tau, floor)
+            rx_ok = _local_balance_holds(corrected, topology, dst, tau, floor)
+            if tx_ok == rx_ok:
+                continue  # cannot localize the liar; leave for Hodor
+            if tx_ok:
+                rx_reading.rx_rate = tx
+                corrections.append(SelfCorrection(dst, src, "rx", rx, tx))
+            else:
+                tx_reading.tx_rate = rx
+                corrections.append(SelfCorrection(src, dst, "tx", tx, rx))
+
+    return corrected, corrections
+
+
+def _local_balance_holds(
+    snapshot: NetworkSnapshot, topology: Topology, node: str, tau: float, floor: float
+) -> bool:
+    """Does this router's own flow balance hold with its current data?
+
+    Uses only signals the router itself owns: rx/tx on all its
+    interfaces (including the host-facing one) and its drop counter --
+    exactly the information available on-box.
+    """
+    inbound = 0.0
+    outbound = 0.0
+    for (owner, _peer), reading in snapshot.counters.items():
+        if owner != node:
+            continue
+        rx = _rate(reading.rx_rate)
+        tx = _rate(reading.tx_rate)
+        if rx is None or tx is None:
+            return False  # a malformed local counter: balance unknowable
+        inbound += rx
+        outbound += tx
+    drops = _rate(snapshot.drops.get(node)) or 0.0
+    magnitude = max(inbound, outbound, 1e-9)
+    if magnitude <= floor:
+        return True
+    return abs(inbound - outbound - drops) / magnitude <= 2 * tau

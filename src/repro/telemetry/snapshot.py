@@ -1,0 +1,187 @@
+"""The full set of router signals at one collection instant.
+
+A :class:`NetworkSnapshot` is "the comprehensive view of the current
+network state" that Hodor's step 1 gathers (paper Section 3.2).  It is
+exactly what the routers *reported* -- which, after fault injection,
+may differ from ground truth.  Both the control infrastructure and
+Hodor read from the same snapshot, mirroring production where both pull
+from the same router telemetry.
+
+Missing signals are represented by absent keys (a router that never
+reported) or ``None`` fields (a reading with a hole in it); wrong-typed
+values survive untouched until collection-time coercion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.counters import CounterReading, RawValue
+
+__all__ = ["InterfaceKey", "LinkStatusReport", "ProbeResult", "NetworkSnapshot"]
+
+#: ``(reporting_node, facing_peer)`` identifies an interface.
+InterfaceKey = Tuple[str, str]
+
+
+@dataclass
+class LinkStatusReport:
+    """Link status as reported by one endpoint.
+
+    Attributes:
+        oper_up: Operational ("light detected") status.  Raw telemetry:
+            faults may replace the bool with junk.
+        admin_up: Administrative status.
+    """
+
+    oper_up: RawValue
+    admin_up: RawValue = True
+
+    def copy(self) -> "LinkStatusReport":
+        return LinkStatusReport(oper_up=self.oper_up, admin_up=self.admin_up)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one active neighbor probe (manufactured signal, R4)."""
+
+    ok: bool
+    rtt_ms: Optional[float] = None
+
+
+@dataclass
+class NetworkSnapshot:
+    """Everything the routers reported at one instant.
+
+    Attributes:
+        timestamp: Collection epoch time.
+        counters: Per-interface counter readings.
+        link_status: Per-interface link status reports.
+        drains: Per-router reported drain bit (raw).
+        drain_reasons: Per-router reported drain reason (raw; the
+            Section 4.3 proposal -- empty/absent means unspecified).
+        link_drains: Per-interface reported link-drain bit (raw).
+        drops: Per-router reported aggregate dropped rate (raw).
+        probes: Per-directed-adjacency probe results; present only when
+            probing is enabled.
+    """
+
+    timestamp: float = 0.0
+    counters: Dict[InterfaceKey, CounterReading] = field(default_factory=dict)
+    link_status: Dict[InterfaceKey, LinkStatusReport] = field(default_factory=dict)
+    drains: Dict[str, RawValue] = field(default_factory=dict)
+    drain_reasons: Dict[str, RawValue] = field(default_factory=dict)
+    link_drains: Dict[InterfaceKey, RawValue] = field(default_factory=dict)
+    drops: Dict[str, RawValue] = field(default_factory=dict)
+    probes: Dict[InterfaceKey, ProbeResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        """Routers that reported anything, sorted."""
+        reporting = set(self.drains) | set(self.drops)
+        reporting.update(node for node, _peer in self.counters)
+        reporting.update(node for node, _peer in self.link_status)
+        return sorted(reporting)
+
+    def interface_keys(self) -> List[InterfaceKey]:
+        """Interfaces with any reading, sorted."""
+        keys = set(self.counters) | set(self.link_status) | set(self.link_drains)
+        return sorted(keys)
+
+    def counter(self, node: str, peer: str) -> Optional[CounterReading]:
+        return self.counters.get((node, peer))
+
+    def status(self, node: str, peer: str) -> Optional[LinkStatusReport]:
+        return self.link_status.get((node, peer))
+
+    def probe(self, node: str, peer: str) -> Optional[ProbeResult]:
+        return self.probes.get((node, peer))
+
+    def interfaces_of(self, node: str) -> List[InterfaceKey]:
+        """All interface keys owned by one router, sorted by peer."""
+        return sorted(key for key in self.counters if key[0] == node)
+
+    # ------------------------------------------------------------------
+    # Mutation support (used by fault injection)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "NetworkSnapshot":
+        """A deep copy safe to mutate without touching the original."""
+        return NetworkSnapshot(
+            timestamp=self.timestamp,
+            counters={k: v.copy() for k, v in self.counters.items()},
+            link_status={k: v.copy() for k, v in self.link_status.items()},
+            drains=dict(self.drains),
+            drain_reasons=dict(self.drain_reasons),
+            link_drains=dict(self.link_drains),
+            drops=dict(self.drops),
+            probes=dict(self.probes),
+        )
+
+    def drop_node(self, node: str) -> None:
+        """Erase every signal a router reported (it went silent)."""
+        self.drains.pop(node, None)
+        self.drain_reasons.pop(node, None)
+        self.drops.pop(node, None)
+        for mapping in (self.counters, self.link_status, self.link_drains, self.probes):
+            for key in [k for k in mapping if k[0] == node]:
+                del mapping[key]
+
+    def flatten(self) -> Dict[str, float]:
+        """All numeric-coercible signals as one flat bundle.
+
+        Keys are canonical signal-path strings; booleans become 0/1.
+        Malformed or missing values are omitted.  This is the "bundling
+        all available data for each timestamp" representation the
+        paper's Section 3.1 general (unsupervised) approach consumes.
+        """
+        from repro.telemetry.counters import MalformedValueError, coerce_rate
+        from repro.telemetry.paths import SignalKind, SignalPath
+
+        bundle: Dict[str, float] = {}
+
+        def put(kind: SignalKind, node: str, peer: Optional[str], value: Optional[float]) -> None:
+            if value is not None:
+                bundle[SignalPath(kind, node, peer).render()] = float(value)
+
+        for (node, peer), reading in self.counters.items():
+            for kind, raw in (
+                (SignalKind.RX_RATE, reading.rx_rate),
+                (SignalKind.TX_RATE, reading.tx_rate),
+            ):
+                try:
+                    put(kind, node, peer, coerce_rate(raw))
+                except MalformedValueError:
+                    continue
+        for (node, peer), status in self.link_status.items():
+            if isinstance(status.oper_up, bool):
+                put(SignalKind.OPER_STATUS, node, peer, 1.0 if status.oper_up else 0.0)
+            if isinstance(status.admin_up, bool):
+                put(SignalKind.ADMIN_STATUS, node, peer, 1.0 if status.admin_up else 0.0)
+        for node, drained in self.drains.items():
+            if isinstance(drained, bool):
+                put(SignalKind.DRAIN, node, None, 1.0 if drained else 0.0)
+        for node, drops in self.drops.items():
+            try:
+                put(SignalKind.NODE_DROPS, node, None, coerce_rate(drops))
+            except MalformedValueError:
+                continue
+        for (node, peer), probe in self.probes.items():
+            put(SignalKind.PROBE, node, peer, 1.0 if probe.ok else 0.0)
+        return bundle
+
+    def signal_count(self) -> int:
+        """Total number of individual signals present."""
+        return (
+            2 * len(self.counters)  # rx + tx
+            + 2 * len(self.link_status)  # oper + admin
+            + len(self.drains)
+            + len(self.drain_reasons)
+            + len(self.link_drains)
+            + len(self.drops)
+            + len(self.probes)
+        )

@@ -1,0 +1,37 @@
+"""Bundled WAN topologies: realistic instances and synthetic generators."""
+
+from repro.topologies.abilene import ABILENE_LINKS, ABILENE_NODES, abilene
+from repro.topologies.b4 import B4_LINKS, B4_NODES, b4
+from repro.topologies.geant import GEANT_LINKS, GEANT_NODES, geant
+from repro.topologies.synthetic import (
+    fat_tree_topology,
+    fig3_demand,
+    fig3_network,
+    gnp_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+
+__all__ = [
+    "ABILENE_LINKS",
+    "ABILENE_NODES",
+    "B4_LINKS",
+    "B4_NODES",
+    "GEANT_LINKS",
+    "GEANT_NODES",
+    "abilene",
+    "b4",
+    "fat_tree_topology",
+    "fig3_demand",
+    "fig3_network",
+    "geant",
+    "gnp_topology",
+    "grid_topology",
+    "line_topology",
+    "ring_topology",
+    "star_topology",
+    "waxman_topology",
+]

@@ -1,0 +1,68 @@
+"""The Abilene research network (Internet2), 12 nodes / 15 links.
+
+This is the topology the paper's Section 4.1 preliminary evaluation
+uses ("demand matrices from the Abilene network [27]").  The node and
+link structure follows SNDlib's ``abilene`` instance; capacities are
+the historical OC-192 backbone rate (~10 Gbps per direction) with the
+one OC-48 (~2.5 Gbps) Atlanta spur.  Demand traces are not bundled
+(SNDlib data is not redistributable here); the experiments generate
+gravity-model matrices over this graph instead -- see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Link, Node, Topology
+
+__all__ = ["abilene", "ABILENE_NODES", "ABILENE_LINKS"]
+
+#: (name, site) for the 12 Abilene routers.
+ABILENE_NODES = (
+    ("atla", "Atlanta"),
+    ("atlam", "Atlanta M5"),
+    ("chin", "Chicago"),
+    ("dnvr", "Denver"),
+    ("hstn", "Houston"),
+    ("ipls", "Indianapolis"),
+    ("kscy", "Kansas City"),
+    ("losa", "Los Angeles"),
+    ("nycm", "New York"),
+    ("snva", "Sunnyvale"),
+    ("sttl", "Seattle"),
+    ("wash", "Washington DC"),
+)
+
+#: (a, b, capacity) for the 15 Abilene links, in rate units of Gbps.
+ABILENE_LINKS = (
+    ("atla", "atlam", 2.5),
+    ("atla", "hstn", 10.0),
+    ("atla", "ipls", 10.0),
+    ("atla", "wash", 10.0),
+    ("chin", "ipls", 10.0),
+    ("chin", "nycm", 10.0),
+    ("dnvr", "kscy", 10.0),
+    ("dnvr", "snva", 10.0),
+    ("dnvr", "sttl", 10.0),
+    ("hstn", "kscy", 10.0),
+    ("hstn", "losa", 10.0),
+    ("ipls", "kscy", 10.0),
+    ("losa", "snva", 10.0),
+    ("nycm", "wash", 10.0),
+    ("snva", "sttl", 10.0),
+)
+
+
+def abilene(capacity_scale: float = 1.0) -> Topology:
+    """Build the Abilene topology.
+
+    Args:
+        capacity_scale: Multiplier applied to every link capacity
+            (useful for forcing congestion in outage scenarios).
+    """
+    if capacity_scale <= 0:
+        raise ValueError(f"capacity_scale must be positive, got {capacity_scale}")
+    topo = Topology("abilene")
+    for name, site in ABILENE_NODES:
+        topo.add_node(Node(name, site=site))
+    for a, b, capacity in ABILENE_LINKS:
+        topo.add_link(Link(a, b, capacity=capacity * capacity_scale))
+    return topo

@@ -1,0 +1,76 @@
+"""A B4-like inter-datacenter WAN: 12 sites on three continents.
+
+Stands in for the production SDN WAN the paper analyzed (whose exact
+topology is proprietary).  Structure follows the published B4 paper's
+site map at a coarse level: a well-connected North American core,
+trans-Atlantic and trans-Pacific links, and regional meshes in Europe
+and Asia.  Vendor labels alternate by region so correlated vendor-bug
+experiments (Section 3.2's open question) have two vendor populations.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Link, Node, Topology
+
+__all__ = ["b4", "B4_NODES", "B4_LINKS"]
+
+#: (name, site, vendor) for the 12 B4-like sites.
+B4_NODES = (
+    ("us-w1", "The Dalles", "vendor-a"),
+    ("us-w2", "Council Bluffs", "vendor-b"),
+    ("us-c1", "Tulsa", "vendor-a"),
+    ("us-e1", "Berkeley County", "vendor-b"),
+    ("us-e2", "Lenoir", "vendor-a"),
+    ("eu-w1", "Dublin", "vendor-b"),
+    ("eu-w2", "St. Ghislain", "vendor-a"),
+    ("eu-n1", "Hamina", "vendor-b"),
+    ("asia-e1", "Changhua", "vendor-a"),
+    ("asia-e2", "Kowloon", "vendor-b"),
+    ("asia-s1", "Singapore", "vendor-a"),
+    ("asia-ne1", "Tokyo", "vendor-b"),
+)
+
+#: (a, b, capacity) in Gbps per direction.
+B4_LINKS = (
+    # North American core.
+    ("us-w1", "us-w2", 400.0),
+    ("us-w1", "us-c1", 200.0),
+    ("us-w2", "us-c1", 200.0),
+    ("us-w2", "us-e1", 400.0),
+    ("us-c1", "us-e2", 200.0),
+    ("us-e1", "us-e2", 400.0),
+    # Trans-Atlantic.
+    ("us-e1", "eu-w1", 200.0),
+    ("us-e2", "eu-w2", 200.0),
+    # European mesh.
+    ("eu-w1", "eu-w2", 400.0),
+    ("eu-w1", "eu-n1", 200.0),
+    ("eu-w2", "eu-n1", 200.0),
+    # Trans-Pacific.
+    ("us-w1", "asia-ne1", 200.0),
+    ("us-w2", "asia-e1", 100.0),
+    # Asian mesh.
+    ("asia-ne1", "asia-e1", 200.0),
+    ("asia-e1", "asia-e2", 200.0),
+    ("asia-e2", "asia-s1", 200.0),
+    ("asia-s1", "asia-e1", 100.0),
+    ("asia-ne1", "asia-e2", 100.0),
+    # Long southern route closing the ring.
+    ("asia-s1", "eu-n1", 100.0),
+)
+
+
+def b4(capacity_scale: float = 1.0) -> Topology:
+    """Build the B4-like topology.
+
+    Args:
+        capacity_scale: Multiplier applied to every link capacity.
+    """
+    if capacity_scale <= 0:
+        raise ValueError(f"capacity_scale must be positive, got {capacity_scale}")
+    topo = Topology("b4")
+    for name, site, vendor in B4_NODES:
+        topo.add_node(Node(name, site=site, vendor=vendor))
+    for a, b, capacity in B4_LINKS:
+        topo.add_link(Link(a, b, capacity=capacity * capacity_scale))
+    return topo

@@ -1,0 +1,97 @@
+"""A GEANT-like pan-European research WAN: 22 nodes / 36 links.
+
+A second realistic evaluation topology, larger and better meshed than
+Abilene, modeled on the SNDlib ``geant`` instance's node set.  Link
+structure is representative rather than byte-exact (the licensed data
+is not bundled); what the experiments need is a realistic degree
+distribution and diameter, which this preserves.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Link, Node, Topology
+
+__all__ = ["geant", "GEANT_NODES", "GEANT_LINKS"]
+
+#: (name, site) for the 22 GEANT points of presence.
+GEANT_NODES = (
+    ("at", "Vienna"),
+    ("be", "Brussels"),
+    ("ch", "Geneva"),
+    ("cz", "Prague"),
+    ("de", "Frankfurt"),
+    ("es", "Madrid"),
+    ("fr", "Paris"),
+    ("gr", "Athens"),
+    ("hr", "Zagreb"),
+    ("hu", "Budapest"),
+    ("ie", "Dublin"),
+    ("il", "Tel Aviv"),
+    ("it", "Milan"),
+    ("lu", "Luxembourg"),
+    ("nl", "Amsterdam"),
+    ("ny", "New York"),
+    ("pl", "Poznan"),
+    ("pt", "Lisbon"),
+    ("se", "Stockholm"),
+    ("si", "Ljubljana"),
+    ("sk", "Bratislava"),
+    ("uk", "London"),
+)
+
+#: (a, b, capacity) in Gbps per direction.
+GEANT_LINKS = (
+    ("at", "ch", 10.0),
+    ("at", "cz", 10.0),
+    ("at", "de", 10.0),
+    ("at", "hu", 10.0),
+    ("at", "si", 10.0),
+    ("at", "sk", 2.5),
+    ("be", "fr", 10.0),
+    ("be", "nl", 10.0),
+    ("be", "lu", 2.5),
+    ("ch", "fr", 10.0),
+    ("ch", "it", 10.0),
+    ("ch", "de", 10.0),
+    ("cz", "de", 10.0),
+    ("cz", "pl", 10.0),
+    ("cz", "sk", 2.5),
+    ("de", "fr", 10.0),
+    ("de", "nl", 10.0),
+    ("de", "se", 10.0),
+    ("de", "ny", 10.0),
+    ("es", "fr", 10.0),
+    ("es", "it", 10.0),
+    ("es", "pt", 10.0),
+    ("fr", "uk", 10.0),
+    ("fr", "lu", 2.5),
+    ("gr", "it", 10.0),
+    ("gr", "at", 2.5),
+    ("hr", "hu", 2.5),
+    ("hr", "si", 2.5),
+    ("hu", "sk", 2.5),
+    ("ie", "uk", 10.0),
+    ("il", "it", 2.5),
+    ("it", "at", 10.0),
+    ("nl", "uk", 10.0),
+    ("ny", "uk", 10.0),
+    ("pl", "de", 10.0),
+    ("pt", "uk", 2.5),
+    ("se", "nl", 10.0),
+)
+
+
+def geant(capacity_scale: float = 1.0) -> Topology:
+    """Build the GEANT-like topology.
+
+    Args:
+        capacity_scale: Multiplier applied to every link capacity.
+    """
+    if capacity_scale <= 0:
+        raise ValueError(f"capacity_scale must be positive, got {capacity_scale}")
+    topo = Topology("geant")
+    for name, site in GEANT_NODES:
+        topo.add_node(Node(name, site=site))
+    for a, b, capacity in GEANT_LINKS:
+        topo.add_link(Link(a, b, capacity=capacity * capacity_scale))
+    return topo

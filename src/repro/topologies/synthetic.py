@@ -1,0 +1,237 @@
+"""Synthetic topology generators for tests and scaling studies.
+
+Provides small canonical shapes (line, ring, star, grid), random
+connected graphs (Waxman and G(n, p)), and the paper's Figure 3
+worked-example network with its exact demand values.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.net.demand import DemandMatrix
+from repro.net.topology import Link, Node, Topology
+
+__all__ = [
+    "line_topology",
+    "ring_topology",
+    "star_topology",
+    "grid_topology",
+    "waxman_topology",
+    "gnp_topology",
+    "fat_tree_topology",
+    "fig3_network",
+    "fig3_demand",
+]
+
+
+def _names(count: int, prefix: str = "r") -> List[str]:
+    if count <= 0:
+        raise ValueError(f"node count must be positive, got {count}")
+    width = len(str(count - 1))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def line_topology(count: int, capacity: float = 100.0) -> Topology:
+    """``count`` routers in a chain: r0 - r1 - ... - r(n-1)."""
+    names = _names(count)
+    topo = Topology(f"line{count}")
+    for name in names:
+        topo.add_node(Node(name))
+    for a, b in zip(names[:-1], names[1:]):
+        topo.add_link(Link(a, b, capacity=capacity))
+    return topo
+
+
+def ring_topology(count: int, capacity: float = 100.0) -> Topology:
+    """``count`` routers in a cycle (count >= 3)."""
+    if count < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {count}")
+    topo = line_topology(count, capacity)
+    names = _names(count)
+    topo.add_link(Link(names[-1], names[0], capacity=capacity))
+    topo.name = f"ring{count}"
+    return topo
+
+
+def star_topology(leaves: int, capacity: float = 100.0) -> Topology:
+    """A hub router connected to ``leaves`` leaf routers."""
+    if leaves < 1:
+        raise ValueError(f"a star needs at least 1 leaf, got {leaves}")
+    topo = Topology(f"star{leaves}")
+    topo.add_node(Node("hub"))
+    for name in _names(leaves, prefix="leaf"):
+        topo.add_node(Node(name))
+        topo.add_link(Link("hub", name, capacity=capacity))
+    return topo
+
+
+def grid_topology(rows: int, cols: int, capacity: float = 100.0) -> Topology:
+    """A rows x cols mesh grid."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
+    topo = Topology(f"grid{rows}x{cols}")
+    name = lambda r, c: f"g{r}-{c}"  # noqa: E731 - tiny local helper
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(Node(name(r, c)))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(Link(name(r, c), name(r, c + 1), capacity=capacity))
+            if r + 1 < rows:
+                topo.add_link(Link(name(r, c), name(r + 1, c), capacity=capacity))
+    return topo
+
+
+def waxman_topology(
+    count: int,
+    alpha: float = 0.6,
+    beta: float = 0.3,
+    capacity: float = 100.0,
+    seed: int = 0,
+) -> Topology:
+    """A connected Waxman random graph.
+
+    Routers are placed uniformly in the unit square; each pair is
+    linked with probability ``alpha * exp(-distance / (beta * L))``
+    where ``L`` is the maximum possible distance.  A spanning chain
+    over the random placement is added afterwards if the draw left the
+    graph disconnected, so the result is always connected.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    rng = random.Random(seed)
+    names = _names(count)
+    positions = {name: (rng.random(), rng.random()) for name in names}
+    topo = Topology(f"waxman{count}")
+    for name in names:
+        topo.add_node(Node(name))
+
+    max_distance = math.sqrt(2.0)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            ax, ay = positions[a]
+            bx, by = positions[b]
+            distance = math.hypot(ax - bx, ay - by)
+            if rng.random() < alpha * math.exp(-distance / (beta * max_distance)):
+                topo.add_link(Link(a, b, capacity=capacity))
+
+    _connect_components(topo, capacity)
+    return topo
+
+
+def gnp_topology(count: int, p: float = 0.3, capacity: float = 100.0, seed: int = 0) -> Topology:
+    """A connected Erdos-Renyi G(n, p) graph."""
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    names = _names(count)
+    topo = Topology(f"gnp{count}")
+    for name in names:
+        topo.add_node(Node(name))
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if rng.random() < p:
+                topo.add_link(Link(a, b, capacity=capacity))
+    _connect_components(topo, capacity)
+    return topo
+
+
+def _connect_components(topo: Topology, capacity: float) -> None:
+    """Add minimal links so the topology becomes connected."""
+    names = topo.node_names()
+    if not names:
+        return
+    remaining = set(names)
+    component_roots = []
+    while remaining:
+        root = min(remaining)
+        component_roots.append(root)
+        stack = [root]
+        while stack:
+            here = stack.pop()
+            if here not in remaining:
+                continue
+            remaining.discard(here)
+            stack.extend(topo.neighbors(here))
+    for a, b in zip(component_roots[:-1], component_roots[1:]):
+        topo.add_link(Link(a, b, capacity=capacity))
+
+
+def fat_tree_topology(k: int = 4, capacity: float = 40.0) -> Topology:
+    """A k-ary fat-tree datacenter fabric.
+
+    The paper's Section 6 asks whether incorrect inputs (and this
+    validation approach) apply to "datacenter fabrics"; this generator
+    provides the canonical fabric to test on: (k/2)^2 core switches and
+    k pods of k/2 aggregation + k/2 edge switches, with the standard
+    wiring.  Demand is placed between edge switches (where hosts
+    attach).
+
+    Args:
+        k: Pod count / switch radix; must be even and >= 2.
+        capacity: Per-direction capacity of every fabric link.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"k must be even and >= 2, got {k}")
+    half = k // 2
+    topo = Topology(f"fattree{k}")
+
+    cores = [f"core{i}-{j}" for i in range(half) for j in range(half)]
+    for name in cores:
+        topo.add_node(Node(name, site="core"))
+    for pod in range(k):
+        for a in range(half):
+            topo.add_node(Node(f"agg{pod}-{a}", site=f"pod{pod}"))
+        for e in range(half):
+            topo.add_node(Node(f"edge{pod}-{e}", site=f"pod{pod}"))
+        for a in range(half):
+            for e in range(half):
+                topo.add_link(Link(f"agg{pod}-{a}", f"edge{pod}-{e}", capacity=capacity))
+        # agg switch `a` of every pod connects to core row `a`.
+        for a in range(half):
+            for j in range(half):
+                topo.add_link(Link(f"agg{pod}-{a}", f"core{a}-{j}", capacity=capacity))
+    return topo
+
+
+# ----------------------------------------------------------------------
+# The paper's Figure 3 worked example
+# ----------------------------------------------------------------------
+
+
+def fig3_network(capacity: float = 1000.0) -> Topology:
+    """The line network behind the paper's Figure 3 example.
+
+    Three routers A - B - C.  With :func:`fig3_demand` routed over it,
+    the link loads and external rates reproduce the figure's numbers
+    exactly: A->B carries 76, B->C carries 75, B's external ingress is
+    23 and external egress is 24, so flow conservation at B reads
+    ``x + 23 = 75 + 24  =>  x = 76`` -- the repair equation printed in
+    the paper.
+    """
+    topo = Topology("fig3")
+    for name in ("A", "B", "C"):
+        topo.add_node(Node(name))
+    topo.add_link(Link("A", "B", capacity=capacity))
+    topo.add_link(Link("B", "C", capacity=capacity))
+    return topo
+
+
+def fig3_demand() -> DemandMatrix:
+    """The demand matrix consistent with Figure 3's counters.
+
+    ``D[A][B] = 24``, ``D[A][C] = 52``, ``D[B][C] = 23``:
+    row/column sums give external ingress (A: 76, B: 23) and external
+    egress (B: 24, C: 75), matching the figure's invariant examples.
+    """
+    demand = DemandMatrix(["A", "B", "C"])
+    demand["A", "B"] = 24.0
+    demand["A", "C"] = 52.0
+    demand["B", "C"] = 23.0
+    return demand

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import ProbeEngine
+from repro.topologies.abilene import abilene
+from repro.topologies.synthetic import fig3_demand, fig3_network, line_topology
+
+
+@pytest.fixture
+def abilene_topo():
+    return abilene()
+
+
+@pytest.fixture
+def abilene_demand(abilene_topo):
+    """Unsaturated gravity demand over Abilene (MLU well below 1)."""
+    return gravity_demand(
+        abilene_topo.node_names(), total=30.0, seed=7, weights={"atlam": 0.15}
+    )
+
+
+@pytest.fixture
+def abilene_truth(abilene_topo, abilene_demand):
+    return NetworkSimulator(abilene_topo, abilene_demand).run()
+
+
+@pytest.fixture
+def clean_snapshot(abilene_truth):
+    """Jitter-free snapshot with probes, ideal for exact assertions."""
+    collector = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=1))
+    return collector.collect(abilene_truth)
+
+
+@pytest.fixture
+def noisy_snapshot(abilene_truth):
+    """Realistic 1%-jitter snapshot."""
+    collector = TelemetryCollector(Jitter(0.01, seed=3), probe_engine=ProbeEngine(seed=1))
+    return collector.collect(abilene_truth)
+
+
+@pytest.fixture
+def fig3_topo():
+    return fig3_network()
+
+
+@pytest.fixture
+def fig3_matrix():
+    return fig3_demand()
+
+
+@pytest.fixture
+def fig3_truth(fig3_topo, fig3_matrix):
+    return NetworkSimulator(fig3_topo, fig3_matrix, strategy="single").run()
+
+
+@pytest.fixture
+def fig3_snapshot(fig3_truth):
+    return TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0)).collect(
+        fig3_truth
+    )
+
+
+@pytest.fixture
+def line5():
+    return line_topology(5, capacity=100.0)

@@ -1,0 +1,86 @@
+"""Integration: every catalog scenario behaves as documented.
+
+This is the library's own regression gate for the E3 claim: each
+Section 2 outage scenario must be detected through the documented
+channels, the legitimate-disaster scenario must pass, and scenarios
+expected to damage the network must actually do so.
+"""
+
+import pytest
+
+from repro.scenarios.catalog import Category, all_scenarios, scenario_by_id
+
+SCENARIOS = all_scenarios()
+
+
+class TestCatalogStructure:
+    def test_catalog_size(self):
+        assert len(SCENARIOS) == 18
+
+    def test_unique_ids(self):
+        ids = [s.scenario_id for s in SCENARIOS]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup(self):
+        assert scenario_by_id("S01").scenario_id == "S01"
+        with pytest.raises(KeyError):
+            scenario_by_id("S99")
+
+    def test_categories_valid(self):
+        assert all(s.category in Category.ALL for s in SCENARIOS)
+
+    def test_paper_taxonomy_covered(self):
+        """Every Section 2 root-cause family has scenarios."""
+        categories = {s.category for s in SCENARIOS}
+        assert Category.ROUTER_TELEMETRY in categories
+        assert Category.ROUTER_INTENT in categories
+        assert Category.CONTROL_AGGREGATION in categories
+        assert Category.EXTERNAL_INPUT in categories
+        assert Category.LEGITIMATE in categories
+
+    def test_over_one_third_would_be_input_outages(self):
+        """The corpus mirrors the paper's 'over one third' framing: all
+        non-legitimate scenarios are incorrect-input outages."""
+        buggy = [s for s in SCENARIOS if s.category != Category.LEGITIMATE]
+        assert len(buggy) / len(SCENARIOS) > 1 / 3
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=[s.scenario_id for s in SCENARIOS])
+class TestScenarioBehaviour:
+    def test_detection_matches_expectation(self, scenario):
+        outcome = scenario.build(seed=1).run_epoch()
+        assert outcome.detected == scenario.expect_detection
+
+    def test_damage_matches_expectation(self, scenario):
+        outcome = scenario.build(seed=1).run_epoch()
+        assert outcome.damaged == scenario.expect_damage
+
+    def test_expected_channels_fire(self, scenario):
+        outcome = scenario.build(seed=1).run_epoch()
+        failed_inputs = {
+            name
+            for name, verdict in outcome.report.verdicts.items()
+            if not verdict.valid
+        }
+        for channel in scenario.expected_channels:
+            if channel == "hardening":
+                assert any(
+                    f.severity.value in ("warning", "critical")
+                    for f in outcome.report.hardened.findings
+                ), f"{scenario.scenario_id}: expected hardening findings"
+            else:
+                assert channel in failed_inputs, (
+                    f"{scenario.scenario_id}: expected {channel} check to fail, "
+                    f"got {sorted(failed_inputs)}"
+                )
+
+
+class TestLegitimateDisaster:
+    def test_hodor_accepts_the_disaster(self):
+        outcome = scenario_by_id("S16").build(seed=1).run_epoch()
+        assert outcome.report.all_valid
+        assert not outcome.detected
+
+    def test_disaster_drains_visible_in_inputs(self):
+        outcome = scenario_by_id("S16").build(seed=1).run_epoch()
+        assert len(outcome.inputs.drains.drained_nodes()) == 4

@@ -1,0 +1,105 @@
+"""Integration: compound failures — several independent bugs at once.
+
+Production outages rarely arrive one at a time; the validator must
+attribute each co-occurring bug to its own channel without the signals
+of one masking another.
+"""
+
+import pytest
+
+from repro.faults import (
+    InconsistentLinkDrain,
+    PartialDemandAggregation,
+    PartialTopologyStitch,
+    ProbeOutage,
+    ZeroedDuplicateTelemetry,
+)
+from repro.net.demand import gravity_demand
+from repro.scenarios.world import World
+from repro.topologies import abilene
+
+
+@pytest.fixture
+def demand():
+    topo = abilene()
+    return gravity_demand(topo.node_names(), total=50.0, seed=5, weights={"atlam": 0.15})
+
+
+class TestTripleFault:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        topo = abilene()
+        demand = gravity_demand(
+            topo.node_names(), total=50.0, seed=5, weights={"atlam": 0.15}
+        )
+        world = World(
+            topo,
+            demand,
+            signal_faults=[
+                ZeroedDuplicateTelemetry(interfaces=[("chin", "nycm")]),
+                InconsistentLinkDrain([("snva", "sttl")]),
+            ],
+            topo_bugs=[PartialTopologyStitch({"kscy"})],
+            demand_bugs=[PartialDemandAggregation(drop_fraction=0.4, seed=8)],
+            seed=5,
+        )
+        return world.run_epoch()
+
+    def test_all_three_channels_fail(self, outcome):
+        verdicts = outcome.report.verdicts
+        assert not verdicts["demand"].valid
+        assert not verdicts["topology"].valid
+        assert not verdicts["drain"].valid
+
+    def test_counter_fault_still_detected_by_hardening(self, outcome):
+        codes = {f.code for f in outcome.report.hardened.findings}
+        assert "R1_COUNTER_MISMATCH" in codes or "R2_REPAIRED" in codes
+
+    def test_violations_attribute_to_correct_subjects(self, outcome):
+        topo_violations = {
+            v.invariant.name for v in outcome.report.checks["topology"].violations
+        }
+        # exactly kscy's links must be missing from the topology input
+        assert topo_violations == {
+            "topology/live-iff-up/dnvr~kscy",
+            "topology/live-iff-up/hstn~kscy",
+            "topology/live-iff-up/ipls~kscy",
+        }
+        drain_violations = {
+            v.invariant.name for v in outcome.report.checks["drain"].violations
+        }
+        assert "drain/link-symmetric/snva~sttl" in drain_violations
+
+    def test_no_spurious_cross_channel_noise(self, outcome):
+        """The zeroed counter must not corrupt demand-check verdicts:
+        its repair shields the invariants, so every demand violation
+        traces to the demand bug, not to telemetry."""
+        demand_violations = outcome.report.checks["demand"].violations
+        assert demand_violations  # the real demand bug is caught
+        for violation in demand_violations:
+            assert violation.invariant.name.startswith("demand/")
+
+
+class TestFaultPlusProbeOutage:
+    def test_detection_survives_losing_r4(self, demand):
+        """A probe-agent outage co-occurring with a dead link still
+        leaves the dead link detectable through R1/R3."""
+        from repro.faults import WrongLinkStatus
+        from repro.telemetry.probes import LinkHealth
+
+        topo = abilene()
+        world = World(
+            topo,
+            demand,
+            link_health={"ipls~kscy": LinkHealth(up=False)},
+            signal_faults=[
+                WrongLinkStatus([("ipls", "kscy")], report_up=True),
+                ProbeOutage(),
+            ],
+            seed=5,
+        )
+        outcome = world.run_epoch()
+        assert outcome.detected
+        # one end honest (down), one lying (up): R1 status mismatch fires
+        codes = {f.code for f in outcome.report.hardened.findings}
+        assert "R1_STATUS_MISMATCH" in codes

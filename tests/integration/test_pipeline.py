@@ -1,0 +1,111 @@
+"""Integration: the Hodor pipeline API surface and policy loop."""
+
+import pytest
+
+from repro.control.demand_service import records_from_matrix
+from repro.control.infra import ControlPlane
+from repro.core import (
+    AlertOnlyPolicy,
+    Hodor,
+    HodorConfig,
+    RejectAndFallbackPolicy,
+)
+from repro.faults.base import FaultInjector
+from repro.faults.external_faults import PartialDemandAggregation
+from repro.faults.router_faults import RandomCounterCorruption
+
+
+@pytest.fixture
+def plane(abilene_topo):
+    return ControlPlane(abilene_topo)
+
+
+@pytest.fixture
+def inputs(plane, clean_snapshot, abilene_demand):
+    records = records_from_matrix(abilene_demand, seed=1)
+    return plane.compute_inputs(clean_snapshot, records)
+
+
+class TestValidateAll:
+    def test_clean_epoch_all_valid(self, abilene_topo, clean_snapshot, inputs):
+        report = Hodor(abilene_topo).validate(clean_snapshot, inputs)
+        assert report.all_valid
+        assert set(report.verdicts) == {"demand", "topology", "drain"}
+
+    def test_stepwise_api(self, abilene_topo, clean_snapshot):
+        hodor = Hodor(abilene_topo)
+        collected = hodor.collect(clean_snapshot)
+        assert collected.counters
+        hardened = hodor.harden(clean_snapshot)
+        assert hardened.edge_flows
+
+    def test_single_input_validators(self, abilene_topo, clean_snapshot, inputs):
+        hodor = Hodor(abilene_topo)
+        assert hodor.validate_demand(clean_snapshot, inputs.demand).all_valid
+        assert hodor.validate_topology(clean_snapshot, inputs.topology).all_valid
+        assert hodor.validate_drains(clean_snapshot, inputs.drains).all_valid
+
+    def test_report_renders(self, abilene_topo, clean_snapshot, inputs):
+        report = Hodor(abilene_topo).validate(clean_snapshot, inputs)
+        assert "Hodor validation" in report.render()
+
+
+class TestHardeningShieldsChecks:
+    def test_corrupted_counters_do_not_fail_demand_check(
+        self, abilene_topo, clean_snapshot, inputs
+    ):
+        """Router faults must be absorbed by hardening, not leak into
+        dynamic-check false positives."""
+        snapshot, _ = FaultInjector(
+            [RandomCounterCorruption(3, mode="scale", factor=5.0)], seed=8
+        ).inject(clean_snapshot)
+        report = Hodor(abilene_topo).validate(snapshot, inputs)
+        assert report.verdicts["demand"].valid
+        assert report.detected_anything()  # but hardening saw the faults
+
+
+class TestPolicyLoop:
+    def test_requires_policy(self, abilene_topo, clean_snapshot, inputs):
+        with pytest.raises(ValueError):
+            Hodor(abilene_topo).validate_and_decide(clean_snapshot, inputs)
+
+    def test_fallback_to_last_good(self, abilene_topo, clean_snapshot, abilene_demand, plane):
+        hodor = Hodor(abilene_topo, policy=RejectAndFallbackPolicy())
+        records = records_from_matrix(abilene_demand, seed=1)
+
+        good_inputs = plane.compute_inputs(clean_snapshot, records)
+        first = hodor.validate_and_decide(clean_snapshot, good_inputs)
+        assert first.accepted
+        assert hodor.last_good is good_inputs
+
+        buggy_plane = ControlPlane(
+            abilene_topo, demand_bugs=[PartialDemandAggregation(drop_fraction=0.5, seed=2)]
+        )
+        bad_inputs = buggy_plane.compute_inputs(clean_snapshot, records)
+        second = hodor.validate_and_decide(clean_snapshot, bad_inputs)
+        assert second.fell_back
+        assert second.inputs is good_inputs
+        assert hodor.last_good is good_inputs  # not replaced by bad epoch
+
+    def test_alert_only_never_blocks(self, abilene_topo, clean_snapshot, abilene_demand):
+        hodor = Hodor(abilene_topo, policy=AlertOnlyPolicy())
+        buggy_plane = ControlPlane(
+            abilene_topo, demand_bugs=[PartialDemandAggregation(drop_fraction=0.5, seed=2)]
+        )
+        records = records_from_matrix(abilene_demand, seed=1)
+        bad_inputs = buggy_plane.compute_inputs(clean_snapshot, records)
+        decision = hodor.validate_and_decide(clean_snapshot, bad_inputs)
+        assert decision.accepted
+        assert decision.alerts
+
+
+class TestConfigPropagation:
+    def test_loose_tau_e_accepts_small_errors(self, abilene_topo, clean_snapshot, inputs):
+        loose = Hodor(abilene_topo, HodorConfig(tau_e=0.5))
+        slightly_off = inputs.demand.scaled(1.2)
+        assert loose.validate_demand(clean_snapshot, slightly_off).all_valid
+
+    def test_tight_tau_e_rejects_them(self, abilene_topo, clean_snapshot, inputs):
+        tight = Hodor(abilene_topo, HodorConfig(tau_e=0.01))
+        slightly_off = inputs.demand.scaled(1.2)
+        assert not tight.validate_demand(clean_snapshot, slightly_off).all_valid

@@ -1,0 +1,47 @@
+"""Integration: catalog behaviour is stable across random seeds.
+
+The E3 claim should not hinge on one lucky seed: detection verdicts
+must match expectations for every scenario under several seeds, and
+the legitimate disaster must never be flagged.
+"""
+
+import pytest
+
+from repro.scenarios.catalog import all_scenarios
+
+SEEDS = (1, 7, 23)
+SCENARIOS = all_scenarios()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=[s.scenario_id for s in SCENARIOS]
+)
+def test_detection_stable_across_seeds(scenario, seed):
+    outcome = scenario.build(seed=seed).run_epoch()
+    assert outcome.detected == scenario.expect_detection, (
+        f"{scenario.scenario_id} seed={seed}: detected={outcome.detected}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_self_correction_keeps_s01_healthy(seed):
+    """With the Section 6 self-correction layer on, the zeroed-telemetry
+    scenario no longer damages the network (prevention), while the
+    same world without it does."""
+    from repro.scenarios.catalog import scenario_by_id
+    from repro.scenarios.world import World
+
+    base = scenario_by_id("S01").build(seed=seed)
+    protected = World(
+        base.topology,
+        base.measured_demand,
+        signal_faults=base.signal_faults,
+        infer_faulty_from_counters=True,
+        self_correct=True,
+        seed=seed,
+    )
+    unprotected_outcome = base.run_epoch()
+    protected_outcome = protected.run_epoch()
+    assert unprotected_outcome.damaged
+    assert not protected_outcome.damaged

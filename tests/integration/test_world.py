@@ -1,0 +1,112 @@
+"""Integration: the World orchestrator (full Figure 1 pipeline)."""
+
+import pytest
+
+from repro.control.metrics import Severity
+from repro.faults.external_faults import PartialDemandAggregation, ThrottledDemandMismatch
+from repro.faults.intent_faults import SpuriousDrain
+from repro.net.demand import gravity_demand
+from repro.scenarios.world import World
+from repro.telemetry.probes import LinkHealth
+from repro.topologies.abilene import abilene
+
+
+@pytest.fixture
+def topo():
+    return abilene()
+
+
+@pytest.fixture
+def demand(topo):
+    return gravity_demand(topo.node_names(), total=40.0, seed=2, weights={"atlam": 0.15})
+
+
+class TestCleanWorld:
+    def test_clean_epoch_validates_and_stays_healthy(self, topo, demand):
+        outcome = World(topo, demand, seed=3).run_epoch()
+        assert not outcome.detected
+        assert outcome.report.all_valid
+        assert outcome.health.severity == Severity.OK
+        assert outcome.injections == []
+
+    def test_epoch_outcome_fields_consistent(self, topo, demand):
+        outcome = World(topo, demand, seed=3).run_epoch()
+        assert outcome.inputs.topology.num_links == topo.num_links
+        assert outcome.programmed.total_rate() == pytest.approx(demand.total(), rel=0.05)
+        assert outcome.realized.total_rate() == pytest.approx(demand.total(), rel=1e-6)
+
+    def test_baseline_health_matches_clean_epoch(self, topo, demand):
+        world = World(topo, demand, seed=3)
+        outcome = world.run_epoch()
+        baseline = world.baseline_health()
+        assert baseline.severity == outcome.health.severity
+
+    def test_reproducible(self, topo, demand):
+        first = World(topo, demand, seed=3).run_epoch()
+        second = World(topo, demand, seed=3).run_epoch()
+        assert first.health.mlu == pytest.approx(second.health.mlu)
+        assert first.detected == second.detected
+
+
+class TestThrottledDemand:
+    def test_actual_demand_scaled(self, topo, demand):
+        world = World(
+            topo, demand, demand_bugs=[ThrottledDemandMismatch(admitted_fraction=0.5)]
+        )
+        assert world.actual_demand.total() == pytest.approx(demand.total() * 0.5)
+        assert world.measured_demand.total() == pytest.approx(demand.total())
+
+    def test_detected_by_demand_check(self, topo, demand):
+        world = World(
+            topo,
+            demand,
+            demand_bugs=[ThrottledDemandMismatch(admitted_fraction=0.5)],
+            seed=3,
+        )
+        outcome = world.run_epoch()
+        assert not outcome.report.verdicts["demand"].valid
+
+
+class TestLinkHealthPlumbing:
+    def test_dead_link_blackholed(self, topo, demand):
+        world = World(topo, demand, link_health={"ipls~kscy": LinkHealth(up=False)}, seed=3)
+        assert ("ipls", "kscy") in world.blackholes()
+        assert ("kscy", "ipls") in world.blackholes()
+
+    def test_live_topology_excludes_dead_links(self, topo, demand):
+        world = World(topo, demand, link_health={"ipls~kscy": LinkHealth(up=False)})
+        assert world.live_topology().link_between("ipls", "kscy") is None
+
+    def test_healthy_link_not_blackholed(self, topo, demand):
+        world = World(topo, demand, link_health={"ipls~kscy": LinkHealth(up=True)})
+        assert world.blackholes() == []
+
+
+class TestFaultPlumbing:
+    def test_signal_faults_recorded(self, topo, demand):
+        world = World(topo, demand, signal_faults=[SpuriousDrain(["kscy"])], seed=3)
+        outcome = world.run_epoch()
+        assert len(outcome.injections) == 1
+        assert outcome.injections[0].node == "kscy"
+
+    def test_demand_bug_shrinks_believed_matrix(self, topo, demand):
+        world = World(
+            topo,
+            demand,
+            demand_bugs=[PartialDemandAggregation(drop_fraction=0.5, seed=4)],
+            seed=3,
+        )
+        outcome = world.run_epoch()
+        assert outcome.inputs.demand.total() < demand.total() * 0.8
+
+    def test_detection_channels_exposed(self, topo, demand):
+        world = World(
+            topo,
+            demand,
+            demand_bugs=[PartialDemandAggregation(drop_fraction=0.5, seed=4)],
+            seed=3,
+        )
+        outcome = world.run_epoch()
+        assert outcome.detected
+        assert not outcome.report.verdicts["demand"].valid
+        assert outcome.report.verdicts["topology"].valid

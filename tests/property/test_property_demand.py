@@ -1,0 +1,104 @@
+"""Property-based tests for demand matrices and generators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.demand import (
+    DemandMatrix,
+    bimodal_demand,
+    gravity_demand,
+    lognormal_demand,
+    scale_entries,
+    throttle,
+    zero_entries,
+)
+
+node_counts = st.integers(min_value=2, max_value=8)
+totals = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def names(count: int):
+    return [f"n{i}" for i in range(count)]
+
+
+class TestGeneratorInvariants:
+    @given(count=node_counts, total=totals, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_gravity_total_and_nonnegativity(self, count, total, seed):
+        matrix = gravity_demand(names(count), total=total, seed=seed)
+        assert matrix.total() == pytest.approx(total, rel=1e-9, abs=1e-9)
+        assert all(rate >= 0 for _s, _d, rate in matrix.entries())
+
+    @given(count=node_counts, total=totals, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_lognormal_total(self, count, total, seed):
+        matrix = lognormal_demand(names(count), total=total, seed=seed)
+        assert matrix.total() == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(count=node_counts, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_always_zero(self, count, seed):
+        matrix = gravity_demand(names(count), total=100.0, seed=seed)
+        for node in matrix.nodes:
+            assert matrix[node, node] == 0.0
+
+    @given(count=st.integers(min_value=3, max_value=8), seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_bimodal_total(self, count, seed):
+        matrix = bimodal_demand(names(count), total=50.0, seed=seed)
+        assert matrix.total() == pytest.approx(50.0)
+
+
+class TestSumDecomposition:
+    @given(count=node_counts, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_row_sums_equal_total(self, count, seed):
+        matrix = gravity_demand(names(count), total=77.0, seed=seed)
+        assert sum(matrix.row_sum(n) for n in matrix.nodes) == pytest.approx(77.0)
+
+    @given(count=node_counts, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_column_sums_equal_total(self, count, seed):
+        matrix = gravity_demand(names(count), total=77.0, seed=seed)
+        assert sum(matrix.column_sum(n) for n in matrix.nodes) == pytest.approx(77.0)
+
+
+class TestPerturbationInvariants:
+    @given(
+        count=st.integers(min_value=3, max_value=8),
+        zeroed=st.integers(min_value=0, max_value=5),
+        seed=seeds,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_entries_only_removes(self, count, zeroed, seed):
+        matrix = gravity_demand(names(count), total=50.0, seed=seed)
+        available = len(matrix.nonzero_entries())
+        zeroed = min(zeroed, available)
+        perturbed = zero_entries(matrix, zeroed, seed=seed)
+        assert len(perturbed.nonzero_entries()) == available - zeroed
+        for src, dst, rate in perturbed.entries():
+            assert rate in (0.0, matrix[src, dst])
+
+    @given(factor=st.floats(min_value=0.0, max_value=10.0), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_scale_entries_preserves_untouched(self, factor, seed):
+        matrix = gravity_demand(names(5), total=50.0, seed=seed)
+        perturbed = scale_entries(matrix, 2, factor, seed=seed)
+        changed = sum(
+            1
+            for src, dst, rate in perturbed.entries()
+            if not math.isclose(rate, matrix[src, dst], rel_tol=1e-12, abs_tol=1e-12)
+        )
+        assert changed <= 2
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_throttle_scales_linearly(self, fraction, seed):
+        matrix = gravity_demand(names(4), total=40.0, seed=seed)
+        assert throttle(matrix, fraction).total() == pytest.approx(
+            matrix.total() * fraction, abs=1e-9
+        )

@@ -1,0 +1,81 @@
+"""Property-based tests for the flow-conservation solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flow_repair import edge_var, solve_flow_conservation
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.topologies.synthetic import waxman_topology
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def true_system(seed: int, size: int = 8):
+    """A consistent conservation system from a real simulation."""
+    topo = waxman_topology(size, seed=seed, capacity=1e9)
+    demand = gravity_demand(topo.node_names(), total=90.0, seed=seed)
+    truth = NetworkSimulator(topo, demand).run()
+    nodes = topo.node_names()
+    edges = list(topo.directed_edges())
+    edge_values = {e: truth.edge_flows[e] for e in edges}
+    ext_in = dict(truth.ext_in)
+    ext_out = dict(truth.ext_out)
+    drops = dict(truth.dropped)
+    return nodes, edges, edge_values, ext_in, ext_out, drops, truth
+
+
+class TestSolverSoundness:
+    @given(seed=seeds, how_many=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_recovered_values_match_truth(self, seed, how_many):
+        nodes, edges, edge_values, ext_in, ext_out, drops, truth = true_system(seed)
+        import random
+
+        rng = random.Random(seed)
+        hidden = rng.sample(edges, min(how_many, len(edges)))
+        for edge in hidden:
+            edge_values[edge] = None
+        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        for edge in hidden:
+            value = result.values[edge_var(*edge)]
+            if value is not None:
+                assert value == pytest.approx(truth.edge_flows[edge], rel=1e-6, abs=1e-6)
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_consistent_system_low_residual(self, seed):
+        nodes, edges, edge_values, ext_in, ext_out, drops, _truth = true_system(seed)
+        edge_values[edges[0]] = None
+        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        assert result.residual < 1e-6
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_solved_subset_of_unknowns(self, seed):
+        nodes, edges, edge_values, ext_in, ext_out, drops, _truth = true_system(seed)
+        edge_values[edges[0]] = None
+        ext_in[nodes[0]] = None
+        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        assert result.num_unknowns == 2
+        assert set(result.solved()) <= set(result.values)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_rank_bounded_by_nodes(self, seed):
+        # The paper: up to |V| - 1 unknowns are recoverable (rank of M).
+        nodes, edges, edge_values, ext_in, ext_out, drops, _truth = true_system(seed)
+        for edge in edges:
+            edge_values[edge] = None  # everything unknown
+        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        assert result.rank <= len(nodes)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_no_unknowns_empty_result(self, seed):
+        nodes, edges, edge_values, ext_in, ext_out, drops, _truth = true_system(seed)
+        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        assert result.values == {}
+        assert result.num_unknowns == 0
+        assert result.residual < 1e-6

@@ -1,0 +1,117 @@
+"""Property-based tests for Hodor's hardening invariants.
+
+Core soundness properties:
+
+- **No false alarms**: hardening a clean (jitter-free) snapshot flags
+  nothing and reproduces ground truth exactly.
+- **Repair soundness**: whenever hardening claims REPAIRED, the value
+  matches ground truth (an isolated corruption never produces a wrong
+  repair -- it is either fixed correctly or left unknown).
+- **Detection soundness**: a corruption beyond tau_h on one side of a
+  link never survives as a CORROBORATED value.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HodorConfig
+from repro.core.pipeline import Hodor
+from repro.core.signals import Confidence
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.topologies.synthetic import waxman_topology
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def clean_world(seed: int, size: int = 8):
+    topo = waxman_topology(size, seed=seed, capacity=1000.0)
+    demand = gravity_demand(topo.node_names(), total=80.0, seed=seed)
+    truth = NetworkSimulator(topo, demand).run()
+    snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+    return topo, truth, snapshot
+
+
+class TestNoFalseAlarms:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_clean_snapshot_reproduces_truth(self, seed):
+        topo, truth, snapshot = clean_world(seed)
+        hardened = Hodor(topo).harden(snapshot)
+        assert hardened.unknown_edges() == []
+        for edge, value in hardened.edge_flows.items():
+            assert value.confidence == Confidence.CORROBORATED
+            assert value.value == pytest.approx(truth.edge_flows[edge], abs=1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_jitter_within_tau_never_flags(self, seed):
+        topo = waxman_topology(8, seed=seed, capacity=1000.0)
+        demand = gravity_demand(topo.node_names(), total=80.0, seed=seed)
+        truth = NetworkSimulator(topo, demand).run()
+        # worst-case pairwise disagreement of 1% jitter is ~2% = tau_h;
+        # use 0.9% to stay strictly inside
+        snapshot = TelemetryCollector(Jitter(0.009, seed=seed)).collect(truth)
+        hardened = Hodor(topo).harden(snapshot)
+        assert hardened.unknown_edges() == []
+
+
+class TestRepairSoundness:
+    @given(seed=seeds, factor=st.floats(min_value=1.5, max_value=50.0))
+    @settings(max_examples=25, deadline=None)
+    def test_single_corruption_repaired_or_unknown_never_wrong(self, seed, factor):
+        topo, truth, snapshot = clean_world(seed)
+        edges = sorted(truth.edge_flows)
+        target = edges[seed % len(edges)]
+        reading = snapshot.counters[target]
+        base = reading.tx_rate
+        if base == 0:
+            return  # zero-rate edges scale to zero: no corruption
+        reading.tx_rate = base * factor
+
+        hardened = Hodor(topo).harden(snapshot)
+        value = hardened.edge_flows[target]
+        assert value.confidence != Confidence.CORROBORATED
+        if value.known:
+            assert value.value == pytest.approx(truth.edge_flows[target], rel=1e-6, abs=1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_repaired_values_never_negative(self, seed):
+        topo, _truth, snapshot = clean_world(seed)
+        edges = sorted(snapshot.counters)
+        target = edges[seed % len(edges)]
+        snapshot.counters[target].tx_rate = 0.0
+        hardened = Hodor(topo).harden(snapshot)
+        for value in hardened.edge_flows.values():
+            if value.known:
+                assert value.value >= 0.0
+
+
+class TestDetectionSoundness:
+    @given(seed=seeds, gap=st.floats(min_value=0.05, max_value=5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_gap_beyond_tau_always_flagged(self, seed, gap):
+        topo, truth, snapshot = clean_world(seed)
+        flows = [(e, r) for e, r in truth.edge_flows.items() if r > 1.0]
+        if not flows:
+            return
+        target, rate = flows[seed % len(flows)]
+        snapshot.counters[target].tx_rate = rate * (1.0 + gap)
+        hardened = Hodor(topo, HodorConfig(enable_repair=False)).harden(snapshot)
+        assert not hardened.edge_flows[target].known
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_findings_well_formed(self, seed):
+        topo, _truth, snapshot = clean_world(seed)
+        target = sorted(snapshot.counters)[0]
+        snapshot.counters[target].rx_rate = "garbage"
+        hardened = Hodor(topo).harden(snapshot)
+        for finding in hardened.findings:
+            assert finding.code
+            assert finding.subject
+            assert finding.severity is not None

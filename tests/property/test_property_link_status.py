@@ -1,0 +1,121 @@
+"""Exhaustive + property tests for the link-status truth table.
+
+The combination logic is a pure function over a small input space, so
+we enumerate it completely and assert global safety properties instead
+of sampling.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HodorConfig, RiskProfile
+from repro.core.link_status import LinkEvidence, combine_link_evidence
+from repro.core.signals import LinkVerdict
+
+STATUS_VALUES = (True, False, None)
+PROBE_VALUES = (True, False, None)
+RATE_SETS = ((5.0, 5.0, 5.0, 5.0), (0.0, 0.0, 0.0, 0.0), ())
+
+
+def all_evidence():
+    for status_a, status_b, rates, probe_ab, probe_ba in itertools.product(
+        STATUS_VALUES, STATUS_VALUES, RATE_SETS, PROBE_VALUES, PROBE_VALUES
+    ):
+        yield LinkEvidence(
+            status_a=status_a,
+            status_b=status_b,
+            rates=rates,
+            probe_ab=probe_ab,
+            probe_ba=probe_ba,
+        )
+
+
+ALL_CASES = list(all_evidence())
+
+
+class TestExhaustiveSafety:
+    @pytest.mark.parametrize("profile", RiskProfile.ALL)
+    def test_total_function_no_crashes(self, profile):
+        config = HodorConfig(risk_profile=profile)
+        for evidence in ALL_CASES:
+            status = combine_link_evidence(evidence, config)
+            assert status.verdict in LinkVerdict
+            assert status.forwarding in (True, False, None)
+
+    def test_active_counters_never_yield_down(self):
+        """Traffic demonstrably flowing means the link is not down."""
+        for evidence in ALL_CASES:
+            if evidence.counters_active(1e-3):
+                for profile in RiskProfile.ALL:
+                    status = combine_link_evidence(
+                        evidence, HodorConfig(risk_profile=profile)
+                    )
+                    assert status.verdict != LinkVerdict.DOWN, vars(evidence)
+
+    def test_successful_probe_never_yields_down(self):
+        for evidence in ALL_CASES:
+            if evidence.probe_consensus() == "ok":
+                status = combine_link_evidence(evidence)
+                assert status.verdict != LinkVerdict.DOWN
+
+    def test_agreeing_healthy_story_is_up(self):
+        """No profile may reject a fully consistent healthy link."""
+        evidence = LinkEvidence(True, True, (5.0,) * 4, True, True)
+        for profile in RiskProfile.ALL:
+            status = combine_link_evidence(evidence, HodorConfig(risk_profile=profile))
+            assert status.verdict == LinkVerdict.UP
+            assert status.usable
+
+    def test_agreeing_dead_story_is_down(self):
+        evidence = LinkEvidence(False, False, (0.0,) * 4, False, False)
+        for profile in RiskProfile.ALL:
+            status = combine_link_evidence(evidence, HodorConfig(risk_profile=profile))
+            assert status.verdict == LinkVerdict.DOWN
+
+    def test_conservative_never_up_on_conflict(self):
+        """The conservative profile never silently trusts a conflicted
+        status pair."""
+        config = HodorConfig(risk_profile=RiskProfile.CONSERVATIVE)
+        for evidence in ALL_CASES:
+            if evidence.status_consensus() == "conflict":
+                status = combine_link_evidence(evidence, config)
+                assert status.verdict in (LinkVerdict.SUSPECT, LinkVerdict.DOWN)
+
+    def test_permissive_at_least_as_optimistic_as_balanced(self):
+        """Ordering: permissive never declares DOWN where balanced says
+        UP, and never SUSPECT where balanced says UP."""
+        rank = {LinkVerdict.DOWN: 0, LinkVerdict.SUSPECT: 1, LinkVerdict.UP: 2}
+        for evidence in ALL_CASES:
+            balanced = combine_link_evidence(
+                evidence, HodorConfig(risk_profile=RiskProfile.BALANCED)
+            )
+            permissive = combine_link_evidence(
+                evidence, HodorConfig(risk_profile=RiskProfile.PERMISSIVE)
+            )
+            assert rank[permissive.verdict] >= rank[balanced.verdict], vars(evidence)
+
+    def test_forwarding_true_only_with_positive_evidence(self):
+        for evidence in ALL_CASES:
+            status = combine_link_evidence(evidence)
+            if status.forwarding is True:
+                assert evidence.counters_active(1e-3) or evidence.probe_consensus() == "ok"
+
+
+class TestFuzzedRates:
+    @given(
+        rates=st.lists(
+            st.one_of(st.none(), st.floats(min_value=0, max_value=1e9)),
+            min_size=0,
+            max_size=4,
+        ),
+        status_a=st.sampled_from(STATUS_VALUES),
+        status_b=st.sampled_from(STATUS_VALUES),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_rates_never_crash(self, rates, status_a, status_b):
+        evidence = LinkEvidence(status_a, status_b, tuple(rates))
+        status = combine_link_evidence(evidence)
+        assert status.verdict in LinkVerdict

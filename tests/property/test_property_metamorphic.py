@@ -1,0 +1,108 @@
+"""Metamorphic properties of the validation pipeline.
+
+Transformations that must not change verdicts:
+
+- **Unit invariance**: multiplying every rate in the world (demand,
+  capacities) by a constant rescales hardened values but preserves
+  every relative check -- Hodor must not care whether rates are in
+  Gbps or Mbps.
+- **Label invariance**: consistently renaming routers changes nothing
+  semantic; detection verdicts must be identical under relabeling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Hodor
+from repro.net.demand import DemandMatrix, gravity_demand, zero_entries
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import Link, Node, Topology
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.topologies.synthetic import waxman_topology
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def build(seed: int, scale: float = 1.0, rename=None):
+    base = waxman_topology(8, seed=seed, capacity=500.0)
+    rename = rename or (lambda name: name)
+    topo = Topology(base.name)
+    for node in base.nodes():
+        topo.add_node(Node(rename(node.name), site=node.site, vendor=node.vendor))
+    for link in base.links():
+        topo.add_link(Link(rename(link.a), rename(link.b), capacity=link.capacity * scale))
+
+    raw = gravity_demand(base.node_names(), total=60.0, seed=seed)
+    demand = DemandMatrix([rename(n) for n in raw.nodes], raw.to_array() * scale)
+    truth = NetworkSimulator(topo, demand).run()
+    snapshot = TelemetryCollector(Jitter(0.005, seed=seed + 5)).collect(truth)
+    return topo, demand, snapshot
+
+
+class TestUnitInvariance:
+    @given(seed=seeds, scale=st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=15, deadline=None)
+    def test_clean_verdict_scale_invariant(self, seed, scale):
+        topo1, demand1, snap1 = build(seed, scale=1.0)
+        topo2, demand2, snap2 = build(seed, scale=scale)
+        report1 = Hodor(topo1).validate_demand(snap1, demand1)
+        report2 = Hodor(topo2).validate_demand(snap2, demand2)
+        assert report1.all_valid == report2.all_valid
+
+    @given(seed=seeds, scale=st.floats(min_value=1e-2, max_value=1e2))
+    @settings(max_examples=15, deadline=None)
+    def test_perturbation_detection_scale_invariant(self, seed, scale):
+        topo1, demand1, snap1 = build(seed, scale=1.0)
+        topo2, demand2, snap2 = build(seed, scale=scale)
+        bad1 = zero_entries(demand1, 3, seed=seed)
+        bad2 = zero_entries(demand2, 3, seed=seed)  # same entries (same RNG)
+        verdict1 = Hodor(topo1).validate_demand(snap1, bad1).all_valid
+        verdict2 = Hodor(topo2).validate_demand(snap2, bad2).all_valid
+        assert verdict1 == verdict2
+
+    @given(seed=seeds, scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_hardened_values_scale_linearly(self, seed, scale):
+        topo1, _d1, snap1 = build(seed, scale=1.0)
+        topo2, _d2, snap2 = build(seed, scale=scale)
+        hardened1 = Hodor(topo1).harden(snap1)
+        hardened2 = Hodor(topo2).harden(snap2)
+        for edge, value1 in hardened1.edge_flows.items():
+            value2 = hardened2.edge_flows[edge]
+            if value1.known and value1.value > 1e-6:
+                # jitter draws differ between runs; linearity holds
+                # within the 1% jitter envelope
+                assert value2.value == pytest.approx(value1.value * scale, rel=0.02)
+
+
+class TestLabelInvariance:
+    @staticmethod
+    def _renamer():
+        return lambda name: f"pop-{name}-x"
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_clean_verdict_rename_invariant(self, seed):
+        topo1, demand1, snap1 = build(seed)
+        topo2, demand2, snap2 = build(seed, rename=self._renamer())
+        assert (
+            Hodor(topo1).validate_demand(snap1, demand1).all_valid
+            == Hodor(topo2).validate_demand(snap2, demand2).all_valid
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_detection_rename_invariant(self, seed):
+        topo1, demand1, snap1 = build(seed)
+        topo2, demand2, snap2 = build(seed, rename=self._renamer())
+        bad1 = demand1.scaled(0.6)
+        bad2 = demand2.scaled(0.6)
+        report1 = Hodor(topo1).validate_demand(snap1, bad1)
+        report2 = Hodor(topo2).validate_demand(snap2, bad2)
+        assert report1.all_valid == report2.all_valid
+        assert (
+            report1.verdicts["demand"].num_violations
+            == report2.verdicts["demand"].num_violations
+        )

@@ -1,0 +1,90 @@
+"""Property-based tests for the TE allocator and traffic realization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.te import greedy_te
+from repro.net.demand import gravity_demand
+from repro.net.flows import edge_offered_loads
+from repro.net.realize import realize_traffic
+from repro.topologies.synthetic import waxman_topology
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def setup(seed: int, total: float, size: int = 8, capacity: float = 100.0):
+    topo = waxman_topology(size, seed=seed, capacity=capacity)
+    demand = gravity_demand(topo.node_names(), total=total, seed=seed)
+    return topo, demand
+
+
+class TestGreedyTeInvariants:
+    @given(seed=seeds, total=st.floats(min_value=0.0, max_value=2000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_everything_placed_or_unrouted(self, seed, total):
+        topo, demand = setup(seed, total)
+        assignment = greedy_te(topo, demand)
+        placed = assignment.total_rate() + assignment.total_unrouted()
+        # abs floor matches the allocator's minimum-placement noise gate
+        # (sub-nano rates are legitimately dropped).
+        assert placed == pytest.approx(demand.total(), rel=1e-9, abs=1e-6)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_connected_topology_routes_everything(self, seed):
+        topo, demand = setup(seed, total=100.0)
+        assignment = greedy_te(topo, demand)
+        assert assignment.unrouted == {}
+
+    @given(seed=seeds, total=st.floats(min_value=1.0, max_value=300.0))
+    @settings(max_examples=25, deadline=None)
+    def test_within_headroom_when_demand_fits(self, seed, total):
+        # With enormous capacity, nothing should ever exceed the target.
+        topo, demand = setup(seed, total, capacity=1e6)
+        assignment = greedy_te(topo, demand, target_utilization=0.9)
+        for (u, v), load in edge_offered_loads(assignment).items():
+            capacity = topo.link_between(u, v).capacity
+            assert load <= capacity * 0.9 + 1e-6
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_rates_nonnegative(self, seed):
+        topo, demand = setup(seed, total=500.0, capacity=10.0)
+        assignment = greedy_te(topo, demand)
+        for _src, _dst, rule in assignment.iter_rules():
+            assert rule.rate >= 0
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_paths_exist_in_topology(self, seed):
+        topo, demand = setup(seed, total=200.0)
+        assignment = greedy_te(topo, demand)
+        for _src, _dst, rule in assignment.iter_rules():
+            for u, v in rule.path.edges():
+                assert topo.link_between(u, v) is not None
+
+
+class TestRealizeInvariants:
+    @given(seed=seeds, believe_factor=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_realized_total_matches_true_demand(self, seed, believe_factor):
+        topo, demand = setup(seed, total=100.0)
+        believed = demand.scaled(believe_factor)
+        programmed = greedy_te(topo, believed)
+        realized = realize_traffic(programmed, demand, topo)
+        assert realized.total_rate() + realized.total_unrouted() == pytest.approx(
+            demand.total(), rel=1e-9
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_realization_preserves_programmed_paths(self, seed):
+        topo, demand = setup(seed, total=100.0)
+        programmed = greedy_te(topo, demand.scaled(0.5))
+        realized = realize_traffic(programmed, demand, topo)
+        for pair, rules in realized.rules.items():
+            if pair in programmed.rules and programmed.rate_for(*pair) > 0:
+                programmed_paths = {r.path.nodes for r in programmed.rules[pair]}
+                realized_paths = {r.path.nodes for r in rules}
+                assert realized_paths <= programmed_paths

@@ -1,0 +1,101 @@
+"""Property-based tests for topology structures and generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.routing import k_shortest_paths, path_cost, shortest_path
+from repro.net.topology import Link, Node, Topology
+from repro.topologies.synthetic import gnp_topology, grid_topology, waxman_topology
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestGeneratedTopologies:
+    @given(count=st.integers(min_value=2, max_value=30), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_waxman_connected_and_simple(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        assert topo.is_connected()
+        assert topo.num_nodes == count
+        # simple graph: adjacency is symmetric, no self loops
+        for link in topo.links():
+            assert link.a != link.b
+
+    @given(
+        count=st.integers(min_value=2, max_value=20),
+        p=st.floats(min_value=0.0, max_value=1.0),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gnp_connected(self, count, p, seed):
+        assert gnp_topology(count, p=p, seed=seed).is_connected()
+
+    @given(rows=st.integers(min_value=1, max_value=5), cols=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_grid_link_count(self, rows, cols):
+        topo = grid_topology(rows, cols)
+        assert topo.num_links == rows * (cols - 1) + cols * (rows - 1)
+
+    @given(count=st.integers(min_value=2, max_value=15), seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_directed_edges_pair_up(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        edges = set(topo.directed_edges())
+        assert all((v, u) in edges for u, v in edges)
+        assert len(edges) == 2 * topo.num_links
+
+
+class TestRoutingProperties:
+    @given(count=st.integers(min_value=3, max_value=15), seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_shortest_path_endpoints_and_validity(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        nodes = topo.node_names()
+        src, dst = nodes[0], nodes[-1]
+        path = shortest_path(topo, src, dst)
+        assert path.source == src
+        assert path.destination == dst
+        for u, v in path.edges():
+            assert topo.link_between(u, v) is not None
+
+    @given(count=st.integers(min_value=4, max_value=12), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_k_shortest_sorted_and_distinct(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        nodes = topo.node_names()
+        paths = k_shortest_paths(topo, nodes[0], nodes[-1], 4)
+        costs = [path_cost(p) for p in paths]
+        assert costs == sorted(costs)
+        assert len({p.nodes for p in paths}) == len(paths)
+
+    @given(count=st.integers(min_value=3, max_value=12), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality_of_shortest_paths(self, count, seed):
+        from repro.net.routing import shortest_path_lengths
+
+        topo = waxman_topology(count, seed=seed)
+        nodes = topo.node_names()
+        a, b, c = nodes[0], nodes[len(nodes) // 2], nodes[-1]
+        d_from_a = shortest_path_lengths(topo, a)
+        d_from_b = shortest_path_lengths(topo, b)
+        assert d_from_a[c] <= d_from_a[b] + d_from_b[c] + 1e-9
+
+
+class TestCopySemantics:
+    @given(count=st.integers(min_value=2, max_value=12), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_copy_equals_original(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        assert topo.copy() == topo
+
+    @given(count=st.integers(min_value=3, max_value=12), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_without_drained_is_subgraph(self, count, seed):
+        topo = waxman_topology(count, seed=seed)
+        victim = topo.node_names()[0]
+        topo.replace_node(Node(victim, drained=True))
+        serving = topo.without_drained()
+        assert serving.num_nodes == topo.num_nodes - 1
+        for link in serving.links():
+            assert topo.link_between(link.a, link.b) is not None

@@ -1,0 +1,69 @@
+"""Unit tests for aggregation-bug configurations (Section 2.2)."""
+
+import pytest
+
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+    StaleTopology,
+)
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+
+
+class TestTopologyBugs:
+    def test_partial_stitch_freezes_node_set(self):
+        bug = PartialTopologyStitch(["a", "b"])
+        assert bug.missing_nodes == frozenset({"a", "b"})
+
+    def test_liveness_misreport_defaults_down(self):
+        bug = LivenessMisreport(["x~y"])
+        assert bug.report_up is False
+        assert bug.links == frozenset({"x~y"})
+
+    def test_ignored_drain(self):
+        assert IgnoredDrain(["kscy"]).nodes == frozenset({"kscy"})
+
+    def test_stale_topology_is_marker(self):
+        assert "stale" in StaleTopology().description
+
+
+class TestDemandBugs:
+    def test_partial_defaults(self):
+        bug = PartialDemandAggregation(drop_fraction=0.3)
+        assert bug.drop_fraction == 0.3
+        assert bug.drop_pairs == frozenset()
+
+    def test_partial_explicit_pairs(self):
+        bug = PartialDemandAggregation(drop_pairs=[("a", "b")])
+        assert ("a", "b") in bug.drop_pairs
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_partial_bad_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            PartialDemandAggregation(drop_fraction=fraction)
+
+    def test_double_count_validation(self):
+        with pytest.raises(ValueError):
+            DoubleCountedDemand(fraction=2.0)
+        with pytest.raises(ValueError):
+            DoubleCountedDemand(multiplier=-1.0)
+
+    @pytest.mark.parametrize("fraction", [-0.5, 1.01])
+    def test_throttle_validation(self, fraction):
+        with pytest.raises(ValueError):
+            ThrottledDemandMismatch(admitted_fraction=fraction)
+
+    def test_bugs_hashable(self):
+        # Frozen dataclasses must be usable in sets (scenario configs).
+        bugs = {
+            PartialTopologyStitch(["a"]),
+            LivenessMisreport(["x~y"]),
+            IgnoredDrain(["b"]),
+            ThrottledDemandMismatch(0.5),
+        }
+        assert len(bugs) == 4

@@ -1,0 +1,79 @@
+"""Unit tests for the statistical anomaly-detection baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.anomaly import DemandAnomalyBaseline, EwmaDetector
+from repro.net.demand import gravity_demand, uniform_demand, zero_entries
+
+
+class TestEwmaDetector:
+    def test_warmup_returns_none(self):
+        detector = EwmaDetector(min_observations=5)
+        for value in (1.0, 1.1, 0.9):
+            detector.observe(value)
+        assert detector.zscore(5.0) is None
+        assert not detector.is_anomalous(5.0)
+
+    def test_stable_series_flags_outlier(self):
+        detector = EwmaDetector(alpha=0.3, z_threshold=3.0)
+        for value in (10.0, 10.1, 9.9, 10.05, 9.95, 10.0, 10.1):
+            detector.observe(value)
+        assert detector.is_anomalous(20.0)
+        assert not detector.is_anomalous(10.02)
+
+    def test_constant_series_zero_variance(self):
+        detector = EwmaDetector()
+        for _ in range(10):
+            detector.observe(5.0)
+        assert detector.zscore(5.0) == 0.0
+        assert math.isinf(detector.zscore(6.0))
+
+    def test_mean_tracks(self):
+        detector = EwmaDetector(alpha=0.5)
+        for value in (0.0, 10.0, 10.0, 10.0, 10.0, 10.0):
+            detector.observe(value)
+        assert detector.mean > 8.0
+
+    @pytest.mark.parametrize("kwargs", [{"alpha": 0.0}, {"alpha": 1.5}, {"z_threshold": 0.0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            EwmaDetector(**kwargs)
+
+
+class TestDemandAnomalyBaseline:
+    NODES = ["a", "b", "c", "d"]
+
+    def _trained(self, demand, epochs=8, wiggles=(0.98, 1.0, 1.02)):
+        baseline = DemandAnomalyBaseline(min_observations=3)
+        for epoch in range(epochs):
+            baseline.observe(demand.scaled(wiggles[epoch % len(wiggles)]))
+        return baseline
+
+    def test_in_distribution_passes(self):
+        demand = gravity_demand(self.NODES, total=20.0, seed=1)
+        baseline = self._trained(demand)
+        assert baseline.passed(demand.scaled(1.01))
+
+    def test_zeroed_entry_flagged(self):
+        demand = gravity_demand(self.NODES, total=20.0, seed=1)
+        baseline = self._trained(demand)
+        flags = baseline.check(zero_entries(demand, 2, seed=3))
+        assert len(flags) == 2
+        assert all(flag.value == 0.0 for flag in flags)
+
+    def test_unseen_pair_ignored(self):
+        baseline = DemandAnomalyBaseline(min_observations=2)
+        baseline.observe(uniform_demand(["a", "b"], 1.0))
+        baseline.observe(uniform_demand(["a", "b"], 1.0))
+        other = uniform_demand(["x", "y"], 99.0)
+        assert baseline.passed(other)  # no detectors for those pairs
+
+    def test_paper_criticism_structural_shift_passes(self):
+        """A matrix uniformly scaled by a modest factor stays within
+        each entry's historical spread, even though row sums no longer
+        match what the network carries -- the gap Hodor closes."""
+        demand = gravity_demand(self.NODES, total=20.0, seed=1)
+        baseline = self._trained(demand, wiggles=(0.9, 1.0, 1.1))
+        assert baseline.passed(demand.scaled(1.1))

@@ -1,0 +1,91 @@
+"""Unit tests for tau_h calibration (footnote 2's procedure)."""
+
+import pytest
+
+from repro.core import HodorConfig, Hodor, calibrate_tau_h
+from repro.faults import FaultInjector, MalformedTelemetry
+from repro.net import NetworkSimulator, gravity_demand
+from repro.telemetry import Jitter, TelemetryCollector
+from repro.topologies import abilene
+
+
+def history(jitter: float, epochs: int = 8):
+    topo = abilene()
+    snapshots = []
+    for epoch in range(epochs):
+        demand = gravity_demand(
+            topo.node_names(),
+            total=30.0 * (1 + 0.05 * (epoch % 4)),
+            seed=epoch,
+            weights={"atlam": 0.15},
+        )
+        truth = NetworkSimulator(topo, demand).run()
+        snapshots.append(TelemetryCollector(Jitter(jitter, seed=epoch)).collect(truth))
+    return topo, snapshots
+
+
+class TestPaperOperatingPoint:
+    def test_one_percent_jitter_recovers_two_percent(self):
+        """Footnote 2 reproduced: calibrating on history with ~1%
+        per-reading noise lands within a hair of the paper's 2%."""
+        topo, snapshots = history(jitter=0.01)
+        result = calibrate_tau_h(snapshots, topo)
+        assert 0.015 <= result.recommended_tau_h <= 0.03
+
+    def test_quieter_telemetry_tighter_threshold(self):
+        topo, quiet = history(jitter=0.002)
+        topo2, noisy = history(jitter=0.02)
+        tight = calibrate_tau_h(quiet, topo)
+        loose = calibrate_tau_h(noisy, topo2)
+        assert tight.recommended_tau_h < loose.recommended_tau_h
+
+    def test_calibrated_threshold_produces_no_false_flags(self):
+        """Closing the loop: harden a fresh clean epoch with the
+        calibrated threshold and nothing gets flagged."""
+        topo, snapshots = history(jitter=0.01)
+        result = calibrate_tau_h(snapshots, topo)
+        demand = gravity_demand(
+            topo.node_names(), total=33.0, seed=99, weights={"atlam": 0.15}
+        )
+        truth = NetworkSimulator(topo, demand).run()
+        fresh = TelemetryCollector(Jitter(0.01, seed=99)).collect(truth)
+        hodor = Hodor(topo, HodorConfig(tau_h=min(0.5, result.recommended_tau_h)))
+        hardened = hodor.harden(fresh)
+        assert hardened.unknown_edges() == []
+
+
+class TestMechanics:
+    def test_result_fields_consistent(self):
+        topo, snapshots = history(jitter=0.01, epochs=3)
+        result = calibrate_tau_h(snapshots, topo, quantile=0.99, safety_margin=1.5)
+        assert result.recommended_tau_h == pytest.approx(result.quantile_gap * 1.5)
+        assert result.quantile_gap <= result.max_gap
+        assert result.samples == 3 * 2 * topo.num_links
+
+    def test_malformed_readings_skipped(self):
+        topo, snapshots = history(jitter=0.01, epochs=2)
+        corrupted, _ = FaultInjector(
+            [MalformedTelemetry(interfaces=[("atla", "hstn")])]
+        ).inject(snapshots[0])
+        result = calibrate_tau_h([corrupted, snapshots[1]], topo)
+        # the malformed pair contributes nothing, everything else does
+        assert result.samples < 2 * 2 * topo.num_links
+
+    def test_idle_pairs_skipped(self):
+        from repro.net.demand import DemandMatrix
+
+        topo = abilene()
+        truth = NetworkSimulator(topo, DemandMatrix(topo.node_names())).run()
+        snapshot = TelemetryCollector(Jitter(0.01, seed=0)).collect(truth)
+        with pytest.raises(ValueError):
+            calibrate_tau_h([snapshot], topo)  # all pairs idle -> nothing to measure
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_tau_h([], abilene())
+
+    @pytest.mark.parametrize("kwargs", [{"quantile": 0.0}, {"quantile": 1.5}, {"safety_margin": 0.5}])
+    def test_bad_params(self, kwargs):
+        topo, snapshots = history(jitter=0.01, epochs=2)
+        with pytest.raises(ValueError):
+            calibrate_tau_h(snapshots, topo, **kwargs)

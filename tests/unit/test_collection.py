@@ -1,0 +1,100 @@
+"""Unit tests for Hodor's collection step (step 1)."""
+
+import pytest
+
+from repro.core.collection import SignalCollector
+from repro.core.config import HodorConfig
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import DelayedTelemetry, MalformedTelemetry
+from repro.net.topology import EXTERNAL_PEER
+
+
+class TestCleanCollection:
+    def test_counters_coerced(self, clean_snapshot):
+        state = SignalCollector().collect(clean_snapshot)
+        counter = state.counter("atla", "hstn")
+        assert isinstance(counter.rx, float)
+        assert isinstance(counter.tx, float)
+        assert state.findings == []
+
+    def test_statuses_coerced(self, clean_snapshot):
+        state = SignalCollector().collect(clean_snapshot)
+        assert state.statuses[("atla", "hstn")].oper_up is True
+
+    def test_drains_and_drops(self, clean_snapshot):
+        state = SignalCollector().collect(clean_snapshot)
+        assert state.drains["atla"] is False
+        assert state.drops["atla"] == pytest.approx(0.0)
+
+    def test_probes_copied(self, clean_snapshot):
+        state = SignalCollector().collect(clean_snapshot)
+        assert state.probes[("atla", "hstn")] is True
+
+    def test_external_counters_present(self, clean_snapshot):
+        state = SignalCollector().collect(clean_snapshot)
+        assert state.counter("atla", EXTERNAL_PEER) is not None
+
+
+class TestDefensiveCoercion:
+    def test_malformed_counter_becomes_none_with_finding(self, clean_snapshot):
+        snapshot, _ = FaultInjector(
+            [MalformedTelemetry(interfaces=[("atla", "hstn")])]
+        ).inject(clean_snapshot)
+        state = SignalCollector().collect(snapshot)
+        counter = state.counter("atla", "hstn")
+        assert counter.rx is None and counter.tx is None
+        codes = [finding.code for finding in state.findings]
+        assert codes.count("MALFORMED_COUNTER") == 2  # rx and tx
+
+    def test_malformed_status_flagged(self, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.link_status[("atla", "hstn")].oper_up = "???"
+        state = SignalCollector().collect(snapshot)
+        assert state.statuses[("atla", "hstn")].oper_up is None
+        assert any(f.code == "MALFORMED_STATUS" for f in state.findings)
+
+    def test_malformed_drain_flagged(self, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["atla"] = "whatever"
+        state = SignalCollector().collect(snapshot)
+        assert state.drains["atla"] is None
+        assert any(f.code == "MALFORMED_DRAIN" for f in state.findings)
+
+    def test_malformed_drops_flagged(self, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.drops["atla"] = "NaN-ish garbage"
+        state = SignalCollector().collect(snapshot)
+        assert state.drops["atla"] is None
+        assert any(f.code == "MALFORMED_DROPS" for f in state.findings)
+
+    def test_string_booleans_accepted(self, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["atla"] = "drained"
+        snapshot.link_status[("atla", "hstn")].oper_up = "up"
+        state = SignalCollector().collect(snapshot)
+        assert state.drains["atla"] is True
+        assert state.statuses[("atla", "hstn")].oper_up is True
+
+    def test_parseable_string_rate_accepted(self, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.counters[("atla", "hstn")].tx_rate = "123.5"
+        state = SignalCollector().collect(snapshot)
+        assert state.counter("atla", "hstn").tx == 123.5
+
+
+class TestStaleness:
+    def test_stale_reading_dropped(self, clean_snapshot):
+        snapshot, _ = FaultInjector(
+            [DelayedTelemetry(interfaces=[("atla", "hstn")], delay_s=600.0)]
+        ).inject(clean_snapshot)
+        state = SignalCollector(HodorConfig(max_staleness_s=60.0)).collect(snapshot)
+        counter = state.counter("atla", "hstn")
+        assert counter.rx is None and counter.tx is None
+        assert any(f.code == "STALE_READING" for f in state.findings)
+
+    def test_fresh_reading_within_bound_kept(self, clean_snapshot):
+        snapshot, _ = FaultInjector(
+            [DelayedTelemetry(interfaces=[("atla", "hstn")], delay_s=30.0, drift=1.0)]
+        ).inject(clean_snapshot)
+        state = SignalCollector(HodorConfig(max_staleness_s=60.0)).collect(snapshot)
+        assert state.counter("atla", "hstn").rx is not None

@@ -1,0 +1,100 @@
+"""Unit tests for the telemetry collector (ground truth -> snapshot)."""
+
+import pytest
+
+from repro.net.demand import DemandMatrix
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import EXTERNAL_PEER
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter, coerce_rate
+from repro.telemetry.probes import LinkHealth, ProbeEngine
+from repro.topologies.synthetic import line_topology
+
+
+@pytest.fixture
+def line_truth(line5):
+    demand = DemandMatrix(line5.node_names())
+    demand["r0", "r4"] = 6.0
+    demand["r2", "r0"] = 2.0
+    return NetworkSimulator(line5, demand, strategy="single").run()
+
+
+class TestCounters:
+    def test_tx_matches_ground_truth_without_jitter(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        reading = snapshot.counter("r0", "r1")
+        assert coerce_rate(reading.tx_rate) == pytest.approx(6.0)
+        assert coerce_rate(reading.rx_rate) == pytest.approx(2.0)
+
+    def test_link_symmetry_exact_without_jitter(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        tx = coerce_rate(snapshot.counter("r0", "r1").tx_rate)
+        rx = coerce_rate(snapshot.counter("r1", "r0").rx_rate)
+        assert tx == pytest.approx(rx)
+
+    def test_jitter_bounded(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.01, seed=2)).collect(line_truth)
+        tx = coerce_rate(snapshot.counter("r0", "r1").tx_rate)
+        assert 6.0 * 0.99 <= tx <= 6.0 * 1.01
+
+    def test_external_interface_rates(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        ext = snapshot.counter("r0", EXTERNAL_PEER)
+        assert coerce_rate(ext.rx_rate) == pytest.approx(6.0)  # ingress
+        assert coerce_rate(ext.tx_rate) == pytest.approx(2.0)  # egress
+
+    def test_down_link_reports_zero_and_down(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(
+            line_truth, health={"r0~r1": LinkHealth(up=False)}
+        )
+        assert coerce_rate(snapshot.counter("r0", "r1").tx_rate) == 0.0
+        assert snapshot.status("r0", "r1").oper_up is False
+        assert snapshot.status("r1", "r0").oper_up is False
+
+    def test_timestamp_stamped(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth, timestamp=42.0)
+        assert snapshot.timestamp == 42.0
+        assert snapshot.counter("r0", "r1").timestamp == 42.0
+
+    def test_sequence_increments_per_collection(self, line5, line_truth):
+        collector = TelemetryCollector(Jitter(0.0))
+        first = collector.collect(line_truth)
+        second = collector.collect(line_truth)
+        assert (
+            second.counter("r0", "r1").sequence
+            == first.counter("r0", "r1").sequence + 1
+        )
+
+
+class TestStatusAndIntent:
+    def test_all_links_up_by_default(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        for key in snapshot.link_status:
+            assert snapshot.link_status[key].oper_up in (True,)
+
+    def test_drains_reflect_intent(self, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        assert all(drain is False for drain in snapshot.drains.values())
+
+    def test_drops_reported(self, line5, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        assert coerce_rate(snapshot.drops["r1"]) == pytest.approx(0.0)
+
+    def test_probes_absent_without_engine(self, line_truth):
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(line_truth)
+        assert snapshot.probes == {}
+
+    def test_probes_present_with_engine(self, line5, line_truth):
+        collector = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0))
+        snapshot = collector.collect(line_truth)
+        assert len(snapshot.probes) == 2 * line5.num_links
+
+    def test_admin_down_for_drained_link(self, line5):
+        from repro.net.topology import Link
+
+        line5.replace_link(Link("r0", "r1", capacity=100.0, drained=True))
+        demand = DemandMatrix(line5.node_names())
+        truth = NetworkSimulator(line5, demand).run()
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+        assert snapshot.link_status[("r0", "r1")].admin_up is False
+        assert snapshot.link_drains[("r0", "r1")] is True

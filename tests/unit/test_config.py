@@ -1,0 +1,59 @@
+"""Unit tests for HodorConfig."""
+
+import pytest
+
+from repro.core.config import HodorConfig, RiskProfile
+
+
+class TestDefaults:
+    def test_paper_thresholds(self):
+        config = HodorConfig()
+        assert config.tau_h == 0.02
+        assert config.tau_e == 0.02
+
+    def test_probes_and_repair_on(self):
+        config = HodorConfig()
+        assert config.use_probes
+        assert config.use_counters_for_status
+        assert config.enable_repair
+
+    def test_balanced_profile_default(self):
+        assert HodorConfig().risk_profile == RiskProfile.BALANCED
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("tau_h", -0.01),
+        ("tau_h", 1.0),
+        ("tau_e", -0.5),
+        ("tau_e", 1.5),
+        ("rate_floor", -1.0),
+        ("max_staleness_s", 0.0),
+        ("risk_profile", "yolo"),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            HodorConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            HodorConfig().tau_h = 0.5
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        config = HodorConfig().with_overrides(tau_e=0.05, use_probes=False)
+        assert config.tau_e == 0.05
+        assert not config.use_probes
+        assert config.tau_h == 0.02  # untouched
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            HodorConfig().with_overrides(tau_h=2.0)
+
+    def test_risk_profiles_enumerated(self):
+        assert set(RiskProfile.ALL) == {
+            RiskProfile.CONSERVATIVE,
+            RiskProfile.BALANCED,
+            RiskProfile.PERMISSIVE,
+        }

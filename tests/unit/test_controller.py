@@ -1,0 +1,72 @@
+"""Unit tests for the SDN controller."""
+
+import pytest
+
+from repro.control.controller import SdnController
+from repro.control.inputs import ControllerInputs, DrainView
+from repro.net.demand import DemandMatrix
+from repro.topologies.synthetic import ring_topology
+
+
+def make_inputs(topo, demand=None, drains=None):
+    return ControllerInputs(
+        topology=topo,
+        demand=demand or DemandMatrix(topo.node_names()),
+        drains=drains or DrainView(),
+    )
+
+
+class TestServingTopology:
+    def test_no_drains_full_graph(self):
+        topo = ring_topology(4)
+        serving = SdnController().serving_topology(make_inputs(topo))
+        assert serving.num_nodes == 4
+        assert serving.num_links == 4
+
+    def test_drained_node_removed(self):
+        topo = ring_topology(4)
+        drains = DrainView(nodes={"r0": True})
+        serving = SdnController().serving_topology(make_inputs(topo, drains=drains))
+        assert not serving.has_node("r0")
+        assert serving.num_links == 2  # r0's two links gone
+
+    def test_drained_link_removed(self):
+        topo = ring_topology(4)
+        drains = DrainView(links={"r0~r1": True})
+        serving = SdnController().serving_topology(make_inputs(topo, drains=drains))
+        assert serving.link_between("r0", "r1") is None
+        assert serving.num_links == 3
+
+
+class TestProgram:
+    def test_routes_around_drained_node(self):
+        topo = ring_topology(4)
+        demand = DemandMatrix(topo.node_names())
+        demand["r1", "r3"] = 2.0
+        drains = DrainView(nodes={"r0": True})
+        assignment = SdnController().program(make_inputs(topo, demand, drains))
+        path = assignment.rules[("r1", "r3")][0].path
+        assert "r0" not in path.nodes
+
+    def test_demand_to_drained_node_unrouted(self):
+        topo = ring_topology(4)
+        demand = DemandMatrix(topo.node_names())
+        demand["r1", "r0"] = 2.0
+        drains = DrainView(nodes={"r0": True})
+        assignment = SdnController().program(make_inputs(topo, demand, drains))
+        assert assignment.unrouted == {("r1", "r0"): 2.0}
+
+    def test_invalid_k_paths(self):
+        with pytest.raises(ValueError):
+            SdnController(k_paths=0)
+
+
+class TestDrainView:
+    def test_helpers(self):
+        view = DrainView(nodes={"a": True, "b": False}, links={"a~b": True})
+        assert view.drained_nodes() == ["a"]
+        assert view.drained_links() == ["a~b"]
+        assert view.is_node_drained("a")
+        assert not view.is_node_drained("missing")
+        assert view.is_link_drained("a~b")
+        assert not view.is_link_drained("x~y")

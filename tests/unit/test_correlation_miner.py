@@ -1,0 +1,143 @@
+"""Unit tests for the Section 3.1 unsupervised-mining baseline."""
+
+import pytest
+
+from repro.baselines.correlation_miner import CorrelationMiner, MinedInvariant
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import Node
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.paths import SignalKind, SignalPath
+from repro.topologies.abilene import abilene
+
+
+class TestMinedInvariant:
+    def test_holds_within_tolerance(self):
+        invariant = MinedInvariant("a", "b", 0.02)
+        assert invariant.holds({"a": 100.0, "b": 101.0}, floor=1e-6)
+        assert invariant.holds({"a": 100.0, "b": 110.0}, floor=1e-6) is False
+
+    def test_missing_signal_is_none(self):
+        invariant = MinedInvariant("a", "b", 0.02)
+        assert invariant.holds({"a": 1.0}, floor=1e-6) is None
+
+    def test_both_tiny_hold(self):
+        invariant = MinedInvariant("a", "b", 0.02)
+        assert invariant.holds({"a": 0.0, "b": 0.0}, floor=1e-6)
+
+
+class TestMinerMechanics:
+    def test_requires_min_epochs(self):
+        miner = CorrelationMiner(min_epochs=3)
+        miner.observe({"a": 1.0, "b": 1.0})
+        with pytest.raises(RuntimeError):
+            miner.mine()
+
+    def test_mines_persistent_equality(self):
+        miner = CorrelationMiner(min_epochs=3)
+        for scale in (1.0, 2.0, 3.0):
+            miner.observe({"a": scale, "b": scale * 1.005, "c": scale * 10})
+        mined = miner.mine()
+        assert MinedInvariant("a", "b", 0.02) in mined
+        assert all({inv.left, inv.right} != {"a", "c"} for inv in mined)
+
+    def test_one_counterexample_kills_candidate(self):
+        miner = CorrelationMiner(min_epochs=3)
+        miner.observe({"a": 1.0, "b": 1.0})
+        miner.observe({"a": 2.0, "b": 2.0})
+        miner.observe({"a": 3.0, "b": 4.5})
+        assert miner.mine() == []
+
+    def test_check_flags_broken_invariant(self):
+        miner = CorrelationMiner(min_epochs=2)
+        miner.observe({"a": 1.0, "b": 1.0})
+        miner.observe({"a": 5.0, "b": 5.0})
+        violations = miner.check({"a": 10.0, "b": 2.0})
+        assert len(violations) == 1
+        assert violations[0].left_value == 10.0
+
+    @pytest.mark.parametrize("kwargs", [{"tolerance": -0.1}, {"tolerance": 1.0}, {"min_epochs": 0}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            CorrelationMiner(**kwargs)
+
+
+class TestOnRealTelemetry:
+    def _bundles(self, topo, epochs=4, drained=()):
+        for name in drained:
+            node = topo.node(name)
+            topo.replace_node(Node(name, site=node.site, drained=True))
+        bundles = []
+        for epoch in range(epochs):
+            demand = gravity_demand(
+                topo.node_names(), total=30.0 * (1 + 0.1 * epoch), seed=epoch
+            )
+            if drained:
+                reduced = demand.copy()
+                for name in drained:
+                    for other in demand.nodes:
+                        if other != name:
+                            reduced[name, other] = 0.0
+                            reduced[other, name] = 0.0
+                demand = reduced
+            truth = NetworkSimulator(topo, demand).run()
+            snapshot = TelemetryCollector(Jitter(0.003, seed=epoch)).collect(truth)
+            bundles.append(snapshot.flatten())
+        return bundles
+
+    def test_rediscovers_r1_symmetry(self):
+        """From clean history the miner finds the true tx/rx pairs."""
+        topo = abilene()
+        miner = CorrelationMiner(tolerance=0.02, min_epochs=3)
+        for bundle in self._bundles(topo):
+            miner.observe(bundle)
+        mined = {(inv.left, inv.right) for inv in miner.mine()}
+        tx = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+        rx = SignalPath(SignalKind.RX_RATE, "hstn", "atla").render()
+        assert (min(tx, rx), max(tx, rx)) in mined
+
+    def test_paper_criticism_spurious_pop_invariants(self):
+        """Trained while a region is drained, the miner learns that the
+        region's counters are 'always equal' (all zero) -- and floods
+        false positives the moment the region is undrained.  This is
+        verbatim the Section 3.1 failure mode."""
+        drained = ("sttl", "snva")
+        trained_topo = abilene()
+        miner = CorrelationMiner(tolerance=0.02, min_epochs=3)
+        for bundle in self._bundles(trained_topo, drained=drained):
+            miner.observe(bundle)
+
+        mined = miner.mine()
+        spurious = [
+            inv
+            for inv in mined
+            if "sttl" in inv.left and "snva" in inv.right or "snva" in inv.left and "sttl" in inv.right
+        ]
+        assert spurious, "expected cross-router equalities inside the drained region"
+
+        # Undrain: a correct, healthy epoch now violates the learned set.
+        healthy_topo = abilene()
+        healthy_bundle = self._bundles(healthy_topo, epochs=1)[0]
+        violations = miner.check(healthy_bundle)
+        assert violations, "undraining must break the spurious invariants"
+
+    def test_hodor_accepts_what_the_miner_rejects(self):
+        """The same undrained epoch passes Hodor's validation -- the
+        expert-knowledge approach does not inherit the spurious
+        invariants."""
+        from repro.core import Hodor
+
+        drained_topo = abilene()
+        miner = CorrelationMiner(tolerance=0.02, min_epochs=3)
+        for bundle in self._bundles(drained_topo, drained=("sttl", "snva")):
+            miner.observe(bundle)
+
+        healthy_topo = abilene()
+        demand = gravity_demand(healthy_topo.node_names(), total=30.0, seed=9)
+        truth = NetworkSimulator(healthy_topo, demand).run()
+        snapshot = TelemetryCollector(Jitter(0.003, seed=9)).collect(truth)
+
+        assert not miner.passed(snapshot.flatten())
+        report = Hodor(healthy_topo).validate_demand(snapshot, demand)
+        assert report.all_valid

@@ -1,0 +1,97 @@
+"""Unit tests for counter readings and rate coercion."""
+
+import math
+
+import pytest
+
+from repro.telemetry.counters import (
+    CounterReading,
+    Jitter,
+    MalformedValueError,
+    coerce_rate,
+)
+
+
+class TestCoerceRate:
+    def test_float_passthrough(self):
+        assert coerce_rate(3.5) == 3.5
+
+    def test_int(self):
+        assert coerce_rate(7) == 7.0
+
+    def test_none_is_missing(self):
+        assert coerce_rate(None) is None
+
+    def test_numeric_string(self):
+        assert coerce_rate("12.25") == 12.25
+
+    def test_padded_string(self):
+        assert coerce_rate("  8 ") == 8.0
+
+    def test_garbage_string(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate("ERR:OVERFLOW")
+
+    def test_negative(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate(-1.0)
+
+    def test_negative_string(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate("-4")
+
+    def test_nan(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate(float("nan"))
+
+    def test_inf(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate(float("inf"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate(True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(MalformedValueError):
+            coerce_rate([1, 2])
+
+
+class TestCounterReading:
+    def test_copy_is_independent(self):
+        reading = CounterReading(rx_rate=1.0, tx_rate=2.0, sequence=5)
+        clone = reading.copy()
+        clone.rx_rate = 99.0
+        assert reading.rx_rate == 1.0
+        assert clone.sequence == 5
+
+
+class TestJitter:
+    def test_zero_jitter_identity(self):
+        jitter = Jitter(0.0)
+        rng = jitter.rng()
+        assert jitter.apply(5.0, rng) == 5.0
+
+    def test_bounded(self):
+        jitter = Jitter(0.02, seed=1)
+        rng = jitter.rng()
+        for _ in range(200):
+            sample = jitter.apply(100.0, rng)
+            assert 98.0 <= sample <= 102.0
+
+    def test_reproducible(self):
+        first = Jitter(0.01, seed=9)
+        second = Jitter(0.01, seed=9)
+        rng1, rng2 = first.rng(), second.rng()
+        assert [first.apply(1.0, rng1) for _ in range(10)] == [
+            second.apply(1.0, rng2) for _ in range(10)
+        ]
+
+    @pytest.mark.parametrize("magnitude", [-0.1, 1.0, 2.0])
+    def test_bad_magnitude(self, magnitude):
+        with pytest.raises(ValueError):
+            Jitter(magnitude)
+
+    def test_zero_rate_stays_zero(self):
+        jitter = Jitter(0.05, seed=2)
+        assert jitter.apply(0.0, jitter.rng()) == 0.0

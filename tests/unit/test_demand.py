@@ -1,0 +1,244 @@
+"""Unit tests for demand matrices, generators, and perturbations."""
+
+import math
+
+import pytest
+
+from repro.net.demand import (
+    DemandError,
+    DemandMatrix,
+    bimodal_demand,
+    drop_ingress,
+    gravity_demand,
+    lognormal_demand,
+    scale_entries,
+    throttle,
+    uniform_demand,
+    zero_entries,
+)
+
+NODES = ["a", "b", "c", "d"]
+
+
+class TestDemandMatrix:
+    def test_empty_matrix_zero(self):
+        matrix = DemandMatrix(NODES)
+        assert matrix.total() == 0.0
+
+    def test_get_set(self):
+        matrix = DemandMatrix(NODES)
+        matrix["a", "b"] = 5.0
+        assert matrix["a", "b"] == 5.0
+        assert matrix["b", "a"] == 0.0
+
+    def test_diagonal_forced_zero_on_init(self):
+        values = [[1.0] * 4 for _ in range(4)]
+        matrix = DemandMatrix(NODES, values)
+        assert matrix["a", "a"] == 0.0
+        assert matrix.total() == 12.0
+
+    def test_set_diagonal_rejected(self):
+        matrix = DemandMatrix(NODES)
+        with pytest.raises(DemandError):
+            matrix["a", "a"] = 1.0
+
+    def test_negative_rejected(self):
+        matrix = DemandMatrix(NODES)
+        with pytest.raises(DemandError):
+            matrix["a", "b"] = -1.0
+
+    def test_negative_init_rejected(self):
+        values = [[0.0] * 4 for _ in range(4)]
+        values[0][1] = -3.0
+        with pytest.raises(DemandError):
+            DemandMatrix(NODES, values)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DemandError):
+            DemandMatrix(NODES, [[0.0] * 3 for _ in range(3)])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(DemandError):
+            DemandMatrix(["a", "a"])
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(DemandError):
+            DemandMatrix([])
+
+    def test_row_and_column_sums(self):
+        matrix = DemandMatrix(NODES)
+        matrix["a", "b"] = 1.0
+        matrix["a", "c"] = 2.0
+        matrix["b", "c"] = 4.0
+        assert matrix.row_sum("a") == 3.0
+        assert matrix.column_sum("c") == 6.0
+
+    def test_entries_excludes_diagonal(self):
+        matrix = DemandMatrix(NODES)
+        assert len(list(matrix.entries())) == 12
+
+    def test_nonzero_entries(self):
+        matrix = DemandMatrix(NODES)
+        matrix["a", "b"] = 1.0
+        assert matrix.nonzero_entries() == [("a", "b", 1.0)]
+
+    def test_copy_independent(self):
+        matrix = DemandMatrix(NODES)
+        matrix["a", "b"] = 1.0
+        clone = matrix.copy()
+        clone["a", "b"] = 9.0
+        assert matrix["a", "b"] == 1.0
+
+    def test_scaled(self):
+        matrix = uniform_demand(NODES, 2.0)
+        assert matrix.scaled(0.5).total() == pytest.approx(matrix.total() / 2)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(DemandError):
+            uniform_demand(NODES, 1.0).scaled(-1.0)
+
+    def test_restricted_to(self):
+        matrix = uniform_demand(NODES, 1.0)
+        sub = matrix.restricted_to(["a", "b"])
+        assert sub.nodes == ("a", "b")
+        assert sub.total() == 2.0
+
+    def test_restricted_to_unknown(self):
+        with pytest.raises(DemandError):
+            uniform_demand(NODES, 1.0).restricted_to(["a", "ghost"])
+
+    def test_equality_and_allclose(self):
+        first = uniform_demand(NODES, 1.0)
+        second = uniform_demand(NODES, 1.0)
+        assert first == second
+        assert first.allclose(second)
+        second["a", "b"] = 1.0000001
+        assert first != second
+        assert first.allclose(second, rel_tol=1e-3)
+
+    def test_allclose_different_nodes(self):
+        assert not uniform_demand(["a", "b"], 1.0).allclose(uniform_demand(["x", "y"], 1.0))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(uniform_demand(NODES, 1.0))
+
+    def test_to_array_is_copy(self):
+        matrix = uniform_demand(NODES, 1.0)
+        array = matrix.to_array()
+        array[0, 1] = 99.0
+        assert matrix["a", "b"] == 1.0
+
+
+class TestGenerators:
+    def test_gravity_total(self):
+        matrix = gravity_demand(NODES, total=10.0, seed=1)
+        assert matrix.total() == pytest.approx(10.0)
+
+    def test_gravity_reproducible(self):
+        assert gravity_demand(NODES, 5.0, seed=3) == gravity_demand(NODES, 5.0, seed=3)
+
+    def test_gravity_seed_changes_matrix(self):
+        assert gravity_demand(NODES, 5.0, seed=3) != gravity_demand(NODES, 5.0, seed=4)
+
+    def test_gravity_explicit_weights(self):
+        matrix = gravity_demand(NODES, 10.0, seed=1, weights={"a": 0.0})
+        assert matrix.row_sum("a") == 0.0
+        assert matrix.column_sum("a") == 0.0
+
+    def test_gravity_negative_weight_rejected(self):
+        with pytest.raises(DemandError):
+            gravity_demand(NODES, 10.0, weights={"a": -1.0})
+
+    def test_gravity_negative_total_rejected(self):
+        with pytest.raises(DemandError):
+            gravity_demand(NODES, -1.0)
+
+    def test_gravity_bad_spread_rejected(self):
+        with pytest.raises(DemandError):
+            gravity_demand(NODES, 1.0, weight_spread=0.5)
+
+    def test_lognormal_total(self):
+        matrix = lognormal_demand(NODES, total=8.0, seed=2)
+        assert matrix.total() == pytest.approx(8.0)
+
+    def test_lognormal_heavy_tail(self):
+        matrix = lognormal_demand(list("abcdefghij"), total=100.0, sigma=2.0, seed=0)
+        rates = sorted(r for _s, _d, r in matrix.nonzero_entries())
+        assert rates[-1] / rates[0] > 50  # pronounced tail
+
+    def test_lognormal_sigma_zero_uniform(self):
+        matrix = lognormal_demand(NODES, total=12.0, sigma=0.0, seed=0)
+        rates = {round(r, 9) for _s, _d, r in matrix.entries()}
+        assert rates == {1.0}
+
+    def test_uniform(self):
+        matrix = uniform_demand(NODES, 2.0)
+        assert matrix["a", "b"] == 2.0
+        assert matrix.total() == 2.0 * 12
+
+    def test_uniform_negative_rejected(self):
+        with pytest.raises(DemandError):
+            uniform_demand(NODES, -2.0)
+
+    def test_bimodal_shares(self):
+        matrix = bimodal_demand(NODES, total=100.0, elephant_fraction=0.25, elephant_share=0.8, seed=1)
+        assert matrix.total() == pytest.approx(100.0)
+        rates = sorted((r for _s, _d, r in matrix.nonzero_entries()), reverse=True)
+        elephants = rates[:3]
+        assert sum(elephants) == pytest.approx(80.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"elephant_fraction": 0.0},
+        {"elephant_fraction": 1.0},
+        {"elephant_share": 0.0},
+        {"elephant_share": 1.0},
+    ])
+    def test_bimodal_bad_params(self, kwargs):
+        with pytest.raises(DemandError):
+            bimodal_demand(NODES, 10.0, **kwargs)
+
+
+class TestPerturbations:
+    def test_zero_entries_count(self):
+        matrix = uniform_demand(NODES, 1.0)
+        perturbed = zero_entries(matrix, 3, seed=1)
+        assert len(perturbed.nonzero_entries()) == 12 - 3
+        assert matrix.total() == 12.0  # original untouched
+
+    def test_zero_entries_too_many(self):
+        with pytest.raises(DemandError):
+            zero_entries(uniform_demand(NODES, 1.0), 13)
+
+    def test_zero_entries_negative(self):
+        with pytest.raises(DemandError):
+            zero_entries(uniform_demand(NODES, 1.0), -1)
+
+    def test_zero_entries_reproducible(self):
+        matrix = gravity_demand(NODES, 10.0, seed=0)
+        assert zero_entries(matrix, 2, seed=5) == zero_entries(matrix, 2, seed=5)
+
+    def test_scale_entries(self):
+        matrix = uniform_demand(NODES, 1.0)
+        perturbed = scale_entries(matrix, 2, 3.0, seed=1)
+        rates = sorted(r for _s, _d, r in perturbed.nonzero_entries())
+        assert rates.count(3.0) == 2
+
+    def test_scale_entries_bad_factor(self):
+        with pytest.raises(DemandError):
+            scale_entries(uniform_demand(NODES, 1.0), 1, -2.0)
+
+    def test_drop_ingress(self):
+        matrix = uniform_demand(NODES, 1.0)
+        perturbed = drop_ingress(matrix, "a")
+        assert perturbed.row_sum("a") == 0.0
+        assert perturbed.column_sum("a") == 3.0  # inbound untouched
+
+    def test_throttle(self):
+        matrix = uniform_demand(NODES, 2.0)
+        assert throttle(matrix, 0.5).total() == pytest.approx(matrix.total() / 2)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_throttle_bad_fraction(self, fraction):
+        with pytest.raises(DemandError):
+            throttle(uniform_demand(NODES, 1.0), fraction)

@@ -1,0 +1,98 @@
+"""Unit tests for the demand dynamic checker (2v invariants)."""
+
+import pytest
+
+from repro.core.config import HodorConfig
+from repro.core.demand_check import DemandChecker
+from repro.core.pipeline import Hodor
+from repro.net.demand import DemandMatrix, zero_entries
+
+
+@pytest.fixture
+def hardened(abilene_topo, clean_snapshot):
+    return Hodor(abilene_topo).harden(clean_snapshot)
+
+
+class TestInvariantGeneration:
+    def test_two_invariants_per_router(self, abilene_topo, abilene_demand, hardened):
+        result = DemandChecker().check(abilene_demand, hardened)
+        assert len(result.results) == 2 * abilene_topo.num_nodes
+
+    def test_clean_demand_passes(self, abilene_demand, hardened):
+        result = DemandChecker().check(abilene_demand, hardened)
+        assert result.passed
+        assert result.num_skipped == 0
+
+    def test_names_identify_router_and_side(self, abilene_demand, hardened):
+        result = DemandChecker().check(abilene_demand, hardened)
+        names = {r.invariant.name for r in result.results}
+        assert "demand/row-sum/atla" in names
+        assert "demand/col-sum/atla" in names
+
+
+class TestDetection:
+    def test_zeroed_entries_detected(self, abilene_demand, hardened):
+        perturbed = zero_entries(abilene_demand, 3, seed=1)
+        result = DemandChecker().check(perturbed, hardened)
+        assert not result.passed
+
+    def test_scaled_matrix_detected(self, abilene_demand, hardened):
+        result = DemandChecker().check(abilene_demand.scaled(1.5), hardened)
+        assert not result.passed
+        # every router's row and column sums are off
+        assert len(result.violations) > 10
+
+    def test_violation_names_ingress_router(self, abilene_demand, hardened):
+        perturbed = abilene_demand.copy()
+        row = perturbed.row_sum("kscy")
+        for dst in perturbed.nodes:
+            if dst != "kscy":
+                perturbed["kscy", dst] = 0.0
+        assert row > 0
+        result = DemandChecker().check(perturbed, hardened)
+        violated_names = {v.invariant.name for v in result.violations}
+        assert "demand/row-sum/kscy" in violated_names
+
+    def test_tolerance_respected(self, abilene_demand, hardened):
+        barely = abilene_demand.scaled(1.015)  # inside tau_e = 2%
+        assert DemandChecker(HodorConfig(tau_e=0.02)).check(barely, hardened).passed
+        assert not DemandChecker(HodorConfig(tau_e=0.005)).check(barely, hardened).passed
+
+
+class TestMissingInformation:
+    def test_unknown_external_counters_skip(self, abilene_topo, abilene_demand, clean_snapshot):
+        from repro.net.topology import EXTERNAL_PEER
+
+        snapshot = clean_snapshot.copy()
+        del snapshot.counters[("atla", EXTERNAL_PEER)]
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        result = DemandChecker().check(abilene_demand, hardened)
+        assert result.num_skipped == 2  # atla row + col
+        assert any("skipped" in note for note in result.notes)
+
+    def test_router_missing_from_matrix(self, abilene_topo, abilene_demand, hardened):
+        smaller_nodes = [n for n in abilene_demand.nodes if n != "kscy"]
+        smaller = abilene_demand.restricted_to(smaller_nodes)
+        result = DemandChecker().check(smaller, hardened)
+        # kscy carries external traffic but the matrix says zero
+        violated = {v.invariant.name for v in result.violations}
+        assert "demand/row-sum/kscy" in violated
+        assert any("kscy" in note for note in result.notes)
+
+    def test_idle_missing_router_accepted(self, abilene_topo, clean_snapshot):
+        # A router absent from the matrix that truly has no external
+        # traffic must NOT be flagged (the rate floor prevents
+        # divide-around-zero noise).
+        from repro.net.demand import DemandMatrix
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry.collector import TelemetryCollector
+        from repro.telemetry.counters import Jitter
+
+        demand = DemandMatrix(abilene_topo.node_names())
+        demand["atla", "hstn"] = 5.0
+        truth = NetworkSimulator(abilene_topo, demand).run()
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        active_only = demand.restricted_to(["atla", "hstn"])
+        result = DemandChecker().check(active_only, hardened)
+        assert result.passed

@@ -1,0 +1,97 @@
+"""Unit tests for drop-aware egress checking in the demand checker.
+
+The egress equality D-column-sum == external egress only holds on a
+loss-free network; these tests pin the refinement that keeps the
+checker sound under congestion.
+"""
+
+import pytest
+
+from repro.core import DemandChecker, Hodor
+from repro.net.demand import DemandMatrix, gravity_demand, zero_entries
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.topologies.abilene import abilene
+from repro.topologies.synthetic import line_topology
+
+
+def validate(topo, demand, input_demand=None):
+    truth = NetworkSimulator(topo, demand).run()
+    snapshot = TelemetryCollector(Jitter(0.005, seed=3)).collect(truth)
+    hodor = Hodor(topo)
+    return hodor.validate_demand(snapshot, input_demand or demand)
+
+
+class TestCongestedNetwork:
+    @pytest.fixture(scope="class")
+    def congested(self):
+        topo = abilene()
+        # Unweighted gravity saturates the 2.5G atlam spur -> real loss.
+        demand = gravity_demand(topo.node_names(), total=40.0, seed=11)
+        truth = NetworkSimulator(topo, demand).run()
+        assert truth.loss_rate() > 0.01  # precondition: lossy epoch
+        return topo, demand
+
+    def test_correct_demand_accepted_despite_loss(self, congested):
+        topo, demand = congested
+        report = validate(topo, demand)
+        assert report.verdicts["demand"].valid
+
+    def test_loss_allowance_noted(self, congested):
+        topo, demand = congested
+        report = validate(topo, demand)
+        assert any("in-network" in note for note in report.checks["demand"].notes)
+
+    def test_perturbed_demand_still_detected(self, congested):
+        topo, demand = congested
+        report = validate(topo, demand, input_demand=zero_entries(demand, 4, seed=2))
+        assert not report.verdicts["demand"].valid
+
+    def test_ingress_invariants_keep_full_precision(self, congested):
+        """Drops never excuse an ingress mismatch -- demand enters the
+        network before any drop happens."""
+        topo, demand = congested
+        inflated = demand.copy()
+        src, dst, rate = max(demand.nonzero_entries(), key=lambda e: e[2])
+        inflated[src, dst] = rate * 1.5
+        report = validate(topo, demand, input_demand=inflated)
+        violated = {v.invariant.name for v in report.checks["demand"].violations}
+        assert f"demand/row-sum/{src}" in violated
+
+
+class TestLossFreeNetwork:
+    def test_no_allowance_without_drops(self):
+        topo = line_topology(4, capacity=1000.0)
+        demand = DemandMatrix(topo.node_names())
+        demand["r0", "r3"] = 5.0
+        report = validate(topo, demand)
+        assert report.verdicts["demand"].valid
+        assert not any("in-network" in note for note in report.checks["demand"].notes)
+
+    def test_small_zeroed_entry_detected_at_full_precision(self):
+        topo = line_topology(4, capacity=1000.0)
+        demand = DemandMatrix(topo.node_names())
+        demand["r0", "r3"] = 5.0
+        demand["r1", "r3"] = 0.5
+        missing = demand.copy()
+        missing["r1", "r3"] = 0.0
+        report = validate(topo, demand, input_demand=missing)
+        assert not report.verdicts["demand"].valid
+
+
+class TestAllowanceBound:
+    def test_tolerance_capped(self):
+        """Even absurd loss cannot push tolerance past the 95% cap --
+        total garbage egress always stays detectable."""
+        topo = line_topology(3, capacity=1.0)  # tiny pipes, huge demand
+        demand = DemandMatrix(topo.node_names())
+        demand["r0", "r2"] = 100.0
+        truth = NetworkSimulator(topo, demand).run()
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+        hodor = Hodor(topo)
+        wild = DemandMatrix(topo.node_names())
+        wild["r0", "r2"] = 100.0
+        wild["r1", "r2"] = 5000.0  # absurd extra demand into r2
+        report = hodor.validate_demand(snapshot, wild)
+        assert not report.verdicts["demand"].valid

@@ -1,0 +1,106 @@
+"""Unit tests for the demand instrumentation service."""
+
+import pytest
+
+from repro.control.demand_service import DemandRecord, DemandService, records_from_matrix
+from repro.faults.aggregation_faults import IgnoredDrain
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.net.demand import gravity_demand, uniform_demand
+
+NODES = ["a", "b", "c"]
+
+
+class TestDemandRecord:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DemandRecord("a", "b", -1.0)
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(ValueError):
+            DemandRecord("a", "a", 1.0)
+
+
+class TestRecordsFromMatrix:
+    def test_sum_recovers_matrix(self):
+        matrix = gravity_demand(NODES, total=9.0, seed=2)
+        records = records_from_matrix(matrix, shards_per_pair=4, seed=1)
+        rebuilt = DemandService(NODES).build(records)
+        assert rebuilt.allclose(matrix, rel_tol=1e-9)
+
+    def test_shard_count(self):
+        matrix = uniform_demand(NODES, 1.0)
+        records = records_from_matrix(matrix, shards_per_pair=3, seed=0)
+        # 6 pairs x up-to-3 shards (zero-width shards dropped)
+        assert len(records) <= 18
+        assert len(records) >= 6
+
+    def test_single_shard(self):
+        matrix = uniform_demand(NODES, 2.0)
+        records = records_from_matrix(matrix, shards_per_pair=1)
+        assert len(records) == 6
+        assert all(record.rate == 2.0 for record in records)
+
+    def test_bad_shards(self):
+        with pytest.raises(ValueError):
+            records_from_matrix(uniform_demand(NODES, 1.0), shards_per_pair=0)
+
+
+class TestCleanAggregation:
+    def test_records_for_unknown_routers_dropped(self):
+        service = DemandService(NODES)
+        matrix = service.build([DemandRecord("a", "b", 1.0), DemandRecord("x", "y", 5.0)])
+        assert matrix.total() == 1.0
+
+    def test_multiple_records_sum(self):
+        service = DemandService(NODES)
+        matrix = service.build(
+            [DemandRecord("a", "b", 1.0), DemandRecord("a", "b", 2.5)]
+        )
+        assert matrix["a", "b"] == 3.5
+
+    def test_empty_records(self):
+        assert DemandService(NODES).build([]).total() == 0.0
+
+
+class TestBugs:
+    def test_partial_drops_fraction(self):
+        matrix = uniform_demand(NODES, 2.0)
+        records = records_from_matrix(matrix, shards_per_pair=1)
+        service = DemandService(NODES, [PartialDemandAggregation(drop_fraction=1.0)])
+        assert service.build(records).total() == 0.0
+
+    def test_partial_explicit_pairs(self):
+        records = [DemandRecord("a", "b", 1.0), DemandRecord("b", "c", 2.0)]
+        service = DemandService(
+            NODES, [PartialDemandAggregation(drop_pairs=[("a", "b")])]
+        )
+        matrix = service.build(records)
+        assert matrix["a", "b"] == 0.0
+        assert matrix["b", "c"] == 2.0
+
+    def test_partial_reproducible(self):
+        matrix = uniform_demand(NODES, 2.0)
+        records = records_from_matrix(matrix, shards_per_pair=3, seed=5)
+        bug = PartialDemandAggregation(drop_fraction=0.5, seed=42)
+        first = DemandService(NODES, [bug]).build(records)
+        second = DemandService(NODES, [bug]).build(records)
+        assert first == second
+
+    def test_double_count_scales_subset(self):
+        records = [DemandRecord("a", "b", 1.0)]
+        service = DemandService(NODES, [DoubleCountedDemand(fraction=1.0, multiplier=2.0)])
+        assert service.build(records)["a", "b"] == 2.0
+
+    def test_throttle_does_not_change_measurement(self):
+        # The throttling bug corrupts the *network*, not the measurement.
+        records = [DemandRecord("a", "b", 4.0)]
+        service = DemandService(NODES, [ThrottledDemandMismatch(admitted_fraction=0.5)])
+        assert service.build(records)["a", "b"] == 4.0
+
+    def test_unsupported_bug_rejected(self):
+        with pytest.raises(TypeError):
+            DemandService(NODES, [IgnoredDrain({"a"})])

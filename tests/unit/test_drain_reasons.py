@@ -1,0 +1,145 @@
+"""Unit tests for the Section 4.3 drain-reasons extension."""
+
+import pytest
+
+from repro.core.drain_reasons import (
+    DrainReason,
+    parse_reason,
+    reason_allows_traffic,
+    reason_requires_faulty_link,
+)
+
+
+class TestParseReason:
+    def test_missing_is_unspecified(self):
+        assert parse_reason(None) == DrainReason.UNSPECIFIED
+        assert parse_reason("") == DrainReason.UNSPECIFIED
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("maintenance", DrainReason.MAINTENANCE),
+            ("FAULTY-LINK", DrainReason.FAULTY_LINK),
+            ("  incident  ", DrainReason.INCIDENT),
+            ("unspecified", DrainReason.UNSPECIFIED),
+        ],
+    )
+    def test_string_parsing(self, text, expected):
+        assert parse_reason(text) == expected
+
+    def test_enum_passthrough(self):
+        assert parse_reason(DrainReason.MAINTENANCE) == DrainReason.MAINTENANCE
+
+    def test_garbage_is_none(self):
+        assert parse_reason("because-i-said-so") is None
+        assert parse_reason(42) is None
+
+
+class TestReasonSemantics:
+    def test_traffic_allowed(self):
+        assert reason_allows_traffic(DrainReason.MAINTENANCE)
+        assert reason_allows_traffic(DrainReason.INCIDENT)
+        assert not reason_allows_traffic(DrainReason.FAULTY_LINK)
+        assert not reason_allows_traffic(DrainReason.UNSPECIFIED)
+
+    def test_faulty_link_requirement(self):
+        assert reason_requires_faulty_link(DrainReason.FAULTY_LINK)
+        assert not reason_requires_faulty_link(DrainReason.MAINTENANCE)
+
+
+class TestCollectionOfReasons:
+    def test_reason_collected(self, abilene_topo, clean_snapshot):
+        from repro.core import SignalCollector
+
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["kscy"] = True
+        snapshot.drain_reasons["kscy"] = "maintenance"
+        state = SignalCollector().collect(snapshot)
+        assert state.drain_reasons["kscy"] == DrainReason.MAINTENANCE
+
+    def test_malformed_reason_flagged(self, clean_snapshot):
+        from repro.core import SignalCollector
+
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["kscy"] = True
+        snapshot.drain_reasons["kscy"] = "???"
+        state = SignalCollector().collect(snapshot)
+        assert state.drain_reasons["kscy"] is None
+        assert any(f.code == "MALFORMED_DRAIN_REASON" for f in state.findings)
+
+
+class TestHardeningWithReasons:
+    def _snapshot_with_drain(self, clean_snapshot, reason):
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["kscy"] = True
+        if reason is not None:
+            snapshot.drain_reasons["kscy"] = reason
+        return snapshot
+
+    def test_maintenance_drain_carrying_is_info(self, abilene_topo, clean_snapshot):
+        from repro.core import FindingSeverity, Hodor
+
+        snapshot = self._snapshot_with_drain(clean_snapshot, "maintenance")
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        findings = [f for f in hardened.findings if f.code == "DRAINED_BUT_CARRYING"]
+        assert findings and findings[0].severity == FindingSeverity.INFO
+
+    def test_unexplained_drain_carrying_is_warning(self, abilene_topo, clean_snapshot):
+        from repro.core import FindingSeverity, Hodor
+
+        snapshot = self._snapshot_with_drain(clean_snapshot, None)
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        findings = [f for f in hardened.findings if f.code == "DRAINED_BUT_CARRYING"]
+        assert findings and findings[0].severity == FindingSeverity.WARNING
+
+    def test_reason_recorded_in_hardened_drain(self, abilene_topo, clean_snapshot):
+        from repro.core import Hodor
+
+        snapshot = self._snapshot_with_drain(clean_snapshot, "incident")
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        assert hardened.node_drains["kscy"].reason == DrainReason.INCIDENT
+        assert "reason:incident" in hardened.node_drains["kscy"].evidence
+
+
+class TestReasonCorroboration:
+    def test_false_faulty_link_claim_disproven(self, abilene_topo, clean_snapshot):
+        """Erroneous automation claims a faulty link on a healthy
+        router: the reason invariant must be violated."""
+        from repro.control import DrainService
+        from repro.core import DrainChecker, Hodor
+        from repro.faults import FaultInjector, SpuriousDrain
+
+        fault = SpuriousDrain(["kscy"], claimed_reason="faulty-link")
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        view = DrainService(abilene_topo).build(snapshot)
+        result = DrainChecker().check(view, hardened)
+        violated = {v.invariant.name for v in result.violations}
+        assert "drain/reason-supported/kscy" in violated
+
+    def test_true_faulty_link_claim_corroborated(self, abilene_topo, abilene_demand):
+        """A genuine faulty-link drain passes the reason invariant."""
+        from repro.control import DrainService
+        from repro.core import DrainChecker, Hodor
+        from repro.faults import FaultInjector, SpuriousDrain
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry import Jitter, LinkHealth, ProbeEngine, TelemetryCollector
+
+        target = "kscy"
+        bad_link = abilene_topo.link_between(target, "ipls")
+        health = {bad_link.name: LinkHealth(up=True, forwarding=False)}
+        blackholes = list(bad_link.directions())
+        truth = NetworkSimulator(abilene_topo, abilene_demand, blackholes=blackholes).run()
+        snapshot = TelemetryCollector(
+            Jitter(0.0), probe_engine=ProbeEngine(seed=0)
+        ).collect(truth, health=health)
+        fault = SpuriousDrain([target], claimed_reason="faulty-link")
+        snapshot, _ = FaultInjector([fault]).inject(snapshot)
+
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        view = DrainService(abilene_topo).build(snapshot)
+        result = DrainChecker().check(view, hardened)
+        reason_results = [
+            r for r in result.results if r.invariant.name == f"drain/reason-supported/{target}"
+        ]
+        assert reason_results and not reason_results[0].violated

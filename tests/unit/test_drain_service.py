@@ -1,0 +1,67 @@
+"""Unit tests for the drain instrumentation service."""
+
+import pytest
+
+from repro.control.drain_service import DrainService
+from repro.faults.aggregation_faults import IgnoredDrain, StaleTopology
+from repro.faults.base import FaultInjector
+from repro.faults.intent_faults import InconsistentLinkDrain, SpuriousDrain
+
+
+class TestCleanAggregation:
+    def test_no_drains(self, abilene_topo, clean_snapshot):
+        view = DrainService(abilene_topo).build(clean_snapshot)
+        assert view.drained_nodes() == []
+        assert view.drained_links() == []
+
+    def test_reported_drain_propagates(self, abilene_topo, clean_snapshot):
+        snapshot, _ = FaultInjector([SpuriousDrain(["kscy"])]).inject(clean_snapshot)
+        view = DrainService(abilene_topo).build(snapshot)
+        assert view.is_node_drained("kscy")
+        assert view.drained_nodes() == ["kscy"]
+
+    def test_missing_report_means_serving(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        del snapshot.drains["kscy"]
+        view = DrainService(abilene_topo).build(snapshot)
+        assert not view.is_node_drained("kscy")
+
+    def test_string_drain_values(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.drains["kscy"] = "drained"
+        snapshot.drains["atla"] = "garbage-value"
+        view = DrainService(abilene_topo).build(snapshot)
+        assert view.is_node_drained("kscy")
+        assert not view.is_node_drained("atla")
+
+    def test_either_endpoint_drains_link(self, abilene_topo, clean_snapshot):
+        snapshot, _ = FaultInjector(
+            [InconsistentLinkDrain([("atla", "hstn")])]
+        ).inject(clean_snapshot)
+        view = DrainService(abilene_topo).build(snapshot)
+        assert view.is_link_drained("atla~hstn")
+
+
+class TestIgnoredDrainBug:
+    def test_bug_hides_node_drain(self, abilene_topo, clean_snapshot):
+        snapshot, _ = FaultInjector([SpuriousDrain(["kscy"])]).inject(clean_snapshot)
+        service = DrainService(abilene_topo, [IgnoredDrain({"kscy"})])
+        view = service.build(snapshot)
+        assert not view.is_node_drained("kscy")
+
+    def test_bug_hides_link_drain_from_that_endpoint(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.link_drains[("kscy", "ipls")] = True
+        service = DrainService(abilene_topo, [IgnoredDrain({"kscy"})])
+        view = service.build(snapshot)
+        assert not view.is_link_drained("ipls~kscy")
+
+    def test_peer_report_still_counts(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.link_drains[("ipls", "kscy")] = True  # reported by ipls
+        service = DrainService(abilene_topo, [IgnoredDrain({"kscy"})])
+        assert service.build(snapshot).is_link_drained("ipls~kscy")
+
+    def test_unsupported_bug_rejected(self, abilene_topo):
+        with pytest.raises(TypeError):
+            DrainService(abilene_topo, [StaleTopology()])

@@ -1,0 +1,144 @@
+"""Unit tests for flow placement."""
+
+import pytest
+
+from repro.net.demand import DemandMatrix, uniform_demand
+from repro.net.flows import (
+    FlowAssignment,
+    FlowRule,
+    PlacementError,
+    edge_offered_loads,
+    place_flows,
+)
+from repro.net.routing import Path
+from repro.net.topology import Link, Node, Topology
+from repro.topologies.synthetic import line_topology, ring_topology
+
+
+def square() -> Topology:
+    topo = Topology("square")
+    for name in "abcd":
+        topo.add_node(Node(name))
+    topo.add_link(Link("a", "b"))
+    topo.add_link(Link("b", "c"))
+    topo.add_link(Link("c", "d"))
+    topo.add_link(Link("d", "a"))
+    return topo
+
+
+class TestFlowRule:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(PlacementError):
+            FlowRule(Path(("a", "b")), -1.0)
+
+
+class TestFlowAssignment:
+    def test_rate_for(self):
+        assignment = FlowAssignment()
+        assignment.rules[("a", "b")] = [
+            FlowRule(Path(("a", "b")), 2.0),
+            FlowRule(Path(("a", "c", "b")), 3.0),
+        ]
+        assert assignment.rate_for("a", "b") == 5.0
+        assert assignment.rate_for("x", "y") == 0.0
+
+    def test_totals(self):
+        assignment = FlowAssignment()
+        assignment.rules[("a", "b")] = [FlowRule(Path(("a", "b")), 2.0)]
+        assignment.unrouted[("c", "d")] = 7.0
+        assert assignment.total_rate() == 2.0
+        assert assignment.total_unrouted() == 7.0
+
+    def test_paths_for(self):
+        assignment = FlowAssignment()
+        path = Path(("a", "b"))
+        assignment.rules[("a", "b")] = [FlowRule(path, 1.0)]
+        assert assignment.paths_for("a", "b") == [path]
+
+
+class TestPlaceFlows:
+    def test_single_strategy_one_path(self, line5):
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r4"] = 6.0
+        assignment = place_flows(line5, demand, strategy="single")
+        rules = assignment.rules[("r0", "r4")]
+        assert len(rules) == 1
+        assert rules[0].rate == 6.0
+
+    def test_ecmp_splits_evenly(self):
+        topo = ring_topology(4)
+        demand = DemandMatrix(topo.node_names())
+        demand["r0", "r2"] = 8.0
+        assignment = place_flows(topo, demand, strategy="ecmp")
+        rules = assignment.rules[("r0", "r2")]
+        assert len(rules) == 2
+        assert all(rule.rate == 4.0 for rule in rules)
+
+    def test_kshortest_uses_k_paths(self):
+        topo = square()
+        demand = DemandMatrix(topo.node_names())
+        demand["a", "c"] = 6.0
+        assignment = place_flows(topo, demand, strategy="kshortest", k=2)
+        assert len(assignment.rules[("a", "c")]) == 2
+
+    def test_unknown_strategy(self, line5):
+        with pytest.raises(PlacementError):
+            place_flows(line5, DemandMatrix(line5.node_names()), strategy="magic")
+
+    def test_unrouted_when_disconnected(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        topo.add_node(Node("b"))
+        demand = DemandMatrix(["a", "b"])
+        demand["a", "b"] = 3.0
+        assignment = place_flows(topo, demand)
+        assert assignment.unrouted == {("a", "b"): 3.0}
+
+    def test_unrouted_when_node_missing_from_topology(self, line5):
+        demand = DemandMatrix(["r0", "ghost"])
+        demand["r0", "ghost"] = 2.0
+        assignment = place_flows(line5, demand)
+        assert assignment.unrouted == {("r0", "ghost"): 2.0}
+
+    def test_respects_drains(self):
+        topo = square()
+        topo.replace_node(Node("b", drained=True))
+        demand = DemandMatrix(topo.node_names())
+        demand["a", "c"] = 4.0
+        assignment = place_flows(topo, demand, strategy="single")
+        path = assignment.rules[("a", "c")][0].path
+        assert "b" not in path.nodes
+
+    def test_drained_endpoint_unrouted(self):
+        topo = square()
+        topo.replace_node(Node("a", drained=True))
+        demand = DemandMatrix(topo.node_names())
+        demand["a", "c"] = 4.0
+        assignment = place_flows(topo, demand)
+        assert ("a", "c") in assignment.unrouted
+
+    def test_ignore_drains_flag(self):
+        topo = square()
+        topo.replace_node(Node("b", drained=True))
+        demand = DemandMatrix(topo.node_names())
+        demand["a", "c"] = 4.0
+        assignment = place_flows(topo, demand, respect_drains=False, strategy="ecmp")
+        assert assignment.rate_for("a", "c") == pytest.approx(4.0)
+
+    def test_total_placed_matches_demand(self):
+        topo = square()
+        demand = uniform_demand(topo.node_names(), 1.5)
+        assignment = place_flows(topo, demand)
+        assert assignment.total_rate() + assignment.total_unrouted() == pytest.approx(
+            demand.total()
+        )
+
+
+class TestEdgeOfferedLoads:
+    def test_loads_accumulate(self):
+        assignment = FlowAssignment()
+        assignment.rules[("a", "c")] = [FlowRule(Path(("a", "b", "c")), 2.0)]
+        assignment.rules[("a", "b")] = [FlowRule(Path(("a", "b")), 3.0)]
+        loads = edge_offered_loads(assignment)
+        assert loads[("a", "b")] == 5.0
+        assert loads[("b", "c")] == 2.0

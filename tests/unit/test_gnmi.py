@@ -1,0 +1,78 @@
+"""Unit tests for the gNMI-style access facade."""
+
+import pytest
+
+from repro.telemetry.gnmi import GnmiError, GnmiFacade
+from repro.telemetry.paths import PathError, SignalKind, SignalPath
+
+
+@pytest.fixture
+def facade(clean_snapshot):
+    return GnmiFacade(clean_snapshot)
+
+
+class TestGet:
+    def test_counter_rates(self, facade, clean_snapshot):
+        path = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+        assert facade.get(path) == clean_snapshot.counter("atla", "hstn").tx_rate
+        path = SignalPath(SignalKind.RX_RATE, "atla", "hstn").render()
+        assert facade.get(path) == clean_snapshot.counter("atla", "hstn").rx_rate
+
+    def test_statuses(self, facade):
+        path = SignalPath(SignalKind.OPER_STATUS, "atla", "hstn").render()
+        assert facade.get(path) is True
+        path = SignalPath(SignalKind.ADMIN_STATUS, "atla", "hstn").render()
+        assert facade.get(path) is True
+
+    def test_drain_and_drops(self, facade):
+        assert facade.get(SignalPath(SignalKind.DRAIN, "atla").render()) is False
+        drops = facade.get(SignalPath(SignalKind.NODE_DROPS, "atla").render())
+        assert drops == pytest.approx(0.0)
+
+    def test_probe(self, facade):
+        assert facade.get(SignalPath(SignalKind.PROBE, "atla", "hstn").render()) is True
+
+    def test_link_drain(self, facade):
+        path = SignalPath(SignalKind.LINK_DRAIN, "atla", "hstn").render()
+        assert facade.get(path) is False
+
+    def test_missing_data(self, facade):
+        path = SignalPath(SignalKind.TX_RATE, "atla", "nycm").render()  # no such link
+        with pytest.raises(GnmiError):
+            facade.get(path)
+
+    def test_invalid_path(self, facade):
+        with pytest.raises(PathError):
+            facade.get("/not/a/real/path")
+
+    def test_raw_values_not_coerced(self, clean_snapshot):
+        clean_snapshot.counters[("atla", "hstn")].tx_rate = "GARBAGE"
+        facade = GnmiFacade(clean_snapshot)
+        path = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+        assert facade.get(path) == "GARBAGE"  # transport does not interpret
+
+
+class TestBatchAndWalk:
+    def test_get_many_skips_missing(self, facade):
+        good = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+        bad = SignalPath(SignalKind.TX_RATE, "atla", "nycm").render()
+        result = facade.get_many([good, bad, "/broken"])
+        assert good in result
+        assert bad not in result
+
+    def test_walk_covers_snapshot(self, facade, clean_snapshot):
+        paths = facade.walk()
+        assert len(paths) == clean_snapshot.signal_count()
+        for path in paths:
+            facade.get(path)  # every walked path must be answerable
+
+    def test_walk_filtered(self, facade, clean_snapshot):
+        paths = facade.walk(kinds=[SignalKind.DRAIN])
+        assert len(paths) == len(clean_snapshot.drains)
+        assert all("drain" in p for p in paths)
+
+    def test_subscribe_yields_pairs(self, facade):
+        wanted = facade.walk(kinds=[SignalKind.PROBE])[:5]
+        updates = dict(facade.subscribe(wanted))
+        assert set(updates) == set(wanted)
+        assert all(isinstance(value, bool) for value in updates.values())

@@ -1,0 +1,60 @@
+"""Unit tests for drain-intent faults (Section 2.1)."""
+
+import pytest
+
+from repro.faults.base import FaultInjector
+from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain
+from repro.net.topology import Node
+
+
+class TestSpuriousDrain:
+    def test_reports_drained(self, clean_snapshot):
+        snapshot, records = FaultInjector([SpuriousDrain(["atla"])]).inject(clean_snapshot)
+        assert snapshot.drains["atla"] is True
+        assert records[0].signal == "drain"
+
+    def test_unknown_node_skipped(self, clean_snapshot):
+        _snapshot, records = FaultInjector([SpuriousDrain(["ghost"])]).inject(clean_snapshot)
+        assert records == []
+
+    def test_multiple_nodes(self, clean_snapshot):
+        snapshot, records = FaultInjector(
+            [SpuriousDrain(["atla", "kscy"])]
+        ).inject(clean_snapshot)
+        assert snapshot.drains["atla"] and snapshot.drains["kscy"]
+        assert len(records) == 2
+
+
+class TestMissedDrain:
+    def test_hides_drain(self, abilene_topo, abilene_demand):
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry.collector import TelemetryCollector
+        from repro.telemetry.counters import Jitter
+
+        abilene_topo.replace_node(Node("atla", site="Atlanta", drained=True))
+        truth = NetworkSimulator(abilene_topo, abilene_demand).run()
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+        assert snapshot.drains["atla"] is True
+
+        faulted, records = FaultInjector([MissedDrain(["atla"])]).inject(snapshot)
+        assert faulted.drains["atla"] is False
+        assert records[0].detail == "hides an intended drain"
+
+
+class TestInconsistentLinkDrain:
+    def test_flips_one_endpoint_only(self, clean_snapshot):
+        fault = InconsistentLinkDrain([("atla", "hstn")])
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.link_drains[("atla", "hstn")] is True
+        assert snapshot.link_drains[("hstn", "atla")] is False
+        assert records[0].signal == "link_drain"
+
+    def test_flip_is_involutive(self, clean_snapshot):
+        fault = InconsistentLinkDrain([("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault, fault]).inject(clean_snapshot)
+        assert snapshot.link_drains[("atla", "hstn")] is False
+
+    def test_unknown_interface_skipped(self, clean_snapshot):
+        fault = InconsistentLinkDrain([("ghost", "x")])
+        _snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert records == []

@@ -1,0 +1,180 @@
+"""Unit tests for the link-status truth table (Section 4.2)."""
+
+import pytest
+
+from repro.core.config import HodorConfig, RiskProfile
+from repro.core.link_status import LinkEvidence, combine_link_evidence
+from repro.core.signals import LinkVerdict
+
+
+def evidence(status_a=True, status_b=True, rates=(5.0, 5.0, 5.0, 5.0), probe_ab=None, probe_ba=None):
+    return LinkEvidence(
+        status_a=status_a,
+        status_b=status_b,
+        rates=rates,
+        probe_ab=probe_ab,
+        probe_ba=probe_ba,
+    )
+
+
+class TestConsensusHelpers:
+    def test_status_agree_up(self):
+        assert evidence().status_consensus() == "up"
+
+    def test_status_agree_down(self):
+        assert evidence(status_a=False, status_b=False).status_consensus() == "down"
+
+    def test_status_conflict(self):
+        assert evidence(status_a=True, status_b=False).status_consensus() == "conflict"
+
+    def test_status_one_missing_uses_other(self):
+        assert evidence(status_a=None, status_b=True).status_consensus() == "up"
+        assert evidence(status_a=None, status_b=False).status_consensus() == "down"
+
+    def test_status_both_missing(self):
+        assert evidence(status_a=None, status_b=None).status_consensus() == "unknown"
+
+    def test_counters_active(self):
+        assert evidence().counters_active(1e-3) is True
+        assert evidence(rates=(0.0, 0.0, 0.0, 0.0)).counters_active(1e-3) is False
+        assert evidence(rates=()).counters_active(1e-3) is None
+        assert evidence(rates=(None, None)).counters_active(1e-3) is None
+
+    def test_probe_consensus(self):
+        assert evidence(probe_ab=True, probe_ba=True).probe_consensus() == "ok"
+        assert evidence(probe_ab=True, probe_ba=False).probe_consensus() == "fail"
+        assert evidence().probe_consensus() == "unknown"
+        assert evidence(probe_ab=True).probe_consensus() == "ok"
+
+
+class TestHealthyLink:
+    def test_clean_up(self):
+        status = combine_link_evidence(evidence(probe_ab=True, probe_ba=True))
+        assert status.verdict == LinkVerdict.UP
+        assert status.forwarding is True
+        assert status.usable
+
+    def test_clean_down(self):
+        status = combine_link_evidence(
+            evidence(status_a=False, status_b=False, rates=(0.0,) * 4, probe_ab=False, probe_ba=False)
+        )
+        assert status.verdict == LinkVerdict.DOWN
+        assert not status.usable
+
+
+class TestPaperExample:
+    """'If one side reports up and the other down, but rate counters
+    are all large and a probe succeeds, the link is likely up.'"""
+
+    def test_conflict_resolved_up_by_counters_and_probe(self):
+        status = combine_link_evidence(
+            evidence(status_a=True, status_b=False, probe_ab=True, probe_ba=True)
+        )
+        assert status.verdict == LinkVerdict.UP
+        assert status.forwarding is True
+
+    def test_conflict_with_idle_counters_and_failed_probe_is_down(self):
+        status = combine_link_evidence(
+            evidence(
+                status_a=True,
+                status_b=False,
+                rates=(0.0,) * 4,
+                probe_ab=False,
+                probe_ba=False,
+            )
+        )
+        assert status.verdict == LinkVerdict.DOWN
+
+    def test_conflict_without_evidence_suspect(self):
+        status = combine_link_evidence(
+            evidence(status_a=True, status_b=False, rates=()),
+            HodorConfig(use_probes=False),
+        )
+        assert status.verdict == LinkVerdict.SUSPECT
+
+
+class TestSemanticFailure:
+    def test_up_but_not_forwarding(self):
+        status = combine_link_evidence(
+            evidence(rates=(0.0,) * 4, probe_ab=False, probe_ba=False)
+        )
+        assert status.verdict == LinkVerdict.UP
+        assert status.forwarding is False
+        assert not status.usable  # usable requires forwarding
+
+    def test_active_counters_outvote_single_probe_loss(self):
+        status = combine_link_evidence(evidence(probe_ab=False, probe_ba=True))
+        assert status.forwarding is True
+
+    def test_down_status_with_traffic_is_suspect(self):
+        status = combine_link_evidence(
+            evidence(status_a=False, status_b=False, probe_ab=True, probe_ba=True)
+        )
+        assert status.verdict == LinkVerdict.SUSPECT
+
+
+class TestRiskProfiles:
+    def test_permissive_trusts_traffic_over_status(self):
+        status = combine_link_evidence(
+            evidence(status_a=False, status_b=False, probe_ab=True, probe_ba=True),
+            HodorConfig(risk_profile=RiskProfile.PERMISSIVE),
+        )
+        assert status.verdict == LinkVerdict.UP
+
+    def test_conservative_suspects_conflicts_despite_evidence(self):
+        status = combine_link_evidence(
+            evidence(status_a=True, status_b=False, probe_ab=True, probe_ba=True),
+            HodorConfig(risk_profile=RiskProfile.CONSERVATIVE),
+        )
+        assert status.verdict == LinkVerdict.SUSPECT
+
+    def test_conservative_suspects_failed_probe_on_idle_up_link(self):
+        status = combine_link_evidence(
+            evidence(rates=(0.0,) * 4, probe_ab=False, probe_ba=False),
+            HodorConfig(risk_profile=RiskProfile.CONSERVATIVE),
+        )
+        assert status.verdict == LinkVerdict.SUSPECT
+
+
+class TestAblations:
+    def test_probes_ignored_when_disabled(self):
+        status = combine_link_evidence(
+            evidence(rates=(0.0,) * 4, probe_ab=False, probe_ba=False),
+            HodorConfig(use_probes=False),
+        )
+        # without probes: status up, counters idle -> still up,
+        # forwarding unknown-ish (False from idle counters)
+        assert status.verdict == LinkVerdict.UP
+        assert "probe:fail" not in status.evidence
+
+    def test_counters_ignored_when_disabled(self):
+        status = combine_link_evidence(
+            evidence(status_a=False, status_b=False),
+            HodorConfig(use_counters_for_status=False, use_probes=False),
+        )
+        assert status.verdict == LinkVerdict.DOWN
+
+    def test_evidence_notes_present(self):
+        status = combine_link_evidence(evidence(probe_ab=True, probe_ba=True))
+        assert "status:up" in status.evidence
+        assert "counters:active" in status.evidence
+        assert "probe:ok" in status.evidence
+
+
+class TestUnknownStatus:
+    def test_unknown_with_traffic_up(self):
+        status = combine_link_evidence(evidence(status_a=None, status_b=None, probe_ab=True))
+        assert status.verdict == LinkVerdict.UP
+
+    def test_unknown_idle_down(self):
+        status = combine_link_evidence(
+            evidence(status_a=None, status_b=None, rates=(0.0,) * 4, probe_ab=False)
+        )
+        assert status.verdict == LinkVerdict.DOWN
+
+    def test_unknown_no_evidence_suspect(self):
+        status = combine_link_evidence(
+            evidence(status_a=None, status_b=None, rates=()),
+            HodorConfig(use_probes=False),
+        )
+        assert status.verdict == LinkVerdict.SUSPECT

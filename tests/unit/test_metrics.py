@@ -1,0 +1,79 @@
+"""Unit tests for network health metrics."""
+
+import pytest
+
+from repro.control.metrics import HealthReport, Severity, assess_health
+from repro.net.demand import DemandMatrix
+from repro.net.simulation import NetworkSimulator
+from repro.net.topology import Link, Node, Topology
+
+
+def two_hop(capacity: float) -> Topology:
+    topo = Topology()
+    for name in "abc":
+        topo.add_node(Node(name))
+    topo.add_link(Link("a", "b", capacity=capacity))
+    topo.add_link(Link("b", "c", capacity=capacity))
+    return topo
+
+
+def run_and_assess(capacity: float, rate: float) -> HealthReport:
+    topo = two_hop(capacity)
+    demand = DemandMatrix(["a", "b", "c"])
+    if rate:
+        demand["a", "c"] = rate
+    truth = NetworkSimulator(topo, demand, strategy="single").run()
+    return assess_health(truth, demand)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.OUTAGE.at_least(Severity.CONGESTED)
+        assert Severity.CONGESTED.at_least(Severity.CONGESTED)
+        assert not Severity.OK.at_least(Severity.DEGRADED)
+
+
+class TestAssessHealth:
+    def test_idle_network_ok(self):
+        report = run_and_assess(capacity=10.0, rate=0.0)
+        assert report.severity == Severity.OK
+        assert report.mlu == 0.0
+        assert report.delivered_fraction == 1.0
+
+    def test_moderate_load_ok(self):
+        report = run_and_assess(capacity=10.0, rate=5.0)
+        assert report.severity == Severity.OK
+        assert report.mlu == pytest.approx(0.5)
+
+    def test_high_utilization_degraded(self):
+        report = run_and_assess(capacity=10.0, rate=9.5)
+        assert report.severity == Severity.DEGRADED
+
+    def test_saturation_congested_or_worse(self):
+        report = run_and_assess(capacity=10.0, rate=10.2)
+        assert report.severity in (Severity.CONGESTED, Severity.OUTAGE)
+        assert report.congested_links
+
+    def test_heavy_loss_outage(self):
+        report = run_and_assess(capacity=10.0, rate=15.0)
+        assert report.severity == Severity.OUTAGE
+        assert report.is_outage()
+        assert report.loss_rate > 0.05
+
+    def test_undelivered_demand_is_outage(self):
+        # Demand the network never admits (unrouted) counts against
+        # delivery even with zero in-network loss.
+        topo = two_hop(10.0)
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 5.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        bigger_demand = DemandMatrix(["a", "b", "c"])
+        bigger_demand["a", "c"] = 20.0  # true demand much larger
+        report = assess_health(truth, bigger_demand)
+        assert report.severity == Severity.OUTAGE
+        assert report.delivered_fraction == pytest.approx(0.25)
+
+    def test_summary_renders(self):
+        report = run_and_assess(capacity=10.0, rate=5.0)
+        text = report.summary()
+        assert "ok" in text and "mlu" in text

@@ -1,0 +1,80 @@
+"""Unit tests for topology/demand serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.net import (
+    demand_from_dict,
+    demand_to_dict,
+    gravity_demand,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.net.demand import lognormal_demand
+from repro.net.topology import Link, Node
+from repro.topologies import abilene, b4, fat_tree_topology, waxman_topology
+
+
+class TestTopologyRoundTrip:
+    @pytest.mark.parametrize("factory", [abilene, b4, lambda: waxman_topology(15, seed=3)])
+    def test_roundtrip_equal(self, factory):
+        topology = factory()
+        rebuilt = topology_from_dict(topology_to_dict(topology))
+        assert rebuilt == topology
+        assert rebuilt.name == topology.name
+
+    def test_json_safe(self):
+        payload = topology_to_dict(abilene())
+        json.loads(json.dumps(payload))
+
+    def test_preserves_intent_fields(self):
+        topology = abilene()
+        node = topology.node("kscy")
+        topology.replace_node(
+            Node("kscy", site=node.site, drained=True, drain_reason="maintenance")
+        )
+        topology.replace_link(Link("atla", "hstn", capacity=10.0, drained=True))
+        rebuilt = topology_from_dict(topology_to_dict(topology))
+        assert rebuilt.node("kscy").drained
+        assert rebuilt.node("kscy").drain_reason == "maintenance"
+        assert rebuilt.link_between("atla", "hstn").drained
+
+    def test_defaults_tolerated(self):
+        payload = {
+            "nodes": [{"name": "a"}, {"name": "b"}],
+            "links": [{"a": "a", "b": "b", "capacity": 5.0}],
+        }
+        rebuilt = topology_from_dict(payload)
+        assert rebuilt.num_nodes == 2
+        assert rebuilt.link_between("a", "b").capacity == 5.0
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(KeyError):
+            topology_from_dict({"nodes": [{"site": "x"}], "links": []})
+
+
+class TestDemandRoundTrip:
+    def test_sparse_roundtrip(self):
+        demand = lognormal_demand(["a", "b", "c", "d"], total=40.0, seed=2)
+        rebuilt = demand_from_dict(demand_to_dict(demand, sparse=True))
+        assert rebuilt.allclose(demand)
+
+    def test_dense_roundtrip(self):
+        demand = gravity_demand(["a", "b", "c"], total=9.0, seed=1)
+        rebuilt = demand_from_dict(demand_to_dict(demand, sparse=False))
+        assert rebuilt.allclose(demand)
+
+    def test_sparse_omits_zeros(self):
+        demand = gravity_demand(["a", "b", "c"], total=9.0, seed=1)
+        demand["a", "b"] = 0.0
+        payload = demand_to_dict(demand, sparse=True)
+        assert len(payload["entries"]) == len(demand.nonzero_entries())
+
+    def test_json_safe(self):
+        demand = gravity_demand(abilene().node_names(), total=30.0, seed=4)
+        json.loads(json.dumps(demand_to_dict(demand)))
+
+    def test_fat_tree_roundtrip(self):
+        fabric = fat_tree_topology(k=4)
+        assert topology_from_dict(topology_to_dict(fabric)) == fabric

@@ -1,0 +1,77 @@
+"""Unit tests for response policies."""
+
+import pytest
+
+from repro.control.inputs import ControllerInputs, DrainView
+from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
+from repro.core.policy import AlertOnlyPolicy, RejectAndFallbackPolicy
+from repro.core.report import InputVerdict, ValidationReport
+from repro.core.signals import Finding, FindingSeverity, HardenedState
+from repro.net.demand import DemandMatrix
+from repro.topologies.synthetic import line_topology
+
+
+def make_inputs(tag: str) -> ControllerInputs:
+    topo = line_topology(3)
+    topo.name = tag
+    return ControllerInputs(
+        topology=topo, demand=DemandMatrix(topo.node_names()), drains=DrainView()
+    )
+
+
+def make_report(valid: bool, critical: bool = False) -> ValidationReport:
+    hardened = HardenedState()
+    if critical:
+        hardened.findings.append(
+            Finding("R2_NEGATIVE_SOLUTION", FindingSeverity.CRITICAL, "x", "boom")
+        )
+    report = ValidationReport(timestamp=0.0, hardened=hardened)
+    report.verdicts["demand"] = InputVerdict("demand", valid, 0 if valid else 3, 24)
+    return report
+
+
+class TestAlertOnly:
+    def test_valid_inputs_no_alerts(self):
+        decision = AlertOnlyPolicy().decide(make_inputs("fresh"), make_report(True), None)
+        assert decision.accepted
+        assert not decision.fell_back
+        assert decision.alerts == []
+
+    def test_invalid_inputs_alert_but_accept(self):
+        decision = AlertOnlyPolicy().decide(make_inputs("fresh"), make_report(False), None)
+        assert decision.accepted
+        assert decision.inputs.topology.name == "fresh"
+        assert any("demand" in alert for alert in decision.alerts)
+
+    def test_critical_findings_alerted(self):
+        decision = AlertOnlyPolicy().decide(
+            make_inputs("fresh"), make_report(True, critical=True), None
+        )
+        assert any("R2_NEGATIVE_SOLUTION" in alert for alert in decision.alerts)
+
+
+class TestRejectAndFallback:
+    def test_valid_inputs_accepted(self):
+        decision = RejectAndFallbackPolicy().decide(
+            make_inputs("fresh"), make_report(True), make_inputs("old")
+        )
+        assert decision.accepted
+        assert decision.inputs.topology.name == "fresh"
+
+    def test_invalid_inputs_fall_back(self):
+        decision = RejectAndFallbackPolicy().decide(
+            make_inputs("fresh"), make_report(False), make_inputs("old")
+        )
+        assert not decision.accepted
+        assert decision.fell_back
+        assert decision.inputs.topology.name == "old"
+        assert decision.alerts
+
+    def test_no_last_good_uses_fresh_with_alert(self):
+        decision = RejectAndFallbackPolicy().decide(
+            make_inputs("fresh"), make_report(False), None
+        )
+        assert decision.accepted
+        assert not decision.fell_back
+        assert decision.inputs.topology.name == "fresh"
+        assert any("no last-known-good" in alert for alert in decision.alerts)

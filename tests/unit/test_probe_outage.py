@@ -1,0 +1,68 @@
+"""Unit tests for the ProbeOutage fault and graceful R4 degradation."""
+
+import pytest
+
+from repro.core import Hodor, HodorConfig, LinkVerdict
+from repro.faults import FaultInjector, ProbeOutage
+
+
+class TestProbeOutageFault:
+    def test_all_probes_fail(self, clean_snapshot):
+        snapshot, records = FaultInjector([ProbeOutage()]).inject(clean_snapshot)
+        assert all(not result.ok for result in snapshot.probes.values())
+        assert len(records) == len(snapshot.probes)
+
+    def test_scoped_to_nodes(self, clean_snapshot):
+        snapshot, records = FaultInjector([ProbeOutage(["atla"])]).inject(clean_snapshot)
+        assert all(record.node == "atla" for record in records)
+        assert not snapshot.probe("atla", "hstn").ok
+        assert snapshot.probe("hstn", "atla").ok
+
+    def test_already_failed_probes_not_recorded(self, clean_snapshot):
+        once, _ = FaultInjector([ProbeOutage(["atla"])]).inject(clean_snapshot)
+        _twice, records = FaultInjector([ProbeOutage(["atla"])]).inject(once)
+        assert records == []
+
+
+class TestGracefulDegradation:
+    def test_loaded_links_stay_up_without_probes(self, abilene_topo, clean_snapshot):
+        """Counters outvote a dead probe agent: loaded links stay usable
+        and validation does not collapse into mass alarms."""
+        snapshot, _ = FaultInjector([ProbeOutage()]).inject(clean_snapshot)
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        loaded = [
+            name
+            for name, status in hardened.links.items()
+            if status.verdict == LinkVerdict.UP and status.forwarding
+        ]
+        assert loaded, "links with traffic must survive a probe outage"
+
+    def test_idle_links_degrade_to_unusable_not_down(self, abilene_topo):
+        """An idle link with failed probes reads as up-but-unproven:
+        probe loss must not fabricate physical down verdicts."""
+        from repro.net.demand import DemandMatrix
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry import Jitter, ProbeEngine, TelemetryCollector
+
+        truth = NetworkSimulator(abilene_topo, DemandMatrix(abilene_topo.node_names())).run()
+        snapshot = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0)).collect(truth)
+        snapshot, _ = FaultInjector([ProbeOutage()]).inject(snapshot)
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        for status in hardened.links.values():
+            assert status.verdict != LinkVerdict.DOWN
+
+    def test_probes_disabled_config_equivalent(self, abilene_topo, clean_snapshot):
+        """Running with probes administratively disabled is at least as
+        quiet as running through a probe outage."""
+        snapshot, _ = FaultInjector([ProbeOutage()]).inject(clean_snapshot)
+        with_outage = Hodor(abilene_topo).harden(snapshot)
+        without_probes = Hodor(
+            abilene_topo, HodorConfig(use_probes=False)
+        ).harden(clean_snapshot)
+        up_outage = sum(
+            1 for s in with_outage.links.values() if s.verdict == LinkVerdict.UP
+        )
+        up_disabled = sum(
+            1 for s in without_probes.links.values() if s.verdict == LinkVerdict.UP
+        )
+        assert up_outage == up_disabled

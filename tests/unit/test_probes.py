@@ -1,0 +1,60 @@
+"""Unit tests for the active-probe engine (R4)."""
+
+import pytest
+
+from repro.telemetry.probes import LinkHealth, ProbeEngine
+from repro.topologies.synthetic import line_topology
+
+
+class TestLinkHealth:
+    def test_defaults_healthy(self):
+        assert LinkHealth().carries_traffic
+
+    def test_down_cannot_carry(self):
+        assert not LinkHealth(up=False).carries_traffic
+
+    def test_blackhole_cannot_carry(self):
+        assert not LinkHealth(up=True, forwarding=False).carries_traffic
+
+
+class TestProbeEngine:
+    def test_probes_every_directed_adjacency(self, line5):
+        results = ProbeEngine().run(line5, {})
+        assert len(results) == 2 * line5.num_links
+        assert all(result.ok for result in results.values())
+
+    def test_down_link_fails_both_directions(self, line5):
+        results = ProbeEngine().run(line5, {"r0~r1": LinkHealth(up=False)})
+        assert not results[("r0", "r1")].ok
+        assert not results[("r1", "r0")].ok
+        assert results[("r1", "r2")].ok
+
+    def test_blackhole_fails_probe(self, line5):
+        results = ProbeEngine().run(
+            line5, {"r1~r2": LinkHealth(up=True, forwarding=False)}
+        )
+        assert not results[("r1", "r2")].ok
+
+    def test_failed_probe_has_no_rtt(self, line5):
+        results = ProbeEngine().run(line5, {"r0~r1": LinkHealth(up=False)})
+        assert results[("r0", "r1")].rtt_ms is None
+
+    def test_successful_probe_rtt_near_base(self, line5):
+        results = ProbeEngine(base_rtt_ms=10.0, seed=4).run(line5, {})
+        for result in results.values():
+            assert 8.0 <= result.rtt_ms <= 12.0
+
+    def test_loss_probability_drops_some(self, line5):
+        results = ProbeEngine(loss_probability=0.5, seed=0).run(line5, {})
+        outcomes = [result.ok for result in results.values()]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_reproducible(self, line5):
+        first = ProbeEngine(loss_probability=0.3, seed=7).run(line5, {})
+        second = ProbeEngine(loss_probability=0.3, seed=7).run(line5, {})
+        assert [r.ok for r in first.values()] == [r.ok for r in second.values()]
+
+    @pytest.mark.parametrize("loss", [-0.1, 1.0])
+    def test_bad_loss_probability(self, loss):
+        with pytest.raises(ValueError):
+            ProbeEngine(loss_probability=loss)

@@ -1,0 +1,89 @@
+"""Unit tests for traffic realization (believed vs actual demand)."""
+
+import pytest
+
+from repro.net.demand import DemandMatrix
+from repro.net.flows import FlowAssignment, FlowRule
+from repro.net.realize import realize_traffic
+from repro.net.routing import Path
+from repro.topologies.synthetic import line_topology, ring_topology
+
+
+def programmed_line():
+    assignment = FlowAssignment()
+    assignment.rules[("r0", "r2")] = [FlowRule(Path(("r0", "r1", "r2")), 4.0)]
+    return assignment
+
+
+class TestScaling:
+    def test_true_rate_scales_programmed_paths(self, line5):
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r2"] = 8.0  # hosts send double the believed 4.0
+        realized = realize_traffic(programmed_line(), demand, line5)
+        rules = realized.rules[("r0", "r2")]
+        assert len(rules) == 1
+        assert rules[0].rate == pytest.approx(8.0)
+
+    def test_split_proportions_preserved(self):
+        topo = ring_topology(4)
+        programmed = FlowAssignment()
+        programmed.rules[("r0", "r2")] = [
+            FlowRule(Path(("r0", "r1", "r2")), 3.0),
+            FlowRule(Path(("r0", "r3", "r2")), 1.0),
+        ]
+        demand = DemandMatrix(topo.node_names())
+        demand["r0", "r2"] = 8.0
+        realized = realize_traffic(programmed, demand, topo)
+        rates = sorted(rule.rate for rule in realized.rules[("r0", "r2")])
+        assert rates == [pytest.approx(2.0), pytest.approx(6.0)]
+
+    def test_total_matches_true_demand(self, line5):
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r2"] = 8.0
+        demand["r3", "r4"] = 2.0  # not programmed at all
+        realized = realize_traffic(programmed_line(), demand, line5)
+        assert realized.total_rate() == pytest.approx(10.0)
+
+
+class TestFallback:
+    def test_unprogrammed_pair_uses_default_route(self, line5):
+        demand = DemandMatrix(line5.node_names())
+        demand["r3", "r4"] = 2.0
+        realized = realize_traffic(FlowAssignment(), demand, line5)
+        rules = realized.rules[("r3", "r4")]
+        assert rules[0].path.nodes == ("r3", "r4")
+        assert rules[0].rate == 2.0
+
+    def test_zero_believed_rate_falls_back(self, line5):
+        programmed = FlowAssignment()
+        programmed.rules[("r0", "r2")] = [FlowRule(Path(("r0", "r1", "r2")), 0.0)]
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r2"] = 5.0
+        realized = realize_traffic(programmed, demand, line5)
+        assert realized.rate_for("r0", "r2") == pytest.approx(5.0)
+
+    def test_no_live_path_is_unrouted(self, line5):
+        live = line5.copy()
+        live.remove_link("r1", "r2")
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r4"] = 2.0
+        realized = realize_traffic(FlowAssignment(), demand, live)
+        assert realized.unrouted == {("r0", "r4"): 2.0}
+
+    def test_unknown_node_is_unrouted(self, line5):
+        demand = DemandMatrix(["r0", "ghost"])
+        demand["r0", "ghost"] = 1.0
+        realized = realize_traffic(FlowAssignment(), demand, line5)
+        assert realized.unrouted == {("r0", "ghost"): 1.0}
+
+    def test_programmed_paths_kept_even_if_dead(self, line5):
+        # The controller programmed through a link that is actually
+        # dead; realization does NOT reroute -- the packets chase the
+        # programmed forwarding state and die at the blackhole.  The
+        # live topology only matters for unprogrammed traffic.
+        live = line5.copy()
+        live.remove_link("r1", "r2")
+        demand = DemandMatrix(line5.node_names())
+        demand["r0", "r2"] = 4.0
+        realized = realize_traffic(programmed_line(), demand, live)
+        assert realized.rules[("r0", "r2")][0].path.nodes == ("r0", "r1", "r2")

@@ -1,0 +1,85 @@
+"""Unit tests for validation reports."""
+
+from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
+from repro.core.report import InputVerdict, ValidationReport
+from repro.core.signals import Finding, FindingSeverity, HardenedState
+
+
+def violated_result(name: str) -> InvariantResult:
+    invariant = Invariant(name, "lhs == rhs", 1.0, 2.0, 0.0)
+    return InvariantResult(invariant, InvariantStatus.VIOLATED, 0.5)
+
+
+def make_report(**verdicts) -> ValidationReport:
+    report = ValidationReport(timestamp=5.0, hardened=HardenedState())
+    for name, valid in verdicts.items():
+        report.verdicts[name] = InputVerdict(name, valid, 0 if valid else 1, 10)
+    return report
+
+
+class TestVerdicts:
+    def test_all_valid(self):
+        report = make_report(demand=True, topology=True, drain=True)
+        assert report.all_valid
+        assert report.invalid_inputs() == []
+
+    def test_invalid_listed_sorted(self):
+        report = make_report(demand=False, topology=True, drain=False)
+        assert not report.all_valid
+        assert report.invalid_inputs() == ["demand", "drain"]
+
+    def test_empty_report_valid(self):
+        assert make_report().all_valid
+
+
+class TestDetectedAnything:
+    def test_clean_report_detects_nothing(self):
+        assert not make_report(demand=True).detected_anything()
+
+    def test_violation_detected(self):
+        assert make_report(demand=False).detected_anything()
+
+    def test_warning_finding_detected(self):
+        report = make_report(demand=True)
+        report.hardened.findings.append(
+            Finding("R1_COUNTER_MISMATCH", FindingSeverity.WARNING, "a->b", "gap")
+        )
+        assert report.detected_anything()
+
+    def test_info_finding_not_detected(self):
+        report = make_report(demand=True)
+        report.hardened.findings.append(
+            Finding("R2_REPAIRED", FindingSeverity.INFO, "a->b", "fixed")
+        )
+        assert not report.detected_anything()
+
+    def test_critical_findings_filter(self):
+        report = make_report()
+        report.hardened.findings.append(
+            Finding("X", FindingSeverity.CRITICAL, "y", "z")
+        )
+        assert len(report.critical_findings()) == 1
+
+
+class TestRender:
+    def test_render_contains_verdicts(self):
+        report = make_report(demand=False, topology=True)
+        report.checks["demand"] = CheckResult("demand", results=[violated_result("d/x")])
+        text = report.render()
+        assert "FAIL" in text and "OK" in text
+        assert "d/x" in text
+
+    def test_render_truncates_long_violation_lists(self):
+        report = make_report(demand=False)
+        report.checks["demand"] = CheckResult(
+            "demand", results=[violated_result(f"d/{i}") for i in range(15)]
+        )
+        text = report.render()
+        assert "... 5 more" in text
+
+    def test_render_shows_noteworthy_findings(self):
+        report = make_report(demand=True)
+        report.hardened.findings.append(
+            Finding("R1_COUNTER_MISMATCH", FindingSeverity.WARNING, "a->b", "gap 30%")
+        )
+        assert "R1_COUNTER_MISMATCH" in report.render()

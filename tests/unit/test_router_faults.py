@@ -1,0 +1,231 @@
+"""Unit tests for router-level signal faults (Section 2.1)."""
+
+import random
+
+import pytest
+
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    FormatChangeTelemetry,
+    MalformedTelemetry,
+    MissingTelemetry,
+    RandomCounterCorruption,
+    UnitChangeTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+from repro.telemetry.counters import MalformedValueError, coerce_rate
+
+
+class TestZeroedDuplicate:
+    def test_targets_explicit_interface(self, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.counter("atla", "hstn").rx_rate == 0.0
+        assert len(records) == 1
+        assert records[0].signal == "rx"
+
+    def test_original_untouched(self, clean_snapshot):
+        before = clean_snapshot.counter("atla", "hstn").rx_rate
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        FaultInjector([fault]).inject(clean_snapshot)
+        assert clean_snapshot.counter("atla", "hstn").rx_rate == before
+
+    def test_random_count(self, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(count=3)
+        _snapshot, records = FaultInjector([fault], seed=5).inject(clean_snapshot)
+        assert len(records) == 3
+
+    def test_reproducible_by_seed(self, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(count=2)
+        _s1, first = FaultInjector([fault], seed=9).inject(clean_snapshot)
+        _s2, second = FaultInjector([fault], seed=9).inject(clean_snapshot)
+        assert [(r.node, r.peer) for r in first] == [(r.node, r.peer) for r in second]
+
+    def test_sequence_number_reused(self, clean_snapshot):
+        before = clean_snapshot.counter("atla", "hstn").sequence
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.counter("atla", "hstn").sequence == max(0, before - 1)
+
+    def test_missing_interface_skipped(self, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(interfaces=[("ghost", "atla")])
+        _snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert records == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroedDuplicateTelemetry(count=-1)
+
+
+class TestMalformed:
+    def test_values_unparseable(self, clean_snapshot):
+        fault = MalformedTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        with pytest.raises(MalformedValueError):
+            coerce_rate(snapshot.counter("atla", "hstn").rx_rate)
+
+    def test_custom_garbage(self, clean_snapshot):
+        fault = MalformedTelemetry(interfaces=[("atla", "hstn")], garbage={"bad": 1})
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.counter("atla", "hstn").tx_rate == {"bad": 1}
+
+
+class TestFormatChange:
+    def test_parseable_but_truncated(self, clean_snapshot):
+        fault = FormatChangeTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        value = snapshot.counter("atla", "hstn").tx_rate
+        assert isinstance(value, str)
+        assert coerce_rate(value) == float(int(coerce_rate(value)))
+
+
+class TestUnitChange:
+    def test_scales_rates(self, clean_snapshot):
+        before = coerce_rate(clean_snapshot.counter("atla", "hstn").tx_rate)
+        fault = UnitChangeTelemetry(interfaces=[("atla", "hstn")], factor=1000.0)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        assert coerce_rate(snapshot.counter("atla", "hstn").tx_rate) == pytest.approx(
+            before * 1000.0
+        )
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            UnitChangeTelemetry(factor=0.0)
+
+
+class TestDelayed:
+    def test_timestamp_pushed_back_and_drifted(self, clean_snapshot):
+        fault = DelayedTelemetry(
+            interfaces=[("atla", "hstn")], delay_s=300.0, drift=0.5
+        )
+        before = coerce_rate(clean_snapshot.counter("atla", "hstn").tx_rate)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        reading = snapshot.counter("atla", "hstn")
+        assert reading.timestamp == clean_snapshot.counter("atla", "hstn").timestamp - 300.0
+        assert coerce_rate(reading.tx_rate) == pytest.approx(before * 0.5)
+
+    @pytest.mark.parametrize("kwargs", [{"delay_s": -1.0}, {"drift": -0.5}])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            DelayedTelemetry(**kwargs)
+
+
+class TestMissing:
+    def test_silent_router(self, clean_snapshot):
+        fault = MissingTelemetry(nodes=["atla"])
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.counter("atla", "hstn") is None
+        assert "atla" not in snapshot.drains
+        assert any(r.node == "atla" and r.peer is None for r in records)
+
+    def test_single_interface_lost(self, clean_snapshot):
+        fault = MissingTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.counter("atla", "hstn") is None
+        assert snapshot.counter("hstn", "atla") is not None
+        assert len(records) == 1
+
+    def test_missing_target_no_record(self, clean_snapshot):
+        fault = MissingTelemetry(interfaces=[("ghost", "x")])
+        _snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert records == []
+
+
+class TestWrongLinkStatus:
+    def test_forces_down(self, clean_snapshot):
+        fault = WrongLinkStatus([("atla", "hstn")], report_up=False)
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert snapshot.status("atla", "hstn").oper_up is False
+        assert snapshot.status("hstn", "atla").oper_up is True  # peer untouched
+        assert records[0].signal == "oper_status"
+
+    def test_forces_up(self, clean_snapshot):
+        down = WrongLinkStatus([("atla", "hstn"), ("hstn", "atla")], report_up=False)
+        up = WrongLinkStatus([("atla", "hstn")], report_up=True)
+        snapshot, _ = FaultInjector([down, up]).inject(clean_snapshot)
+        assert snapshot.status("atla", "hstn").oper_up is True
+        assert snapshot.status("hstn", "atla").oper_up is False
+
+
+class TestRandomCorruption:
+    def test_zero_mode(self, clean_snapshot):
+        fault = RandomCounterCorruption(2, mode="zero", side="rx")
+        snapshot, records = FaultInjector([fault], seed=3).inject(clean_snapshot)
+        assert len(records) == 2
+        for record in records:
+            assert snapshot.counter(record.node, record.peer).rx_rate == 0.0
+
+    def test_scale_mode(self, clean_snapshot):
+        fault = RandomCounterCorruption(1, mode="scale", side="tx", factor=2.0)
+        snapshot, records = FaultInjector([fault], seed=3).inject(clean_snapshot)
+        record = records[0]
+        before = coerce_rate(clean_snapshot.counter(record.node, record.peer).tx_rate)
+        after = coerce_rate(snapshot.counter(record.node, record.peer).tx_rate)
+        assert after == pytest.approx(before * 2.0)
+
+    def test_missing_mode(self, clean_snapshot):
+        fault = RandomCounterCorruption(1, mode="missing", side="both")
+        snapshot, records = FaultInjector([fault], seed=3).inject(clean_snapshot)
+        node, peer = records[0].node, records[0].peer
+        assert snapshot.counter(node, peer).rx_rate is None
+        assert snapshot.counter(node, peer).tx_rate is None
+
+    def test_external_excluded_by_default(self, clean_snapshot):
+        from repro.net.topology import EXTERNAL_PEER
+
+        fault = RandomCounterCorruption(100, mode="zero")
+        _snapshot, records = FaultInjector([fault], seed=3).inject(clean_snapshot)
+        assert all(record.peer != EXTERNAL_PEER for record in records)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"mode": "explode"}, {"side": "middle"}, {"count": -1}],
+    )
+    def test_bad_params(self, kwargs):
+        args = {"count": 1}
+        args.update(kwargs)
+        with pytest.raises(ValueError):
+            RandomCounterCorruption(**args)
+
+
+class TestCorrelated:
+    def test_scales_all_counters_of_affected_nodes(self, clean_snapshot):
+        fault = CorrelatedCounterFault(["atla"], factor=0.5)
+        before = coerce_rate(clean_snapshot.counter("atla", "hstn").tx_rate)
+        snapshot, records = FaultInjector([fault]).inject(clean_snapshot)
+        assert coerce_rate(snapshot.counter("atla", "hstn").tx_rate) == pytest.approx(
+            before * 0.5
+        )
+        assert all(record.node == "atla" for record in records)
+
+    def test_unaffected_nodes_untouched(self, clean_snapshot):
+        fault = CorrelatedCounterFault(["atla"], factor=0.5)
+        before = coerce_rate(clean_snapshot.counter("hstn", "atla").tx_rate)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        assert coerce_rate(snapshot.counter("hstn", "atla").tx_rate) == before
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedCounterFault(["a"], factor=-1.0)
+
+
+class TestInjectorStacking:
+    def test_faults_apply_in_order(self, clean_snapshot):
+        first = UnitChangeTelemetry(interfaces=[("atla", "hstn")], factor=2.0)
+        second = UnitChangeTelemetry(interfaces=[("atla", "hstn")], factor=3.0)
+        before = coerce_rate(clean_snapshot.counter("atla", "hstn").tx_rate)
+        snapshot, records = FaultInjector([first, second]).inject(clean_snapshot)
+        assert coerce_rate(snapshot.counter("atla", "hstn").tx_rate) == pytest.approx(
+            before * 6.0
+        )
+        assert len(records) == 2
+
+    def test_add_fault(self, clean_snapshot):
+        injector = FaultInjector()
+        injector.add(ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")]))
+        assert len(injector.faults) == 1
+        _snapshot, records = injector.inject(clean_snapshot)
+        assert len(records) == 1

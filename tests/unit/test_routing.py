@@ -1,0 +1,186 @@
+"""Unit tests for path computation."""
+
+import pytest
+
+from repro.net.routing import (
+    NoRouteError,
+    Path,
+    ecmp_paths,
+    k_shortest_paths,
+    path_cost,
+    path_links,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.net.topology import Link, Node, Topology, TopologyError
+from repro.topologies.synthetic import grid_topology, line_topology, ring_topology
+
+
+def diamond() -> Topology:
+    """a - {b, c} - d with an extra long route a-e-f-d."""
+    topo = Topology("diamond")
+    for name in "abcdef":
+        topo.add_node(Node(name))
+    topo.add_link(Link("a", "b"))
+    topo.add_link(Link("b", "d"))
+    topo.add_link(Link("a", "c"))
+    topo.add_link(Link("c", "d"))
+    topo.add_link(Link("a", "e"))
+    topo.add_link(Link("e", "f"))
+    topo.add_link(Link("f", "d"))
+    return topo
+
+
+class TestPath:
+    def test_properties(self):
+        path = Path(("a", "b", "c"))
+        assert path.source == "a"
+        assert path.destination == "c"
+        assert path.hops == 2
+        assert len(path) == 3
+        assert list(path) == ["a", "b", "c"]
+
+    def test_edges(self):
+        assert Path(("a", "b", "c")).edges() == [("a", "b"), ("b", "c")]
+
+    def test_single_node_path(self):
+        path = Path(("a",))
+        assert path.hops == 0
+        assert path.edges() == []
+
+    def test_revisit_rejected(self):
+        with pytest.raises(TopologyError):
+            Path(("a", "b", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Path(())
+
+
+class TestShortestPath:
+    def test_line(self, line5):
+        path = shortest_path(line5, "r0", "r4")
+        assert path.nodes == ("r0", "r1", "r2", "r3", "r4")
+
+    def test_same_source_destination(self, line5):
+        assert shortest_path(line5, "r2", "r2").nodes == ("r2",)
+
+    def test_no_route(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        topo.add_node(Node("b"))
+        with pytest.raises(NoRouteError):
+            shortest_path(topo, "a", "b")
+
+    def test_unknown_endpoint(self, line5):
+        with pytest.raises(TopologyError):
+            shortest_path(line5, "r0", "ghost")
+
+    def test_custom_cost(self):
+        topo = diamond()
+        # Make the b route expensive; c route should win.
+        cost = lambda u, v: 10.0 if "b" in (u, v) else 1.0  # noqa: E731
+        path = shortest_path(topo, "a", "d", cost)
+        assert path.nodes == ("a", "c", "d")
+
+    def test_negative_cost_rejected(self):
+        topo = diamond()
+        with pytest.raises(ValueError):
+            shortest_path(topo, "a", "d", lambda u, v: -1.0)
+
+    def test_deterministic_among_equal_cost(self):
+        topo = diamond()
+        first = shortest_path(topo, "a", "d")
+        for _ in range(5):
+            assert shortest_path(topo, "a", "d") == first
+
+
+class TestShortestPathLengths:
+    def test_line_distances(self, line5):
+        distances = shortest_path_lengths(line5, "r0")
+        assert distances["r4"] == 4.0
+        assert distances["r0"] == 0.0
+
+    def test_unreachable_absent(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        topo.add_node(Node("b"))
+        distances = shortest_path_lengths(topo, "a")
+        assert "b" not in distances
+
+    def test_unknown_source(self, line5):
+        with pytest.raises(TopologyError):
+            shortest_path_lengths(line5, "ghost")
+
+
+class TestKShortestPaths:
+    def test_finds_all_three_diamond_routes(self):
+        paths = k_shortest_paths(diamond(), "a", "d", 3)
+        assert len(paths) == 3
+        assert paths[0].hops == 2
+        assert paths[1].hops == 2
+        assert paths[2].nodes == ("a", "e", "f", "d")
+
+    def test_ordered_by_cost(self):
+        paths = k_shortest_paths(diamond(), "a", "d", 3)
+        costs = [path_cost(p) for p in paths]
+        assert costs == sorted(costs)
+
+    def test_fewer_paths_than_k(self, line5):
+        paths = k_shortest_paths(line5, "r0", "r4", 5)
+        assert len(paths) == 1  # a line has exactly one simple path
+
+    def test_paths_are_simple(self):
+        for path in k_shortest_paths(grid_topology(3, 3), "g0-0", "g2-2", 8):
+            assert len(set(path.nodes)) == len(path.nodes)
+
+    def test_paths_unique(self):
+        paths = k_shortest_paths(grid_topology(3, 3), "g0-0", "g2-2", 10)
+        assert len({p.nodes for p in paths}) == len(paths)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond(), "a", "d", 0)
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        topo.add_node(Node("b"))
+        with pytest.raises(NoRouteError):
+            k_shortest_paths(topo, "a", "b", 2)
+
+    def test_does_not_mutate_topology(self):
+        topo = diamond()
+        before = topo.num_links
+        k_shortest_paths(topo, "a", "d", 3)
+        assert topo.num_links == before
+
+
+class TestEcmp:
+    def test_two_equal_cost_routes(self):
+        paths = ecmp_paths(diamond(), "a", "d")
+        assert len(paths) == 2
+        assert {p.nodes[1] for p in paths} == {"b", "c"}
+
+    def test_ring_has_single_shortest(self):
+        topo = ring_topology(5)
+        paths = ecmp_paths(topo, "r0", "r1")
+        assert len(paths) == 1
+
+    def test_even_ring_two_routes_to_opposite(self):
+        topo = ring_topology(4)
+        paths = ecmp_paths(topo, "r0", "r2")
+        assert len(paths) == 2
+
+
+class TestPathHelpers:
+    def test_path_cost_default_hops(self):
+        assert path_cost(Path(("a", "b", "c"))) == 2.0
+
+    def test_path_links(self, line5):
+        path = shortest_path(line5, "r0", "r2")
+        assert path_links(line5, path) == ["r0~r1", "r1~r2"]
+
+    def test_path_links_missing_link(self, line5):
+        with pytest.raises(TopologyError):
+            path_links(line5, Path(("r0", "r2")))

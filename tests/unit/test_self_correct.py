@@ -1,0 +1,92 @@
+"""Unit tests for router-level self-correction (Section 6 direction)."""
+
+import pytest
+
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    MalformedTelemetry,
+    ZeroedDuplicateTelemetry,
+)
+from repro.telemetry.counters import coerce_rate
+from repro.telemetry.self_correct import peer_exchange_correct
+
+
+class TestCleanSnapshot:
+    def test_no_corrections_on_clean_data(self, abilene_topo, clean_snapshot):
+        corrected, corrections = peer_exchange_correct(clean_snapshot, abilene_topo)
+        assert corrections == []
+
+    def test_jitter_within_tau_untouched(self, abilene_topo, noisy_snapshot):
+        _corrected, corrections = peer_exchange_correct(noisy_snapshot, abilene_topo)
+        assert corrections == []
+
+    def test_input_not_mutated(self, abilene_topo, clean_snapshot):
+        before = clean_snapshot.counter("atla", "hstn").rx_rate
+        snapshot = clean_snapshot.copy()
+        snapshot.counters[("atla", "hstn")].rx_rate = 0.0
+        peer_exchange_correct(snapshot, abilene_topo)
+        assert snapshot.counters[("atla", "hstn")].rx_rate == 0.0
+        assert clean_snapshot.counter("atla", "hstn").rx_rate == before
+
+
+class TestCorrection:
+    def test_zeroed_rx_corrected_from_peer(self, abilene_topo, clean_snapshot, abilene_truth):
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        corrected, corrections = peer_exchange_correct(snapshot, abilene_topo)
+
+        assert len(corrections) == 1
+        fix = corrections[0]
+        assert (fix.node, fix.peer, fix.side) == ("atla", "hstn", "rx")
+        assert fix.old_value == 0.0
+        restored = coerce_rate(corrected.counter("atla", "hstn").rx_rate)
+        assert restored == pytest.approx(abilene_truth.flow_on("hstn", "atla"), rel=1e-9)
+
+    def test_missing_value_filled_from_peer(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.counters[("atla", "hstn")].tx_rate = None
+        corrected, corrections = peer_exchange_correct(snapshot, abilene_topo)
+        assert len(corrections) == 1
+        assert corrections[0].old_value is None
+        assert coerce_rate(corrected.counter("atla", "hstn").tx_rate) is not None
+
+    def test_malformed_both_sides_left_alone(self, abilene_topo, clean_snapshot):
+        fault = MalformedTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        # rx at atla side malformed AND tx malformed; peer readings fine:
+        # the holes get filled from the peer copies.
+        corrected, corrections = peer_exchange_correct(snapshot, abilene_topo)
+        sides = {(c.node, c.side) for c in corrections}
+        assert ("atla", "rx") in sides or ("atla", "tx") in sides
+
+    def test_never_guesses_when_unlocalizable(self, abilene_topo, clean_snapshot):
+        """Symmetric corruption (both routers scale everything) leaves
+        both local balances intact -- self-correction must do nothing
+        rather than 'correct' toward the wrong value."""
+        fault = CorrelatedCounterFault(["atla", "hstn"], factor=0.5)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        _corrected, corrections = peer_exchange_correct(snapshot, abilene_topo)
+        tampered = {("atla", "hstn"), ("hstn", "atla")}
+        assert all((c.node, c.peer) not in tampered for c in corrections)
+
+
+class TestPreventionPipeline:
+    def test_zeroed_telemetry_outage_prevented_at_source(self):
+        """With self-correction in the telemetry path, the S01 zeroed
+        counters never reach the control plane: the counter-liveness
+        topology service sees healthy counters and keeps the links."""
+        from repro.control.topo_service import TopologyService
+        from repro.scenarios import scenario_by_id
+
+        world = scenario_by_id("S01").build(seed=1)
+        truth = world.steady_state()
+        snapshot = world.collector.collect(truth, health=world.link_health)
+        faulted, _ = world.injector.inject(snapshot)
+
+        buggy_service = TopologyService(world.topology, infer_faulty_from_counters=True)
+        assert buggy_service.build(faulted).num_links < world.topology.num_links
+
+        corrected, corrections = peer_exchange_correct(faulted, world.topology)
+        assert corrections
+        assert buggy_service.build(corrected).num_links == world.topology.num_links

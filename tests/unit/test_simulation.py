@@ -1,0 +1,175 @@
+"""Unit tests for the ground-truth simulator and its fluid drop model."""
+
+import pytest
+
+from repro.net.demand import DemandMatrix, uniform_demand
+from repro.net.simulation import NetworkSimulator, SimulationError
+from repro.net.topology import Link, Node, Topology
+from repro.topologies.synthetic import line_topology
+
+
+def two_hop(capacity: float = 10.0) -> Topology:
+    topo = Topology("twohop")
+    for name in "abc":
+        topo.add_node(Node(name))
+    topo.add_link(Link("a", "b", capacity=capacity))
+    topo.add_link(Link("b", "c", capacity=capacity))
+    return topo
+
+
+class TestBasicAccounting:
+    def test_edge_flow_matches_demand(self):
+        topo = two_hop()
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.flow_on("a", "b") == pytest.approx(4.0)
+        assert truth.flow_on("b", "c") == pytest.approx(4.0)
+        assert truth.flow_on("b", "a") == 0.0
+
+    def test_external_rates(self):
+        topo = two_hop()
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        demand["b", "c"] = 1.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.ext_in["a"] == pytest.approx(4.0)
+        assert truth.ext_in["b"] == pytest.approx(1.0)
+        assert truth.ext_out["c"] == pytest.approx(5.0)
+
+    def test_conservation_holds_everywhere(self, abilene_truth, abilene_topo):
+        for node in abilene_topo.node_names():
+            assert abilene_truth.conservation_residual(node) == pytest.approx(0.0, abs=1e-9)
+
+    def test_delivered_equals_demand_when_unsaturated(self):
+        topo = two_hop()
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.delivered[("a", "c")] == pytest.approx(4.0)
+        assert truth.loss_rate() == 0.0
+
+    def test_utilization_and_mlu(self):
+        topo = two_hop(capacity=8.0)
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "b"] = 4.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.utilization("a", "b") == pytest.approx(0.5)
+        assert truth.max_link_utilization() == pytest.approx(0.5)
+
+    def test_utilization_unknown_edge(self):
+        topo = two_hop()
+        truth = NetworkSimulator(topo, DemandMatrix(["a", "b", "c"])).run()
+        with pytest.raises(Exception):
+            truth.utilization("a", "c")
+
+
+class TestDrops:
+    def test_oversubscribed_link_drops(self):
+        topo = two_hop(capacity=3.0)
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "b"] = 5.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.flow_on("a", "b") == pytest.approx(3.0)
+        assert truth.dropped["a"] == pytest.approx(2.0)
+        assert truth.loss_rate() == pytest.approx(2.0 / 5.0)
+
+    def test_cascade_drops_attributed_upstream(self):
+        # a->b has capacity 3, b->c has 10: the drop happens at a only.
+        topo = Topology("cascade")
+        for name in "abc":
+            topo.add_node(Node(name))
+        topo.add_link(Link("a", "b", capacity=3.0))
+        topo.add_link(Link("b", "c", capacity=10.0))
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 5.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.dropped["a"] == pytest.approx(2.0)
+        assert truth.dropped["b"] == pytest.approx(0.0)
+        assert truth.flow_on("b", "c") == pytest.approx(3.0)
+
+    def test_conservation_holds_with_drops(self):
+        topo = two_hop(capacity=3.0)
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 5.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        for node in "abc":
+            assert truth.conservation_residual(node) == pytest.approx(0.0, abs=1e-9)
+
+    def test_proportional_sharing_on_contention(self):
+        # Two flows share a 4-unit link; each offered 4 -> each gets 2.
+        topo = Topology("contend")
+        for name in "abcd":
+            topo.add_node(Node(name))
+        topo.add_link(Link("a", "b", capacity=100.0))
+        topo.add_link(Link("d", "b", capacity=100.0))
+        topo.add_link(Link("b", "c", capacity=4.0))
+        demand = DemandMatrix(["a", "b", "c", "d"])
+        demand["a", "c"] = 4.0
+        demand["d", "c"] = 4.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert truth.delivered[("a", "c")] == pytest.approx(2.0)
+        assert truth.delivered[("d", "c")] == pytest.approx(2.0)
+
+    def test_congested_edges_reported(self):
+        topo = two_hop(capacity=3.0)
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "b"] = 5.0
+        truth = NetworkSimulator(topo, demand, strategy="single").run()
+        assert ("a", "b") in truth.congested_edges()
+
+
+class TestBlackholes:
+    def test_blackhole_swallows_traffic(self):
+        topo = two_hop()
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        truth = NetworkSimulator(
+            topo, demand, strategy="single", blackholes=[("b", "c")]
+        ).run()
+        assert truth.flow_on("a", "b") == pytest.approx(4.0)
+        assert truth.flow_on("b", "c") == 0.0
+        assert truth.dropped["b"] == pytest.approx(4.0)
+        assert truth.delivered[("a", "c")] == 0.0
+
+    def test_blackhole_conservation(self):
+        topo = two_hop()
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        truth = NetworkSimulator(
+            topo, demand, strategy="single", blackholes=[("b", "c")]
+        ).run()
+        for node in "abc":
+            assert truth.conservation_residual(node) == pytest.approx(0.0, abs=1e-9)
+
+    def test_blackhole_on_missing_edge_rejected(self):
+        topo = two_hop()
+        with pytest.raises(SimulationError):
+            NetworkSimulator(topo, DemandMatrix(["a", "b", "c"]), blackholes=[("a", "c")])
+
+
+class TestEvaluateExternalAssignment:
+    def test_flow_over_missing_edge_rejected(self, line5):
+        from repro.net.flows import FlowAssignment, FlowRule
+        from repro.net.routing import Path
+
+        assignment = FlowAssignment()
+        assignment.rules[("r0", "r2")] = [FlowRule(Path(("r0", "r2")), 1.0)]
+        simulator = NetworkSimulator(line5, DemandMatrix(line5.node_names()))
+        with pytest.raises(SimulationError):
+            simulator.evaluate(assignment)
+
+    def test_zero_demand_network_idle(self, line5):
+        truth = NetworkSimulator(line5, DemandMatrix(line5.node_names())).run()
+        assert truth.max_link_utilization() == 0.0
+        assert truth.total_delivered() == 0.0
+        assert truth.loss_rate() == 0.0
+
+    def test_drained_node_carries_nothing(self):
+        topo = two_hop()
+        topo.replace_node(Node("b", drained=True))
+        demand = DemandMatrix(["a", "b", "c"])
+        demand["a", "c"] = 4.0
+        truth = NetworkSimulator(topo, demand).run()
+        assert truth.flow_on("a", "b") == 0.0
+        assert truth.assignment.unrouted == {("a", "c"): 4.0}

@@ -1,0 +1,88 @@
+"""Unit tests for network snapshots."""
+
+import pytest
+
+from repro.telemetry.counters import CounterReading
+from repro.telemetry.snapshot import LinkStatusReport, NetworkSnapshot, ProbeResult
+
+
+def small_snapshot() -> NetworkSnapshot:
+    snapshot = NetworkSnapshot(timestamp=100.0)
+    snapshot.counters[("a", "b")] = CounterReading(rx_rate=1.0, tx_rate=2.0)
+    snapshot.counters[("b", "a")] = CounterReading(rx_rate=2.0, tx_rate=1.0)
+    snapshot.link_status[("a", "b")] = LinkStatusReport(oper_up=True)
+    snapshot.link_status[("b", "a")] = LinkStatusReport(oper_up=True)
+    snapshot.drains["a"] = False
+    snapshot.drains["b"] = True
+    snapshot.drops["a"] = 0.0
+    snapshot.link_drains[("a", "b")] = False
+    snapshot.probes[("a", "b")] = ProbeResult(ok=True, rtt_ms=3.0)
+    return snapshot
+
+
+class TestQueries:
+    def test_nodes(self):
+        assert small_snapshot().nodes() == ["a", "b"]
+
+    def test_interface_keys_sorted_union(self):
+        snapshot = small_snapshot()
+        assert snapshot.interface_keys() == [("a", "b"), ("b", "a")]
+
+    def test_counter_lookup(self):
+        snapshot = small_snapshot()
+        assert snapshot.counter("a", "b").tx_rate == 2.0
+        assert snapshot.counter("x", "y") is None
+
+    def test_status_lookup(self):
+        assert small_snapshot().status("a", "b").oper_up is True
+        assert small_snapshot().status("zz", "a") is None
+
+    def test_probe_lookup(self):
+        assert small_snapshot().probe("a", "b").ok
+        assert small_snapshot().probe("b", "a") is None
+
+    def test_interfaces_of(self):
+        assert small_snapshot().interfaces_of("a") == [("a", "b")]
+
+    def test_signal_count(self):
+        snapshot = small_snapshot()
+        # 2 counters x2 + 2 statuses x2 + 2 drains + 1 link drain + 1 drop + 1 probe
+        assert snapshot.signal_count() == 4 + 4 + 2 + 1 + 1 + 1
+
+
+class TestMutation:
+    def test_copy_deep_for_counters(self):
+        snapshot = small_snapshot()
+        clone = snapshot.copy()
+        clone.counters[("a", "b")].rx_rate = 99.0
+        assert snapshot.counters[("a", "b")].rx_rate == 1.0
+
+    def test_copy_independent_maps(self):
+        snapshot = small_snapshot()
+        clone = snapshot.copy()
+        clone.drains["a"] = True
+        assert snapshot.drains["a"] is False
+
+    def test_drop_node_removes_everything(self):
+        snapshot = small_snapshot()
+        snapshot.drop_node("a")
+        assert "a" not in snapshot.drains
+        assert "a" not in snapshot.drops
+        assert snapshot.counter("a", "b") is None
+        assert snapshot.status("a", "b") is None
+        assert snapshot.probe("a", "b") is None
+        # b's signals survive
+        assert snapshot.counter("b", "a") is not None
+
+    def test_drop_unknown_node_noop(self):
+        snapshot = small_snapshot()
+        snapshot.drop_node("ghost")
+        assert snapshot.nodes() == ["a", "b"]
+
+
+class TestReportCopies:
+    def test_status_copy(self):
+        report = LinkStatusReport(oper_up=True, admin_up=False)
+        clone = report.copy()
+        clone.oper_up = False
+        assert report.oper_up is True

@@ -1,0 +1,133 @@
+"""Unit tests for the static-check baseline (today's practice)."""
+
+import pytest
+
+from repro.baselines.static_checks import StaticCheckConfig, StaticValidator
+from repro.control.inputs import ControllerInputs, DrainView
+from repro.net.demand import DemandMatrix, gravity_demand, zero_entries
+from repro.net.topology import Link, Node, Topology
+from repro.topologies.abilene import abilene
+
+
+def make_inputs(topo, demand=None, drains=None):
+    return ControllerInputs(
+        topology=topo,
+        demand=demand if demand is not None else DemandMatrix(topo.node_names()),
+        drains=drains or DrainView(),
+    )
+
+
+@pytest.fixture
+def reference():
+    return abilene()
+
+
+@pytest.fixture
+def trained(reference):
+    validator = StaticValidator(reference)
+    demand = gravity_demand(reference.node_names(), total=30.0, seed=1)
+    for epoch in range(6):
+        wiggle = 1.0 + 0.04 * ((epoch % 3) - 1)
+        validator.observe(make_inputs(reference.copy(), demand.scaled(wiggle)))
+    return validator
+
+
+class TestImpossibleChecks:
+    def test_clean_inputs_pass(self, reference):
+        validator = StaticValidator(reference)
+        demand = gravity_demand(reference.node_names(), total=30.0, seed=1)
+        assert validator.check(make_inputs(reference.copy(), demand)).passed
+
+    def test_unknown_node_caught(self, reference):
+        topo = reference.copy()
+        topo.add_node(Node("intruder"))
+        report = StaticValidator(reference).check(make_inputs(topo))
+        assert any(v.check == "topology/unknown-nodes" for v in report.impossible())
+
+    def test_too_many_nodes_caught(self, reference):
+        topo = reference.copy()
+        for i in range(3):
+            topo.add_node(Node(f"extra{i}"))
+        report = StaticValidator(reference).check(make_inputs(topo))
+        assert any(v.check == "topology/node-count" for v in report.impossible())
+
+    def test_unknown_link_caught(self, reference):
+        topo = reference.copy()
+        topo.add_link(Link("atla", "sttl"))  # not in inventory
+        report = StaticValidator(reference).check(make_inputs(topo))
+        assert any(v.check == "topology/unknown-link" for v in report.impossible())
+
+    def test_capacity_above_physical_caught(self, reference):
+        topo = reference.copy()
+        topo.replace_link(Link("atla", "hstn", capacity=400.0))
+        report = StaticValidator(reference).check(make_inputs(topo))
+        assert any(v.check == "topology/capacity" for v in report.impossible())
+
+    def test_unknown_demand_nodes_caught(self, reference):
+        demand = DemandMatrix(["atla", "notreal"])
+        report = StaticValidator(reference).check(make_inputs(reference.copy(), demand))
+        assert any(v.check == "demand/unknown-nodes" for v in report.impossible())
+
+    def test_unknown_drain_nodes_caught(self, reference):
+        drains = DrainView(nodes={"phantom": True})
+        report = StaticValidator(reference).check(make_inputs(reference.copy(), drains=drains))
+        assert any(v.check == "drain/unknown-nodes" for v in report.impossible())
+
+
+class TestHeuristicChecks:
+    def test_demand_total_band(self, trained, reference):
+        demand = gravity_demand(reference.node_names(), total=90.0, seed=1)  # 3x history
+        report = trained.check(make_inputs(reference.copy(), demand))
+        assert any(v.check == "demand/total-band" for v in report.unlikely())
+
+    def test_entry_cap(self, trained, reference):
+        demand = gravity_demand(reference.node_names(), total=30.0, seed=1)
+        src, dst, rate = demand.nonzero_entries()[0]
+        demand[src, dst] = rate * 100
+        report = trained.check(make_inputs(reference.copy(), demand))
+        assert any(v.check == "demand/entry-cap" for v in report.unlikely())
+
+    def test_link_floor(self, trained, reference):
+        topo = reference.copy()
+        for link in list(topo.links())[:8]:
+            topo.remove_link(link.a, link.b)
+        report = trained.check(make_inputs(topo))
+        assert any(v.check == "topology/link-floor" for v in report.unlikely())
+
+    def test_mass_drain_heuristic(self, trained, reference):
+        drains = DrainView(nodes={n: True for n in ["sttl", "snva", "losa", "dnvr"]})
+        report = trained.check(make_inputs(reference.copy(), drains=drains))
+        assert any(v.check == "drain/mass-drain" for v in report.unlikely())
+
+    def test_no_history_no_heuristics(self, reference):
+        validator = StaticValidator(reference)
+        demand = gravity_demand(reference.node_names(), total=500.0, seed=1)
+        report = validator.check(make_inputs(reference.copy(), demand))
+        assert report.unlikely() == []
+
+
+class TestPaperCriticisms:
+    def test_misses_currently_wrong_but_plausible_demand(self, trained, reference):
+        """The paper's core criticism: a matrix with a few zeroed
+        entries is historically plausible -- static checks pass it."""
+        demand = gravity_demand(reference.node_names(), total=30.0, seed=1)
+        buggy = zero_entries(demand, 3, seed=9)
+        report = trained.check(make_inputs(reference.copy(), buggy))
+        assert report.passed
+
+    def test_false_positive_on_legitimate_disaster(self, trained, reference):
+        """The Section 1 disaster: a legitimate mass drain is rejected."""
+        drains = DrainView(nodes={n: True for n in ["sttl", "snva", "losa", "dnvr"]})
+        report = trained.check(make_inputs(reference.copy(), drains=drains))
+        assert not report.passed  # wrongly flagged
+
+
+class TestConfig:
+    def test_custom_band(self, reference):
+        validator = StaticValidator(
+            reference, StaticCheckConfig(total_demand_band=0.01)
+        )
+        demand = gravity_demand(reference.node_names(), total=30.0, seed=1)
+        validator.observe(make_inputs(reference.copy(), demand))
+        report = validator.check(make_inputs(reference.copy(), demand.scaled(1.1)))
+        assert any(v.check == "demand/total-band" for v in report.unlikely())

@@ -1,0 +1,71 @@
+"""Unit tests for OpenConfig-style signal paths."""
+
+import pytest
+
+from repro.telemetry.paths import SIGNAL_REGISTRY, PathError, SignalKind, SignalPath
+
+
+class TestSignalPath:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            SignalKind.RX_RATE,
+            SignalKind.TX_RATE,
+            SignalKind.OPER_STATUS,
+            SignalKind.ADMIN_STATUS,
+            SignalKind.LINK_DRAIN,
+            SignalKind.PROBE,
+        ],
+    )
+    def test_interface_scoped_roundtrip(self, kind):
+        path = SignalPath(kind, "atla", "hstn")
+        assert SignalPath.parse(path.render()) == path
+
+    @pytest.mark.parametrize(
+        "kind", [SignalKind.DRAIN, SignalKind.DRAIN_REASON, SignalKind.NODE_DROPS]
+    )
+    def test_node_scoped_roundtrip(self, kind):
+        path = SignalPath(kind, "atla")
+        assert SignalPath.parse(path.render()) == path
+
+    def test_node_scoped_rejects_peer(self):
+        with pytest.raises(PathError):
+            SignalPath(SignalKind.DRAIN, "atla", "hstn")
+
+    def test_interface_scoped_requires_peer(self):
+        with pytest.raises(PathError):
+            SignalPath(SignalKind.RX_RATE, "atla")
+
+    def test_parse_garbage(self):
+        with pytest.raises(PathError):
+            SignalPath.parse("/this/is/not/a/signal")
+
+    def test_parse_empty(self):
+        with pytest.raises(PathError):
+            SignalPath.parse("")
+
+    def test_str_is_render(self):
+        path = SignalPath(SignalKind.RX_RATE, "a", "b")
+        assert str(path) == path.render()
+
+    def test_render_contains_node_and_peer(self):
+        rendered = SignalPath(SignalKind.TX_RATE, "nodeX", "peerY").render()
+        assert "nodeX" in rendered and "peerY" in rendered
+
+    def test_registry_covers_every_kind(self):
+        assert set(SIGNAL_REGISTRY) == set(SignalKind)
+
+    def test_registry_descriptions_nonempty(self):
+        for _template, description in SIGNAL_REGISTRY.values():
+            assert description
+
+    def test_distinct_paths_for_distinct_kinds(self):
+        node_only = (SignalKind.DRAIN, SignalKind.DRAIN_REASON, SignalKind.NODE_DROPS)
+        rendered = {
+            SignalPath(kind, "a", "b").render()
+            for kind in SignalKind
+            if kind not in node_only
+        }
+        assert len(rendered) == len(SignalKind) - len(node_only)
+        rendered_node_only = {SignalPath(kind, "a").render() for kind in node_only}
+        assert len(rendered_node_only) == len(node_only)

@@ -1,0 +1,131 @@
+"""Unit tests for the topology instrumentation service."""
+
+import pytest
+
+from repro.control.topo_service import TopologyService
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+    StaleTopology,
+)
+from repro.faults.base import FaultInjector
+from repro.faults.router_faults import (
+    MalformedTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+
+
+class TestCleanStitching:
+    def test_full_topology_when_all_up(self, abilene_topo, clean_snapshot):
+        view = TopologyService(abilene_topo).build(clean_snapshot)
+        assert view.num_links == abilene_topo.num_links
+        assert view.num_nodes == abilene_topo.num_nodes
+
+    def test_capacities_from_reference(self, abilene_topo, clean_snapshot):
+        view = TopologyService(abilene_topo).build(clean_snapshot)
+        assert view.link_between("atla", "atlam").capacity == 2.5
+
+    def test_one_end_down_excludes_link(self, abilene_topo, clean_snapshot):
+        fault = WrongLinkStatus([("atla", "hstn")], report_up=False)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        view = TopologyService(abilene_topo).build(snapshot)
+        assert view.link_between("atla", "hstn") is None
+        assert view.num_links == abilene_topo.num_links - 1
+
+    def test_missing_status_treated_down(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        del snapshot.link_status[("atla", "hstn")]
+        view = TopologyService(abilene_topo).build(snapshot)
+        assert view.link_between("atla", "hstn") is None
+
+    def test_malformed_status_treated_down(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.link_status[("atla", "hstn")].oper_up = "banana"
+        view = TopologyService(abilene_topo).build(snapshot)
+        assert view.link_between("atla", "hstn") is None
+
+    def test_string_up_status_accepted(self, abilene_topo, clean_snapshot):
+        snapshot = clean_snapshot.copy()
+        snapshot.link_status[("atla", "hstn")].oper_up = "UP"
+        view = TopologyService(abilene_topo).build(snapshot)
+        assert view.link_between("atla", "hstn") is not None
+
+
+class TestBugs:
+    def test_partial_stitch_drops_touching_links(self, abilene_topo, clean_snapshot):
+        service = TopologyService(abilene_topo, [PartialTopologyStitch({"kscy"})])
+        view = service.build(clean_snapshot)
+        assert view.link_between("kscy", "dnvr") is None
+        assert view.link_between("kscy", "ipls") is None
+        assert view.link_between("atla", "wash") is not None
+
+    def test_liveness_misreport_down(self, abilene_topo, clean_snapshot):
+        service = TopologyService(
+            abilene_topo, [LivenessMisreport({"atla~hstn"}, report_up=False)]
+        )
+        view = service.build(clean_snapshot)
+        assert view.link_between("atla", "hstn") is None
+
+    def test_liveness_misreport_up_overrides_down_status(
+        self, abilene_topo, clean_snapshot
+    ):
+        fault = WrongLinkStatus(
+            [("atla", "hstn"), ("hstn", "atla")], report_up=False
+        )
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        service = TopologyService(
+            abilene_topo, [LivenessMisreport({"atla~hstn"}, report_up=True)]
+        )
+        view = service.build(snapshot)
+        assert view.link_between("atla", "hstn") is not None
+
+    def test_stale_topology_reports_everything(self, abilene_topo, clean_snapshot):
+        fault = WrongLinkStatus([("atla", "hstn")], report_up=False)
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        view = TopologyService(abilene_topo, [StaleTopology()]).build(snapshot)
+        assert view.num_links == abilene_topo.num_links
+
+    def test_unsupported_bug_rejected(self, abilene_topo):
+        with pytest.raises(TypeError):
+            TopologyService(abilene_topo, [IgnoredDrain({"a"})])
+
+
+class TestCounterLiveness:
+    def test_disabled_by_default(self, abilene_topo, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        view = TopologyService(abilene_topo).build(snapshot)
+        assert view.link_between("atla", "hstn") is not None
+
+    def test_zeroed_rx_marks_link_faulty(self, abilene_topo, clean_snapshot):
+        fault = ZeroedDuplicateTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        service = TopologyService(abilene_topo, infer_faulty_from_counters=True)
+        view = service.build(snapshot)
+        assert view.link_between("atla", "hstn") is None
+
+    def test_malformed_counters_mark_link_faulty(self, abilene_topo, clean_snapshot):
+        fault = MalformedTelemetry(interfaces=[("atla", "hstn")])
+        snapshot, _ = FaultInjector([fault]).inject(clean_snapshot)
+        service = TopologyService(abilene_topo, infer_faulty_from_counters=True)
+        view = service.build(snapshot)
+        assert view.link_between("atla", "hstn") is None
+
+    def test_healthy_links_survive_counter_liveness(self, abilene_topo, clean_snapshot):
+        service = TopologyService(abilene_topo, infer_faulty_from_counters=True)
+        view = service.build(clean_snapshot)
+        assert view.num_links == abilene_topo.num_links
+
+    def test_idle_link_not_faulty(self, abilene_topo):
+        # A link with zero traffic on both sides is idle, not faulty.
+        from repro.net.demand import DemandMatrix
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry.collector import TelemetryCollector
+        from repro.telemetry.counters import Jitter
+
+        truth = NetworkSimulator(abilene_topo, DemandMatrix(abilene_topo.node_names())).run()
+        snapshot = TelemetryCollector(Jitter(0.0)).collect(truth)
+        service = TopologyService(abilene_topo, infer_faulty_from_counters=True)
+        assert service.build(snapshot).num_links == abilene_topo.num_links

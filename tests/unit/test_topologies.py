@@ -1,0 +1,185 @@
+"""Unit tests for the bundled topology zoo."""
+
+import pytest
+
+from repro.net.routing import shortest_path
+from repro.topologies import (
+    abilene,
+    b4,
+    fig3_demand,
+    fig3_network,
+    geant,
+    gnp_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+
+
+class TestAbilene:
+    def test_shape(self):
+        topo = abilene()
+        assert topo.num_nodes == 12
+        assert topo.num_links == 15
+        assert topo.is_connected()
+
+    def test_oc48_spur(self):
+        topo = abilene()
+        assert topo.link_between("atla", "atlam").capacity == 2.5
+
+    def test_backbone_capacity(self):
+        topo = abilene()
+        assert topo.link_between("chin", "nycm").capacity == 10.0
+
+    def test_capacity_scale(self):
+        topo = abilene(capacity_scale=2.0)
+        assert topo.link_between("chin", "nycm").capacity == 20.0
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            abilene(capacity_scale=0.0)
+
+    def test_sites_populated(self):
+        assert abilene().node("nycm").site == "New York"
+
+
+class TestB4:
+    def test_shape(self):
+        topo = b4()
+        assert topo.num_nodes == 12
+        assert topo.is_connected()
+
+    def test_two_vendor_populations(self):
+        vendors = {node.vendor for node in b4().nodes()}
+        assert vendors == {"vendor-a", "vendor-b"}
+
+    def test_transcontinental_paths_exist(self):
+        topo = b4()
+        path = shortest_path(topo, "us-w1", "asia-s1")
+        assert path.hops >= 2
+
+
+class TestGeant:
+    def test_shape(self):
+        topo = geant()
+        assert topo.num_nodes == 22
+        assert topo.is_connected()
+
+    def test_larger_than_abilene(self):
+        assert geant().num_links > abilene().num_links
+
+
+class TestFig3:
+    def test_structure(self):
+        topo = fig3_network()
+        assert topo.num_nodes == 3
+        assert topo.num_links == 2
+
+    def test_demand_reproduces_figure_numbers(self):
+        demand = fig3_demand()
+        assert demand.row_sum("A") == 76.0  # ext ingress at A
+        assert demand.row_sum("B") == 23.0
+        assert demand.column_sum("B") == 24.0
+        assert demand.column_sum("C") == 75.0
+
+
+class TestSynthetic:
+    def test_line(self):
+        topo = line_topology(4)
+        assert topo.num_links == 3
+        assert topo.is_connected()
+
+    def test_line_rejects_zero(self):
+        with pytest.raises(ValueError):
+            line_topology(0)
+
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert topo.num_links == 5
+        assert all(topo.degree(n) == 2 for n in topo.node_names())
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_star(self):
+        topo = star_topology(6)
+        assert topo.degree("hub") == 6
+        assert topo.num_nodes == 7
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.num_links == 3 * 3 + 2 * 4  # 17
+        assert topo.is_connected()
+
+    def test_grid_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_waxman_always_connected(self, seed):
+        assert waxman_topology(25, seed=seed).is_connected()
+
+    def test_waxman_reproducible(self):
+        first = waxman_topology(20, seed=5)
+        second = waxman_topology(20, seed=5)
+        assert first == second
+
+    def test_waxman_bad_params(self):
+        with pytest.raises(ValueError):
+            waxman_topology(10, alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman_topology(10, beta=-1.0)
+
+    @pytest.mark.parametrize("p", [0.0, 0.1, 0.9])
+    def test_gnp_connected(self, p):
+        assert gnp_topology(15, p=p, seed=2).is_connected()
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(ValueError):
+            gnp_topology(10, p=1.5)
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        from repro.topologies import fat_tree_topology
+
+        fabric = fat_tree_topology(k=4)
+        # (k/2)^2 cores + k pods x (k/2 agg + k/2 edge) = 4 + 16 = 20
+        assert fabric.num_nodes == 20
+        # per pod: 4 agg-edge + 4 agg-core = 8; x4 pods = 32
+        assert fabric.num_links == 32
+        assert fabric.is_connected()
+
+    def test_edge_switch_degree(self):
+        from repro.topologies import fat_tree_topology
+
+        fabric = fat_tree_topology(k=4)
+        assert fabric.degree("edge0-0") == 2  # k/2 agg uplinks
+        assert fabric.degree("agg0-0") == 4  # k/2 edges + k/2 cores
+        assert fabric.degree("core0-0") == 4  # one per pod
+
+    def test_path_diversity_between_pods(self):
+        from repro.net.routing import ecmp_paths
+        from repro.topologies import fat_tree_topology
+
+        fabric = fat_tree_topology(k=4)
+        paths = ecmp_paths(fabric, "edge0-0", "edge1-0", max_paths=8)
+        assert len(paths) >= 2  # classic fat-tree multipath
+
+    @pytest.mark.parametrize("k", [0, 3, 5])
+    def test_invalid_k(self, k):
+        from repro.topologies import fat_tree_topology
+
+        with pytest.raises(ValueError):
+            fat_tree_topology(k=k)
+
+    def test_k6_scales(self):
+        from repro.topologies import fat_tree_topology
+
+        fabric = fat_tree_topology(k=6)
+        assert fabric.num_nodes == 9 + 6 * 6
+        assert fabric.is_connected()

@@ -1,0 +1,234 @@
+"""Unit tests for the topology model."""
+
+import pytest
+
+from repro.net.topology import (
+    EXTERNAL_PEER,
+    Interface,
+    Link,
+    Node,
+    Topology,
+    TopologyError,
+)
+
+
+def build_triangle() -> Topology:
+    topo = Topology("tri")
+    for name in ("a", "b", "c"):
+        topo.add_node(Node(name))
+    topo.add_link(Link("a", "b", capacity=10.0))
+    topo.add_link(Link("b", "c", capacity=20.0))
+    topo.add_link(Link("c", "a", capacity=30.0))
+    return topo
+
+
+class TestNode:
+    def test_defaults(self):
+        node = Node("r1")
+        assert node.site == ""
+        assert not node.drained
+        assert node.vendor == "vendor-a"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Node("")
+
+    def test_frozen(self):
+        node = Node("r1")
+        with pytest.raises(AttributeError):
+            node.drained = True
+
+
+class TestLink:
+    def test_canonical_name_order_independent(self):
+        assert Link("x", "y").name == Link("y", "x").name == "x~y"
+
+    def test_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+
+    def test_other_rejects_non_endpoint(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b").other("c")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("a", "a")
+
+    @pytest.mark.parametrize("capacity", [0.0, -1.0, float("inf")])
+    def test_bad_capacity_rejected(self, capacity):
+        with pytest.raises(TopologyError):
+            Link("a", "b", capacity=capacity)
+
+    def test_directions(self):
+        assert Link("a", "b").directions() == (("a", "b"), ("b", "a"))
+
+
+class TestInterface:
+    def test_wan_interface(self):
+        iface = Interface("a", "b")
+        assert not iface.is_external
+        assert iface.name == "a->b"
+
+    def test_external_interface(self):
+        iface = Interface("a", EXTERNAL_PEER)
+        assert iface.is_external
+        assert iface.name == "a:ext"
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        with pytest.raises(TopologyError):
+            topo.add_node(Node("a"))
+
+    def test_reserved_name_rejected(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_node(Node(EXTERNAL_PEER))
+
+    def test_link_requires_existing_nodes(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        with pytest.raises(TopologyError):
+            topo.add_link(Link("a", "ghost"))
+
+    def test_duplicate_link_rejected(self):
+        topo = build_triangle()
+        with pytest.raises(TopologyError):
+            topo.add_link(Link("b", "a"))
+
+    def test_remove_link(self):
+        topo = build_triangle()
+        removed = topo.remove_link("a", "b")
+        assert removed.name == "a~b"
+        assert topo.link_between("a", "b") is None
+        assert topo.num_links == 2
+
+    def test_remove_missing_link_raises(self):
+        topo = build_triangle()
+        topo.remove_link("a", "b")
+        with pytest.raises(TopologyError):
+            topo.remove_link("a", "b")
+
+    def test_replace_node_flips_drain(self):
+        topo = build_triangle()
+        topo.replace_node(Node("a", drained=True))
+        assert topo.node("a").drained
+
+    def test_replace_unknown_node_raises(self):
+        topo = build_triangle()
+        with pytest.raises(TopologyError):
+            topo.replace_node(Node("ghost"))
+
+    def test_replace_link(self):
+        topo = build_triangle()
+        topo.replace_link(Link("a", "b", capacity=99.0, drained=True))
+        link = topo.link_between("a", "b")
+        assert link.capacity == 99.0
+        assert link.drained
+
+
+class TestTopologyQueries:
+    def test_neighbors(self):
+        topo = build_triangle()
+        assert sorted(topo.neighbors("a")) == ["b", "c"]
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(TopologyError):
+            build_triangle().neighbors("zz")
+
+    def test_degree(self):
+        assert build_triangle().degree("b") == 2
+
+    def test_directed_edges_two_per_link(self):
+        topo = build_triangle()
+        edges = list(topo.directed_edges())
+        assert len(edges) == 6
+        assert ("a", "b") in edges and ("b", "a") in edges
+
+    def test_directed_edges_deterministic(self):
+        topo = build_triangle()
+        assert list(topo.directed_edges()) == list(topo.directed_edges())
+
+    def test_interfaces_include_external(self):
+        topo = build_triangle()
+        interfaces = list(topo.interfaces())
+        external = [i for i in interfaces if i.is_external]
+        assert len(external) == 3
+        assert len(interfaces) == 9
+
+    def test_interfaces_without_external(self):
+        topo = build_triangle()
+        assert all(not i.is_external for i in topo.interfaces(include_external=False))
+
+    def test_total_capacity_counts_both_directions(self):
+        assert build_triangle().total_capacity() == 2 * (10 + 20 + 30)
+
+    def test_contains(self):
+        topo = build_triangle()
+        assert "a" in topo
+        assert "zz" not in topo
+
+    def test_node_lookup_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            build_triangle().node("zz")
+
+    def test_link_lookup_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            build_triangle().link("zz~yy")
+
+
+class TestConnectivity:
+    def test_triangle_connected(self):
+        assert build_triangle().is_connected()
+
+    def test_disconnected(self):
+        topo = Topology()
+        topo.add_node(Node("a"))
+        topo.add_node(Node("b"))
+        assert not topo.is_connected()
+
+    def test_empty_topology_connected(self):
+        assert Topology().is_connected()
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self):
+        topo = build_triangle()
+        duplicate = topo.copy()
+        duplicate.remove_link("a", "b")
+        assert topo.link_between("a", "b") is not None
+
+    def test_copy_equal(self):
+        topo = build_triangle()
+        assert topo.copy() == topo
+
+    def test_without_drained_removes_node_and_links(self):
+        topo = build_triangle()
+        topo.replace_node(Node("a", drained=True))
+        serving = topo.without_drained()
+        assert not serving.has_node("a")
+        assert serving.num_links == 1  # only b~c remains
+
+    def test_without_drained_removes_drained_link(self):
+        topo = build_triangle()
+        topo.replace_link(Link("a", "b", drained=True))
+        serving = topo.without_drained()
+        assert serving.link_between("a", "b") is None
+        assert serving.num_links == 2
+
+    def test_to_networkx(self):
+        graph = build_triangle().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 3
+        assert graph["a"]["b"]["capacity"] == 10.0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(build_triangle())
+
+    def test_eq_other_type(self):
+        assert build_triangle() != 42

@@ -1,0 +1,114 @@
+"""Unit tests for the topology dynamic checker."""
+
+import pytest
+
+from repro.control.topo_service import TopologyService
+from repro.core.pipeline import Hodor
+from repro.core.topology_check import TopologyChecker
+from repro.faults.aggregation_faults import LivenessMisreport, PartialTopologyStitch
+from repro.net.topology import Link, Node, Topology
+
+
+@pytest.fixture
+def hardened(abilene_topo, clean_snapshot):
+    return Hodor(abilene_topo).harden(clean_snapshot)
+
+
+class TestCleanTopology:
+    def test_correct_view_passes(self, abilene_topo, clean_snapshot, hardened):
+        view = TopologyService(abilene_topo).build(clean_snapshot)
+        result = TopologyChecker().check(view, hardened)
+        assert result.passed
+        assert result.num_evaluated == abilene_topo.num_links
+
+    def test_one_invariant_per_link(self, abilene_topo, clean_snapshot, hardened):
+        view = TopologyService(abilene_topo).build(clean_snapshot)
+        result = TopologyChecker().check(view, hardened)
+        names = {r.invariant.name for r in result.results}
+        assert f"topology/live-iff-up/atla~hstn" in names
+
+
+class TestMissingLinks:
+    def test_partial_stitch_detected(self, abilene_topo, clean_snapshot, hardened):
+        service = TopologyService(abilene_topo, [PartialTopologyStitch({"kscy"})])
+        view = service.build(clean_snapshot)
+        result = TopologyChecker().check(view, hardened)
+        violated = {v.invariant.name for v in result.violations}
+        assert "topology/live-iff-up/ipls~kscy" in violated
+        assert len(result.violations) == 3  # kscy has 3 links
+
+    def test_liveness_down_detected(self, abilene_topo, clean_snapshot, hardened):
+        service = TopologyService(
+            abilene_topo, [LivenessMisreport({"atla~hstn"}, report_up=False)]
+        )
+        view = service.build(clean_snapshot)
+        result = TopologyChecker().check(view, hardened)
+        assert {v.invariant.name for v in result.violations} == {
+            "topology/live-iff-up/atla~hstn"
+        }
+
+
+class TestPhantomLinks:
+    def test_link_unknown_to_hardening_flagged(self, hardened, abilene_topo):
+        phantom = abilene_topo.copy()
+        phantom.add_link(Link("atla", "chin", capacity=10.0))  # does not exist
+        result = TopologyChecker().check(phantom, hardened)
+        violated = {v.invariant.name for v in result.violations}
+        assert "topology/unknown-link/atla~chin" in violated
+
+    def test_dead_link_believed_live(self, abilene_topo, abilene_demand):
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry.collector import TelemetryCollector
+        from repro.telemetry.counters import Jitter
+        from repro.telemetry.probes import LinkHealth, ProbeEngine
+
+        health = {"atla~hstn": LinkHealth(up=False)}
+        blackholes = [("atla", "hstn"), ("hstn", "atla")]
+        truth = NetworkSimulator(abilene_topo, abilene_demand, blackholes=blackholes).run()
+        snapshot = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0)).collect(
+            truth, health=health
+        )
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        # A stale/buggy service view that still includes the dead link:
+        believed = abilene_topo.copy()
+        result = TopologyChecker().check(believed, hardened)
+        violated = {v.invariant.name for v in result.violations}
+        assert "topology/live-iff-up/atla~hstn" in violated
+
+
+class TestSemanticForwarding:
+    def test_blackholed_link_in_view_flagged(self, abilene_topo, abilene_demand):
+        from repro.net.simulation import NetworkSimulator
+        from repro.telemetry.collector import TelemetryCollector
+        from repro.telemetry.counters import Jitter
+        from repro.telemetry.probes import LinkHealth, ProbeEngine
+
+        health = {"atla~hstn": LinkHealth(up=True, forwarding=False)}
+        blackholes = [("atla", "hstn"), ("hstn", "atla")]
+        truth = NetworkSimulator(abilene_topo, abilene_demand, blackholes=blackholes).run()
+        snapshot = TelemetryCollector(Jitter(0.0), probe_engine=ProbeEngine(seed=0)).collect(
+            truth, health=health
+        )
+        hardened = Hodor(abilene_topo).harden(snapshot)
+        result = TopologyChecker().check(abilene_topo.copy(), hardened)
+        violated = {v.invariant.name for v in result.violations}
+        assert "topology/forwarding/atla~hstn" in violated
+
+
+class TestSuspectHandling:
+    def test_suspect_links_skipped_with_note(self, abilene_topo, clean_snapshot):
+        from repro.core.config import HodorConfig
+
+        snapshot = clean_snapshot.copy()
+        # Create a pure status conflict with no counters or probes to
+        # arbitrate -> suspect verdict.
+        snapshot.link_status[("atla", "hstn")].oper_up = False
+        del snapshot.counters[("atla", "hstn")]
+        del snapshot.counters[("hstn", "atla")]
+        snapshot.probes.pop(("atla", "hstn"), None)
+        snapshot.probes.pop(("hstn", "atla"), None)
+        hardened = Hodor(abilene_topo, HodorConfig(enable_repair=False)).harden(snapshot)
+        view = abilene_topo.copy()
+        result = TopologyChecker().check(view, hardened)
+        assert any("suspect" in note for note in result.notes)
+        assert result.num_skipped >= 1
