@@ -59,3 +59,47 @@ def test_scaling_sweep(benchmark, write_result):
     )
     write_result("E9_scale", table)
     benchmark.extra_info["validate_ms_at_80"] = rows[-1].validate_ms
+
+
+def test_engine_vs_serial_sweep(benchmark, write_result):
+    """The always-on engine against the stateless per-epoch pipeline.
+
+    The serial column builds a fresh ``Hodor`` per epoch (every epoch
+    pays topology setup); the engine columns replay the same stream
+    through one long-lived ``ValidationEngine``, which memoizes the
+    topology-derived structures and takes a cache hit on every epoch
+    after the first.
+    """
+    study = ScaleStudy(seed=0)
+    epochs = 5
+    rows = benchmark.pedantic(
+        lambda: study.run_engine(
+            sizes=(10, 20, 40, 80), epochs=epochs, shard_counts=(1, 4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        ["nodes", "links", "epochs", "serial (ms)"]
+        + [f"engine s={shards} (ms)" for shards, _ in rows[0].engine_ms]
+        + ["cache hits"],
+        [
+            [row.nodes, row.links, row.epochs, f"{row.serial_ms:.1f}"]
+            + [f"{ms:.1f}" for _, ms in row.engine_ms]
+            + [row.cache_hits]
+            for row in rows
+        ],
+    )
+    write_result("E9_engine", table)
+
+    at_80 = rows[-1]
+    engine_ms = dict(at_80.engine_ms)
+    # Acceptance bars: the engine amortizes topology setup, so at 80
+    # nodes shards=4 must beat the per-epoch serial pipeline, and an
+    # unchanged topology must hit the cache on every epoch but the
+    # first.
+    assert engine_ms[4] < at_80.serial_ms
+    assert at_80.cache_hits >= epochs - 1
+    benchmark.extra_info["serial_ms_at_80"] = at_80.serial_ms
+    benchmark.extra_info["engine4_ms_at_80"] = engine_ms[4]

@@ -9,6 +9,7 @@ Exposes the library's studies and demos without writing any Python:
 - ``hardening``   the hardening-efficacy ablation,
 - ``drains``      drain validation incl. the reasons extension,
 - ``scale``       validation cost vs network size,
+- ``engine``      replay scenario timelines through the always-on engine,
 - ``scenarios``   list the outage catalog.
 """
 
@@ -156,6 +157,61 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.control.metrics import engine_metrics, render_engine_metrics
+    from repro.engine import EngineStats, ValidationEngine, compare_reports
+    from repro.experiments import format_table
+    from repro.scenarios import all_scenarios, scenario_by_id
+
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    try:
+        scenarios = (
+            [scenario_by_id(args.scenario)] if args.scenario else all_scenarios()
+        )
+    except KeyError:
+        known = ", ".join(s.scenario_id for s in all_scenarios())
+        print(f"unknown scenario {args.scenario!r} (known: {known})", file=sys.stderr)
+        return 2
+    totals = EngineStats(shards=args.shards)
+    rows = []
+    mismatched = 0
+    for scenario in scenarios:
+        world = scenario.build(seed=args.seed)
+        flagged = 0
+        matches = True
+        with ValidationEngine(
+            world.topology, config=world.hodor_config, shards=args.shards
+        ) as engine:
+            for epoch in range(args.epochs):
+                outcome = world.run_epoch(timestamp=float(epoch))
+                report = engine.validate(outcome.snapshot, outcome.inputs)
+                if report.detected_anything():
+                    flagged += 1
+                if compare_reports(outcome.report, report):
+                    matches = False
+            totals.merge(engine.stats)
+        if not matches:
+            mismatched += 1
+        rows.append(
+            [
+                scenario.scenario_id,
+                args.epochs,
+                f"{flagged}/{args.epochs}",
+                "yes" if matches else "NO",
+            ]
+        )
+
+    print(format_table(["id", "epochs", "flagged", "matches serial"], rows))
+    print()
+    print(totals.render())
+    if args.metrics:
+        print()
+        print(render_engine_metrics(engine_metrics(totals)))
+    return 1 if mismatched else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ReportConfig, run_full_report
 
@@ -239,6 +295,22 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--sizes", type=int, nargs="+", default=[10, 20, 40, 80])
     scale.add_argument("--seed", type=int, default=0)
     scale.set_defaults(func=_cmd_scale)
+
+    engine = sub.add_parser(
+        "engine", help="replay scenario timelines through the always-on engine"
+    )
+    engine.add_argument(
+        "--scenario", default="", help="replay one scenario id (default: all)"
+    )
+    engine.add_argument(
+        "--epochs", type=int, default=3, help="epochs per scenario timeline"
+    )
+    engine.add_argument("--shards", type=int, default=2)
+    engine.add_argument("--seed", type=int, default=1)
+    engine.add_argument(
+        "--metrics", action="store_true", help="also print exporter-style metrics"
+    )
+    engine.set_defaults(func=_cmd_engine)
 
     scenarios = sub.add_parser("scenarios", help="list the outage catalog")
     scenarios.add_argument(

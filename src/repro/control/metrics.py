@@ -11,12 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.net.demand import DemandMatrix
 from repro.net.simulation import GroundTruth
 
-__all__ = ["Severity", "HealthReport", "assess_health"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.stats import EngineStats
+
+__all__ = [
+    "Severity",
+    "HealthReport",
+    "assess_health",
+    "engine_metrics",
+    "render_engine_metrics",
+]
 
 
 class Severity(Enum):
@@ -101,3 +110,31 @@ def assess_health(truth: GroundTruth, true_demand: DemandMatrix) -> HealthReport
         congested_links=truth.congested_edges(),
         severity=severity,
     )
+
+
+def engine_metrics(stats: "EngineStats") -> Dict[str, float]:
+    """Flatten engine counters into an exportable metric mapping.
+
+    Takes anything shaped like
+    :class:`~repro.engine.stats.EngineStats` (duck-typed so this
+    module never imports the engine package); keys follow the usual
+    ``<subsystem>_<quantity>`` exporter convention.
+    """
+    metrics = {
+        "engine_epochs": float(stats.epochs),
+        "engine_cache_hits": float(stats.cache_hits),
+        "engine_cache_misses": float(stats.cache_misses),
+        "engine_cache_hit_rate": float(stats.cache_hit_rate),
+        "engine_shards": float(stats.shards),
+        "engine_shard_tasks": float(stats.shard_tasks),
+        "engine_shard_utilisation": float(stats.shard_utilisation()),
+        "engine_mean_epoch_ms": float(stats.mean_epoch_ms()),
+    }
+    for stage in sorted(stats.stage_seconds):
+        metrics[f"engine_stage_seconds_{stage}"] = float(stats.stage_seconds[stage])
+    return metrics
+
+
+def render_engine_metrics(metrics: Dict[str, float]) -> str:
+    """One ``name value`` line per metric, in name order."""
+    return "\n".join(f"{name} {metrics[name]:.6g}" for name in sorted(metrics))

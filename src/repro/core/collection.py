@@ -17,10 +17,11 @@ finding.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import HodorConfig
 from repro.core.drain_reasons import parse_reason
+from repro.core.parallel import SliceParallel, map_slices
 from repro.core.signals import (
     CollectedCounter,
     CollectedState,
@@ -60,10 +61,19 @@ class SignalCollector:
     def __init__(self, config: Optional[HodorConfig] = None) -> None:
         self._config = config or HodorConfig()
 
-    def collect(self, snapshot: NetworkSnapshot) -> CollectedState:
-        """Coerce every signal in the snapshot into typed form."""
+    def collect(
+        self, snapshot: NetworkSnapshot, parallel: SliceParallel = None
+    ) -> CollectedState:
+        """Coerce every signal in the snapshot into typed form.
+
+        Args:
+            snapshot: The raw telemetry snapshot.
+            parallel: Optional slice-parallel executor (see
+                :mod:`repro.core.parallel`); ``None`` runs the serial
+                reference path.
+        """
         state = CollectedState(timestamp=snapshot.timestamp)
-        self._collect_counters(snapshot, state)
+        self._collect_counters(snapshot, state, parallel)
         self._collect_statuses(snapshot, state)
         self._collect_drains(snapshot, state)
         self._collect_drops(snapshot, state)
@@ -72,16 +82,40 @@ class SignalCollector:
 
     # ------------------------------------------------------------------
 
-    def _collect_counters(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
-        for key in sorted(snapshot.counters):
+    def _collect_counters(
+        self,
+        snapshot: NetworkSnapshot,
+        state: CollectedState,
+        parallel: SliceParallel = None,
+    ) -> None:
+        keys = sorted(snapshot.counters)
+        for counters, findings in map_slices(
+            parallel,
+            lambda slice_keys: self.collect_counter_slice(snapshot, slice_keys),
+            keys,
+        ):
+            state.counters.update(counters)
+            state.findings.extend(findings)
+
+    def collect_counter_slice(
+        self, snapshot: NetworkSnapshot, keys: Sequence[Tuple[str, str]]
+    ) -> Tuple[Dict[Tuple[str, str], CollectedCounter], List[Finding]]:
+        """Counter coercion over one contiguous slice of counter keys.
+
+        The slice worker behind :meth:`collect`; the serial path calls
+        it once with every (sorted) key, the engine once per shard.
+        """
+        counters: Dict[Tuple[str, str], CollectedCounter] = {}
+        findings: List[Finding] = []
+        for key in keys:
             reading = snapshot.counters[key]
             subject = f"{key[0]}->{key[1]}"
 
             if snapshot.timestamp - reading.timestamp > self._config.max_staleness_s:
-                state.counters[key] = CollectedCounter(
+                counters[key] = CollectedCounter(
                     rx=None, tx=None, timestamp=reading.timestamp
                 )
-                state.findings.append(
+                findings.append(
                     Finding(
                         code="STALE_READING",
                         severity=FindingSeverity.WARNING,
@@ -94,17 +128,18 @@ class SignalCollector:
                 )
                 continue
 
-            rx = self._coerce_counter(reading.rx_rate, subject, "rx", state)
-            tx = self._coerce_counter(reading.tx_rate, subject, "tx", state)
-            state.counters[key] = CollectedCounter(rx=rx, tx=tx, timestamp=reading.timestamp)
+            rx = self._coerce_counter(reading.rx_rate, subject, "rx", findings)
+            tx = self._coerce_counter(reading.tx_rate, subject, "tx", findings)
+            counters[key] = CollectedCounter(rx=rx, tx=tx, timestamp=reading.timestamp)
+        return counters, findings
 
     def _coerce_counter(
-        self, raw: object, subject: str, side: str, state: CollectedState
+        self, raw: object, subject: str, side: str, findings: List[Finding]
     ) -> Optional[float]:
         try:
             return coerce_rate(raw)  # type: ignore[arg-type]
         except MalformedValueError as exc:
-            state.findings.append(
+            findings.append(
                 Finding(
                     code="MALFORMED_COUNTER",
                     severity=FindingSeverity.WARNING,

@@ -28,32 +28,60 @@ demand enters before any drop.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.config import HodorConfig
-from repro.core.invariants import CheckResult, Invariant
+from repro.core.invariants import CheckResult, Invariant, InvariantResult
+from repro.core.parallel import SliceParallel, map_slices
 from repro.core.signals import HardenedState
 from repro.net.demand import DemandMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cache import TopologyCache
 
 __all__ = ["DemandChecker"]
 
 
 class DemandChecker:
-    """Validates a demand matrix against hardened external counters."""
+    """Validates a demand matrix against hardened external counters.
 
-    def __init__(self, config: Optional[HodorConfig] = None) -> None:
+    Args:
+        config: Pipeline configuration (tau_e and floors are used here).
+        cache: Optional prebuilt topology cache; when the hardened state
+            covers exactly the cached routers (the pipeline case), the
+            checker reuses the cache's sorted router order instead of
+            re-sorting per call.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HodorConfig] = None,
+        cache: Optional["TopologyCache"] = None,
+    ) -> None:
         self._config = config or HodorConfig()
+        self._cache = cache
 
-    def check(self, demand: DemandMatrix, hardened: HardenedState) -> CheckResult:
+    def check(
+        self,
+        demand: DemandMatrix,
+        hardened: HardenedState,
+        parallel: SliceParallel = None,
+    ) -> CheckResult:
         """Evaluate the 2v demand invariants.
 
         Routers present in the hardened state but absent from the
         demand matrix produce violated invariants only if they carry
         external traffic (a router missing from D while hosts push
         traffic through it *is* a missing-demand bug).
+
+        Args:
+            demand: The demand matrix under validation.
+            hardened: Step-2 output for this epoch.
+            parallel: Optional slice-parallel executor (see
+                :mod:`repro.core.parallel`); ``None`` runs the serial
+                reference path.
         """
         result = CheckResult(input_name="demand")
-        tau_e = self._config.tau_e
         floor = max(self._config.rate_floor, self._config.active_threshold)
 
         total_dropped = self._total_dropped(hardened)
@@ -63,19 +91,57 @@ class DemandChecker:
                 "loss; egress invariants widened by that absolute allowance"
             )
 
-        demand_nodes = set(demand.nodes)
-        hardened_nodes = sorted(set(hardened.ext_in) | set(hardened.ext_out))
+        hardened_nodes = self._hardened_nodes(hardened)
+        for invariants, notes in map_slices(
+            parallel,
+            lambda nodes: self.check_node_slice(demand, hardened, nodes, total_dropped),
+            hardened_nodes,
+        ):
+            result.results.extend(invariants)
+            result.notes.extend(notes)
 
-        for node in hardened_nodes:
+        skipped = result.num_skipped
+        if skipped:
+            result.notes.append(
+                f"{skipped} invariants skipped: hardened external counters unknown"
+            )
+        return result
+
+    def _hardened_nodes(self, hardened: HardenedState) -> Sequence[str]:
+        """Sorted routers under check, reusing the cache's order when valid."""
+        nodes = set(hardened.ext_in) | set(hardened.ext_out)
+        if self._cache is not None and nodes == set(self._cache.nodes):
+            return self._cache.sorted_nodes
+        return sorted(nodes)
+
+    def check_node_slice(
+        self,
+        demand: DemandMatrix,
+        hardened: HardenedState,
+        nodes: Sequence[str],
+        total_dropped: float,
+    ) -> Tuple[List[InvariantResult], List[str]]:
+        """Row/col-sum invariants for one contiguous slice of routers.
+
+        The slice worker behind :meth:`check`; the serial path calls it
+        once with every router, the engine once per shard.
+        """
+        tau_e = self._config.tau_e
+        floor = max(self._config.rate_floor, self._config.active_threshold)
+        demand_nodes = set(demand.nodes)
+        invariants: List[InvariantResult] = []
+        notes: List[str] = []
+
+        for node in nodes:
             row_sum = demand.row_sum(node) if node in demand_nodes else 0.0
             column_sum = demand.column_sum(node) if node in demand_nodes else 0.0
             if node not in demand_nodes:
-                result.notes.append(
+                notes.append(
                     f"{node} missing from demand matrix; treating its demand as zero"
                 )
 
             ext_in = hardened.ext_in.get(node)
-            result.results.append(
+            invariants.append(
                 Invariant(
                     name=f"demand/row-sum/{node}",
                     description=(
@@ -97,7 +163,7 @@ class DemandChecker:
                 column_sum, ext_out.value if ext_out and ext_out.known else 0.0, floor
             )
             egress_tau = min(0.95, tau_e + total_dropped / magnitude)
-            result.results.append(
+            invariants.append(
                 Invariant(
                     name=f"demand/col-sum/{node}",
                     description=(
@@ -109,13 +175,7 @@ class DemandChecker:
                     tolerance=egress_tau,
                 ).evaluate(floor)
             )
-
-        skipped = result.num_skipped
-        if skipped:
-            result.notes.append(
-                f"{skipped} invariants skipped: hardened external counters unknown"
-            )
-        return result
+        return invariants, notes
 
 
     @staticmethod

@@ -21,13 +21,16 @@ invariant over hardened link-drain verdicts.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.control.inputs import DrainView
 from repro.core.config import HodorConfig
 from repro.core.drain_reasons import reason_requires_faulty_link
 from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
 from repro.core.signals import DrainVerdict, HardenedState, LinkVerdict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cache import TopologyCache
 
 __all__ = ["DrainChecker"]
 
@@ -47,21 +50,58 @@ def _condition(name: str, description: str, holds: Optional[bool]) -> InvariantR
 
 
 class DrainChecker:
-    """Validates the controller's drain input against hardened signals."""
+    """Validates the controller's drain input against hardened signals.
 
-    def __init__(self, config: Optional[HodorConfig] = None) -> None:
+    Args:
+        config: Pipeline configuration.
+        cache: Optional prebuilt topology cache; when the hardened link
+            set matches the cached topology (the pipeline case), the
+            per-router link lookups reuse the cache's incidence map
+            instead of re-splitting every link name per router.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HodorConfig] = None,
+        cache: Optional["TopologyCache"] = None,
+    ) -> None:
         self._config = config or HodorConfig()
+        self._cache = cache
 
     def check(self, drains: DrainView, hardened: HardenedState) -> CheckResult:
         result = CheckResult(input_name="drain")
-        self._check_nodes(drains, hardened, result)
+        node_links = self._node_link_index(hardened)
+        self._check_nodes(drains, hardened, node_links, result)
         self._check_links(drains, hardened, result)
         return result
 
     # ------------------------------------------------------------------
 
+    def _node_link_index(
+        self, hardened: HardenedState
+    ) -> Mapping[str, Sequence[str]]:
+        """Router -> hardened link names touching it.
+
+        Reuses the topology cache's incidence map when the hardened
+        link set is exactly the cached topology's; otherwise builds the
+        index once from the hardened links (still one pass, not one
+        pass per router).
+        """
+        cache = self._cache
+        if cache is not None and set(hardened.links) == set(cache.sorted_link_names):
+            return cache.node_links
+        index: Dict[str, List[str]] = {}
+        for link_name in hardened.links:
+            for endpoint in link_name.split("~"):
+                index.setdefault(endpoint, []).append(link_name)
+        return index
+
     def _check_nodes(
-        self, drains: DrainView, hardened: HardenedState, result: CheckResult
+        self,
+        drains: DrainView,
+        hardened: HardenedState,
+        node_links: Mapping[str, Sequence[str]],
+        result: CheckResult,
     ) -> None:
         for node in sorted(hardened.node_drains):
             reported = hardened.node_drains[node]
@@ -92,7 +132,9 @@ class DrainChecker:
 
             # Case 1: input says serving, but the router's links cannot
             # actually carry traffic.
-            if not believed_drained and not self._node_can_carry(node, hardened):
+            if not believed_drained and not self._node_can_carry(
+                node, hardened, node_links
+            ):
                 result.results.append(
                     _condition(
                         f"drain/node-capable/{node}",
@@ -124,31 +166,30 @@ class DrainChecker:
                         f"drain/reason-supported/{node}",
                         f"{node}: drain claims a faulty link; hardened evidence "
                         "must show a non-usable link at this router",
-                        holds=self._has_faulty_link(node, hardened),
+                        holds=self._has_faulty_link(node, hardened, node_links),
                     )
                 )
 
-    def _has_faulty_link(self, node: str, hardened: HardenedState) -> bool:
+    @staticmethod
+    def _has_faulty_link(
+        node: str, hardened: HardenedState, node_links: Mapping[str, Sequence[str]]
+    ) -> bool:
         """Does hardened evidence show a bad link at this router?"""
-        for link_name, status in hardened.links.items():
-            if node in link_name.split("~") and not status.usable:
-                return True
-        return False
+        return any(
+            not hardened.links[name].usable for name in node_links.get(node, ())
+        )
 
-    def _node_can_carry(self, node: str, hardened: HardenedState) -> bool:
+    @staticmethod
+    def _node_can_carry(
+        node: str, hardened: HardenedState, node_links: Mapping[str, Sequence[str]]
+    ) -> bool:
         """Any usable hardened link touching this router?"""
-        usable = False
-        touched = False
-        for link_name, status in hardened.links.items():
-            endpoints = link_name.split("~")
-            if node not in endpoints:
-                continue
-            touched = True
-            if status.usable:
-                usable = True
+        names = node_links.get(node, ())
         # A router hardening knows nothing about gets the benefit of
         # the doubt.
-        return usable or not touched
+        if not names:
+            return True
+        return any(hardened.links[name].usable for name in names)
 
     # ------------------------------------------------------------------
 

@@ -24,7 +24,16 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["VarKey", "edge_var", "ext_in_var", "ext_out_var", "drop_var", "RepairResult", "solve_flow_conservation"]
+__all__ = [
+    "VarKey",
+    "edge_var",
+    "ext_in_var",
+    "ext_out_var",
+    "drop_var",
+    "RepairResult",
+    "ConservationSystem",
+    "solve_flow_conservation",
+]
 
 #: Variable identifiers in the conservation system.
 VarKey = Tuple[str, ...]
@@ -79,6 +88,118 @@ class RepairResult:
         return self.residual <= tolerance
 
 
+#: Which value mapping each conservation variable reads from.
+_FIELD_EDGE, _FIELD_EXT_IN, _FIELD_EXT_OUT, _FIELD_DROP = range(4)
+
+
+@dataclass(frozen=True)
+class ConservationSystem:
+    """The topology-derived structure of the conservation system.
+
+    Everything about ``A x = b`` that does not depend on this epoch's
+    measured values: which variable touches which node equation with
+    which coefficient.  Building it costs one pass over the topology;
+    :meth:`solve` then only has to fold in per-epoch values, so an
+    always-on caller (see :mod:`repro.engine.cache`) can reuse one
+    system across every epoch on an unchanged topology.
+
+    Attributes:
+        nodes: Every router, one conservation equation each.
+        edges: Every directed edge.
+        entries: Per variable (in canonical order): its key, which
+            mapping supplies its value (``_FIELD_*``), the lookup key
+            into that mapping, and the ``(row, coefficient)`` pairs it
+            contributes to.
+    """
+
+    nodes: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    entries: Tuple[Tuple[VarKey, int, Hashable, Tuple[Tuple[int, float], ...]], ...]
+
+    @classmethod
+    def build(
+        cls, nodes: Sequence[str], edges: Sequence[Tuple[str, str]]
+    ) -> "ConservationSystem":
+        """Derive the system structure for one topology.
+
+        One equation per router, written as
+        ``sum(in) + ext_in - sum(out) - ext_out - drop = 0``.
+        """
+        node_index = {node: i for i, node in enumerate(nodes)}
+        entries: List[Tuple[VarKey, int, Hashable, Tuple[Tuple[int, float], ...]]] = []
+        for src, dst in edges:
+            rows: List[Tuple[int, float]] = []
+            if dst in node_index:
+                rows.append((node_index[dst], 1.0))
+            if src in node_index:
+                rows.append((node_index[src], -1.0))
+            entries.append((edge_var(src, dst), _FIELD_EDGE, (src, dst), tuple(rows)))
+        for node in nodes:
+            row = node_index[node]
+            entries.append((ext_in_var(node), _FIELD_EXT_IN, node, ((row, 1.0),)))
+            entries.append((ext_out_var(node), _FIELD_EXT_OUT, node, ((row, -1.0),)))
+            entries.append((drop_var(node), _FIELD_DROP, node, ((row, -1.0),)))
+        return cls(nodes=tuple(nodes), edges=tuple(tuple(e) for e in edges), entries=tuple(entries))
+
+    def solve(
+        self,
+        edge_values: Mapping[Tuple[str, str], Optional[float]],
+        ext_in: Mapping[str, Optional[float]],
+        ext_out: Mapping[str, Optional[float]],
+        drops: Mapping[str, Optional[float]],
+    ) -> RepairResult:
+        """Solve for all ``None`` values given this epoch's knowns."""
+        mappings = (edge_values, ext_in, ext_out, drops)
+        unknown_index: Dict[VarKey, int] = {}
+        for key, field_id, lookup, _rows in self.entries:
+            if mappings[field_id].get(lookup) is None:
+                unknown_index[key] = len(unknown_index)
+
+        num_equations = len(self.nodes)
+        num_unknowns = len(unknown_index)
+        matrix = np.zeros((num_equations, num_unknowns))
+        rhs = np.zeros(num_equations)
+
+        for key, field_id, lookup, rows in self.entries:
+            value = mappings[field_id].get(lookup)
+            if value is None:
+                j = unknown_index[key]
+                for row, coefficient in rows:
+                    matrix[row, j] += coefficient
+            else:
+                for row, coefficient in rows:
+                    rhs[row] -= coefficient * value
+
+        scale = max(1.0, _system_scale(edge_values, ext_in, ext_out))
+        if num_unknowns == 0:
+            residual = float(np.linalg.norm(rhs)) / scale
+            return RepairResult(values={}, residual=residual, rank=0, num_unknowns=0)
+
+        solution, _residuals, rank, _singular = np.linalg.lstsq(matrix, rhs, rcond=None)
+        fitted = matrix @ solution
+        residual = float(np.linalg.norm(fitted - rhs)) / scale
+
+        # Null-space analysis: which unknowns are uniquely determined?
+        _u, singular, vt = np.linalg.svd(matrix)
+        tol = max(matrix.shape) * (singular[0] if singular.size else 0.0) * np.finfo(float).eps
+        effective_rank = int((singular > tol).sum()) if singular.size else 0
+        null_vectors = vt[effective_rank:]
+
+        values: Dict[VarKey, Optional[float]] = {}
+        for key, j in unknown_index.items():
+            if null_vectors.size and np.any(np.abs(null_vectors[:, j]) > _NULLSPACE_TOL):
+                values[key] = None  # underdetermined
+                continue
+            value = float(solution[j])
+            if -1e-6 < value < 0:
+                value = 0.0
+            values[key] = value
+
+        return RepairResult(
+            values=values, residual=residual, rank=effective_rank, num_unknowns=num_unknowns
+        )
+
+
 def solve_flow_conservation(
     nodes: Sequence[str],
     edges: Sequence[Tuple[str, str]],
@@ -88,6 +209,11 @@ def solve_flow_conservation(
     drops: Mapping[str, Optional[float]],
 ) -> RepairResult:
     """Solve the conservation system for all ``None`` values.
+
+    One-shot convenience wrapper: builds the
+    :class:`ConservationSystem` for this topology and solves it.
+    Callers with a stable topology should build (or cache) the system
+    once and call :meth:`ConservationSystem.solve` per epoch.
 
     Args:
         nodes: Every router (one equation each).
@@ -104,82 +230,7 @@ def solve_flow_conservation(
         meaningfully negative solutions are preserved so callers can
         flag the inconsistency.
     """
-    node_index = {node: i for i, node in enumerate(nodes)}
-    unknowns: List[VarKey] = []
-
-    def classify(key: VarKey, value: Optional[float]) -> Optional[float]:
-        if value is None:
-            unknowns.append(key)
-        return value
-
-    # Coefficient of each variable in each node equation, written as
-    # LHS = sum(in) + ext_in - sum(out) - ext_out - drop = 0.
-    terms: List[Tuple[VarKey, int, float, Optional[float]]] = []
-    for src, dst in edges:
-        value = classify(edge_var(src, dst), edge_values.get((src, dst)))
-        if dst in node_index:
-            terms.append((edge_var(src, dst), node_index[dst], 1.0, value))
-        if src in node_index:
-            terms.append((edge_var(src, dst), node_index[src], -1.0, value))
-    for node in nodes:
-        row = node_index[node]
-        terms.append((ext_in_var(node), row, 1.0, classify(ext_in_var(node), ext_in.get(node))))
-        terms.append(
-            (ext_out_var(node), row, -1.0, classify(ext_out_var(node), ext_out.get(node)))
-        )
-        terms.append((drop_var(node), row, -1.0, classify(drop_var(node), drops.get(node))))
-
-    # classify() may record the same unknown twice (edges touch two
-    # equations); dedupe preserving order.
-    seen = set()
-    unique_unknowns = []
-    for key in unknowns:
-        if key not in seen:
-            seen.add(key)
-            unique_unknowns.append(key)
-    unknown_index = {key: j for j, key in enumerate(unique_unknowns)}
-
-    num_equations = len(nodes)
-    num_unknowns = len(unique_unknowns)
-    matrix = np.zeros((num_equations, num_unknowns))
-    rhs = np.zeros(num_equations)
-
-    for key, row, coefficient, value in terms:
-        if value is None:
-            matrix[row, unknown_index[key]] += coefficient
-        else:
-            rhs[row] -= coefficient * value
-
-    if num_unknowns == 0:
-        residual = float(np.linalg.norm(rhs)) / max(
-            1.0, _system_scale(edge_values, ext_in, ext_out)
-        )
-        return RepairResult(values={}, residual=residual, rank=0, num_unknowns=0)
-
-    solution, _residuals, rank, _singular = np.linalg.lstsq(matrix, rhs, rcond=None)
-    fitted = matrix @ solution
-    scale = max(1.0, _system_scale(edge_values, ext_in, ext_out))
-    residual = float(np.linalg.norm(fitted - rhs)) / scale
-
-    # Null-space analysis: which unknowns are uniquely determined?
-    _u, singular, vt = np.linalg.svd(matrix)
-    tol = max(matrix.shape) * (singular[0] if singular.size else 0.0) * np.finfo(float).eps
-    effective_rank = int((singular > tol).sum()) if singular.size else 0
-    null_vectors = vt[effective_rank:]
-
-    values: Dict[VarKey, Optional[float]] = {}
-    for key, j in unknown_index.items():
-        if null_vectors.size and np.any(np.abs(null_vectors[:, j]) > _NULLSPACE_TOL):
-            values[key] = None  # underdetermined
-            continue
-        value = float(solution[j])
-        if -1e-6 < value < 0:
-            value = 0.0
-        values[key] = value
-
-    return RepairResult(
-        values=values, residual=residual, rank=effective_rank, num_unknowns=num_unknowns
-    )
+    return ConservationSystem.build(nodes, edges).solve(edge_values, ext_in, ext_out, drops)
 
 
 def _system_scale(

@@ -25,19 +25,12 @@ snapshot:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import HodorConfig
 from repro.core.drain_reasons import reason_allows_traffic
-from repro.core.flow_repair import (
-    RepairResult,
-    drop_var,
-    edge_var,
-    ext_in_var,
-    ext_out_var,
-    solve_flow_conservation,
-)
 from repro.core.link_status import LinkEvidence, combine_link_evidence
+from repro.core.parallel import SliceParallel, map_slices
 from repro.core.signals import (
     CollectedState,
     Confidence,
@@ -50,6 +43,9 @@ from repro.core.signals import (
     LinkVerdict,
 )
 from repro.net.topology import EXTERNAL_PEER, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cache import TopologyCache
 
 __all__ = ["Hardener"]
 
@@ -65,21 +61,50 @@ def _relative_gap(a: float, b: float, floor: float) -> float:
 class Hardener:
     """Hodor's hardening step.
 
+    The topology-derived structures hardening needs every pass (the
+    directed-edge order, per-router incidence lists, the conservation
+    equation blocks) live in a
+    :class:`~repro.engine.cache.TopologyCache` built once per
+    ``Hardener`` -- or shared across validators by passing a memoized
+    cache in, which is how the always-on engine skips all topology
+    setup on repeat epochs.
+
     Args:
         reference: The design-time network model; hardening needs the
             link structure to know which interfaces pair up.
         config: Thresholds and truth-table profile.
+        cache: Prebuilt topology cache for ``reference``; built on the
+            spot when omitted.
     """
 
-    def __init__(self, reference: Topology, config: Optional[HodorConfig] = None) -> None:
+    def __init__(
+        self,
+        reference: Topology,
+        config: Optional[HodorConfig] = None,
+        cache: Optional["TopologyCache"] = None,
+    ) -> None:
         self._reference = reference
         self._config = config or HodorConfig()
+        if cache is None:
+            from repro.engine.cache import TopologyCache
 
-    def harden(self, collected: CollectedState) -> HardenedState:
-        """Produce the trusted low-level view of the network."""
+            cache = TopologyCache.from_topology(reference)
+        self._cache = cache
+
+    def harden(
+        self, collected: CollectedState, parallel: SliceParallel = None
+    ) -> HardenedState:
+        """Produce the trusted low-level view of the network.
+
+        Args:
+            collected: Step-1 output for this epoch.
+            parallel: Optional slice-parallel executor (see
+                :mod:`repro.core.parallel`); ``None`` runs the serial
+                reference path.
+        """
         state = HardenedState()
         state.findings.extend(collected.findings)
-        self._harden_flows(collected, state)
+        self._harden_flows(collected, state, parallel)
         self._repair_flows(collected, state)
         self._harden_link_status(collected, state)
         self._harden_drains(collected, state)
@@ -90,28 +115,73 @@ class Hardener:
     # Step 2a: R1 detection over counters
     # ------------------------------------------------------------------
 
-    def _harden_flows(self, collected: CollectedState, state: HardenedState) -> None:
-        for src, dst in self._reference.directed_edges():
+    def _harden_flows(
+        self,
+        collected: CollectedState,
+        state: HardenedState,
+        parallel: SliceParallel = None,
+    ) -> None:
+        for flows, findings in map_slices(
+            parallel,
+            lambda edges: self.harden_flow_slice(collected, edges),
+            self._cache.directed_edges,
+        ):
+            state.edge_flows.update(flows)
+            state.findings.extend(findings)
+
+        for ext_in, ext_out, drops, findings in map_slices(
+            parallel,
+            lambda nodes: self.harden_external_slice(collected, nodes),
+            self._cache.nodes,
+        ):
+            state.ext_in.update(ext_in)
+            state.ext_out.update(ext_out)
+            state.drops.update(drops)
+            state.findings.extend(findings)
+
+    def harden_flow_slice(
+        self, collected: CollectedState, edges: Sequence[Tuple[str, str]]
+    ) -> Tuple[Dict[Tuple[str, str], HardenedValue], List[Finding]]:
+        """R1 symmetry over one contiguous slice of directed edges.
+
+        The slice worker behind :meth:`harden`; the serial path calls
+        it once with every edge, the engine once per shard.
+        """
+        findings: List[Finding] = []
+        flows: Dict[Tuple[str, str], HardenedValue] = {}
+        for src, dst in edges:
             tx_side = collected.counter(src, dst)
             rx_side = collected.counter(dst, src)
             tx = tx_side.tx if tx_side else None
             rx = rx_side.rx if rx_side else None
-            state.edge_flows[(src, dst)] = self._symmetry_check(
-                src, dst, tx, rx, state.findings
-            )
+            flows[(src, dst)] = self._symmetry_check(src, dst, tx, rx, findings)
+        return flows, findings
 
-        for node in self._reference.node_names():
+    def harden_external_slice(
+        self, collected: CollectedState, nodes: Sequence[str]
+    ) -> Tuple[
+        Dict[str, HardenedValue],
+        Dict[str, HardenedValue],
+        Dict[str, HardenedValue],
+        List[Finding],
+    ]:
+        """External counters and drops for one slice of routers."""
+        findings: List[Finding] = []
+        ext_in: Dict[str, HardenedValue] = {}
+        ext_out: Dict[str, HardenedValue] = {}
+        drops: Dict[str, HardenedValue] = {}
+        for node in nodes:
             external = collected.counter(node, EXTERNAL_PEER)
-            state.ext_in[node] = self._single_source(
+            ext_in[node] = self._single_source(
                 external.rx if external else None, f"{node}:ext rx"
             )
-            state.ext_out[node] = self._single_source(
+            ext_out[node] = self._single_source(
                 external.tx if external else None, f"{node}:ext tx"
             )
             drop = collected.drops.get(node)
-            state.drops[node] = self._single_source(drop, f"{node} drops")
+            drops[node] = self._single_source(drop, f"{node} drops")
             if external is None:
-                state.findings.append(
+                findings.append(
                     Finding(
                         code="MISSING_EXTERNAL_COUNTERS",
                         severity=FindingSeverity.WARNING,
@@ -119,6 +189,7 @@ class Hardener:
                         detail="no external interface reading; left unknown",
                     )
                 )
+        return ext_in, ext_out, drops, findings
 
     def _symmetry_check(
         self,
@@ -181,8 +252,8 @@ class Hardener:
     def _repair_flows(self, collected: CollectedState, state: HardenedState) -> None:
         if not self._config.enable_repair:
             return
-        nodes = self._reference.node_names()
-        edges = list(self._reference.directed_edges())
+        nodes = self._cache.nodes
+        edges = self._cache.directed_edges
         edge_values = {e: state.edge_flows[e].value for e in edges}
         ext_in = {n: state.ext_in[n].value for n in nodes}
         ext_out = {n: state.ext_out[n].value for n in nodes}
@@ -195,7 +266,7 @@ class Hardener:
         ):
             return  # nothing to repair
 
-        result = solve_flow_conservation(nodes, edges, edge_values, ext_in, ext_out, drops)
+        result = self._cache.conservation.solve(edge_values, ext_in, ext_out, drops)
 
         if not result.is_consistent(self._config.repair_residual_tol):
             state.findings.append(
@@ -310,7 +381,7 @@ class Hardener:
     # ------------------------------------------------------------------
 
     def _harden_link_status(self, collected: CollectedState, state: HardenedState) -> None:
-        for link in self._reference.links():
+        for link in self._cache.links:
             a, b = link.a, link.b
             status_ab = collected.statuses.get((a, b))
             status_ba = collected.statuses.get((b, a))
@@ -368,7 +439,7 @@ class Hardener:
     # ------------------------------------------------------------------
 
     def _harden_drains(self, collected: CollectedState, state: HardenedState) -> None:
-        for node in self._reference.node_names():
+        for node in self._cache.nodes:
             reported = collected.drains.get(node)
             reason = collected.drain_reasons.get(node)
             carrying = self._node_carries_traffic(node, state)
@@ -429,7 +500,7 @@ class Hardener:
         )
 
     def _harden_link_drains(self, collected: CollectedState, state: HardenedState) -> None:
-        for link in self._reference.links():
+        for link in self._cache.links:
             bits = [
                 collected.link_drains.get((link.a, link.b)),
                 collected.link_drains.get((link.b, link.a)),
@@ -455,8 +526,9 @@ class Hardener:
     def _node_carries_traffic(self, node: str, state: HardenedState) -> Optional[bool]:
         """Does the hardened flow vector show traffic at this router?"""
         rates = []
-        for (src, dst), hardened in state.edge_flows.items():
-            if node in (src, dst) and hardened.known:
+        for edge in self._cache.node_edges.get(node, ()):
+            hardened = state.edge_flows.get(edge)
+            if hardened is not None and hardened.known:
                 rates.append(hardened.value)
         for mapping in (state.ext_in, state.ext_out):
             hardened = mapping.get(node)

@@ -1,0 +1,42 @@
+"""The slice-parallel protocol the pipeline stages speak.
+
+Per-signal pipeline stages (counter collection, R1 symmetry hardening,
+the per-router demand invariants) are written as *slice workers*: pure
+functions over a contiguous sub-sequence of their items that return
+that slice's values plus the findings it produced.  A stage runs its
+worker either once over the full sequence (the serial reference path)
+or once per shard through an object implementing
+``map_slices(worker, items)`` -- see
+:class:`repro.engine.sharding.ShardMap` -- and merges the per-slice
+results in slice order.  Because the worker code is shared and slices
+are contiguous and ordered, both paths produce identical output,
+including finding order; the differential harness in ``tests/engine``
+enforces exactly that.
+
+Core deliberately depends only on this duck-typed protocol, not on the
+engine package, so the serial pipeline carries no engine imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["SliceParallel", "map_slices"]
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+#: Anything with ``map_slices(worker, items) -> list of per-slice
+#: results in slice order``; ``None`` means run inline.
+SliceParallel = Optional[object]
+
+
+def map_slices(
+    parallel: SliceParallel,
+    worker: Callable[[Sequence[_Item]], _Result],
+    items: Sequence[_Item],
+) -> List[_Result]:
+    """Apply ``worker`` over ``items``, inline or via ``parallel``."""
+    if parallel is None:
+        return [worker(items)]
+    return parallel.map_slices(worker, items)  # type: ignore[attr-defined]

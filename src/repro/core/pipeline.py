@@ -21,7 +21,7 @@ Example:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.control.inputs import ControllerInputs, DrainView
 from repro.core.collection import SignalCollector
@@ -38,6 +38,9 @@ from repro.net.demand import DemandMatrix
 from repro.net.topology import Topology
 from repro.telemetry.snapshot import NetworkSnapshot
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cache import TopologyCache
+
 __all__ = ["Hodor"]
 
 
@@ -50,6 +53,10 @@ class Hodor:
         config: Thresholds and options; defaults follow the paper.
         policy: Optional response policy applied by
             :meth:`validate_and_decide`.
+        cache: Prebuilt :class:`~repro.engine.cache.TopologyCache` for
+            ``reference``; built on the spot when omitted.  The
+            always-on engine passes memoized caches in so repeat epochs
+            on an unchanged topology skip all topology setup.
     """
 
     def __init__(
@@ -57,15 +64,21 @@ class Hodor:
         reference: Topology,
         config: Optional[HodorConfig] = None,
         policy: Optional[Policy] = None,
+        cache: Optional["TopologyCache"] = None,
     ) -> None:
         self._reference = reference
         self._config = config or HodorConfig()
         self._policy = policy
+        if cache is None:
+            from repro.engine.cache import TopologyCache
+
+            cache = TopologyCache.from_topology(reference)
+        self._cache = cache
         self._collector = SignalCollector(self._config)
-        self._hardener = Hardener(reference, self._config)
-        self._demand_checker = DemandChecker(self._config)
+        self._hardener = Hardener(reference, self._config, cache=cache)
+        self._demand_checker = DemandChecker(self._config, cache=cache)
         self._topology_checker = TopologyChecker(self._config)
-        self._drain_checker = DrainChecker(self._config)
+        self._drain_checker = DrainChecker(self._config, cache=cache)
         self._last_good: Optional[ControllerInputs] = None
 
     @property

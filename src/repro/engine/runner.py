@@ -1,0 +1,204 @@
+"""The always-on validation engine.
+
+:class:`ValidationEngine` is the long-lived counterpart to
+constructing a fresh :class:`~repro.core.pipeline.Hodor` per epoch.
+It keeps three things alive across validation passes:
+
+1. A :class:`~repro.engine.cache.TopologyCacheStore`, so every epoch
+   on an unchanged topology reuses the memoized topology-derived
+   structures (directed-edge order, incidence maps, conservation
+   equation blocks) instead of rebuilding them.
+2. A :class:`~repro.engine.sharding.ShardMap`, which slices the
+   per-signal pipeline stages (counter collection, R1 symmetry, the
+   per-router demand invariants) across a thread pool.  Slices are
+   contiguous and merged in order, so the engine's reports are
+   *identical* to the serial path's -- the differential harness in
+   ``tests/engine`` asserts this verdict for verdict.
+3. :class:`~repro.engine.stats.EngineStats` counters: epochs, cache
+   hits/misses, per-stage wall time, shard utilisation.
+
+Example:
+    >>> from repro.engine import ValidationEngine
+    >>> engine = ValidationEngine(topology, shards=4)
+    >>> for epoch in timeline:
+    ...     report = engine.validate(epoch.snapshot, epoch.inputs)
+    >>> engine.stats.cache_hits   # doctest: +SKIP
+    len(timeline) - 1
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.control.inputs import ControllerInputs
+from repro.core.collection import SignalCollector
+from repro.core.config import HodorConfig
+from repro.core.demand_check import DemandChecker
+from repro.core.drain_check import DrainChecker
+from repro.core.hardening import Hardener
+from repro.core.pipeline import Hodor
+from repro.core.report import ValidationReport
+from repro.core.topology_check import TopologyChecker
+from repro.engine.cache import TopologyCache, TopologyCacheStore
+from repro.engine.sharding import ShardMap
+from repro.engine.stats import EngineStats
+from repro.net.topology import Topology
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["EpochInput", "ValidationEngine"]
+
+
+@dataclass
+class EpochInput:
+    """One epoch of work for :meth:`ValidationEngine.replay`.
+
+    Attributes:
+        snapshot: The telemetry snapshot for this epoch.
+        inputs: The controller inputs produced for this epoch.
+        topology: Optional reference-topology override; ``None`` means
+            the engine's configured reference.  Passing the changed
+            topology here is how a live deployment rolls a topology
+            update through the engine (the cache store handles
+            invalidation transparently).
+    """
+
+    snapshot: NetworkSnapshot
+    inputs: ControllerInputs
+    topology: Optional[Topology] = None
+
+
+class _Components:
+    """The per-topology pipeline components, built once per cache."""
+
+    __slots__ = ("collector", "hardener", "demand", "topology", "drain")
+
+    def __init__(
+        self, reference: Topology, config: HodorConfig, cache: TopologyCache
+    ) -> None:
+        self.collector = SignalCollector(config)
+        self.hardener = Hardener(reference, config, cache=cache)
+        self.demand = DemandChecker(config, cache=cache)
+        self.topology = TopologyChecker(config)
+        self.drain = DrainChecker(config, cache=cache)
+
+
+class ValidationEngine:
+    """Streaming multi-epoch validation with sharding and caching.
+
+    Args:
+        reference: The design-time network model epochs default to.
+        config: Thresholds and options; defaults follow the paper.
+        shards: Contiguous slices per sharded pipeline stage; ``1``
+            runs every stage inline (serial-equivalent, zero pool
+            overhead).
+        cache_store: Optional shared topology-cache store; one is
+            created when omitted.  Sharing a store across engines
+            shares the memoized topology structures.
+    """
+
+    def __init__(
+        self,
+        reference: Topology,
+        config: Optional[HodorConfig] = None,
+        shards: int = 1,
+        cache_store: Optional[TopologyCacheStore] = None,
+    ) -> None:
+        self._reference = reference
+        self._config = config or HodorConfig()
+        self._store = cache_store or TopologyCacheStore()
+        self._shard_map = ShardMap(shards=shards)
+        self.stats = EngineStats(shards=shards)
+        self._components: "OrderedDict[str, _Components]" = OrderedDict()
+        self._max_component_sets = 32
+
+    @property
+    def config(self) -> HodorConfig:
+        return self._config
+
+    @property
+    def cache_store(self) -> TopologyCacheStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+
+    def _components_for(
+        self, reference: Topology
+    ) -> Tuple[TopologyCache, _Components]:
+        """Cache lookup plus per-fingerprint component reuse."""
+        hits_before = self._store.hits
+        cache = self._store.get(reference)
+        if self._store.hits > hits_before:
+            self.stats.cache_hits += 1
+        else:
+            self.stats.cache_misses += 1
+
+        components = self._components.get(cache.fingerprint)
+        if components is None:
+            components = _Components(reference, self._config, cache)
+            self._components[cache.fingerprint] = components
+            while len(self._components) > self._max_component_sets:
+                self._components.popitem(last=False)
+        else:
+            self._components.move_to_end(cache.fingerprint)
+        return cache, components
+
+    def validate(
+        self,
+        snapshot: NetworkSnapshot,
+        inputs: ControllerInputs,
+        topology: Optional[Topology] = None,
+    ) -> ValidationReport:
+        """Validate one epoch; identical output to ``Hodor.validate``.
+
+        Args:
+            snapshot: The telemetry snapshot for this epoch.
+            inputs: The controller inputs under validation.
+            topology: Optional reference override for this epoch.
+        """
+        reference = topology if topology is not None else self._reference
+        total_start = time.perf_counter()
+        _, components = self._components_for(reference)
+
+        stage_start = time.perf_counter()
+        collected = components.collector.collect(snapshot, parallel=self._shard_map)
+        self.stats.record_stage("collect", time.perf_counter() - stage_start)
+
+        stage_start = time.perf_counter()
+        hardened = components.hardener.harden(collected, parallel=self._shard_map)
+        self.stats.record_stage("harden", time.perf_counter() - stage_start)
+
+        stage_start = time.perf_counter()
+        report = ValidationReport(timestamp=snapshot.timestamp, hardened=hardened)
+        Hodor._record(
+            report,
+            components.demand.check(inputs.demand, hardened, parallel=self._shard_map),
+        )
+        Hodor._record(report, components.topology.check(inputs.topology, hardened))
+        Hodor._record(report, components.drain.check(inputs.drains, hardened))
+        self.stats.record_stage("check", time.perf_counter() - stage_start)
+
+        self.stats.epochs += 1
+        self.stats.record_stage("total", time.perf_counter() - total_start)
+        self.stats.shard_tasks = self._shard_map.tasks_dispatched
+        self.stats.shard_busy_seconds = self._shard_map.busy_seconds
+        return report
+
+    def replay(self, epochs: Iterable[EpochInput]) -> List[ValidationReport]:
+        """Validate a whole epoch stream, in order."""
+        return [
+            self.validate(epoch.snapshot, epoch.inputs, topology=epoch.topology)
+            for epoch in epochs
+        ]
+
+    def close(self) -> None:
+        """Release the shard pool (the caches stay valid)."""
+        self._shard_map.close()
+
+    def __enter__(self) -> "ValidationEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

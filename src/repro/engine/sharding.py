@@ -1,0 +1,155 @@
+"""Ordered work sharding over a ``concurrent.futures`` pool.
+
+The engine parallelises the per-signal pipeline stages (counter
+collection, R1 symmetry hardening, the per-router demand invariants)
+by slicing each stage's item sequence into contiguous shards and
+running the *same* slice worker the serial path runs -- once per shard
+on a thread pool instead of once over the whole sequence.  Results are
+reassembled in shard order, so the merged output (values *and* finding
+order) is exactly what a single full-sequence call produces.  That
+structural identity is what the differential harness in
+``tests/engine`` verifies end to end.
+
+A :class:`ShardMap` with ``shards=1`` runs inline with zero executor
+overhead, which makes "parallel engine at one shard" a faithful
+serial-equivalent baseline for benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["split_slices", "ShardMap"]
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def split_slices(num_items: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(num_items)`` into up to ``shards`` contiguous slices.
+
+    Slices are balanced to within one item and returned in order; fewer
+    slices come back when there are fewer items than shards.  An empty
+    sequence yields no slices.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if num_items <= 0:
+        return []
+    shards = min(shards, num_items)
+    base, extra = divmod(num_items, shards)
+    slices = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+class ShardMap:
+    """Applies a slice worker across shards of a sequence, in order.
+
+    This is the small protocol the core pipeline stages accept via
+    their optional ``parallel`` argument: anything with a
+    ``map_slices(worker, items)`` method that returns per-slice results
+    in slice order.  ``None`` (the default everywhere in
+    :mod:`repro.core`) means one inline full-sequence call -- the
+    reference serial path.
+
+    Args:
+        shards: Number of contiguous slices per stage.  ``1`` runs
+            inline (no executor, no overhead).
+        executor: Optional externally owned executor; when omitted and
+            ``shards > 1``, a :class:`ThreadPoolExecutor` is created
+            lazily and owned by this map (close it via :meth:`close`).
+        min_slice_items: Sequences with fewer than this many items per
+            would-be slice use fewer slices (down to one, inline) --
+            dispatching a handful of items to a pool costs more than
+            processing them.  Purely a scheduling choice; merged output
+            is identical at any value.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        executor: Optional[Executor] = None,
+        min_slice_items: int = 32,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if min_slice_items < 1:
+            raise ValueError(f"min_slice_items must be >= 1, got {min_slice_items}")
+        self.shards = shards
+        self.min_slice_items = min_slice_items
+        self._executor = executor
+        self._owns_executor = False
+        #: Total slice-worker invocations dispatched (all stages).
+        self.tasks_dispatched = 0
+        #: Wall-clock seconds spent inside slice workers, summed over
+        #: shards; divided by elapsed stage time this yields pool
+        #: utilisation.
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.shards, thread_name_prefix="repro-engine"
+            )
+            self._owns_executor = True
+        return self._executor
+
+    def map_slices(
+        self,
+        worker: Callable[[Sequence[_Item]], _Result],
+        items: Sequence[_Item],
+    ) -> List[_Result]:
+        """Run ``worker`` over contiguous shards of ``items``, in order.
+
+        Equivalent to ``[worker(items)]`` modulo slicing; callers merge
+        the per-slice results in list order to reproduce the serial
+        output exactly.
+        """
+        shards = min(self.shards, max(1, len(items) // self.min_slice_items))
+        slices = split_slices(len(items), shards)
+        if len(slices) <= 1:
+            self.tasks_dispatched += 1
+            start = time.perf_counter()
+            result = worker(items)
+            self.busy_seconds += time.perf_counter() - start
+            return [result]
+
+        def timed(lo: int, hi: int) -> Tuple[float, _Result]:
+            start = time.perf_counter()
+            result = worker(items[lo:hi])
+            return time.perf_counter() - start, result
+
+        # The calling thread takes the first slice itself; only the
+        # rest go to the pool.  Same merged output, one fewer dispatch.
+        futures = [self._pool().submit(timed, lo, hi) for lo, hi in slices[1:]]
+        self.tasks_dispatched += len(slices)
+        results = [timed(*slices[0])]
+        for future in futures:
+            results.append(future.result())
+        out = []
+        for elapsed, result in results:
+            self.busy_seconds += elapsed
+            out.append(result)
+        return out
+
+    def close(self) -> None:
+        """Shut down the owned executor, if one was created."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._owns_executor = False
+
+    def __enter__(self) -> "ShardMap":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

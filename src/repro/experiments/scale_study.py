@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.control.demand_service import records_from_matrix
 from repro.control.infra import ControlPlane
 from repro.core.pipeline import Hodor
+from repro.engine import ValidationEngine
 from repro.net.demand import gravity_demand
 from repro.net.simulation import NetworkSimulator
 from repro.telemetry.collector import TelemetryCollector
@@ -24,7 +25,7 @@ from repro.telemetry.counters import Jitter
 from repro.telemetry.probes import ProbeEngine
 from repro.topologies.synthetic import waxman_topology
 
-__all__ = ["ScaleRow", "ScaleStudy"]
+__all__ = ["ScaleRow", "EngineScaleRow", "ScaleStudy"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,31 @@ class ScaleRow:
     harden_ms: float
 
 
+@dataclass(frozen=True)
+class EngineScaleRow:
+    """Serial vs always-on-engine cost at one network size.
+
+    Attributes:
+        nodes: Router count.
+        links: Link count.
+        epochs: Epochs replayed per measurement.
+        serial_ms: Mean per-epoch cost of the stateless deployment
+            model -- a fresh :class:`~repro.core.pipeline.Hodor` built
+            for every epoch, paying topology setup each time.
+        engine_ms: Mean per-epoch engine cost per shard count, as
+            ``(shards, ms)`` pairs.
+        cache_hits: Topology-cache hits the last engine run took
+            (``epochs - 1`` when the topology never changed).
+    """
+
+    nodes: int
+    links: int
+    epochs: int
+    serial_ms: float
+    engine_ms: Tuple[Tuple[int, float], ...]
+    cache_hits: int
+
+
 class ScaleStudy:
     """Validation-latency scaling over random WAN topologies.
 
@@ -60,23 +86,27 @@ class ScaleStudy:
         self._seed = seed
         self._repetitions = repetitions
 
+    def _epoch_fixture(self, size: int):
+        """One size's topology, snapshot, and controller inputs."""
+        topology = waxman_topology(size, seed=self._seed)
+        demand = gravity_demand(
+            topology.node_names(), total=4.0 * size, seed=self._seed
+        )
+        truth = NetworkSimulator(topology, demand, strategy="single").run()
+        collector = TelemetryCollector(
+            Jitter(0.005, seed=self._seed), probe_engine=ProbeEngine(seed=self._seed)
+        )
+        snapshot = collector.collect(truth)
+        plane = ControlPlane(topology)
+        records = records_from_matrix(demand, seed=self._seed)
+        inputs = plane.compute_inputs(snapshot, records)
+        return topology, snapshot, inputs
+
     def run(self, sizes: Sequence[int] = (10, 20, 40, 80)) -> List[ScaleRow]:
         """Measure pipeline cost at each node count."""
         rows = []
         for size in sizes:
-            topology = waxman_topology(size, seed=self._seed)
-            demand = gravity_demand(
-                topology.node_names(), total=4.0 * size, seed=self._seed
-            )
-            truth = NetworkSimulator(topology, demand, strategy="single").run()
-            collector = TelemetryCollector(
-                Jitter(0.005, seed=self._seed), probe_engine=ProbeEngine(seed=self._seed)
-            )
-            snapshot = collector.collect(truth)
-
-            plane = ControlPlane(topology)
-            records = records_from_matrix(demand, seed=self._seed)
-            inputs = plane.compute_inputs(snapshot, records)
+            topology, snapshot, inputs = self._epoch_fixture(size)
             hodor = Hodor(topology)
 
             start = time.perf_counter()
@@ -96,6 +126,69 @@ class ScaleStudy:
                     signals=snapshot.signal_count(),
                     validate_ms=validate_ms,
                     harden_ms=harden_ms,
+                )
+            )
+        return rows
+
+    def run_engine(
+        self,
+        sizes: Sequence[int] = (10, 20, 40, 80),
+        epochs: int = 5,
+        shard_counts: Sequence[int] = (1, 4),
+    ) -> List[EngineScaleRow]:
+        """Serial (fresh pipeline per epoch) vs always-on engine.
+
+        The serial column prices the stateless deployment model the
+        engine replaces: every epoch constructs a fresh
+        :class:`~repro.core.pipeline.Hodor`, so every epoch pays
+        topology setup.  The engine columns replay the same epoch
+        stream through one long-lived
+        :class:`~repro.engine.ValidationEngine`, which pays setup once
+        and takes topology-cache hits on the remaining epochs.
+
+        Args:
+            sizes: Node counts to measure.
+            epochs: Epochs replayed per measurement.
+            shard_counts: Engine shard counts to measure.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        rows = []
+        for size in sizes:
+            topology, snapshot, inputs = self._epoch_fixture(size)
+
+            def time_serial() -> float:
+                start = time.perf_counter()
+                for _ in range(epochs):
+                    Hodor(topology).validate(snapshot, inputs)
+                return (time.perf_counter() - start) * 1000 / epochs
+
+            # Min over repetitions: wall-clock noise only ever adds.
+            serial_ms = min(time_serial() for _ in range(self._repetitions))
+
+            engine_ms = []
+            cache_hits = 0
+            for shards in shard_counts:
+                best = float("inf")
+                for _ in range(self._repetitions):
+                    with ValidationEngine(topology, shards=shards) as engine:
+                        start = time.perf_counter()
+                        for _ in range(epochs):
+                            engine.validate(snapshot, inputs)
+                        best = min(
+                            best, (time.perf_counter() - start) * 1000 / epochs
+                        )
+                        cache_hits = engine.stats.cache_hits
+                engine_ms.append((shards, best))
+
+            rows.append(
+                EngineScaleRow(
+                    nodes=topology.num_nodes,
+                    links=topology.num_links,
+                    epochs=epochs,
+                    serial_ms=serial_ms,
+                    engine_ms=tuple(engine_ms),
+                    cache_hits=cache_hits,
                 )
             )
         return rows

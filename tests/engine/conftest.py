@@ -1,0 +1,50 @@
+"""Shared fixtures for the engine differential harness.
+
+Builds complete validation epochs -- topology, telemetry snapshot,
+controller inputs -- for randomized Waxman worlds, cached per
+(size, seed, corrupted) so hypothesis-driven tests can re-draw them
+cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.control.demand_service import records_from_matrix
+from repro.control.infra import ControlPlane
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import ProbeEngine
+from repro.topologies.synthetic import waxman_topology
+
+_EPOCH_CACHE: Dict[Tuple[int, int, bool], tuple] = {}
+
+
+def random_epoch(size: int, seed: int, corrupted: bool = False):
+    """A full validation epoch over a random Waxman world.
+
+    Returns ``(topology, snapshot, inputs)``.  With ``corrupted=True``
+    two counters are falsified so the R1/R2 detect-and-repair path
+    (including the lstsq solve) is exercised, not just the clean path.
+    """
+    key = (size, seed, corrupted)
+    if key not in _EPOCH_CACHE:
+        topology = waxman_topology(size, seed=seed)
+        demand = gravity_demand(topology.node_names(), total=4.0 * size, seed=seed)
+        truth = NetworkSimulator(topology, demand, strategy="single").run()
+        collector = TelemetryCollector(
+            Jitter(0.01, seed=seed), probe_engine=ProbeEngine(seed=seed)
+        )
+        snapshot = collector.collect(truth)
+        if corrupted:
+            edges = list(topology.directed_edges())
+            for src, dst in (edges[0], edges[len(edges) // 2]):
+                reading = snapshot.counters.get((src, dst))
+                if reading is not None and reading.tx_rate is not None:
+                    reading.tx_rate = float(reading.tx_rate) * 3.0 + 17.0
+        plane = ControlPlane(topology)
+        inputs = plane.compute_inputs(snapshot, records_from_matrix(demand, seed=seed))
+        _EPOCH_CACHE[key] = (topology, snapshot, inputs)
+    return _EPOCH_CACHE[key]

@@ -1,0 +1,40 @@
+"""Golden tests for ``python -m repro engine``."""
+
+from repro.__main__ import main
+
+
+class TestEngineCommand:
+    def test_single_scenario_golden_output(self, capsys):
+        assert main(["engine", "--scenario", "S16", "--epochs", "3", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "id   epochs  flagged  matches serial"
+        assert lines[2] == "S16  3       0/3      yes"
+        assert "epochs processed  : 3" in out
+        assert "cache hits/misses : 2/1" in out
+        assert "shards            : 2" in out
+
+    def test_metrics_flag(self, capsys):
+        assert main(
+            ["engine", "--scenario", "S01", "--epochs", "2", "--shards", "1", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine_epochs 2" in out
+        assert "engine_cache_hits 1" in out
+        assert "engine_cache_misses 1" in out
+        assert "engine_shards 1" in out
+
+    def test_detecting_scenario_flags_every_epoch(self, capsys):
+        assert main(["engine", "--scenario", "S01", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "S01  2       2/2      yes" in out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["engine", "--scenario", "S99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'S99'" in err
+        assert "S01" in err  # the error lists the known ids
+
+    def test_invalid_shard_count_is_a_clean_error(self, capsys):
+        assert main(["engine", "--scenario", "S01", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Engine counters: cache hits, stage timings, sharding, export."""
+
+import pytest
+
+from repro.control.metrics import engine_metrics, render_engine_metrics
+from repro.engine import EngineStats, EpochInput, ShardMap, ValidationEngine, split_slices
+from repro.scenarios.catalog import scenario_by_id
+
+from tests.engine.conftest import random_epoch
+
+
+@pytest.fixture(scope="module")
+def replayed_engine():
+    """An engine after a 3-epoch replay on an unchanged topology."""
+    world = scenario_by_id("S16").build(seed=1)
+    epochs = []
+    for epoch in range(3):
+        outcome = world.run_epoch(timestamp=float(epoch))
+        epochs.append(EpochInput(snapshot=outcome.snapshot, inputs=outcome.inputs))
+    engine = ValidationEngine(world.topology, config=world.hodor_config, shards=2)
+    engine.replay(epochs)
+    yield engine
+    engine.close()
+
+
+class TestCacheCounters:
+    def test_hits_increment_across_replay(self, replayed_engine):
+        stats = replayed_engine.stats
+        assert stats.epochs == 3
+        assert stats.cache_misses == 1
+        # The acceptance bar: unchanged topology ==> hits >= epochs - 1.
+        assert stats.cache_hits >= stats.epochs - 1
+        assert stats.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_store_counters_agree(self, replayed_engine):
+        store = replayed_engine.cache_store
+        assert store.hits == replayed_engine.stats.cache_hits
+        assert store.misses == replayed_engine.stats.cache_misses
+
+    def test_topology_change_counts_as_miss(self):
+        topo_a, snap_a, inputs_a = random_epoch(8, 30)
+        topo_b, snap_b, inputs_b = random_epoch(10, 31)
+        with ValidationEngine(topo_a, shards=1) as engine:
+            engine.validate(snap_a, inputs_a)
+            engine.validate(snap_b, inputs_b, topology=topo_b)
+            engine.validate(snap_a, inputs_a)
+            engine.validate(snap_b, inputs_b, topology=topo_b)
+            assert engine.stats.cache_misses == 2
+            assert engine.stats.cache_hits == 2
+
+
+class TestStageTimings:
+    def test_stage_seconds_populated(self, replayed_engine):
+        stats = replayed_engine.stats
+        for stage in ("collect", "harden", "check", "total"):
+            assert stats.stage_seconds[stage] > 0.0
+        stage_sum = sum(
+            stats.stage_seconds[s] for s in ("collect", "harden", "check")
+        )
+        assert stats.stage_seconds["total"] >= stage_sum
+        assert stats.mean_epoch_ms() > 0.0
+
+    def test_shard_counters(self, replayed_engine):
+        stats = replayed_engine.stats
+        assert stats.shards == 2
+        assert stats.shard_tasks > 0
+        assert stats.shard_busy_seconds > 0.0
+        assert 0.0 < stats.shard_utilisation() <= 1.0
+
+
+class TestRenderAndMerge:
+    def test_render_lines(self, replayed_engine):
+        rendered = replayed_engine.stats.render()
+        assert "epochs processed  : 3" in rendered
+        assert "cache hits/misses : 2/1" in rendered
+        assert "shards            : 2" in rendered
+
+    def test_merge_sums_counters(self):
+        a = EngineStats(shards=2, epochs=2, cache_hits=1, cache_misses=1)
+        a.record_stage("total", 0.5)
+        b = EngineStats(shards=4, epochs=3, cache_hits=3, cache_misses=0)
+        b.record_stage("total", 0.25)
+        a.merge(b)
+        assert a.epochs == 5
+        assert a.cache_hits == 4
+        assert a.cache_misses == 1
+        assert a.stage_seconds["total"] == pytest.approx(0.75)
+        assert a.shards == 2  # merge keeps the receiver's shard count
+
+    def test_empty_stats_render_and_rates(self):
+        stats = EngineStats()
+        assert stats.cache_hit_rate == 0.0
+        assert stats.shard_utilisation() == 0.0
+        assert stats.mean_epoch_ms() == 0.0
+        assert "epochs processed  : 0" in stats.render()
+
+
+class TestMetricsExport:
+    def test_engine_metrics_mapping(self, replayed_engine):
+        metrics = engine_metrics(replayed_engine.stats)
+        assert metrics["engine_epochs"] == 3.0
+        assert metrics["engine_cache_hits"] == 2.0
+        assert metrics["engine_cache_misses"] == 1.0
+        assert metrics["engine_shards"] == 2.0
+        assert metrics["engine_stage_seconds_total"] > 0.0
+        assert set(metrics) >= {
+            "engine_cache_hit_rate",
+            "engine_mean_epoch_ms",
+            "engine_shard_tasks",
+            "engine_shard_utilisation",
+            "engine_stage_seconds_collect",
+            "engine_stage_seconds_harden",
+            "engine_stage_seconds_check",
+        }
+
+    def test_render_engine_metrics(self, replayed_engine):
+        text = render_engine_metrics(engine_metrics(replayed_engine.stats))
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        assert any(line.startswith("engine_cache_hits 2") for line in lines)
+
+
+class TestSharding:
+    def test_split_slices_cover_and_balance(self):
+        assert split_slices(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert split_slices(2, 8) == [(0, 1), (1, 2)]
+        assert split_slices(0, 4) == []
+        with pytest.raises(ValueError):
+            split_slices(5, 0)
+
+    def test_shard_map_orders_results(self):
+        items = list(range(23))
+        with ShardMap(shards=4, min_slice_items=1) as shard_map:
+            merged = [
+                value
+                for chunk in shard_map.map_slices(lambda s: list(s), items)
+                for value in chunk
+            ]
+            assert merged == items
+            assert shard_map.tasks_dispatched == 4
+            assert shard_map.busy_seconds >= 0.0
+
+    def test_single_shard_runs_inline(self):
+        shard_map = ShardMap(shards=1)
+        assert shard_map.map_slices(sum, [1, 2, 3]) == [6]
+        assert shard_map._executor is None  # no pool was ever created
+        shard_map.close()
+
+    def test_small_sequences_stay_inline(self):
+        shard_map = ShardMap(shards=8, min_slice_items=32)
+        assert shard_map.map_slices(sum, list(range(20))) == [sum(range(20))]
+        assert shard_map._executor is None  # below the slice floor
+        shard_map.close()
