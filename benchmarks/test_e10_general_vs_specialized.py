@@ -15,7 +15,6 @@ This bench runs the simplest such miner on real telemetry bundles:
    knowledge, accepts the same healthy epoch.
 """
 
-import pytest
 
 from repro.baselines.correlation_miner import CorrelationMiner
 from repro.core import Hodor

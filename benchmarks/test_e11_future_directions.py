@@ -15,19 +15,11 @@ Two of the paper's closing questions, answered on the simulator:
    caught, at the same tau_e.
 """
 
-import pytest
 
 from repro.control.topo_service import TopologyService
-from repro.core import Hodor
 from repro.experiments import PerturbationStudy, format_percent, format_table
-from repro.net import NetworkSimulator, gravity_demand
 from repro.scenarios import scenario_by_id
-from repro.telemetry import (
-    Jitter,
-    ProbeEngine,
-    TelemetryCollector,
-    peer_exchange_correct,
-)
+from repro.telemetry import peer_exchange_correct
 from repro.topologies import fat_tree_topology
 
 

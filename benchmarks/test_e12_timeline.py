@@ -7,9 +7,7 @@ every damaging epoch is averted by the fallback, no healthy epoch is
 disturbed.
 """
 
-import pytest
 
-from repro.experiments import format_table
 from repro.faults import PartialDemandAggregation, PartialTopologyStitch
 from repro.net import gravity_demand
 from repro.scenarios import EpochSpec, Timeline

@@ -1,0 +1,65 @@
+"""E13: incremental epochs vs full recompute under steady-state churn.
+
+The production steady state between two 30-second WAN collections moves
+only a small fraction of signals; the incremental engine
+(:mod:`repro.engine.incremental`) makes epoch cost track that churn
+instead of network size.  This bench replays identical churned epoch
+streams through ``mode="full"`` and ``mode="incremental"`` engines and
+asserts the acceptance bar: at 80 nodes and 10% link churn the
+incremental path is at least 3x faster per epoch.  Report equality is
+the differential harness's job (``tests/engine/test_incremental.py``);
+this file measures pure cost.
+"""
+
+from repro.experiments import ScaleStudy, format_table
+
+SIZES = (20, 40, 80)
+EPOCHS = 10
+CHURN = 0.10
+
+
+def test_incremental_vs_full_sweep(benchmark, write_result):
+    study = ScaleStudy(seed=0, repetitions=3)
+    rows = benchmark.pedantic(
+        lambda: study.run_incremental(sizes=SIZES, epochs=EPOCHS, churn=CHURN),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = format_table(
+        [
+            "nodes",
+            "links",
+            "epochs",
+            "churn",
+            "full (ms)",
+            "incremental (ms)",
+            "speedup",
+            "reuse",
+        ],
+        [
+            [
+                row.nodes,
+                row.links,
+                row.epochs,
+                f"{row.churn:.0%}",
+                f"{row.full_ms:.1f}",
+                f"{row.incremental_ms:.1f}",
+                f"{row.speedup:.1f}x",
+                f"{row.reuse_rate:.0%}",
+            ]
+            for row in rows
+        ],
+    )
+    write_result("E13_incremental", table)
+
+    at_80 = rows[-1]
+    assert at_80.nodes == 80
+    # Acceptance bar: >= 3x per-epoch speedup at 80 nodes, 10% churn.
+    assert at_80.speedup >= 3.0, f"incremental speedup {at_80.speedup:.2f}x < 3x"
+    # Reuse should dominate at 10% churn -- most entities are clean.
+    assert at_80.reuse_rate > 0.5
+    benchmark.extra_info["full_ms_at_80"] = at_80.full_ms
+    benchmark.extra_info["incremental_ms_at_80"] = at_80.incremental_ms
+    benchmark.extra_info["speedup_at_80"] = at_80.speedup
+    benchmark.extra_info["reuse_rate_at_80"] = at_80.reuse_rate

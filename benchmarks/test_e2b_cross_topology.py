@@ -9,7 +9,6 @@ the invariants derive from flow conservation, not from anything
 Abilene-specific.
 """
 
-import pytest
 
 from repro.experiments import PerturbationStudy, format_percent, format_table
 from repro.topologies import abilene, b4, geant

@@ -10,7 +10,6 @@ alone it is indistinguishable from an erroneous drain, which is why
 the paper proposes attaching drain reasons).
 """
 
-import pytest
 
 from repro.experiments import DRAIN_CASES, DrainStudy, format_percent, format_table
 

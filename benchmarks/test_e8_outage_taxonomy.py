@@ -7,7 +7,6 @@ every Section 2 category and that the incorrect-input fraction clears
 the paper's "over one third" bar, then prints the census table.
 """
 
-import pytest
 
 from repro.experiments import format_percent, format_table, taxonomy_census
 from repro.scenarios.catalog import Category, all_scenarios

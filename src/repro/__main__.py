@@ -158,6 +158,8 @@ def _cmd_scale(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine(args: argparse.Namespace) -> int:
+    import json
+
     from repro.control.metrics import engine_metrics, render_engine_metrics
     from repro.engine import EngineStats, ValidationEngine, compare_reports
     from repro.experiments import format_table
@@ -174,7 +176,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         known = ", ".join(s.scenario_id for s in all_scenarios())
         print(f"unknown scenario {args.scenario!r} (known: {known})", file=sys.stderr)
         return 2
-    totals = EngineStats(shards=args.shards)
+    totals = EngineStats(shards=args.shards, mode=args.mode)
     rows = []
     mismatched = 0
     for scenario in scenarios:
@@ -182,7 +184,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         flagged = 0
         matches = True
         with ValidationEngine(
-            world.topology, config=world.hodor_config, shards=args.shards
+            world.topology,
+            config=world.hodor_config,
+            shards=args.shards,
+            mode=args.mode,
         ) as engine:
             for epoch in range(args.epochs):
                 outcome = world.run_epoch(timestamp=float(epoch))
@@ -202,6 +207,23 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 "yes" if matches else "NO",
             ]
         )
+
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "id": row[0],
+                    "epochs": row[1],
+                    "flagged": int(row[2].split("/")[0]),
+                    "matches_serial": row[3] == "yes",
+                }
+                for row in rows
+            ],
+            "mismatched": mismatched,
+            "stats": totals.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if mismatched else 0
 
     print(format_table(["id", "epochs", "flagged", "matches serial"], rows))
     print()
@@ -308,7 +330,18 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--shards", type=int, default=2)
     engine.add_argument("--seed", type=int, default=1)
     engine.add_argument(
+        "--mode",
+        choices=("full", "incremental"),
+        default="full",
+        help="epoch path: recompute everything or reuse unchanged verdicts",
+    )
+    engine.add_argument(
         "--metrics", action="store_true", help="also print exporter-style metrics"
+    )
+    engine.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable results and EngineStats as JSON",
     )
     engine.set_defaults(func=_cmd_engine)
 

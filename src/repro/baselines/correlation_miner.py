@@ -24,9 +24,9 @@ spurious all-zero equalities the paper predicts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set
 
 __all__ = ["MinedInvariant", "MinedViolation", "CorrelationMiner"]
 

@@ -24,7 +24,7 @@ from typing import Sequence
 from repro.control.inputs import DrainView
 from repro.faults.aggregation_faults import IgnoredDrain
 from repro.faults.base import AggregationBug
-from repro.net.topology import EXTERNAL_PEER, Topology
+from repro.net.topology import Topology
 from repro.telemetry.snapshot import NetworkSnapshot
 
 __all__ = ["DrainService"]

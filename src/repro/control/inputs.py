@@ -10,7 +10,7 @@ the container the instrumentation services fill in and the controller
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict
 
 from repro.net.demand import DemandMatrix
 from repro.net.topology import Topology
@@ -35,7 +35,7 @@ class DrainView:
         return sorted(n for n, drained in self.nodes.items() if drained)
 
     def drained_links(self) -> list:
-        return sorted(l for l, drained in self.links.items() if drained)
+        return sorted(name for name, drained in self.links.items() if drained)
 
     def is_node_drained(self, node: str) -> bool:
         return bool(self.nodes.get(node, False))

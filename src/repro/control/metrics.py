@@ -129,10 +129,28 @@ def engine_metrics(stats: "EngineStats") -> Dict[str, float]:
         "engine_shard_tasks": float(stats.shard_tasks),
         "engine_shard_utilisation": float(stats.shard_utilisation()),
         "engine_mean_epoch_ms": float(stats.mean_epoch_ms()),
+        "engine_entities_recomputed": float(stats.total_entities_recomputed),
+        "engine_entities_reused": float(stats.total_entities_reused),
+        "engine_reuse_rate": float(stats.reuse_rate()),
+        "engine_repair_solves": float(stats.repair_solves),
+        "engine_repair_reuses": float(stats.repair_reuses),
     }
     for stage in sorted(stats.stage_seconds):
         metrics[f"engine_stage_seconds_{stage}"] = float(stats.stage_seconds[stage])
+    for stage in sorted(stats.entities_recomputed):
+        metrics[f"engine_recomputed_{_metric_stage(stage)}"] = float(
+            stats.entities_recomputed[stage]
+        )
+    for stage in sorted(stats.entities_reused):
+        metrics[f"engine_reused_{_metric_stage(stage)}"] = float(
+            stats.entities_reused[stage]
+        )
     return metrics
+
+
+def _metric_stage(stage: str) -> str:
+    """Fine-grained stage label -> exporter-safe metric suffix."""
+    return stage.replace(".", "_")
 
 
 def render_engine_metrics(metrics: Dict[str, float]) -> str:

@@ -22,7 +22,7 @@ Section 2.2 bugs change exactly these behaviours:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.faults.aggregation_faults import (
     LivenessMisreport,

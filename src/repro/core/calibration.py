@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List
 
 from repro.net.topology import Topology
 from repro.telemetry.counters import MalformedValueError, coerce_rate

@@ -108,30 +108,49 @@ class SignalCollector:
         counters: Dict[Tuple[str, str], CollectedCounter] = {}
         findings: List[Finding] = []
         for key in keys:
-            reading = snapshot.counters[key]
-            subject = f"{key[0]}->{key[1]}"
-
-            if snapshot.timestamp - reading.timestamp > self._config.max_staleness_s:
-                counters[key] = CollectedCounter(
-                    rx=None, tx=None, timestamp=reading.timestamp
-                )
-                findings.append(
-                    Finding(
-                        code="STALE_READING",
-                        severity=FindingSeverity.WARNING,
-                        subject=subject,
-                        detail=(
-                            f"reading is {snapshot.timestamp - reading.timestamp:.0f}s "
-                            "old; treated as missing"
-                        ),
-                    )
-                )
-                continue
-
-            rx = self._coerce_counter(reading.rx_rate, subject, "rx", findings)
-            tx = self._coerce_counter(reading.tx_rate, subject, "tx", findings)
-            counters[key] = CollectedCounter(rx=rx, tx=tx, timestamp=reading.timestamp)
+            counter, counter_findings = self.collect_counter_entity(
+                snapshot.timestamp, key, snapshot.counters[key]
+            )
+            counters[key] = counter
+            findings.extend(counter_findings)
         return counters, findings
+
+    def collect_counter_entity(
+        self,
+        snapshot_timestamp: float,
+        key: Tuple[str, str],
+        reading,
+    ) -> Tuple[CollectedCounter, Tuple[Finding, ...]]:
+        """Coerce one interface's counter reading (pure per-entity unit).
+
+        Depends only on the snapshot timestamp and this one reading, so
+        the incremental engine reuses its output verbatim whenever the
+        :class:`~repro.telemetry.delta.SnapshotDelta` says the reading
+        did not change.
+        """
+        subject = f"{key[0]}->{key[1]}"
+        if snapshot_timestamp - reading.timestamp > self._config.max_staleness_s:
+            finding = Finding(
+                code="STALE_READING",
+                severity=FindingSeverity.WARNING,
+                subject=subject,
+                detail=(
+                    f"reading is {snapshot_timestamp - reading.timestamp:.0f}s "
+                    "old; treated as missing"
+                ),
+            )
+            return (
+                CollectedCounter(rx=None, tx=None, timestamp=reading.timestamp),
+                (finding,),
+            )
+
+        findings: List[Finding] = []
+        rx = self._coerce_counter(reading.rx_rate, subject, "rx", findings)
+        tx = self._coerce_counter(reading.tx_rate, subject, "tx", findings)
+        return (
+            CollectedCounter(rx=rx, tx=tx, timestamp=reading.timestamp),
+            tuple(findings),
+        )
 
     def _coerce_counter(
         self, raw: object, subject: str, side: str, findings: List[Finding]
@@ -151,61 +170,103 @@ class SignalCollector:
 
     def _collect_statuses(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
         for key in sorted(snapshot.link_status):
-            report = snapshot.link_status[key]
-            subject = f"{key[0]}->{key[1]}"
-            oper = _coerce_bool(report.oper_up)
-            admin = _coerce_bool(report.admin_up)
-            if oper is None and report.oper_up is not None:
-                state.findings.append(
-                    Finding(
-                        code="MALFORMED_STATUS",
-                        severity=FindingSeverity.WARNING,
-                        subject=subject,
-                        detail=f"uninterpretable oper-status {report.oper_up!r}",
-                    )
-                )
-            state.statuses[key] = CollectedStatus(oper_up=oper, admin_up=admin)
+            status, findings = self.collect_status_entity(key, snapshot.link_status[key])
+            state.statuses[key] = status
+            state.findings.extend(findings)
+
+    def collect_status_entity(
+        self, key: Tuple[str, str], report
+    ) -> Tuple[CollectedStatus, Tuple[Finding, ...]]:
+        """Coerce one interface's status report (pure per-entity unit)."""
+        subject = f"{key[0]}->{key[1]}"
+        oper = _coerce_bool(report.oper_up)
+        admin = _coerce_bool(report.admin_up)
+        findings: Tuple[Finding, ...] = ()
+        if oper is None and report.oper_up is not None:
+            findings = (
+                Finding(
+                    code="MALFORMED_STATUS",
+                    severity=FindingSeverity.WARNING,
+                    subject=subject,
+                    detail=f"uninterpretable oper-status {report.oper_up!r}",
+                ),
+            )
+        return CollectedStatus(oper_up=oper, admin_up=admin), findings
 
     def _collect_drains(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
         for node in sorted(snapshot.drains):
-            value = _coerce_bool(snapshot.drains[node])
-            if value is None and snapshot.drains[node] is not None:
-                state.findings.append(
-                    Finding(
-                        code="MALFORMED_DRAIN",
-                        severity=FindingSeverity.WARNING,
-                        subject=node,
-                        detail=f"uninterpretable drain bit {snapshot.drains[node]!r}",
-                    )
-                )
+            value, findings = self.collect_drain_entity(node, snapshot.drains[node])
             state.drains[node] = value
+            state.findings.extend(findings)
         for node in sorted(snapshot.drain_reasons):
-            raw = snapshot.drain_reasons[node]
-            reason = parse_reason(raw)
-            if reason is None:
-                state.findings.append(
-                    Finding(
-                        code="MALFORMED_DRAIN_REASON",
-                        severity=FindingSeverity.WARNING,
-                        subject=node,
-                        detail=f"uninterpretable drain reason {raw!r}",
-                    )
-                )
+            reason, findings = self.collect_drain_reason_entity(
+                node, snapshot.drain_reasons[node]
+            )
             state.drain_reasons[node] = reason
+            state.findings.extend(findings)
         for key in sorted(snapshot.link_drains):
-            state.link_drains[key] = _coerce_bool(snapshot.link_drains[key])
+            value, findings = self.collect_link_drain_entity(
+                key, snapshot.link_drains[key]
+            )
+            state.link_drains[key] = value
+            state.findings.extend(findings)
+
+    def collect_drain_entity(
+        self, node: str, raw: object
+    ) -> Tuple[Optional[bool], Tuple[Finding, ...]]:
+        """Coerce one router's drain bit (pure per-entity unit)."""
+        value = _coerce_bool(raw)
+        if value is None and raw is not None:
+            return value, (
+                Finding(
+                    code="MALFORMED_DRAIN",
+                    severity=FindingSeverity.WARNING,
+                    subject=node,
+                    detail=f"uninterpretable drain bit {raw!r}",
+                ),
+            )
+        return value, ()
+
+    def collect_drain_reason_entity(
+        self, node: str, raw: object
+    ) -> Tuple[object, Tuple[Finding, ...]]:
+        """Coerce one router's drain reason (pure per-entity unit)."""
+        reason = parse_reason(raw)
+        if reason is None:
+            return reason, (
+                Finding(
+                    code="MALFORMED_DRAIN_REASON",
+                    severity=FindingSeverity.WARNING,
+                    subject=node,
+                    detail=f"uninterpretable drain reason {raw!r}",
+                ),
+            )
+        return reason, ()
+
+    def collect_link_drain_entity(
+        self, _key: Tuple[str, str], raw: object
+    ) -> Tuple[Optional[bool], Tuple[Finding, ...]]:
+        """Coerce one interface's link-drain bit (pure per-entity unit)."""
+        return _coerce_bool(raw), ()
 
     def _collect_drops(self, snapshot: NetworkSnapshot, state: CollectedState) -> None:
         for node in sorted(snapshot.drops):
-            try:
-                state.drops[node] = coerce_rate(snapshot.drops[node])  # type: ignore[arg-type]
-            except MalformedValueError as exc:
-                state.drops[node] = None
-                state.findings.append(
-                    Finding(
-                        code="MALFORMED_DROPS",
-                        severity=FindingSeverity.WARNING,
-                        subject=node,
-                        detail=f"drop counter malformed: {exc}",
-                    )
-                )
+            value, findings = self.collect_drop_entity(node, snapshot.drops[node])
+            state.drops[node] = value
+            state.findings.extend(findings)
+
+    def collect_drop_entity(
+        self, node: str, raw: object
+    ) -> Tuple[Optional[float], Tuple[Finding, ...]]:
+        """Coerce one router's drop counter (pure per-entity unit)."""
+        try:
+            return coerce_rate(raw), ()  # type: ignore[arg-type]
+        except MalformedValueError as exc:
+            return None, (
+                Finding(
+                    code="MALFORMED_DROPS",
+                    severity=FindingSeverity.WARNING,
+                    subject=node,
+                    detail=f"drop counter malformed: {exc}",
+                ),
+            )

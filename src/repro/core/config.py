@@ -8,7 +8,7 @@ threshold tau_e both default to 2% (Section 4.1 and its footnote 2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["RiskProfile", "HodorConfig"]
 

@@ -84,12 +84,9 @@ class DemandChecker:
         result = CheckResult(input_name="demand")
         floor = max(self._config.rate_floor, self._config.active_threshold)
 
-        total_dropped = self._total_dropped(hardened)
+        total_dropped = self.total_dropped(hardened)
         if total_dropped > floor:
-            result.notes.append(
-                f"hardened drop counters show {total_dropped:.6g} of in-network "
-                "loss; egress invariants widened by that absolute allowance"
-            )
+            result.notes.append(self.dropped_note(total_dropped))
 
         hardened_nodes = self._hardened_nodes(hardened)
         for invariants, notes in map_slices(
@@ -102,10 +99,21 @@ class DemandChecker:
 
         skipped = result.num_skipped
         if skipped:
-            result.notes.append(
-                f"{skipped} invariants skipped: hardened external counters unknown"
-            )
+            result.notes.append(self.skipped_note(skipped))
         return result
+
+    @staticmethod
+    def dropped_note(total_dropped: float) -> str:
+        """The loss-allowance note emitted when drops widen egress checks."""
+        return (
+            f"hardened drop counters show {total_dropped:.6g} of in-network "
+            "loss; egress invariants widened by that absolute allowance"
+        )
+
+    @staticmethod
+    def skipped_note(skipped: int) -> str:
+        """The trailing note counting skipped invariants."""
+        return f"{skipped} invariants skipped: hardened external counters unknown"
 
     def _hardened_nodes(self, hardened: HardenedState) -> Sequence[str]:
         """Sorted routers under check, reusing the cache's order when valid."""
@@ -126,60 +134,78 @@ class DemandChecker:
         The slice worker behind :meth:`check`; the serial path calls it
         once with every router, the engine once per shard.
         """
+        invariants: List[InvariantResult] = []
+        notes: List[str] = []
+        for node in nodes:
+            node_invariants, node_notes = self.check_node_entity(
+                demand, hardened, node, total_dropped
+            )
+            invariants.extend(node_invariants)
+            notes.extend(node_notes)
+        return invariants, notes
+
+    def check_node_entity(
+        self,
+        demand: DemandMatrix,
+        hardened: HardenedState,
+        node: str,
+        total_dropped: float,
+    ) -> Tuple[Tuple[InvariantResult, InvariantResult], Tuple[str, ...]]:
+        """Row/col-sum invariants for one router (per-entity unit).
+
+        Depends on the demand matrix, this router's hardened external
+        counters, and the network-wide ``total_dropped`` (which widens
+        the egress tolerance) -- a change to any of those dirties the
+        node in incremental mode.
+        """
         tau_e = self._config.tau_e
         floor = max(self._config.rate_floor, self._config.active_threshold)
         demand_nodes = set(demand.nodes)
-        invariants: List[InvariantResult] = []
-        notes: List[str] = []
+        notes: Tuple[str, ...] = ()
 
-        for node in nodes:
-            row_sum = demand.row_sum(node) if node in demand_nodes else 0.0
-            column_sum = demand.column_sum(node) if node in demand_nodes else 0.0
-            if node not in demand_nodes:
-                notes.append(
-                    f"{node} missing from demand matrix; treating its demand as zero"
-                )
-
-            ext_in = hardened.ext_in.get(node)
-            invariants.append(
-                Invariant(
-                    name=f"demand/row-sum/{node}",
-                    description=(
-                        f"sum_j D[{node}][j] == external ingress at {node} "
-                        f"({_fmt(row_sum)} vs {_fmt(ext_in.value if ext_in else None)})"
-                    ),
-                    lhs=row_sum,
-                    rhs=ext_in.value if ext_in else None,
-                    tolerance=tau_e,
-                ).evaluate(floor)
+        row_sum = demand.row_sum(node) if node in demand_nodes else 0.0
+        column_sum = demand.column_sum(node) if node in demand_nodes else 0.0
+        if node not in demand_nodes:
+            notes = (
+                f"{node} missing from demand matrix; treating its demand as zero",
             )
 
-            ext_out = hardened.ext_out.get(node)
-            # A router's egress may legitimately fall short of its
-            # column sum by at most the total traffic the network
-            # dropped (an absolute, path-agnostic bound); translate
-            # that into this invariant's relative tolerance.
-            magnitude = max(
-                column_sum, ext_out.value if ext_out and ext_out.known else 0.0, floor
-            )
-            egress_tau = min(0.95, tau_e + total_dropped / magnitude)
-            invariants.append(
-                Invariant(
-                    name=f"demand/col-sum/{node}",
-                    description=(
-                        f"sum_i D[i][{node}] == external egress at {node} "
-                        f"({_fmt(column_sum)} vs {_fmt(ext_out.value if ext_out else None)})"
-                    ),
-                    lhs=column_sum,
-                    rhs=ext_out.value if ext_out else None,
-                    tolerance=egress_tau,
-                ).evaluate(floor)
-            )
-        return invariants, notes
+        ext_in = hardened.ext_in.get(node)
+        ingress = Invariant(
+            name=f"demand/row-sum/{node}",
+            description=(
+                f"sum_j D[{node}][j] == external ingress at {node} "
+                f"({_fmt(row_sum)} vs {_fmt(ext_in.value if ext_in else None)})"
+            ),
+            lhs=row_sum,
+            rhs=ext_in.value if ext_in else None,
+            tolerance=tau_e,
+        ).evaluate(floor)
+
+        ext_out = hardened.ext_out.get(node)
+        # A router's egress may legitimately fall short of its
+        # column sum by at most the total traffic the network
+        # dropped (an absolute, path-agnostic bound); translate
+        # that into this invariant's relative tolerance.
+        magnitude = max(
+            column_sum, ext_out.value if ext_out and ext_out.known else 0.0, floor
+        )
+        egress_tau = min(0.95, tau_e + total_dropped / magnitude)
+        egress = Invariant(
+            name=f"demand/col-sum/{node}",
+            description=(
+                f"sum_i D[i][{node}] == external egress at {node} "
+                f"({_fmt(column_sum)} vs {_fmt(ext_out.value if ext_out else None)})"
+            ),
+            lhs=column_sum,
+            rhs=ext_out.value if ext_out else None,
+            tolerance=egress_tau,
+        ).evaluate(floor)
+        return (ingress, egress), notes
 
 
     @staticmethod
-    def _total_dropped(hardened: HardenedState) -> float:
+    def total_dropped(hardened: HardenedState) -> float:
         """Total in-network loss per the hardened drop counters."""
         return sum(v.value for v in hardened.drops.values() if v.known and v.value > 0)
 

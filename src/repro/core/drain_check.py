@@ -27,7 +27,7 @@ from repro.control.inputs import DrainView
 from repro.core.config import HodorConfig
 from repro.core.drain_reasons import reason_requires_faulty_link
 from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
-from repro.core.signals import DrainVerdict, HardenedState, LinkVerdict
+from repro.core.signals import DrainVerdict, HardenedState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.cache import TopologyCache
@@ -104,71 +104,92 @@ class DrainChecker:
         result: CheckResult,
     ) -> None:
         for node in sorted(hardened.node_drains):
-            reported = hardened.node_drains[node]
-            believed_drained = drains.is_node_drained(node)
+            conditions, notes = self.check_node_entity(
+                drains, hardened, node_links, node
+            )
+            result.results.extend(conditions)
+            result.notes.extend(notes)
 
-            if reported.verdict == DrainVerdict.CONFLICTED:
-                result.results.append(
-                    _condition(
-                        f"drain/node-consistent/{node}",
-                        f"{node}: hardened drain state conflicted; cannot decide",
-                        holds=None,
-                    )
-                )
-                continue
+    def check_node_entity(
+        self,
+        drains: DrainView,
+        hardened: HardenedState,
+        node_links: Mapping[str, Sequence[str]],
+        node: str,
+    ) -> Tuple[Tuple[InvariantResult, ...], Tuple[str, ...]]:
+        """Drain conditions for one router (per-entity unit).
 
-            hardened_drained = reported.verdict == DrainVerdict.DRAINED
-            result.results.append(
+        Depends on the router's believed drain bit, its hardened drain
+        state, and the hardened status of every link touching it.
+        """
+        conditions: List[InvariantResult] = []
+        notes: List[str] = []
+        reported = hardened.node_drains[node]
+        believed_drained = drains.is_node_drained(node)
+
+        if reported.verdict == DrainVerdict.CONFLICTED:
+            conditions.append(
                 _condition(
                     f"drain/node-consistent/{node}",
-                    (
-                        f"{node}: drain input says "
-                        f"{'drained' if believed_drained else 'serving'}, hardened "
-                        f"signals say {'drained' if hardened_drained else 'serving'}"
-                    ),
-                    holds=believed_drained == hardened_drained,
+                    f"{node}: hardened drain state conflicted; cannot decide",
+                    holds=None,
+                )
+            )
+            return tuple(conditions), tuple(notes)
+
+        hardened_drained = reported.verdict == DrainVerdict.DRAINED
+        conditions.append(
+            _condition(
+                f"drain/node-consistent/{node}",
+                (
+                    f"{node}: drain input says "
+                    f"{'drained' if believed_drained else 'serving'}, hardened "
+                    f"signals say {'drained' if hardened_drained else 'serving'}"
+                ),
+                holds=believed_drained == hardened_drained,
+            )
+        )
+
+        # Case 1: input says serving, but the router's links cannot
+        # actually carry traffic.
+        if not believed_drained and not self._node_can_carry(
+            node, hardened, node_links
+        ):
+            conditions.append(
+                _condition(
+                    f"drain/node-capable/{node}",
+                    f"{node}: drain input says serving but no usable hardened "
+                    "link touches it (should be drained)",
+                    holds=False,
                 )
             )
 
-            # Case 1: input says serving, but the router's links cannot
-            # actually carry traffic.
-            if not believed_drained and not self._node_can_carry(
-                node, hardened, node_links
-            ):
-                result.results.append(
-                    _condition(
-                        f"drain/node-capable/{node}",
-                        f"{node}: drain input says serving but no usable hardened "
-                        "link touches it (should be drained)",
-                        holds=False,
-                    )
-                )
+        # Case 2: input says drained yet traffic demonstrably flows.
+        # Legitimate for fresh/preemptive drains, so warning-grade:
+        # recorded as a note, not a violation.
+        if believed_drained and reported.carrying_traffic:
+            notes.append(
+                f"{node}: drained in input but carrying traffic "
+                "(legitimate if the drain is fresh or preemptive)"
+            )
 
-            # Case 2: input says drained yet traffic demonstrably flows.
-            # Legitimate for fresh/preemptive drains, so warning-grade:
-            # recorded as a note, not a violation.
-            if believed_drained and reported.carrying_traffic:
-                result.notes.append(
-                    f"{node}: drained in input but carrying traffic "
-                    "(legitimate if the drain is fresh or preemptive)"
+        # Section 4.3 reasons extension: a drain that *claims* a
+        # faulty link must be corroborated by hardened link
+        # evidence; a disproven reason exposes erroneous automation.
+        if (
+            hardened_drained
+            and reported.reason is not None
+            and reason_requires_faulty_link(reported.reason)
+        ):
+            conditions.append(
+                _condition(
+                    f"drain/reason-supported/{node}",
+                    f"{node}: drain claims a faulty link; hardened evidence "
+                    "must show a non-usable link at this router",
+                    holds=self._has_faulty_link(node, hardened, node_links),
                 )
-
-            # Section 4.3 reasons extension: a drain that *claims* a
-            # faulty link must be corroborated by hardened link
-            # evidence; a disproven reason exposes erroneous automation.
-            if (
-                hardened_drained
-                and reported.reason is not None
-                and reason_requires_faulty_link(reported.reason)
-            ):
-                result.results.append(
-                    _condition(
-                        f"drain/reason-supported/{node}",
-                        f"{node}: drain claims a faulty link; hardened evidence "
-                        "must show a non-usable link at this router",
-                        holds=self._has_faulty_link(node, hardened, node_links),
-                    )
-                )
+            )
+        return tuple(conditions), tuple(notes)
 
     @staticmethod
     def _has_faulty_link(
@@ -197,29 +218,36 @@ class DrainChecker:
         self, drains: DrainView, hardened: HardenedState, result: CheckResult
     ) -> None:
         for link_name in sorted(hardened.link_drains):
-            reported = hardened.link_drains[link_name]
-            believed_drained = drains.is_link_drained(link_name)
+            result.results.extend(self.check_link_entity(drains, hardened, link_name))
 
-            # The Section 4.3 symmetry proposal: both sides must agree.
-            result.results.append(
-                _condition(
-                    f"drain/link-symmetric/{link_name}",
-                    f"{link_name}: link-drain bits must agree at both endpoints",
-                    holds=reported.verdict != DrainVerdict.CONFLICTED,
-                )
-            )
-            if reported.verdict == DrainVerdict.CONFLICTED:
-                continue
+    def check_link_entity(
+        self, drains: DrainView, hardened: HardenedState, link_name: str
+    ) -> Tuple[InvariantResult, ...]:
+        """Drain conditions for one link (per-entity unit).
 
-            hardened_drained = reported.verdict == DrainVerdict.DRAINED
-            result.results.append(
-                _condition(
-                    f"drain/link-consistent/{link_name}",
-                    (
-                        f"{link_name}: drain input says "
-                        f"{'drained' if believed_drained else 'serving'}, hardened "
-                        f"reports say {'drained' if hardened_drained else 'serving'}"
-                    ),
-                    holds=believed_drained == hardened_drained,
-                )
-            )
+        Depends only on the link's believed drain bit and its hardened
+        link-drain verdict.
+        """
+        reported = hardened.link_drains[link_name]
+        believed_drained = drains.is_link_drained(link_name)
+
+        # The Section 4.3 symmetry proposal: both sides must agree.
+        symmetric = _condition(
+            f"drain/link-symmetric/{link_name}",
+            f"{link_name}: link-drain bits must agree at both endpoints",
+            holds=reported.verdict != DrainVerdict.CONFLICTED,
+        )
+        if reported.verdict == DrainVerdict.CONFLICTED:
+            return (symmetric,)
+
+        hardened_drained = reported.verdict == DrainVerdict.DRAINED
+        consistent = _condition(
+            f"drain/link-consistent/{link_name}",
+            (
+                f"{link_name}: drain input says "
+                f"{'drained' if believed_drained else 'serving'}, hardened "
+                f"reports say {'drained' if hardened_drained else 'serving'}"
+            ),
+            holds=believed_drained == hardened_drained,
+        )
+        return (symmetric, consistent)

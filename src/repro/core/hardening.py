@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import HodorConfig
 from repro.core.drain_reasons import reason_allows_traffic
+from repro.core.flow_repair import ConservationSolveCache
 from repro.core.link_status import LinkEvidence, combine_link_evidence
 from repro.core.parallel import SliceParallel, map_slices
 from repro.core.signals import (
@@ -105,7 +106,7 @@ class Hardener:
         state = HardenedState()
         state.findings.extend(collected.findings)
         self._harden_flows(collected, state, parallel)
-        self._repair_flows(collected, state)
+        self.repair_flows(collected, state)
         self._harden_link_status(collected, state)
         self._harden_drains(collected, state)
         self._harden_link_drains(collected, state)
@@ -150,12 +151,26 @@ class Hardener:
         findings: List[Finding] = []
         flows: Dict[Tuple[str, str], HardenedValue] = {}
         for src, dst in edges:
-            tx_side = collected.counter(src, dst)
-            rx_side = collected.counter(dst, src)
-            tx = tx_side.tx if tx_side else None
-            rx = rx_side.rx if rx_side else None
-            flows[(src, dst)] = self._symmetry_check(src, dst, tx, rx, findings)
+            flow, flow_findings = self.harden_edge_entity(collected, src, dst)
+            flows[(src, dst)] = flow
+            findings.extend(flow_findings)
         return flows, findings
+
+    def harden_edge_entity(
+        self, collected: CollectedState, src: str, dst: str
+    ) -> Tuple[HardenedValue, Tuple[Finding, ...]]:
+        """R1 symmetry for one directed edge (pure per-entity unit).
+
+        Reads only the two interface counters measuring this edge, so
+        the incremental engine reuses its output whenever neither
+        counter changed.
+        """
+        findings: List[Finding] = []
+        tx_side = collected.counter(src, dst)
+        rx_side = collected.counter(dst, src)
+        tx = tx_side.tx if tx_side else None
+        rx = rx_side.rx if rx_side else None
+        return self._symmetry_check(src, dst, tx, rx, findings), tuple(findings)
 
     def harden_external_slice(
         self, collected: CollectedState, nodes: Sequence[str]
@@ -171,25 +186,42 @@ class Hardener:
         ext_out: Dict[str, HardenedValue] = {}
         drops: Dict[str, HardenedValue] = {}
         for node in nodes:
-            external = collected.counter(node, EXTERNAL_PEER)
-            ext_in[node] = self._single_source(
-                external.rx if external else None, f"{node}:ext rx"
+            node_in, node_out, node_drop, node_findings = self.harden_external_entity(
+                collected, node
             )
-            ext_out[node] = self._single_source(
-                external.tx if external else None, f"{node}:ext tx"
-            )
-            drop = collected.drops.get(node)
-            drops[node] = self._single_source(drop, f"{node} drops")
-            if external is None:
-                findings.append(
-                    Finding(
-                        code="MISSING_EXTERNAL_COUNTERS",
-                        severity=FindingSeverity.WARNING,
-                        subject=node,
-                        detail="no external interface reading; left unknown",
-                    )
-                )
+            ext_in[node] = node_in
+            ext_out[node] = node_out
+            drops[node] = node_drop
+            findings.extend(node_findings)
         return ext_in, ext_out, drops, findings
+
+    def harden_external_entity(
+        self, collected: CollectedState, node: str
+    ) -> Tuple[HardenedValue, HardenedValue, HardenedValue, Tuple[Finding, ...]]:
+        """External counters and drops for one router (per-entity unit).
+
+        Reads only the router's external-interface counter and its drop
+        counter.
+        """
+        external = collected.counter(node, EXTERNAL_PEER)
+        ext_in = self._single_source(
+            external.rx if external else None, f"{node}:ext rx"
+        )
+        ext_out = self._single_source(
+            external.tx if external else None, f"{node}:ext tx"
+        )
+        drop = self._single_source(collected.drops.get(node), f"{node} drops")
+        findings: Tuple[Finding, ...] = ()
+        if external is None:
+            findings = (
+                Finding(
+                    code="MISSING_EXTERNAL_COUNTERS",
+                    severity=FindingSeverity.WARNING,
+                    subject=node,
+                    detail="no external interface reading; left unknown",
+                ),
+            )
+        return ext_in, ext_out, drop, findings
 
     def _symmetry_check(
         self,
@@ -249,9 +281,38 @@ class Hardener:
     # Step 2b: R2 repair through flow conservation
     # ------------------------------------------------------------------
 
-    def _repair_flows(self, collected: CollectedState, state: HardenedState) -> None:
+    def repair_flows(
+        self,
+        collected: CollectedState,
+        state: HardenedState,
+        solver_cache: Optional["ConservationSolveCache"] = None,
+    ) -> Tuple[Tuple[str, ...], ...]:
+        """Solve the conservation system and apply repairs in place.
+
+        Args:
+            collected: Step-1 output (needed for R2 arbitration).
+            state: Hardened state with the R1 flow vector already
+                assembled; repaired values are written back into it.
+            solver_cache: Optional
+                :class:`~repro.core.flow_repair.ConservationSolveCache`
+                memoizing per-component solves across epochs (hits are
+                bitwise-identical, so sharing one across epochs never
+                changes output).
+
+        Returns:
+            The :data:`~repro.core.flow_repair.VarKey` of every unknown
+            a repaired value was actually written for, in emission
+            order -- the incremental engine's dirty-propagation seed.
+        """
         if not self._config.enable_repair:
-            return
+            return ()
+        if not (
+            any(hv.value is None for hv in state.edge_flows.values())
+            or any(hv.value is None for hv in state.ext_in.values())
+            or any(hv.value is None for hv in state.ext_out.values())
+            or any(hv.value is None for hv in state.drops.values())
+        ):
+            return ()  # nothing to repair
         nodes = self._cache.nodes
         edges = self._cache.directed_edges
         edge_values = {e: state.edge_flows[e].value for e in edges}
@@ -259,14 +320,9 @@ class Hardener:
         ext_out = {n: state.ext_out[n].value for n in nodes}
         drops = {n: state.drops[n].value for n in nodes}
 
-        if not any(
-            value is None
-            for mapping in (edge_values, ext_in, ext_out, drops)
-            for value in mapping.values()
-        ):
-            return  # nothing to repair
-
-        result = self._cache.conservation.solve(edge_values, ext_in, ext_out, drops)
+        result = self._cache.conservation.solve(
+            edge_values, ext_in, ext_out, drops, cache=solver_cache
+        )
 
         if not result.is_consistent(self._config.repair_residual_tol):
             state.findings.append(
@@ -281,10 +337,13 @@ class Hardener:
                     redundancy="R2",
                 )
             )
-            return
+            return ()
 
+        repaired: List[Tuple[str, ...]] = []
         for key, value in result.values.items():
-            self._apply_repair(collected, state, key, value)
+            if self._apply_repair(collected, state, key, value):
+                repaired.append(key)
+        return tuple(repaired)
 
     def _apply_repair(
         self,
@@ -292,7 +351,8 @@ class Hardener:
         state: HardenedState,
         key: Tuple[str, ...],
         value: Optional[float],
-    ) -> None:
+    ) -> bool:
+        """Apply one solved unknown; True when a value was written."""
         kind = key[0]
         subject = "->".join(key[1:]) if kind == "edge" else key[1]
         if value is None:
@@ -305,7 +365,7 @@ class Hardener:
                     redundancy="R2",
                 )
             )
-            return
+            return False
         if value < -self._config.rate_floor:
             state.findings.append(
                 Finding(
@@ -316,7 +376,7 @@ class Hardener:
                     redundancy="R2",
                 )
             )
-            return
+            return False
 
         repaired = HardenedValue(
             max(0.0, value), Confidence.REPAIRED, "flow conservation"
@@ -340,6 +400,7 @@ class Hardener:
             state.ext_out[key[1]] = repaired
         elif kind == "drop":
             state.drops[key[1]] = repaired
+        return True
 
     def _arbitrate(
         self,
@@ -382,57 +443,70 @@ class Hardener:
 
     def _harden_link_status(self, collected: CollectedState, state: HardenedState) -> None:
         for link in self._cache.links:
-            a, b = link.a, link.b
-            status_ab = collected.statuses.get((a, b))
-            status_ba = collected.statuses.get((b, a))
-            counter_ab = collected.counter(a, b)
-            counter_ba = collected.counter(b, a)
-            rates: Tuple[Optional[float], ...] = tuple(
-                value
-                for counter in (counter_ab, counter_ba)
-                if counter is not None
-                for value in (counter.rx, counter.tx)
-            )
-            evidence = LinkEvidence(
-                status_a=status_ab.oper_up if status_ab else None,
-                status_b=status_ba.oper_up if status_ba else None,
-                rates=rates,
-                probe_ab=collected.probes.get((a, b)),
-                probe_ba=collected.probes.get((b, a)),
-            )
-            hardened = combine_link_evidence(evidence, self._config)
+            hardened, findings = self.harden_link_status_entity(collected, link)
             state.links[link.name] = hardened
+            state.findings.extend(findings)
 
-            if evidence.status_consensus() == "conflict":
-                state.findings.append(
-                    Finding(
-                        code="R1_STATUS_MISMATCH",
-                        severity=FindingSeverity.WARNING,
-                        subject=link.name,
-                        detail="endpoints disagree on oper-status",
-                        redundancy="R1",
-                    )
+    def harden_link_status_entity(
+        self, collected: CollectedState, link
+    ) -> Tuple[HardenedLinkStatus, Tuple[Finding, ...]]:
+        """Truth-table verdict for one link (pure per-entity unit).
+
+        Reads only the link's two status reports, two counters, and two
+        probes.
+        """
+        a, b = link.a, link.b
+        status_ab = collected.statuses.get((a, b))
+        status_ba = collected.statuses.get((b, a))
+        counter_ab = collected.counter(a, b)
+        counter_ba = collected.counter(b, a)
+        rates: Tuple[Optional[float], ...] = tuple(
+            value
+            for counter in (counter_ab, counter_ba)
+            if counter is not None
+            for value in (counter.rx, counter.tx)
+        )
+        evidence = LinkEvidence(
+            status_a=status_ab.oper_up if status_ab else None,
+            status_b=status_ba.oper_up if status_ba else None,
+            rates=rates,
+            probe_ab=collected.probes.get((a, b)),
+            probe_ba=collected.probes.get((b, a)),
+        )
+        hardened = combine_link_evidence(evidence, self._config)
+
+        findings: List[Finding] = []
+        if evidence.status_consensus() == "conflict":
+            findings.append(
+                Finding(
+                    code="R1_STATUS_MISMATCH",
+                    severity=FindingSeverity.WARNING,
+                    subject=link.name,
+                    detail="endpoints disagree on oper-status",
+                    redundancy="R1",
                 )
-            if hardened.verdict == LinkVerdict.SUSPECT:
-                state.findings.append(
-                    Finding(
-                        code="LINK_SUSPECT",
-                        severity=FindingSeverity.WARNING,
-                        subject=link.name,
-                        detail=f"evidence unresolved: {', '.join(hardened.evidence)}",
-                        redundancy="R3",
-                    )
+            )
+        if hardened.verdict == LinkVerdict.SUSPECT:
+            findings.append(
+                Finding(
+                    code="LINK_SUSPECT",
+                    severity=FindingSeverity.WARNING,
+                    subject=link.name,
+                    detail=f"evidence unresolved: {', '.join(hardened.evidence)}",
+                    redundancy="R3",
                 )
-            if hardened.verdict == LinkVerdict.UP and hardened.forwarding is False:
-                state.findings.append(
-                    Finding(
-                        code="SEMANTIC_LINK_FAILURE",
-                        severity=FindingSeverity.CRITICAL,
-                        subject=link.name,
-                        detail="status up but dataplane does not forward",
-                        redundancy="R4",
-                    )
+            )
+        if hardened.verdict == LinkVerdict.UP and hardened.forwarding is False:
+            findings.append(
+                Finding(
+                    code="SEMANTIC_LINK_FAILURE",
+                    severity=FindingSeverity.CRITICAL,
+                    subject=link.name,
+                    detail="status up but dataplane does not forward",
+                    redundancy="R4",
                 )
+            )
+        return hardened, tuple(findings)
 
     # ------------------------------------------------------------------
     # Step 2d: drain hardening
@@ -440,37 +514,52 @@ class Hardener:
 
     def _harden_drains(self, collected: CollectedState, state: HardenedState) -> None:
         for node in self._cache.nodes:
-            reported = collected.drains.get(node)
-            reason = collected.drain_reasons.get(node)
-            carrying = self._node_carries_traffic(node, state)
-            if reported is None:
-                verdict = DrainVerdict.CONFLICTED
-                state.findings.append(
-                    Finding(
-                        code="DRAIN_MISSING",
-                        severity=FindingSeverity.WARNING,
-                        subject=node,
-                        detail="no usable drain report",
-                    )
+            hardened, findings = self.harden_node_drain_entity(collected, node, state)
+            state.findings.extend(findings)
+            state.node_drains[node] = hardened
+
+    def harden_node_drain_entity(
+        self, collected: CollectedState, node: str, state: HardenedState
+    ) -> Tuple[HardenedDrain, Tuple[Finding, ...]]:
+        """Drain verdict for one router (per-entity unit).
+
+        Reads the router's drain bit and reason plus the *post-repair*
+        flow vector around it (``state.edge_flows``/``ext_in``/
+        ``ext_out``), so a repaired edge dirties both its endpoints.
+        """
+        findings: List[Finding] = []
+        reported = collected.drains.get(node)
+        reason = collected.drain_reasons.get(node)
+        carrying = self._node_carries_traffic(node, state)
+        if reported is None:
+            verdict = DrainVerdict.CONFLICTED
+            findings.append(
+                Finding(
+                    code="DRAIN_MISSING",
+                    severity=FindingSeverity.WARNING,
+                    subject=node,
+                    detail="no usable drain report",
                 )
-            else:
-                verdict = DrainVerdict.DRAINED if reported else DrainVerdict.SERVING
-                if reported and carrying:
-                    self._flag_drained_but_carrying(node, reason, state)
-            evidence = []
-            if carrying is not None:
-                evidence.append("traffic:active" if carrying else "traffic:idle")
-            if reason is not None:
-                evidence.append(f"reason:{reason.value}")
-            state.node_drains[node] = HardenedDrain(
-                verdict=verdict,
-                carrying_traffic=carrying,
-                reason=reason,
-                evidence=tuple(evidence),
             )
+        else:
+            verdict = DrainVerdict.DRAINED if reported else DrainVerdict.SERVING
+            if reported and carrying:
+                findings.append(self._drained_but_carrying_finding(node, reason))
+        evidence = []
+        if carrying is not None:
+            evidence.append("traffic:active" if carrying else "traffic:idle")
+        if reason is not None:
+            evidence.append(f"reason:{reason.value}")
+        hardened = HardenedDrain(
+            verdict=verdict,
+            carrying_traffic=carrying,
+            reason=reason,
+            evidence=tuple(evidence),
+        )
+        return hardened, tuple(findings)
 
     @staticmethod
-    def _flag_drained_but_carrying(node, reason, state: HardenedState) -> None:
+    def _drained_but_carrying_finding(node, reason) -> Finding:
         """The paper's "case 2": drained yet demonstrably carrying.
 
         Without a reason (or with one that does not explain traffic)
@@ -482,46 +571,53 @@ class Hardener:
         positive.
         """
         explained = reason is not None and reason_allows_traffic(reason)
-        state.findings.append(
-            Finding(
-                code="DRAINED_BUT_CARRYING",
-                severity=FindingSeverity.INFO if explained else FindingSeverity.WARNING,
-                subject=node,
-                detail=(
-                    "reports drained yet demonstrably carries traffic; "
-                    + (
-                        f"expected while a {reason.value} drain settles"
-                        if explained
-                        else "consistent with a fresh or erroneous drain"
-                    )
-                ),
-                redundancy="R3",
-            )
+        return Finding(
+            code="DRAINED_BUT_CARRYING",
+            severity=FindingSeverity.INFO if explained else FindingSeverity.WARNING,
+            subject=node,
+            detail=(
+                "reports drained yet demonstrably carries traffic; "
+                + (
+                    f"expected while a {reason.value} drain settles"
+                    if explained
+                    else "consistent with a fresh or erroneous drain"
+                )
+            ),
+            redundancy="R3",
         )
 
     def _harden_link_drains(self, collected: CollectedState, state: HardenedState) -> None:
         for link in self._cache.links:
-            bits = [
-                collected.link_drains.get((link.a, link.b)),
-                collected.link_drains.get((link.b, link.a)),
-            ]
-            known = [bit for bit in bits if bit is not None]
-            if known and all(known) and len(known) == 2:
-                verdict = DrainVerdict.DRAINED
-            elif known and not any(known):
-                verdict = DrainVerdict.SERVING
-            else:
-                verdict = DrainVerdict.CONFLICTED
-                state.findings.append(
-                    Finding(
-                        code="R1_DRAIN_MISMATCH",
-                        severity=FindingSeverity.WARNING,
-                        subject=link.name,
-                        detail=f"link-drain bits disagree across endpoints: {bits}",
-                        redundancy="R1",
-                    )
-                )
-            state.link_drains[link.name] = HardenedDrain(verdict=verdict)
+            hardened, findings = self.harden_link_drain_entity(collected, link)
+            state.findings.extend(findings)
+            state.link_drains[link.name] = hardened
+
+    def harden_link_drain_entity(
+        self, collected: CollectedState, link
+    ) -> Tuple[HardenedDrain, Tuple[Finding, ...]]:
+        """Link-drain symmetry for one link (pure per-entity unit)."""
+        bits = [
+            collected.link_drains.get((link.a, link.b)),
+            collected.link_drains.get((link.b, link.a)),
+        ]
+        known = [bit for bit in bits if bit is not None]
+        findings: Tuple[Finding, ...] = ()
+        if known and all(known) and len(known) == 2:
+            verdict = DrainVerdict.DRAINED
+        elif known and not any(known):
+            verdict = DrainVerdict.SERVING
+        else:
+            verdict = DrainVerdict.CONFLICTED
+            findings = (
+                Finding(
+                    code="R1_DRAIN_MISMATCH",
+                    severity=FindingSeverity.WARNING,
+                    subject=link.name,
+                    detail=f"link-drain bits disagree across endpoints: {bits}",
+                    redundancy="R1",
+                ),
+            )
+        return HardenedDrain(verdict=verdict), findings
 
     def _node_carries_traffic(self, node: str, state: HardenedState) -> Optional[bool]:
         """Does the hardened flow vector show traffic at this router?"""

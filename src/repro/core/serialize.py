@@ -10,7 +10,7 @@ omitting bulky internals (the full hardened flow vector is opt-in).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from repro.control.metrics import HealthReport
 from repro.core.invariants import CheckResult, InvariantResult

@@ -17,7 +17,7 @@ Violations come in both directions plus the semantic case:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.config import HodorConfig
 from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
@@ -54,51 +54,69 @@ class TopologyChecker:
 
         believed_links = {link.name for link in topology_input.links()}
         for link_name in sorted(set(hardened.links) | believed_links):
-            status = hardened.links.get(link_name)
-            believed_live = link_name in believed_links
+            conditions, notes = self.check_link_entity(
+                link_name, link_name in believed_links, hardened.links.get(link_name)
+            )
+            result.results.extend(conditions)
+            result.notes.extend(notes)
+        return result
 
-            if status is None:
-                result.results.append(
+    def check_link_entity(
+        self,
+        link_name: str,
+        believed_live: bool,
+        status,
+    ) -> Tuple[Tuple[InvariantResult, ...], Tuple[str, ...]]:
+        """Topology conditions for one link (pure per-entity unit).
+
+        Depends only on whether the controller believes the link live
+        and on its hardened status (``None`` when hardening knows
+        nothing about it).
+        """
+        if status is None:
+            return (
+                (
                     _condition(
                         f"topology/unknown-link/{link_name}",
                         f"{link_name} appears in the controller topology but "
                         "hardening knows nothing about it",
                         holds=not believed_live,
-                    )
-                )
-                continue
+                    ),
+                ),
+                (),
+            )
 
-            if status.verdict == LinkVerdict.SUSPECT:
-                result.results.append(
+        if status.verdict == LinkVerdict.SUSPECT:
+            return (
+                (
                     _condition(
                         f"topology/live-iff-up/{link_name}",
                         f"{link_name}: hardened status is suspect; cannot decide",
                         holds=None,
-                    )
-                )
-                result.notes.append(f"{link_name}: hardened verdict suspect, skipped")
-                continue
-
-            hardened_up = status.verdict == LinkVerdict.UP
-            result.results.append(
-                _condition(
-                    f"topology/live-iff-up/{link_name}",
-                    (
-                        f"{link_name}: controller believes "
-                        f"{'live' if believed_live else 'absent'}, hardened says "
-                        f"{'up' if hardened_up else 'down'}"
                     ),
-                    holds=believed_live == hardened_up,
-                )
+                ),
+                (f"{link_name}: hardened verdict suspect, skipped",),
             )
 
-            if believed_live and hardened_up and status.forwarding is False:
-                result.results.append(
-                    _condition(
-                        f"topology/forwarding/{link_name}",
-                        f"{link_name}: in controller topology, status up, but the "
-                        "dataplane does not forward (semantic failure)",
-                        holds=False,
-                    )
+        hardened_up = status.verdict == LinkVerdict.UP
+        conditions = [
+            _condition(
+                f"topology/live-iff-up/{link_name}",
+                (
+                    f"{link_name}: controller believes "
+                    f"{'live' if believed_live else 'absent'}, hardened says "
+                    f"{'up' if hardened_up else 'down'}"
+                ),
+                holds=believed_live == hardened_up,
+            )
+        ]
+        if believed_live and hardened_up and status.forwarding is False:
+            conditions.append(
+                _condition(
+                    f"topology/forwarding/{link_name}",
+                    f"{link_name}: in controller topology, status up, but the "
+                    "dataplane does not forward (semantic failure)",
+                    holds=False,
                 )
-        return result
+            )
+        return tuple(conditions), ()

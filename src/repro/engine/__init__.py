@@ -11,8 +11,11 @@ provides the streaming counterpart to the one-shot
   per-signal pipeline stages over a thread pool;
 - :mod:`repro.engine.runner` -- :class:`ValidationEngine`, which ties
   the two together and streams epochs through the pipeline;
+- :mod:`repro.engine.incremental` -- the delta-aware epoch path
+  (``mode="incremental"``) that diffs consecutive snapshots and reuses
+  every per-entity verdict whose inputs did not change;
 - :mod:`repro.engine.stats` -- observable counters (epochs, cache
-  hits, stage timings, shard utilisation);
+  hits, stage timings, shard utilisation, entity reuse);
 - :mod:`repro.engine.diff` -- the report comparator backing the
   differential test harness that proves engine output identical to
   the serial path.
@@ -25,6 +28,7 @@ from repro.engine.cache import (
     topology_fingerprint,
 )
 from repro.engine.diff import compare_reports
+from repro.engine.incremental import IncrementalValidator
 from repro.engine.runner import EpochInput, ValidationEngine
 from repro.engine.sharding import ShardMap, split_slices
 from repro.engine.stats import EngineStats
@@ -35,6 +39,7 @@ __all__ = [
     "structural_key",
     "topology_fingerprint",
     "compare_reports",
+    "IncrementalValidator",
     "EpochInput",
     "ValidationEngine",
     "ShardMap",

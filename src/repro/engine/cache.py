@@ -50,7 +50,7 @@ def structural_key(topology: Topology) -> Tuple:
     participate), in name order so construction order does not matter.
     """
     nodes = tuple(sorted((n for n in topology.nodes()), key=lambda n: n.name))
-    links = tuple(sorted((l for l in topology.links()), key=lambda l: l.name))
+    links = tuple(sorted(topology.links(), key=lambda link: link.name))
     return (nodes, links)
 
 

@@ -1,0 +1,759 @@
+"""Delta-aware incremental epoch validation.
+
+The full epoch path recomputes collection, hardening, and every
+dynamic check from scratch, even though between two 30-second WAN
+collections only a small fraction of signals move.  This module makes
+epoch cost proportional to *churn* instead of network size: a
+:class:`~repro.telemetry.delta.SnapshotDelta` identifies the changed
+signals, dirty sets propagate the changes through the pipeline's
+dependency structure, and every clean per-entity unit reuses the
+previous epoch's output object verbatim.
+
+Dirty propagation mirrors the data flow of the serial pipeline:
+
+- a changed counter dirties its interface's collected entry, the R1
+  check of both directed edges over its link, its router's external
+  counters, and its link's status verdict;
+- a value the R2 conservation solve repaired (this epoch *or* the
+  previous one -- a repair that disappears is as much a change as one
+  that appears) dirties the drain verdict of the edge's endpoints;
+- a drain or status change dirties exactly the touched router/link in
+  the hardened view and the topology/drain checks over it;
+- a demand-matrix change, or any change to the network-wide hardened
+  drop total (which widens every egress tolerance), dirties the demand
+  check globally.
+
+Correctness invariant, enforced by the differential harness in
+``tests/engine``: the assembled report is identical to the full
+path's, finding for finding and note for note, because every reused
+output is the frozen object a fresh recompute would have produced and
+assembly follows the serial iteration orders exactly.  The R2 stage
+re-solves every epoch, but component-scoped
+(:class:`~repro.core.flow_repair.ConservationSolveCache` hits are
+bitwise-identical), so repair cost also tracks churn.
+
+The validator keeps a reference to each epoch's snapshot for diffing;
+callers must not mutate a snapshot after passing it in (both the
+scenario worlds and the telemetry collector produce fresh snapshots
+per epoch).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.control.inputs import ControllerInputs
+from repro.core.config import HodorConfig
+from repro.core.demand_check import DemandChecker
+from repro.core.flow_repair import ConservationSolveCache
+from repro.core.pipeline import Hodor
+from repro.core.report import ValidationReport
+from repro.core.signals import CollectedState, HardenedState
+from repro.engine.cache import TopologyCache
+from repro.engine.stats import EngineStats
+from repro.net.topology import EXTERNAL_PEER
+from repro.telemetry.delta import SnapshotDelta
+from repro.telemetry.snapshot import NetworkSnapshot
+
+__all__ = ["IncrementalValidator"]
+
+
+class _EpochMemo:
+    """Everything the previous epoch left behind for reuse."""
+
+    __slots__ = (
+        "snapshot",
+        "state",
+        "demand",
+        "total_dropped",
+        "believed_links",
+        "node_bits",
+        "link_bits",
+        "repaired_edges",
+        "repaired_ext_in",
+        "repaired_ext_out",
+        "collect_caches",
+        "flow_cache",
+        "external_cache",
+        "link_status_cache",
+        "node_drain_cache",
+        "link_drain_cache",
+        "demand_cache",
+        "topology_cache",
+        "drain_node_cache",
+        "drain_link_cache",
+    )
+
+    def __init__(self) -> None:
+        self.snapshot: Optional[NetworkSnapshot] = None
+        self.state: Optional[HardenedState] = None
+        self.demand = None
+        self.total_dropped: float = 0.0
+        self.believed_links: FrozenSet[str] = frozenset()
+        self.node_bits: Dict[str, bool] = {}
+        self.link_bits: Dict[str, bool] = {}
+        self.repaired_edges: Set[Tuple[str, str]] = set()
+        self.repaired_ext_in: Set[str] = set()
+        self.repaired_ext_out: Set[str] = set()
+        self.collect_caches: Tuple[Dict, ...] = ({}, {}, {}, {}, {}, {})
+        self.flow_cache: Dict = {}
+        self.external_cache: Dict = {}
+        self.link_status_cache: Dict = {}
+        self.node_drain_cache: Dict = {}
+        self.link_drain_cache: Dict = {}
+        self.demand_cache: Dict = {}
+        self.topology_cache: Dict = {}
+        self.drain_node_cache: Dict = {}
+        self.drain_link_cache: Dict = {}
+
+
+_MISSING = object()
+
+
+def _merge_family(
+    keys,
+    dirty: Optional[Set],
+    old_cache: Dict,
+    compute,
+    counts: List[int],
+    changed: Optional[Set] = None,
+):
+    """Recompute dirty entries, reuse clean ones, in ``keys`` order.
+
+    ``dirty=None`` means everything is dirty (the priming epoch).  When
+    ``changed`` is given, keys whose entry differs from the previous
+    epoch's are collected into it -- the next stage's dirty seed.
+    Returns the new entry cache (also the assembly source, in order).
+    """
+    new_cache: Dict = {}
+    for key in keys:
+        if dirty is None or key in dirty or key not in old_cache:
+            entry = compute(key)
+            counts[0] += 1
+            if changed is not None and old_cache.get(key) != entry:
+                changed.add(key)
+        else:
+            entry = old_cache[key]
+            counts[1] += 1
+        new_cache[key] = entry
+    return new_cache
+
+
+def _update_family(
+    dirty: Set,
+    cache: Dict,
+    compute,
+    counts: List[int],
+    changed: Optional[Set] = None,
+):
+    """Dirty-only in-place variant of :func:`_merge_family`.
+
+    Valid only when the key universe is unchanged since the cache was
+    built: the dict's insertion order is already the assembly order and
+    in-place assignment preserves it, so only the dirty keys are
+    touched.  Dirty keys outside the universe (defensive dirt from
+    malformed snapshot entries) are skipped, matching how the rebuild
+    path never visits them.
+    """
+    recomputed = 0
+    for key in dirty:
+        old = cache.get(key, _MISSING)
+        if old is _MISSING:
+            continue
+        entry = compute(key)
+        recomputed += 1
+        if changed is not None and old != entry:
+            changed.add(key)
+        cache[key] = entry
+    counts[0] += recomputed
+    counts[1] += len(cache) - recomputed
+    return cache
+
+
+class IncrementalValidator:
+    """The incremental epoch path for one topology fingerprint.
+
+    Owns the per-epoch memo, the conservation solver cache, and the
+    dirty-set propagation; produced reports are identical to the full
+    path's (the differential harness enforces this).
+
+    Args:
+        config: Pipeline configuration.
+        cache: The topology cache shared with the full path.
+        components: The per-topology pipeline components (collector,
+            hardener, checkers) shared with the full path.
+        stats: The engine's counters; stage timings and reuse counts
+            are recorded here.
+    """
+
+    def __init__(
+        self,
+        config: HodorConfig,
+        cache: TopologyCache,
+        components,
+        stats: EngineStats,
+    ) -> None:
+        self._config = config
+        self._cache = cache
+        self._components = components
+        self._stats = stats
+        self._solver_cache = ConservationSolveCache()
+        self._memo: Optional[_EpochMemo] = None
+
+        self._directed_edge_set = frozenset(cache.directed_edges)
+        self._edge_to_link: Dict[Tuple[str, str], str] = {}
+        self._link_endpoints: Dict[str, Tuple[str, str]] = {}
+        self._link_name: Dict[object, str] = {}
+        self._name_to_link: Dict[str, object] = {}
+        for link in cache.links:
+            name = link.name
+            self._edge_to_link[(link.a, link.b)] = name
+            self._edge_to_link[(link.b, link.a)] = name
+            self._link_endpoints[name] = (link.a, link.b)
+            self._link_name[link] = name
+            self._name_to_link[name] = link
+
+    # ------------------------------------------------------------------
+
+    def validate(
+        self, snapshot: NetworkSnapshot, inputs: ControllerInputs
+    ) -> ValidationReport:
+        """Validate one epoch, reusing every clean per-entity verdict."""
+        memo = self._memo
+        delta: Optional[SnapshotDelta] = None
+        if memo is not None and memo.snapshot is not None:
+            delta = SnapshotDelta.between(
+                memo.snapshot, snapshot, max_staleness_s=self._config.max_staleness_s
+            )
+
+        new = _EpochMemo()
+        new.snapshot = snapshot
+
+        # The per-family caches are updated in place in the steady
+        # state; a half-updated memo must not survive an error, so any
+        # failure drops it and the next epoch primes from scratch.
+        try:
+            stage_start = time.perf_counter()
+            collected = self._collect(snapshot, delta, memo, new)
+            self._stats.record_stage("collect", time.perf_counter() - stage_start)
+
+            stage_start = time.perf_counter()
+            state, changed = self._harden(collected, delta, memo, new)
+            self._stats.record_stage("harden", time.perf_counter() - stage_start)
+
+            stage_start = time.perf_counter()
+            report = ValidationReport(timestamp=snapshot.timestamp, hardened=state)
+            Hodor._record(
+                report, self._check_demand(inputs, state, memo, new, changed)
+            )
+            Hodor._record(
+                report, self._check_topology(inputs, state, memo, new, changed)
+            )
+            Hodor._record(report, self._check_drain(inputs, state, memo, new, changed))
+            self._stats.record_stage("check", time.perf_counter() - stage_start)
+        except BaseException:
+            self.reset()
+            raise
+
+        self._memo = new
+        return report
+
+    def reset(self) -> None:
+        """Drop the memo (the next epoch primes from scratch)."""
+        self._memo = None
+
+    @staticmethod
+    def _family(keys, dirty, old_cache, compute, counts, changed=None):
+        """Dispatch to the in-place update when the universe is stable.
+
+        Only safe for families whose key universe is fixed by the
+        topology cache (``old_cache`` was then necessarily built over
+        the same ``keys``, so a matching length proves a matching
+        universe).
+        """
+        if dirty is not None and len(old_cache) == len(keys):
+            return _update_family(dirty, old_cache, compute, counts, changed)
+        return _merge_family(keys, dirty, old_cache, compute, counts, changed)
+
+    # ------------------------------------------------------------------
+    # Stage 1: collection
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self,
+        snapshot: NetworkSnapshot,
+        delta: Optional[SnapshotDelta],
+        memo: Optional[_EpochMemo],
+        new: _EpochMemo,
+    ) -> CollectedState:
+        collector = self._components.collector
+        collected = CollectedState(timestamp=snapshot.timestamp)
+        counts = [0, 0]
+
+        families = (
+            # (snapshot mapping, changed keys, CollectedState attr, compute)
+            (
+                snapshot.counters,
+                delta.counters if delta else None,
+                "counters",
+                lambda key: collector.collect_counter_entity(
+                    snapshot.timestamp, key, snapshot.counters[key]
+                ),
+            ),
+            (
+                snapshot.link_status,
+                delta.statuses if delta else None,
+                "statuses",
+                lambda key: collector.collect_status_entity(
+                    key, snapshot.link_status[key]
+                ),
+            ),
+            (
+                snapshot.drains,
+                delta.drains if delta else None,
+                "drains",
+                lambda key: collector.collect_drain_entity(key, snapshot.drains[key]),
+            ),
+            (
+                snapshot.drain_reasons,
+                delta.drain_reasons if delta else None,
+                "drain_reasons",
+                lambda key: collector.collect_drain_reason_entity(
+                    key, snapshot.drain_reasons[key]
+                ),
+            ),
+            (
+                snapshot.link_drains,
+                delta.link_drains if delta else None,
+                "link_drains",
+                lambda key: collector.collect_link_drain_entity(
+                    key, snapshot.link_drains[key]
+                ),
+            ),
+            (
+                snapshot.drops,
+                delta.drops if delta else None,
+                "drops",
+                lambda key: collector.collect_drop_entity(key, snapshot.drops[key]),
+            ),
+        )
+        old_caches = memo.collect_caches if memo else ({}, {}, {}, {}, {}, {})
+        new_caches = []
+        for (mapping, dirty, attr, compute), old_cache in zip(families, old_caches):
+            # The raw snapshot mappings are the one key universe not
+            # pinned by the topology cache, so prove it stable (C-level
+            # keys-view equality) before updating in place.
+            if dirty is not None and mapping.keys() == old_cache.keys():
+                family_cache = _update_family(dirty, old_cache, compute, counts)
+            else:
+                family_cache = _merge_family(
+                    sorted(mapping), dirty, old_cache, compute, counts
+                )
+            setattr(
+                collected,
+                attr,
+                {key: entry[0] for key, entry in family_cache.items()},
+            )
+            collected.findings.extend(
+                finding
+                for entry in family_cache.values()
+                for finding in entry[1]
+            )
+            new_caches.append(family_cache)
+        new.collect_caches = tuple(new_caches)
+
+        collected.probes = {key: result.ok for key, result in snapshot.probes.items()}
+        self._stats.record_reuse("collect", counts[0], counts[1])
+        return collected
+
+    # ------------------------------------------------------------------
+    # Stage 2: hardening
+    # ------------------------------------------------------------------
+
+    def _harden(
+        self,
+        collected: CollectedState,
+        delta: Optional[SnapshotDelta],
+        memo: Optional[_EpochMemo],
+        new: _EpochMemo,
+    ) -> Tuple[HardenedState, Dict[str, Optional[Set]]]:
+        hardener = self._components.hardener
+        cache = self._cache
+        state = HardenedState()
+        state.findings.extend(collected.findings)
+        prev_state = memo.state if memo else None
+
+        # -- R1 flows: a changed counter dirties both directed edges of
+        # its link.
+        dirty_edges: Optional[Set] = None
+        if delta is not None:
+            dirty_edges = set()
+            for a, b in delta.counters:
+                for edge in ((a, b), (b, a)):
+                    if edge in self._directed_edge_set:
+                        dirty_edges.add(edge)
+        counts = [0, 0]
+        changed_pre_flows: Set = set()
+        new.flow_cache = self._family(
+            cache.directed_edges,
+            dirty_edges,
+            memo.flow_cache if memo else {},
+            lambda edge: hardener.harden_edge_entity(collected, edge[0], edge[1]),
+            counts,
+            changed_pre_flows,
+        )
+        state.edge_flows = {
+            edge: entry[0] for edge, entry in new.flow_cache.items()
+        }
+        state.findings.extend(
+            finding for entry in new.flow_cache.values() for finding in entry[1]
+        )
+        self._stats.record_reuse("harden.flows", counts[0], counts[1])
+
+        # -- External counters: dirtied by the router's external
+        # interface counter or its drop counter.
+        dirty_ext: Optional[Set] = None
+        if delta is not None:
+            dirty_ext = set(delta.drops)
+            for node, peer in delta.counters:
+                if peer == EXTERNAL_PEER:
+                    dirty_ext.add(node)
+        counts = [0, 0]
+        changed_pre_ext: Set = set()
+        new.external_cache = self._family(
+            cache.nodes,
+            dirty_ext,
+            memo.external_cache if memo else {},
+            lambda node: hardener.harden_external_entity(collected, node),
+            counts,
+            changed_pre_ext,
+        )
+        for node, (ext_in, ext_out, drop, findings) in new.external_cache.items():
+            state.ext_in[node] = ext_in
+            state.ext_out[node] = ext_out
+            state.drops[node] = drop
+            if findings:
+                state.findings.extend(findings)
+        self._stats.record_reuse("harden.external", counts[0], counts[1])
+
+        # -- R2 repair: re-solved every epoch (component-scoped, with
+        # bitwise-identical solver-cache hits, so cost tracks churn).
+        hits_before = self._solver_cache.hits
+        misses_before = self._solver_cache.misses
+        repaired = hardener.repair_flows(collected, state, solver_cache=self._solver_cache)
+        self._stats.repair_reuses += self._solver_cache.hits - hits_before
+        self._stats.repair_solves += self._solver_cache.misses - misses_before
+        for key in repaired:
+            kind = key[0]
+            if kind == "edge":
+                new.repaired_edges.add((key[1], key[2]))
+            elif kind == "ext_in":
+                new.repaired_ext_in.add(key[1])
+            elif kind == "ext_out":
+                new.repaired_ext_out.add(key[1])
+
+        # -- Post-repair change detection: a value changed if its
+        # pre-repair entry changed OR a repair touched it this epoch or
+        # last epoch and the final values differ.
+        changed_flows: Optional[Set] = None
+        changed_ext: Optional[Set] = None
+        if prev_state is not None and memo is not None:
+            candidates = changed_pre_flows | new.repaired_edges | memo.repaired_edges
+            changed_flows = {
+                edge
+                for edge in candidates
+                if prev_state.edge_flows.get(edge) != state.edge_flows[edge]
+            }
+            ext_candidates = (
+                changed_pre_ext
+                | new.repaired_ext_in
+                | new.repaired_ext_out
+                | memo.repaired_ext_in
+                | memo.repaired_ext_out
+            )
+            changed_ext = {
+                node
+                for node in ext_candidates
+                if prev_state.ext_in.get(node) != state.ext_in[node]
+                or prev_state.ext_out.get(node) != state.ext_out[node]
+            }
+
+        # -- Link status: dirtied by any of the link's status, counter,
+        # or probe signals (both directions).
+        dirty_links: Optional[Set] = None
+        if delta is not None:
+            dirty_links = set()
+            for family in (delta.statuses, delta.counters, delta.probes):
+                for key in family:
+                    name = self._edge_to_link.get(key)
+                    if name is not None:
+                        dirty_links.add(name)
+        counts = [0, 0]
+        changed_links: Set = set()
+        new.link_status_cache = self._family(
+            cache.links,
+            None
+            if dirty_links is None
+            else {
+                self._name_to_link[name]
+                for name in dirty_links
+                if name in self._name_to_link
+            },
+            memo.link_status_cache if memo else {},
+            lambda link: hardener.harden_link_status_entity(collected, link),
+            counts,
+            changed_links,
+        )
+        link_name = self._link_name
+        changed_link_names: Optional[Set] = (
+            None if delta is None else {link_name[link] for link in changed_links}
+        )
+        state.links = {
+            link_name[link]: entry[0]
+            for link, entry in new.link_status_cache.items()
+        }
+        state.findings.extend(
+            finding
+            for entry in new.link_status_cache.values()
+            for finding in entry[1]
+        )
+        self._stats.record_reuse("harden.links", counts[0], counts[1])
+
+        # -- Node drains: dirtied by the router's drain bit/reason or a
+        # post-repair flow change at the router.
+        dirty_node_drains: Optional[Set] = None
+        if delta is not None and changed_flows is not None and changed_ext is not None:
+            dirty_node_drains = set(delta.drains) | set(delta.drain_reasons)
+            dirty_node_drains |= changed_ext
+            for src, dst in changed_flows:
+                dirty_node_drains.add(src)
+                dirty_node_drains.add(dst)
+        counts = [0, 0]
+        changed_node_drains: Set = set()
+        new.node_drain_cache = self._family(
+            cache.nodes,
+            dirty_node_drains,
+            memo.node_drain_cache if memo else {},
+            lambda node: hardener.harden_node_drain_entity(collected, node, state),
+            counts,
+            changed_node_drains,
+        )
+        state.findings.extend(
+            finding
+            for entry in new.node_drain_cache.values()
+            for finding in entry[1]
+        )
+        state.node_drains = {
+            node: entry[0] for node, entry in new.node_drain_cache.items()
+        }
+        self._stats.record_reuse("harden.drains", counts[0], counts[1])
+
+        # -- Link drains: dirtied by either endpoint's link-drain bit.
+        dirty_link_drains: Optional[Set] = None
+        if delta is not None:
+            dirty_link_drains = {
+                self._name_to_link[self._edge_to_link[key]]
+                for key in delta.link_drains
+                if key in self._edge_to_link
+            }
+        counts = [0, 0]
+        changed_link_drains: Set = set()
+        new.link_drain_cache = self._family(
+            cache.links,
+            dirty_link_drains,
+            memo.link_drain_cache if memo else {},
+            lambda link: hardener.harden_link_drain_entity(collected, link),
+            counts,
+            changed_link_drains,
+        )
+        state.findings.extend(
+            finding
+            for entry in new.link_drain_cache.values()
+            for finding in entry[1]
+        )
+        state.link_drains = {
+            link_name[link]: entry[0]
+            for link, entry in new.link_drain_cache.items()
+        }
+        self._stats.record_reuse("harden.drains", counts[0], counts[1])
+
+        new.state = state
+        changed = {
+            "flows": changed_flows,
+            "ext": changed_ext,
+            "links": changed_link_names,
+            "node_drains": None if delta is None else changed_node_drains,
+            "link_drains": (
+                None
+                if delta is None
+                else {link_name[link] for link in changed_link_drains}
+            ),
+        }
+        return state, changed
+
+    # ------------------------------------------------------------------
+    # Stage 3: dynamic checks
+    # ------------------------------------------------------------------
+
+    def _check_demand(
+        self,
+        inputs: ControllerInputs,
+        state: HardenedState,
+        memo: Optional[_EpochMemo],
+        new: _EpochMemo,
+        changed: Dict[str, Optional[Set]],
+    ):
+        from repro.core.invariants import CheckResult
+
+        checker = self._components.demand
+        total_dropped = DemandChecker.total_dropped(state)
+        new.demand = inputs.demand
+        new.total_dropped = total_dropped
+
+        demand_same = memo is not None and (
+            inputs.demand is memo.demand or inputs.demand == memo.demand
+        )
+        # The drop total widens every egress tolerance, so a change to
+        # it dirties the whole check.
+        dirty: Optional[Set] = None
+        if (
+            demand_same
+            and memo is not None
+            and total_dropped == memo.total_dropped
+            and changed["ext"] is not None
+        ):
+            dirty = set(changed["ext"])
+
+        counts = [0, 0]
+        new.demand_cache = self._family(
+            self._cache.sorted_nodes,
+            dirty,
+            memo.demand_cache if memo else {},
+            lambda node: checker.check_node_entity(
+                inputs.demand, state, node, total_dropped
+            ),
+            counts,
+        )
+        self._stats.record_reuse("check.demand", counts[0], counts[1])
+
+        result = CheckResult(input_name="demand")
+        floor = max(self._config.rate_floor, self._config.active_threshold)
+        if total_dropped > floor:
+            result.notes.append(DemandChecker.dropped_note(total_dropped))
+        for node, (invariants, notes) in new.demand_cache.items():
+            result.results.extend(invariants)
+            result.notes.extend(notes)
+        skipped = result.num_skipped
+        if skipped:
+            result.notes.append(DemandChecker.skipped_note(skipped))
+        return result
+
+    def _check_topology(
+        self,
+        inputs: ControllerInputs,
+        state: HardenedState,
+        memo: Optional[_EpochMemo],
+        new: _EpochMemo,
+        changed: Dict[str, Optional[Set]],
+    ):
+        from repro.core.invariants import CheckResult
+
+        checker = self._components.topology
+        believed = frozenset(link.name for link in inputs.topology.links())
+        new.believed_links = believed
+
+        dirty: Optional[Set] = None
+        if memo is not None and changed["links"] is not None:
+            dirty = set(believed ^ memo.believed_links) | changed["links"]
+
+        counts = [0, 0]
+        universe = set(state.links) | believed
+        compute = lambda name: checker.check_link_entity(
+            name, name in believed, state.links.get(name)
+        )
+        old_cache = memo.topology_cache if memo else {}
+        # This is the one check whose key universe follows the inputs
+        # (the union of hardened and believed links), so prove it
+        # unchanged before updating in place.
+        if dirty is not None and old_cache.keys() == universe:
+            new.topology_cache = _update_family(dirty, old_cache, compute, counts)
+        else:
+            new.topology_cache = _merge_family(
+                sorted(universe), dirty, old_cache, compute, counts
+            )
+        self._stats.record_reuse("check.topology", counts[0], counts[1])
+
+        result = CheckResult(input_name="topology")
+        for name, (conditions, notes) in new.topology_cache.items():
+            result.results.extend(conditions)
+            result.notes.extend(notes)
+        return result
+
+    def _check_drain(
+        self,
+        inputs: ControllerInputs,
+        state: HardenedState,
+        memo: Optional[_EpochMemo],
+        new: _EpochMemo,
+        changed: Dict[str, Optional[Set]],
+    ):
+        from repro.core.invariants import CheckResult
+
+        checker = self._components.drain
+        cache = self._cache
+        new.node_bits = {
+            node: inputs.drains.is_node_drained(node) for node in cache.sorted_nodes
+        }
+        new.link_bits = {
+            name: inputs.drains.is_link_drained(name)
+            for name in cache.sorted_link_names
+        }
+
+        dirty_nodes: Optional[Set] = None
+        dirty_links: Optional[Set] = None
+        if (
+            memo is not None
+            and changed["node_drains"] is not None
+            and changed["links"] is not None
+            and changed["link_drains"] is not None
+        ):
+            dirty_nodes = set(changed["node_drains"])
+            for node, bit in new.node_bits.items():
+                if memo.node_bits.get(node) != bit:
+                    dirty_nodes.add(node)
+            for name in changed["links"]:
+                endpoints = self._link_endpoints.get(name)
+                if endpoints is not None:
+                    dirty_nodes.update(endpoints)
+            dirty_links = set(changed["link_drains"])
+            for name, bit in new.link_bits.items():
+                if memo.link_bits.get(name) != bit:
+                    dirty_links.add(name)
+
+        counts = [0, 0]
+        new.drain_node_cache = self._family(
+            cache.sorted_nodes,
+            dirty_nodes,
+            memo.drain_node_cache if memo else {},
+            lambda node: checker.check_node_entity(
+                inputs.drains, state, cache.node_links, node
+            ),
+            counts,
+        )
+        new.drain_link_cache = self._family(
+            cache.sorted_link_names,
+            dirty_links,
+            memo.drain_link_cache if memo else {},
+            lambda name: checker.check_link_entity(inputs.drains, state, name),
+            counts,
+        )
+        self._stats.record_reuse("check.drain", counts[0], counts[1])
+
+        result = CheckResult(input_name="drain")
+        for node, (conditions, notes) in new.drain_node_cache.items():
+            result.results.extend(conditions)
+            result.notes.extend(notes)
+        for name, conditions in new.drain_link_cache.items():
+            result.results.extend(conditions)
+        return result

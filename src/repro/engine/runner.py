@@ -43,6 +43,7 @@ from repro.core.pipeline import Hodor
 from repro.core.report import ValidationReport
 from repro.core.topology_check import TopologyChecker
 from repro.engine.cache import TopologyCache, TopologyCacheStore
+from repro.engine.incremental import IncrementalValidator
 from repro.engine.sharding import ShardMap
 from repro.engine.stats import EngineStats
 from repro.net.topology import Topology
@@ -97,7 +98,14 @@ class ValidationEngine:
         cache_store: Optional shared topology-cache store; one is
             created when omitted.  Sharing a store across engines
             shares the memoized topology structures.
+        mode: ``"full"`` recomputes every epoch from scratch (sharded);
+            ``"incremental"`` diffs each snapshot against the previous
+            epoch and reuses every per-entity verdict whose inputs did
+            not change (see :mod:`repro.engine.incremental`).  Both
+            produce identical reports.
     """
+
+    _MODES = ("full", "incremental")
 
     def __init__(
         self,
@@ -105,18 +113,27 @@ class ValidationEngine:
         config: Optional[HodorConfig] = None,
         shards: int = 1,
         cache_store: Optional[TopologyCacheStore] = None,
+        mode: str = "full",
     ) -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"unknown engine mode {mode!r}; expected one of {self._MODES}")
         self._reference = reference
         self._config = config or HodorConfig()
         self._store = cache_store or TopologyCacheStore()
         self._shard_map = ShardMap(shards=shards)
-        self.stats = EngineStats(shards=shards)
+        self._mode = mode
+        self.stats = EngineStats(shards=shards, mode=mode)
         self._components: "OrderedDict[str, _Components]" = OrderedDict()
+        self._incremental: "OrderedDict[str, IncrementalValidator]" = OrderedDict()
         self._max_component_sets = 32
 
     @property
     def config(self) -> HodorConfig:
         return self._config
+
+    @property
+    def mode(self) -> str:
+        return self._mode
 
     @property
     def cache_store(self) -> TopologyCacheStore:
@@ -140,10 +157,25 @@ class ValidationEngine:
             components = _Components(reference, self._config, cache)
             self._components[cache.fingerprint] = components
             while len(self._components) > self._max_component_sets:
-                self._components.popitem(last=False)
+                evicted, _ = self._components.popitem(last=False)
+                self._incremental.pop(evicted, None)
         else:
             self._components.move_to_end(cache.fingerprint)
         return cache, components
+
+    def _incremental_for(
+        self, cache: TopologyCache, components: _Components
+    ) -> IncrementalValidator:
+        """One memoizing validator per topology fingerprint."""
+        validator = self._incremental.get(cache.fingerprint)
+        if validator is None:
+            validator = IncrementalValidator(
+                self._config, cache, components, self.stats
+            )
+            self._incremental[cache.fingerprint] = validator
+        else:
+            self._incremental.move_to_end(cache.fingerprint)
+        return validator
 
     def validate(
         self,
@@ -160,7 +192,14 @@ class ValidationEngine:
         """
         reference = topology if topology is not None else self._reference
         total_start = time.perf_counter()
-        _, components = self._components_for(reference)
+        cache, components = self._components_for(reference)
+
+        if self._mode == "incremental":
+            validator = self._incremental_for(cache, components)
+            report = validator.validate(snapshot, inputs)
+            self.stats.epochs += 1
+            self.stats.record_stage("total", time.perf_counter() - total_start)
+            return report
 
         stage_start = time.perf_counter()
         collected = components.collector.collect(snapshot, parallel=self._shard_map)

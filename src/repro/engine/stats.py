@@ -2,9 +2,11 @@
 
 :class:`EngineStats` is the engine's observable state: epochs
 processed, topology-cache hits and misses, wall time per pipeline
-stage, and shard-pool utilisation.  It is plain data -- the engine
-mutates it, :mod:`repro.control.metrics` exports it in metrics form,
-and the CLI renders it for humans.
+stage, shard-pool utilisation, and -- in incremental mode -- how many
+per-entity units each stage recomputed versus reused from the previous
+epoch.  It is plain data -- the engine mutates it,
+:mod:`repro.control.metrics` exports it in metrics form, and the CLI
+renders it for humans (or as JSON via :meth:`EngineStats.to_dict`).
 """
 
 from __future__ import annotations
@@ -32,6 +34,16 @@ class EngineStats:
         shard_tasks: Slice-worker invocations dispatched to the pool.
         shard_busy_seconds: Seconds spent inside slice workers, summed
             across shards.
+        mode: ``"full"`` or ``"incremental"`` -- the epoch path the
+            engine runs.
+        entities_recomputed: Per fine-grained stage, how many
+            per-entity units were computed fresh (incremental mode; the
+            priming epoch recomputes everything).
+        entities_reused: Per fine-grained stage, how many per-entity
+            units were served from the previous epoch's outputs.
+        repair_solves: Conservation components solved fresh.
+        repair_reuses: Conservation components served from the solver
+            cache.
     """
 
     epochs: int = 0
@@ -43,15 +55,28 @@ class EngineStats:
     shards: int = 1
     shard_tasks: int = 0
     shard_busy_seconds: float = 0.0
+    mode: str = "full"
+    entities_recomputed: Dict[str, int] = field(default_factory=dict)
+    entities_reused: Dict[str, int] = field(default_factory=dict)
+    repair_solves: int = 0
+    repair_reuses: int = 0
 
     def record_stage(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_reuse(self, stage: str, recomputed: int, reused: int) -> None:
+        """Count one incremental pass over one fine-grained stage."""
+        self.entities_recomputed[stage] = (
+            self.entities_recomputed.get(stage, 0) + recomputed
+        )
+        self.entities_reused[stage] = self.entities_reused.get(stage, 0) + reused
 
     def merge(self, other: "EngineStats") -> None:
         """Fold another engine's counters into this one.
 
         Used to aggregate totals across several engines (e.g. one per
-        replayed scenario); ``shards`` keeps this object's value.
+        replayed scenario); ``shards`` and ``mode`` keep this object's
+        values.
         """
         self.epochs += other.epochs
         self.cache_hits += other.cache_hits
@@ -60,6 +85,14 @@ class EngineStats:
             self.record_stage(stage, seconds)
         self.shard_tasks += other.shard_tasks
         self.shard_busy_seconds += other.shard_busy_seconds
+        for stage, count in other.entities_recomputed.items():
+            self.entities_recomputed[stage] = (
+                self.entities_recomputed.get(stage, 0) + count
+            )
+        for stage, count in other.entities_reused.items():
+            self.entities_reused[stage] = self.entities_reused.get(stage, 0) + count
+        self.repair_solves += other.repair_solves
+        self.repair_reuses += other.repair_reuses
 
     @property
     def cache_hit_rate(self) -> float:
@@ -86,6 +119,40 @@ class EngineStats:
             return 0.0
         return 1000.0 * self.stage_seconds.get("total", 0.0) / self.epochs
 
+    @property
+    def total_entities_recomputed(self) -> int:
+        return sum(self.entities_recomputed.values())
+
+    @property
+    def total_entities_reused(self) -> int:
+        return sum(self.entities_reused.values())
+
+    def reuse_rate(self) -> float:
+        """Fraction of per-entity units served without recomputation."""
+        total = self.total_entities_recomputed + self.total_entities_reused
+        return self.total_entities_reused / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view of every counter (CLI ``--json``)."""
+        return {
+            "epochs": self.epochs,
+            "mode": self.mode,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "stage_seconds": dict(self.stage_seconds),
+            "mean_epoch_ms": self.mean_epoch_ms(),
+            "shards": self.shards,
+            "shard_tasks": self.shard_tasks,
+            "shard_busy_seconds": self.shard_busy_seconds,
+            "shard_utilisation": self.shard_utilisation(),
+            "entities_recomputed": dict(self.entities_recomputed),
+            "entities_reused": dict(self.entities_reused),
+            "reuse_rate": self.reuse_rate(),
+            "repair_solves": self.repair_solves,
+            "repair_reuses": self.repair_reuses,
+        }
+
     def render(self) -> str:
         """A compact human-readable block (CLI output)."""
         lines = [
@@ -102,4 +169,15 @@ class EngineStats:
                 for stage in STAGES
             )
             lines.append(f"stage means (ms)  : {per_stage}")
+        if self.entities_recomputed or self.entities_reused:
+            lines.append(
+                "entities          : "
+                f"{self.total_entities_recomputed} recomputed / "
+                f"{self.total_entities_reused} reused "
+                f"({self.reuse_rate():.0%} reuse)"
+            )
+            lines.append(
+                f"repair solves     : {self.repair_solves} fresh / "
+                f"{self.repair_reuses} cached"
+            )
         return "\n".join(lines)

@@ -10,7 +10,12 @@ from repro.experiments.harness import ReportConfig, run_full_report
 from repro.experiments.outage_study import OutageStudy, ScenarioOutcome, taxonomy_census
 from repro.experiments.perturbation import PerturbationRow, PerturbationStudy
 from repro.experiments.reporting import format_percent, format_rate, format_table
-from repro.experiments.scale_study import ScaleRow, ScaleStudy
+from repro.experiments.scale_study import (
+    IncrementalRow,
+    ScaleRow,
+    ScaleStudy,
+    churn_snapshot,
+)
 from repro.experiments.threshold_study import DetectabilityRow, ThresholdRow, ThresholdStudy
 from repro.experiments.topology_study import FAULT_MODES, TopologyRow, TopologyStudy
 
@@ -27,8 +32,10 @@ __all__ = [
     "PerturbationRow",
     "PerturbationStudy",
     "ReportConfig",
+    "IncrementalRow",
     "ScaleRow",
     "ScaleStudy",
+    "churn_snapshot",
     "ScenarioOutcome",
     "ThresholdRow",
     "ThresholdStudy",

@@ -18,12 +18,10 @@ dissects, plus the legitimate cases that must *not* fire:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.faults.base import FaultInjector
 from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain
 from repro.net.demand import gravity_demand
-from repro.net.simulation import NetworkSimulator
 from repro.net.topology import Node, Topology
 from repro.scenarios.world import World
 from repro.telemetry.probes import LinkHealth

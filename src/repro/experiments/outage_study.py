@@ -32,9 +32,7 @@ from repro.baselines.anomaly import DemandAnomalyBaseline
 from repro.baselines.static_checks import StaticValidator
 from repro.control.demand_service import records_from_matrix
 from repro.control.infra import ControlPlane
-from repro.net.demand import DemandMatrix
 from repro.scenarios.catalog import Category, OutageScenario, all_scenarios
-from repro.scenarios.world import World
 
 __all__ = ["ScenarioOutcome", "OutageStudy", "taxonomy_census"]
 

@@ -16,7 +16,6 @@ paper's ongoing work gestures at.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 

@@ -1,15 +1,18 @@
-"""E9: validation cost vs network size.
+"""E9/E13: validation cost vs network size and churn.
 
 The paper envisions Hodor "as an always-on system that continuously
 validates inputs to the SDN controller as it receives them" (Section
 3.2), which only works if a validation pass is cheap at WAN scale.
 This study measures wall-clock cost of the full pipeline (collect +
 harden + all three checks) over random Waxman topologies of growing
-size.
+size, plus (E13) the incremental engine's advantage when only a
+fraction of signals move between epochs -- the production steady
+state.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
@@ -20,12 +23,64 @@ from repro.core.pipeline import Hodor
 from repro.engine import ValidationEngine
 from repro.net.demand import gravity_demand
 from repro.net.simulation import NetworkSimulator
+from repro.net.topology import EXTERNAL_PEER
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.counters import Jitter
 from repro.telemetry.probes import ProbeEngine
+from repro.telemetry.snapshot import NetworkSnapshot
 from repro.topologies.synthetic import waxman_topology
 
-__all__ = ["ScaleRow", "EngineScaleRow", "ScaleStudy"]
+__all__ = [
+    "ScaleRow",
+    "EngineScaleRow",
+    "IncrementalRow",
+    "ScaleStudy",
+    "churn_snapshot",
+]
+
+
+def churn_snapshot(
+    snapshot: NetworkSnapshot,
+    fraction: float,
+    rng: random.Random,
+    timestamp: float,
+) -> NetworkSnapshot:
+    """The next epoch's snapshot with ``fraction`` of links re-measured.
+
+    Models the production steady state between two 30-second
+    collections: most counters tick along at the same rate while a
+    random subset of links sees its traffic level move.  Each churned
+    link scales *all four* of its directed counters (rx and tx, both
+    orientations) by one common factor, so R1 symmetry is preserved
+    and churn never fabricates corruption.  Churned readings get the
+    new collection timestamp; everything else is byte-identical to the
+    previous epoch.
+
+    Args:
+        snapshot: The previous epoch's snapshot (not mutated).
+        fraction: Probability each internal link is churned.
+        rng: Random source (pass a seeded instance for reproducibility).
+        timestamp: The new epoch's collection timestamp.
+    """
+    churned = snapshot.copy()
+    churned.timestamp = timestamp
+    by_link = {}
+    for key in churned.counters:
+        node, peer = key
+        if peer != EXTERNAL_PEER:
+            by_link.setdefault(frozenset((node, peer)), []).append(key)
+    for edges in by_link.values():
+        if rng.random() >= fraction:
+            continue
+        factor = 0.9 + 0.2 * rng.random()
+        for edge in edges:
+            reading = churned.counters[edge]
+            if isinstance(reading.rx_rate, float):
+                reading.rx_rate *= factor
+            if isinstance(reading.tx_rate, float):
+                reading.tx_rate *= factor
+            reading.timestamp = timestamp
+    return churned
 
 
 @dataclass(frozen=True)
@@ -45,6 +100,34 @@ class ScaleRow:
     signals: int
     validate_ms: float
     harden_ms: float
+
+
+@dataclass(frozen=True)
+class IncrementalRow:
+    """Full vs incremental per-epoch engine cost at one network size.
+
+    Attributes:
+        nodes: Router count.
+        links: Link count.
+        epochs: Timed epochs per measurement (after one warm-up epoch
+            that primes each engine's caches).
+        churn: Fraction of links whose counters moved each epoch.
+        full_ms: Best per-epoch wall-clock of ``mode="full"``.
+        incremental_ms: Best per-epoch wall-clock of
+            ``mode="incremental"`` on the identical epoch stream.
+        speedup: ``full_ms / incremental_ms``.
+        reuse_rate: Fraction of per-entity units the incremental run
+            served from the previous epoch.
+    """
+
+    nodes: int
+    links: int
+    epochs: int
+    churn: float
+    full_ms: float
+    incremental_ms: float
+    speedup: float
+    reuse_rate: float
 
 
 @dataclass(frozen=True)
@@ -189,6 +272,67 @@ class ScaleStudy:
                     serial_ms=serial_ms,
                     engine_ms=tuple(engine_ms),
                     cache_hits=cache_hits,
+                )
+            )
+        return rows
+
+    def run_incremental(
+        self,
+        sizes: Sequence[int] = (20, 40, 80),
+        epochs: int = 10,
+        churn: float = 0.10,
+    ) -> List[IncrementalRow]:
+        """E13: full-recompute vs incremental engine under churn.
+
+        Both engines replay the identical churned epoch stream (one
+        warm-up epoch, then ``epochs`` timed ones); the differential
+        harness in ``tests/engine`` separately proves the two modes'
+        reports identical, so this measures pure cost.
+
+        Args:
+            sizes: Node counts to measure.
+            epochs: Timed epochs per measurement.
+            churn: Per-link probability of moving each epoch.
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        rows = []
+        for size in sizes:
+            topology, snapshot, inputs = self._epoch_fixture(size)
+            rng = random.Random(self._seed)
+            snapshots = [snapshot]
+            for epoch in range(1, epochs + 1):
+                snapshots.append(
+                    churn_snapshot(snapshots[-1], churn, rng, float(epoch))
+                )
+
+            def time_mode(mode: str) -> Tuple[float, float]:
+                best = float("inf")
+                reuse = 0.0
+                for _ in range(self._repetitions):
+                    with ValidationEngine(topology, mode=mode) as engine:
+                        engine.validate(snapshots[0], inputs)  # warm-up
+                        start = time.perf_counter()
+                        for snap in snapshots[1:]:
+                            engine.validate(snap, inputs)
+                        best = min(
+                            best, (time.perf_counter() - start) * 1000 / epochs
+                        )
+                        reuse = engine.stats.reuse_rate()
+                return best, reuse
+
+            full_ms, _ = time_mode("full")
+            incremental_ms, reuse_rate = time_mode("incremental")
+            rows.append(
+                IncrementalRow(
+                    nodes=topology.num_nodes,
+                    links=topology.num_links,
+                    epochs=epochs,
+                    churn=churn,
+                    full_ms=full_ms,
+                    incremental_ms=incremental_ms,
+                    speedup=full_ms / incremental_ms if incremental_ms else 0.0,
+                    reuse_rate=reuse_rate,
                 )
             )
         return rows

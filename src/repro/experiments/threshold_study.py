@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.config import HodorConfig
-from repro.core.hardening import Hardener
 from repro.core.pipeline import Hodor
 from repro.net.demand import gravity_demand
 from repro.net.simulation import NetworkSimulator

@@ -18,8 +18,8 @@ control-plane outages map directly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet
 
 from repro.faults.base import AggregationBug
 

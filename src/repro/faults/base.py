@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.telemetry.snapshot import NetworkSnapshot
 

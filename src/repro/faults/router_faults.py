@@ -27,7 +27,7 @@ production:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from repro.faults.base import InjectionRecord, SignalFault
 from repro.net.topology import EXTERNAL_PEER

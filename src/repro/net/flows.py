@@ -15,7 +15,7 @@ controller (:mod:`repro.control.te`) both build on these primitives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.net.demand import DemandMatrix
 from repro.net.routing import NoRouteError, Path, ecmp_paths, k_shortest_paths, shortest_path

@@ -19,7 +19,6 @@ Rules, per ingress/egress pair with true rate ``r``:
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
 
 from repro.net.demand import DemandMatrix
 from repro.net.flows import FlowAssignment, FlowRule

@@ -42,7 +42,7 @@ def topology_to_dict(topology: Topology) -> Dict[str, Any]:
                 "capacity": link.capacity,
                 "drained": link.drained,
             }
-            for link in sorted(topology.links(), key=lambda l: l.name)
+            for link in sorted(topology.links(), key=lambda link: link.name)
         ],
     }
 

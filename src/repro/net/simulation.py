@@ -16,8 +16,8 @@ actually forward traffic (ACL misconfiguration, dataplane bug).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.net.demand import DemandMatrix
 from repro.net.flows import FlowAssignment, place_flows

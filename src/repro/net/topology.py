@@ -21,7 +21,7 @@ trivially.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -244,7 +244,7 @@ class Topology:
 
     def directed_edges(self) -> Iterator[Tuple[str, str]]:
         """All directed edges (two per link), in deterministic order."""
-        for link in sorted(self._links.values(), key=lambda l: l.name):
+        for link in sorted(self._links.values(), key=lambda link: link.name):
             yield link.a, link.b
             yield link.b, link.a
 

@@ -20,7 +20,7 @@ false-positive failure mode of static heuristic checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.faults.aggregation_faults import (
     IgnoredDrain,

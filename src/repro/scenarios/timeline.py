@@ -20,9 +20,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional
 
-from repro.control.infra import ControlPlane
 from repro.control.metrics import HealthReport, Severity, assess_health
 from repro.core.config import HodorConfig
 from repro.core.pipeline import Hodor

@@ -23,7 +23,7 @@ bugs), the SDN controller, and Hodor watching the controller's inputs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.control.infra import ControlPlane

@@ -10,10 +10,10 @@ clean snapshots of the same instant.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.net.simulation import GroundTruth
-from repro.net.topology import EXTERNAL_PEER, Topology
+from repro.net.topology import EXTERNAL_PEER
 from repro.telemetry.counters import CounterReading, Jitter
 from repro.telemetry.probes import LinkHealth, ProbeEngine
 from repro.telemetry.snapshot import LinkStatusReport, NetworkSnapshot

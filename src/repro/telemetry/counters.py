@@ -18,7 +18,7 @@ signals instead of crashing on them.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 __all__ = ["RawValue", "CounterReading", "Jitter", "coerce_rate", "MalformedValueError"]

@@ -1,0 +1,248 @@
+"""Epoch-to-epoch snapshot diffing for incremental validation.
+
+In a production WAN only a small fraction of signals change between
+30-second collections: most counters tick along at the same rate, most
+links stay up, most drain bits never move.  The incremental engine
+(:mod:`repro.engine.incremental`) exploits that by recomputing only the
+entities whose inputs changed -- and this module is where "changed" is
+defined.
+
+:class:`SnapshotDelta` diffs two :class:`NetworkSnapshot` objects into
+per-family changed-key sets: interfaces whose counters or statuses
+moved, routers whose drains or drops moved, probes that flipped.  A key
+that appears in only one snapshot counts as changed in both directions
+(arrival and disappearance each invalidate cached work).
+
+The comparison is *validation-aware*: a field that cannot change any
+validation outcome does not dirty its entity.  Two deliberate examples:
+
+- Counter readings compare on ``rx_rate``/``tx_rate`` plus a staleness
+  signature, not on ``sequence`` or ``window_s`` -- collection never
+  reads the latter, so replaying a snapshot with only a bumped sequence
+  number legitimately reuses every cached verdict.
+- The staleness signature folds in both snapshots' collection
+  timestamps: a reading that did not change but *aged across the
+  staleness bound* (or whose rendered age in the ``STALE_READING``
+  finding would differ) is changed, because collection's output for it
+  is different even though the raw bytes are identical.
+
+Raw telemetry values are untrusted -- fault injection replaces floats
+with strings, dicts, NaN, anything -- so every comparison is defensive:
+a value whose ``==`` raises, or whose type changed, counts as changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional, Set
+
+from repro.telemetry.counters import CounterReading
+from repro.telemetry.snapshot import InterfaceKey, NetworkSnapshot
+
+__all__ = ["SnapshotDelta"]
+
+
+def _raw_equal(a: object, b: object) -> bool:
+    """Defensive equality over untrusted raw telemetry values.
+
+    ``NaN != NaN`` makes a NaN-carrying reading permanently "changed",
+    which is the safe direction; a raising ``__eq__`` likewise counts
+    as changed.  Type changes (``1`` vs ``True`` vs ``"1"``) count as
+    changed even where ``==`` would agree, because coercion may not.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _staleness_signature(
+    snapshot_timestamp: float, reading: CounterReading, max_staleness_s: float
+) -> Optional[str]:
+    """What collection's staleness handling will do with this reading.
+
+    ``None`` means fresh; otherwise the rendered age that appears in
+    the ``STALE_READING`` finding (so two stale readings with different
+    rendered ages compare as different).
+    """
+    age = snapshot_timestamp - reading.timestamp
+    if age > max_staleness_s:
+        return f"{age:.0f}"
+    return None
+
+
+def _counters_equal(
+    old: NetworkSnapshot,
+    new: NetworkSnapshot,
+    old_reading: CounterReading,
+    new_reading: CounterReading,
+    max_staleness_s: Optional[float],
+) -> bool:
+    if not _raw_equal(old_reading.rx_rate, new_reading.rx_rate):
+        return False
+    if not _raw_equal(old_reading.tx_rate, new_reading.tx_rate):
+        return False
+    if max_staleness_s is None:
+        return True
+    return _staleness_signature(
+        old.timestamp, old_reading, max_staleness_s
+    ) == _staleness_signature(new.timestamp, new_reading, max_staleness_s)
+
+
+def _changed_counters(
+    old: NetworkSnapshot, new: NetworkSnapshot, max_staleness_s: Optional[float]
+) -> FrozenSet[InterfaceKey]:
+    """The counters family of :meth:`SnapshotDelta.between`, unrolled.
+
+    Counters are by far the largest family (two per link plus one per
+    router) and sit on the incremental engine's per-epoch critical
+    path, so the generic ``_changed_keys``/callback pairing is inlined
+    here with a fast path for the overwhelmingly common case: both
+    rates are floats and fresh.
+    """
+    old_counters = old.counters
+    new_counters = new.counters
+    changed: Set[InterfaceKey] = {
+        key for key in old_counters if key not in new_counters
+    }
+    old_ts = old.timestamp
+    new_ts = new.timestamp
+    for key, reading in new_counters.items():
+        prior = old_counters.get(key)
+        if prior is None and key not in old_counters:
+            changed.add(key)
+            continue
+        a, b = prior.rx_rate, reading.rx_rate
+        if a is not b:
+            if type(a) is float and type(b) is float:
+                if a != b:
+                    changed.add(key)
+                    continue
+            elif not _raw_equal(a, b):
+                changed.add(key)
+                continue
+        a, b = prior.tx_rate, reading.tx_rate
+        if a is not b:
+            if type(a) is float and type(b) is float:
+                if a != b:
+                    changed.add(key)
+                    continue
+            elif not _raw_equal(a, b):
+                changed.add(key)
+                continue
+        if max_staleness_s is not None:
+            fresh_before = old_ts - prior.timestamp <= max_staleness_s
+            fresh_now = new_ts - reading.timestamp <= max_staleness_s
+            if fresh_before and fresh_now:
+                continue
+            if _staleness_signature(
+                old_ts, prior, max_staleness_s
+            ) != _staleness_signature(new_ts, reading, max_staleness_s):
+                changed.add(key)
+    return frozenset(changed)
+
+
+def _changed_keys(old: Mapping, new: Mapping, equal) -> FrozenSet:
+    """Keys added, removed, or whose values compare unequal."""
+    changed: Set = set()
+    for key in old:
+        if key not in new:
+            changed.add(key)
+    for key, value in new.items():
+        if key not in old or not equal(old[key], value):
+            changed.add(key)
+    return frozenset(changed)
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """Which signals changed between two consecutive snapshots.
+
+    Attributes:
+        counters: Interfaces whose counter reading changed (including
+            staleness-visible changes; see module docstring).
+        statuses: Interfaces whose link-status report changed.
+        drains: Routers whose drain bit changed.
+        drain_reasons: Routers whose drain reason changed.
+        link_drains: Interfaces whose link-drain bit changed.
+        drops: Routers whose drop counter changed.
+        probes: Directed adjacencies whose probe result changed.
+    """
+
+    counters: FrozenSet[InterfaceKey]
+    statuses: FrozenSet[InterfaceKey]
+    drains: FrozenSet[str]
+    drain_reasons: FrozenSet[str]
+    link_drains: FrozenSet[InterfaceKey]
+    drops: FrozenSet[str]
+    probes: FrozenSet[InterfaceKey]
+
+    @classmethod
+    def between(
+        cls,
+        old: NetworkSnapshot,
+        new: NetworkSnapshot,
+        max_staleness_s: Optional[float] = None,
+    ) -> "SnapshotDelta":
+        """Diff two snapshots into per-family changed-key sets.
+
+        Args:
+            old: The previous epoch's snapshot.
+            new: This epoch's snapshot.
+            max_staleness_s: The collection staleness bound in force.
+                When given, a counter reading that aged across the
+                bound (or whose rendered stale age differs) counts as
+                changed even if its raw fields did not move.  Callers
+                driving actual validation must pass the same value
+                their :class:`~repro.core.config.HodorConfig` uses.
+        """
+        return cls(
+            counters=_changed_counters(old, new, max_staleness_s),
+            statuses=_changed_keys(
+                old.link_status,
+                new.link_status,
+                lambda a, b: _raw_equal(a.oper_up, b.oper_up)
+                and _raw_equal(a.admin_up, b.admin_up),
+            ),
+            drains=_changed_keys(old.drains, new.drains, _raw_equal),
+            drain_reasons=_changed_keys(
+                old.drain_reasons, new.drain_reasons, _raw_equal
+            ),
+            link_drains=_changed_keys(old.link_drains, new.link_drains, _raw_equal),
+            drops=_changed_keys(old.drops, new.drops, _raw_equal),
+            probes=_changed_keys(
+                old.probes,
+                new.probes,
+                lambda a, b: a.ok == b.ok and _raw_equal(a.rtt_ms, b.rtt_ms),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def total_changed(self) -> int:
+        """How many signal keys changed, across every family."""
+        return (
+            len(self.counters)
+            + len(self.statuses)
+            + len(self.drains)
+            + len(self.drain_reasons)
+            + len(self.link_drains)
+            + len(self.drops)
+            + len(self.probes)
+        )
+
+    def is_empty(self) -> bool:
+        """True when the snapshots are validation-equivalent."""
+        return self.total_changed() == 0
+
+    def touched_routers(self) -> FrozenSet[str]:
+        """Every router that owns at least one changed signal."""
+        touched: Set[str] = set(self.drains) | set(self.drain_reasons) | set(self.drops)
+        for family in (self.counters, self.statuses, self.link_drains, self.probes):
+            for node, _peer in family:
+                touched.add(node)
+        return frozenset(touched)

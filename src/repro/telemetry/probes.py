@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping
 
 from repro.net.topology import Topology
 from repro.telemetry.snapshot import InterfaceKey, ProbeResult

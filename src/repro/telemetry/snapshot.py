@@ -15,7 +15,7 @@ values survive untouched until collection-time coercion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.counters import CounterReading, RawValue
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Tuple
+from typing import List
 
 from repro.net.demand import DemandMatrix
 from repro.net.topology import Link, Node, Topology

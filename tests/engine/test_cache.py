@@ -68,7 +68,7 @@ class TestTopologyCache:
         assert cache.directed_edges == tuple(topo.directed_edges())
         assert cache.links == tuple(topo.links())
         assert cache.sorted_nodes == tuple(sorted(topo.node_names()))
-        assert cache.sorted_link_names == tuple(sorted(l.name for l in topo.links()))
+        assert cache.sorted_link_names == tuple(sorted(link.name for link in topo.links()))
 
     def test_incidence_maps(self):
         cache = TopologyCache.from_topology(small_topology())

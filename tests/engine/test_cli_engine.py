@@ -1,5 +1,9 @@
 """Golden tests for ``python -m repro engine``."""
 
+import json
+
+import pytest
+
 from repro.__main__ import main
 
 
@@ -28,6 +32,57 @@ class TestEngineCommand:
         assert main(["engine", "--scenario", "S01", "--epochs", "2"]) == 0
         out = capsys.readouterr().out
         assert "S01  2       2/2      yes" in out
+
+    def test_json_output_golden(self, capsys):
+        assert main(
+            ["engine", "--scenario", "S16", "--epochs", "3", "--shards", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mismatched"] == 0
+        assert payload["scenarios"] == [
+            {"epochs": 3, "flagged": 0, "id": "S16", "matches_serial": True}
+        ]
+        stats = payload["stats"]
+        assert stats["epochs"] == 3
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+        assert stats["mode"] == "full"
+        assert stats["shards"] == 2
+        assert set(stats["stage_seconds"]) == {"collect", "harden", "check", "total"}
+
+    def test_incremental_mode_reports_reuse(self, capsys):
+        assert main(
+            ["engine", "--scenario", "S16", "--epochs", "3", "--mode", "incremental"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "S16  3       0/3      yes" in out
+        assert "entities          : " in out
+        assert "repair solves     : " in out
+
+    def test_incremental_json_counts_reused_entities(self, capsys):
+        assert main(
+            [
+                "engine",
+                "--scenario",
+                "S16",
+                "--epochs",
+                "3",
+                "--mode",
+                "incremental",
+                "--json",
+            ]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)["stats"]
+        assert stats["mode"] == "incremental"
+        assert sum(stats["entities_recomputed"].values()) > 0
+        assert sum(stats["entities_reused"].values()) > 0
+        assert 0.0 < stats["reuse_rate"] < 1.0
+
+    def test_unknown_mode_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["engine", "--scenario", "S01", "--mode", "sideways"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_unknown_scenario_is_a_clean_error(self, capsys):
         assert main(["engine", "--scenario", "S99"]) == 2

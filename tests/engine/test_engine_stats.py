@@ -87,6 +87,54 @@ class TestRenderAndMerge:
         assert a.stage_seconds["total"] == pytest.approx(0.75)
         assert a.shards == 2  # merge keeps the receiver's shard count
 
+    def test_record_reuse_accumulates_per_stage(self):
+        stats = EngineStats(mode="incremental")
+        stats.record_reuse("collect", 10, 90)
+        stats.record_reuse("collect", 5, 95)
+        stats.record_reuse("check.demand", 1, 9)
+        assert stats.entities_recomputed == {"collect": 15, "check.demand": 1}
+        assert stats.entities_reused == {"collect": 185, "check.demand": 9}
+        assert stats.total_entities_recomputed == 16
+        assert stats.total_entities_reused == 194
+        assert stats.reuse_rate() == pytest.approx(194 / 210)
+
+    def test_merge_folds_reuse_and_repair_counters(self):
+        a = EngineStats(mode="incremental")
+        a.record_reuse("collect", 2, 8)
+        a.repair_solves = 3
+        b = EngineStats()
+        b.record_reuse("collect", 1, 4)
+        b.record_reuse("harden.flows", 5, 0)
+        b.repair_reuses = 7
+        a.merge(b)
+        assert a.entities_recomputed == {"collect": 3, "harden.flows": 5}
+        assert a.entities_reused == {"collect": 12, "harden.flows": 0}
+        assert a.repair_solves == 3
+        assert a.repair_reuses == 7
+        assert a.mode == "incremental"  # merge keeps the receiver's mode
+
+    def test_reuse_lines_render_only_in_incremental_runs(self):
+        plain = EngineStats()
+        assert "entities          :" not in plain.render()
+        stats = EngineStats(mode="incremental")
+        stats.record_reuse("collect", 25, 75)
+        stats.repair_solves = 2
+        stats.repair_reuses = 6
+        rendered = stats.render()
+        assert "entities          : 25 recomputed / 75 reused (75% reuse)" in rendered
+        assert "repair solves     : 2 fresh / 6 cached" in rendered
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        stats = EngineStats(mode="incremental", epochs=2)
+        stats.record_reuse("collect", 1, 3)
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["mode"] == "incremental"
+        assert payload["entities_recomputed"] == {"collect": 1}
+        assert payload["entities_reused"] == {"collect": 3}
+        assert payload["reuse_rate"] == pytest.approx(0.75)
+
     def test_empty_stats_render_and_rates(self):
         stats = EngineStats()
         assert stats.cache_hit_rate == 0.0
@@ -112,6 +160,21 @@ class TestMetricsExport:
             "engine_stage_seconds_harden",
             "engine_stage_seconds_check",
         }
+
+    def test_reuse_metrics_exported(self):
+        stats = EngineStats(mode="incremental")
+        stats.record_reuse("collect", 4, 6)
+        stats.record_reuse("check.demand", 1, 9)
+        stats.repair_solves = 2
+        stats.repair_reuses = 5
+        metrics = engine_metrics(stats)
+        assert metrics["engine_entities_recomputed"] == 5.0
+        assert metrics["engine_entities_reused"] == 15.0
+        assert metrics["engine_reuse_rate"] == pytest.approx(0.75)
+        assert metrics["engine_repair_solves"] == 2.0
+        assert metrics["engine_repair_reuses"] == 5.0
+        assert metrics["engine_recomputed_collect"] == 4.0
+        assert metrics["engine_reused_check_demand"] == 9.0
 
     def test_render_engine_metrics(self, replayed_engine):
         text = render_engine_metrics(engine_metrics(replayed_engine.stats))

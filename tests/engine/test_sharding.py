@@ -1,0 +1,100 @@
+"""ShardMap edge cases: degenerate inputs and worker failures."""
+
+import threading
+
+import pytest
+
+from repro.engine import ShardMap, split_slices
+
+
+class TestDegenerateInputs:
+    def test_more_shards_than_items_never_yields_empty_slices(self):
+        with ShardMap(shards=16, min_slice_items=1) as shard_map:
+            results = shard_map.map_slices(lambda chunk: list(chunk), [1, 2, 3])
+        merged = [item for chunk in results for item in chunk]
+        assert merged == [1, 2, 3]
+        assert all(chunk for chunk in results)  # no empty dispatch
+        assert len(results) == 3  # capped at the item count
+
+    def test_empty_input_is_one_inline_call(self):
+        calls = []
+        with ShardMap(shards=8, min_slice_items=1) as shard_map:
+            results = shard_map.map_slices(
+                lambda chunk: calls.append(len(chunk)) or "done", []
+            )
+        assert results == ["done"]
+        assert calls == [0]
+
+    def test_single_item_runs_inline(self):
+        with ShardMap(shards=8, min_slice_items=1) as shard_map:
+            before = shard_map.tasks_dispatched
+            assert shard_map.map_slices(list, ["only"]) == [["only"]]
+            assert shard_map.tasks_dispatched == before + 1
+
+    def test_min_slice_items_collapses_small_sequences(self):
+        """Ten items at min 32/slice run inline even with many shards."""
+        seen_threads = set()
+
+        def worker(chunk):
+            seen_threads.add(threading.get_ident())
+            return len(chunk)
+
+        with ShardMap(shards=8, min_slice_items=32) as shard_map:
+            assert shard_map.map_slices(worker, list(range(10))) == [10]
+        assert seen_threads == {threading.get_ident()}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ShardMap(shards=0)
+        with pytest.raises(ValueError, match="min_slice_items must be >= 1"):
+            ShardMap(shards=2, min_slice_items=0)
+
+
+class TestWorkerExceptions:
+    def test_inline_worker_exception_propagates(self):
+        with ShardMap(shards=1) as shard_map:
+            with pytest.raises(RuntimeError, match="boom"):
+                shard_map.map_slices(self._explode_on(None), [1, 2, 3])
+
+    def test_pooled_worker_exception_propagates(self):
+        """A failure in a pool-dispatched slice surfaces to the caller."""
+        with ShardMap(shards=4, min_slice_items=1) as shard_map:
+            with pytest.raises(RuntimeError, match="boom"):
+                # Item 7 lands in the last slice, which goes to the pool.
+                shard_map.map_slices(self._explode_on(7), list(range(8)))
+
+    def test_first_slice_exception_propagates(self):
+        """The calling thread runs slice 0 itself; its failure raises too."""
+        with ShardMap(shards=4, min_slice_items=1) as shard_map:
+            with pytest.raises(RuntimeError, match="boom"):
+                shard_map.map_slices(self._explode_on(0), list(range(8)))
+
+    def test_map_still_usable_after_a_failure(self):
+        with ShardMap(shards=4, min_slice_items=1) as shard_map:
+            with pytest.raises(RuntimeError):
+                shard_map.map_slices(self._explode_on(3), list(range(8)))
+            results = shard_map.map_slices(lambda chunk: sum(chunk), list(range(8)))
+            assert sum(results) == sum(range(8))
+
+    @staticmethod
+    def _explode_on(value):
+        def worker(chunk):
+            if value is None or value in chunk:
+                raise RuntimeError("boom")
+            return list(chunk)
+
+        return worker
+
+
+class TestSliceShapes:
+    def test_slices_are_contiguous_and_ordered(self):
+        for num_items in (1, 2, 5, 17, 64):
+            for shards in (1, 2, 3, 8, 100):
+                slices = split_slices(num_items, shards)
+                assert slices[0][0] == 0
+                assert slices[-1][1] == num_items
+                for (_, prev_stop), (start, stop) in zip(slices, slices[1:]):
+                    assert start == prev_stop
+                    assert stop > start
+                sizes = [stop - start for start, stop in slices]
+                assert max(sizes) - min(sizes) <= 1

@@ -8,7 +8,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
 

@@ -8,11 +8,10 @@ invariants against the hardened externals.
 
 import pytest
 
-from repro.core import Confidence, DemandChecker, Hodor, HodorConfig
+from repro.core import Confidence, Hodor
 from repro.net.simulation import NetworkSimulator
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.counters import Jitter
-from repro.topologies.synthetic import fig3_demand, fig3_network
 
 
 class TestFig3GroundTruth:

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.demand import (
-    DemandMatrix,
     bimodal_demand,
     gravity_demand,
     lognormal_demand,

@@ -1,11 +1,10 @@
 """Property-based tests for topology structures and generators."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.routing import k_shortest_paths, path_cost, shortest_path
-from repro.net.topology import Link, Node, Topology
+from repro.net.topology import Node
 from repro.topologies.synthetic import gnp_topology, grid_topology, waxman_topology
 
 seeds = st.integers(min_value=0, max_value=2**31 - 1)

@@ -8,7 +8,6 @@ The acceptance/detection contract, fuzzed:
   false negatives for the paper's bug class at meaningful sizes).
 """
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ World-level guarantees that must hold whatever the faults are:
 - a fault-free world is always accepted.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

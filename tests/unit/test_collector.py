@@ -8,7 +8,6 @@ from repro.net.topology import EXTERNAL_PEER
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.counters import Jitter, coerce_rate
 from repro.telemetry.probes import LinkHealth, ProbeEngine
-from repro.topologies.synthetic import line_topology
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for counter readings and rate coercion."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,221 @@
+"""SnapshotDelta: validation-aware, defensive epoch diffing."""
+
+import math
+
+import pytest
+
+from repro.telemetry.counters import CounterReading
+from repro.telemetry.delta import (
+    SnapshotDelta,
+    _changed_counters,
+    _changed_keys,
+    _counters_equal,
+)
+from repro.telemetry.snapshot import LinkStatusReport, NetworkSnapshot, ProbeResult
+
+from tests.engine.conftest import random_epoch
+
+
+def _snapshot(timestamp=0.0, **families):
+    return NetworkSnapshot(timestamp=timestamp, **families)
+
+
+def _reading(rx=1.0, tx=2.0, **kwargs):
+    return CounterReading(rx_rate=rx, tx_rate=tx, **kwargs)
+
+
+class TestCounterFamily:
+    def test_identical_snapshots_are_empty(self):
+        old = _snapshot(counters={("a", "b"): _reading()})
+        new = _snapshot(counters={("a", "b"): _reading()})
+        delta = SnapshotDelta.between(old, new)
+        assert delta.is_empty()
+        assert delta.total_changed() == 0
+
+    def test_rate_change_dirties_the_interface(self):
+        old = _snapshot(counters={("a", "b"): _reading(rx=1.0)})
+        new = _snapshot(counters={("a", "b"): _reading(rx=1.5)})
+        assert SnapshotDelta.between(old, new).counters == {("a", "b")}
+
+    def test_sequence_and_window_are_validation_invisible(self):
+        """Collection never reads sequence/window_s, so bumps don't dirty."""
+        old = _snapshot(counters={("a", "b"): _reading(window_s=5.0, sequence=1)})
+        new = _snapshot(counters={("a", "b"): _reading(window_s=9.0, sequence=7)})
+        assert SnapshotDelta.between(old, new, max_staleness_s=60.0).is_empty()
+
+    def test_added_and_removed_keys_both_dirty(self):
+        old = _snapshot(counters={("a", "b"): _reading(), ("b", "a"): _reading()})
+        new = _snapshot(counters={("b", "a"): _reading(), ("c", "d"): _reading()})
+        assert SnapshotDelta.between(old, new).counters == {("a", "b"), ("c", "d")}
+
+    def test_type_change_dirties_even_when_eq_agrees(self):
+        old = _snapshot(counters={("a", "b"): _reading(rx=1.0)})
+        new = _snapshot(counters={("a", "b"): _reading(rx=True)})  # 1.0 == True
+        assert SnapshotDelta.between(old, new).counters == {("a", "b")}
+
+    def test_raising_eq_counts_as_changed(self):
+        class Hostile:
+            def __eq__(self, other):
+                raise RuntimeError("malformed telemetry")
+
+        old = _snapshot(counters={("a", "b"): _reading(rx=Hostile())})
+        new = _snapshot(counters={("a", "b"): _reading(rx=Hostile())})
+        assert SnapshotDelta.between(old, new).counters == {("a", "b")}
+
+    def test_same_nan_object_is_unchanged(self):
+        """An epoch replaying the identical NaN object reuses its verdict."""
+        nan = float("nan")
+        old = _snapshot(counters={("a", "b"): _reading(rx=nan)})
+        new = _snapshot(counters={("a", "b"): _reading(rx=nan)})
+        assert SnapshotDelta.between(old, new).is_empty()
+
+    def test_distinct_nan_objects_stay_changed(self):
+        """NaN != NaN keeps a NaN reading dirty -- the safe direction."""
+        old = _snapshot(counters={("a", "b"): _reading(rx=float("nan"))})
+        new = _snapshot(counters={("a", "b"): _reading(rx=math.nan * 1.0)})
+        assert SnapshotDelta.between(old, new).counters == {("a", "b")}
+
+
+class TestStalenessSignature:
+    def test_aging_across_the_bound_dirties(self):
+        """Unchanged bytes, but collection's staleness verdict flips."""
+        reading = dict(rx=1.0, tx=2.0, timestamp=0.0)
+        old = _snapshot(timestamp=30.0, counters={("a", "b"): _reading(**reading)})
+        new = _snapshot(timestamp=90.0, counters={("a", "b"): _reading(**reading)})
+        assert SnapshotDelta.between(old, new, max_staleness_s=60.0).counters == {
+            ("a", "b")
+        }
+
+    def test_fresh_on_both_sides_is_clean(self):
+        reading = dict(rx=1.0, tx=2.0, timestamp=0.0)
+        old = _snapshot(timestamp=10.0, counters={("a", "b"): _reading(**reading)})
+        new = _snapshot(timestamp=40.0, counters={("a", "b"): _reading(**reading)})
+        assert SnapshotDelta.between(old, new, max_staleness_s=60.0).is_empty()
+
+    def test_stale_with_same_rendered_age_is_clean(self):
+        """The STALE_READING finding renders the age; equal text == equal."""
+        old = _snapshot(
+            timestamp=100.0, counters={("a", "b"): _reading(timestamp=0.0)}
+        )
+        new = _snapshot(
+            timestamp=130.0, counters={("a", "b"): _reading(timestamp=30.0)}
+        )
+        assert SnapshotDelta.between(old, new, max_staleness_s=60.0).is_empty()
+
+    def test_stale_with_different_rendered_age_dirties(self):
+        old = _snapshot(
+            timestamp=100.0, counters={("a", "b"): _reading(timestamp=0.0)}
+        )
+        new = _snapshot(
+            timestamp=200.0, counters={("a", "b"): _reading(timestamp=0.0)}
+        )
+        assert SnapshotDelta.between(old, new, max_staleness_s=60.0).counters == {
+            ("a", "b")
+        }
+
+    def test_without_bound_staleness_is_ignored(self):
+        reading = dict(rx=1.0, tx=2.0, timestamp=0.0)
+        old = _snapshot(timestamp=30.0, counters={("a", "b"): _reading(**reading)})
+        new = _snapshot(timestamp=9000.0, counters={("a", "b"): _reading(**reading)})
+        assert SnapshotDelta.between(old, new).is_empty()
+
+
+class TestOtherFamilies:
+    def test_status_flip_dirties(self):
+        old = _snapshot(link_status={("a", "b"): LinkStatusReport(oper_up=True)})
+        new = _snapshot(link_status={("a", "b"): LinkStatusReport(oper_up=False)})
+        assert SnapshotDelta.between(old, new).statuses == {("a", "b")}
+
+    def test_probe_flip_and_rtt_change_dirty(self):
+        old = _snapshot(
+            probes={("a", "b"): ProbeResult(ok=True, rtt_ms=1.0),
+                    ("b", "a"): ProbeResult(ok=True, rtt_ms=1.0)}
+        )
+        new = _snapshot(
+            probes={("a", "b"): ProbeResult(ok=False, rtt_ms=1.0),
+                    ("b", "a"): ProbeResult(ok=True, rtt_ms=2.0)}
+        )
+        assert SnapshotDelta.between(old, new).probes == {("a", "b"), ("b", "a")}
+
+    def test_router_families_dirty_independently(self):
+        old = _snapshot(
+            drains={"a": False, "b": False},
+            drain_reasons={"a": ""},
+            drops={"a": 0.0},
+            link_drains={("a", "b"): False},
+        )
+        new = _snapshot(
+            drains={"a": True, "b": False},
+            drain_reasons={"a": "maintenance"},
+            drops={"a": 0.0},
+            link_drains={("a", "b"): True},
+        )
+        delta = SnapshotDelta.between(old, new)
+        assert delta.drains == {"a"}
+        assert delta.drain_reasons == {"a"}
+        assert delta.drops == frozenset()
+        assert delta.link_drains == {("a", "b")}
+
+    def test_touched_routers_spans_every_family(self):
+        old = _snapshot(
+            counters={("a", "x"): _reading()},
+            drains={"b": False},
+            probes={("c", "d"): ProbeResult(ok=True)},
+        )
+        new = _snapshot(
+            counters={("a", "x"): _reading(rx=9.0)},
+            drains={"b": True},
+            probes={("c", "d"): ProbeResult(ok=False)},
+        )
+        assert SnapshotDelta.between(old, new).touched_routers() == {"a", "b", "c"}
+
+
+class TestUnrolledCountersAgreeWithReference:
+    """The hot-path ``_changed_counters`` vs the generic predicate."""
+
+    @pytest.mark.parametrize("size,seed", [(8, 1), (12, 2)])
+    @pytest.mark.parametrize("staleness", [None, 60.0, 0.5])
+    def test_real_world_snapshots(self, size, seed, staleness):
+        _topology, snap_a, _inputs = random_epoch(size, seed)
+        _topology, snap_b, _inputs = random_epoch(size, seed + 100)
+        snap_b = NetworkSnapshot(
+            timestamp=snap_a.timestamp + 30.0,
+            counters=dict(snap_b.counters),
+        )
+        fast = _changed_counters(snap_a, snap_b, staleness)
+        reference = _changed_keys(
+            snap_a.counters,
+            snap_b.counters,
+            lambda a, b: _counters_equal(snap_a, snap_b, a, b, staleness),
+        )
+        assert fast == reference
+
+    def test_hostile_values(self):
+        class Hostile:
+            def __eq__(self, other):
+                raise RuntimeError("no")
+
+        nan = float("nan")
+        old = _snapshot(
+            counters={
+                ("a", "b"): _reading(rx=nan, tx=Hostile()),
+                ("b", "a"): _reading(rx="3.0", tx=None),
+                ("c", "d"): _reading(),
+            }
+        )
+        new = _snapshot(
+            counters={
+                ("a", "b"): _reading(rx=nan, tx=Hostile()),
+                ("b", "a"): _reading(rx="3.0", tx=None),
+                ("d", "c"): _reading(),
+            }
+        )
+        fast = _changed_counters(old, new, 60.0)
+        reference = _changed_keys(
+            old.counters,
+            new.counters,
+            lambda a, b: _counters_equal(old, new, a, b, 60.0),
+        )
+        assert fast == reference
+        assert ("a", "b") in fast  # Hostile tx counts as changed
+        assert ("b", "a") not in fast  # equal str/None payloads are clean

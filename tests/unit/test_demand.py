@@ -1,6 +1,5 @@
 """Unit tests for demand matrices, generators, and perturbations."""
 
-import math
 
 import pytest
 

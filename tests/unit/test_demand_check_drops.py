@@ -7,7 +7,7 @@ checker sound under congestion.
 
 import pytest
 
-from repro.core import DemandChecker, Hodor
+from repro.core import Hodor
 from repro.net.demand import DemandMatrix, gravity_demand, zero_entries
 from repro.net.simulation import NetworkSimulator
 from repro.telemetry.collector import TelemetryCollector

@@ -12,7 +12,7 @@ from repro.net.flows import (
 )
 from repro.net.routing import Path
 from repro.net.topology import Link, Node, Topology
-from repro.topologies.synthetic import line_topology, ring_topology
+from repro.topologies.synthetic import ring_topology
 
 
 def square() -> Topology:

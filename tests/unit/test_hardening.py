@@ -3,14 +3,12 @@
 import pytest
 
 from repro.core.config import HodorConfig
-from repro.core.hardening import Hardener
 from repro.core.pipeline import Hodor
 from repro.core.signals import Confidence, DrainVerdict, FindingSeverity, LinkVerdict
 from repro.faults.base import FaultInjector
 from repro.faults.intent_faults import InconsistentLinkDrain, SpuriousDrain
 from repro.faults.router_faults import (
     MissingTelemetry,
-    RandomCounterCorruption,
     UnitChangeTelemetry,
     WrongLinkStatus,
 )

@@ -1,6 +1,5 @@
 """Unit tests for drain-intent faults (Section 2.1)."""
 
-import pytest
 
 from repro.faults.base import FaultInjector
 from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain

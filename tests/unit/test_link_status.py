@@ -1,6 +1,5 @@
 """Unit tests for the link-status truth table (Section 4.2)."""
 
-import pytest
 
 from repro.core.config import HodorConfig, RiskProfile
 from repro.core.link_status import LinkEvidence, combine_link_evidence

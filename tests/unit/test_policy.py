@@ -1,9 +1,7 @@
 """Unit tests for response policies."""
 
-import pytest
 
 from repro.control.inputs import ControllerInputs, DrainView
-from repro.core.invariants import CheckResult, Invariant, InvariantResult, InvariantStatus
 from repro.core.policy import AlertOnlyPolicy, RejectAndFallbackPolicy
 from repro.core.report import InputVerdict, ValidationReport
 from repro.core.signals import Finding, FindingSeverity, HardenedState

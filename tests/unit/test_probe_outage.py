@@ -1,6 +1,5 @@
 """Unit tests for the ProbeOutage fault and graceful R4 degradation."""
 
-import pytest
 
 from repro.core import Hodor, HodorConfig, LinkVerdict
 from repro.faults import FaultInjector, ProbeOutage

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.telemetry.probes import LinkHealth, ProbeEngine
-from repro.topologies.synthetic import line_topology
 
 
 class TestLinkHealth:

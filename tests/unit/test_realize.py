@@ -6,7 +6,7 @@ from repro.net.demand import DemandMatrix
 from repro.net.flows import FlowAssignment, FlowRule
 from repro.net.realize import realize_traffic
 from repro.net.routing import Path
-from repro.topologies.synthetic import line_topology, ring_topology
+from repro.topologies.synthetic import ring_topology
 
 
 def programmed_line():

@@ -1,6 +1,5 @@
 """Unit tests for router-level signal faults (Section 2.1)."""
 
-import random
 
 import pytest
 

@@ -13,7 +13,7 @@ from repro.net.routing import (
     shortest_path_lengths,
 )
 from repro.net.topology import Link, Node, Topology, TopologyError
-from repro.topologies.synthetic import grid_topology, line_topology, ring_topology
+from repro.topologies.synthetic import grid_topology, ring_topology
 
 
 def diamond() -> Topology:

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.net.demand import DemandMatrix, uniform_demand
+from repro.net.demand import DemandMatrix
 from repro.net.simulation import NetworkSimulator, SimulationError
 from repro.net.topology import Link, Node, Topology
-from repro.topologies.synthetic import line_topology
 
 
 def two_hop(capacity: float = 10.0) -> Topology:

@@ -1,6 +1,5 @@
 """Unit tests for network snapshots."""
 
-import pytest
 
 from repro.telemetry.counters import CounterReading
 from repro.telemetry.snapshot import LinkStatusReport, NetworkSnapshot, ProbeResult

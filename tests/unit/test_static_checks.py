@@ -5,7 +5,7 @@ import pytest
 from repro.baselines.static_checks import StaticCheckConfig, StaticValidator
 from repro.control.inputs import ControllerInputs, DrainView
 from repro.net.demand import DemandMatrix, gravity_demand, zero_entries
-from repro.net.topology import Link, Node, Topology
+from repro.net.topology import Link, Node
 from repro.topologies.abilene import abilene
 
 

@@ -6,7 +6,7 @@ from repro.control.topo_service import TopologyService
 from repro.core.pipeline import Hodor
 from repro.core.topology_check import TopologyChecker
 from repro.faults.aggregation_faults import LivenessMisreport, PartialTopologyStitch
-from repro.net.topology import Link, Node, Topology
+from repro.net.topology import Link
 
 
 @pytest.fixture
