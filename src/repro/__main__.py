@@ -10,7 +10,8 @@ Exposes the library's studies and demos without writing any Python:
 - ``drains``      drain validation incl. the reasons extension,
 - ``scale``       validation cost vs network size,
 - ``engine``      replay scenario timelines through the always-on engine,
-- ``scenarios``   list the outage catalog.
+- ``scenarios``   list the outage catalog,
+- ``lint``        static purity/determinism analysis of the pipeline.
 """
 
 from __future__ import annotations
@@ -234,6 +235,12 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 1 if mismatched else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_cli
+
+    return run_cli(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ReportConfig, run_full_report
 
@@ -350,6 +357,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true", help="full descriptions"
     )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static purity/determinism analysis of the pipeline (hodor-lint)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     report = sub.add_parser("report", help="run every study, emit one markdown report")
     report.add_argument("--quick", action="store_true", help="fast low-trial profile")

@@ -1,0 +1,45 @@
+"""hodor-lint: static purity/determinism analysis of the pipeline.
+
+The incremental engine's correctness argument (see
+:mod:`repro.engine.incremental`) rests on code-level invariants nothing
+at runtime can check: per-entity units must be pure functions of their
+declared inputs, stages must not read or write hidden module state,
+iteration feeding ordered reports must be deterministically ordered,
+and every serial stage must have a per-entity counterpart wired into
+the incremental path.  This package verifies those invariants
+mechanically, over the AST, on every commit -- the same move the paper
+makes for controller inputs, applied to our own pipeline.
+
+Rule catalog (see ``docs/LINT.md`` for rationale):
+
+- **P1** argument mutation inside per-entity units / stage functions;
+- **P2** module-level mutable state touched from core stages;
+- **D1** nondeterminism hazards (global ``random``, wall-clock reads,
+  set iteration into ordered output, ``id()``-keyed maps);
+- **F1** bare float ``==``/``!=`` in ``core/``/``engine/``;
+- **C1** full/incremental registry parity (every per-entity unit wired
+  into both the serial pipeline and ``engine/incremental.py``);
+- **L1** unused ``# lint: ignore[...]`` suppression.
+
+Entry points: ``python -m repro lint`` (CLI) or :func:`run_lint`
+(importable API).
+"""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.report import render_text, to_json_text
+from repro.analysis.rules import ALL_RULE_CODES, RULES, rule_catalog
+from repro.analysis.runner import LintResult, run_lint
+
+__all__ = [
+    "ALL_RULE_CODES",
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Severity",
+    "render_text",
+    "rule_catalog",
+    "run_lint",
+    "to_json_text",
+]

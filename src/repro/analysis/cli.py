@@ -1,0 +1,99 @@
+"""``python -m repro lint``: the analyzer's command-line front end.
+
+Exit codes: 0 clean, 1 findings (error severity), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.report import render_rules, render_text, to_json_text
+from repro.analysis.rules import ALL_RULE_CODES, rule_catalog
+from repro.analysis.runner import LintResult, run_lint
+
+__all__ = ["add_lint_arguments", "default_root", "run_cli"]
+
+
+def default_root() -> Path:
+    """Lint the installed ``repro`` package itself by default."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` flags to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable lint payload instead of text",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="run only this rule code (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_rules(rule_catalog()))
+        return 0
+
+    enabled = frozenset(args.rule or ())
+    unknown = enabled - set(ALL_RULE_CODES)
+    if unknown:
+        print(
+            f"unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(ALL_RULE_CODES)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    roots = [Path(p) for p in args.paths] if args.paths else [default_root()]
+    for root in roots:
+        if not root.exists():
+            print(f"no such path: {root}", file=sys.stderr)
+            return 2
+
+    config = LintConfig(enabled_codes=enabled)
+    result: Optional[LintResult] = None
+    for root in roots:
+        partial = run_lint(root, config=config)
+        result = partial if result is None else result.merged_with(partial)
+    assert result is not None
+
+    if args.json:
+        sys.stdout.write(to_json_text(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="static purity/determinism analysis of the repro pipeline",
+    )
+    add_lint_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

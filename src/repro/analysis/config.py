@@ -1,0 +1,76 @@
+"""Configuration for the lint run.
+
+Everything the rules key off -- which directories count as pipeline
+"core", which function names are per-entity units, where the
+incremental registry lives -- is data here, not constants buried in
+rule code.  The self-tests point a :class:`LintConfig` at fixture
+trees to exercise every rule against known-good and known-bad code
+without touching the live tree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Pattern, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_ENTITY_PATTERNS"]
+
+#: Function-name patterns that mark a per-entity unit or in-place
+#: stage function subject to the P1 purity contract.
+DEFAULT_ENTITY_PATTERNS: Tuple[str, ...] = (
+    r"^collect_\w+_entity$",
+    r"^harden_\w+_entity$",
+    r"^check_\w+_entity$",
+    r"^repair_flows$",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunables for one lint run.
+
+    Attributes:
+        entity_patterns: Regexes naming the functions P1 holds to the
+            no-argument-mutation contract (and C1 treats as registry
+            members).
+        core_dirs: Directory names whose modules count as pipeline
+            core for P2/D1/F1 (any path component match).
+        incremental_path: POSIX-relative path (from the lint root) of
+            the module that must wire every per-entity unit (C1).
+        enabled_codes: Rule codes to run; empty means all.
+        wall_clock_allowed: Dotted call names exempt from the D1
+            wall-clock check.  ``perf_counter``/``monotonic`` feed
+            stage *timings* (EngineStats), never verdicts, so they are
+            allowed by default; ``time.time`` and friends are not.
+        max_file_bytes: Safety valve -- files larger than this are
+            skipped with a diagnostic rather than parsed.
+    """
+
+    entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
+    core_dirs: FrozenSet[str] = frozenset({"core", "engine"})
+    incremental_path: str = "engine/incremental.py"
+    enabled_codes: FrozenSet[str] = frozenset()
+    wall_clock_allowed: FrozenSet[str] = frozenset(
+        {"time.perf_counter", "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns"}
+    )
+    max_file_bytes: int = 2_000_000
+    _compiled: Tuple[Pattern[str], ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_compiled",
+            tuple(re.compile(pattern) for pattern in self.entity_patterns),
+        )
+
+    def is_entity_function(self, name: str) -> bool:
+        """Does ``name`` fall under the per-entity purity contract?"""
+        return any(pattern.match(name) for pattern in self._compiled)
+
+    def is_core_path(self, relpath: str) -> bool:
+        """Is this module part of the pipeline core (P2/D1/F1 scope)?"""
+        return any(part in self.core_dirs for part in relpath.split("/")[:-1])
+
+    def rule_enabled(self, code: str) -> bool:
+        return not self.enabled_codes or code in self.enabled_codes

@@ -1,0 +1,88 @@
+"""Diagnostic records emitted by the lint rules.
+
+One :class:`Diagnostic` per violation, carrying the rule code, a
+human-readable message, and a precise ``path:line:col`` span.  The
+class round-trips losslessly through :meth:`Diagnostic.to_dict` /
+:meth:`Diagnostic.from_dict`; that dict is the *only* JSON shape the
+CLI emits (the golden tests in ``tests/analysis`` pin it), so API and
+``--json`` consumers see one schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Diagnostic", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How strongly a finding blocks a commit."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @classmethod
+    def parse(cls, raw: str) -> "Severity":
+        for member in cls:
+            if member.value == raw:
+                return member
+        raise ValueError(f"unknown severity {raw!r}")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at one source location.
+
+    Attributes:
+        code: Rule code (``P1``, ``P2``, ``D1``, ``F1``, ``C1``,
+            ``L1``).
+        message: Human-readable description of the violation.
+        path: Path of the offending file, relative to the lint root,
+            in POSIX form (stable across platforms for golden tests).
+        line: 1-based line of the violation.
+        col: 0-based column of the violation (AST convention).
+        severity: :class:`Severity` of the finding.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Deterministic report order: location first, then code."""
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def render(self) -> str:
+        """The canonical one-line human-readable form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_dict` form."""
+        return cls(
+            code=str(payload["code"]),
+            message=str(payload["message"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            severity=Severity.parse(str(payload["severity"])),
+        )

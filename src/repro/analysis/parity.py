@@ -1,0 +1,162 @@
+"""C1: full/incremental registry parity.
+
+The incremental engine is only equivalent to the full pipeline if the
+two agree on *coverage*: every per-entity unit the serial stages run
+must be wired into :mod:`repro.engine.incremental`, and everything the
+incremental path dispatches must exist as a real unit.  A stage added
+to one side but not the other silently diverges the reports -- the
+exact bug class the differential harness can only catch per-input,
+while this rule catches it structurally on every commit.
+
+Three checks, all driven by :class:`~repro.analysis.config.LintConfig`
+(``entity_patterns`` + ``incremental_path``):
+
+1. every entity-pattern function defined under a core directory is
+   referenced in the incremental module;
+2. every such function is also referenced inside its *own* module
+   beyond the ``def`` itself (the serial path must call it too);
+3. every entity-pattern attribute/name the incremental module
+   references resolves to a defined unit somewhere in the project.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import ModuleUnderLint
+
+__all__ = ["RegistryParityRule"]
+
+
+class RegistryParityRule:
+    """Project-scoped C1 rule (runs once over every module together)."""
+
+    code = "C1"
+    title = "per-entity unit missing from the full or incremental registry"
+    severity = Severity.ERROR
+    rationale = (
+        "Full and incremental validation must cover the same checks: a "
+        "per-entity unit that only the serial pipeline runs (or only the "
+        "incremental path dispatches) silently breaks report parity in a "
+        "way no per-input differential test is guaranteed to hit."
+    )
+
+    def check(
+        self, modules: List[ModuleUnderLint], config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        incremental = self._find_incremental(modules, config)
+        if incremental is None:
+            # Nothing to compare against (e.g. a fixture tree without an
+            # engine); registry parity is vacuously satisfied.
+            return
+
+        defs = self._entity_defs(modules, config, incremental)
+        incremental_refs = self._entity_refs(incremental, config)
+
+        for name, (module, node) in sorted(defs.items()):
+            if name not in incremental_refs:
+                yield self._diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"per-entity unit {name}() is never referenced in "
+                    f"{config.incremental_path}; wire it into the "
+                    "incremental registry or it only runs on the full path",
+                )
+            if not self._referenced_in_own_module(module, node, name):
+                yield self._diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"per-entity unit {name}() is not exercised by the "
+                    "serial pipeline in its own module; the full path must "
+                    "run every unit the incremental path reuses",
+                )
+
+        for name, (lineno, col) in sorted(incremental_refs.items()):
+            if name not in defs:
+                yield self._diagnostic(
+                    incremental,
+                    lineno,
+                    col,
+                    f"incremental registry references {name}(), but no "
+                    "per-entity unit with that name is defined in the core",
+                )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _find_incremental(
+        modules: List[ModuleUnderLint], config: LintConfig
+    ) -> Optional[ModuleUnderLint]:
+        for module in modules:
+            if module.relpath == config.incremental_path:
+                return module
+        return None
+
+    @staticmethod
+    def _entity_defs(
+        modules: List[ModuleUnderLint],
+        config: LintConfig,
+        incremental: ModuleUnderLint,
+    ) -> Dict[str, Tuple[ModuleUnderLint, ast.FunctionDef]]:
+        """Entity-pattern functions defined in core modules (registry)."""
+        defs: Dict[str, Tuple[ModuleUnderLint, ast.FunctionDef]] = {}
+        for module in modules:
+            if module is incremental or not module.is_core:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if config.is_entity_function(node.name):
+                        defs.setdefault(node.name, (module, node))
+        return defs
+
+    @staticmethod
+    def _entity_refs(
+        module: ModuleUnderLint, config: LintConfig
+    ) -> Dict[str, Tuple[int, int]]:
+        """Entity-pattern names referenced in the incremental module."""
+        refs: Dict[str, Tuple[int, int]] = {}
+        for node in ast.walk(module.tree):
+            name: Optional[str] = None
+            if isinstance(node, ast.Attribute):
+                name = node.attr
+            elif isinstance(node, ast.Name):
+                name = node.id
+            if name is not None and config.is_entity_function(name):
+                refs.setdefault(name, (node.lineno, node.col_offset))
+        return refs
+
+    @staticmethod
+    def _referenced_in_own_module(
+        module: ModuleUnderLint, definition: ast.FunctionDef, name: str
+    ) -> bool:
+        """Is the unit used in its defining module beyond the def itself?
+
+        A ``def`` contributes no Name/Attribute node for its own name,
+        so any matching reference is a genuine use (the serial stage
+        driver dispatching the unit).
+        """
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr == name:
+                return True
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _diagnostic(
+        self, module: ModuleUnderLint, line: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            message=message,
+            path=module.relpath,
+            line=line,
+            col=col,
+            severity=self.severity,
+        )

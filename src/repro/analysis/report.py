@@ -1,0 +1,47 @@
+"""Rendering of lint results: human-readable text and ``--json``.
+
+The JSON document is exactly ``LintResult.to_payload()`` serialised
+with sorted keys -- the same schema the importable API returns, pinned
+by the golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.runner import LintResult
+
+__all__ = ["render_text", "render_rules", "to_json_text"]
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per diagnostic plus a summary."""
+    lines: List[str] = [diagnostic.render() for diagnostic in result.diagnostics]
+    noun = "file" if result.files_scanned == 1 else "files"
+    if result.ok and not result.diagnostics:
+        lines.append(
+            f"lint: clean -- {result.files_scanned} {noun} scanned, "
+            f"{result.suppressed_count} finding(s) suppressed"
+        )
+    else:
+        lines.append(
+            f"lint: {result.errors} error(s), {result.warnings} warning(s) "
+            f"across {result.files_scanned} {noun} "
+            f"({result.suppressed_count} suppressed)"
+        )
+    return "\n".join(lines)
+
+
+def render_rules(catalog: List[Dict[str, str]]) -> str:
+    """``lint --list-rules`` output: code, title, wrapped rationale."""
+    lines: List[str] = []
+    for entry in catalog:
+        lines.append(f"{entry['code']}: {entry['title']}")
+        lines.append(f"    {entry['rationale']}")
+    return "\n".join(lines)
+
+
+def to_json_text(result: LintResult) -> str:
+    """The canonical ``--json`` document (sorted keys, trailing newline)."""
+    return json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,694 @@
+"""File-scoped lint rules: P1, P2, D1, F1.
+
+Each rule is a class with a ``code``, a one-line ``title``, a longer
+``rationale`` (both surfaced by ``lint --list-rules`` and mirrored in
+``docs/LINT.md``), and a ``check(module, project)`` generator yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  The
+project-scoped C1 rule lives in :mod:`repro.analysis.parity`.
+
+All analysis is pure AST + source text -- nothing is imported or
+executed, so the linter can safely chew on known-bad fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.purity import mutation_sites
+from repro.analysis.suppress import SuppressionIndex
+
+__all__ = [
+    "ALL_RULE_CODES",
+    "ModuleUnderLint",
+    "ProjectIndex",
+    "RULES",
+    "Rule",
+    "rule_catalog",
+]
+
+
+@dataclass
+class ModuleUnderLint:
+    """One parsed module plus everything rules need to know about it."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    is_core: bool
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-module facts collected in one pre-pass over every module.
+
+    Attributes:
+        float_returns: Names of functions/methods annotated ``-> float``
+            (or ``Optional[float]``) anywhere in the project; a call to
+            one is treated as float-valued by F1.
+        float_attrs: Attribute names annotated float-ish in any class
+            body or ``self.x: float`` assignment -- minus names also
+            annotated as something else elsewhere, and minus
+            :data:`AMBIGUOUS_ATTRS`.
+    """
+
+    float_returns: Set[str] = field(default_factory=set)
+    float_attrs: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, modules: List[ModuleUnderLint]) -> "ProjectIndex":
+        returns: Set[str] = set()
+        float_attrs: Set[str] = set()
+        other_attrs: Set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.returns is not None and _is_float_annotation(node.returns):
+                        returns.add(node.name)
+                elif isinstance(node, ast.AnnAssign):
+                    name = _annassign_attr_name(node)
+                    if name is None:
+                        continue
+                    if _is_float_annotation(node.annotation):
+                        float_attrs.add(name)
+                    else:
+                        other_attrs.add(name)
+        return cls(
+            float_returns=returns,
+            float_attrs=(float_attrs - other_attrs) - AMBIGUOUS_ATTRS,
+        )
+
+
+#: Attribute names too polysemous to infer a float type from: every
+#: ``enum.Enum`` member is read through ``.value`` with no annotation
+#: anywhere, so one ``value: Optional[float]`` dataclass field must not
+#: turn every enum access into a float comparison.
+AMBIGUOUS_ATTRS = frozenset({"value"})
+
+
+def _annassign_attr_name(node: ast.AnnAssign) -> Optional[str]:
+    """Attribute name declared by ``x: T`` in a class or ``self.x: T``."""
+    target = node.target
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+        if target.value.id in ("self", "cls"):
+            return target.attr
+    return None
+
+
+def _is_float_annotation(node: ast.AST) -> bool:
+    """Does this annotation denote ``float`` / ``Optional[float]``?"""
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.replace(" ", "")
+        return text in ("float", "Optional[float]", "float|None", "None|float")
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return _is_float_annotation(node.slice)
+        if isinstance(base, ast.Attribute) and base.attr == "Optional":
+            return _is_float_annotation(node.slice)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left_none = isinstance(node.left, ast.Constant) and node.left.value is None
+        right_none = isinstance(node.right, ast.Constant) and node.right.value is None
+        if left_none:
+            return _is_float_annotation(node.right)
+        if right_none:
+            return _is_float_annotation(node.left)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def scope_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``root``'s scope, not descending into nested scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every function/method in the module, however nested."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def resolve_call_name(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
+    """The dotted call target with its first segment import-resolved."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is not None:
+        dotted = f"{origin}.{rest}" if rest else origin
+    return dotted
+
+
+# ----------------------------------------------------------------------
+# Rule base
+# ----------------------------------------------------------------------
+
+
+class Rule:
+    """One lint rule; subclasses set the class attributes and ``check``."""
+
+    code: str = ""
+    title: str = ""
+    rationale: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(
+        self, module: ModuleUnderLint, config: LintConfig, project: ProjectIndex
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: ModuleUnderLint, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            message=message,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+        )
+
+
+# ----------------------------------------------------------------------
+# P1: argument mutation in per-entity units / stage functions
+# ----------------------------------------------------------------------
+
+
+class ArgMutationRule(Rule):
+    code = "P1"
+    title = "per-entity unit mutates a value derived from its arguments"
+    rationale = (
+        "The incremental engine reuses a unit's previous output whenever its "
+        "inputs did not change; that is only sound if units never mutate "
+        "their arguments (collected state, snapshots, hardened state) or "
+        "anything reachable from them."
+    )
+
+    def check(self, module, config, project):
+        for func in iter_functions(module.tree):
+            if not config.is_entity_function(func.name):
+                continue
+            for node, _root, description in mutation_sites(func):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{func.name}() must be pure: {description}",
+                )
+
+
+# ----------------------------------------------------------------------
+# P2: module-level mutable state touched from core stages
+# ----------------------------------------------------------------------
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+class ModuleStateRule(Rule):
+    code = "P2"
+    title = "core stage reads or writes module-level mutable state"
+    rationale = (
+        "Hidden module state makes a stage's output depend on call history, "
+        "which breaks per-entity reuse and report-for-report parity between "
+        "the full and incremental paths.  State must flow through explicit "
+        "arguments or per-instance fields."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        mutable = self._module_level_mutables(module.tree)
+        for func in iter_functions(module.tree):
+            for node in scope_nodes(func):
+                if isinstance(node, ast.Global):
+                    names = ", ".join(node.names)
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"{func.name}() declares 'global {names}'; stage state "
+                        "must flow through arguments or instance fields",
+                    )
+                elif isinstance(node, ast.Name) and node.id in mutable:
+                    action = "writes" if isinstance(node.ctx, ast.Store) else "reads"
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"{func.name}() {action} module-level mutable "
+                        f"{node.id!r}; pass it explicitly or make it immutable",
+                    )
+
+    @staticmethod
+    def _module_level_mutables(tree: ast.Module) -> Set[str]:
+        """Names bound at module level to a mutable container."""
+        mutable: Set[str] = set()
+        for node in tree.body:
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_container(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mutable.add(target.id)
+        return mutable
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[-1] in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# D1: nondeterminism hazards
+# ----------------------------------------------------------------------
+
+#: ``random``-module functions driving the shared global RNG.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Wrappers that make iteration order irrelevant (or impose one).
+_ORDER_SAFE_WRAPPERS = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+#: Consumers that freeze the iteration order into ordered output.
+_ORDERING_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+
+class NondeterminismRule(Rule):
+    code = "D1"
+    title = "nondeterminism hazard in a core stage"
+    rationale = (
+        "Validation must be replayable: the same snapshot and inputs must "
+        "yield the identical report in full and incremental mode, across "
+        "processes and PYTHONHASHSEED values.  Global RNG calls, wall-clock "
+        "reads, set iteration feeding ordered output, and id()-keyed maps "
+        "all break that."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        imports = import_map(module.tree)
+        yield from self._calls(module, config, imports)
+        yield from self._id_keyed(module)
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(iter_functions(module.tree))
+        for scope in scopes:
+            yield from self._set_iteration(module, scope)
+
+    # -- global RNG and wall clock ------------------------------------
+
+    def _calls(self, module, config, imports):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_call_name(node, imports)
+            if dotted is None:
+                continue
+            if dotted in config.wall_clock_allowed:
+                continue
+            if dotted in _WALL_CLOCK:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"wall-clock read {dotted}() in a core stage; epoch time "
+                    "must come from the snapshot, not the host clock",
+                )
+            elif dotted.startswith("random.") and dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{dotted}() drives the shared global RNG; use a seeded "
+                    "random.Random instance passed in explicitly",
+                )
+
+    # -- id()-keyed maps ----------------------------------------------
+
+    def _id_keyed(self, module):
+        for node in ast.walk(module.tree):
+            key_exprs: List[ast.AST] = []
+            if isinstance(node, ast.Subscript):
+                key_exprs.append(node.slice)
+            elif isinstance(node, ast.Dict):
+                key_exprs.extend(k for k in node.keys if k is not None)
+            elif isinstance(node, ast.DictComp):
+                key_exprs.append(node.key)
+            for key in key_exprs:
+                if (
+                    isinstance(key, ast.Call)
+                    and isinstance(key.func, ast.Name)
+                    and key.func.id == "id"
+                ):
+                    yield self.diagnostic(
+                        module,
+                        key,
+                        "id()-keyed map: object identities vary run to run; "
+                        "key by a stable name or structural key instead",
+                    )
+
+    # -- set iteration into ordered output ----------------------------
+
+    def _set_iteration(self, module, scope):
+        known_sets = _known_set_names(scope)
+        exempt: Set[int] = set()
+        for node in scope_nodes(scope):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _ORDER_SAFE_WRAPPERS:
+                    for arg in node.args:
+                        exempt.add(id(arg))
+
+        for node in scope_nodes(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if id(node.iter) in exempt:
+                    continue
+                if _is_set_expr(node.iter, known_sets) and _body_is_order_sensitive(node):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "for-loop iterates a set while accumulating ordered "
+                        "output; wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter, known_sets):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "comprehension iterates a set into ordered output; "
+                            "wrap the iterable in sorted(...)",
+                        )
+                        break
+            elif isinstance(node, ast.Call):
+                func_name = node.func.id if isinstance(node.func, ast.Name) else None
+                if func_name in _ORDERING_CONSUMERS:
+                    for arg in node.args:
+                        if _is_set_expr(arg, known_sets):
+                            yield self.diagnostic(
+                                module,
+                                node,
+                                f"{func_name}() freezes set iteration order into "
+                                "a sequence; use sorted(...) instead",
+                            )
+                            break
+
+
+def _known_set_names(scope: ast.AST) -> Set[str]:
+    """Names in this scope whose every binding is a set expression.
+
+    ``None`` initialisations are neutral (a common init-then-fill
+    pattern); a single non-set binding disqualifies the name.
+    """
+    candidates: Dict[str, bool] = {}
+    known: Set[str] = set()
+    for _pass in range(2):  # two passes reach a fixpoint for chained assigns
+        candidates.clear()
+        for node in scope_nodes(scope):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or (isinstance(value, ast.Constant) and value.value is None):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                is_set = _is_set_expr(value, known)
+                previous = candidates.get(target.id)
+                candidates[target.id] = is_set if previous is None else (previous and is_set)
+        known = {name for name, is_set in candidates.items() if is_set}
+    return known
+
+
+def _is_keys_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+    )
+
+
+def _is_set_expr(node: ast.AST, known_sets: Set[str]) -> bool:
+    """Conservatively: does this expression definitely produce a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known_sets
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "union", "intersection", "difference", "symmetric_difference"
+        ):
+            return _is_set_expr(func.value, known_sets)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        sides = (node.left, node.right)
+        if any(_is_set_expr(side, known_sets) for side in sides):
+            return True
+        # dict .keys() views combine into plain sets under |, &, ^, -.
+        return any(_is_keys_view(side) for side in sides)
+    return False
+
+
+def _body_is_order_sensitive(loop: ast.For) -> bool:
+    """Does the loop body freeze iteration order into ordered output?"""
+    for stmt in loop.body + loop.orelse:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("append", "extend", "insert", "appendleft"):
+                    return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if any(isinstance(t, ast.Subscript) for t in targets):
+                    return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# F1: bare float equality
+# ----------------------------------------------------------------------
+
+
+class FloatEqualityRule(Rule):
+    code = "F1"
+    title = "bare float ==/!= in a core stage"
+    rationale = (
+        "Measured rates pass through arithmetic that is not bit-stable "
+        "across code paths; exact equality silently becomes never-equal.  "
+        "Use the tolerance helpers (math.isclose, Invariant.evaluate, "
+        "_relative_gap).  Where exact identity IS the contract -- e.g. the "
+        "incremental engine's reuse guards, where a spurious difference "
+        "only costs a recompute -- suppress with a rationale."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        for func in iter_functions(module.tree):
+            float_names = _float_locals(func, project)
+            for node in scope_nodes(func):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left] + list(node.comparators)
+                for i, op in enumerate(node.ops):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    left, right = operands[i], operands[i + 1]
+                    if _is_none(left) or _is_none(right):
+                        continue
+                    if _is_floatish(left, float_names, project) or _is_floatish(
+                        right, float_names, project
+                    ):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "bare float equality; compare through a tolerance "
+                            "helper, or suppress where exact identity is the "
+                            "contract",
+                        )
+                        break
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _float_locals(func: ast.FunctionDef, project: ProjectIndex) -> Set[str]:
+    """Local names inferred float-typed inside ``func``."""
+    names: Set[str] = set()
+    args = list(func.args.posonlyargs) + list(func.args.args) + list(func.args.kwonlyargs)
+    for arg in args:
+        if arg.annotation is not None and _is_float_annotation(arg.annotation):
+            names.add(arg.arg)
+    for _pass in range(2):
+        for node in scope_nodes(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_float_annotation(node.annotation):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Assign) and _is_floatish(node.value, names, project):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+_ARITHMETIC_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def _is_floatish(node: ast.AST, float_names: Set[str], project: ProjectIndex) -> bool:
+    """Heuristically: is this expression float-valued?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in project.float_attrs
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        tail = dotted.split(".")[-1]
+        return tail == "float" or tail in project.float_returns
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _ARITHMETIC_OPS):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, float_names, project) or _is_floatish(
+            node.right, float_names, project
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floatish(node.operand, float_names, project)
+    if isinstance(node, ast.IfExp):
+        return _is_floatish(node.body, float_names, project) or _is_floatish(
+            node.orelse, float_names, project
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: File-scoped rules, in reporting order.
+RULES: Tuple[Rule, ...] = (
+    ArgMutationRule(),
+    ModuleStateRule(),
+    NondeterminismRule(),
+    FloatEqualityRule(),
+)
+
+#: Every rule code the linter can emit (incl. project rule C1 and the
+#: L1 unused-suppression meta check).
+ALL_RULE_CODES: Tuple[str, ...] = ("P1", "P2", "D1", "F1", "C1", "L1")
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Code/title/rationale for every rule (``lint --list-rules``)."""
+    from repro.analysis.parity import RegistryParityRule
+    from repro.analysis.suppress import UNUSED_SUPPRESSION_CODE
+
+    catalog = [
+        {"code": rule.code, "title": rule.title, "rationale": rule.rationale}
+        for rule in RULES
+    ]
+    parity = RegistryParityRule()
+    catalog.append(
+        {"code": parity.code, "title": parity.title, "rationale": parity.rationale}
+    )
+    catalog.append(
+        {
+            "code": UNUSED_SUPPRESSION_CODE,
+            "title": "unused '# lint: ignore' suppression",
+            "rationale": (
+                "Suppressions document intentional contract exceptions; one "
+                "that no longer silences anything is stale and must be removed "
+                "so the exception inventory stays accurate."
+            ),
+        }
+    )
+    return catalog

@@ -1,0 +1,217 @@
+"""Lint driver: discover files, run rules, apply suppressions.
+
+:func:`run_lint` is the importable API behind ``python -m repro lint``;
+it returns a :class:`LintResult` whose :meth:`~LintResult.to_payload`
+is exactly the CLI's ``--json`` document (one schema, golden-tested).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.parity import RegistryParityRule
+from repro.analysis.rules import RULES, ModuleUnderLint, ProjectIndex
+from repro.analysis.suppress import UNUSED_SUPPRESSION_CODE, SuppressionIndex
+
+__all__ = ["LintResult", "run_lint", "PARSE_ERROR_CODE"]
+
+#: Pseudo-code attached to files the linter could not parse at all.
+PARSE_ERROR_CODE = "E1"
+
+#: Schema version of the ``--json`` payload.
+PAYLOAD_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over one root."""
+
+    root: str
+    files_scanned: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressions: List[Dict[str, object]] = field(default_factory=list)
+    suppressed_count: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks: no error-severity findings."""
+        return self.errors == 0
+
+    def to_payload(self) -> Dict[str, object]:
+        """The one JSON schema (``--json`` output and golden tests)."""
+        return {
+            "version": PAYLOAD_VERSION,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressions": self.suppressions,
+            "summary": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "suppressed": self.suppressed_count,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LintResult":
+        """Inverse of :meth:`to_payload` (derived counts are recomputed)."""
+        version = payload.get("version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(f"unsupported lint payload version {version!r}")
+        summary = payload.get("summary", {})
+        return cls(
+            root=str(payload["root"]),
+            files_scanned=int(payload["files_scanned"]),  # type: ignore[arg-type]
+            diagnostics=[
+                Diagnostic.from_dict(entry)  # type: ignore[arg-type]
+                for entry in payload.get("diagnostics", ())  # type: ignore[union-attr]
+            ],
+            suppressions=list(payload.get("suppressions", ())),  # type: ignore[arg-type]
+            suppressed_count=int(summary.get("suppressed", 0)),  # type: ignore[union-attr]
+        )
+
+    def merged_with(self, other: "LintResult") -> "LintResult":
+        """Combine two runs (multiple CLI roots) into one result."""
+        merged = LintResult(
+            root=f"{self.root}, {other.root}" if self.root else other.root,
+            files_scanned=self.files_scanned + other.files_scanned,
+            diagnostics=sorted(
+                self.diagnostics + other.diagnostics, key=Diagnostic.sort_key
+            ),
+            suppressions=self.suppressions + other.suppressions,
+            suppressed_count=self.suppressed_count + other.suppressed_count,
+        )
+        return merged
+
+
+def _discover(root: Path) -> List[Path]:
+    """Python files under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def _load_module(
+    root: Path, path: Path, config: LintConfig
+) -> tuple[Optional[ModuleUnderLint], List[Diagnostic]]:
+    """Parse one file; parse failures become E1 diagnostics."""
+    relpath = path.relative_to(root).as_posix() if path != root else path.name
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        return None, [
+            Diagnostic(
+                code=PARSE_ERROR_CODE,
+                message=f"unreadable file: {exc}",
+                path=relpath,
+                line=1,
+            )
+        ]
+    if len(raw) > config.max_file_bytes:
+        return None, [
+            Diagnostic(
+                code=PARSE_ERROR_CODE,
+                message=f"file exceeds max_file_bytes ({len(raw)} bytes); skipped",
+                path=relpath,
+                line=1,
+            )
+        ]
+    source = raw.decode("utf-8", errors="replace")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, [
+            Diagnostic(
+                code=PARSE_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    module = ModuleUnderLint(
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        suppressions=SuppressionIndex.from_source(source),
+        is_core=config.is_core_path(relpath),
+    )
+    return module, []
+
+
+def run_lint(root: Path, config: Optional[LintConfig] = None) -> LintResult:
+    """Lint every Python file under ``root`` and return the result.
+
+    Diagnostics are sorted by location then code; suppressions are
+    applied per line; unused suppressions surface as L1.
+    """
+    config = config or LintConfig()
+    root = Path(root).resolve()
+    lint_root = root if root.is_dir() else root.parent
+
+    modules: List[ModuleUnderLint] = []
+    raw_diagnostics: List[Diagnostic] = []
+    files = _discover(root)
+    for path in files:
+        module, problems = _load_module(lint_root, path, config)
+        raw_diagnostics.extend(problems)
+        if module is not None:
+            modules.append(module)
+
+    project = ProjectIndex.build(modules)
+    for module in modules:
+        for rule in RULES:
+            if not config.rule_enabled(rule.code):
+                continue
+            raw_diagnostics.extend(rule.check(module, config, project))
+
+    parity = RegistryParityRule()
+    if config.rule_enabled(parity.code):
+        raw_diagnostics.extend(parity.check(modules, config))
+
+    suppression_index: Dict[str, SuppressionIndex] = {
+        module.relpath: module.suppressions for module in modules
+    }
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in raw_diagnostics:
+        index = suppression_index.get(diagnostic.path)
+        if index is not None and index.suppresses(diagnostic):
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+
+    if config.rule_enabled(UNUSED_SUPPRESSION_CODE):
+        for module in modules:
+            kept.extend(module.suppressions.unused(module.relpath))
+
+    kept.sort(key=Diagnostic.sort_key)
+    suppressions = [
+        entry
+        for module in sorted(modules, key=lambda m: m.relpath)
+        for entry in module.suppressions.to_dicts(module.relpath)
+    ]
+    return LintResult(
+        root=str(root),
+        files_scanned=len(files),
+        diagnostics=kept,
+        suppressions=suppressions,
+        suppressed_count=suppressed,
+    )

@@ -1,0 +1,147 @@
+"""``# lint: ignore[CODE]`` suppression comments.
+
+A suppression silences diagnostics on its own line: specific codes via
+``# lint: ignore[P1]`` / ``# lint: ignore[P1,F1]``, or every code via
+a bare ``# lint: ignore``.  Suppressions are themselves checked: a
+listed code that silenced nothing (or a bare ignore that silenced
+nothing) raises **L1**, so stale suppressions cannot accumulate as the
+tree evolves.
+
+Suppression state round-trips through :meth:`SuppressionIndex.to_dicts`
+with the same schema the CLI's ``--json`` output embeds; the golden
+tests pin it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["Suppression", "SuppressionIndex", "UNUSED_SUPPRESSION_CODE"]
+
+#: Rule code of the unused-suppression meta check.
+UNUSED_SUPPRESSION_CODE = "L1"
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every comment token in ``source``.
+
+    Falls back to yielding nothing on tokenize failures -- a file that
+    does not tokenize will not parse either, and surfaces as an E1
+    parse diagnostic instead.
+    """
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenizeError, SyntaxError, ValueError, IndentationError):
+        return []
+    return comments
+
+
+@dataclass
+class Suppression:
+    """One suppression comment on one source line.
+
+    Attributes:
+        line: 1-based line the comment sits on (and silences).
+        codes: The codes listed in brackets, in source order; ``None``
+            for a bare ``# lint: ignore`` (silences every code).
+        used: Codes that actually silenced a diagnostic this run.
+    """
+
+    line: int
+    codes: Optional[Tuple[str, ...]]
+    used: Set[str] = field(default_factory=set)
+
+    def covers(self, code: str) -> bool:
+        return self.codes is None or code in self.codes
+
+    def to_dict(self, path: str) -> Dict[str, object]:
+        return {
+            "path": path,
+            "line": self.line,
+            "codes": list(self.codes) if self.codes is not None else "*",
+            "used": sorted(self.used),
+        }
+
+
+class SuppressionIndex:
+    """Every suppression comment in one module, by line."""
+
+    def __init__(self, suppressions: Dict[int, Suppression]) -> None:
+        self._by_line = suppressions
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan source text for ``# lint: ignore`` comments.
+
+        Only genuine ``COMMENT`` tokens count -- a mention of the
+        syntax inside a docstring or string literal (this module's own
+        docs, say) is not a suppression.  The comment silences
+        diagnostics on the line it sits on.
+        """
+        found: Dict[int, Suppression] = {}
+        for lineno, text in _comment_tokens(source):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            raw = match.group(1)
+            codes: Optional[Tuple[str, ...]]
+            if raw is None:
+                codes = None
+            else:
+                codes = tuple(
+                    code.strip() for code in raw.split(",") if code.strip()
+                )
+            found[lineno] = Suppression(line=lineno, codes=codes)
+        return cls(found)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        """Silence ``diagnostic`` if a matching comment sits on its line."""
+        suppression = self._by_line.get(diagnostic.line)
+        if suppression is None or not suppression.covers(diagnostic.code):
+            return False
+        suppression.used.add(diagnostic.code)
+        return True
+
+    def unused(self, path: str) -> List[Diagnostic]:
+        """L1 diagnostics for every suppression (or code) that did nothing."""
+        diagnostics: List[Diagnostic] = []
+        for suppression in self._by_line.values():
+            if suppression.codes is None:
+                dead = [] if suppression.used else ["*"]
+            else:
+                dead = [c for c in suppression.codes if c not in suppression.used]
+            for code in dead:
+                label = "blanket suppression" if code == "*" else f"suppression for {code}"
+                diagnostics.append(
+                    Diagnostic(
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=f"unused {label}: no diagnostic was silenced here",
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        severity=Severity.ERROR,
+                    )
+                )
+        return diagnostics
+
+    def to_dicts(self, path: str) -> List[Dict[str, object]]:
+        """JSON-safe view of every suppression, in line order."""
+        return [
+            self._by_line[line].to_dict(path) for line in sorted(self._by_line)
+        ]

@@ -21,7 +21,7 @@ invariant over hardened link-drain verdicts.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.control.inputs import DrainView
 from repro.core.config import HodorConfig

@@ -325,7 +325,12 @@ class Hardener:
         )
 
         if not result.is_consistent(self._config.repair_residual_tol):
-            state.findings.append(
+            # In-place repair IS repair_flows()'s documented contract:
+            # it upgrades `state` and reports what it wrote.  The
+            # incremental engine accounts for this by re-running repair
+            # whenever any of its inputs is dirty (never reusing a
+            # mutated state across epochs).
+            state.findings.append(  # lint: ignore[P1]
                 Finding(
                     code="R2_INCONSISTENT",
                     severity=FindingSeverity.CRITICAL,

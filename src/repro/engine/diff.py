@@ -38,7 +38,10 @@ def _values_equal(
         return a is b
     if repaired:
         return math.isclose(a, b, rel_tol=tolerance, abs_tol=REPAIR_ABS_TOL)
-    return a == b
+    # Exact comparison is this comparator's contract: outside REPAIRED
+    # values, both paths run the same code in the same order and must
+    # agree bitwise; a tolerance here would mask real divergence.
+    return a == b  # lint: ignore[F1]
 
 
 def _compare_hardened_values(
@@ -107,14 +110,16 @@ def compare_reports(
         reports are observably identical.
     """
     diffs: List[str] = []
-    if a.timestamp != b.timestamp:
+    # Timestamps are copied from the snapshot, never computed; any
+    # difference at all means the reports describe different epochs.
+    if a.timestamp != b.timestamp:  # lint: ignore[F1]
         diffs.append(f"timestamp: {a.timestamp!r} != {b.timestamp!r}")
 
     _compare_hardened(a.hardened, b.hardened, diffs, repair_tolerance)
 
     if list(a.verdicts) != list(b.verdicts):
         diffs.append(f"verdicts: key order {list(a.verdicts)} != {list(b.verdicts)}")
-    for name in a.verdicts.keys() & b.verdicts.keys():
+    for name in sorted(a.verdicts.keys() & b.verdicts.keys()):
         if a.verdicts[name] != b.verdicts[name]:
             diffs.append(
                 f"verdicts[{name!r}]: {a.verdicts[name]} != {b.verdicts[name]}"
@@ -122,7 +127,7 @@ def compare_reports(
 
     if list(a.checks) != list(b.checks):
         diffs.append(f"checks: key order {list(a.checks)} != {list(b.checks)}")
-    for name in a.checks.keys() & b.checks.keys():
+    for name in sorted(a.checks.keys() & b.checks.keys()):
         check_a, check_b = a.checks[name], b.checks[name]
         if check_a.notes != check_b.notes:
             diffs.append(

@@ -620,7 +620,11 @@ class IncrementalValidator:
         if (
             demand_same
             and memo is not None
-            and total_dropped == memo.total_dropped
+            # Exact identity is the reuse guard's contract: a spurious
+            # difference only costs a recompute, while a tolerance here
+            # could reuse stale verdicts and break full/incremental
+            # parity.
+            and total_dropped == memo.total_dropped  # lint: ignore[F1]
             and changed["ext"] is not None
         ):
             dirty = set(changed["ext"])
@@ -641,7 +645,7 @@ class IncrementalValidator:
         floor = max(self._config.rate_floor, self._config.active_threshold)
         if total_dropped > floor:
             result.notes.append(DemandChecker.dropped_note(total_dropped))
-        for node, (invariants, notes) in new.demand_cache.items():
+        for invariants, notes in new.demand_cache.values():
             result.results.extend(invariants)
             result.notes.extend(notes)
         skipped = result.num_skipped
@@ -685,7 +689,7 @@ class IncrementalValidator:
         self._stats.record_reuse("check.topology", counts[0], counts[1])
 
         result = CheckResult(input_name="topology")
-        for name, (conditions, notes) in new.topology_cache.items():
+        for conditions, notes in new.topology_cache.values():
             result.results.extend(conditions)
             result.notes.extend(notes)
         return result
@@ -751,9 +755,9 @@ class IncrementalValidator:
         self._stats.record_reuse("check.drain", counts[0], counts[1])
 
         result = CheckResult(input_name="drain")
-        for node, (conditions, notes) in new.drain_node_cache.items():
+        for conditions, notes in new.drain_node_cache.values():
             result.results.extend(conditions)
             result.notes.extend(notes)
-        for name, conditions in new.drain_link_cache.items():
+        for conditions in new.drain_link_cache.values():
             result.results.extend(conditions)
         return result

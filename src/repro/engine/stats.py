@@ -153,6 +153,52 @@ class EngineStats:
             "repair_reuses": self.repair_reuses,
         }
 
+    #: ``to_dict`` keys derived from the counters, not stored state;
+    #: :meth:`from_dict` ignores them and recomputes on demand so the
+    #: round-trip can never drift from the true counters.
+    DERIVED_KEYS = ("cache_hit_rate", "mean_epoch_ms", "shard_utilisation", "reuse_rate")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineStats":
+        """Rebuild stats from :meth:`to_dict` output.
+
+        The inverse is exact on stored counters:
+        ``EngineStats.from_dict(s.to_dict()).to_dict() == s.to_dict()``.
+        Derived keys present in the payload are ignored (they are
+        recomputed); unknown keys raise so schema drift fails loudly in
+        the golden tests instead of silently dropping data.
+        """
+        known = {
+            "epochs", "mode", "cache_hits", "cache_misses", "stage_seconds",
+            "shards", "shard_tasks", "shard_busy_seconds",
+            "entities_recomputed", "entities_reused",
+            "repair_solves", "repair_reuses",
+        }
+        unknown = set(payload) - known - set(cls.DERIVED_KEYS)
+        if unknown:
+            raise ValueError(f"unknown EngineStats keys: {sorted(unknown)}")
+        stage_seconds = dict(payload.get("stage_seconds", {}))  # type: ignore[arg-type]
+        return cls(
+            epochs=int(payload.get("epochs", 0)),  # type: ignore[arg-type]
+            cache_hits=int(payload.get("cache_hits", 0)),  # type: ignore[arg-type]
+            cache_misses=int(payload.get("cache_misses", 0)),  # type: ignore[arg-type]
+            stage_seconds={k: float(v) for k, v in stage_seconds.items()},
+            shards=int(payload.get("shards", 1)),  # type: ignore[arg-type]
+            shard_tasks=int(payload.get("shard_tasks", 0)),  # type: ignore[arg-type]
+            shard_busy_seconds=float(payload.get("shard_busy_seconds", 0.0)),  # type: ignore[arg-type]
+            mode=str(payload.get("mode", "full")),
+            entities_recomputed={
+                str(k): int(v)
+                for k, v in dict(payload.get("entities_recomputed", {})).items()  # type: ignore[arg-type]
+            },
+            entities_reused={
+                str(k): int(v)
+                for k, v in dict(payload.get("entities_reused", {})).items()  # type: ignore[arg-type]
+            },
+            repair_solves=int(payload.get("repair_solves", 0)),  # type: ignore[arg-type]
+            repair_reuses=int(payload.get("repair_reuses", 0)),  # type: ignore[arg-type]
+        )
+
     def render(self) -> str:
         """A compact human-readable block (CLI output)."""
         lines = [

@@ -1,0 +1,12 @@
+"""C1 fixture (bad): units missing from one or both registries."""
+
+
+class Collector:
+    def collect_flow_entity(self, snapshot, key):
+        return key
+
+    def collect_orphan_entity(self, snapshot, key):
+        return key
+
+    def run(self, snapshot):
+        return [self.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]

@@ -1,0 +1,6 @@
+"""C1 fixture (bad): dispatches a unit that is defined nowhere."""
+
+
+class Incremental:
+    def run(self, collector, snapshot):
+        return [collector.check_ghost_entity(snapshot, k) for k in sorted(snapshot)]

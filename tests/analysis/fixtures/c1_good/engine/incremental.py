@@ -1,0 +1,6 @@
+"""C1 fixture (good): incremental registry dispatching the same unit."""
+
+
+class Incremental:
+    def run(self, collector, snapshot):
+        return [collector.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]

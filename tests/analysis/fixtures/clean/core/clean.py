@@ -1,0 +1,17 @@
+"""All-rules-clean fixture: the patterns the linter must accept."""
+
+import math
+
+
+def collect_counter_entity(snapshot, key):
+    counters = dict(snapshot.counters)
+    return counters.get(key)
+
+
+def summarise(verdicts):
+    names = set(verdicts)
+    return [verdicts[name] for name in sorted(names)]
+
+
+def within(a: float, b: float, tol: float):
+    return math.isclose(a, b, rel_tol=tol)

@@ -1,0 +1,28 @@
+"""Known-bad D1 fixture: nondeterminism hazards in a core module."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def ordered(names):
+    seen = {name for name in names}
+    out = []
+    for name in seen:
+        out.append(name)
+    return out
+
+
+def listed(a, b):
+    return list(a.keys() & b.keys())
+
+
+def keyed(objs):
+    return {id(obj): obj for obj in objs}

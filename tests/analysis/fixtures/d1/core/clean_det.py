@@ -1,0 +1,36 @@
+"""Known-good D1 fixture: deterministic counterparts of every hazard."""
+
+import random
+import time
+
+
+def stamp():
+    return time.perf_counter()
+
+
+def jitter(seed):
+    return random.Random(seed).random()
+
+
+def ordered(names):
+    seen = {name for name in names}
+    out = []
+    for name in sorted(seen):
+        out.append(name)
+    return out
+
+
+def total(names):
+    seen = {name for name in names}
+    count = 0
+    for _name in seen:
+        count += 1
+    return count
+
+
+def listed(a, b):
+    return sorted(a.keys() & b.keys())
+
+
+def keyed(objs):
+    return {obj.name: obj for obj in objs}

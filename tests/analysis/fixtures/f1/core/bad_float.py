@@ -1,0 +1,13 @@
+"""Known-bad F1 fixture: bare float equality in a core module."""
+
+
+def exact(a: float, b: float):
+    return a == b
+
+
+def ratio(x, y):
+    return x / y == 0.5
+
+
+def literal(z):
+    return z != 1.5

@@ -1,0 +1,15 @@
+"""Known-good F1 fixture: tolerance compares and non-float equality."""
+
+import math
+
+
+def close(a: float, b: float, tol: float):
+    return math.isclose(a, b, rel_tol=tol)
+
+
+def names_match(mode, other):
+    return mode == other
+
+
+def int_count(n: int):
+    return n == 0

@@ -1,0 +1,24 @@
+"""Known-bad P1 fixture: per-entity units that mutate their arguments."""
+
+
+def collect_counter_entity(snapshot, key):
+    snapshot.counters[key] = 0
+    return snapshot.counters.get(key)
+
+
+def harden_edge_entity(collected, state):
+    derived = state.edge_flows
+    derived["a"] = 1
+    return derived
+
+
+def check_node_entity(demand, state, node):
+    rows = state.rows.get(node)
+    rows.append(node)
+    return rows
+
+
+def repair_flows(collected, state):
+    state.dirty = True
+    del state.cache["x"]
+    return state

@@ -1,0 +1,13 @@
+"""Known-good P1 fixture: per-entity units that copy instead of mutate."""
+
+
+def collect_counter_entity(snapshot, key):
+    counters = dict(snapshot.counters)
+    counters[key] = 0
+    return counters
+
+
+def check_node_entity(demand, state, node):
+    rows = list(state.rows.get(node, ()))
+    rows.append(node)
+    return tuple(rows)

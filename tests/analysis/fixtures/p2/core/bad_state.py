@@ -1,0 +1,17 @@
+"""Known-bad P2 fixture: core stage touching module-level mutable state."""
+
+REGISTRY = {}
+_SEEN = []
+
+
+def lookup(name):
+    return REGISTRY[name]
+
+
+def remember(name):
+    _SEEN.append(name)
+
+
+def rebind(name):
+    global REGISTRY
+    REGISTRY = {name: 1}

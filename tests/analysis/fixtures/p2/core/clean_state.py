@@ -1,0 +1,8 @@
+"""Known-good P2 fixture: constants are fine; state flows through args."""
+
+LIMIT = 16
+NAMES = ("a", "b")
+
+
+def lookup(registry, name):
+    return registry.get(name, LIMIT)

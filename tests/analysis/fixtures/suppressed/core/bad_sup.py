@@ -1,0 +1,15 @@
+"""Suppression fixture: silenced violations plus one stale suppression."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: ignore[D1]
+
+
+def exact(a: float, b: float):
+    return a == b  # lint: ignore
+
+
+def fine():
+    return 1  # lint: ignore[P1]

@@ -1,0 +1,60 @@
+"""The ``python -m repro lint`` front end: exit codes and output modes."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis import ALL_RULE_CODES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_fixture_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "clean")]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_bad_fixture_exits_one_with_file_line_diagnostics(capsys):
+    assert main(["lint", str(FIXTURES / "f1")]) == 1
+    out = capsys.readouterr().out
+    assert "core/bad_float.py:5:11: F1" in out
+    assert "3 error(s)" in out
+
+
+def test_json_flag_emits_the_payload_schema(capsys):
+    assert main(["lint", str(FIXTURES / "f1"), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["errors"] == 3
+    assert [d["code"] for d in payload["diagnostics"]] == ["F1", "F1", "F1"]
+
+
+def test_rule_filter_and_unknown_rule(capsys):
+    assert main(["lint", str(FIXTURES / "d1"), "--rule", "F1"]) == 0
+    assert main(["lint", str(FIXTURES / "d1"), "--rule", "ZZ"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["lint", str(FIXTURES / "does-not-exist")]) == 2
+
+
+def test_list_rules_prints_whole_catalog(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_RULE_CODES:
+        assert f"{code}:" in out
+
+
+def test_multiple_roots_merge(capsys):
+    assert main(["lint", str(FIXTURES / "clean"), str(FIXTURES / "f1")]) == 1
+    out = capsys.readouterr().out
+    assert "across 3 files" in out  # clean tree (1) + f1 tree (2)
+
+
+def test_default_root_is_live_package(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out

@@ -1,0 +1,45 @@
+"""Diagnostic record semantics: ordering, rendering, JSON round-trip."""
+
+import pytest
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def test_severity_parse_round_trips():
+    for member in Severity:
+        assert Severity.parse(member.value) is member
+
+
+def test_severity_parse_rejects_unknown():
+    with pytest.raises(ValueError):
+        Severity.parse("fatal")
+
+
+def test_render_is_path_line_col_code_severity_message():
+    diagnostic = Diagnostic(
+        code="D1", message="set iteration", path="core/x.py", line=12, col=4
+    )
+    assert diagnostic.render() == "core/x.py:12:4: D1 [error] set iteration"
+
+
+def test_sort_key_orders_by_location_then_code():
+    a = Diagnostic(code="P1", message="m", path="a.py", line=5)
+    b = Diagnostic(code="D1", message="m", path="a.py", line=5)
+    c = Diagnostic(code="P1", message="m", path="a.py", line=2)
+    d = Diagnostic(code="P1", message="m", path="b.py", line=1)
+    ordered = sorted([a, b, c, d], key=Diagnostic.sort_key)
+    assert ordered == [c, b, a, d]
+
+
+def test_to_dict_from_dict_round_trip():
+    diagnostic = Diagnostic(
+        code="F1",
+        message="bare float equality",
+        path="engine/diff.py",
+        line=41,
+        col=11,
+        severity=Severity.WARNING,
+    )
+    payload = diagnostic.to_dict()
+    assert Diagnostic.from_dict(payload) == diagnostic
+    assert Diagnostic.from_dict(payload).to_dict() == payload

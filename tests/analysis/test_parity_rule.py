@@ -1,0 +1,46 @@
+"""C1 registry-parity rule against its fixture trees."""
+
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_wired_unit_passes():
+    result = run_lint(FIXTURES / "c1_good")
+    assert result.ok
+    assert result.diagnostics == []
+
+
+def test_missing_wiring_flags_both_directions():
+    result = run_lint(FIXTURES / "c1_bad")
+    findings = [(d.path, d.line, d.code) for d in result.diagnostics]
+    assert findings == [
+        ("core/units.py", 5, "C1"),          # flow: not in incremental
+        ("core/units.py", 8, "C1"),          # orphan: not in incremental
+        ("core/units.py", 8, "C1"),          # orphan: not in serial path
+        ("engine/incremental.py", 6, "C1"),  # ghost: defined nowhere
+    ]
+    messages = [d.message for d in result.diagnostics]
+    assert "never referenced in engine/incremental.py" in messages[0]
+    assert any("not exercised by the serial pipeline" in m for m in messages)
+    assert any("no per-entity unit with that name" in m for m in messages)
+
+
+def test_tree_without_incremental_module_is_vacuously_clean():
+    # No engine/incremental.py at the configured path -> nothing to
+    # compare against; the p1 clean/bad trees rely on this.
+    result = run_lint(
+        FIXTURES / "c1_bad", config=LintConfig(incremental_path="engine/absent.py")
+    )
+    assert all(d.code != "C1" for d in result.diagnostics)
+
+
+def test_live_tree_registry_parity_holds():
+    import repro
+
+    result = run_lint(
+        Path(repro.__file__).parent, config=LintConfig(enabled_codes=frozenset({"C1"}))
+    )
+    assert result.diagnostics == []

@@ -1,0 +1,99 @@
+"""Every rule against its known-good/known-bad fixture tree.
+
+The fixtures live under ``tests/analysis/fixtures/<rule>/``; each is a
+miniature lint root whose ``core/`` subdirectory marks files as
+pipeline-core.  Expectations pin (path, line, code) exactly -- the
+analyzer's file:line spans are part of its contract.
+"""
+
+from pathlib import Path
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings(result):
+    return [(d.path, d.line, d.code) for d in result.diagnostics]
+
+
+def test_clean_tree_is_clean():
+    result = run_lint(FIXTURES / "clean")
+    assert result.ok
+    assert result.diagnostics == []
+    assert result.files_scanned == 1
+
+
+def test_p1_flags_every_argument_mutation_and_nothing_else():
+    result = run_lint(FIXTURES / "p1")
+    assert not result.ok
+    assert _findings(result) == [
+        ("core/bad_units.py", 5, "P1"),   # snapshot.counters[key] = 0
+        ("core/bad_units.py", 11, "P1"),  # store via local alias of state
+        ("core/bad_units.py", 17, "P1"),  # .append() on alias chain
+        ("core/bad_units.py", 22, "P1"),  # state.dirty = True
+        ("core/bad_units.py", 23, "P1"),  # del state.cache["x"]
+    ]
+
+
+def test_p2_flags_global_state_reads_writes_and_global_stmt():
+    result = run_lint(FIXTURES / "p2")
+    assert _findings(result) == [
+        ("core/bad_state.py", 8, "P2"),   # read of REGISTRY
+        ("core/bad_state.py", 12, "P2"),  # _SEEN.append receiver read
+        ("core/bad_state.py", 16, "P2"),  # global REGISTRY
+        ("core/bad_state.py", 17, "P2"),  # rebind of REGISTRY
+    ]
+
+
+def test_d1_flags_each_hazard_class_once():
+    result = run_lint(FIXTURES / "d1")
+    assert _findings(result) == [
+        ("core/bad_det.py", 8, "D1"),   # time.time()
+        ("core/bad_det.py", 12, "D1"),  # global random.random()
+        ("core/bad_det.py", 18, "D1"),  # for over set, appending
+        ("core/bad_det.py", 24, "D1"),  # list(keys-view intersection)
+        ("core/bad_det.py", 28, "D1"),  # id()-keyed dict comprehension
+    ]
+
+
+def test_d1_messages_name_the_hazard():
+    result = run_lint(FIXTURES / "d1")
+    messages = "\n".join(d.message for d in result.diagnostics)
+    assert "wall-clock" in messages
+    assert "global RNG" in messages
+    assert "sorted(" in messages
+    assert "id()-keyed" in messages
+
+
+def test_f1_flags_annotated_division_and_literal_float_compares():
+    result = run_lint(FIXTURES / "f1")
+    assert _findings(result) == [
+        ("core/bad_float.py", 5, "F1"),   # float-annotated params
+        ("core/bad_float.py", 9, "F1"),   # division result
+        ("core/bad_float.py", 13, "F1"),  # float literal
+    ]
+
+
+def test_suppressions_silence_and_stale_one_raises_l1():
+    result = run_lint(FIXTURES / "suppressed")
+    assert result.suppressed_count == 2
+    assert _findings(result) == [("core/bad_sup.py", 15, "L1")]
+
+
+def test_rule_filter_runs_only_selected_codes():
+    from repro.analysis import LintConfig
+
+    result = run_lint(FIXTURES / "d1", config=LintConfig(enabled_codes=frozenset({"F1"})))
+    assert result.diagnostics == []
+    result = run_lint(FIXTURES / "d1", config=LintConfig(enabled_codes=frozenset({"D1"})))
+    assert len(result.diagnostics) == 5
+
+
+def test_syntax_error_surfaces_as_e1_diagnostic(tmp_path):
+    bad = tmp_path / "core"
+    bad.mkdir()
+    (bad / "broken.py").write_text("def broken(:\n")
+    result = run_lint(tmp_path)
+    assert [(d.path, d.code) for d in result.diagnostics] == [("core/broken.py", "E1")]
+    assert not result.ok

@@ -1,0 +1,27 @@
+"""Meta-test: the live tree must satisfy its own lint contract.
+
+This is the same gate CI runs (``python -m repro lint``); keeping it in
+the test suite means a violation fails fast locally even without the
+CI step.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+
+
+def test_live_tree_is_lint_clean():
+    result = run_lint(Path(repro.__file__).parent)
+    rendered = "\n".join(d.render() for d in result.diagnostics)
+    assert result.ok and not result.diagnostics, f"lint findings:\n{rendered}"
+
+
+def test_live_tree_suppressions_are_all_used():
+    # run_lint would have raised L1 findings otherwise; additionally
+    # pin that every suppression in the tree carries at least one used
+    # code, so the suppression inventory in --json stays honest.
+    result = run_lint(Path(repro.__file__).parent)
+    assert result.suppressions, "expected documented suppressions in the tree"
+    for entry in result.suppressions:
+        assert entry["used"], f"stale suppression: {entry}"

@@ -1,0 +1,62 @@
+"""Suppression comment parsing, matching, and the L1 unused check."""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.suppress import SuppressionIndex
+
+
+def _diag(code, line, path="core/x.py"):
+    return Diagnostic(code=code, message="m", path=path, line=line)
+
+
+def test_coded_suppression_silences_only_listed_codes():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore[P1,F1]\n")
+    assert index.suppresses(_diag("P1", 1))
+    assert index.suppresses(_diag("F1", 1))
+    assert not index.suppresses(_diag("D1", 1))
+    assert not index.suppresses(_diag("P1", 2))
+
+
+def test_blanket_suppression_silences_every_code():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore\n")
+    assert index.suppresses(_diag("P1", 1))
+    assert index.suppresses(_diag("C1", 1))
+
+
+def test_mention_in_docstring_is_not_a_suppression():
+    source = '"""Docs may mention # lint: ignore[P1] freely."""\nx = 1\n'
+    index = SuppressionIndex.from_source(source)
+    assert len(index) == 0
+    assert not index.suppresses(_diag("P1", 1))
+
+
+def test_unused_coded_suppression_raises_l1_per_dead_code():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore[P1,F1]\n")
+    index.suppresses(_diag("P1", 1))
+    unused = index.unused("core/x.py")
+    assert [d.code for d in unused] == ["L1"]
+    assert "F1" in unused[0].message
+    assert unused[0].line == 1
+
+
+def test_unused_blanket_suppression_raises_one_l1():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore\n")
+    unused = index.unused("core/x.py")
+    assert len(unused) == 1
+    assert "blanket" in unused[0].message
+
+
+def test_used_suppressions_raise_nothing():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore[D1]\n")
+    assert index.suppresses(_diag("D1", 1))
+    assert index.unused("core/x.py") == []
+
+
+def test_to_dicts_reports_codes_and_usage_in_line_order():
+    source = "a = 1  # lint: ignore[P1]\nb = 2\nc = 3  # lint: ignore\n"
+    index = SuppressionIndex.from_source(source)
+    index.suppresses(_diag("P1", 1))
+    entries = index.to_dicts("core/x.py")
+    assert entries == [
+        {"path": "core/x.py", "line": 1, "codes": ["P1"], "used": ["P1"]},
+        {"path": "core/x.py", "line": 3, "codes": "*", "used": []},
+    ]
