@@ -10,6 +10,7 @@ Exposes the library's studies and demos without writing any Python:
 - ``drains``      drain validation incl. the reasons extension,
 - ``scale``       validation cost vs network size,
 - ``engine``      replay scenario timelines through the always-on engine,
+- ``trace``       render an exported engine trace (spans + provenance),
 - ``scenarios``   list the outage catalog,
 - ``lint``        static purity/determinism analysis of the pipeline.
 """
@@ -161,7 +162,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
 def _cmd_engine(args: argparse.Namespace) -> int:
     import json
 
-    from repro.control.metrics import engine_metrics, render_engine_metrics
+    from repro.control.metrics import engine_metrics, engine_registry, render_engine_metrics
     from repro.engine import EngineStats, ValidationEngine, compare_reports
     from repro.experiments import format_table
     from repro.scenarios import all_scenarios, scenario_by_id
@@ -177,6 +178,16 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         known = ", ".join(s.scenario_id for s in all_scenarios())
         print(f"unknown scenario {args.scenario!r} (known: {known})", file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace or args.trace_jsonl:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    registry = None
+    if args.metrics_prom:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     totals = EngineStats(shards=args.shards, mode=args.mode)
     rows = []
     mismatched = 0
@@ -184,11 +195,15 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         world = scenario.build(seed=args.seed)
         flagged = 0
         matches = True
+        if tracer is not None:
+            tracer.instant("scenario", scenario=scenario.scenario_id)
         with ValidationEngine(
             world.topology,
             config=world.hodor_config,
             shards=args.shards,
             mode=args.mode,
+            tracer=tracer,
+            metrics=registry,
         ) as engine:
             for epoch in range(args.epochs):
                 outcome = world.run_epoch(timestamp=float(epoch))
@@ -208,6 +223,18 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 "yes" if matches else "NO",
             ]
         )
+
+    if args.metrics_prom:
+        engine_registry(totals, registry=registry)
+        registry.write(args.metrics_prom)
+        print(f"wrote {args.metrics_prom}", file=sys.stderr)
+    if tracer is not None:
+        if args.trace:
+            tracer.write_chrome_trace(args.trace)
+            print(f"wrote {args.trace}", file=sys.stderr)
+        if args.trace_jsonl:
+            tracer.write_jsonl(args.trace_jsonl)
+            print(f"wrote {args.trace_jsonl}", file=sys.stderr)
 
     if args.json:
         payload = {
@@ -233,6 +260,25 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         print()
         print(render_engine_metrics(engine_metrics(totals)))
     return 1 if mismatched else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace_file, render_trace
+
+    try:
+        events = load_trace_file(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        render_trace(
+            events, provenance_only=args.provenance, max_epochs=args.epochs
+        )
+    )
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -350,7 +396,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable results and EngineStats as JSON",
     )
+    engine.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON span tree (Perfetto-loadable)",
+    )
+    engine.add_argument(
+        "--trace-jsonl",
+        default="",
+        metavar="PATH",
+        help="write the structured JSONL event log",
+    )
+    engine.add_argument(
+        "--metrics-prom",
+        default="",
+        metavar="PATH",
+        help="write Prometheus text exposition (registry incl. latency histograms)",
+    )
     engine.set_defaults(func=_cmd_engine)
+
+    trace = sub.add_parser(
+        "trace", help="render an exported engine trace (span tree + verdict provenance)"
+    )
+    trace.add_argument("path", help="trace file written by engine --trace/--trace-jsonl")
+    trace.add_argument(
+        "--provenance",
+        action="store_true",
+        help="show only flagged-verdict provenance records",
+    )
+    trace.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render at most N epoch spans",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     scenarios = sub.add_parser("scenarios", help="list the outage catalog")
     scenarios.add_argument(

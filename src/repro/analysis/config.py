@@ -35,7 +35,10 @@ class LintConfig:
             no-argument-mutation contract (and C1 treats as registry
             members).
         core_dirs: Directory names whose modules count as pipeline
-            core for P2/D1/F1 (any path component match).
+            core for P2/D1/F1 (any path component match).  The
+            observability layer (``obs``) is included: spans and
+            metrics run inside every stage, so hidden state or
+            wall-clock reads there corrupt replay just as surely.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
         enabled_codes: Rule codes to run; empty means all.
@@ -43,17 +46,25 @@ class LintConfig:
             wall-clock check.  ``perf_counter``/``monotonic`` feed
             stage *timings* (EngineStats), never verdicts, so they are
             allowed by default; ``time.time`` and friends are not.
+        clock_seam_paths: POSIX-relative module paths (from the lint
+            root) permitted to read the wall clock.  This is the
+            clock-injection seam: ``obs/clock.py`` wraps the one
+            sanctioned ``time.time()`` call (the display-only trace
+            anchor) so every other module gets its clock injected.  A
+            wall-clock read *anywhere else* in core -- even inside a
+            trace span body -- is still a D1 error.
         max_file_bytes: Safety valve -- files larger than this are
             skipped with a diagnostic rather than parsed.
     """
 
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
-    core_dirs: FrozenSet[str] = frozenset({"core", "engine"})
+    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "obs"})
     incremental_path: str = "engine/incremental.py"
     enabled_codes: FrozenSet[str] = frozenset()
     wall_clock_allowed: FrozenSet[str] = frozenset(
         {"time.perf_counter", "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns"}
     )
+    clock_seam_paths: FrozenSet[str] = frozenset({"obs/clock.py"})
     max_file_bytes: int = 2_000_000
     _compiled: Tuple[Pattern[str], ...] = field(init=False, repr=False, compare=False, default=())
 

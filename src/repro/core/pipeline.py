@@ -36,6 +36,12 @@ from repro.core.signals import CollectedState, HardenedState
 from repro.core.topology_check import TopologyChecker
 from repro.net.demand import DemandMatrix
 from repro.net.topology import Topology
+
+# Module-object import (not ``from ... import build_provenance``): the
+# obs package imports leaf core modules, so during a circular package
+# load only the module object is guaranteed to resolve; its attributes
+# are looked up at call time, after both packages finished loading.
+from repro.obs import provenance as _provenance
 from repro.telemetry.snapshot import NetworkSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -157,10 +163,14 @@ class Hodor:
 
     @staticmethod
     def _record(report: ValidationReport, check: CheckResult) -> None:
+        violations = check.violations
         report.checks[check.input_name] = check
         report.verdicts[check.input_name] = InputVerdict(
             input_name=check.input_name,
-            valid=check.passed,
-            num_violations=len(check.violations),
+            valid=not violations,
+            num_violations=len(violations),
             num_evaluated=check.num_evaluated,
+        )
+        report.provenance[check.input_name] = _provenance.build_provenance(
+            check, report.hardened, violations=violations
         )

@@ -9,10 +9,13 @@ kind of artifact that would feed the operator's alerting pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
 
 from repro.core.invariants import CheckResult
 from repro.core.signals import Finding, FindingSeverity, HardenedState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.provenance import VerdictProvenance
 
 __all__ = ["InputVerdict", "ValidationReport"]
 
@@ -43,12 +46,18 @@ class ValidationReport:
         hardened: The hardened network state used for checking.
         checks: Per-input dynamic check results.
         verdicts: Per-input verdicts derived from the checks.
+        provenance: Per-input
+            :class:`~repro.obs.provenance.VerdictProvenance` records --
+            which invariants fired and which hardened signals fed them.
+            Derived deterministically from ``checks`` + ``hardened``,
+            so report equality is unaffected.
     """
 
     timestamp: float
     hardened: HardenedState
     checks: Dict[str, CheckResult] = field(default_factory=dict)
     verdicts: Dict[str, InputVerdict] = field(default_factory=dict)
+    provenance: Dict[str, "VerdictProvenance"] = field(default_factory=dict)
 
     @property
     def all_valid(self) -> bool:

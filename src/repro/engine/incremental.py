@@ -53,6 +53,7 @@ from repro.core.signals import CollectedState, HardenedState
 from repro.engine.cache import TopologyCache
 from repro.engine.stats import EngineStats
 from repro.net.topology import EXTERNAL_PEER
+from repro.obs.trace import NullTracer
 from repro.telemetry.delta import SnapshotDelta
 from repro.telemetry.snapshot import NetworkSnapshot
 
@@ -185,6 +186,11 @@ class IncrementalValidator:
             hardener, checkers) shared with the full path.
         stats: The engine's counters; stage timings and reuse counts
             are recorded here.
+        tracer: Optional :class:`repro.obs.trace.Tracer`; when enabled,
+            each epoch records stage spans annotated with
+            recomputed/reused entity counts plus a ``delta`` instant
+            describing the dirty sets.  Defaults to the no-op
+            :class:`~repro.obs.trace.NullTracer`.
     """
 
     def __init__(
@@ -193,11 +199,13 @@ class IncrementalValidator:
         cache: TopologyCache,
         components,
         stats: EngineStats,
+        tracer=None,
     ) -> None:
         self._config = config
         self._cache = cache
         self._components = components
         self._stats = stats
+        self._tracer = tracer if tracer is not None else NullTracer()
         self._solver_cache = ConservationSolveCache()
         self._memo: Optional[_EpochMemo] = None
 
@@ -230,34 +238,79 @@ class IncrementalValidator:
         new = _EpochMemo()
         new.snapshot = snapshot
 
+        tracer = self._tracer
+        if tracer.enabled:
+            if delta is None:
+                tracer.instant("delta", priming=True)
+            else:
+                tracer.instant(
+                    "delta",
+                    counters=len(delta.counters),
+                    statuses=len(delta.statuses),
+                    drains=len(delta.drains),
+                    drain_reasons=len(delta.drain_reasons),
+                    link_drains=len(delta.link_drains),
+                    drops=len(delta.drops),
+                    probes=len(delta.probes),
+                )
+
         # The per-family caches are updated in place in the steady
         # state; a half-updated memo must not survive an error, so any
         # failure drops it and the next epoch primes from scratch.
         try:
-            stage_start = time.perf_counter()
-            collected = self._collect(snapshot, delta, memo, new)
-            self._stats.record_stage("collect", time.perf_counter() - stage_start)
+            with tracer.span("collect", category="stage") as span:
+                reuse_before = self._reuse_totals("collect") if tracer.enabled else None
+                stage_start = time.perf_counter()
+                collected = self._collect(snapshot, delta, memo, new)
+                self._stats.record_stage("collect", time.perf_counter() - stage_start)
+                self._annotate_reuse(span, "collect", reuse_before)
 
-            stage_start = time.perf_counter()
-            state, changed = self._harden(collected, delta, memo, new)
-            self._stats.record_stage("harden", time.perf_counter() - stage_start)
+            with tracer.span("harden", category="stage") as span:
+                reuse_before = self._reuse_totals("harden") if tracer.enabled else None
+                stage_start = time.perf_counter()
+                state, changed = self._harden(collected, delta, memo, new)
+                self._stats.record_stage("harden", time.perf_counter() - stage_start)
+                self._annotate_reuse(span, "harden", reuse_before)
 
-            stage_start = time.perf_counter()
-            report = ValidationReport(timestamp=snapshot.timestamp, hardened=state)
-            Hodor._record(
-                report, self._check_demand(inputs, state, memo, new, changed)
-            )
-            Hodor._record(
-                report, self._check_topology(inputs, state, memo, new, changed)
-            )
-            Hodor._record(report, self._check_drain(inputs, state, memo, new, changed))
-            self._stats.record_stage("check", time.perf_counter() - stage_start)
+            with tracer.span("check", category="stage") as span:
+                reuse_before = self._reuse_totals("check") if tracer.enabled else None
+                stage_start = time.perf_counter()
+                report = ValidationReport(timestamp=snapshot.timestamp, hardened=state)
+                Hodor._record(
+                    report, self._check_demand(inputs, state, memo, new, changed)
+                )
+                Hodor._record(
+                    report, self._check_topology(inputs, state, memo, new, changed)
+                )
+                Hodor._record(report, self._check_drain(inputs, state, memo, new, changed))
+                self._stats.record_stage("check", time.perf_counter() - stage_start)
+                self._annotate_reuse(span, "check", reuse_before)
         except BaseException:
             self.reset()
             raise
 
         self._memo = new
         return report
+
+    def _reuse_totals(self, prefix: str) -> Tuple[int, int]:
+        """(recomputed, reused) totals across a stage's entity families."""
+        recomputed = sum(
+            count
+            for stage, count in self._stats.entities_recomputed.items()
+            if stage.startswith(prefix)
+        )
+        reused = sum(
+            count
+            for stage, count in self._stats.entities_reused.items()
+            if stage.startswith(prefix)
+        )
+        return recomputed, reused
+
+    def _annotate_reuse(self, span, prefix: str, before: Optional[Tuple[int, int]]) -> None:
+        if before is None:
+            return
+        recomputed, reused = self._reuse_totals(prefix)
+        span.annotate(recomputed=recomputed - before[0], reused=reused - before[1])
 
     def reset(self) -> None:
         """Drop the memo (the next epoch primes from scratch)."""

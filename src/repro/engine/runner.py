@@ -45,8 +45,10 @@ from repro.core.topology_check import TopologyChecker
 from repro.engine.cache import TopologyCache, TopologyCacheStore
 from repro.engine.incremental import IncrementalValidator
 from repro.engine.sharding import ShardMap
-from repro.engine.stats import EngineStats
+from repro.engine.stats import STAGES, EngineStats
 from repro.net.topology import Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer
 from repro.telemetry.snapshot import NetworkSnapshot
 
 __all__ = ["EpochInput", "ValidationEngine"]
@@ -103,6 +105,14 @@ class ValidationEngine:
             epoch and reuses every per-entity verdict whose inputs did
             not change (see :mod:`repro.engine.incremental`).  Both
             produce identical reports.
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  When given,
+            every epoch records a span tree (epoch -> stage -> shard
+            slices, plus per-verdict provenance instants).  Defaults to
+            the allocation-free :class:`~repro.obs.trace.NullTracer`.
+        metrics: Optional shared
+            :class:`repro.obs.metrics.MetricsRegistry` to record the
+            epoch/stage latency histograms into; one is created when
+            omitted (exposed as :attr:`metrics`).
     """
 
     _MODES = ("full", "incremental")
@@ -114,6 +124,8 @@ class ValidationEngine:
         shards: int = 1,
         cache_store: Optional[TopologyCacheStore] = None,
         mode: str = "full",
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if mode not in self._MODES:
             raise ValueError(f"unknown engine mode {mode!r}; expected one of {self._MODES}")
@@ -122,6 +134,18 @@ class ValidationEngine:
         self._store = cache_store or TopologyCacheStore()
         self._shard_map = ShardMap(shards=shards)
         self._mode = mode
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._shard_map.tracer = self.tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._epoch_hist = self.metrics.histogram(
+            "engine_epoch_latency_seconds",
+            "Wall-clock seconds per validation epoch.",
+        )
+        self._stage_hist = self.metrics.histogram(
+            "engine_stage_latency_seconds",
+            "Wall-clock seconds per pipeline stage per epoch.",
+            labels=("stage",),
+        )
         self.stats = EngineStats(shards=shards, mode=mode)
         self._components: "OrderedDict[str, _Components]" = OrderedDict()
         self._incremental: "OrderedDict[str, IncrementalValidator]" = OrderedDict()
@@ -170,7 +194,7 @@ class ValidationEngine:
         validator = self._incremental.get(cache.fingerprint)
         if validator is None:
             validator = IncrementalValidator(
-                self._config, cache, components, self.stats
+                self._config, cache, components, self.stats, tracer=self.tracer
             )
             self._incremental[cache.fingerprint] = validator
         else:
@@ -191,39 +215,82 @@ class ValidationEngine:
             topology: Optional reference override for this epoch.
         """
         reference = topology if topology is not None else self._reference
-        total_start = time.perf_counter()
-        cache, components = self._components_for(reference)
+        tracer = self.tracer
+        with tracer.span(
+            "epoch", epoch=self.stats.epochs, mode=self._mode, timestamp=snapshot.timestamp
+        ) as epoch_span:
+            total_start = time.perf_counter()
+            hits_before = self.stats.cache_hits
+            cache, components = self._components_for(reference)
+            if tracer.enabled:
+                epoch_span.annotate(cache_hit=self.stats.cache_hits > hits_before)
 
-        if self._mode == "incremental":
-            validator = self._incremental_for(cache, components)
-            report = validator.validate(snapshot, inputs)
+            if self._mode == "incremental":
+                validator = self._incremental_for(cache, components)
+                stage_before = {
+                    stage: self.stats.stage_seconds.get(stage, 0.0) for stage in STAGES
+                }
+                report = validator.validate(snapshot, inputs)
+                self.stats.epochs += 1
+                total_seconds = time.perf_counter() - total_start
+                self.stats.record_stage("total", total_seconds)
+                self._epoch_hist.observe(total_seconds)
+                for stage in STAGES:
+                    self._stage_hist.labels(stage=stage).observe(
+                        self.stats.stage_seconds.get(stage, 0.0) - stage_before[stage]
+                    )
+                self._emit_verdicts(report)
+                return report
+
+            shard_map = self._shard_map
+            stage_start = time.perf_counter()
+            shard_map.stage_hint = "collect"
+            with tracer.span("collect", category="stage"):
+                collected = components.collector.collect(snapshot, parallel=shard_map)
+            stage_seconds = time.perf_counter() - stage_start
+            self.stats.record_stage("collect", stage_seconds)
+            self._stage_hist.labels(stage="collect").observe(stage_seconds)
+
+            stage_start = time.perf_counter()
+            shard_map.stage_hint = "harden"
+            with tracer.span("harden", category="stage"):
+                hardened = components.hardener.harden(collected, parallel=shard_map)
+            stage_seconds = time.perf_counter() - stage_start
+            self.stats.record_stage("harden", stage_seconds)
+            self._stage_hist.labels(stage="harden").observe(stage_seconds)
+
+            stage_start = time.perf_counter()
+            shard_map.stage_hint = "check"
+            report = ValidationReport(timestamp=snapshot.timestamp, hardened=hardened)
+            with tracer.span("check", category="stage"):
+                Hodor._record(
+                    report,
+                    components.demand.check(inputs.demand, hardened, parallel=shard_map),
+                )
+                Hodor._record(report, components.topology.check(inputs.topology, hardened))
+                Hodor._record(report, components.drain.check(inputs.drains, hardened))
+            stage_seconds = time.perf_counter() - stage_start
+            self.stats.record_stage("check", stage_seconds)
+            self._stage_hist.labels(stage="check").observe(stage_seconds)
+
             self.stats.epochs += 1
-            self.stats.record_stage("total", time.perf_counter() - total_start)
-            return report
-
-        stage_start = time.perf_counter()
-        collected = components.collector.collect(snapshot, parallel=self._shard_map)
-        self.stats.record_stage("collect", time.perf_counter() - stage_start)
-
-        stage_start = time.perf_counter()
-        hardened = components.hardener.harden(collected, parallel=self._shard_map)
-        self.stats.record_stage("harden", time.perf_counter() - stage_start)
-
-        stage_start = time.perf_counter()
-        report = ValidationReport(timestamp=snapshot.timestamp, hardened=hardened)
-        Hodor._record(
-            report,
-            components.demand.check(inputs.demand, hardened, parallel=self._shard_map),
-        )
-        Hodor._record(report, components.topology.check(inputs.topology, hardened))
-        Hodor._record(report, components.drain.check(inputs.drains, hardened))
-        self.stats.record_stage("check", time.perf_counter() - stage_start)
-
-        self.stats.epochs += 1
-        self.stats.record_stage("total", time.perf_counter() - total_start)
-        self.stats.shard_tasks = self._shard_map.tasks_dispatched
-        self.stats.shard_busy_seconds = self._shard_map.busy_seconds
+            total_seconds = time.perf_counter() - total_start
+            self.stats.record_stage("total", total_seconds)
+            self._epoch_hist.observe(total_seconds)
+            self.stats.shard_tasks = self._shard_map.tasks_dispatched
+            self.stats.shard_busy_seconds = self._shard_map.busy_seconds
+            self._emit_verdicts(report)
         return report
+
+    def _emit_verdicts(self, report: ValidationReport) -> None:
+        """Emit one provenance instant per verdict (tracing only)."""
+        if not self.tracer.enabled:
+            return
+        for name in sorted(report.provenance):
+            record = report.provenance[name]
+            self.tracer.instant(
+                "verdict", input=name, valid=record.valid, provenance=record.to_dict()
+            )
 
     def replay(self, epochs: Iterable[EpochInput]) -> List[ValidationReport]:
         """Validate a whole epoch stream, in order."""

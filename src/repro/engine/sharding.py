@@ -92,6 +92,13 @@ class ShardMap:
         #: shards; divided by elapsed stage time this yields pool
         #: utilisation.
         self.busy_seconds = 0.0
+        #: Optional :class:`repro.obs.trace.Tracer` (duck-typed); when
+        #: set and enabled, every slice-worker invocation is recorded
+        #: as a ``shard`` span.  ``None`` (the default) costs nothing.
+        self.tracer = None
+        #: Free-form stage label stamped onto shard spans; the engine
+        #: sets it before each sharded stage call.
+        self.stage_hint = ""
 
     # ------------------------------------------------------------------
 
@@ -116,23 +123,60 @@ class ShardMap:
         """
         shards = min(self.shards, max(1, len(items) // self.min_slice_items))
         slices = split_slices(len(items), shards)
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
         if len(slices) <= 1:
             self.tasks_dispatched += 1
-            start = time.perf_counter()
-            result = worker(items)
-            self.busy_seconds += time.perf_counter() - start
+            if tracing:
+                with tracer.span(
+                    "shard",
+                    category="shard",
+                    tid=1,
+                    stage=self.stage_hint,
+                    shard=0,
+                    items=len(items),
+                ):
+                    start = time.perf_counter()
+                    result = worker(items)
+                    self.busy_seconds += time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                result = worker(items)
+                self.busy_seconds += time.perf_counter() - start
             return [result]
 
-        def timed(lo: int, hi: int) -> Tuple[float, _Result]:
+        # Pool threads have no span context of their own; capture the
+        # dispatching thread's innermost span so shard spans nest under
+        # the stage that issued them.
+        parent = tracer.current_id() if tracing else None
+        stage_hint = self.stage_hint
+
+        def timed(index: int, lo: int, hi: int) -> Tuple[float, _Result]:
+            if tracing:
+                with tracer.span(
+                    "shard",
+                    category="shard",
+                    tid=index + 1,
+                    parent=parent,
+                    stage=stage_hint,
+                    shard=index,
+                    items=hi - lo,
+                ):
+                    start = time.perf_counter()
+                    result = worker(items[lo:hi])
+                    return time.perf_counter() - start, result
             start = time.perf_counter()
             result = worker(items[lo:hi])
             return time.perf_counter() - start, result
 
         # The calling thread takes the first slice itself; only the
         # rest go to the pool.  Same merged output, one fewer dispatch.
-        futures = [self._pool().submit(timed, lo, hi) for lo, hi in slices[1:]]
+        futures = [
+            self._pool().submit(timed, index, lo, hi)
+            for index, (lo, hi) in enumerate(slices[1:], start=1)
+        ]
         self.tasks_dispatched += len(slices)
-        results = [timed(*slices[0])]
+        results = [timed(0, *slices[0])]
         for future in futures:
             results.append(future.result())
         out = []

@@ -203,6 +203,7 @@ class EngineStats:
         """A compact human-readable block (CLI output)."""
         lines = [
             f"epochs processed  : {self.epochs}",
+            f"mode              : {self.mode}",
             f"cache hits/misses : {self.cache_hits}/{self.cache_misses}",
             f"shards            : {self.shards}",
             f"shard tasks       : {self.shard_tasks}",

@@ -14,6 +14,7 @@ from repro.experiments.scale_study import (
     IncrementalRow,
     ScaleRow,
     ScaleStudy,
+    TraceOverheadRow,
     churn_snapshot,
 )
 from repro.experiments.threshold_study import DetectabilityRow, ThresholdRow, ThresholdStudy
@@ -35,6 +36,7 @@ __all__ = [
     "IncrementalRow",
     "ScaleRow",
     "ScaleStudy",
+    "TraceOverheadRow",
     "churn_snapshot",
     "ScenarioOutcome",
     "ThresholdRow",

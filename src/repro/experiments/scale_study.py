@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.control.demand_service import records_from_matrix
 from repro.control.infra import ControlPlane
@@ -34,6 +34,7 @@ __all__ = [
     "ScaleRow",
     "EngineScaleRow",
     "IncrementalRow",
+    "TraceOverheadRow",
     "ScaleStudy",
     "churn_snapshot",
 ]
@@ -128,6 +129,39 @@ class IncrementalRow:
     incremental_ms: float
     speedup: float
     reuse_rate: float
+
+
+@dataclass(frozen=True)
+class TraceOverheadRow:
+    """E14: engine cost with tracing off (NullTracer) vs fully on.
+
+    Attributes:
+        nodes: Router count.
+        links: Link count.
+        epochs: Timed epochs per measurement (after one warm-up).
+        off_ms: Best per-epoch wall-clock with the default
+            :class:`~repro.obs.trace.NullTracer` -- the shipped
+            hot path.
+        on_ms: Best per-epoch wall-clock with a live
+            :class:`~repro.obs.trace.Tracer` recording the complete
+            span tree plus per-verdict provenance instants.
+        overhead: ``on_ms / off_ms - 1``.
+        off_noise: Relative spread of the tracing-off repetitions,
+            ``max/min - 1`` -- the measurement noise floor the
+            overhead must be read against.
+        spans: Spans one traced replay records.
+        instants: Instant events one traced replay records.
+    """
+
+    nodes: int
+    links: int
+    epochs: int
+    off_ms: float
+    on_ms: float
+    overhead: float
+    off_noise: float
+    spans: int
+    instants: int
 
 
 @dataclass(frozen=True)
@@ -272,6 +306,92 @@ class ScaleStudy:
                     serial_ms=serial_ms,
                     engine_ms=tuple(engine_ms),
                     cache_hits=cache_hits,
+                )
+            )
+        return rows
+
+    def run_trace_overhead(
+        self,
+        sizes: Sequence[int] = (80,),
+        epochs: int = 10,
+        churn: float = 0.10,
+        export_dir: Optional[str] = None,
+    ) -> List[TraceOverheadRow]:
+        """E14: what does observability cost the validation hot path?
+
+        Replays the identical churned epoch stream through two engines:
+        one with the default :class:`~repro.obs.trace.NullTracer`
+        (tracing off -- the shipped configuration) and one with a live
+        :class:`~repro.obs.trace.Tracer` plus a shared
+        :class:`~repro.obs.metrics.MetricsRegistry` recording the full
+        span tree, verdict provenance instants, and latency histograms.
+        Best-of-repetitions per-epoch cost for each, with the
+        tracing-off repetition spread reported as the noise floor.
+
+        Args:
+            sizes: Node counts to measure.
+            epochs: Timed epochs per measurement.
+            churn: Per-link probability of moving each epoch.
+            export_dir: When given, the last traced run's Chrome trace
+                (``E14_trace.json``) and Prometheus exposition
+                (``E14_metrics.prom``) are written there, so CI can
+                archive real artifacts produced under measurement.
+        """
+        from repro.control.metrics import engine_registry
+        from repro.obs import MetricsRegistry, Tracer
+
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        rows = []
+        for size in sizes:
+            topology, snapshot, inputs = self._epoch_fixture(size)
+            rng = random.Random(self._seed)
+            snapshots = [snapshot]
+            for epoch in range(1, epochs + 1):
+                snapshots.append(
+                    churn_snapshot(snapshots[-1], churn, rng, float(epoch))
+                )
+
+            def replay(tracer=None, metrics=None) -> float:
+                with ValidationEngine(
+                    topology, tracer=tracer, metrics=metrics
+                ) as engine:
+                    engine.validate(snapshots[0], inputs)  # warm-up
+                    start = time.perf_counter()
+                    for snap in snapshots[1:]:
+                        engine.validate(snap, inputs)
+                    elapsed = (time.perf_counter() - start) * 1000 / epochs
+                    if metrics is not None:
+                        engine_registry(engine.stats, registry=metrics)
+                    return elapsed
+
+            off_runs = [replay() for _ in range(self._repetitions)]
+            off_ms = min(off_runs)
+            off_noise = max(off_runs) / off_ms - 1.0 if off_ms else 0.0
+
+            on_ms = float("inf")
+            tracer = None
+            registry = None
+            for _ in range(self._repetitions):
+                tracer = Tracer()
+                registry = MetricsRegistry()
+                on_ms = min(on_ms, replay(tracer=tracer, metrics=registry))
+            if export_dir is not None:
+                tracer.write_chrome_trace(f"{export_dir}/E14_trace.json")
+                registry.write(f"{export_dir}/E14_metrics.prom")
+
+            events = tracer.events()
+            rows.append(
+                TraceOverheadRow(
+                    nodes=topology.num_nodes,
+                    links=topology.num_links,
+                    epochs=epochs,
+                    off_ms=off_ms,
+                    on_ms=on_ms,
+                    overhead=on_ms / off_ms - 1.0 if off_ms else 0.0,
+                    off_noise=off_noise,
+                    spans=sum(1 for e in events if e["type"] == "span"),
+                    instants=sum(1 for e in events if e["type"] == "instant"),
                 )
             )
         return rows

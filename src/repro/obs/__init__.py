@@ -1,0 +1,56 @@
+"""Hodor Observatory: tracing, metrics, and verdict provenance.
+
+Three pillars, instrumented end-to-end through the validation engine:
+
+* :mod:`repro.obs.trace` -- per-epoch span trees with Chrome
+  trace-event JSON and JSONL exports (:class:`Tracer`; the
+  allocation-free :class:`NullTracer` is the engine default);
+* :mod:`repro.obs.metrics` -- :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` families in a :class:`MetricsRegistry` with
+  Prometheus text exposition;
+* :mod:`repro.obs.provenance` -- per-verdict records naming the fired
+  invariant and the hardened signals (raw/confirmed/repaired) that fed
+  it.
+
+``repro.obs`` sits below the engine: it imports only leaf ``core``
+modules (signals, invariants) and is itself imported by ``core``,
+``engine``, ``control``, and the CLI.
+"""
+
+from repro.obs.clock import ManualClock, monotonic_clock, system_wall_time
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.provenance import (
+    FiredInvariant,
+    SignalProvenance,
+    VerdictProvenance,
+    build_provenance,
+)
+from repro.obs.render import load_trace_file, render_trace
+from repro.obs.trace import TRACE_SCHEMA_VERSION, NullTracer, Span, Tracer
+
+__all__ = [
+    "ManualClock",
+    "monotonic_clock",
+    "system_wall_time",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SignalProvenance",
+    "FiredInvariant",
+    "VerdictProvenance",
+    "build_provenance",
+    "load_trace_file",
+    "render_trace",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+]

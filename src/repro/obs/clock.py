@@ -1,0 +1,59 @@
+"""Clock seams for the observability layer.
+
+Tracing needs two notions of time:
+
+* a **monotonic** clock for span durations -- injected into
+  :class:`~repro.obs.trace.Tracer` so tests can drive it manually and
+  traces replay deterministically;
+* a single **wall-clock anchor** so exported traces can be pinned to
+  absolute time by consumers that care (Perfetto does not).
+
+``time.time()`` is nondeterministic and banned by hodor-lint's D1 rule
+everywhere in the core tree; :func:`system_wall_time` below is the one
+sanctioned seam (``LintConfig.clock_seam_paths`` allows exactly this
+module) so the rest of ``repro.obs`` -- and everything downstream --
+stays wall-clock-free.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ManualClock", "monotonic_clock", "system_wall_time"]
+
+
+def monotonic_clock() -> float:
+    """Default tracer clock: monotonic seconds (never wall time)."""
+    return time.perf_counter()
+
+
+def system_wall_time() -> float:
+    """Seconds since the Unix epoch, for anchoring trace exports.
+
+    The only permitted wall-clock read in the repro tree.  Callers must
+    treat the value as a display-only anchor: nothing may branch on it,
+    key a map with it, or feed it back into validation.
+    """
+    return time.time()
+
+
+class ManualClock:
+    """A deterministic, hand-advanced clock for tests.
+
+    Callable like ``time.perf_counter``; advance it explicitly with
+    :meth:`tick`.  Spans timed against a :class:`ManualClock` produce
+    byte-identical exports across runs.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> float:
+        """Advance the clock and return the new reading."""
+        if seconds < 0.0:
+            raise ValueError(f"ManualClock cannot move backwards ({seconds!r})")
+        self.now += seconds
+        return self.now

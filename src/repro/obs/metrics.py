@@ -1,0 +1,334 @@
+"""Minimal Prometheus-style metrics primitives.
+
+:class:`MetricsRegistry` owns named metric families --
+:class:`Counter`, :class:`Gauge`, and :class:`Histogram` (fixed
+buckets, tuned for epoch/stage latency) -- and renders them in the
+Prometheus text exposition format, ``# HELP``/``# TYPE`` lines
+included.  No client library is required or used.
+
+Families may carry labels::
+
+    h = registry.histogram(
+        "engine_stage_latency_seconds", "Per-stage latency.", labels=("stage",)
+    )
+    h.labels(stage="collect").observe(0.004)
+
+Two write modes coexist deliberately:
+
+* live instrumentation (``inc``/``observe``) -- the engine's
+  histograms accumulate as epochs run;
+* snapshot export (``set_to``) -- :func:`repro.control.metrics.engine_registry`
+  projects an :class:`~repro.engine.stats.EngineStats` snapshot into
+  counter/gauge families, and ``set_to`` keeps that projection
+  idempotent when re-run on a shared registry.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) for latency histograms; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: shortest round-trip representation,
+    with integral floats rendered without a decimal point."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError(f"counters only go up (inc by {amount!r})")
+        self.value += amount
+
+    def set_to(self, value: float) -> None:
+        """Snapshot-export hook: overwrite with an absolute value."""
+        if value < 0.0:
+            raise ValueError(f"counter value must be >= 0 (got {value!r})")
+        self.value = float(value)
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    set_to = set
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        #: One slot per finite bound plus +Inf, non-cumulative.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        out: List[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class _Family:
+    """Shared family behaviour: label handling and child storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Tuple[str, ...]) -> None:
+        self.name = _check_name(name)
+        self.help = help_text
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.label_names = label_names
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _new_child(self) -> object:
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {sorted(self.label_names)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def _sorted_children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+    def _label_pairs(self, key: Tuple[str, ...]) -> List[Tuple[str, str]]:
+        return list(zip(self.label_names, key))
+
+    def _require_unlabelled(self, op: str):
+        if self.label_names:
+            raise ValueError(f"{self.name} has labels; use .labels(...).{op}")
+        return self.labels()
+
+
+class Counter(_Family):
+    """Monotonically increasing count (snapshot export may overwrite)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_unlabelled("inc").inc(amount)
+
+    def set_to(self, value: float) -> None:
+        self._require_unlabelled("set_to").set_to(value)
+
+    @property
+    def value(self) -> float:
+        return self._require_unlabelled("value").value
+
+    def samples(self) -> Iterable[Tuple[str, List[Tuple[str, str]], float]]:
+        for key, child in self._sorted_children():
+            yield self.name, self._label_pairs(key), child.value  # type: ignore[union-attr]
+
+
+class Gauge(_Family):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._require_unlabelled("set").set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_unlabelled("inc").inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_unlabelled("dec").dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._require_unlabelled("value").value
+
+    def samples(self) -> Iterable[Tuple[str, List[Tuple[str, str]], float]]:
+        for key, child in self._sorted_children():
+            yield self.name, self._label_pairs(key), child.value  # type: ignore[union-attr]
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (Prometheus cumulative exposition)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.bounds = bounds
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def observe(self, value: float) -> None:
+        self._require_unlabelled("observe").observe(value)
+
+    def samples(self) -> Iterable[Tuple[str, List[Tuple[str, str]], float]]:
+        for key, child in self._sorted_children():
+            pairs = self._label_pairs(key)
+            cumulative = child.cumulative_counts()  # type: ignore[union-attr]
+            for bound, running in zip(self.bounds, cumulative):
+                le = pairs + [("le", _format_value(bound))]
+                yield f"{self.name}_bucket", le, float(running)
+            yield f"{self.name}_bucket", pairs + [("le", "+Inf")], float(cumulative[-1])
+            yield f"{self.name}_sum", pairs, child.sum  # type: ignore[union-attr]
+            yield f"{self.name}_count", pairs, float(child.count)  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """Named metric families with Prometheus text exposition.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family, provided the kind and label set match (a mismatch
+    raises, so two subsystems cannot silently share a name with
+    different meanings).
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        existing = self._families.get(family.name)
+        if existing is None:
+            self._families[family.name] = family
+            return family
+        if existing.kind != family.kind or existing.label_names != family.label_names:
+            raise ValueError(
+                f"metric {family.name!r} already registered as {existing.kind} "
+                f"with labels {existing.label_names}"
+            )
+        return existing
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help_text, tuple(labels)))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, tuple(labels)))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, tuple(labels), buckets)
+        )
+
+    def get(self, name: str) -> _Family:
+        return self._families[name]
+
+    def families(self) -> List[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def samples(self) -> List[Tuple[str, Dict[str, str], float]]:
+        """Flat samples across all families (histograms expanded)."""
+        out: List[Tuple[str, Dict[str, str], float]] = []
+        for family in self.families():
+            for name, pairs, value in family.samples():  # type: ignore[attr-defined]
+                out.append((name, dict(pairs), value))
+        return out
+
+    def render(self) -> str:
+        """Prometheus text exposition format, version 0.0.4."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for name, pairs, value in family.samples():  # type: ignore[attr-defined]
+                lines.append(f"{name}{_render_labels(pairs)} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

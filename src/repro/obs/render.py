@@ -1,0 +1,159 @@
+"""Loading and rendering exported traces (the ``repro trace`` CLI).
+
+Accepts both export formats written by :class:`repro.obs.trace.Tracer`:
+Chrome trace-event JSON (``--trace``) and the JSONL event log
+(``--trace-jsonl``).  Either is normalized back to the tracer's event
+dicts and rendered as an indented span tree with millisecond durations
+and per-verdict provenance lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["load_trace_file", "render_trace"]
+
+
+def _from_chrome(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Invert :meth:`Tracer.to_chrome_trace` into normalized events."""
+    events: List[Dict[str, Any]] = []
+    for raw in payload.get("traceEvents", []):
+        args = dict(raw.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent = args.pop("parent_id", None)
+        common = {
+            "id": span_id,
+            "parent": parent,
+            "name": raw.get("name", ""),
+            "cat": raw.get("cat", "engine"),
+            "tid": raw.get("tid", 0),
+            "args": args,
+        }
+        if raw.get("ph") == "X":
+            common["type"] = "span"
+            common["t0"] = raw.get("ts", 0.0) / 1e6
+            common["t1"] = (raw.get("ts", 0.0) + raw.get("dur", 0.0)) / 1e6
+        elif raw.get("ph") == "i":
+            common["type"] = "instant"
+            common["t"] = raw.get("ts", 0.0) / 1e6
+        else:  # metadata or unknown phases: skip
+            continue
+        events.append(common)
+    return events
+
+
+def load_trace_file(path: str) -> List[Dict[str, Any]]:
+    """Load a trace export (Chrome JSON or JSONL), auto-detecting."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    first_line = stripped.splitlines()[0]
+    try:
+        head = json.loads(first_line)
+    except json.JSONDecodeError:
+        head = None
+    if isinstance(head, dict) and head.get("type") == "meta":
+        events = []
+        for line in stripped.splitlines()[1:]:
+            if line.strip():
+                events.append(json.loads(line))
+        return events
+    payload = json.loads(text)
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _from_chrome(payload)
+    raise ValueError(f"unrecognized trace format in {path}")
+
+
+def _sort_key(event: Dict[str, Any]):
+    return (event.get("t0", event.get("t", 0.0)), event.get("id") or 0)
+
+
+def _format_args(args: Dict[str, Any]) -> str:
+    parts = [f"{key}={args[key]}" for key in sorted(args) if key != "provenance"]
+    return f" [{' '.join(parts)}]" if parts else ""
+
+
+def _provenance_lines(provenance: Dict[str, Any], indent: str) -> List[str]:
+    lines: List[str] = []
+    redundancies = provenance.get("redundancies") or []
+    suffix = f"  [{', '.join(redundancies)}]" if redundancies else ""
+    lines.append(
+        f"{indent}{provenance.get('input', '?')}: "
+        f"{provenance.get('num_violations', 0)} violations / "
+        f"{provenance.get('num_evaluated', 0)} invariants{suffix}"
+    )
+    for fired in provenance.get("fired", []):
+        via = ", ".join(
+            f"{signal.get('signal', '?')} "
+            f"({signal.get('disposition', '?')}@{signal.get('confidence', '?')})"
+            for signal in fired.get("signals", [])
+        )
+        error = fired.get("error")
+        err_text = "" if error is None else f" err={error:.2%}"
+        lines.append(
+            f"{indent}  {fired.get('name', '?')}{err_text} via {via or 'no hardened signal'}"
+        )
+    return lines
+
+
+def render_trace(
+    events: List[Dict[str, Any]],
+    provenance_only: bool = False,
+    max_epochs: Optional[int] = None,
+) -> str:
+    """Render normalized trace events as an indented tree."""
+    spans = [e for e in events if e.get("type") == "span"]
+    instants = [e for e in events if e.get("type") == "instant"]
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for event in spans + instants:
+        children.setdefault(event.get("parent"), []).append(event)
+    for bucket in children.values():
+        bucket.sort(key=_sort_key)
+
+    epoch_spans = sum(1 for span in spans if span.get("name") == "epoch")
+    lines = [
+        f"trace: {len(spans)} spans, {len(instants)} instants, {epoch_spans} epoch spans"
+    ]
+    epochs_rendered = 0
+    truncated = False
+
+    def emit(event: Dict[str, Any], depth: int) -> None:
+        nonlocal epochs_rendered, truncated
+        if truncated:
+            return
+        is_epoch = event.get("type") == "span" and event.get("name") == "epoch"
+        if is_epoch:
+            if max_epochs is not None and epochs_rendered >= max_epochs:
+                truncated = True
+                return
+            epochs_rendered += 1
+        indent = "  " * depth
+        args = event.get("args", {})
+        if event.get("type") == "span":
+            duration_ms = (event.get("t1", 0.0) - event.get("t0", 0.0)) * 1000.0
+            if not provenance_only:
+                lines.append(
+                    f"{indent}{event.get('name', '?')} {duration_ms:.3f} ms"
+                    f"{_format_args(args)}"
+                )
+        else:
+            provenance = args.get("provenance")
+            flagged = isinstance(provenance, dict) and not provenance.get("valid", True)
+            if provenance_only:
+                if flagged:
+                    lines.extend(_provenance_lines(provenance, indent))
+                return
+            lines.append(f"{indent}* {event.get('name', '?')}{_format_args(args)}")
+            if flagged:
+                lines.extend(_provenance_lines(provenance, indent + "  "))
+        for child in children.get(event.get("id"), []):
+            emit(child, depth + 1)
+
+    for root in sorted(children.get(None, []), key=_sort_key):
+        emit(root, 0 if provenance_only else 1)
+    if truncated:
+        lines.append(f"... truncated after {epochs_rendered} epochs")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Known-good seam fixture: the sanctioned wall-clock wrapper.
+
+Mirrors the live ``repro/obs/clock.py`` -- this path is listed in
+``LintConfig.clock_seam_paths``, so its ``time.time()`` read is exempt
+from D1 while the rest of the obs tree stays in scope.
+"""
+
+import time
+
+
+def system_wall_time():
+    return time.time()

@@ -1,0 +1,18 @@
+"""Known-bad seam fixture: wall-clock read outside the seam module.
+
+A ``time.time()`` inside a span body is exactly the bug the seam
+exists to prevent -- trace timestamps must come from the injected
+clock, so this module (not listed in ``clock_seam_paths``) must still
+be flagged even though it lives under ``obs/``.
+"""
+
+import time
+
+
+class Span:
+    def __enter__(self):
+        self.start = time.time()
+        return self
+
+    def __exit__(self, *exc):
+        self.end = time.perf_counter()

@@ -66,6 +66,28 @@ def test_d1_messages_name_the_hazard():
     assert "id()-keyed" in messages
 
 
+def test_obs_clock_seam_exempts_only_the_seam_module():
+    result = run_lint(FIXTURES / "obs_seam")
+    # obs/ is core scope, so the time.time() inside the span body is
+    # flagged; the identical call inside the seam module is not.
+    assert _findings(result) == [
+        ("obs/trace.py", 14, "D1"),  # time.time() in __enter__
+    ]
+    assert "wall-clock" in result.diagnostics[0].message
+
+
+def test_obs_clock_seam_is_per_file_not_per_directory():
+    from repro.analysis import LintConfig
+
+    result = run_lint(
+        FIXTURES / "obs_seam", config=LintConfig(clock_seam_paths=frozenset())
+    )
+    assert _findings(result) == [
+        ("obs/clock.py", 12, "D1"),
+        ("obs/trace.py", 14, "D1"),
+    ]
+
+
 def test_f1_flags_annotated_division_and_literal_float_compares():
     result = run_lint(FIXTURES / "f1")
     assert _findings(result) == [

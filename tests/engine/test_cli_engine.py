@@ -15,6 +15,7 @@ class TestEngineCommand:
         assert lines[0] == "id   epochs  flagged  matches serial"
         assert lines[2] == "S16  3       0/3      yes"
         assert "epochs processed  : 3" in out
+        assert "mode              : full" in out
         assert "cache hits/misses : 2/1" in out
         assert "shards            : 2" in out
 
@@ -56,6 +57,7 @@ class TestEngineCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "S16  3       0/3      yes" in out
+        assert "mode              : incremental" in out
         assert "entities          : " in out
         assert "repair solves     : " in out
 

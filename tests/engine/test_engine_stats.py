@@ -72,8 +72,12 @@ class TestRenderAndMerge:
     def test_render_lines(self, replayed_engine):
         rendered = replayed_engine.stats.render()
         assert "epochs processed  : 3" in rendered
+        assert "mode              : full" in rendered
         assert "cache hits/misses : 2/1" in rendered
         assert "shards            : 2" in rendered
+
+    def test_render_shows_incremental_mode(self):
+        assert "mode              : incremental" in EngineStats(mode="incremental").render()
 
     def test_merge_sums_counters(self):
         a = EngineStats(shards=2, epochs=2, cache_hits=1, cache_misses=1)
@@ -112,6 +116,37 @@ class TestRenderAndMerge:
         assert a.repair_solves == 3
         assert a.repair_reuses == 7
         assert a.mode == "incremental"  # merge keeps the receiver's mode
+
+    def test_merge_adopts_stage_keys_missing_from_self(self):
+        a = EngineStats()
+        b = EngineStats()
+        b.record_stage("check.demand", 0.125)  # fine-grained key a never saw
+        b.record_reuse("harden.flows", 2, 8)
+        a.merge(b)
+        assert a.stage_seconds["check.demand"] == pytest.approx(0.125)
+        assert a.entities_recomputed == {"harden.flows": 2}
+        assert a.entities_reused == {"harden.flows": 8}
+        # The standard keys survive untouched.
+        for stage in ("collect", "harden", "check", "total"):
+            assert a.stage_seconds[stage] == 0.0
+
+    def test_merge_keeps_receiver_shards_and_mode(self):
+        a = EngineStats(shards=2, mode="full")
+        b = EngineStats(shards=8, mode="incremental", epochs=4)
+        a.merge(b)
+        assert a.shards == 2
+        assert a.mode == "full"
+        assert a.epochs == 4
+
+    def test_merged_stats_round_trip_through_dict(self):
+        a = EngineStats(shards=2, epochs=1, cache_hits=1, repair_solves=2)
+        a.record_stage("collect", 0.25)
+        b = EngineStats(shards=4, epochs=2, cache_misses=3, repair_reuses=5)
+        b.record_stage("check.demand", 0.5)
+        b.record_reuse("collect", 3, 9)
+        a.merge(b)
+        payload = a.to_dict()
+        assert EngineStats.from_dict(payload).to_dict() == payload
 
     def test_reuse_lines_render_only_in_incremental_runs(self):
         plain = EngineStats()
@@ -175,6 +210,40 @@ class TestMetricsExport:
         assert metrics["engine_repair_reuses"] == 5.0
         assert metrics["engine_recomputed_collect"] == 4.0
         assert metrics["engine_reused_check_demand"] == 9.0
+
+    def test_stage_seconds_all_with_deprecated_total_alias(self, replayed_engine):
+        metrics = engine_metrics(replayed_engine.stats)
+        # The aggregate epoch time lives under _all; the pre-observatory
+        # _total name (which collides with the Prometheus counter suffix
+        # convention) stays as an equal-valued deprecated alias.
+        assert metrics["engine_stage_seconds_all"] > 0.0
+        assert metrics["engine_stage_seconds_total"] == metrics["engine_stage_seconds_all"]
+
+    def test_engine_registry_exposition_matches_flat_view(self, replayed_engine):
+        from repro.control.metrics import engine_registry
+
+        registry = engine_registry(replayed_engine.stats)
+        rendered = registry.render()
+        assert "# HELP engine_epochs_total" in rendered
+        assert "# TYPE engine_epochs_total counter" in rendered
+        assert 'engine_stage_seconds_total{stage="all"}' in rendered
+        by_sample = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in registry.samples()
+        }
+        assert by_sample[("engine_epochs_total", ())] == 3.0
+        stats_dict = replayed_engine.stats.to_dict()
+        for stage in ("collect", "harden", "check"):
+            key = ("engine_stage_seconds_total", (("stage", stage),))
+            assert by_sample[key] == pytest.approx(stats_dict["stage_seconds"][stage])
+
+    def test_engine_registry_projection_is_idempotent(self, replayed_engine):
+        from repro.control.metrics import engine_registry
+
+        registry = engine_registry(replayed_engine.stats)
+        again = engine_registry(replayed_engine.stats, registry=registry)
+        assert again is registry
+        assert registry.get("engine_epochs_total").value == 3.0  # not doubled
 
     def test_render_engine_metrics(self, replayed_engine):
         text = render_engine_metrics(engine_metrics(replayed_engine.stats))
