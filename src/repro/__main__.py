@@ -262,6 +262,184 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 1 if mismatched else 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import ValidationEngine, compare_reports
+    from repro.experiments import format_table
+    from repro.scenarios import all_scenarios, scenario_by_id
+    from repro.stream import (
+        EpochAssembler,
+        IngestConfig,
+        Perturbations,
+        StreamPipeline,
+        make_feeds,
+    )
+
+    try:
+        perturb = Perturbations(
+            reorder=args.reorder,
+            duplicate=args.duplicate,
+            delay=args.delay,
+            drop=args.drop,
+            fail=args.fail,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    registry = None
+    if args.metrics_prom:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    if args.soak:
+        from repro.stream import SoakConfig, run_soak
+
+        result = run_soak(
+            SoakConfig(
+                nodes=args.nodes,
+                epochs=args.epochs,
+                seed=args.seed,
+                perturb=perturb,
+                mode=args.mode,
+                lateness_s=args.lateness,
+                queue_size=args.queue_size,
+                backpressure=args.backpressure,
+                deterministic=not args.concurrent,
+            ),
+            metrics=registry,
+        )
+        if args.metrics_prom:
+            result.metrics.write(args.metrics_prom)
+            print(f"wrote {args.metrics_prom}", file=sys.stderr)
+        payload = {
+            "nodes": result.nodes,
+            "links": result.links,
+            "epochs_streamed": result.epochs_streamed,
+            "epochs_sealed": result.epochs_sealed,
+            "updates": result.updates,
+            "updates_per_s": round(result.updates_per_s, 1),
+            "p50_ms": round(result.p50_ms, 3),
+            "p95_ms": round(result.p95_ms, 3),
+            "p99_ms": round(result.p99_ms, 3),
+            "late_dropped": result.late_dropped,
+            "duplicates": result.duplicates,
+            "feed_dropped": result.feed_dropped,
+            "backpressure_dropped": result.backpressure_dropped,
+            "retries": result.retries,
+            "abandoned": result.abandoned,
+            "complete_epochs": result.complete_epochs,
+            "partial_epochs": result.partial_epochs,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for key, value in payload.items():
+                print(f"{key:22} {value}")
+        return 0 if result.epochs_sealed == result.epochs_streamed else 1
+
+    try:
+        scenarios = (
+            [scenario_by_id(args.scenario)] if args.scenario else all_scenarios()
+        )
+    except KeyError:
+        known = ", ".join(s.scenario_id for s in all_scenarios())
+        print(f"unknown scenario {args.scenario!r} (known: {known})", file=sys.stderr)
+        return 2
+
+    # With every perturbation probability at zero the streamed reports
+    # must match the batch path exactly; perturbed runs skip the check.
+    check_identity = (
+        max(perturb.reorder, perturb.duplicate, perturb.delay, perturb.drop) <= 0.0
+    )
+    rows = []
+    mismatched = 0
+    for scenario in scenarios:
+        world = scenario.build(seed=args.seed)
+        epochs = []
+        inputs_by_ts = {}
+        batch_reports = []
+        for epoch in range(args.epochs):
+            outcome = world.run_epoch(timestamp=float(epoch) * 10.0)
+            epochs.append((outcome.snapshot.timestamp, outcome.snapshot))
+            inputs_by_ts[outcome.snapshot.timestamp] = outcome.inputs
+            batch_reports.append(outcome.report)
+        feeds = make_feeds(epochs, perturb=perturb, seed=args.seed)
+        assembler = EpochAssembler(
+            routers=list(feeds), lateness_s=args.lateness, metrics=registry
+        )
+        with ValidationEngine(
+            world.topology,
+            config=world.hodor_config,
+            mode=args.mode,
+            metrics=registry,
+        ) as engine:
+            pipeline = StreamPipeline(
+                list(feeds.values()),
+                assembler,
+                engine,
+                inputs_for=inputs_by_ts,
+                config=IngestConfig(
+                    queue_size=args.queue_size,
+                    backpressure=args.backpressure,
+                    deterministic=not args.concurrent,
+                ),
+                metrics=registry,
+            )
+            result = pipeline.run()
+        matches = True
+        if check_identity:
+            if len(result.reports) != len(batch_reports):
+                matches = False
+            else:
+                for batch, streamed in zip(batch_reports, result.reports):
+                    if compare_reports(batch, streamed):
+                        matches = False
+        if not matches:
+            mismatched += 1
+        rows.append(
+            [
+                scenario.scenario_id,
+                f"{len(result.epochs)}/{args.epochs}",
+                result.complete_epochs,
+                result.partial_epochs,
+                result.late_dropped,
+                result.duplicates,
+                ("yes" if matches else "NO") if check_identity else "-",
+            ]
+        )
+
+    if args.metrics_prom:
+        registry.write(args.metrics_prom)
+        print(f"wrote {args.metrics_prom}", file=sys.stderr)
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "id": row[0],
+                    "sealed": row[1],
+                    "complete": row[2],
+                    "partial": row[3],
+                    "late_dropped": row[4],
+                    "duplicates": row[5],
+                    "matches_batch": row[6],
+                }
+                for row in rows
+            ],
+            "mismatched": mismatched,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if mismatched else 0
+    print(
+        format_table(
+            ["id", "sealed", "complete", "partial", "late", "dups", "matches batch"],
+            rows,
+        )
+    )
+    return 1 if mismatched else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import load_trace_file, render_trace
 
@@ -415,6 +593,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Prometheus text exposition (registry incl. latency histograms)",
     )
     engine.set_defaults(func=_cmd_engine)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream scenario timelines through async ingestion into the engine",
+    )
+    stream.add_argument(
+        "--scenario", default="", help="stream one scenario id (default: all)"
+    )
+    stream.add_argument(
+        "--epochs", type=int, default=3, help="epochs per scenario timeline (or soak)"
+    )
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument(
+        "--mode",
+        choices=("full", "incremental"),
+        default="full",
+        help="engine epoch path for the streamed validation",
+    )
+    stream.add_argument(
+        "--lateness",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="assembler lateness window, virtual seconds",
+    )
+    stream.add_argument(
+        "--reorder", type=float, default=0.0, help="in-window reorder probability"
+    )
+    stream.add_argument(
+        "--duplicate", type=float, default=0.0, help="duplicate-delivery probability"
+    )
+    stream.add_argument(
+        "--delay", type=float, default=0.0, help="late (out-of-window) probability"
+    )
+    stream.add_argument(
+        "--drop", type=float, default=0.0, help="source-drop probability"
+    )
+    stream.add_argument(
+        "--fail", type=float, default=0.0, help="transient feed-failure probability"
+    )
+    stream.add_argument("--queue-size", type=int, default=256)
+    stream.add_argument(
+        "--backpressure",
+        choices=("block", "drop-oldest"),
+        default="block",
+        help="bounded-queue policy when producers outrun validation",
+    )
+    stream.add_argument(
+        "--concurrent",
+        action="store_true",
+        help="one producer task per feed instead of the merged deterministic order",
+    )
+    stream.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the E15 soak driver on a synthetic topology instead of scenarios",
+    )
+    stream.add_argument(
+        "--nodes", type=int, default=80, help="soak topology size (with --soak)"
+    )
+    stream.add_argument(
+        "--json", action="store_true", help="emit machine-readable results as JSON"
+    )
+    stream.add_argument(
+        "--metrics-prom",
+        default="",
+        metavar="PATH",
+        help="write Prometheus text exposition (stream_* + engine families)",
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     trace = sub.add_parser(
         "trace", help="render an exported engine trace (span tree + verdict provenance)"

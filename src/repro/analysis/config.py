@@ -39,6 +39,9 @@ class LintConfig:
             observability layer (``obs``) is included: spans and
             metrics run inside every stage, so hidden state or
             wall-clock reads there corrupt replay just as surely.
+            The streaming ingestion layer (``stream``) is included for
+            the same reason: feeds, the epoch assembler and the ingest
+            pipeline sit upstream of every validation verdict.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
         enabled_codes: Rule codes to run; empty means all.
@@ -47,18 +50,20 @@ class LintConfig:
             stage *timings* (EngineStats), never verdicts, so they are
             allowed by default; ``time.time`` and friends are not.
         clock_seam_paths: POSIX-relative module paths (from the lint
-            root) permitted to read the wall clock.  This is the
+            root) permitted to read host clocks directly.  This is the
             clock-injection seam: ``obs/clock.py`` wraps the one
             sanctioned ``time.time()`` call (the display-only trace
-            anchor) so every other module gets its clock injected.  A
-            wall-clock read *anywhere else* in core -- even inside a
-            trace span body -- is still a D1 error.
+            anchor) and the one sanctioned asyncio event-loop clock
+            read (``event_loop_time``) so every other module gets its
+            clock injected.  A wall-clock or ``loop.time()`` read
+            *anywhere else* in core -- even inside a trace span body or
+            an ingest coroutine -- is still a D1 error.
         max_file_bytes: Safety valve -- files larger than this are
             skipped with a diagnostic rather than parsed.
     """
 
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
-    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "obs"})
+    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "obs", "stream"})
     incremental_path: str = "engine/incremental.py"
     enabled_codes: FrozenSet[str] = frozenset()
     wall_clock_allowed: FrozenSet[str] = frozenset(

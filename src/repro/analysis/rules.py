@@ -343,6 +343,22 @@ _WALL_CLOCK = frozenset(
     }
 )
 
+#: Factories that return an asyncio event loop.  ``.time()`` on one is
+#: a host-clock read -- the asyncio flavour of ``time.monotonic()``,
+#: but fetched ambiently rather than injected, so streamed-pipeline
+#: latencies become untestable and replay-hostile.  The sanctioned
+#: wrapper is ``obs.clock.event_loop_time`` inside the clock seam.
+_EVENT_LOOP_FACTORIES = frozenset(
+    {
+        "asyncio.get_running_loop",
+        "asyncio.get_event_loop",
+        "asyncio.new_event_loop",
+        "asyncio.events.get_running_loop",
+        "asyncio.events.get_event_loop",
+        "asyncio.events.new_event_loop",
+    }
+)
+
 #: Wrappers that make iteration order irrelevant (or impose one).
 _ORDER_SAFE_WRAPPERS = frozenset(
     {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
@@ -359,8 +375,8 @@ class NondeterminismRule(Rule):
         "Validation must be replayable: the same snapshot and inputs must "
         "yield the identical report in full and incremental mode, across "
         "processes and PYTHONHASHSEED values.  Global RNG calls, wall-clock "
-        "reads, set iteration feeding ordered output, and id()-keyed maps "
-        "all break that."
+        "and event-loop clock reads, set iteration feeding ordered output, "
+        "and id()-keyed maps all break that."
     )
 
     def check(self, module, config, project):
@@ -368,6 +384,7 @@ class NondeterminismRule(Rule):
             return
         imports = import_map(module.tree)
         yield from self._calls(module, config, imports)
+        yield from self._event_loop_clock(module, config, imports)
         yield from self._id_keyed(module)
         scopes: List[ast.AST] = [module.tree]
         scopes.extend(iter_functions(module.tree))
@@ -405,6 +422,42 @@ class NondeterminismRule(Rule):
                     node,
                     f"{dotted}() drives the shared global RNG; use a seeded "
                     "random.Random instance passed in explicitly",
+                )
+
+    # -- asyncio event-loop clock reads -------------------------------
+
+    def _event_loop_clock(self, module, config, imports):
+        # Same per-file seam as the wall clock: obs/clock.py wraps the
+        # one sanctioned loop.time() read (event_loop_time); everywhere
+        # else in core the event-loop clock must arrive injected.
+        if module.relpath in config.clock_seam_paths:
+            return
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(iter_functions(module.tree))
+        for scope in scopes:
+            loop_names = _loop_bound_names(scope, imports)
+            for node in scope_nodes(scope):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "time"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    continue
+                receiver = node.func.value
+                if isinstance(receiver, ast.Call):
+                    dotted = resolve_call_name(receiver, imports)
+                    if dotted not in _EVENT_LOOP_FACTORIES:
+                        continue
+                elif not (isinstance(receiver, ast.Name) and receiver.id in loop_names):
+                    continue
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "event-loop clock read (loop.time()) in a core stage; "
+                    "take latency stamps through the injected seam "
+                    "(obs.clock.event_loop_time) so tests can pin the clock",
                 )
 
     # -- id()-keyed maps ----------------------------------------------
@@ -477,6 +530,32 @@ class NondeterminismRule(Rule):
                                 "a sequence; use sorted(...) instead",
                             )
                             break
+
+
+def _loop_bound_names(scope: ast.AST, imports: Dict[str, str]) -> Set[str]:
+    """Names in this scope bound to an asyncio event-loop factory call.
+
+    Conservative by design: only plain-name assignments are tracked
+    (``loop = asyncio.get_running_loop()``), which is how every real
+    sighting reads.  A loop smuggled through an attribute still gets
+    caught at the direct ``asyncio.get_*_loop().time()`` chain.
+    """
+    names: Set[str] = set()
+    for node in scope_nodes(scope):
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        if resolve_call_name(value, imports) not in _EVENT_LOOP_FACTORIES:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
 
 
 def _known_set_names(scope: ast.AST) -> Set[str]:

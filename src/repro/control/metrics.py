@@ -125,11 +125,11 @@ def engine_registry(
     conventions: monotonically accumulating quantities are counters
     with a ``_total`` suffix; ratios and configuration are gauges.
     Per-stage quantities use a ``stage`` label, with the aggregate
-    epoch time under ``engine_stage_seconds_total{stage="all"}``
-    (the bare pre-observatory name ``engine_stage_seconds_total``
-    collided with the counter suffix convention; the flat
-    :func:`engine_metrics` view keeps it as a deprecated alias of
-    ``engine_stage_seconds_all``).
+    epoch time under ``engine_stage_seconds_total{stage="all"}``; the
+    flat :func:`engine_metrics` view exposes that sample as
+    ``engine_stage_seconds_all`` (the bare pre-observatory name
+    ``engine_stage_seconds_total`` collided with the counter suffix
+    convention and is gone from the flat view as of PR 5).
 
     Projection uses absolute snapshot writes (``set_to``), so re-running
     it against a shared ``registry`` (e.g. the engine's own, which
@@ -243,18 +243,18 @@ def engine_metrics(stats: "EngineStats") -> Dict[str, float]:
     Compatibility view over :func:`engine_registry`: every key the
     pre-observatory exporter produced is preserved (the PR-3 golden
     payloads depend on them), derived from the canonical registry
-    samples.  The aggregate stage time is additionally exported as
-    ``engine_stage_seconds_all``; the old ``engine_stage_seconds_total``
-    name -- which collides with the Prometheus counter suffix
-    convention -- stays as a deprecated alias with the same value.
+    samples.  The aggregate stage time is exported as
+    ``engine_stage_seconds_all``.  The pre-observatory flat name
+    ``engine_stage_seconds_total`` -- which collides with the
+    Prometheus counter suffix convention -- shipped as a deprecated
+    alias in PR 4 and was removed in PR 5; the labelled registry family
+    of the same name is unaffected.
     """
     metrics: Dict[str, float] = {}
     for name, labels, value in engine_registry(stats).samples():
         key = _legacy_key(name, labels)
         if key is not None:
             metrics[key] = float(value)
-    if "engine_stage_seconds_all" in metrics:
-        metrics["engine_stage_seconds_total"] = metrics["engine_stage_seconds_all"]
     return metrics
 
 

@@ -396,6 +396,66 @@ class ScaleStudy:
             )
         return rows
 
+    def run_stream(
+        self,
+        sizes: Sequence[int] = (20, 80),
+        epochs: int = 50,
+        churn: float = 0.10,
+        reorder: float = 0.10,
+        drop: float = 0.01,
+        duplicate: float = 0.02,
+        mode: str = "full",
+        export_dir: Optional[str] = None,
+    ):
+        """E15: sustained streamed ingestion under churn and delivery
+        perturbations.
+
+        For each size, streams ``epochs`` churned epochs through the
+        full stack -- perturbed per-router feeds, bounded-queue ingest,
+        watermark assembly, live engine -- and reports sustained
+        throughput plus assembly-latency percentiles (see
+        :func:`repro.stream.soak.run_soak`).  One pass per size: a soak
+        is its own repetition.
+
+        Args:
+            sizes: Node counts to measure.
+            epochs: Epochs streamed per size.
+            churn: Per-link probability of moving each epoch.
+            reorder: Per-delivery in-window reorder probability.
+            drop: Per-delivery source-drop probability.
+            duplicate: Per-delivery duplication probability.
+            mode: Engine mode for the streamed validation.
+            export_dir: When given, the largest size's Prometheus
+                exposition is written there as ``E15_metrics.prom`` so
+                CI archives a real artifact.
+
+        Returns:
+            One :class:`repro.stream.soak.SoakResult` per size.
+        """
+        from repro.stream import Perturbations, SoakConfig, run_soak
+
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        rows = []
+        for size in sizes:
+            rows.append(
+                run_soak(
+                    SoakConfig(
+                        nodes=size,
+                        epochs=epochs,
+                        seed=self._seed,
+                        churn=churn,
+                        perturb=Perturbations(
+                            reorder=reorder, drop=drop, duplicate=duplicate
+                        ),
+                        mode=mode,
+                    )
+                )
+            )
+        if export_dir is not None:
+            rows[-1].metrics.write(f"{export_dir}/E15_metrics.prom")
+        return rows
+
     def run_incremental(
         self,
         sizes: Sequence[int] = (20, 40, 80),

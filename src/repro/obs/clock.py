@@ -17,14 +17,27 @@ stays wall-clock-free.
 
 from __future__ import annotations
 
+import asyncio
 import time
 
-__all__ = ["ManualClock", "monotonic_clock", "system_wall_time"]
+__all__ = ["ManualClock", "event_loop_time", "monotonic_clock", "system_wall_time"]
 
 
 def monotonic_clock() -> float:
     """Default tracer clock: monotonic seconds (never wall time)."""
     return time.perf_counter()
+
+
+def event_loop_time() -> float:
+    """The running event loop's monotonic clock.
+
+    Asyncio code must not read ``loop.time()`` directly -- hodor-lint's
+    D1 rule flags event-loop clock reads everywhere in the core tree
+    except this seam -- so the streaming ingest layer times epochs
+    through this function.  Must be called from a coroutine (or any
+    code running under a live loop).
+    """
+    return asyncio.get_running_loop().time()
 
 
 def system_wall_time() -> float:

@@ -1,0 +1,39 @@
+"""Streaming ingestion: async feeds -> watermark assembly -> engine.
+
+Turns per-router gNMI-style update streams -- late, duplicated,
+reordered, lossy -- into validated epochs for the always-on engine.
+See ``docs/STREAMING.md`` for the event schema, watermark semantics,
+backpressure policies, and the partial-epoch contract.
+"""
+
+from repro.stream.assembler import AssembledEpoch, EpochAssembler
+from repro.stream.events import (
+    FeedError,
+    UpdateEvent,
+    apply_update,
+    reporting_routers,
+    router_updates,
+)
+from repro.stream.feed import FeedStats, Perturbations, RouterFeed, make_feeds
+from repro.stream.ingest import IngestConfig, StreamPipeline, StreamResult
+from repro.stream.soak import SoakConfig, SoakResult, run_soak
+
+__all__ = [
+    "AssembledEpoch",
+    "EpochAssembler",
+    "FeedError",
+    "FeedStats",
+    "IngestConfig",
+    "Perturbations",
+    "RouterFeed",
+    "SoakConfig",
+    "SoakResult",
+    "StreamPipeline",
+    "StreamResult",
+    "UpdateEvent",
+    "apply_update",
+    "make_feeds",
+    "reporting_routers",
+    "router_updates",
+    "run_soak",
+]

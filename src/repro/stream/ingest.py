@@ -1,0 +1,427 @@
+"""Asyncio ingestion: feeds -> bounded queue -> assembler -> engine.
+
+:class:`StreamPipeline` is the always-on wiring the paper's Section
+3.2 deployment model implies: per-router feeds push update deliveries
+into one bounded queue; a single consumer drains it into the
+:class:`~repro.stream.assembler.EpochAssembler`; every epoch the
+assembler seals is validated immediately by a
+:class:`~repro.engine.ValidationEngine` (full or incremental mode --
+the pipeline does not care).
+
+Design points:
+
+* **Bounded queue + explicit backpressure.**  ``"block"`` (default)
+  makes producers await queue space, so a slow validator throttles the
+  feeds -- nothing is lost, ingest latency absorbs the pressure.
+  ``"drop-oldest"`` sheds load instead: when the queue is full the
+  oldest *event* is discarded (and counted); end-of-feed control items
+  are never dropped, so sealing can never deadlock on a discarded
+  notification.
+* **Per-feed timeout + retry with backoff.**  A delivery attempt that
+  raises :class:`~repro.stream.events.FeedError` or times out is
+  retried with exponential backoff up to ``max_retries``; a feed that
+  keeps failing is abandoned and marked done, so the watermark stops
+  waiting for it (its epochs seal partial rather than never).
+* **Ordered completion.**  A feed's end-of-stream marker travels
+  through the same queue *behind* its deliveries, so the assembler
+  never learns a feed is done while that feed's updates are still
+  queued.
+* **Graceful drain.**  After every producer finishes, the consumer
+  empties the queue and then drains the assembler, sealing whatever
+  the watermark could not (the final epochs of any bounded run).
+* **Deterministic mode.**  With ``deterministic=True`` one producer
+  merges all feeds in ``(emit_ts, router, uid)`` order, making the
+  queue sequence -- and therefore every counter -- reproducible run
+  to run.  ``False`` runs one producer task per feed; the assembler's
+  buffer-and-sort sealing keeps *snapshots* deterministic even then.
+
+The event-loop clock is read through
+:func:`repro.obs.clock.event_loop_time` -- the sanctioned seam --
+keeping this module hodor-lint D1-clean.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.clock import event_loop_time
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer
+from repro.stream.assembler import AssembledEpoch, EpochAssembler
+from repro.stream.events import FeedError, UpdateEvent
+from repro.stream.feed import RouterFeed
+
+__all__ = ["IngestConfig", "StreamResult", "StreamPipeline"]
+
+_BACKPRESSURE_POLICIES = ("block", "drop-oldest")
+
+
+@dataclass(frozen=True)
+class _FeedDone:
+    """In-band end-of-stream marker for one feed (never dropped)."""
+
+    router: str
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tuning for the ingestion pipeline.
+
+    Attributes:
+        queue_size: Bound on the shared delivery queue.
+        backpressure: ``"block"`` (producers wait for space) or
+            ``"drop-oldest"`` (shed the oldest queued event).
+        feed_timeout_s: Per-delivery timeout before a retry.
+        max_retries: Failed/timed-out attempts before a feed is
+            abandoned.
+        backoff_base_s: First retry delay; doubles per attempt.
+        deterministic: Merge all feeds in one producer (reproducible
+            queue order) instead of one producer task per feed.
+    """
+
+    queue_size: int = 256
+    backpressure: str = "block"
+    feed_timeout_s: float = 5.0
+    max_retries: int = 3
+    backoff_base_s: float = 0.005
+    deterministic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"expected one of {_BACKPRESSURE_POLICIES}"
+            )
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass
+class StreamResult:
+    """Everything one pipeline run produced, in seal order.
+
+    Attributes:
+        epochs: Sealed epochs, ascending timestamp.
+        reports: One validation report per sealed epoch (aligned).
+        updates: Deliveries offered to the assembler.
+        late_dropped: Deliveries that missed their epoch's seal.
+        duplicates: Duplicate deliveries suppressed.
+        backpressure_dropped: Events shed by the drop-oldest policy.
+        retries: Feed delivery attempts that were retried.
+        abandoned: Feeds given up on after exhausting retries.
+        epoch_latency_s: Per-epoch seconds from seal to validated,
+            on the event-loop clock (aligned with ``epochs``).
+    """
+
+    epochs: List[AssembledEpoch] = field(default_factory=list)
+    reports: List[object] = field(default_factory=list)
+    updates: int = 0
+    late_dropped: int = 0
+    duplicates: int = 0
+    backpressure_dropped: int = 0
+    retries: int = 0
+    abandoned: Tuple[str, ...] = ()
+    epoch_latency_s: List[float] = field(default_factory=list)
+
+    @property
+    def complete_epochs(self) -> int:
+        return sum(1 for epoch in self.epochs if epoch.complete)
+
+    @property
+    def partial_epochs(self) -> int:
+        return sum(1 for epoch in self.epochs if not epoch.complete)
+
+
+class StreamPipeline:
+    """Drives feeds through assembly into the validation engine.
+
+    Args:
+        feeds: The per-router feeds to ingest (exhausted by a run).
+        assembler: The epoch assembler; its expected-router set should
+            cover the feeds or sealing will not wait for them.
+        engine: A :class:`~repro.engine.ValidationEngine` (either
+            mode); called synchronously as epochs seal, so engine
+            latency is the pipeline's natural backpressure source.
+        inputs_for: Controller inputs per epoch -- a callable taking
+            the epoch timestamp, or a mapping keyed by it.
+        topology: Optional per-run reference-topology override.
+        config: Queue/backpressure/retry tuning.
+        metrics: Optional shared registry (pass the same one given to
+            the assembler and engine for a single exposition).
+        tracer: Optional tracer; each validated epoch records a
+            ``stream.epoch`` span.
+    """
+
+    def __init__(
+        self,
+        feeds: Sequence[RouterFeed],
+        assembler: EpochAssembler,
+        engine,
+        inputs_for,
+        topology=None,
+        config: Optional[IngestConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        self._feeds = list(feeds)
+        self._assembler = assembler
+        self._engine = engine
+        self._inputs_for = self._as_callable(inputs_for)
+        self._topology = topology
+        self.config = config or IngestConfig()
+        self.metrics = metrics if metrics is not None else assembler.metrics
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._queue_gauge = self.metrics.gauge(
+            "stream_queue_depth",
+            "Deliveries waiting in the ingest queue.",
+        )
+        self._shed_total = self.metrics.counter(
+            "stream_backpressure_dropped_total",
+            "Events shed by the drop-oldest backpressure policy.",
+        )
+        self._retry_total = self.metrics.counter(
+            "stream_feed_retries_total",
+            "Feed delivery attempts retried after a failure or timeout.",
+        )
+        self._abandoned_total = self.metrics.counter(
+            "stream_feeds_abandoned_total",
+            "Feeds abandoned after exhausting their retry budget.",
+        )
+        self._feed_dropped_total = self.metrics.counter(
+            "stream_feed_dropped_total",
+            "Deliveries the feeds themselves dropped at the source.",
+        )
+        for counter in (
+            self._shed_total,
+            self._retry_total,
+            self._abandoned_total,
+            self._feed_dropped_total,
+        ):
+            counter.inc(0.0)
+        self._queue_gauge.set(0.0)
+        self._queue: Optional[asyncio.Queue] = None
+        self._active = 0
+        self._retries = 0
+        self._shed = 0
+        self._abandoned: List[str] = []
+        self._result: Optional[StreamResult] = None
+
+    @staticmethod
+    def _as_callable(inputs_for) -> Callable[[float], object]:
+        if callable(inputs_for):
+            return inputs_for
+        return inputs_for.__getitem__
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+
+    async def _attempt(self, feed: RouterFeed) -> Optional[UpdateEvent]:
+        """One delivery attempt.  An async feed (a coroutine-function
+        ``next_event``, e.g. real gNMI I/O) runs under the per-feed
+        timeout; a sync replay feed cannot block, so it is called
+        directly -- wrapping it in ``wait_for`` would create one task
+        per delivery for a timeout that can never fire."""
+        method = feed.next_event
+        if asyncio.iscoroutinefunction(method):
+            return await asyncio.wait_for(method(), self.config.feed_timeout_s)
+        return method()
+
+    async def _pull(self, feed: RouterFeed) -> Optional[UpdateEvent]:
+        """Next delivery with retry/backoff; ``None`` = exhausted or
+        abandoned (the caller cannot tell, and does not need to)."""
+        attempts = 0
+        while True:
+            try:
+                return await self._attempt(feed)
+            except (FeedError, asyncio.TimeoutError):
+                attempts += 1
+                self._retries += 1
+                self._retry_total.inc()
+                if attempts > self.config.max_retries:
+                    self._abandoned.append(feed.router)
+                    self._abandoned_total.inc()
+                    return None
+                await asyncio.sleep(self.config.backoff_base_s * (2 ** (attempts - 1)))
+
+    async def _enqueue(self, item: object) -> None:
+        queue = self._queue
+        if self.config.backpressure == "block" or isinstance(item, _FeedDone):
+            await queue.put(item)
+        else:
+            while True:
+                try:
+                    queue.put_nowait(item)
+                    break
+                except asyncio.QueueFull:
+                    if not self._shed_oldest():
+                        # Queue full of control items: nothing is
+                        # droppable, so fall back to blocking.
+                        await queue.put(item)
+                        break
+        self._queue_gauge.set(float(queue.qsize()))
+
+    def _shed_oldest(self) -> bool:
+        """Discard the oldest queued *event*; controls are re-queued
+        behind it (only ever delayed, never lost or reordered ahead of
+        their own feed's events, which are all already dequeued)."""
+        queue = self._queue
+        controls: List[object] = []
+        shed = False
+        while not shed:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if isinstance(item, _FeedDone):
+                controls.append(item)
+            else:
+                shed = True
+                self._shed += 1
+                self._shed_total.inc()
+        for control in controls:
+            queue.put_nowait(control)
+        return shed
+
+    async def _produce_one(self, feed: RouterFeed) -> None:
+        """Concurrent mode: one producer task per feed."""
+        try:
+            while True:
+                event = await self._pull(feed)
+                if event is None:
+                    break
+                await self._enqueue(event)
+        finally:
+            self._active -= 1
+            await self._queue.put(_FeedDone(feed.router))
+
+    async def _produce_merged(self) -> None:
+        """Deterministic mode: merge every feed in delivery order."""
+        try:
+            heap: List[Tuple[float, str, int, int, UpdateEvent, RouterFeed]] = []
+            tiebreak = 0
+            for feed in self._feeds:
+                event = await self._pull(feed)
+                if event is None:
+                    await self._queue.put(_FeedDone(feed.router))
+                    continue
+                tiebreak += 1
+                heapq.heappush(
+                    heap,
+                    (event.emit_ts, event.router, event.uid, tiebreak, event, feed),
+                )
+            while heap:
+                _ts, _router, _uid, _tb, event, feed = heapq.heappop(heap)
+                await self._enqueue(event)
+                replacement = await self._pull(feed)
+                if replacement is None:
+                    await self._queue.put(_FeedDone(feed.router))
+                    continue
+                tiebreak += 1
+                heapq.heappush(
+                    heap,
+                    (
+                        replacement.emit_ts,
+                        replacement.router,
+                        replacement.uid,
+                        tiebreak,
+                        replacement,
+                        feed,
+                    ),
+                )
+        finally:
+            self._active -= 1
+            await self._queue.put(_FeedDone(""))
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+
+    def _validate_epoch(self, epoch: AssembledEpoch, sealed_at: float) -> None:
+        result = self._result
+        inputs = self._inputs_for(epoch.timestamp)
+        with self.tracer.span(
+            "stream.epoch",
+            category="stream",
+            timestamp=epoch.timestamp,
+            complete=epoch.complete,
+            sealed_by=epoch.sealed_by,
+        ) as span:
+            report = self._engine.validate(
+                epoch.snapshot, inputs, topology=self._topology
+            )
+            span.annotate(updates=epoch.updates, missing=len(epoch.missing))
+        result.epochs.append(epoch)
+        result.reports.append(report)
+        result.epoch_latency_s.append(event_loop_time() - sealed_at)
+
+    async def _consume(self) -> None:
+        queue = self._queue
+        assembler = self._assembler
+        while self._active > 0 or not queue.empty():
+            item = await queue.get()
+            self._queue_gauge.set(float(queue.qsize()))
+            if isinstance(item, _FeedDone):
+                sealed = assembler.mark_done(item.router) if item.router else []
+            else:
+                sealed = assembler.offer(item)
+            if sealed:
+                sealed_at = event_loop_time()
+                for epoch in sealed:
+                    self._validate_epoch(epoch, sealed_at)
+        drained = assembler.drain()
+        if drained:
+            sealed_at = event_loop_time()
+            for epoch in drained:
+                self._validate_epoch(epoch, sealed_at)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    async def run_async(self) -> StreamResult:
+        """Run the pipeline to completion inside a running loop."""
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._result = StreamResult()
+        if self.config.deterministic:
+            self._active = 1
+            producers = [asyncio.ensure_future(self._produce_merged())]
+        else:
+            self._active = len(self._feeds)
+            producers = [
+                asyncio.ensure_future(self._produce_one(feed)) for feed in self._feeds
+            ]
+        if not producers:
+            self._active = 0
+        try:
+            await self._consume()
+            for task in producers:
+                await task
+        finally:
+            for task in producers:
+                if not task.done():
+                    task.cancel()
+        result = self._result
+        result.updates = self._assembler.updates
+        result.late_dropped = self._assembler.late_dropped
+        result.duplicates = self._assembler.duplicates
+        result.backpressure_dropped = self._shed
+        result.retries = self._retries
+        result.abandoned = tuple(self._abandoned)
+        feed_dropped = sum(feed.stats.dropped for feed in self._feeds)
+        self._feed_dropped_total.set_to(float(feed_dropped))
+        return result
+
+    def run(self) -> StreamResult:
+        """Run the pipeline on a fresh event loop (CLI/test entry)."""
+        return asyncio.run(self.run_async())
+
+
+def feed_drop_counts(feeds: Sequence[RouterFeed]) -> Dict[str, int]:
+    """Source-side drop counts per router (soak reporting helper)."""
+    return {feed.router: feed.stats.dropped for feed in feeds}

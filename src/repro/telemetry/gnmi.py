@@ -106,9 +106,22 @@ class GnmiFacade:
 
         Models a gNMI ONCE subscription: one update per path, missing
         paths silently skipped (real collectors time those out).
+
+        Ordering contract: updates arrive sorted by signal coordinates
+        ``(kind, node, peer)`` regardless of how the subscription listed
+        them, and duplicate subscription entries collapse to a single
+        update.  The streaming feeds (:mod:`repro.stream`) replay
+        subscription output into per-router event streams and depend on
+        this determinism for reproducible runs.
         """
-        for path, value in self.get_many(paths).items():
-            yield path, value
+        answered = self.get_many(paths)
+
+        def coordinates(rendered: str) -> Tuple[str, str, str]:
+            parsed = SignalPath.parse(rendered)
+            return (parsed.kind.value, parsed.node, parsed.peer or "")
+
+        for path in sorted(answered, key=coordinates):
+            yield path, answered[path]
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,13 @@
+"""Known-good seam fixture: the sanctioned event-loop clock wrapper.
+
+Mirrors the live ``repro/obs/clock.py`` -- this path is listed in
+``LintConfig.clock_seam_paths``, so its ``loop.time()`` read is exempt
+from D1 while the rest of the tree (``stream/`` included) stays in
+scope.
+"""
+
+import asyncio
+
+
+def event_loop_time():
+    return asyncio.get_running_loop().time()

@@ -1,0 +1,20 @@
+"""Known-bad seam fixture: event-loop clock reads outside the seam.
+
+Latency stamps in the ingest pipeline must come through the injected
+clock seam (``obs.clock.event_loop_time``); reading ``loop.time()``
+directly -- via the factory chain or a bound loop variable -- is the
+asyncio flavour of a wall-clock read, so this module (not listed in
+``clock_seam_paths``) must be flagged even though the identical call
+inside the seam module is not.
+"""
+
+import asyncio
+
+
+async def stamp_direct():
+    return asyncio.get_event_loop().time()
+
+
+async def stamp_tracked():
+    loop = asyncio.get_running_loop()
+    return loop.time()

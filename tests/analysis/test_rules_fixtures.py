@@ -88,6 +88,31 @@ def test_obs_clock_seam_is_per_file_not_per_directory():
     ]
 
 
+def test_stream_event_loop_clock_flagged_outside_the_seam():
+    result = run_lint(FIXTURES / "stream_seam")
+    # stream/ is core scope, so both the direct factory chain and the
+    # assignment-tracked loop.time() are flagged; the identical read
+    # inside the pinned seam module (obs/clock.py) is not.
+    assert _findings(result) == [
+        ("stream/ingest.py", 15, "D1"),  # asyncio.get_event_loop().time()
+        ("stream/ingest.py", 20, "D1"),  # loop = ...; loop.time()
+    ]
+    assert all("event-loop clock" in d.message for d in result.diagnostics)
+
+
+def test_stream_event_loop_seam_is_per_file_not_per_directory():
+    from repro.analysis import LintConfig
+
+    result = run_lint(
+        FIXTURES / "stream_seam", config=LintConfig(clock_seam_paths=frozenset())
+    )
+    assert _findings(result) == [
+        ("obs/clock.py", 13, "D1"),
+        ("stream/ingest.py", 15, "D1"),
+        ("stream/ingest.py", 20, "D1"),
+    ]
+
+
 def test_f1_flags_annotated_division_and_literal_float_compares():
     result = run_lint(FIXTURES / "f1")
     assert _findings(result) == [

@@ -185,7 +185,7 @@ class TestMetricsExport:
         assert metrics["engine_cache_hits"] == 2.0
         assert metrics["engine_cache_misses"] == 1.0
         assert metrics["engine_shards"] == 2.0
-        assert metrics["engine_stage_seconds_total"] > 0.0
+        assert metrics["engine_stage_seconds_all"] > 0.0
         assert set(metrics) >= {
             "engine_cache_hit_rate",
             "engine_mean_epoch_ms",
@@ -211,13 +211,15 @@ class TestMetricsExport:
         assert metrics["engine_recomputed_collect"] == 4.0
         assert metrics["engine_reused_check_demand"] == 9.0
 
-    def test_stage_seconds_all_with_deprecated_total_alias(self, replayed_engine):
+    def test_stage_seconds_total_alias_removed(self, replayed_engine):
         metrics = engine_metrics(replayed_engine.stats)
-        # The aggregate epoch time lives under _all; the pre-observatory
-        # _total name (which collides with the Prometheus counter suffix
-        # convention) stays as an equal-valued deprecated alias.
+        # The aggregate epoch time lives under _all only.  The
+        # pre-observatory flat _total name (which collides with the
+        # Prometheus counter suffix convention) shipped as a deprecated
+        # alias in PR 4 and must stay gone; the labelled registry
+        # family engine_stage_seconds_total{stage=...} is canonical.
         assert metrics["engine_stage_seconds_all"] > 0.0
-        assert metrics["engine_stage_seconds_total"] == metrics["engine_stage_seconds_all"]
+        assert "engine_stage_seconds_total" not in metrics
 
     def test_engine_registry_exposition_matches_flat_view(self, replayed_engine):
         from repro.control.metrics import engine_registry

@@ -1,0 +1,141 @@
+"""EpochAssembler: watermarks, dedupe, partial epochs, lateness."""
+
+import pytest
+
+from repro.stream import EpochAssembler, UpdateEvent
+
+
+def _event(router, epoch_ts, uid, emit_ts=None, node=None):
+    node = node or router
+    return UpdateEvent(
+        router=router,
+        path=f"/system/processes/drain[node={node}]/state/drained",
+        epoch_ts=epoch_ts,
+        emit_ts=epoch_ts if emit_ts is None else emit_ts,
+        uid=uid,
+        value=False,
+    )
+
+
+class TestWatermark:
+    def test_starts_below_everything(self):
+        assembler = EpochAssembler(["a", "b"])
+        assert assembler.watermark() == float("-inf")
+
+    def test_is_min_over_live_routers(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=1.0)
+        assembler.offer(_event("a", 0.0, 1, emit_ts=50.0))
+        assert assembler.watermark() == float("-inf")  # b has not spoken
+        assembler.offer(_event("b", 0.0, 1, emit_ts=5.0))
+        assert assembler.watermark() == 5.0
+
+    def test_epoch_seals_when_watermark_passes_lateness(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=1.0)
+        assert assembler.offer(_event("a", 0.0, 1)) == []
+        assert assembler.offer(_event("b", 0.0, 1)) == []
+        # Watermark 0.0 < 0.0 + 1.0: still open.
+        assert assembler.open_epochs == 1
+        sealed = assembler.offer(_event("a", 10.0, 2, emit_ts=10.0))
+        assert sealed == []  # b's frontier still at 0.0
+        sealed = assembler.offer(_event("b", 10.0, 2, emit_ts=10.0))
+        assert [epoch.timestamp for epoch in sealed] == [0.0]
+        assert sealed[0].sealed_by == "watermark"
+        assert sealed[0].complete
+
+    def test_mark_done_releases_the_watermark(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=1.0)
+        assembler.offer(_event("a", 0.0, 1, emit_ts=50.0))
+        assert assembler.open_epochs == 1
+        sealed = assembler.mark_done("b")
+        assert [epoch.timestamp for epoch in sealed] == [0.0]
+        assert sealed[0].missing == ("b",)
+        assert not sealed[0].complete
+
+    def test_unknown_router_never_holds_sealing_back(self):
+        assembler = EpochAssembler(["a"], lateness_s=0.0)
+        assembler.offer(_event("ghost", 0.0, 1))  # not in expected set
+        sealed = assembler.offer(_event("a", 0.0, 1, emit_ts=5.0))
+        assert [epoch.timestamp for epoch in sealed] == [0.0]
+        assert sealed[0].coverage == {"a": 1, "ghost": 1}
+
+
+class TestDedupeAndLateness:
+    def test_duplicates_suppressed_by_router_uid(self):
+        assembler = EpochAssembler(["a"], lateness_s=1.0)
+        assembler.offer(_event("a", 0.0, 1))
+        assembler.offer(_event("a", 0.0, 1, emit_ts=0.2))  # same uid redelivered
+        (epoch,) = assembler.drain()
+        assert epoch.updates == 1
+        assert epoch.duplicates == 1
+        assert assembler.duplicates == 1
+
+    def test_same_uid_from_different_routers_not_deduped(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=1.0)
+        assembler.offer(_event("a", 0.0, 1))
+        assembler.offer(_event("b", 0.0, 1))
+        (epoch,) = assembler.drain()
+        assert epoch.updates == 2
+        assert epoch.duplicates == 0
+
+    def test_late_delivery_counted_and_never_applied(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=0.0)
+        assembler.offer(_event("a", 0.0, 1))
+        sealed = assembler.offer(_event("b", 0.0, 1, emit_ts=5.0))
+        assert [epoch.timestamp for epoch in sealed] == [0.0]
+        before = dict(sealed[0].snapshot.drains)
+        late = assembler.offer(_event("a", 0.0, 99, emit_ts=9.0))
+        assert late == []
+        assert assembler.late_dropped == 1
+        assert sealed[0].snapshot.drains == before  # history untouched
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError):
+            EpochAssembler(["a"], lateness_s=-1.0)
+
+
+class TestDrainAndMetrics:
+    def test_drain_seals_in_timestamp_order(self):
+        assembler = EpochAssembler(["a"], lateness_s=100.0)
+        assembler.offer(_event("a", 10.0, 2))
+        assembler.offer(_event("a", 0.0, 1))
+        drained = assembler.drain()
+        assert [epoch.timestamp for epoch in drained] == [0.0, 10.0]
+        assert all(epoch.sealed_by == "drain" for epoch in drained)
+        assert assembler.open_epochs == 0
+
+    def test_metric_families_present_from_boot(self):
+        assembler = EpochAssembler(["a"])
+        rendered = assembler.metrics.render()
+        assert "stream_updates_total 0" in rendered
+        assert "stream_late_updates_total 0" in rendered
+        assert "stream_duplicate_updates_total 0" in rendered
+        assert "stream_open_epochs 0" in rendered
+
+    def test_sealed_counter_labelled_by_completeness(self):
+        assembler = EpochAssembler(["a", "b"], lateness_s=0.0)
+        assembler.offer(_event("a", 0.0, 1))
+        assembler.offer(_event("b", 0.0, 1, emit_ts=5.0))  # seals complete
+        assembler.offer(_event("a", 10.0, 2, emit_ts=10.0))
+        assembler.mark_done("a")
+        assembler.mark_done("b")  # seals partial (b never spoke for 10.0)
+        rendered = assembler.metrics.render()
+        assert 'stream_epochs_sealed_total{result="complete"} 1' in rendered
+        assert 'stream_epochs_sealed_total{result="partial"} 1' in rendered
+
+    def test_interleaving_cannot_change_the_snapshot(self):
+        forward = EpochAssembler(["a", "b"], lateness_s=100.0)
+        backward = EpochAssembler(["a", "b"], lateness_s=100.0)
+        events = [
+            _event("a", 0.0, 1),
+            _event("b", 0.0, 1),
+            _event("a", 0.0, 2, node="x"),
+            _event("b", 0.0, 2, node="y"),
+        ]
+        for event in events:
+            forward.offer(event)
+        for event in reversed(events):
+            backward.offer(event)
+        (left,) = forward.drain()
+        (right,) = backward.drain()
+        assert left.snapshot.drains == right.snapshot.drains
+        assert left.coverage == right.coverage

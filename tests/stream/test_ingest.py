@@ -1,0 +1,198 @@
+"""StreamPipeline: backpressure, retry/abandon, determinism."""
+
+import pytest
+
+from repro.engine import ValidationEngine, compare_reports
+from repro.stream import (
+    EpochAssembler,
+    FeedError,
+    IngestConfig,
+    Perturbations,
+    StreamPipeline,
+    make_feeds,
+)
+from repro.telemetry.snapshot import NetworkSnapshot
+
+from tests.engine.conftest import random_epoch
+
+
+def _timeline(size=6, seed=0, count=3, spacing=10.0):
+    topology, snapshot, inputs = random_epoch(size, seed)
+    epochs = []
+    for index in range(count):
+        ts = float(index) * spacing
+        epochs.append(
+            (
+                ts,
+                NetworkSnapshot(
+                    timestamp=ts,
+                    counters=dict(snapshot.counters),
+                    link_status=dict(snapshot.link_status),
+                    drains=dict(snapshot.drains),
+                    drain_reasons=dict(snapshot.drain_reasons),
+                    drops=dict(snapshot.drops),
+                    link_drains=dict(snapshot.link_drains),
+                    probes=dict(snapshot.probes),
+                ),
+            )
+        )
+    return topology, epochs, inputs
+
+
+def _run(topology, epochs, inputs, perturb=None, seed=0, config=None, lateness=1.0):
+    feeds = make_feeds(epochs, perturb=perturb, seed=seed)
+    assembler = EpochAssembler(list(feeds), lateness_s=lateness)
+    with ValidationEngine(topology) as engine:
+        pipeline = StreamPipeline(
+            list(feeds.values()),
+            assembler,
+            engine,
+            inputs_for=lambda _ts: inputs,
+            config=config,
+        )
+        return pipeline.run()
+
+
+class _AlwaysFailingFeed:
+    """A feed whose every delivery attempt raises FeedError."""
+
+    def __init__(self, router):
+        self.router = router
+
+        class _Stats:
+            dropped = 0
+
+        self.stats = _Stats()
+
+    def next_event(self):
+        raise FeedError(f"{self.router} is down")
+
+
+class TestHappyPath:
+    def test_all_epochs_sealed_and_validated(self):
+        topology, epochs, inputs = _timeline()
+        result = _run(topology, epochs, inputs)
+        assert len(result.epochs) == len(result.reports) == 3
+        assert result.complete_epochs == 3
+        assert result.partial_epochs == 0
+        assert [e.timestamp for e in result.epochs] == [0.0, 10.0, 20.0]
+        assert len(result.epoch_latency_s) == 3
+        assert result.abandoned == ()
+
+    def test_concurrent_mode_matches_deterministic_mode(self):
+        topology, epochs, inputs = _timeline()
+        ordered = _run(topology, epochs, inputs, config=IngestConfig(deterministic=True))
+        racing = _run(topology, epochs, inputs, config=IngestConfig(deterministic=False))
+        assert len(ordered.reports) == len(racing.reports) == 3
+        for left, right in zip(ordered.reports, racing.reports):
+            assert not compare_reports(left, right)
+
+    def test_inputs_for_accepts_a_mapping(self):
+        topology, epochs, inputs = _timeline()
+        feeds = make_feeds(epochs)
+        assembler = EpochAssembler(list(feeds))
+        by_ts = {ts: inputs for ts, _snapshot in epochs}
+        with ValidationEngine(topology) as engine:
+            result = StreamPipeline(
+                list(feeds.values()), assembler, engine, inputs_for=by_ts
+            ).run()
+        assert len(result.reports) == 3
+
+
+class TestRetryAndAbandon:
+    def test_transient_failures_are_retried(self):
+        topology, epochs, inputs = _timeline()
+        result = _run(
+            topology, epochs, inputs, perturb=Perturbations(fail=1.0), seed=1
+        )
+        # fail=1.0 makes every delivery hiccup exactly once; every one
+        # must be retried and then succeed, losing nothing.
+        assert result.retries == result.updates > 0
+        assert result.abandoned == ()
+        assert result.complete_epochs == 3
+
+    def test_dead_feed_is_abandoned_and_epochs_seal_partial(self):
+        topology, epochs, inputs = _timeline()
+        feeds = make_feeds(epochs)
+        dead = _AlwaysFailingFeed("zz-dead-router")
+        assembler = EpochAssembler(list(feeds) + [dead.router], lateness_s=1.0)
+        config = IngestConfig(max_retries=2, backoff_base_s=0.0001)
+        with ValidationEngine(topology) as engine:
+            pipeline = StreamPipeline(
+                list(feeds.values()) + [dead],
+                assembler,
+                engine,
+                inputs_for=lambda _ts: inputs,
+                config=config,
+            )
+            result = pipeline.run()
+        assert result.abandoned == (dead.router,)
+        assert result.retries == config.max_retries + 1
+        assert len(result.epochs) == 3  # sealing survived the dead feed
+        assert result.partial_epochs == 3
+        assert all(epoch.missing == (dead.router,) for epoch in result.epochs)
+
+
+class TestBackpressure:
+    def test_block_policy_loses_nothing_on_a_tiny_queue(self):
+        topology, epochs, inputs = _timeline()
+        result = _run(
+            topology,
+            epochs,
+            inputs,
+            config=IngestConfig(queue_size=2, backpressure="block"),
+        )
+        assert result.backpressure_dropped == 0
+        assert result.complete_epochs == 3
+
+    def test_drop_oldest_sheds_but_still_seals_every_epoch(self):
+        topology, epochs, inputs = _timeline()
+        result = _run(
+            topology,
+            epochs,
+            inputs,
+            config=IngestConfig(queue_size=2, backpressure="drop-oldest"),
+        )
+        assert result.backpressure_dropped > 0
+        # Shedding whole early epochs is allowed (their every event may
+        # be discarded before the consumer runs); the run must still
+        # terminate, seal the freshest epoch, and account for every
+        # emitted delivery as either offered or shed.
+        assert 1 <= len(result.epochs) <= 3
+        assert result.epochs[-1].timestamp == 20.0
+        assert result.updates + result.backpressure_dropped == sum(
+            feed.stats.emitted
+            for feed in make_feeds(epochs).values()
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IngestConfig(backpressure="drop-newest")
+        with pytest.raises(ValueError):
+            IngestConfig(queue_size=0)
+        with pytest.raises(ValueError):
+            IngestConfig(max_retries=-1)
+
+
+class TestMetrics:
+    def test_pipeline_families_present_from_boot(self):
+        topology, epochs, inputs = _timeline()
+        feeds = make_feeds(epochs)
+        assembler = EpochAssembler(list(feeds))
+        with ValidationEngine(topology) as engine:
+            pipeline = StreamPipeline(
+                list(feeds.values()), assembler, engine, inputs_for=lambda _ts: inputs
+            )
+            pipeline.run()
+        rendered = pipeline.metrics.render()
+        for family in (
+            "stream_queue_depth",
+            "stream_backpressure_dropped_total",
+            "stream_feed_retries_total",
+            "stream_feeds_abandoned_total",
+            "stream_feed_dropped_total",
+            "stream_updates_total",
+            "stream_epochs_sealed_total",
+            "stream_assembly_latency_seconds_bucket",
+        ):
+            assert family in rendered, family

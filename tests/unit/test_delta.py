@@ -1,8 +1,11 @@
 """SnapshotDelta: validation-aware, defensive epoch diffing."""
 
 import math
+import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.telemetry.counters import CounterReading
 from repro.telemetry.delta import (
@@ -219,3 +222,125 @@ class TestUnrolledCountersAgreeWithReference:
         assert fast == reference
         assert ("a", "b") in fast  # Hostile tx counts as changed
         assert ("b", "a") not in fast  # equal str/None payloads are clean
+
+
+def _assemble(events, snapshot, lateness_s=1.0):
+    """Push an event sequence through an assembler; return the snapshot."""
+    from repro.stream import EpochAssembler, reporting_routers
+
+    assembler = EpochAssembler(reporting_routers(snapshot), lateness_s=lateness_s)
+    sealed = []
+    for event in events:
+        sealed.extend(assembler.offer(event))
+    sealed.extend(assembler.drain())
+    assert len(sealed) == 1
+    return sealed[0].snapshot
+
+
+def _events_for(snapshot):
+    from repro.stream import UpdateEvent, reporting_routers, router_updates
+
+    events = []
+    for router in reporting_routers(snapshot):
+        for uid, (path, value, meta) in enumerate(router_updates(snapshot, router)):
+            events.append(
+                UpdateEvent(
+                    router=router,
+                    path=path,
+                    epoch_ts=snapshot.timestamp,
+                    emit_ts=snapshot.timestamp,
+                    uid=uid,
+                    value=value,
+                    meta=meta,
+                )
+            )
+    return events
+
+
+class TestAssemblerStreamInvariance:
+    """Reordered/duplicated update streams cannot change the delta.
+
+    The streaming path replaces batch snapshots with per-path update
+    events; the incremental engine then diffs the assembled snapshot
+    against the previous epoch.  These properties pin the contract the
+    stream subsystem leans on: for *any* permutation of the update
+    sequence, with arbitrary duplicated deliveries mixed in, the
+    assembled snapshot produces exactly the canonical SnapshotDelta.
+    """
+
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        order_seed=st.integers(min_value=0, max_value=2**16),
+        dup_stride=st.integers(min_value=2, max_value=7),
+        staleness=st.sampled_from([None, 60.0]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_permuted_duplicated_stream_yields_same_delta(
+        self, seed, order_seed, dup_stride, staleness
+    ):
+        _topology, previous, _inputs = random_epoch(8, seed)
+        _topology, target, _inputs = random_epoch(8, seed + 100)
+        target = NetworkSnapshot(
+            timestamp=previous.timestamp + 30.0,
+            counters=dict(target.counters),
+            link_status=dict(target.link_status),
+            drains=dict(target.drains),
+            drain_reasons=dict(target.drain_reasons),
+            drops=dict(target.drops),
+            link_drains=dict(target.link_drains),
+            probes=dict(target.probes),
+        )
+        canonical = SnapshotDelta.between(previous, target, max_staleness_s=staleness)
+
+        events = _events_for(target)
+        rng = random.Random(order_seed)
+        rng.shuffle(events)
+        stream = []
+        for index, event in enumerate(events):
+            stream.append(event)
+            if index % dup_stride == 0:  # redeliver with the same uid
+                stream.append(event)
+        assembled = _assemble(stream, target)
+
+        # Lossless codec: assembly reproduced the target signal-for-signal.
+        assert SnapshotDelta.between(target, assembled, max_staleness_s=staleness).is_empty()
+        delta = SnapshotDelta.between(previous, assembled, max_staleness_s=staleness)
+        assert delta == canonical
+
+    def test_interleaved_counter_halves_merge_order_free(self):
+        """rx/tx halves of distinct interfaces arriving interleaved and
+        reversed still merge into the exact canonical readings."""
+        target = _snapshot(
+            timestamp=30.0,
+            counters={
+                ("a", "b"): _reading(rx=1.0, tx=2.0, timestamp=25.0, sequence=3),
+                ("a", "c"): _reading(rx=4.0, tx=8.0, timestamp=26.0, sequence=4),
+            },
+        )
+        previous = _snapshot(
+            timestamp=0.0,
+            counters={
+                ("a", "b"): _reading(rx=1.0, tx=2.0, timestamp=25.0, sequence=3),
+                ("a", "c"): _reading(rx=4.0, tx=7.0),
+            },
+        )
+        events = _events_for(target)
+        assembled = _assemble(reversed(events), target)
+        delta = SnapshotDelta.between(previous, assembled)
+        assert delta.counters == {("a", "c")}
+        assert delta == SnapshotDelta.between(previous, target)
+
+    def test_duplicated_counter_updates_are_deduped_not_reapplied(self):
+        from repro.stream import EpochAssembler, reporting_routers
+
+        target = _snapshot(timestamp=10.0, counters={("a", "b"): _reading()})
+        events = _events_for(target)
+        assembler = EpochAssembler(reporting_routers(target), lateness_s=1.0)
+        sealed = []
+        for event in events + events + events:  # every update delivered thrice
+            sealed.extend(assembler.offer(event))
+        sealed.extend(assembler.drain())
+        (epoch,) = sealed
+        assert epoch.duplicates == len(events) * 2
+        assert epoch.updates == len(events)
+        assert SnapshotDelta.between(target, epoch.snapshot).is_empty()

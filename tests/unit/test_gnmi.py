@@ -76,3 +76,22 @@ class TestBatchAndWalk:
         updates = dict(facade.subscribe(wanted))
         assert set(updates) == set(wanted)
         assert all(isinstance(value, bool) for value in updates.values())
+
+    def test_subscribe_order_is_deterministic(self, facade):
+        wanted = facade.walk()
+        shuffled = list(reversed(wanted[1::2])) + wanted[::2]
+
+        def coordinates(rendered):
+            parsed = SignalPath.parse(rendered)
+            return (parsed.kind.value, parsed.node, parsed.peer or "")
+
+        expected = sorted(wanted, key=coordinates)
+        assert [path for path, _ in facade.subscribe(shuffled)] == expected
+        # Any permutation of the subscription yields the identical stream.
+        assert list(facade.subscribe(shuffled)) == list(facade.subscribe(wanted))
+
+    def test_subscribe_collapses_duplicates_and_skips_missing(self, facade):
+        good = SignalPath(SignalKind.TX_RATE, "atla", "hstn").render()
+        missing = SignalPath(SignalKind.TX_RATE, "atla", "nycm").render()
+        updates = list(facade.subscribe([good, missing, good, "/broken", good]))
+        assert [path for path, _ in updates] == [good]
