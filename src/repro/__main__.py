@@ -12,6 +12,7 @@ Exposes the library's studies and demos without writing any Python:
 - ``engine``      replay scenario timelines through the always-on engine,
 - ``trace``       render an exported engine trace (spans + provenance),
 - ``scenarios``   list the outage catalog,
+- ``fuzz``        randomized fault timelines vs the tri-modal oracle,
 - ``lint``        static purity/determinism analysis of the pipeline.
 """
 
@@ -459,6 +460,107 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(raw: str) -> float:
+    """``"30s"``/``"2m"``/plain seconds -> seconds.
+
+    Raises:
+        ValueError: On unparseable or non-positive budgets.
+    """
+    text = raw.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise ValueError(
+            f"unparseable budget {raw!r} (expected e.g. '30s', '2m', or '45')"
+        ) from None
+    if seconds <= 0:
+        raise ValueError(f"budget must be positive, got {raw!r}")
+    return seconds
+
+
+def _self_test_hook(index, report):
+    """The planted mode-divergence bug for ``fuzz --self-test``: flip
+    one verdict in the incremental path so every case diverges."""
+    import dataclasses
+
+    if not report.verdicts:
+        return report
+    name = sorted(report.verdicts)[0]
+    verdict = report.verdicts[name]
+    verdicts = dict(report.verdicts)
+    verdicts[name] = dataclasses.replace(verdict, valid=not verdict.valid)
+    return dataclasses.replace(report, verdicts=verdicts)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.fuzz import FuzzRunner, TriModalOracle
+
+    try:
+        budget_s = _parse_budget(args.budget)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.cases < 1:
+        print(f"--cases must be >= 1, got {args.cases}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        # Plant a divergence bug in the incremental mode and prove the
+        # whole find -> shrink -> emit loop catches it.
+        oracle = TriModalOracle(hooks={"incremental": _self_test_hook})
+        with tempfile.TemporaryDirectory() as scratch:
+            runner = FuzzRunner(
+                seed=args.seed,
+                budget_s=budget_s,
+                max_cases=1,
+                oracle=oracle,
+                shrink=not args.no_shrink,
+                corpus_dir=Path(scratch),
+            )
+            report = runner.run()
+            wrote = [o.reproducer_path for o in report.outcomes if o.reproducer_path]
+        ok = report.failures == 1 and len(wrote) == 1
+        print(
+            "self-test: planted incremental-mode divergence "
+            + ("found and reproduced" if ok else "NOT caught")
+        )
+        return 0 if ok else 1
+
+    runner = FuzzRunner(
+        seed=args.seed,
+        budget_s=budget_s,
+        max_cases=args.cases,
+        shrink=not args.no_shrink,
+        corpus_dir=Path(args.out),
+    )
+    report = runner.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzz: {report.cases} cases in {report.elapsed_s:.1f}s "
+            f"(seed {report.master_seed}), {report.failures} failures"
+        )
+        for outcome in report.outcomes:
+            if outcome.failed:
+                print(
+                    f"  case {outcome.case_index} (seed {outcome.case_seed}): "
+                    f"{outcome.result.detail()}"
+                )
+                if outcome.reproducer_path:
+                    print(f"    reproducer: {outcome.reproducer_path}")
+    return 1 if report.failures else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_cli
 
@@ -687,6 +789,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true", help="full descriptions"
     )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="random fault timelines through the tri-modal differential oracle",
+    )
+    fuzz.add_argument(
+        "--budget",
+        default="30s",
+        help="wall-clock budget, e.g. 30s or 2m (default 30s)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    fuzz.add_argument(
+        "--cases", type=int, default=10_000, help="hard cap on generated cases"
+    )
+    fuzz.add_argument(
+        "--out",
+        default="tests/fuzz/regressions",
+        help="corpus directory for minimized reproducers",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write failures unminimized (skip the shrinker)",
+    )
+    fuzz.add_argument(
+        "--self-test",
+        action="store_true",
+        help="plant a known mode-divergence bug and verify find->shrink->emit",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="emit the campaign report as JSON"
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     lint = sub.add_parser(
         "lint",

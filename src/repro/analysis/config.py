@@ -41,7 +41,11 @@ class LintConfig:
             wall-clock reads there corrupt replay just as surely.
             The streaming ingestion layer (``stream``) is included for
             the same reason: feeds, the epoch assembler and the ingest
-            pipeline sit upstream of every validation verdict.
+            pipeline sit upstream of every validation verdict.  The
+            scenario fuzzer (``fuzz``) is included because its whole
+            value rests on a case seed regenerating the exact case:
+            global RNG, wall-clock reads or unordered iteration there
+            would make reproducers unreplayable.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
         enabled_codes: Rule codes to run; empty means all.
@@ -63,7 +67,7 @@ class LintConfig:
     """
 
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
-    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "obs", "stream"})
+    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "fuzz", "obs", "stream"})
     incremental_path: str = "engine/incremental.py"
     enabled_codes: FrozenSet[str] = frozenset()
     wall_clock_allowed: FrozenSet[str] = frozenset(

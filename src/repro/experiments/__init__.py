@@ -5,6 +5,12 @@ tests (the worked example needs no sweep); E2-E9 are the studies here.
 """
 
 from repro.experiments.drain_study import DRAIN_CASES, DrainRow, DrainStudy
+from repro.experiments.fuzz_study import (
+    FuzzCensusRow,
+    FuzzCoverageStudy,
+    MutationRow,
+    flip_one_verdict,
+)
 from repro.experiments.hardening_study import CorrelatedRow, HardeningRow, HardeningStudy
 from repro.experiments.harness import ReportConfig, run_full_report
 from repro.experiments.outage_study import OutageStudy, ScenarioOutcome, taxonomy_census
@@ -27,6 +33,10 @@ __all__ = [
     "DrainRow",
     "DrainStudy",
     "FAULT_MODES",
+    "FuzzCensusRow",
+    "FuzzCoverageStudy",
+    "MutationRow",
+    "flip_one_verdict",
     "HardeningRow",
     "HardeningStudy",
     "OutageStudy",

@@ -23,11 +23,40 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.telemetry.snapshot import NetworkSnapshot
 
-__all__ = ["InjectionRecord", "SignalFault", "AggregationBug", "FaultInjector"]
+__all__ = [
+    "InjectionRecord",
+    "SignalFault",
+    "AggregationBug",
+    "FaultInjector",
+    "encode_interface_keys",
+    "decode_interface_keys",
+]
+
+
+def encode_interface_keys(
+    keys: Optional[Iterable[Tuple[str, str]]],
+) -> Optional[List[List[str]]]:
+    """JSON-safe form of an interface-key list (``None`` passes through).
+
+    Order is preserved: faults apply their targets in list order, so the
+    encoding must not reorder them.
+    """
+    if keys is None:
+        return None
+    return [[node, peer] for node, peer in keys]
+
+
+def decode_interface_keys(
+    payload: Optional[Iterable[Sequence[str]]],
+) -> Optional[List[Tuple[str, str]]]:
+    """Inverse of :func:`encode_interface_keys`."""
+    if payload is None:
+        return None
+    return [(str(node), str(peer)) for node, peer in payload]
 
 
 @dataclass(frozen=True)
@@ -75,6 +104,24 @@ class SignalFault(abc.ABC):
     @abc.abstractmethod
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         """Corrupt ``snapshot`` in place; return what was corrupted."""
+
+    def to_params(self) -> Dict[str, object]:
+        """JSON-safe constructor kwargs that reproduce this fault.
+
+        The contract the fuzzer's reproducer files rely on:
+        ``type(f).from_params(f.to_params())`` builds an equivalent
+        fault, and ``to_params`` output is deterministic (set-backed
+        parameters come out sorted) so serialized timelines are
+        byte-stable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support parameter serialization"
+        )
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "SignalFault":
+        """Rebuild a fault from :meth:`to_params` output."""
+        return cls(**dict(params))  # type: ignore[call-arg]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

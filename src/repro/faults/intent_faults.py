@@ -14,9 +14,14 @@ production outage shapes:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Mapping
 
-from repro.faults.base import InjectionRecord, SignalFault
+from repro.faults.base import (
+    InjectionRecord,
+    SignalFault,
+    decode_interface_keys,
+    encode_interface_keys,
+)
 from repro.telemetry.snapshot import InterfaceKey, NetworkSnapshot
 
 __all__ = ["SpuriousDrain", "MissedDrain", "InconsistentLinkDrain"]
@@ -39,6 +44,16 @@ class SpuriousDrain(SignalFault):
     def __init__(self, nodes: Iterable[str], claimed_reason: str = "") -> None:
         self._nodes = list(nodes)
         self._claimed_reason = claimed_reason
+
+    def to_params(self) -> Dict[str, object]:
+        return {"nodes": list(self._nodes), "claimed_reason": self._claimed_reason}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "SpuriousDrain":
+        return cls(
+            nodes=[str(node) for node in params.get("nodes", [])],  # type: ignore[union-attr]
+            claimed_reason=str(params.get("claimed_reason", "")),
+        )
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []
@@ -74,6 +89,13 @@ class MissedDrain(SignalFault):
     def __init__(self, nodes: Iterable[str]) -> None:
         self._nodes = list(nodes)
 
+    def to_params(self) -> Dict[str, object]:
+        return {"nodes": list(self._nodes)}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "MissedDrain":
+        return cls(nodes=[str(node) for node in params.get("nodes", [])])  # type: ignore[union-attr]
+
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []
         for node in self._nodes:
@@ -106,6 +128,13 @@ class InconsistentLinkDrain(SignalFault):
 
     def __init__(self, interfaces: Iterable[InterfaceKey]) -> None:
         self._interfaces = list(interfaces)
+
+    def to_params(self) -> Dict[str, object]:
+        return {"interfaces": encode_interface_keys(self._interfaces)}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "InconsistentLinkDrain":
+        return cls(interfaces=decode_interface_keys(params.get("interfaces")) or ())  # type: ignore[arg-type]
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []

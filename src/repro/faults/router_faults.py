@@ -27,9 +27,14 @@ production:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.faults.base import InjectionRecord, SignalFault
+from repro.faults.base import (
+    InjectionRecord,
+    SignalFault,
+    decode_interface_keys,
+    encode_interface_keys,
+)
 from repro.net.topology import EXTERNAL_PEER
 from repro.telemetry.counters import MalformedValueError, coerce_rate
 from repro.telemetry.snapshot import InterfaceKey, NetworkSnapshot
@@ -96,6 +101,19 @@ class ZeroedDuplicateTelemetry(SignalFault):
             raise ValueError(f"count must be non-negative, got {count}")
         self._count = count
 
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "ZeroedDuplicateTelemetry":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")),  # type: ignore[arg-type]
+            count=int(params.get("count", 1)),  # type: ignore[arg-type]
+        )
+
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         targets = (
             self._interfaces
@@ -141,6 +159,21 @@ class MalformedTelemetry(SignalFault):
         self._count = count
         self._garbage = garbage
 
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "count": self._count,
+            "garbage": self._garbage,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "MalformedTelemetry":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")),  # type: ignore[arg-type]
+            count=int(params.get("count", 1)),  # type: ignore[arg-type]
+            garbage=params.get("garbage", "ERR:OVERFLOW"),
+        )
+
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         targets = (
             self._interfaces
@@ -178,6 +211,19 @@ class FormatChangeTelemetry(SignalFault):
     ) -> None:
         self._interfaces = list(interfaces) if interfaces is not None else None
         self._count = count
+
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "FormatChangeTelemetry":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")),  # type: ignore[arg-type]
+            count=int(params.get("count", 1)),  # type: ignore[arg-type]
+        )
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         targets = (
@@ -220,6 +266,21 @@ class UnitChangeTelemetry(SignalFault):
         self._interfaces = list(interfaces) if interfaces is not None else None
         self._count = count
         self._factor = factor
+
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "count": self._count,
+            "factor": self._factor,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "UnitChangeTelemetry":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")),  # type: ignore[arg-type]
+            count=int(params.get("count", 1)),  # type: ignore[arg-type]
+            factor=float(params.get("factor", 1000.0)),  # type: ignore[arg-type]
+        )
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         targets = (
@@ -272,6 +333,23 @@ class DelayedTelemetry(SignalFault):
         self._delay_s = delay_s
         self._drift = drift
 
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "count": self._count,
+            "delay_s": self._delay_s,
+            "drift": self._drift,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "DelayedTelemetry":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")),  # type: ignore[arg-type]
+            count=int(params.get("count", 1)),  # type: ignore[arg-type]
+            delay_s=float(params.get("delay_s", 300.0)),  # type: ignore[arg-type]
+            drift=float(params.get("drift", 0.5)),  # type: ignore[arg-type]
+        )
+
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         targets = (
             self._interfaces
@@ -316,6 +394,19 @@ class MissingTelemetry(SignalFault):
         self._nodes = list(nodes)
         self._interfaces = list(interfaces)
 
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "nodes": list(self._nodes),
+            "interfaces": encode_interface_keys(self._interfaces),
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "MissingTelemetry":
+        return cls(
+            nodes=[str(node) for node in params.get("nodes", [])],  # type: ignore[union-attr]
+            interfaces=decode_interface_keys(params.get("interfaces")) or (),  # type: ignore[arg-type]
+        )
+
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []
         for node in self._nodes:
@@ -350,6 +441,19 @@ class WrongLinkStatus(SignalFault):
     def __init__(self, interfaces: Iterable[InterfaceKey], report_up: bool) -> None:
         self._interfaces = list(interfaces)
         self._report_up = report_up
+
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "interfaces": encode_interface_keys(self._interfaces),
+            "report_up": self._report_up,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "WrongLinkStatus":
+        return cls(
+            interfaces=decode_interface_keys(params.get("interfaces")) or (),  # type: ignore[arg-type]
+            report_up=bool(params.get("report_up", True)),
+        )
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []
@@ -386,6 +490,13 @@ class ProbeOutage(SignalFault):
 
     def __init__(self, nodes: Iterable[str] = ()) -> None:
         self._nodes = set(nodes)
+
+    def to_params(self) -> Dict[str, object]:
+        return {"nodes": sorted(self._nodes)}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "ProbeOutage":
+        return cls(nodes=[str(node) for node in params.get("nodes", [])])  # type: ignore[union-attr]
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         from repro.telemetry.snapshot import ProbeResult
@@ -443,6 +554,25 @@ class RandomCounterCorruption(SignalFault):
         self._factor = factor
         self._include_external = include_external
 
+    def to_params(self) -> Dict[str, object]:
+        return {
+            "count": self._count,
+            "mode": self._mode,
+            "side": self._side,
+            "factor": self._factor,
+            "include_external": self._include_external,
+        }
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "RandomCounterCorruption":
+        return cls(
+            count=int(params["count"]),  # type: ignore[arg-type]
+            mode=str(params.get("mode", "zero")),
+            side=str(params.get("side", "rx")),
+            factor=float(params.get("factor", 3.0)),  # type: ignore[arg-type]
+            include_external=bool(params.get("include_external", False)),
+        )
+
     def _corrupt(self, value: object) -> object:
         if self._mode == "zero":
             return 0.0
@@ -492,6 +622,16 @@ class CorrelatedCounterFault(SignalFault):
             raise ValueError(f"factor must be non-negative, got {factor}")
         self._nodes = set(nodes)
         self._factor = factor
+
+    def to_params(self) -> Dict[str, object]:
+        return {"nodes": sorted(self._nodes), "factor": self._factor}
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "CorrelatedCounterFault":
+        return cls(
+            nodes=[str(node) for node in params.get("nodes", [])],  # type: ignore[union-attr]
+            factor=float(params.get("factor", 0.5)),  # type: ignore[arg-type]
+        )
 
     def apply(self, snapshot: NetworkSnapshot, rng: random.Random) -> List[InjectionRecord]:
         records = []

@@ -1,0 +1,167 @@
+"""The reproducer corpus: minimal failing (or pinned) timelines on disk.
+
+Each corpus entry is one JSON file holding a :class:`Reproducer`: a
+minimized :class:`~repro.fuzz.spec.TimelineSpec` plus the case seed
+that generated it and what the oracle observed.  Files are written in
+canonical JSON (sorted keys), so a reproducer committed to
+``tests/fuzz/regressions/`` never drifts and diffs cleanly.
+
+Two kinds of entries live in a corpus:
+
+- ``"divergence"`` / ``"crash"`` -- a bug the fuzzer found, shrunk to
+  its minimal form.  Once the bug is fixed the entry stays: the tier-1
+  replay test runs every corpus entry through the tri-modal oracle and
+  asserts it passes, so the bug can never silently return.
+- ``"pinned"`` -- an interesting generated case that passes today,
+  committed to keep its coverage stable across refactors.
+
+A reproducer can also be promoted to a first-class
+:class:`~repro.scenarios.catalog.OutageScenario` via
+:func:`reproducer_scenario` -- the self-contained catalog-entry form
+the triage workflow in ``docs/FUZZING.md`` describes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+from repro.fuzz.spec import SpecError, TimelineSpec, canonical_json
+from repro.scenarios.catalog import Category, OutageScenario
+
+__all__ = [
+    "Reproducer",
+    "save_reproducer",
+    "load_reproducer",
+    "load_corpus",
+    "reproducer_scenario",
+]
+
+#: Corpus files match this glob.
+REPRODUCER_GLOB = "repro_*.json"
+
+_KINDS = ("divergence", "crash", "pinned")
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One corpus entry.
+
+    Attributes:
+        reproducer_id: Stable identifier; also the file stem.
+        spec: The (minimized) timeline.
+        case_seed: Generator seed that produced the original case.
+        kind: ``"divergence"``, ``"crash"``, or ``"pinned"``.
+        detail: Human-readable failure summary at capture time.
+        observed: Free-form observations at capture time (e.g. the
+            first epoch's ``detected``/``damaged`` flags), used when
+            promoting to a catalog scenario.
+    """
+
+    reproducer_id: str
+    spec: TimelineSpec
+    case_seed: int
+    kind: str
+    detail: str = ""
+    observed: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "reproducer_id": self.reproducer_id,
+            "case_seed": self.case_seed,
+            "kind": self.kind,
+            "detail": self.detail,
+            "observed": dict(self.observed),
+            "spec": self.spec.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Reproducer":
+        try:
+            return cls(
+                reproducer_id=str(payload["reproducer_id"]),
+                spec=TimelineSpec.from_payload(payload["spec"]),
+                case_seed=int(payload["case_seed"]),
+                kind=str(payload.get("kind", "pinned")),
+                detail=str(payload.get("detail", "")),
+                observed=dict(payload.get("observed", {})),
+            )
+        except KeyError as exc:
+            raise SpecError(f"reproducer payload missing {exc}") from exc
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_payload())
+
+
+def save_reproducer(reproducer: Reproducer, directory: Path) -> Path:
+    """Write one corpus entry; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"repro_{reproducer.reproducer_id}.json"
+    path.write_text(reproducer.canonical_json() + "\n", encoding="utf-8")
+    return path
+
+
+def load_reproducer(path: Path) -> Reproducer:
+    """Load one corpus entry.
+
+    Raises:
+        SpecError: On malformed files.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpecError(f"unreadable reproducer {path}: {exc}") from exc
+    return Reproducer.from_payload(payload)
+
+
+def load_corpus(directory: Path) -> List[Reproducer]:
+    """Every corpus entry under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        load_reproducer(path) for path in sorted(directory.glob(REPRODUCER_GLOB))
+    ]
+
+
+def reproducer_scenario(reproducer: Reproducer) -> OutageScenario:
+    """Promote a reproducer to a self-contained catalog entry.
+
+    The scenario pins the reproducer's own seed: its builder ignores
+    the caller's seed argument, because a reproducer is only meaningful
+    at the exact seed it was minimized under.
+    """
+    spec = reproducer.spec
+    observed = reproducer.observed
+    category = _category_for(spec)
+    return OutageScenario(
+        scenario_id=f"FZ-{reproducer.reproducer_id}",
+        title=f"fuzzer reproducer {reproducer.reproducer_id}",
+        paper_section="fuzz",
+        category=category,
+        description=reproducer.detail or "minimized fuzzer-generated timeline",
+        expect_detection=bool(observed.get("detected", False)),
+        expected_channels=tuple(observed.get("channels", ())),
+        expect_damage=bool(observed.get("damaged", False)),
+        builder=lambda _seed: spec.world_for_epoch(0),
+    )
+
+
+def _category_for(spec: TimelineSpec) -> str:
+    if spec.demand_bugs:
+        return Category.EXTERNAL_INPUT
+    if spec.topo_bugs or spec.drain_bugs:
+        return Category.CONTROL_AGGREGATION
+    has_faults = spec.base_faults or any(
+        plan.signal_faults for plan in spec.epochs
+    )
+    if has_faults:
+        return Category.ROUTER_TELEMETRY
+    return Category.LEGITIMATE

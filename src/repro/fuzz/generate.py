@@ -1,0 +1,302 @@
+"""Seeded random scenario generation.
+
+:class:`CaseGenerator` turns one integer seed into one
+:class:`~repro.fuzz.spec.TimelineSpec`: a small synthetic topology, a
+gravity demand matrix, a per-epoch schedule of composed signal faults,
+optional timeline-wide faults and aggregation bugs, optional physical
+link damage, and an in-window stream perturbation.  Everything derives
+from a single :class:`random.Random` seeded with the case seed, so a
+case seed *is* the case -- regeneration is exact, which the shrinker
+and the regression corpus rely on.
+
+The generator only emits configurations under which the tri-modal
+oracle's equality contract is expected to hold: stream perturbations
+are limited to in-window reordering and duplication (late/dropped/
+failing deliveries legitimately change streamed results and are
+exercised separately in the pathological-assembler tests), and
+whole-router silence is timeline-wide rather than per-epoch so the
+feed set stays stable across the streamed replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from repro.fuzz.spec import EpochPlan, TimelineSpec
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+)
+from repro.faults.base import SignalFault
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.faults.intent_faults import InconsistentLinkDrain, SpuriousDrain
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    FormatChangeTelemetry,
+    MalformedTelemetry,
+    MissingTelemetry,
+    ProbeOutage,
+    RandomCounterCorruption,
+    UnitChangeTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+from repro.net.demand import gravity_demand
+from repro.net.topology import Topology
+from repro.stream.feed import Perturbations
+from repro.telemetry.probes import LinkHealth
+from repro.topologies.synthetic import (
+    gnp_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = ["CaseGenerator"]
+
+#: Topology families the generator draws from.
+TOPOLOGY_KINDS: Tuple[str, ...] = ("line", "ring", "star", "grid", "gnp")
+
+
+def _sample_edges(
+    rng: random.Random, topology: Topology, count: int
+) -> List[Tuple[str, str]]:
+    edges = sorted(topology.directed_edges())
+    count = min(count, len(edges))
+    return rng.sample(edges, count)
+
+
+def _sample_nodes(rng: random.Random, topology: Topology, count: int) -> List[str]:
+    nodes = sorted(topology.node_names())
+    count = min(count, len(nodes))
+    return rng.sample(nodes, count)
+
+
+class CaseGenerator:
+    """Deterministic seed -> :class:`TimelineSpec` factory.
+
+    Args:
+        min_nodes / max_nodes: Synthetic topology size range.
+        min_epochs / max_epochs: Timeline length range.
+        max_faults_per_epoch: Upper bound on per-epoch fault count
+            (each epoch draws 0..N faults from the palette).
+    """
+
+    def __init__(
+        self,
+        min_nodes: int = 4,
+        max_nodes: int = 10,
+        min_epochs: int = 2,
+        max_epochs: int = 4,
+        max_faults_per_epoch: int = 3,
+    ) -> None:
+        if min_nodes < 3:
+            raise ValueError(f"min_nodes must be at least 3, got {min_nodes}")
+        if max_nodes < min_nodes:
+            raise ValueError("max_nodes must be >= min_nodes")
+        if min_epochs < 1:
+            raise ValueError(f"min_epochs must be positive, got {min_epochs}")
+        if max_epochs < min_epochs:
+            raise ValueError("max_epochs must be >= min_epochs")
+        self.min_nodes = min_nodes
+        self.max_nodes = max_nodes
+        self.min_epochs = min_epochs
+        self.max_epochs = max_epochs
+        self.max_faults_per_epoch = max_faults_per_epoch
+
+    # ------------------------------------------------------------------
+
+    def generate(self, seed: int) -> TimelineSpec:
+        """The spec for one case seed (pure function of the seed)."""
+        rng = random.Random(seed)
+        topology = self.sample_topology(rng)
+        nodes = topology.node_names()
+        demand = gravity_demand(
+            nodes, total=2.0 * len(nodes), seed=rng.randrange(2**31)
+        )
+        num_epochs = rng.randint(self.min_epochs, self.max_epochs)
+        epochs = tuple(
+            EpochPlan(signal_faults=tuple(self.sample_epoch_faults(rng, topology)))
+            for _ in range(num_epochs)
+        )
+        base_faults: Tuple[SignalFault, ...] = ()
+        if rng.random() < 0.25:
+            base_faults = (self._sample_base_fault(rng, topology),)
+        topo_bugs, demand_bugs, drain_bugs = self._sample_bugs(rng, topology)
+        return TimelineSpec(
+            topology=topology,
+            demand=demand,
+            epochs=epochs,
+            link_health=self._sample_link_health(rng, topology),
+            base_faults=base_faults,
+            topo_bugs=topo_bugs,
+            demand_bugs=demand_bugs,
+            drain_bugs=drain_bugs,
+            seed=rng.randrange(2**16),
+            perturb=self._sample_perturbations(rng),
+            perturb_seed=rng.randrange(2**16),
+        )
+
+    # ------------------------------------------------------------------
+
+    def sample_topology(self, rng: random.Random) -> Topology:
+        """One small synthetic topology (4-10 nodes by default)."""
+        kind = rng.choice(TOPOLOGY_KINDS)
+        if kind == "line":
+            return line_topology(rng.randint(self.min_nodes, self.max_nodes))
+        if kind == "ring":
+            return ring_topology(rng.randint(self.min_nodes, self.max_nodes))
+        if kind == "star":
+            return star_topology(
+                rng.randint(self.min_nodes - 1, self.max_nodes - 1)
+            )
+        if kind == "grid":
+            rows = rng.randint(2, 3)
+            cols = rng.randint(2, 3)
+            return grid_topology(rows, cols)
+        return gnp_topology(
+            rng.randint(self.min_nodes, self.max_nodes),
+            p=rng.uniform(0.3, 0.5),
+            seed=rng.randrange(2**31),
+        )
+
+    def sample_epoch_faults(
+        self, rng: random.Random, topology: Topology
+    ) -> List[SignalFault]:
+        """0..max_faults_per_epoch composed faults for one epoch."""
+        count = rng.randint(0, self.max_faults_per_epoch)
+        return [self._sample_fault(rng, topology) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+
+    def _palette(
+        self, rng: random.Random, topology: Topology
+    ) -> Sequence[Callable[[], SignalFault]]:
+        """Weighted fault constructors over this topology's elements."""
+        return (
+            lambda: ZeroedDuplicateTelemetry(
+                interfaces=_sample_edges(rng, topology, rng.randint(1, 2))
+            ),
+            lambda: MalformedTelemetry(
+                interfaces=_sample_edges(rng, topology, rng.randint(1, 2))
+            ),
+            lambda: FormatChangeTelemetry(
+                interfaces=_sample_edges(rng, topology, 1)
+            ),
+            lambda: UnitChangeTelemetry(
+                interfaces=_sample_edges(rng, topology, 1),
+                factor=rng.choice((0.001, 1000.0)),
+            ),
+            lambda: DelayedTelemetry(
+                interfaces=_sample_edges(rng, topology, 1),
+                delay_s=float(rng.randint(120, 600)),
+                drift=round(rng.uniform(0.3, 0.8), 3),
+            ),
+            lambda: MissingTelemetry(
+                interfaces=_sample_edges(rng, topology, rng.randint(1, 2))
+            ),
+            lambda: WrongLinkStatus(
+                interfaces=_sample_edges(rng, topology, 1),
+                report_up=rng.random() < 0.5,
+            ),
+            lambda: SpuriousDrain(
+                nodes=_sample_nodes(rng, topology, 1),
+                claimed_reason=rng.choice(("", "faulty-link", "maintenance")),
+            ),
+            lambda: InconsistentLinkDrain(
+                interfaces=_sample_edges(rng, topology, 1)
+            ),
+            lambda: RandomCounterCorruption(
+                count=rng.randint(1, 2),
+                mode=rng.choice(("zero", "scale", "missing")),
+                side=rng.choice(("rx", "tx", "both")),
+                factor=rng.choice((0.25, 3.0)),
+            ),
+            lambda: CorrelatedCounterFault(
+                nodes=_sample_nodes(rng, topology, 2),
+                factor=rng.choice((0.5, 2.0)),
+            ),
+            lambda: ProbeOutage(nodes=_sample_nodes(rng, topology, 1)),
+        )
+
+    def _sample_fault(self, rng: random.Random, topology: Topology) -> SignalFault:
+        palette = self._palette(rng, topology)
+        return palette[rng.randrange(len(palette))]()
+
+    def _sample_base_fault(
+        self, rng: random.Random, topology: Topology
+    ) -> SignalFault:
+        # Timeline-wide faults: a router silent for the whole run (so
+        # the streamed replay never expects its feed) or a correlated
+        # vendor bug on a node subset.
+        if rng.random() < 0.5:
+            return MissingTelemetry(nodes=_sample_nodes(rng, topology, 1))
+        return CorrelatedCounterFault(
+            nodes=_sample_nodes(rng, topology, 2), factor=0.5
+        )
+
+    def _sample_bugs(self, rng: random.Random, topology: Topology):
+        topo_bugs: Tuple = ()
+        demand_bugs: Tuple = ()
+        drain_bugs: Tuple = ()
+        roll = rng.random()
+        if roll < 0.15:
+            topo_bugs = (
+                PartialTopologyStitch(frozenset(_sample_nodes(rng, topology, 1))),
+            )
+        elif roll < 0.3:
+            links = sorted(link.name for link in topology.links())
+            picked = rng.sample(links, min(2, len(links)))
+            topo_bugs = (
+                LivenessMisreport(frozenset(picked), report_up=rng.random() < 0.5),
+            )
+        elif roll < 0.45:
+            demand_bugs = (
+                rng.choice(
+                    (
+                        PartialDemandAggregation(
+                            drop_fraction=0.4, seed=rng.randrange(2**16)
+                        ),
+                        DoubleCountedDemand(
+                            fraction=0.3,
+                            multiplier=2.0,
+                            seed=rng.randrange(2**16),
+                        ),
+                        ThrottledDemandMismatch(admitted_fraction=0.6),
+                    )
+                ),
+            )
+        elif roll < 0.5:
+            drain_bugs = (
+                IgnoredDrain(frozenset(_sample_nodes(rng, topology, 1))),
+            )
+        return topo_bugs, demand_bugs, drain_bugs
+
+    def _sample_link_health(self, rng: random.Random, topology: Topology):
+        if rng.random() >= 0.2:
+            return {}
+        links = sorted(link.name for link in topology.links())
+        name = rng.choice(links)
+        if rng.random() < 0.5:
+            return {name: LinkHealth(up=False)}
+        return {name: LinkHealth(up=True, forwarding=False)}
+
+    def _sample_perturbations(self, rng: random.Random) -> Perturbations:
+        # In-window perturbations only: reorder jitter stays below the
+        # oracle's 1.0s lateness window, so streamed == batch holds.
+        roll = rng.random()
+        if roll < 0.5:
+            return Perturbations()
+        if roll < 0.7:
+            return Perturbations(reorder=0.5, reorder_jitter_s=0.4)
+        if roll < 0.85:
+            return Perturbations(duplicate=0.4)
+        return Perturbations(reorder=0.3, duplicate=0.3, reorder_jitter_s=0.4)

@@ -1,0 +1,188 @@
+"""The fuzzing campaign driver.
+
+:class:`FuzzRunner` owns one campaign: a master seed, a wall-clock
+budget (and/or a case cap), a :class:`~repro.fuzz.generate.
+CaseGenerator`, and the :class:`~repro.fuzz.oracle.TriModalOracle`.
+Each iteration derives the next case seed from the master RNG,
+generates the timeline, runs the oracle, and -- on failure -- shrinks
+the timeline and writes a minimal reproducer to the corpus directory.
+
+The only wall clock is an injectable monotonic ``clock`` callable
+(defaulting to :func:`time.monotonic`), used purely to enforce the
+budget; nothing derived from it reaches generated cases or reproducer
+files, so campaign *content* is a pure function of the master seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.corpus import Reproducer, save_reproducer
+from repro.fuzz.generate import CaseGenerator
+from repro.fuzz.oracle import OracleResult, TriModalOracle
+from repro.fuzz.shrink import Shrinker
+from repro.fuzz.spec import TimelineSpec
+
+__all__ = ["CaseOutcome", "FuzzReport", "FuzzRunner"]
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """One generated case and what the oracle said about it."""
+
+    case_index: int
+    case_seed: int
+    result: OracleResult
+    reproducer_path: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+
+@dataclass
+class FuzzReport:
+    """A whole campaign's accounting."""
+
+    master_seed: int
+    cases: int = 0
+    failures: int = 0
+    elapsed_s: float = 0.0
+    outcomes: List[CaseOutcome] = field(default_factory=list)
+    fault_census: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.failures == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "master_seed": self.master_seed,
+            "cases": self.cases,
+            "failures": self.failures,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "fault_census": {
+                name: self.fault_census[name]
+                for name in sorted(self.fault_census)
+            },
+            "reproducers": [
+                outcome.reproducer_path
+                for outcome in self.outcomes
+                if outcome.reproducer_path
+            ],
+        }
+
+
+class FuzzRunner:
+    """Runs a bounded fuzzing campaign.
+
+    Args:
+        seed: Master seed; per-case seeds derive from it, so a campaign
+            is replayable end to end.
+        budget_s: Wall-clock budget.  The campaign stops before
+            starting a case that would exceed it.  ``None`` means no
+            time bound (then ``max_cases`` must bound the run).
+        max_cases: Hard cap on generated cases.
+        generator / oracle: Injectable for tests; defaults are the
+            stock :class:`CaseGenerator` and :class:`TriModalOracle`.
+        shrink: Minimize failures before writing reproducers.
+        corpus_dir: Where reproducers land; ``None`` disables writing.
+        clock: Monotonic-clock seam (budget enforcement only).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        budget_s: Optional[float] = 30.0,
+        max_cases: int = 10_000,
+        generator: Optional[CaseGenerator] = None,
+        oracle: Optional[TriModalOracle] = None,
+        shrink: bool = True,
+        corpus_dir: Optional[Path] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s is None and max_cases <= 0:
+            raise ValueError("need a positive budget_s or max_cases")
+        if max_cases < 1:
+            raise ValueError(f"max_cases must be positive, got {max_cases}")
+        self.seed = seed
+        self.budget_s = budget_s
+        self.max_cases = max_cases
+        self.generator = generator or CaseGenerator()
+        self.oracle = oracle or TriModalOracle()
+        self.shrink = shrink
+        self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> FuzzReport:
+        """Execute the campaign; returns its full accounting."""
+        report = FuzzReport(master_seed=self.seed)
+        master = random.Random(self.seed)
+        started = self.clock()
+        for case_index in range(self.max_cases):
+            if self.budget_s is not None and self.clock() - started >= self.budget_s:
+                break
+            case_seed = master.randrange(2**32)
+            spec = self.generator.generate(case_seed)
+            self._tally(report, spec)
+            result = self.oracle.run(spec)
+            outcome = CaseOutcome(
+                case_index=case_index, case_seed=case_seed, result=result
+            )
+            if result.failed:
+                outcome = self._handle_failure(outcome, spec)
+                report.failures += 1
+            report.cases += 1
+            report.outcomes.append(outcome)
+        report.elapsed_s = self.clock() - started
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _handle_failure(
+        self, outcome: CaseOutcome, spec: TimelineSpec
+    ) -> CaseOutcome:
+        minimized = spec
+        if self.shrink:
+            minimized = Shrinker(self.oracle).shrink(spec).spec
+        final = self.oracle.run(minimized)
+        if final.passed:
+            # Budget exhaustion mid-pass cannot regress the candidate
+            # (only still-failing candidates are accepted), so a
+            # passing minimized spec means flaky oracle behaviour --
+            # keep the original failing spec as the reproducer.
+            minimized, final = spec, outcome.result
+        reproducer = Reproducer(
+            reproducer_id=f"{self.seed}_{outcome.case_index}",
+            spec=minimized,
+            case_seed=outcome.case_seed,
+            kind=final.kind,
+            detail=final.detail(),
+        )
+        path = ""
+        if self.corpus_dir is not None:
+            path = str(save_reproducer(reproducer, self.corpus_dir))
+        return CaseOutcome(
+            case_index=outcome.case_index,
+            case_seed=outcome.case_seed,
+            result=final,
+            reproducer_path=path,
+        )
+
+    @staticmethod
+    def _tally(report: FuzzReport, spec: TimelineSpec) -> None:
+        names: List[str] = []
+        for index in range(spec.num_epochs):
+            names.extend(
+                type(fault).__name__ for fault in spec.faults_for_epoch(index)
+            )
+        for bugs in (spec.topo_bugs, spec.demand_bugs, spec.drain_bugs):
+            names.extend(type(bug).__name__ for bug in bugs)
+        for name in names:
+            report.fault_census[name] = report.fault_census.get(name, 0) + 1

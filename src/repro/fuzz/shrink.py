@@ -1,0 +1,289 @@
+"""Deterministic timeline shrinking.
+
+Given a failing :class:`~repro.fuzz.spec.TimelineSpec`, the shrinker
+greedily applies reduction passes -- drop epochs, drop faults, drop
+aggregation bugs, drop link damage, clear stream perturbations, remove
+unreferenced topology nodes, zero demand entries -- keeping a
+candidate only when the oracle still fails on it.  Passes repeat until
+a fixpoint or until the oracle-evaluation budget runs out.  Everything
+iterates in a fixed order with no randomness, so the same failing
+input always shrinks to the same minimal reproducer.
+
+This is delta debugging in the ddmin spirit, specialised to the
+timeline structure: epoch-level reductions run first because they cut
+the most oracle work per accepted step, then fault-level, then the
+world-level simplifications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.fuzz.oracle import TriModalOracle
+from repro.fuzz.spec import EpochPlan, TimelineSpec
+from repro.net.topology import Topology
+from repro.stream.feed import Perturbations
+
+__all__ = ["ShrinkResult", "Shrinker"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized spec plus accounting of the search."""
+
+    spec: TimelineSpec
+    checks: int
+    reductions: int
+
+    @property
+    def total_faults(self) -> int:
+        return len(self.spec.base_faults) + sum(
+            len(plan.signal_faults) for plan in self.spec.epochs
+        )
+
+
+class Shrinker:
+    """Greedy deterministic minimizer for failing timelines.
+
+    Args:
+        oracle: The oracle that decides "still failing".  Must be the
+            same oracle (same hooks) that found the original failure.
+        max_checks: Budget on oracle evaluations; shrinking stops --
+            returning the best candidate so far -- when it is spent.
+    """
+
+    def __init__(self, oracle: TriModalOracle, max_checks: int = 250) -> None:
+        if max_checks < 1:
+            raise ValueError(f"max_checks must be positive, got {max_checks}")
+        self.oracle = oracle
+        self.max_checks = max_checks
+        self._checks = 0
+        self._reductions = 0
+
+    # ------------------------------------------------------------------
+
+    def shrink(self, spec: TimelineSpec) -> ShrinkResult:
+        """Minimize ``spec``; it must currently fail the oracle."""
+        self._checks = 0
+        self._reductions = 0
+        current = spec
+        passes: Tuple[Callable[[TimelineSpec], Tuple[TimelineSpec, bool]], ...] = (
+            self._drop_epochs,
+            self._drop_epoch_faults,
+            self._drop_base_faults,
+            self._drop_bugs,
+            self._drop_link_health,
+            self._clear_perturbations,
+            self._drop_nodes,
+            self._zero_demand_entries,
+        )
+        changed = True
+        while changed and self._checks < self.max_checks:
+            changed = False
+            for reduce_pass in passes:
+                current, did = reduce_pass(current)
+                changed = changed or did
+        return ShrinkResult(spec=current, checks=self._checks, reductions=self._reductions)
+
+    # ------------------------------------------------------------------
+
+    def _still_fails(self, candidate: TimelineSpec) -> bool:
+        if self._checks >= self.max_checks:
+            return False
+        self._checks += 1
+        return self.oracle.run(candidate).failed
+
+    def _accept(self, candidate: TimelineSpec) -> bool:
+        if self._still_fails(candidate):
+            self._reductions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Passes (each returns (new_spec, changed_anything))
+
+    def _drop_epochs(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        index = len(current.epochs) - 1
+        while index >= 0 and len(current.epochs) > 1:
+            epochs = current.epochs[:index] + current.epochs[index + 1 :]
+            candidate = dataclasses.replace(current, epochs=epochs)
+            if self._accept(candidate):
+                current = candidate
+                changed = True
+            index -= 1
+        return current, changed
+
+    def _drop_epoch_faults(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        for epoch_index in range(len(current.epochs)):
+            fault_index = len(current.epochs[epoch_index].signal_faults) - 1
+            while fault_index >= 0:
+                plan = current.epochs[epoch_index]
+                faults = (
+                    plan.signal_faults[:fault_index]
+                    + plan.signal_faults[fault_index + 1 :]
+                )
+                epochs = (
+                    current.epochs[:epoch_index]
+                    + (EpochPlan(signal_faults=faults),)
+                    + current.epochs[epoch_index + 1 :]
+                )
+                candidate = dataclasses.replace(current, epochs=epochs)
+                if self._accept(candidate):
+                    current = candidate
+                    changed = True
+                fault_index -= 1
+        return current, changed
+
+    def _drop_base_faults(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        index = len(current.base_faults) - 1
+        while index >= 0:
+            faults = current.base_faults[:index] + current.base_faults[index + 1 :]
+            candidate = dataclasses.replace(current, base_faults=faults)
+            if self._accept(candidate):
+                current = candidate
+                changed = True
+            index -= 1
+        return current, changed
+
+    def _drop_bugs(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        for attr in ("topo_bugs", "demand_bugs", "drain_bugs"):
+            index = len(getattr(current, attr)) - 1
+            while index >= 0:
+                bugs = getattr(current, attr)
+                candidate = dataclasses.replace(
+                    current, **{attr: bugs[:index] + bugs[index + 1 :]}
+                )
+                if self._accept(candidate):
+                    current = candidate
+                    changed = True
+                index -= 1
+        return current, changed
+
+    def _drop_link_health(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        for name in sorted(spec.link_health):
+            if name not in current.link_health:
+                continue
+            health = {
+                key: value
+                for key, value in current.link_health.items()
+                if key != name
+            }
+            candidate = dataclasses.replace(current, link_health=health)
+            if self._accept(candidate):
+                current = candidate
+                changed = True
+        return current, changed
+
+    def _clear_perturbations(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        p = spec.perturb
+        if not (p.reorder or p.duplicate or p.delay or p.drop or p.fail):
+            return spec, False
+        candidate = dataclasses.replace(spec, perturb=Perturbations())
+        if self._accept(candidate):
+            return candidate, True
+        return spec, False
+
+    def _drop_nodes(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        for name in sorted(spec.topology.node_names()):
+            if current.topology.num_nodes <= 3:
+                break
+            if not current.topology.has_node(name):
+                continue
+            if name in self._referenced_nodes(current):
+                continue
+            topology = self._topology_without(current.topology, name)
+            if topology is None:
+                continue
+            demand = current.demand.restricted_to(topology.node_names())
+            candidate = dataclasses.replace(
+                current, topology=topology, demand=demand
+            )
+            if self._accept(candidate):
+                current = candidate
+                changed = True
+        return current, changed
+
+    def _zero_demand_entries(self, spec: TimelineSpec) -> Tuple[TimelineSpec, bool]:
+        changed = False
+        current = spec
+        for src, dst, _rate in spec.demand.nonzero_entries():
+            if self._checks >= self.max_checks:
+                break
+            if current.demand[src, dst] == 0.0:  # lint: ignore[F1]
+                continue
+            demand = current.demand.copy()
+            demand[src, dst] = 0.0
+            candidate = dataclasses.replace(current, demand=demand)
+            if self._accept(candidate):
+                current = candidate
+                changed = True
+        return current, changed
+
+    # ------------------------------------------------------------------
+
+    def _referenced_nodes(self, spec: TimelineSpec) -> set:
+        """Every node a remaining fault/bug/link-health entry names."""
+        names = set()
+        for index in range(spec.num_epochs):
+            for fault in spec.faults_for_epoch(index):
+                for key, value in fault.to_params().items():
+                    names.update(self._names_from_param(key, value))
+        for bugs in (spec.topo_bugs, spec.demand_bugs, spec.drain_bugs):
+            for bug in bugs:
+                for field in dataclasses.fields(bug):
+                    value = getattr(bug, field.name)
+                    names.update(self._names_from_param(field.name, value))
+        for link_name in spec.link_health:
+            names.update(link_name.split("~"))
+        return names
+
+    @staticmethod
+    def _names_from_param(key: str, value: object) -> List[str]:
+        if value is None:
+            return []
+        if key in ("nodes", "missing_nodes"):
+            return [str(name) for name in sorted(value)]  # type: ignore[call-overload]
+        if key == "interfaces":
+            names: List[str] = []
+            for pair in value:  # type: ignore[union-attr]
+                names.extend(str(end) for end in pair)
+            return names
+        if key in ("links",):
+            names = []
+            for link_name in sorted(value):  # type: ignore[call-overload]
+                names.extend(str(link_name).split("~"))
+            return names
+        if key == "drop_pairs":
+            names = []
+            for pair in sorted(value):  # type: ignore[call-overload]
+                names.extend(str(end) for end in pair)
+            return names
+        return []
+
+    @staticmethod
+    def _topology_without(topology: Topology, name: str):
+        """``topology`` minus one node, or ``None`` if that disconnects it."""
+        reduced = Topology(topology.name)
+        for node in topology.nodes():
+            if node.name != name:
+                reduced.add_node(node)
+        for link in topology.links():
+            if name not in (link.a, link.b):
+                reduced.add_link(link)
+        if reduced.num_nodes < 2 or not reduced.is_connected():
+            return None
+        return reduced

@@ -1,0 +1,418 @@
+"""Serializable fault timelines: the fuzzer's exchange format.
+
+A :class:`TimelineSpec` is a self-contained, JSON-round-trippable
+description of a multi-epoch scenario: the topology, the measured
+demand, physical link health, the aggregation bugs wired into the
+control plane, per-epoch signal-fault schedules, and every ``World``
+construction knob.  It is the unit the fuzzer generates, the oracle
+executes, the shrinker minimizes, and the regression corpus stores --
+so the format must be **byte-stable**: serializing, parsing, and
+re-serializing a spec yields identical canonical JSON.  That is what
+lets reproducer files be diffed and pinned in version control without
+drift.
+
+Fault serialization rides on two registries (plain module-level
+tuples, keeping hodor-lint P2 happy):
+
+- :data:`SIGNAL_FAULT_TYPES` -- every :class:`~repro.faults.base.
+  SignalFault` with ``to_params``/``from_params`` support;
+- :data:`AGGREGATION_BUG_TYPES` -- the frozen bug dataclasses, encoded
+  generically from their fields (frozensets come out sorted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.config import HodorConfig
+from repro.faults.aggregation_faults import (
+    IgnoredDrain,
+    LivenessMisreport,
+    PartialTopologyStitch,
+    StaleTopology,
+)
+from repro.faults.base import AggregationBug, SignalFault
+from repro.faults.external_faults import (
+    DoubleCountedDemand,
+    PartialDemandAggregation,
+    ThrottledDemandMismatch,
+)
+from repro.faults.intent_faults import InconsistentLinkDrain, MissedDrain, SpuriousDrain
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    FormatChangeTelemetry,
+    MalformedTelemetry,
+    MissingTelemetry,
+    ProbeOutage,
+    RandomCounterCorruption,
+    UnitChangeTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+from repro.net.demand import DemandMatrix
+from repro.net.serialize import (
+    demand_from_dict,
+    demand_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.net.topology import Topology
+from repro.scenarios.world import World
+from repro.stream.feed import Perturbations
+from repro.telemetry.probes import LinkHealth
+
+__all__ = [
+    "SIGNAL_FAULT_TYPES",
+    "AGGREGATION_BUG_TYPES",
+    "SpecError",
+    "EpochPlan",
+    "TimelineSpec",
+    "encode_signal_fault",
+    "decode_signal_fault",
+    "encode_aggregation_bug",
+    "decode_aggregation_bug",
+    "timeline_from_world",
+    "canonical_json",
+]
+
+#: Format version stamped into every payload.
+SPEC_VERSION = 1
+
+#: Every serializable router/intent fault, in stable registry order.
+SIGNAL_FAULT_TYPES: Tuple[type, ...] = (
+    ZeroedDuplicateTelemetry,
+    MalformedTelemetry,
+    FormatChangeTelemetry,
+    UnitChangeTelemetry,
+    DelayedTelemetry,
+    MissingTelemetry,
+    WrongLinkStatus,
+    ProbeOutage,
+    RandomCounterCorruption,
+    CorrelatedCounterFault,
+    SpuriousDrain,
+    MissedDrain,
+    InconsistentLinkDrain,
+)
+
+#: Every serializable aggregation-bug configuration.
+AGGREGATION_BUG_TYPES: Tuple[type, ...] = (
+    PartialTopologyStitch,
+    LivenessMisreport,
+    IgnoredDrain,
+    StaleTopology,
+    PartialDemandAggregation,
+    DoubleCountedDemand,
+    ThrottledDemandMismatch,
+)
+
+
+class SpecError(ValueError):
+    """A payload could not be decoded into a timeline spec."""
+
+
+def _signal_fault_registry() -> Dict[str, type]:
+    return {cls.__name__: cls for cls in SIGNAL_FAULT_TYPES}
+
+
+def _aggregation_bug_registry() -> Dict[str, type]:
+    return {cls.__name__: cls for cls in AGGREGATION_BUG_TYPES}
+
+
+def encode_signal_fault(fault: SignalFault) -> Dict[str, Any]:
+    """``{"type": ..., "params": ...}`` for one signal fault."""
+    name = type(fault).__name__
+    if name not in _signal_fault_registry():
+        raise SpecError(f"unregistered signal fault type {name!r}")
+    return {"type": name, "params": fault.to_params()}
+
+
+def decode_signal_fault(payload: Mapping[str, Any]) -> SignalFault:
+    """Inverse of :func:`encode_signal_fault`."""
+    registry = _signal_fault_registry()
+    name = payload.get("type")
+    if name not in registry:
+        raise SpecError(f"unknown signal fault type {name!r}")
+    return registry[name].from_params(payload.get("params", {}))
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, frozenset):
+        return [_encode_value(item) for item in sorted(value)]
+    if isinstance(value, tuple):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def encode_aggregation_bug(bug: AggregationBug) -> Dict[str, Any]:
+    """Generic field-wise encoding of a frozen bug dataclass."""
+    name = type(bug).__name__
+    if name not in _aggregation_bug_registry():
+        raise SpecError(f"unregistered aggregation bug type {name!r}")
+    params = {
+        f.name: _encode_value(getattr(bug, f.name)) for f in dataclasses.fields(bug)
+    }
+    return {"type": name, "params": params}
+
+
+def decode_aggregation_bug(payload: Mapping[str, Any]) -> AggregationBug:
+    """Inverse of :func:`encode_aggregation_bug`."""
+    registry = _aggregation_bug_registry()
+    name = payload.get("type")
+    if name not in registry:
+        raise SpecError(f"unknown aggregation bug type {name!r}")
+    return registry[name](**payload.get("params", {}))
+
+
+def _encode_link_health(health: Mapping[str, LinkHealth]) -> Dict[str, Any]:
+    return {
+        name: {"up": health[name].up, "forwarding": health[name].forwarding}
+        for name in sorted(health)
+    }
+
+
+def _decode_link_health(payload: Mapping[str, Any]) -> Dict[str, LinkHealth]:
+    return {
+        name: LinkHealth(
+            up=bool(entry.get("up", True)),
+            forwarding=bool(entry.get("forwarding", True)),
+        )
+        for name, entry in sorted(payload.items())
+    }
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """The signal faults active during one epoch (on top of the base)."""
+
+    signal_faults: Tuple[SignalFault, ...] = ()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "signal_faults": [encode_signal_fault(f) for f in self.signal_faults],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "EpochPlan":
+        return cls(
+            signal_faults=tuple(
+                decode_signal_fault(entry)
+                for entry in payload.get("signal_faults", [])
+            ),
+        )
+
+
+@dataclass
+class TimelineSpec:
+    """One fully described multi-epoch scenario.
+
+    Attributes:
+        topology: The real network.
+        demand: Measured demand matrix.
+        epochs: Per-epoch fault schedules; ``len(epochs)`` is the
+            timeline length.
+        link_health: Physical ground truth per canonical link name.
+        base_faults: Signal faults active in *every* epoch (e.g. a
+            router silent for the whole timeline), applied before the
+            epoch's own faults.
+        topo_bugs / demand_bugs / drain_bugs: Aggregation bugs wired
+            into the control plane for the whole timeline.
+        hodor_config: Validation tunables (default config when None).
+        jitter_magnitude / probe_loss / use_probes / strategy /
+            k_paths / shards_per_pair / infer_faulty_from_counters /
+            self_correct / seed: The remaining ``World`` knobs.
+        epoch_spacing_s: Seconds between epoch timestamps.
+        perturb: Stream-delivery perturbations the streamed mode
+            replays the timeline under.  Only in-window perturbations
+            (reorder/duplicate) preserve oracle equality; the generator
+            never emits the others.
+        perturb_seed: Feed seed for the streamed mode.
+    """
+
+    topology: Topology
+    demand: DemandMatrix
+    epochs: Tuple[EpochPlan, ...]
+    link_health: Dict[str, LinkHealth] = field(default_factory=dict)
+    base_faults: Tuple[SignalFault, ...] = ()
+    topo_bugs: Tuple[AggregationBug, ...] = ()
+    demand_bugs: Tuple[AggregationBug, ...] = ()
+    drain_bugs: Tuple[AggregationBug, ...] = ()
+    hodor_config: Optional[HodorConfig] = None
+    jitter_magnitude: float = 0.01
+    probe_loss: float = 0.0
+    use_probes: bool = True
+    strategy: str = "ecmp"
+    k_paths: int = 4
+    shards_per_pair: int = 3
+    infer_faulty_from_counters: bool = False
+    self_correct: bool = False
+    seed: int = 0
+    epoch_spacing_s: float = 10.0
+    perturb: Perturbations = Perturbations()
+    perturb_seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def timestamp_for(self, index: int) -> float:
+        return float(index) * self.epoch_spacing_s
+
+    def faults_for_epoch(self, index: int) -> List[SignalFault]:
+        return list(self.base_faults) + list(self.epochs[index].signal_faults)
+
+    def world_for_epoch(self, index: int) -> World:
+        """A fully wired :class:`World` for one epoch of the timeline."""
+        return World(
+            self.topology,
+            self.demand,
+            link_health=dict(self.link_health),
+            signal_faults=self.faults_for_epoch(index),
+            topo_bugs=list(self.topo_bugs),
+            demand_bugs=list(self.demand_bugs),
+            drain_bugs=list(self.drain_bugs),
+            hodor_config=self.hodor_config,
+            jitter_magnitude=self.jitter_magnitude,
+            probe_loss=self.probe_loss,
+            use_probes=self.use_probes,
+            strategy=self.strategy,
+            k_paths=self.k_paths,
+            shards_per_pair=self.shards_per_pair,
+            seed=self.seed,
+            infer_faulty_from_counters=self.infer_faulty_from_counters,
+            self_correct=self.self_correct,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-safe dict form (see module docstring for contract)."""
+        config = self.hodor_config or HodorConfig()
+        return {
+            "version": SPEC_VERSION,
+            "topology": topology_to_dict(self.topology),
+            "demand": demand_to_dict(self.demand),
+            "epochs": [plan.to_payload() for plan in self.epochs],
+            "link_health": _encode_link_health(self.link_health),
+            "base_faults": [encode_signal_fault(f) for f in self.base_faults],
+            "topo_bugs": [encode_aggregation_bug(b) for b in self.topo_bugs],
+            "demand_bugs": [encode_aggregation_bug(b) for b in self.demand_bugs],
+            "drain_bugs": [encode_aggregation_bug(b) for b in self.drain_bugs],
+            "hodor_config": dataclasses.asdict(config),
+            "world": {
+                "jitter_magnitude": self.jitter_magnitude,
+                "probe_loss": self.probe_loss,
+                "use_probes": self.use_probes,
+                "strategy": self.strategy,
+                "k_paths": self.k_paths,
+                "shards_per_pair": self.shards_per_pair,
+                "infer_faulty_from_counters": self.infer_faulty_from_counters,
+                "self_correct": self.self_correct,
+                "seed": self.seed,
+            },
+            "epoch_spacing_s": self.epoch_spacing_s,
+            "perturb": dataclasses.asdict(self.perturb),
+            "perturb_seed": self.perturb_seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "TimelineSpec":
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        Raises:
+            SpecError: On unknown versions or unregistered fault types.
+        """
+        version = payload.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(f"unsupported spec version {version!r}")
+        try:
+            topology = topology_from_dict(payload["topology"])
+            demand = demand_from_dict(payload["demand"])
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"malformed spec payload: {exc}") from exc
+        world = payload.get("world", {})
+        return cls(
+            topology=topology,
+            demand=demand,
+            epochs=tuple(
+                EpochPlan.from_payload(entry) for entry in payload.get("epochs", [])
+            ),
+            link_health=_decode_link_health(payload.get("link_health", {})),
+            base_faults=tuple(
+                decode_signal_fault(entry) for entry in payload.get("base_faults", [])
+            ),
+            topo_bugs=tuple(
+                decode_aggregation_bug(entry) for entry in payload.get("topo_bugs", [])
+            ),
+            demand_bugs=tuple(
+                decode_aggregation_bug(entry)
+                for entry in payload.get("demand_bugs", [])
+            ),
+            drain_bugs=tuple(
+                decode_aggregation_bug(entry)
+                for entry in payload.get("drain_bugs", [])
+            ),
+            hodor_config=HodorConfig(**payload.get("hodor_config", {})),
+            jitter_magnitude=float(world.get("jitter_magnitude", 0.01)),
+            probe_loss=float(world.get("probe_loss", 0.0)),
+            use_probes=bool(world.get("use_probes", True)),
+            strategy=str(world.get("strategy", "ecmp")),
+            k_paths=int(world.get("k_paths", 4)),
+            shards_per_pair=int(world.get("shards_per_pair", 3)),
+            infer_faulty_from_counters=bool(
+                world.get("infer_faulty_from_counters", False)
+            ),
+            self_correct=bool(world.get("self_correct", False)),
+            seed=int(world.get("seed", 0)),
+            epoch_spacing_s=float(payload.get("epoch_spacing_s", 10.0)),
+            perturb=Perturbations(**payload.get("perturb", {})),
+            perturb_seed=int(payload.get("perturb_seed", 0)),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical (sorted-key, compact) JSON text of this spec."""
+        return canonical_json(self.to_payload())
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON: sorted keys, compact separators, no NaNs."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def timeline_from_world(world: World, epochs: int = 3) -> TimelineSpec:
+    """Describe an existing :class:`World` as an ``epochs``-long timeline.
+
+    The world's signal faults become base faults (active every epoch),
+    exactly reproducing how the differential harnesses replay catalog
+    scenarios: the same world, run for several epochs.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    return TimelineSpec(
+        topology=world.topology,
+        demand=world.measured_demand,
+        epochs=tuple(EpochPlan() for _ in range(epochs)),
+        link_health=dict(world.link_health),
+        base_faults=tuple(world.signal_faults),
+        topo_bugs=tuple(world.topo_bugs),
+        demand_bugs=tuple(world.demand_bugs),
+        drain_bugs=tuple(world.drain_bugs),
+        hodor_config=world.hodor_config,
+        jitter_magnitude=world.jitter_magnitude,
+        probe_loss=world.probe_loss,
+        use_probes=world.use_probes,
+        strategy=world.strategy,
+        k_paths=world.k_paths,
+        shards_per_pair=world.shards_per_pair,
+        infer_faulty_from_counters=world.infer_faulty_from_counters,
+        self_correct=world.self_correct,
+        seed=world.seed,
+    )

@@ -22,7 +22,15 @@ __all__ = [
 
 
 def topology_to_dict(topology: Topology) -> Dict[str, Any]:
-    """A JSON-safe description of a topology."""
+    """A JSON-safe description of a topology.
+
+    Nodes and links are written in the topology's own iteration order,
+    not sorted: seeded downstream passes (telemetry jitter, simulators)
+    consume randomness in that order, so an order-faithful round trip
+    is what makes a deserialized topology behave identically to the
+    original.  The output stays deterministic -- insertion order is
+    part of the topology.
+    """
     return {
         "name": topology.name,
         "nodes": [
@@ -33,7 +41,7 @@ def topology_to_dict(topology: Topology) -> Dict[str, Any]:
                 "drain_reason": node.drain_reason,
                 "vendor": node.vendor,
             }
-            for node in sorted(topology.nodes(), key=lambda n: n.name)
+            for node in topology.nodes()
         ],
         "links": [
             {
@@ -42,7 +50,7 @@ def topology_to_dict(topology: Topology) -> Dict[str, Any]:
                 "capacity": link.capacity,
                 "drained": link.drained,
             }
-            for link in sorted(topology.links(), key=lambda link: link.name)
+            for link in topology.links()
         ],
     }
 

@@ -37,6 +37,7 @@ from repro.faults.router_faults import (
     CorrelatedCounterFault,
     DelayedTelemetry,
     MalformedTelemetry,
+    MissingTelemetry,
     WrongLinkStatus,
     ZeroedDuplicateTelemetry,
 )
@@ -365,6 +366,105 @@ def _s18_b4_transpacific_cut(seed: int) -> World:
 
 
 # ----------------------------------------------------------------------
+# SD-WAN operations suite: routine fleet operations whose automation
+# misfires.  These are the day-2 choreographies (maintenance windows,
+# rolling upgrades, tunnel churn) where incorrect inputs are born, as
+# opposed to the Section 2 one-off bug reports above.
+# ----------------------------------------------------------------------
+
+
+def _s19_maintenance_choreography(seed: int) -> World:
+    # A maintenance window's drain choreography fires against the wrong
+    # window's router list: two healthy routers get drained with the
+    # automation's stock "faulty-link" justification, which hardened
+    # link evidence disproves.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[SpuriousDrain(["dnvr", "sttl"], claimed_reason="faulty-link")],
+        seed=seed,
+    )
+
+
+def _s20_rolling_restart(seed: int) -> World:
+    # A rolling-restart wave reaches chin; the router stops exporting
+    # telemetry entirely while it reboots, but was never drained first.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[MissingTelemetry(nodes=["chin"])],
+        seed=seed,
+    )
+
+
+def _s21_correlated_fiber_cuts(seed: int) -> World:
+    # A backhoe takes out a shared conduit: two fibers through kscy die
+    # together, and the optical gear's status bits keep claiming up at
+    # every endpoint.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        link_health={
+            "ipls~kscy": LinkHealth(up=False),
+            "atla~ipls": LinkHealth(up=False),
+        },
+        signal_faults=[
+            WrongLinkStatus(
+                [("ipls", "kscy"), ("kscy", "ipls"), ("atla", "ipls"), ("ipls", "atla")],
+                report_up=True,
+            )
+        ],
+        seed=seed,
+    )
+
+
+def _s22_asymmetric_latency(seed: int) -> World:
+    # A congested collection path delays one direction's telemetry:
+    # hstn's exports arrive minutes stale while its peers report fresh,
+    # so each affected link's two ends describe different epochs.
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[
+            DelayedTelemetry(
+                interfaces=[("hstn", "atla"), ("hstn", "kscy")],
+                delay_s=420.0,
+                drift=0.5,
+            )
+        ],
+        seed=seed,
+    )
+
+
+def _s23_tunnel_flaps(seed: int) -> World:
+    # Overlay tunnels re-establish after a key rollover; during the
+    # flap the west-coast links report oper-down although the underlay
+    # still forwards (counters and probes say alive).
+    return World(
+        abilene(),
+        _abilene_demand(seed),
+        signal_faults=[
+            WrongLinkStatus([("snva", "sttl"), ("losa", "snva")], report_up=False)
+        ],
+        seed=seed,
+    )
+
+
+def _s24_upgrade_window_gaps(seed: int) -> World:
+    # A staged collector upgrade on the B4-like WAN leaves gaps: the
+    # interfaces behind the eu-w1 collector shard export nothing for
+    # the window, and the aggregator ships the epoch anyway.
+    return World(
+        b4(),
+        _b4_demand(seed),
+        signal_faults=[
+            MissingTelemetry(interfaces=[("eu-w1", "us-e1"), ("eu-c1", "eu-w1")])
+        ],
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
 # Section 1: the legitimate disaster (false-positive probe)
 # ----------------------------------------------------------------------
 
@@ -602,6 +702,84 @@ _SCENARIOS: List[OutageScenario] = [
         expected_channels=(),
         expect_damage=False,
         builder=_s16_mass_drain_disaster,
+    ),
+    OutageScenario(
+        "S19",
+        "maintenance-window drain choreography misfires",
+        "4.3",
+        Category.ROUTER_INTENT,
+        "Drain choreography for a maintenance window targets the wrong "
+        "router list; healthy routers report drained claiming a faulty "
+        "link that hardened link evidence disproves.",
+        expect_detection=True,
+        expected_channels=("hardening", "drain"),
+        expect_damage=True,
+        builder=_s19_maintenance_choreography,
+    ),
+    OutageScenario(
+        "S20",
+        "rolling restart silences an undrained router",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A rolling-restart wave reboots a router that was never drained; "
+        "it exports nothing for the epoch and the aggregator stitches a "
+        "topology without it.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s20_rolling_restart,
+    ),
+    OutageScenario(
+        "S21",
+        "correlated fiber cuts misreported up",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A shared conduit cut kills two fibers at once while every "
+        "endpoint's status bits keep claiming up; the controller loads "
+        "two dead links simultaneously.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s21_correlated_fiber_cuts,
+    ),
+    OutageScenario(
+        "S22",
+        "asymmetric-latency telemetry (one-sided staleness)",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "A congested collection path delays one router's exports by "
+        "minutes; each affected link's two ends describe different "
+        "traffic epochs and their rates disagree.",
+        expect_detection=True,
+        expected_channels=("hardening",),
+        expect_damage=False,
+        builder=_s22_asymmetric_latency,
+    ),
+    OutageScenario(
+        "S23",
+        "tunnel re-establishment flaps report down",
+        "2.1",
+        Category.ROUTER_TELEMETRY,
+        "Overlay tunnels flap during a key rollover and report oper-down "
+        "while the underlay still forwards; the controller sheds live "
+        "capacity it actually needs.",
+        expect_detection=True,
+        expected_channels=("hardening", "topology"),
+        expect_damage=True,
+        builder=_s23_tunnel_flaps,
+    ),
+    OutageScenario(
+        "S24",
+        "upgrade-window telemetry gaps ship a partial epoch",
+        "2.2",
+        Category.ROUTER_TELEMETRY,
+        "A staged collector upgrade leaves an export gap behind one "
+        "shard; the aggregator ships the epoch with those interfaces "
+        "absent rather than holding the watermark.",
+        expect_detection=True,
+        expected_channels=("hardening",),
+        expect_damage=False,
+        builder=_s24_upgrade_window_gaps,
     ),
 ]
 

@@ -135,8 +135,23 @@ class World:
         self.measured_demand = measured_demand
         self.link_health: Dict[str, LinkHealth] = dict(link_health or {})
         self.signal_faults = list(signal_faults)
+        # Aggregation bugs and the remaining construction knobs are kept
+        # public so a World can be *described* -- the fuzzer's timeline
+        # serialization (repro.fuzz.spec) rebuilds equivalent Worlds from
+        # these attributes.
+        self.topo_bugs = list(topo_bugs)
+        self.demand_bugs = list(demand_bugs)
+        self.drain_bugs = list(drain_bugs)
         self.hodor_config = hodor_config or HodorConfig()
+        self.jitter_magnitude = jitter_magnitude
+        self.probe_loss = probe_loss
+        self.use_probes = use_probes
+        self.strategy = strategy
+        self.k_paths = k_paths
+        self.shards_per_pair = shards_per_pair
+        self.infer_faulty_from_counters = infer_faulty_from_counters
         self.self_correct = self_correct
+        self.seed = seed
         self._seed = seed
         self._strategy = strategy
         self._shards = shards_per_pair

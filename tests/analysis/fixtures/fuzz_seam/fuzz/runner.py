@@ -1,0 +1,16 @@
+"""Known-bad fuzz-core fixture: the exact hazards that would make a
+reproducer unreplayable.  A global-RNG draw picks a different case on
+every run, and a wall-clock case id ties the reproducer to the moment
+it was found -- both must be flagged now that ``fuzz/`` is core scope.
+"""
+
+import random
+import time
+
+
+def pick_case_seed():
+    return random.randrange(2**32)
+
+
+def stamp_case_id(prefix):
+    return f"{prefix}_{time.time()}"

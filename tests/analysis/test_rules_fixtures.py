@@ -113,6 +113,21 @@ def test_stream_event_loop_seam_is_per_file_not_per_directory():
     ]
 
 
+def test_fuzz_is_core_scope_and_seeded_rng_passes():
+    result = run_lint(FIXTURES / "fuzz_seam")
+    # fuzz/ is core scope: the global-RNG case seed and the wall-clock
+    # case id -- the two ways a reproducer stops replaying -- are
+    # flagged; the seeded-Random generator next to them is clean.
+    assert result.files_scanned == 2
+    assert _findings(result) == [
+        ("fuzz/runner.py", 12, "D1"),  # random.randrange() on global RNG
+        ("fuzz/runner.py", 16, "D1"),  # time.time() case id
+    ]
+    messages = "\n".join(d.message for d in result.diagnostics)
+    assert "global RNG" in messages
+    assert "wall-clock" in messages
+
+
 def test_f1_flags_annotated_division_and_literal_float_compares():
     result = run_lint(FIXTURES / "f1")
     assert _findings(result) == [

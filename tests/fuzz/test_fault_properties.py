@@ -1,0 +1,143 @@
+"""Property tests for fault composition (satellite of the fuzzer PR).
+
+Two invariants the fuzzer's whole design leans on:
+
+- injection is deterministic: the same fault list under the same seed
+  produces the identical corrupted snapshot and records, so a case
+  seed pins a case exactly;
+- injection records are truthful: every record names a signal that
+  existed in the pre-injection snapshot, so precision/recall scoring
+  against injection ground truth can trust them.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.base import FaultInjector, SignalFault
+from repro.faults.intent_faults import InconsistentLinkDrain, SpuriousDrain
+from repro.faults.router_faults import (
+    CorrelatedCounterFault,
+    DelayedTelemetry,
+    MalformedTelemetry,
+    MissingTelemetry,
+    ProbeOutage,
+    RandomCounterCorruption,
+    UnitChangeTelemetry,
+    WrongLinkStatus,
+    ZeroedDuplicateTelemetry,
+)
+from repro.net.demand import gravity_demand
+from repro.net.simulation import NetworkSimulator
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import Jitter
+from repro.telemetry.probes import ProbeEngine
+from repro.topologies.abilene import abilene
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+_TOPO = abilene()
+_EDGES = sorted(_TOPO.directed_edges())
+_NODES = sorted(_TOPO.node_names())
+
+_TRUTH = NetworkSimulator(
+    _TOPO, gravity_demand(_TOPO.node_names(), total=40.0, seed=5)
+).run()
+_SNAPSHOT = TelemetryCollector(
+    Jitter(0.01, seed=5), probe_engine=ProbeEngine(seed=5)
+).collect(_TRUTH)
+
+
+def _fault_strategy() -> st.SearchStrategy[SignalFault]:
+    edge_lists = st.lists(
+        st.sampled_from(_EDGES), min_size=1, max_size=3, unique=True
+    )
+    node_lists = st.lists(
+        st.sampled_from(_NODES), min_size=1, max_size=3, unique=True
+    )
+    return st.one_of(
+        edge_lists.map(lambda e: ZeroedDuplicateTelemetry(interfaces=e)),
+        edge_lists.map(lambda e: MalformedTelemetry(interfaces=e)),
+        edge_lists.map(
+            lambda e: UnitChangeTelemetry(interfaces=e, factor=1000.0)
+        ),
+        edge_lists.map(
+            lambda e: DelayedTelemetry(interfaces=e, delay_s=300.0, drift=0.5)
+        ),
+        edge_lists.map(lambda e: MissingTelemetry(interfaces=e)),
+        node_lists.map(lambda n: MissingTelemetry(nodes=n)),
+        st.tuples(edge_lists, st.booleans()).map(
+            lambda args: WrongLinkStatus(interfaces=args[0], report_up=args[1])
+        ),
+        node_lists.map(SpuriousDrain),
+        edge_lists.map(InconsistentLinkDrain),
+        node_lists.map(ProbeOutage),
+        node_lists.map(lambda n: CorrelatedCounterFault(nodes=n, factor=0.5)),
+        st.tuples(
+            st.integers(min_value=1, max_value=3),
+            st.sampled_from(("zero", "scale", "missing")),
+            st.sampled_from(("rx", "tx", "both")),
+        ).map(
+            lambda args: RandomCounterCorruption(
+                count=args[0], mode=args[1], side=args[2], factor=2.0
+            )
+        ),
+    )
+
+
+fault_lists = st.lists(_fault_strategy(), min_size=0, max_size=4)
+
+
+class TestInjectionDeterminism:
+    @given(faults=fault_lists, seed=seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_same_faults_same_seed_identical(self, faults, seed):
+        """Injecting twice is bit-for-bit identical: snapshot dataclass
+        equality plus identical record lists."""
+        first_snap, first_records = FaultInjector(faults, seed=seed).inject(_SNAPSHOT)
+        second_snap, second_records = FaultInjector(faults, seed=seed).inject(_SNAPSHOT)
+        assert first_snap == second_snap
+        assert first_records == second_records
+
+    @given(faults=fault_lists, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_input_snapshot_never_mutated(self, faults, seed):
+        pristine = _SNAPSHOT.copy()
+        FaultInjector(faults, seed=seed).inject(_SNAPSHOT)
+        assert _SNAPSHOT == pristine
+
+
+class TestInjectionRecordsTruthful:
+    @given(faults=fault_lists, seed=seeds)
+    @settings(max_examples=80, deadline=None)
+    def test_records_name_existing_signals(self, faults, seed):
+        """Every record's (signal, node[, peer]) resolves to a signal
+        present in the pre-injection snapshot."""
+        _, records = FaultInjector(faults, seed=seed).inject(_SNAPSHOT)
+        containers = {
+            "rx": _SNAPSHOT.counters,
+            "tx": _SNAPSHOT.counters,
+            "reading": _SNAPSHOT.counters,
+            "oper_status": _SNAPSHOT.link_status,
+            "drain": _SNAPSHOT.drains,
+            "link_drain": _SNAPSHOT.link_drains,
+            "drops": _SNAPSHOT.drops,
+            "probe": _SNAPSHOT.probes,
+        }
+        nodes = set(_SNAPSHOT.nodes())
+        for record in records:
+            assert record.signal in containers, record
+            container = containers[record.signal]
+            if record.peer is not None:
+                assert record.interface_key in container, record
+            else:
+                assert record.node in nodes, record
+
+    @given(faults=fault_lists, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_records_attribute_the_right_fault(self, faults, seed):
+        _, records = FaultInjector(faults, seed=seed).inject(_SNAPSHOT)
+        applied_names = {type(fault).__name__ for fault in faults}
+        for record in records:
+            assert record.fault in applied_names

@@ -1,0 +1,87 @@
+"""The case generator: a seed IS the case.
+
+Regeneration must be exact (the shrinker and regression corpus pin
+case seeds), generated faults must reference elements that exist in
+the generated topology, and generated stream perturbations must stay
+inside the oracle's lateness window.
+"""
+
+import pytest
+
+from repro.fuzz import CaseGenerator
+
+SEEDS = tuple(range(30))
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CaseGenerator()
+
+
+class TestDeterminism:
+    def test_same_seed_same_canonical_payload(self, generator):
+        for seed in SEEDS:
+            first = generator.generate(seed).canonical_json()
+            second = generator.generate(seed).canonical_json()
+            assert first == second, f"seed {seed} not reproducible"
+
+    def test_different_seeds_differ(self, generator):
+        payloads = {generator.generate(seed).canonical_json() for seed in SEEDS}
+        assert len(payloads) > len(SEEDS) // 2
+
+
+class TestGeneratedCasesAreWellFormed:
+    def test_faults_reference_existing_elements(self, generator):
+        for seed in SEEDS:
+            spec = generator.generate(seed)
+            nodes = set(spec.topology.node_names())
+            edges = set(spec.topology.directed_edges())
+            for index in range(spec.num_epochs):
+                for fault in spec.faults_for_epoch(index):
+                    params = fault.to_params()
+                    for node in params.get("nodes") or ():
+                        assert node in nodes, (seed, fault, node)
+                    for pair in params.get("interfaces") or ():
+                        assert tuple(pair) in edges, (seed, fault, pair)
+
+    def test_link_health_references_existing_links(self, generator):
+        for seed in SEEDS:
+            spec = generator.generate(seed)
+            link_names = {link.name for link in spec.topology.links()}
+            for name in spec.link_health:
+                assert name in link_names, (seed, name)
+
+    def test_sizes_within_configured_bounds(self, generator):
+        for seed in SEEDS:
+            spec = generator.generate(seed)
+            assert 4 <= spec.topology.num_nodes <= 10
+            assert 2 <= spec.num_epochs <= 4
+            for plan in spec.epochs:
+                assert len(plan.signal_faults) <= 3
+
+    def test_topology_always_connected(self, generator):
+        for seed in SEEDS:
+            assert generator.generate(seed).topology.is_connected(), seed
+
+    def test_perturbations_stay_in_window(self, generator):
+        """Only in-window reorder/duplicate are generated -- delay,
+        drop, and fail would legitimately change streamed results."""
+        for seed in SEEDS:
+            perturb = generator.generate(seed).perturb
+            assert perturb.delay == 0.0
+            assert perturb.drop == 0.0
+            assert perturb.fail == 0.0
+            if perturb.reorder:
+                assert perturb.reorder_jitter_s < 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CaseGenerator(min_nodes=2)
+        with pytest.raises(ValueError):
+            CaseGenerator(min_nodes=6, max_nodes=5)
+        with pytest.raises(ValueError):
+            CaseGenerator(min_epochs=0)
+        with pytest.raises(ValueError):
+            CaseGenerator(min_epochs=3, max_epochs=2)

@@ -1,0 +1,71 @@
+"""Tier-1 replay of the fuzzer's regression corpus.
+
+Every reproducer under ``tests/fuzz/regressions/`` runs through the
+tri-modal oracle and must pass: a ``divergence``/``crash`` entry is a
+bug that was fixed and must stay fixed, a ``pinned`` entry is coverage
+that must stay stable.  The corpus files themselves must stay
+byte-canonical so committed reproducers never drift.
+
+New entries land here automatically: ``python -m repro fuzz`` writes
+minimized reproducers into this directory when it finds a failure.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import TriModalOracle, canonical_json, load_corpus, load_reproducer
+from repro.fuzz.corpus import reproducer_scenario
+
+CORPUS_DIR = Path(__file__).parent / "regressions"
+CORPUS = load_corpus(CORPUS_DIR)
+IDS = [entry.reproducer_id for entry in CORPUS]
+
+
+def test_corpus_is_not_empty():
+    """The shipped corpus carries the pinned coverage cases."""
+    assert len(CORPUS) >= 3
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+class TestCorpusReplay:
+    def test_oracle_passes(self, entry):
+        result = TriModalOracle().run(entry.spec)
+        assert result.passed, (
+            f"{entry.reproducer_id} ({entry.kind}) regressed: {result.detail()}"
+        )
+
+    def test_file_is_byte_canonical(self, entry):
+        path = CORPUS_DIR / f"repro_{entry.reproducer_id}.json"
+        on_disk = path.read_text(encoding="utf-8")
+        assert on_disk == canonical_json(entry.to_payload()) + "\n"
+
+    def test_regeneration_from_case_seed_matches(self, entry):
+        """A pinned (unshrunk) entry must equal what its case seed
+        regenerates -- the seed really is the case."""
+        if entry.kind != "pinned":
+            pytest.skip("shrunk reproducers no longer match their seed")
+        from repro.fuzz import CaseGenerator
+
+        regenerated = CaseGenerator().generate(entry.case_seed)
+        assert regenerated.canonical_json() == entry.spec.canonical_json()
+
+    def test_promotes_to_catalog_scenario(self, entry):
+        scenario = reproducer_scenario(entry)
+        assert scenario.scenario_id == f"FZ-{entry.reproducer_id}"
+        world = scenario.build(seed=0)
+        outcome = world.run_epoch()
+        assert outcome.report is not None
+
+
+def test_load_reproducer_rejects_garbage(tmp_path):
+    from repro.fuzz import SpecError
+
+    bad = tmp_path / "repro_bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(SpecError):
+        load_reproducer(bad)
+
+
+def test_load_corpus_on_missing_directory_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []

@@ -1,0 +1,53 @@
+"""Every catalog scenario round-trips through the fuzzer's timeline
+serialization byte-stably (satellite of the fuzzer PR).
+
+``timeline_from_world`` must be able to describe any world the catalog
+can build, and ``to_payload``/``from_payload`` must be a lossless,
+canonical pair: serializing the rebuilt timeline reproduces the exact
+bytes, and the rebuilt world behaves identically (same validation
+report) to the original.
+"""
+
+import pytest
+
+from repro.engine import compare_reports
+from repro.fuzz import TimelineSpec, timeline_from_world
+from repro.scenarios.catalog import all_scenarios
+
+SCENARIOS = all_scenarios()
+SEED = 1
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=[s.scenario_id for s in SCENARIOS])
+class TestCatalogRoundTrip:
+    def test_payload_bytes_stable(self, scenario):
+        spec = timeline_from_world(scenario.build(seed=SEED), epochs=3)
+        encoded = spec.canonical_json()
+        rebuilt = TimelineSpec.from_payload(spec.to_payload())
+        assert rebuilt.canonical_json() == encoded
+
+    def test_rebuilt_world_behaves_identically(self, scenario):
+        original = scenario.build(seed=SEED)
+        spec = TimelineSpec.from_payload(
+            timeline_from_world(original, epochs=1).to_payload()
+        )
+        rebuilt = spec.world_for_epoch(0)
+        want = original.run_epoch(timestamp=0.0)
+        got = rebuilt.run_epoch(timestamp=0.0)
+        assert compare_reports(want.report, got.report) == []
+        assert got.detected == want.detected
+        assert got.damaged == want.damaged
+
+
+class TestTimelineFromWorld:
+    def test_world_faults_become_base_faults(self):
+        world = SCENARIOS[0].build(seed=SEED)
+        spec = timeline_from_world(world, epochs=3)
+        assert spec.num_epochs == 3
+        assert len(spec.base_faults) == len(world.signal_faults)
+        assert all(not plan.signal_faults for plan in spec.epochs)
+
+    def test_rejects_empty_timeline(self):
+        world = SCENARIOS[0].build(seed=SEED)
+        with pytest.raises(ValueError):
+            timeline_from_world(world, epochs=0)

@@ -15,7 +15,7 @@ SCENARIOS = all_scenarios()
 
 class TestCatalogStructure:
     def test_catalog_size(self):
-        assert len(SCENARIOS) == 18
+        assert len(SCENARIOS) == 24
 
     def test_unique_ids(self):
         ids = [s.scenario_id for s in SCENARIOS]
