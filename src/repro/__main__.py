@@ -189,7 +189,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    totals = EngineStats(shards=args.shards, mode=args.mode)
+    totals = EngineStats(shards=args.shards, mode=args.mode, backend=args.backend)
     rows = []
     mismatched = 0
     for scenario in scenarios:
@@ -203,6 +203,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             config=world.hodor_config,
             shards=args.shards,
             mode=args.mode,
+            backend=args.backend,
             tracer=tracer,
             metrics=registry,
         ) as engine:
@@ -304,6 +305,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 perturb=perturb,
                 mode=args.mode,
+                backend=args.backend,
                 lateness_s=args.lateness,
                 queue_size=args.queue_size,
                 backpressure=args.backpressure,
@@ -374,6 +376,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             world.topology,
             config=world.hodor_config,
             mode=args.mode,
+            backend=args.backend,
             metrics=registry,
         ) as engine:
             pipeline = StreamPipeline(
@@ -669,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="epoch path: recompute everything or reuse unchanged verdicts",
     )
     engine.add_argument(
+        "--backend",
+        choices=("python", "vector"),
+        default="python",
+        help="evaluation backend: per-entity units or array-compiled epochs",
+    )
+    engine.add_argument(
         "--metrics", action="store_true", help="also print exporter-style metrics"
     )
     engine.add_argument(
@@ -712,6 +721,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("full", "incremental"),
         default="full",
         help="engine epoch path for the streamed validation",
+    )
+    stream.add_argument(
+        "--backend",
+        choices=("python", "vector"),
+        default="python",
+        help="evaluation backend: per-entity units or array-compiled epochs",
     )
     stream.add_argument(
         "--lateness",

@@ -48,6 +48,14 @@ class LintConfig:
             would make reproducers unreplayable.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
+        vector_path: POSIX-relative path (from the lint root) of the
+            array-compiled backend module.  C1 extends to three-way
+            parity: every per-entity unit must also be accounted for
+            there -- dispatched on the exceptional path, or named in
+            the module's replacement manifest (its docstring) where
+            the unit is replicated as array math.  Missing module ==
+            vacuously satisfied, so fixture trees without a vector
+            backend stay clean.
         enabled_codes: Rule codes to run; empty means all.
         wall_clock_allowed: Dotted call names exempt from the D1
             wall-clock check.  ``perf_counter``/``monotonic`` feed
@@ -69,6 +77,7 @@ class LintConfig:
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
     core_dirs: FrozenSet[str] = frozenset({"core", "engine", "fuzz", "obs", "stream"})
     incremental_path: str = "engine/incremental.py"
+    vector_path: str = "core/vector/backend.py"
     enabled_codes: FrozenSet[str] = frozenset()
     wall_clock_allowed: FrozenSet[str] = frozenset(
         {"time.perf_counter", "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns"}

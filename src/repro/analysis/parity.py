@@ -1,22 +1,30 @@
-"""C1: full/incremental registry parity.
+"""C1: full/incremental/vector registry parity.
 
-The incremental engine is only equivalent to the full pipeline if the
-two agree on *coverage*: every per-entity unit the serial stages run
-must be wired into :mod:`repro.engine.incremental`, and everything the
-incremental path dispatches must exist as a real unit.  A stage added
-to one side but not the other silently diverges the reports -- the
-exact bug class the differential harness can only catch per-input,
-while this rule catches it structurally on every commit.
+The incremental engine and the array-compiled vector backend are only
+equivalent to the full pipeline if all three agree on *coverage*: every
+per-entity unit the serial stages run must be wired into
+:mod:`repro.engine.incremental` and accounted for in
+:mod:`repro.core.vector.backend`, and everything those paths dispatch
+must exist as a real unit.  A stage added to one side but not the
+others silently diverges the reports -- the exact bug class the
+differential harness can only catch per-input, while this rule catches
+it structurally on every commit.
 
-Three checks, all driven by :class:`~repro.analysis.config.LintConfig`
-(``entity_patterns`` + ``incremental_path``):
+Checks, all driven by :class:`~repro.analysis.config.LintConfig`
+(``entity_patterns`` + ``incremental_path`` + ``vector_path``):
 
 1. every entity-pattern function defined under a core directory is
    referenced in the incremental module;
 2. every such function is also referenced inside its *own* module
    beyond the ``def`` itself (the serial path must call it too);
 3. every entity-pattern attribute/name the incremental module
-   references resolves to a defined unit somewhere in the project.
+   references resolves to a defined unit somewhere in the project;
+4. every entity-pattern function appears in the vector backend's
+   *source text* -- as an exceptional-path dispatch, or named in the
+   replacement manifest (the module docstring) where the unit has an
+   array-math twin instead of a call site;
+5. every entity-pattern AST reference the vector backend makes
+   resolves to a defined unit (no ghost dispatches).
 """
 
 from __future__ import annotations
@@ -35,13 +43,14 @@ class RegistryParityRule:
     """Project-scoped C1 rule (runs once over every module together)."""
 
     code = "C1"
-    title = "per-entity unit missing from the full or incremental registry"
+    title = "per-entity unit missing from the full, incremental, or vector registry"
     severity = Severity.ERROR
     rationale = (
-        "Full and incremental validation must cover the same checks: a "
-        "per-entity unit that only the serial pipeline runs (or only the "
-        "incremental path dispatches) silently breaks report parity in a "
-        "way no per-input differential test is guaranteed to hit."
+        "Full, incremental, and vector validation must cover the same "
+        "checks: a per-entity unit that only some of the paths run (or a "
+        "dispatch with no defined unit behind it) silently breaks report "
+        "parity in a way no per-input differential test is guaranteed to "
+        "hit."
     )
 
     def check(
@@ -86,14 +95,43 @@ class RegistryParityRule:
                     "per-entity unit with that name is defined in the core",
                 )
 
+        vector = self._find_module(modules, config.vector_path)
+        if vector is None:
+            return
+        for name, (module, node) in sorted(defs.items()):
+            if name not in vector.source:
+                yield self._diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"per-entity unit {name}() is unaccounted for in "
+                    f"{config.vector_path}; dispatch it on the exceptional "
+                    "path or name it in the replacement manifest",
+                )
+        for name, (lineno, col) in sorted(self._entity_refs(vector, config).items()):
+            if name not in defs:
+                yield self._diagnostic(
+                    vector,
+                    lineno,
+                    col,
+                    f"vector backend references {name}(), but no per-entity "
+                    "unit with that name is defined in the core",
+                )
+
     # ------------------------------------------------------------------
 
     @staticmethod
     def _find_incremental(
         modules: List[ModuleUnderLint], config: LintConfig
     ) -> Optional[ModuleUnderLint]:
+        return RegistryParityRule._find_module(modules, config.incremental_path)
+
+    @staticmethod
+    def _find_module(
+        modules: List[ModuleUnderLint], relpath: str
+    ) -> Optional[ModuleUnderLint]:
         for module in modules:
-            if module.relpath == config.incremental_path:
+            if module.relpath == relpath:
                 return module
         return None
 

@@ -192,6 +192,14 @@ def engine_registry(
         reused.labels(stage=stage).set_to(stats.entities_reused[stage])
 
     reg.gauge("engine_shards", "Configured shard count.").set(stats.shards)
+    # Info-style gauge: one sample, value 1, the backend as a label.
+    # Deliberately absent from the legacy flat view -- the PR-3 golden
+    # payloads pin that key set.
+    reg.gauge(
+        "engine_backend_info",
+        "Active evaluation backend (value 1 on the active label).",
+        labels=("backend",),
+    ).labels(backend=getattr(stats, "backend", "python")).set(1.0)
     reg.gauge(
         "engine_cache_hit_rate", "Fraction of epochs served from the topology cache."
     ).set(stats.cache_hit_rate)

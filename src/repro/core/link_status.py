@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 from repro.core.config import HodorConfig, RiskProfile
 from repro.core.signals import HardenedLinkStatus, LinkVerdict
 
-__all__ = ["LinkEvidence", "combine_link_evidence"]
+__all__ = ["LinkEvidence", "combine_link_evidence", "combine_codes"]
 
 
 class LinkEvidence:
@@ -98,7 +98,22 @@ def combine_link_evidence(
         else None
     )
     probe = evidence.probe_consensus() if config.use_probes else "unknown"
+    return combine_codes(status, active, probe, config)
 
+
+def combine_codes(
+    status: str, active: Optional[bool], probe: str, config: HodorConfig
+) -> HardenedLinkStatus:
+    """The truth-table tail on already-summarised evidence codes.
+
+    ``status`` is a consensus code (``up``/``down``/``conflict``/
+    ``unknown``), ``active`` a tri-state counter summary, ``probe`` a
+    probe-consensus code.  Factored out of
+    :func:`combine_link_evidence` so backends that summarise evidence
+    differently (e.g. the array-compiled vector backend, which interns
+    one :class:`HardenedLinkStatus` per distinct code triple) share the
+    exact combination logic rather than re-deriving it.
+    """
     notes: List[str] = [f"status:{status}"]
     if active is not None:
         notes.append("counters:active" if active else "counters:idle")

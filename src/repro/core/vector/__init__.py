@@ -1,0 +1,11 @@
+"""Array-compiled validation backend.
+
+``model`` compiles a topology once into indexed numpy/scipy arrays;
+``backend`` evaluates epochs on the compiled model with the serial
+per-entity units as exception path and differential oracle.
+"""
+
+from repro.core.vector.backend import VectorValidator
+from repro.core.vector.model import VectorModel
+
+__all__ = ["VectorModel", "VectorValidator"]

@@ -1,0 +1,214 @@
+"""Array-compiled topology model for the vector backend.
+
+A :class:`VectorModel` is the one-time compilation of a
+:class:`~repro.engine.cache.TopologyCache` into indexed numpy/scipy
+structures, built once per topology fingerprint and reused every epoch
+(see :class:`~repro.engine.cache.VectorModelStore`):
+
+- **slot maps**: every signal family the pipeline reads gets a dense
+  integer slot universe -- interface counters are laid out as the
+  directed edges followed by one external slot per router, so the two
+  measurements of one traffic direction (tx at the source, rx at the
+  reverse interface) become a *paired-column* gather
+  (``cnt_tx[edge]`` vs ``cnt_rx[edge_rev[edge]]``) and R1 symmetry is
+  one elementwise comparison over all edges at once;
+- **incidence matrices in CSR form**: the prebuilt
+  :class:`~repro.core.flow_repair.ConservationSystem` is lowered to a
+  sparse ``(routers x variables)`` incidence matrix over the canonical
+  variable layout ``[edges | ext_in | ext_out | drops]``; its
+  absolute-value form (and the edge/link restrictions of it) turns the
+  per-router reductions of the serial path -- "does this router carry
+  traffic", "how many usable links touch it" -- into sparse
+  matrix-vector products;
+- **iteration-order indices**: gather arrays mapping the checker's
+  sorted orders onto the insertion-order arrays, so assembly can walk
+  the exact serial orders without per-entity dict lookups.
+
+The model holds *structure only* -- no per-epoch values and no
+references to the per-entity units; the epoch-time array work lives in
+:mod:`repro.core.vector.backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.net.topology import EXTERNAL_PEER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.cache import TopologyCache
+
+__all__ = ["VectorModel"]
+
+
+@dataclass(frozen=True)
+class VectorModel:
+    """Every topology-derived array structure one vector epoch needs.
+
+    Attributes:
+        cache: The source topology cache (shared with the serial path).
+        num_nodes: Router count ``N``.
+        num_links: Link count ``L``.
+        num_edges: Directed-edge count ``E`` (``2 * L``).
+        counter_slot: Interface-counter key -> dense slot.  The first
+            ``E`` slots are the directed edges in cache order; the next
+            ``N`` slots are the routers' external interfaces.
+        num_counter_slots: ``E + N``.
+        ext_slots: Per router (insertion order), the slot of its
+            external-interface counter.
+        edge_index: Directed edge -> edge index (cache order).
+        edge_rev: Per directed edge, the index of the reversed edge
+            (the paired column for R1 symmetry).
+        node_slot: Router name -> node index (insertion order).
+        link_ab: Per link (cache order), the edge index of ``(a, b)``.
+        link_ba: Per link, the edge index of ``(b, a)``.
+        link_names: Canonical link names in cache order.
+        edge_subjects: ``"src->dst"`` per directed edge (finding
+            subjects, precomputed once).
+        edge_incidence_abs: CSR ``(N, E)``; entry 1 when the edge
+            touches the router (both endpoints).  The edge-column
+            restriction of ``|conservation_abs|``.
+        link_incidence_abs: CSR ``(N, L)``; entry 1 when the link
+            touches the router.
+        node_degree: Per router, how many links touch it.
+        conservation_abs: CSR ``(N, E + 3N)`` -- the conservation
+            incidence matrix ``|M|`` over the canonical variable layout
+            ``[edges | ext_in | ext_out | drops]``, lowered from
+            :class:`~repro.core.flow_repair.ConservationSystem`.
+        sorted_node_idx: Per sorted router, its insertion-order index.
+        sorted_link_idx: Per sorted link name, its cache-order index.
+    """
+
+    cache: "TopologyCache"
+    num_nodes: int
+    num_links: int
+    num_edges: int
+    counter_slot: Dict[Tuple[str, str], int]
+    num_counter_slots: int
+    ext_slots: np.ndarray
+    edge_index: Dict[Tuple[str, str], int]
+    edge_rev: np.ndarray
+    node_slot: Dict[str, int]
+    link_ab: np.ndarray
+    link_ba: np.ndarray
+    link_names: Tuple[str, ...]
+    edge_subjects: Tuple[str, ...]
+    edge_incidence_abs: sparse.csr_matrix
+    link_incidence_abs: sparse.csr_matrix
+    node_degree: np.ndarray
+    conservation_abs: sparse.csr_matrix
+    sorted_node_idx: np.ndarray
+    sorted_link_idx: np.ndarray
+
+    @classmethod
+    def from_cache(cls, cache: "TopologyCache") -> "VectorModel":
+        """Compile one topology cache into the array model."""
+        nodes = cache.nodes
+        edges = cache.directed_edges
+        links = cache.links
+        num_nodes = len(nodes)
+        num_edges = len(edges)
+        num_links = len(links)
+
+        node_slot = {node: i for i, node in enumerate(nodes)}
+        edge_index = {edge: i for i, edge in enumerate(edges)}
+        edge_rev = np.array(
+            [edge_index[(dst, src)] for src, dst in edges], dtype=np.int64
+        ).reshape(num_edges)
+
+        counter_slot: Dict[Tuple[str, str], int] = dict(edge_index)
+        ext_slots = np.empty(num_nodes, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            slot = num_edges + i
+            counter_slot[(node, EXTERNAL_PEER)] = slot
+            ext_slots[i] = slot
+
+        link_ab = np.array(
+            [edge_index[(link.a, link.b)] for link in links], dtype=np.int64
+        ).reshape(num_links)
+        link_ba = np.array(
+            [edge_index[(link.b, link.a)] for link in links], dtype=np.int64
+        ).reshape(num_links)
+
+        # |M| restricted to edge columns: each directed edge touches the
+        # equations of both its endpoints.
+        edge_rows = np.empty(2 * num_edges, dtype=np.int64)
+        edge_cols = np.empty(2 * num_edges, dtype=np.int64)
+        for e, (src, dst) in enumerate(edges):
+            edge_rows[2 * e] = node_slot[src]
+            edge_rows[2 * e + 1] = node_slot[dst]
+            edge_cols[2 * e] = e
+            edge_cols[2 * e + 1] = e
+        edge_incidence_abs = sparse.csr_matrix(
+            (np.ones(2 * num_edges), (edge_rows, edge_cols)),
+            shape=(num_nodes, num_edges),
+        )
+
+        link_rows = np.empty(2 * num_links, dtype=np.int64)
+        link_cols = np.empty(2 * num_links, dtype=np.int64)
+        for li, link in enumerate(links):
+            link_rows[2 * li] = node_slot[link.a]
+            link_rows[2 * li + 1] = node_slot[link.b]
+            link_cols[2 * li] = li
+            link_cols[2 * li + 1] = li
+        link_incidence_abs = sparse.csr_matrix(
+            (np.ones(2 * num_links), (link_rows, link_cols)),
+            shape=(num_nodes, num_links),
+        )
+        node_degree = np.asarray(link_incidence_abs.sum(axis=1)).reshape(num_nodes)
+
+        # Lower the prebuilt conservation system to CSR over the
+        # canonical variable layout [edges | ext_in | ext_out | drops].
+        var_index: Dict[Tuple[str, ...], int] = {}
+        for e, (src, dst) in enumerate(edges):
+            var_index[("edge", src, dst)] = e
+        for i, node in enumerate(nodes):
+            var_index[("ext_in", node)] = num_edges + i
+            var_index[("ext_out", node)] = num_edges + num_nodes + i
+            var_index[("drop", node)] = num_edges + 2 * num_nodes + i
+        rows, cols, data = [], [], []
+        for key, _field_id, _lookup, entry_rows in cache.conservation.entries:
+            col = var_index[key]
+            for row, coefficient in entry_rows:
+                rows.append(row)
+                cols.append(col)
+                data.append(abs(coefficient))
+        conservation_abs = sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(num_nodes, num_edges + 3 * num_nodes),
+        )
+
+        sorted_node_idx = np.array(
+            [node_slot[node] for node in cache.sorted_nodes], dtype=np.int64
+        ).reshape(num_nodes)
+        link_pos = {link.name: i for i, link in enumerate(links)}
+        sorted_link_idx = np.array(
+            [link_pos[name] for name in cache.sorted_link_names], dtype=np.int64
+        ).reshape(num_links)
+
+        return cls(
+            cache=cache,
+            num_nodes=num_nodes,
+            num_links=num_links,
+            num_edges=num_edges,
+            counter_slot=counter_slot,
+            num_counter_slots=num_edges + num_nodes,
+            ext_slots=ext_slots,
+            edge_index=edge_index,
+            edge_rev=edge_rev,
+            node_slot=node_slot,
+            link_ab=link_ab,
+            link_ba=link_ba,
+            link_names=tuple(link.name for link in links),
+            edge_subjects=tuple(f"{src}->{dst}" for src, dst in edges),
+            edge_incidence_abs=edge_incidence_abs,
+            link_incidence_abs=link_incidence_abs,
+            node_degree=node_degree,
+            conservation_abs=conservation_abs,
+            sorted_node_idx=sorted_node_idx,
+            sorted_link_idx=sorted_link_idx,
+        )

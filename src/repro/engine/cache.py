@@ -38,6 +38,7 @@ __all__ = [
     "structural_key",
     "TopologyCache",
     "TopologyCacheStore",
+    "VectorModelStore",
 ]
 
 
@@ -168,3 +169,48 @@ class TopologyCacheStore:
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
         return cache
+
+
+class VectorModelStore:
+    """An LRU store of compiled vector models, one per topology.
+
+    The vector backend's compilation step
+    (:meth:`repro.core.vector.model.VectorModel.from_cache`) lowers a
+    :class:`TopologyCache` into indexed numpy arrays and CSR incidence
+    matrices.  Like the topology caches themselves, the compiled model
+    is a pure function of the topology, so entries are keyed by the
+    cache fingerprint and an unchanged topology compiles exactly once
+    per store lifetime.
+
+    Args:
+        max_entries: Evict least-recently-used entries beyond this.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, cache: TopologyCache):
+        """The compiled model for this cache, compiling on first sight."""
+        model = self._entries.get(cache.fingerprint)
+        if model is not None:
+            self.hits += 1
+            self._entries.move_to_end(cache.fingerprint)
+            return model
+        self.misses += 1
+        # Deferred so importing the engine does not pull numpy/scipy in
+        # (and so the vector package may import this module freely).
+        from repro.core.vector.model import VectorModel
+
+        model = VectorModel.from_cache(cache)
+        self._entries[cache.fingerprint] = model
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+        return model

@@ -42,7 +42,7 @@ from repro.core.hardening import Hardener
 from repro.core.pipeline import Hodor
 from repro.core.report import ValidationReport
 from repro.core.topology_check import TopologyChecker
-from repro.engine.cache import TopologyCache, TopologyCacheStore
+from repro.engine.cache import TopologyCache, TopologyCacheStore, VectorModelStore
 from repro.engine.incremental import IncrementalValidator
 from repro.engine.sharding import ShardMap
 from repro.engine.stats import STAGES, EngineStats
@@ -105,6 +105,13 @@ class ValidationEngine:
             epoch and reuses every per-entity verdict whose inputs did
             not change (see :mod:`repro.engine.incremental`).  Both
             produce identical reports.
+        backend: ``"python"`` runs the per-entity reference units;
+            ``"vector"`` evaluates epochs on the array-compiled
+            topology model (see :mod:`repro.core.vector`), which is
+            internally delta-aware, so both modes route to the same
+            vector validator.  All four mode/backend combinations
+            produce identical reports (the differential harness and the
+            fuzz oracle enforce this).
         tracer: Optional :class:`repro.obs.trace.Tracer`.  When given,
             every epoch records a span tree (epoch -> stage -> shard
             slices, plus per-verdict provenance instants).  Defaults to
@@ -116,6 +123,7 @@ class ValidationEngine:
     """
 
     _MODES = ("full", "incremental")
+    _BACKENDS = ("python", "vector")
 
     def __init__(
         self,
@@ -124,16 +132,22 @@ class ValidationEngine:
         shards: int = 1,
         cache_store: Optional[TopologyCacheStore] = None,
         mode: str = "full",
+        backend: str = "python",
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if mode not in self._MODES:
             raise ValueError(f"unknown engine mode {mode!r}; expected one of {self._MODES}")
+        if backend not in self._BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {backend!r}; expected one of {self._BACKENDS}"
+            )
         self._reference = reference
         self._config = config or HodorConfig()
         self._store = cache_store or TopologyCacheStore()
         self._shard_map = ShardMap(shards=shards)
         self._mode = mode
+        self._backend = backend
         self.tracer = tracer if tracer is not None else NullTracer()
         self._shard_map.tracer = self.tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -146,9 +160,11 @@ class ValidationEngine:
             "Wall-clock seconds per pipeline stage per epoch.",
             labels=("stage",),
         )
-        self.stats = EngineStats(shards=shards, mode=mode)
+        self.stats = EngineStats(shards=shards, mode=mode, backend=backend)
         self._components: "OrderedDict[str, _Components]" = OrderedDict()
         self._incremental: "OrderedDict[str, IncrementalValidator]" = OrderedDict()
+        self._vector: "OrderedDict[str, object]" = OrderedDict()
+        self._model_store = VectorModelStore()
         self._max_component_sets = 32
 
     @property
@@ -158,6 +174,10 @@ class ValidationEngine:
     @property
     def mode(self) -> str:
         return self._mode
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def cache_store(self) -> TopologyCacheStore:
@@ -183,6 +203,7 @@ class ValidationEngine:
             while len(self._components) > self._max_component_sets:
                 evicted, _ = self._components.popitem(last=False)
                 self._incremental.pop(evicted, None)
+                self._vector.pop(evicted, None)
         else:
             self._components.move_to_end(cache.fingerprint)
         return cache, components
@@ -199,6 +220,32 @@ class ValidationEngine:
             self._incremental[cache.fingerprint] = validator
         else:
             self._incremental.move_to_end(cache.fingerprint)
+        return validator
+
+    def _vector_for(self, cache: TopologyCache, components: _Components):
+        """One array-compiled validator per topology fingerprint.
+
+        The vector validator is internally delta-aware, so it serves
+        both engine modes; the compiled :class:`VectorModel` is shared
+        through :class:`~repro.engine.cache.VectorModelStore` and
+        survives validator eviction.
+        """
+        validator = self._vector.get(cache.fingerprint)
+        if validator is None:
+            from repro.core.vector import VectorValidator
+
+            model = self._model_store.get(cache)
+            validator = VectorValidator(
+                self._config,
+                cache,
+                components,
+                self.stats,
+                tracer=self.tracer,
+                model=model,
+            )
+            self._vector[cache.fingerprint] = validator
+        else:
+            self._vector.move_to_end(cache.fingerprint)
         return validator
 
     def validate(
@@ -225,8 +272,15 @@ class ValidationEngine:
             if tracer.enabled:
                 epoch_span.annotate(cache_hit=self.stats.cache_hits > hits_before)
 
-            if self._mode == "incremental":
-                validator = self._incremental_for(cache, components)
+            if self._backend == "vector" or self._mode == "incremental":
+                # The vector backend serves both modes with one
+                # delta-aware validator; python/incremental keeps the
+                # per-entity memoizing path.
+                validator = (
+                    self._vector_for(cache, components)
+                    if self._backend == "vector"
+                    else self._incremental_for(cache, components)
+                )
                 stage_before = {
                     stage: self.stats.stage_seconds.get(stage, 0.0) for stage in STAGES
                 }

@@ -36,6 +36,8 @@ class EngineStats:
             across shards.
         mode: ``"full"`` or ``"incremental"`` -- the epoch path the
             engine runs.
+        backend: ``"python"`` (the per-entity reference units) or
+            ``"vector"`` (array-compiled epoch evaluation).
         entities_recomputed: Per fine-grained stage, how many
             per-entity units were computed fresh (incremental mode; the
             priming epoch recomputes everything).
@@ -56,6 +58,7 @@ class EngineStats:
     shard_tasks: int = 0
     shard_busy_seconds: float = 0.0
     mode: str = "full"
+    backend: str = "python"
     entities_recomputed: Dict[str, int] = field(default_factory=dict)
     entities_reused: Dict[str, int] = field(default_factory=dict)
     repair_solves: int = 0
@@ -75,8 +78,8 @@ class EngineStats:
         """Fold another engine's counters into this one.
 
         Used to aggregate totals across several engines (e.g. one per
-        replayed scenario); ``shards`` and ``mode`` keep this object's
-        values.
+        replayed scenario); ``shards``, ``mode``, and ``backend`` keep
+        this object's values.
         """
         self.epochs += other.epochs
         self.cache_hits += other.cache_hits
@@ -137,6 +140,7 @@ class EngineStats:
         return {
             "epochs": self.epochs,
             "mode": self.mode,
+            "backend": self.backend,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -169,8 +173,8 @@ class EngineStats:
         the golden tests instead of silently dropping data.
         """
         known = {
-            "epochs", "mode", "cache_hits", "cache_misses", "stage_seconds",
-            "shards", "shard_tasks", "shard_busy_seconds",
+            "epochs", "mode", "backend", "cache_hits", "cache_misses",
+            "stage_seconds", "shards", "shard_tasks", "shard_busy_seconds",
             "entities_recomputed", "entities_reused",
             "repair_solves", "repair_reuses",
         }
@@ -187,6 +191,7 @@ class EngineStats:
             shard_tasks=int(payload.get("shard_tasks", 0)),  # type: ignore[arg-type]
             shard_busy_seconds=float(payload.get("shard_busy_seconds", 0.0)),  # type: ignore[arg-type]
             mode=str(payload.get("mode", "full")),
+            backend=str(payload.get("backend", "python")),
             entities_recomputed={
                 str(k): int(v)
                 for k, v in dict(payload.get("entities_recomputed", {})).items()  # type: ignore[arg-type]
@@ -204,6 +209,7 @@ class EngineStats:
         lines = [
             f"epochs processed  : {self.epochs}",
             f"mode              : {self.mode}",
+            f"backend           : {self.backend}",
             f"cache hits/misses : {self.cache_hits}/{self.cache_misses}",
             f"shards            : {self.shards}",
             f"shard tasks       : {self.shard_tasks}",

@@ -21,6 +21,7 @@ from repro.experiments.scale_study import (
     ScaleRow,
     ScaleStudy,
     TraceOverheadRow,
+    VectorRow,
     churn_snapshot,
 )
 from repro.experiments.threshold_study import DetectabilityRow, ThresholdRow, ThresholdStudy
@@ -47,6 +48,7 @@ __all__ = [
     "ScaleRow",
     "ScaleStudy",
     "TraceOverheadRow",
+    "VectorRow",
     "churn_snapshot",
     "ScenarioOutcome",
     "ThresholdRow",

@@ -1,7 +1,7 @@
-"""The tri-modal differential oracle.
+"""The tri-modal (now quad-modal) differential oracle.
 
-One generated timeline is executed through the repo's three
-independent validation paths and every pair of answers must agree:
+One generated timeline is executed through the repo's independent
+validation paths and every pair of answers must agree:
 
 1. **Serial reference** -- each epoch's :class:`~repro.scenarios.world.
    World` runs the full Figure 1 pipeline; its embedded serial Hodor
@@ -10,7 +10,10 @@ independent validation paths and every pair of answers must agree:
    :class:`~repro.engine.ValidationEngine` in ``full`` and
    ``incremental`` mode (one engine per mode, kept alive across the
    timeline so incremental caching is actually exercised).
-3. **Streamed** -- the snapshots are decomposed into per-router feeds
+3. **Vector** -- the same timeline again through the array-compiled
+   backend (:mod:`repro.core.vector`), whose delta-aware epochs must
+   reproduce the per-entity units finding-for-finding.
+4. **Streamed** -- the snapshots are decomposed into per-router feeds
    (optionally perturbed in-window), re-assembled by the watermark
    :class:`~repro.stream.assembler.EpochAssembler`, and validated by
    the ingest pipeline.
@@ -91,11 +94,19 @@ class TriModalOracle:
             Must stay above the spec's reorder jitter or in-window
             perturbations would legitimately change results.
         hooks: Optional per-mode report hooks (``"full"``,
-            ``"incremental"``, ``"streamed"``) used by mutation tests
-            to plant divergence bugs; production runs pass none.
+            ``"incremental"``, ``"vector"``, ``"streamed"``) used by
+            mutation tests to plant divergence bugs; production runs
+            pass none.
     """
 
-    MODES: Tuple[str, ...] = ("full", "incremental", "streamed")
+    MODES: Tuple[str, ...] = ("full", "incremental", "vector", "streamed")
+
+    #: Oracle mode -> (engine mode, engine backend) for the engine runs.
+    _ENGINE_MODES: Tuple[Tuple[str, str, str], ...] = (
+        ("full", "full", "python"),
+        ("incremental", "incremental", "python"),
+        ("vector", "full", "vector"),
+    )
 
     def __init__(
         self,
@@ -119,9 +130,11 @@ class TriModalOracle:
             )
 
         divergences: List[ModeDivergence] = []
-        for mode in ("full", "incremental"):
+        for mode, engine_mode, backend in self._ENGINE_MODES:
             try:
-                reports = self._engine_run(spec, epochs, inputs_by_ts, mode)
+                reports = self._engine_run(
+                    spec, epochs, inputs_by_ts, mode, engine_mode, backend
+                )
             except Exception as exc:  # noqa: BLE001
                 return OracleResult(
                     passed=False,
@@ -160,11 +173,15 @@ class TriModalOracle:
             reference.append(outcome.report)
         return epochs, inputs_by_ts, reference
 
-    def _engine_run(self, spec, epochs, inputs_by_ts, mode) -> List[ValidationReport]:
+    def _engine_run(
+        self, spec, epochs, inputs_by_ts, mode, engine_mode, backend
+    ) -> List[ValidationReport]:
         hook = self.hooks.get(mode)
         reports = []
         config = spec.hodor_config
-        with ValidationEngine(spec.topology, config=config, mode=mode) as engine:
+        with ValidationEngine(
+            spec.topology, config=config, mode=engine_mode, backend=backend
+        ) as engine:
             for index, (timestamp, snapshot) in enumerate(epochs):
                 report = engine.validate(snapshot, inputs_by_ts[timestamp])
                 if hook is not None:

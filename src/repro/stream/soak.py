@@ -46,6 +46,7 @@ class SoakConfig:
         lateness_s: Assembler lateness window (virtual seconds).
         perturb: Feed delivery perturbations.
         mode: Engine mode, ``"full"`` or ``"incremental"``.
+        backend: Engine backend, ``"python"`` or ``"vector"``.
         shards: Engine shard count.
         queue_size: Ingest queue bound.
         backpressure: ``"block"`` or ``"drop-oldest"``.
@@ -60,6 +61,7 @@ class SoakConfig:
     lateness_s: float = 2.0
     perturb: Perturbations = Perturbations(reorder=0.10, drop=0.01, duplicate=0.02)
     mode: str = "full"
+    backend: str = "python"
     shards: int = 1
     queue_size: int = 256
     backpressure: str = "block"
@@ -179,6 +181,7 @@ def run_soak(
     with ValidationEngine(
         topology,
         mode=config.mode,
+        backend=config.backend,
         shards=config.shards,
         metrics=registry,
         tracer=tracer,

@@ -1,0 +1,14 @@
+"""C1 fixture (bad): a unit the vector backend never accounts for."""
+
+
+class Collector:
+    def collect_flow_entity(self, snapshot, key):
+        return key
+
+    def harden_gap_entity(self, snapshot, key):
+        return key
+
+    def run(self, snapshot):
+        out = [self.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]
+        out += [self.harden_gap_entity(snapshot, k) for k in sorted(snapshot)]
+        return out

@@ -1,0 +1,8 @@
+"""C1 fixture (bad): misses one unit, dispatches a ghost."""
+
+
+class VectorBackend:
+    def run(self, collector, snapshot):
+        out = [collector.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]
+        out += [collector.check_ghost_entity(snapshot, k) for k in sorted(snapshot)]
+        return out

@@ -1,0 +1,8 @@
+"""C1 fixture (bad tree, clean module): both units wired here."""
+
+
+class Incremental:
+    def run(self, collector, snapshot):
+        out = [collector.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]
+        out += [collector.harden_gap_entity(snapshot, k) for k in sorted(snapshot)]
+        return out

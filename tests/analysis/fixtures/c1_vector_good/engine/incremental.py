@@ -1,0 +1,8 @@
+"""C1 fixture (good): incremental registry dispatching every unit."""
+
+
+class Incremental:
+    def run(self, collector, snapshot):
+        out = [collector.collect_flow_entity(snapshot, k) for k in sorted(snapshot)]
+        out += [collector.harden_span_entity(snapshot, k) for k in sorted(snapshot)]
+        return out

@@ -28,6 +28,35 @@ def test_missing_wiring_flags_both_directions():
     assert any("no per-entity unit with that name" in m for m in messages)
 
 
+def test_vector_manifest_or_dispatch_passes():
+    # One unit dispatched by the vector backend, the other named in its
+    # replacement manifest (the module docstring) -- both count.
+    result = run_lint(FIXTURES / "c1_vector_good")
+    assert result.ok
+    assert result.diagnostics == []
+
+
+def test_vector_gaps_flag_both_directions():
+    result = run_lint(FIXTURES / "c1_vector_bad")
+    findings = [(d.path, d.code) for d in result.diagnostics]
+    assert findings == [
+        ("core/units.py", "C1"),           # gap: unaccounted for in vector
+        ("core/vector/backend.py", "C1"),  # ghost: defined nowhere
+    ]
+    messages = [d.message for d in result.diagnostics]
+    assert "unaccounted for in core/vector/backend.py" in messages[0]
+    assert "harden_gap_entity" in messages[0]
+    assert "no per-entity unit with that name" in messages[1]
+    assert "check_ghost_entity" in messages[1]
+
+
+def test_tree_without_vector_module_is_vacuously_clean():
+    # c1_good has no core/vector/backend.py; the three-way extension
+    # must not fire there (pre-vector trees stay green).
+    result = run_lint(FIXTURES / "c1_good")
+    assert result.ok
+
+
 def test_tree_without_incremental_module_is_vacuously_clean():
     # No engine/incremental.py at the configured path -> nothing to
     # compare against; the p1 clean/bad trees rely on this.
