@@ -17,12 +17,24 @@ Rule catalog (see ``docs/LINT.md`` for rationale):
 - **D1** nondeterminism hazards (global ``random``, wall-clock reads,
   set iteration into ordered output, ``id()``-keyed maps);
 - **F1** bare float ``==``/``!=`` in ``core/``/``engine/``;
-- **C1** full/incremental registry parity (every per-entity unit wired
-  into both the serial pipeline and ``engine/incremental.py``);
+- **A1** blocking calls inside ``async def`` in core (sync sleeps,
+  file/socket I/O, discarded executor futures);
+- **A2** state mutated across an ``await`` without a queue/lock
+  discipline (the coroutine-interleaving hazard class);
+- **X1** cache-store mutation without try/except-reset or
+  build-then-swap exception safety;
+- **T1** interprocedural validated-before-use taint: raw
+  snapshot/update/epoch values must pass a declared sanitizer before
+  reaching a verdict/report/apply sink (``--explain T1`` shows the
+  call-graph taint path);
+- **C1** full/incremental/vector registry parity (every per-entity
+  unit wired into the serial pipeline, ``engine/incremental.py``, and
+  the vector backend);
 - **L1** unused ``# lint: ignore[...]`` suppression.
 
 Entry points: ``python -m repro lint`` (CLI) or :func:`run_lint`
-(importable API).
+(importable API).  Pass ``cache_path`` (CLI ``--cache``) for
+incremental runs keyed on content hashes.
 """
 
 from repro.analysis.config import LintConfig

@@ -1,0 +1,94 @@
+"""On-disk cache behind incremental lint runs.
+
+One JSON document per cache path, keyed three ways:
+
+- ``config_fp`` (:meth:`LintConfig.fingerprint`): any manifest change
+  invalidates everything -- a removed sanitizer entry must flip T1
+  verdicts, so stale summaries keyed to the old manifest are poison.
+- per-file ``sha`` (content hash): an unchanged file reuses its parsed
+  artifacts -- raw file-scoped diagnostics, suppression pairs,
+  cross-file facts, and the taint summary.
+- ``project_fp`` / ``skeleton_fp``: cross-file gates.  File-scoped
+  diagnostics are only reused while the project-wide float-type index
+  is unchanged (F1 reads it); the call-graph resolution map is only
+  reused while every module's import/def skeleton is unchanged.
+
+Cache writes are best-effort (tmp file + rename); a corrupt or
+mismatched cache degrades to a cold run, never to wrong output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["LintCache", "content_sha"]
+
+#: Bump when the entry layout changes; old caches are discarded.
+CACHE_VERSION = 1
+
+
+def content_sha(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()
+
+
+class LintCache:
+    """One cache document: load leniently, save atomically."""
+
+    def __init__(self, config_fp: str) -> None:
+        self.config_fp = config_fp
+        self.project_fp: Optional[str] = None
+        self.skeleton_fp: Optional[str] = None
+        self.resolution: Dict[str, Dict[str, list]] = {}
+        self.files: Dict[str, Dict[str, object]] = {}
+
+    @classmethod
+    def load(cls, path: Path, config_fp: str) -> "LintCache":
+        """Read a cache; anything invalid degrades to an empty cache."""
+        cache = cls(config_fp)
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict):
+            return cache
+        if payload.get("version") != CACHE_VERSION:
+            return cache
+        if payload.get("config_fp") != config_fp:
+            return cache
+        cache.project_fp = payload.get("project_fp")
+        cache.skeleton_fp = payload.get("skeleton_fp")
+        resolution = payload.get("resolution")
+        if isinstance(resolution, dict):
+            cache.resolution = resolution
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache.files = files
+        return cache
+
+    def entry_for(self, relpath: str, sha: str) -> Optional[Dict[str, object]]:
+        """The cached entry when the content hash still matches."""
+        entry = self.files.get(relpath)
+        if isinstance(entry, dict) and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": CACHE_VERSION,
+            "config_fp": self.config_fp,
+            "project_fp": self.project_fp,
+            "skeleton_fp": self.skeleton_fp,
+            "resolution": self.resolution,
+            "files": self.files,
+        }
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(target)
+        except OSError:
+            return

@@ -1,0 +1,334 @@
+"""Project-wide call graph: qualified names, import aliasing, dispatch.
+
+The interprocedural rules (T1 in :mod:`repro.analysis.taint`) need one
+answer the per-file rules never did: *which function does this call
+reach?*  This module builds that answer in two serializable stages so
+the incremental lint cache can keep both:
+
+1. **Declarations** (:func:`extract_decls`, per module, pure function
+   of the file's content): every function/method with its
+   module-qualified name (``core/units.py::Harden.harden_link``), the
+   import alias map, and the class -> method table.
+2. **Linking** (:class:`CallGraph`): given every module's
+   declarations, resolve a call descriptor recorded at a call site to
+   a definition.  Resolution tries, in order:
+
+   - ``self.m(...)`` / ``cls.m(...)`` -> method ``m`` of the
+     enclosing class;
+   - a bare name -> a top-level function of the calling module;
+   - an import-resolved dotted path (``repro.core.units.fn`` or
+     ``pkg.mod.Class.method``) -> the module whose relpath matches a
+     suffix of the dotted module (leading package segments the lint
+     root cannot see are dropped one at a time);
+   - a receiver annotated with a known class (``checker:
+     LinkChecker`` -> ``checker.check(...)``) -> that class's method;
+   - a method name defined by exactly **one** known class (unique
+     dispatch) -> that method, unless the name is a container-protocol
+     name (``get``, ``update``, ...) that would misfire on dicts.
+
+   Anything unresolved stays ``None`` -- the taint engine treats
+   unknown calls as taint *breaks*, so imprecision here can only hide
+   flows, never invent them.
+
+The declaration tables also expose a **skeleton fingerprint** (imports
+plus def/class shape); the incremental runner re-links the graph only
+when it changes, reusing the cached resolution map otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.purity import ALIAS_METHODS, MUTATING_METHODS
+
+__all__ = ["FunctionDecl", "ModuleDecls", "CallGraph", "extract_decls"]
+
+#: Method names resolution refuses to dispatch uniquely: they collide
+#: with container/protocol methods, so ``x.get(...)`` must never
+#: resolve to some class's ``get`` just because one exists.
+_PROTOCOL_NAMES = frozenset(
+    {"get", "items", "keys", "values", "copy", "close", "read", "run", "send", "put"}
+) | MUTATING_METHODS | ALIAS_METHODS
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    """One function/method definition, module-qualified."""
+
+    qualname: str  # "core/units.py::Class.method"
+    relpath: str
+    name: str
+    cls: Optional[str]
+    line: int
+    col: int
+    is_async: bool
+    params: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "relpath": self.relpath,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "col": self.col,
+            "is_async": self.is_async,
+            "params": list(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FunctionDecl":
+        return cls(
+            qualname=str(payload["qualname"]),
+            relpath=str(payload["relpath"]),
+            name=str(payload["name"]),
+            cls=payload["cls"] if payload["cls"] is None else str(payload["cls"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload["col"]),  # type: ignore[arg-type]
+            is_async=bool(payload["is_async"]),
+            params=tuple(payload["params"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ModuleDecls:
+    """Declaration tables for one module (serializable, content-pure)."""
+
+    relpath: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionDecl] = field(default_factory=dict)
+    toplevel: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def skeleton(self) -> Dict[str, object]:
+        """The import/def shape linking depends on (fingerprint input)."""
+        return {
+            "relpath": self.relpath,
+            "imports": dict(sorted(self.imports.items())),
+            "toplevel": dict(sorted(self.toplevel.items())),
+            "classes": {
+                cls: dict(sorted(methods.items()))
+                for cls, methods in sorted(self.classes.items())
+            },
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "relpath": self.relpath,
+            "imports": self.imports,
+            "toplevel": self.toplevel,
+            "classes": self.classes,
+            "functions": {q: decl.to_dict() for q, decl in self.functions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleDecls":
+        return cls(
+            relpath=str(payload["relpath"]),
+            imports=dict(payload["imports"]),  # type: ignore[arg-type]
+            toplevel=dict(payload["toplevel"]),  # type: ignore[arg-type]
+            classes={
+                name: dict(methods)
+                for name, methods in payload["classes"].items()  # type: ignore[union-attr]
+            },
+            functions={
+                q: FunctionDecl.from_dict(entry)
+                for q, entry in payload["functions"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def extract_decls(relpath: str, tree: ast.Module) -> ModuleDecls:
+    """Build the declaration tables for one parsed module."""
+    decls = ModuleDecls(relpath=relpath, imports=_import_map(tree))
+
+    def visit(body: List[ast.stmt], stack: Tuple[str, ...], in_class: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = "::".join((relpath, ".".join(stack + (node.name,))))
+                decls.functions[qual] = FunctionDecl(
+                    qualname=qual,
+                    relpath=relpath,
+                    name=node.name,
+                    cls=in_class,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                    params=_param_names(node),
+                )
+                if not stack:
+                    decls.toplevel.setdefault(node.name, qual)
+                if in_class is not None and len(stack) == 1:
+                    decls.classes[in_class].setdefault(node.name, qual)
+                # Nested defs are declared (A-rules see them) but are
+                # not bare-name resolution targets outside their scope.
+                visit(node.body, stack + (node.name,), None)
+            elif isinstance(node, ast.ClassDef):
+                if not stack:
+                    decls.classes.setdefault(node.name, {})
+                visit(node.body, stack + (node.name,), node.name if not stack else None)
+    visit(tree.body, (), None)
+    return decls
+
+
+class CallGraph:
+    """Project-wide resolver over every module's declaration tables."""
+
+    def __init__(self, modules: List[ModuleDecls]) -> None:
+        self._by_relpath: Dict[str, ModuleDecls] = {m.relpath: m for m in modules}
+        # "core.units" -> "core/units.py" for dotted-path resolution.
+        self._module_by_dotted: Dict[str, str] = {}
+        # class name -> (relpath holding it); first definition wins,
+        # in sorted relpath order for determinism.
+        self._class_home: Dict[str, str] = {}
+        # method name -> sorted qualnames across all classes.
+        self._methods: Dict[str, List[str]] = {}
+        for decls in sorted(modules, key=lambda m: m.relpath):
+            dotted = decls.relpath[:-3].replace("/", ".")
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            self._module_by_dotted.setdefault(dotted, decls.relpath)
+            for cls, methods in sorted(decls.classes.items()):
+                self._class_home.setdefault(cls, decls.relpath)
+                for name, qual in sorted(methods.items()):
+                    self._methods.setdefault(name, []).append(qual)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def skeleton_fingerprint(modules: List[ModuleDecls]) -> str:
+        """Hash of every module's import/def shape; keys link reuse."""
+        shape = [m.skeleton() for m in sorted(modules, key=lambda m: m.relpath)]
+        payload = json.dumps(shape, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def function(self, qualname: str) -> Optional[FunctionDecl]:
+        relpath = qualname.split("::", 1)[0]
+        module = self._by_relpath.get(relpath)
+        return module.functions.get(qualname) if module else None
+
+    def class_method(self, cls: str, method: str) -> Optional[str]:
+        home = self._class_home.get(cls)
+        if home is None:
+            return None
+        return self._by_relpath[home].classes.get(cls, {}).get(method)
+
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self,
+        caller: FunctionDecl,
+        display: Optional[str],
+        resolved: Optional[str],
+        recv_type: Optional[str],
+    ) -> Optional[Tuple[str, bool]]:
+        """Resolve one call site to ``(callee_qualname, bound)``.
+
+        ``display`` is the dotted call target as written;
+        ``resolved`` the same with its head import-resolved;
+        ``recv_type`` the annotated class of the receiver variable,
+        when the extractor knew one.  ``bound`` is True when the call
+        goes through an instance receiver, so the callee's leading
+        ``self``/``cls`` parameter is skipped during argument mapping.
+        """
+        if display is None:
+            return None
+        head, _, rest = display.partition(".")
+
+        # self.m(...) / cls.m(...) inside a class body.
+        if head in ("self", "cls") and rest and "." not in rest and caller.cls:
+            qual = self.class_method(caller.cls, rest)
+            if qual is not None:
+                return qual, True
+
+        # Bare, un-imported name -> top-level function of the calling
+        # module (an imported name resolves through its dotted origin).
+        if not rest and "." not in (resolved or display):
+            module = self._by_relpath.get(caller.relpath)
+            if module is not None:
+                qual = module.toplevel.get(display)
+                if qual is not None:
+                    return qual, False
+
+        # Import-resolved dotted path: pkg.mod.fn / pkg.mod.Cls.m.
+        dotted = resolved or display
+        if "." in dotted:
+            hit = self._resolve_dotted(dotted)
+            if hit is not None:
+                return hit
+
+        # Receiver with a known annotated class.
+        if recv_type is not None and rest and "." not in rest:
+            qual = self.class_method(recv_type, rest)
+            if qual is not None:
+                return qual, True
+
+        # Unique method dispatch: x.m(...) where exactly one known
+        # class defines m and m is not a container-protocol name.
+        if rest:
+            method = display.rsplit(".", 1)[1]
+            if method not in _PROTOCOL_NAMES:
+                candidates = self._methods.get(method, [])
+                if len(candidates) == 1:
+                    return candidates[0], True
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> Optional[Tuple[str, bool]]:
+        """Match a dotted path to ``module::fn`` or ``module::Cls.m``.
+
+        The lint root sees ``core/units.py`` while imports say
+        ``repro.core.units.fn``; leading segments invisible to the
+        root are dropped one at a time until a module matches.
+        """
+        parts = dotted.split(".")
+        for start in range(len(parts) - 1):
+            # module + function
+            modkey = ".".join(parts[start:-1])
+            relpath = self._module_by_dotted.get(modkey)
+            if relpath is not None:
+                module = self._by_relpath[relpath]
+                qual = module.toplevel.get(parts[-1])
+                if qual is not None:
+                    return qual, False
+                qual = module.classes.get(parts[-1], {}).get("__init__")
+                if qual is not None:
+                    return qual, False
+            # module + class + method
+            if len(parts) - start >= 3:
+                modkey = ".".join(parts[start:-2])
+                relpath = self._module_by_dotted.get(modkey)
+                if relpath is not None:
+                    qual = self._by_relpath[relpath].classes.get(parts[-2], {}).get(parts[-1])
+                    if qual is not None:
+                        return qual, True
+        return None

@@ -11,7 +11,13 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.config import LintConfig
-from repro.analysis.report import render_rules, render_text, to_json_text
+from repro.analysis.report import (
+    render_explain,
+    render_github,
+    render_rules,
+    render_text,
+    to_json_text,
+)
 from repro.analysis.rules import ALL_RULE_CODES, rule_catalog
 from repro.analysis.runner import LintResult, run_lint
 
@@ -49,6 +55,27 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="text output style: human-readable (default) or GitHub "
+        "Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="explain one rule's findings in detail (T1 findings "
+        "include the interprocedural taint path)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="incremental cache file: unchanged files reuse their "
+        "cached analysis, so warm runs re-parse only what changed",
+    )
 
 
 def run_cli(args: argparse.Namespace) -> int:
@@ -66,21 +93,38 @@ def run_cli(args: argparse.Namespace) -> int:
         )
         return 2
 
+    explain = getattr(args, "explain", None)
+    if explain is not None and explain not in ALL_RULE_CODES:
+        print(
+            f"unknown rule code: {explain} (known: {', '.join(ALL_RULE_CODES)})",
+            file=sys.stderr,
+        )
+        return 2
+
     roots = [Path(p) for p in args.paths] if args.paths else [default_root()]
     for root in roots:
         if not root.exists():
             print(f"no such path: {root}", file=sys.stderr)
             return 2
 
+    cache_path = getattr(args, "cache", None)
     config = LintConfig(enabled_codes=enabled)
     result: Optional[LintResult] = None
     for root in roots:
-        partial = run_lint(root, config=config)
+        partial = run_lint(
+            root,
+            config=config,
+            cache_path=Path(cache_path) if cache_path else None,
+        )
         result = partial if result is None else result.merged_with(partial)
     assert result is not None
 
     if args.json:
         sys.stdout.write(to_json_text(result))
+    elif explain is not None:
+        print(render_explain(result, explain, rule_catalog()))
+    elif getattr(args, "format", "text") == "github":
+        print(render_github(result))
     else:
         print(render_text(result))
     return 0 if result.ok else 1

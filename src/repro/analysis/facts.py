@@ -1,0 +1,130 @@
+"""Per-file facts the cross-file rules need, in serializable form.
+
+F1 (float equality) and C1 (registry parity) are the two rules whose
+verdict on file A depends on file B.  The incremental runner therefore
+cannot simply skip unchanged files -- unless the cross-file inputs
+those rules consume are themselves cached.  :class:`ModuleFacts` is
+that cacheable projection: a pure function of one file's content and
+the :class:`~repro.analysis.config.LintConfig`, small enough to store
+per file, rich enough to rebuild the
+:class:`~repro.analysis.rules.ProjectIndex` and run the parity checks
+without the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.config import LintConfig
+from repro.analysis.rules import (
+    ModuleUnderLint,
+    _annassign_attr_name,
+    _is_float_annotation,
+)
+
+__all__ = ["ModuleFacts", "extract_facts"]
+
+_WORD_RE = re.compile(r"\w+")
+
+
+@dataclass
+class ModuleFacts:
+    """Everything cross-file rules need to know about one module.
+
+    Attributes:
+        relpath: POSIX path from the lint root.
+        float_returns: Function names annotated ``-> float``-ish.
+        float_attrs: Attribute names annotated float-ish.
+        other_attrs: Attribute names annotated as anything else (they
+            veto ``float_attrs`` project-wide).
+        entity_defs: ``(name, line, col)`` of entity-pattern function
+            definitions, first occurrence per name, AST walk order.
+        entity_refs: ``(name, line, col)`` of entity-pattern
+            Name/Attribute references, first occurrence per name.
+        entity_words: Entity-pattern words occurring anywhere in the
+            raw source text (C1's vector-manifest check is textual:
+            docstring mentions count).
+    """
+
+    relpath: str
+    float_returns: List[str] = field(default_factory=list)
+    float_attrs: List[str] = field(default_factory=list)
+    other_attrs: List[str] = field(default_factory=list)
+    entity_defs: List[Tuple[str, int, int]] = field(default_factory=list)
+    entity_refs: List[Tuple[str, int, int]] = field(default_factory=list)
+    entity_words: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "relpath": self.relpath,
+            "float_returns": self.float_returns,
+            "float_attrs": self.float_attrs,
+            "other_attrs": self.other_attrs,
+            "entity_defs": [list(entry) for entry in self.entity_defs],
+            "entity_refs": [list(entry) for entry in self.entity_refs],
+            "entity_words": self.entity_words,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleFacts":
+        return cls(
+            relpath=str(payload["relpath"]),
+            float_returns=list(payload["float_returns"]),  # type: ignore[arg-type]
+            float_attrs=list(payload["float_attrs"]),  # type: ignore[arg-type]
+            other_attrs=list(payload["other_attrs"]),  # type: ignore[arg-type]
+            entity_defs=[
+                (str(name), int(line), int(col))
+                for name, line, col in payload["entity_defs"]  # type: ignore[union-attr]
+            ],
+            entity_refs=[
+                (str(name), int(line), int(col))
+                for name, line, col in payload["entity_refs"]  # type: ignore[union-attr]
+            ],
+            entity_words=list(payload["entity_words"]),  # type: ignore[arg-type]
+        )
+
+
+def extract_facts(module: ModuleUnderLint, config: LintConfig) -> ModuleFacts:
+    """Project one parsed module down to its cross-file facts."""
+    facts = ModuleFacts(relpath=module.relpath)
+    returns: List[str] = []
+    float_attrs: List[str] = []
+    other_attrs: List[str] = []
+    defs_seen: Dict[str, bool] = {}
+    refs_seen: Dict[str, bool] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None and _is_float_annotation(node.returns):
+                returns.append(node.name)
+            if config.is_entity_function(node.name) and node.name not in defs_seen:
+                defs_seen[node.name] = True
+                facts.entity_defs.append((node.name, node.lineno, node.col_offset))
+        elif isinstance(node, ast.AnnAssign):
+            attr = _annassign_attr_name(node)
+            if attr is not None:
+                if _is_float_annotation(node.annotation):
+                    float_attrs.append(attr)
+                else:
+                    other_attrs.append(attr)
+        name = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name is not None and config.is_entity_function(name) and name not in refs_seen:
+            refs_seen[name] = True
+            facts.entity_refs.append((name, node.lineno, node.col_offset))
+    facts.float_returns = sorted(set(returns))
+    facts.float_attrs = sorted(set(float_attrs))
+    facts.other_attrs = sorted(set(other_attrs))
+    facts.entity_words = sorted(
+        {
+            word
+            for word in _WORD_RE.findall(module.source)
+            if config.is_entity_function(word)
+        }
+    )
+    return facts

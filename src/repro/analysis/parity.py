@@ -29,8 +29,7 @@ Checks, all driven by :class:`~repro.analysis.config.LintConfig`
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.analysis.config import LintConfig
 from repro.analysis.diagnostics import Diagnostic, Severity
@@ -56,63 +55,95 @@ class RegistryParityRule:
     def check(
         self, modules: List[ModuleUnderLint], config: LintConfig
     ) -> Iterator[Diagnostic]:
-        incremental = self._find_incremental(modules, config)
+        """Tree-based entry point: project modules to facts, compare."""
+        from repro.analysis.facts import extract_facts
+
+        yield from self.check_facts(
+            [extract_facts(module, config) for module in modules], config
+        )
+
+    def check_facts(self, facts_list, config: LintConfig) -> Iterator[Diagnostic]:
+        """Facts-based entry point (what the incremental runner calls).
+
+        ``facts_list`` holds :class:`~repro.analysis.facts.ModuleFacts`
+        in discovery order; unchanged files contribute cached facts, so
+        parity keeps cross-file soundness without re-parsing them.
+        """
+        by_relpath = {facts.relpath: facts for facts in facts_list}
+        incremental = by_relpath.get(config.incremental_path)
         if incremental is None:
             # Nothing to compare against (e.g. a fixture tree without an
             # engine); registry parity is vacuously satisfied.
             return
 
-        defs = self._entity_defs(modules, config, incremental)
-        incremental_refs = self._entity_refs(incremental, config)
+        # name -> (relpath, line, col); first definition in discovery
+        # order wins, matching the original tree walk.
+        defs: Dict[str, Tuple[str, int, int]] = {}
+        for facts in facts_list:
+            if facts.relpath == config.incremental_path:
+                continue
+            if not config.is_core_path(facts.relpath):
+                continue
+            for name, line, col in facts.entity_defs:
+                defs.setdefault(name, (facts.relpath, line, col))
 
-        for name, (module, node) in sorted(defs.items()):
+        incremental_refs: Dict[str, Tuple[int, int]] = {}
+        for name, line, col in incremental.entity_refs:
+            incremental_refs.setdefault(name, (line, col))
+
+        for name, (relpath, line, col) in sorted(defs.items()):
             if name not in incremental_refs:
                 yield self._diagnostic(
-                    module,
-                    node.lineno,
-                    node.col_offset,
+                    relpath,
+                    line,
+                    col,
                     f"per-entity unit {name}() is never referenced in "
                     f"{config.incremental_path}; wire it into the "
                     "incremental registry or it only runs on the full path",
                 )
-            if not self._referenced_in_own_module(module, node, name):
+            own_refs = {ref for ref, _, _ in by_relpath[relpath].entity_refs}
+            if name not in own_refs:
                 yield self._diagnostic(
-                    module,
-                    node.lineno,
-                    node.col_offset,
+                    relpath,
+                    line,
+                    col,
                     f"per-entity unit {name}() is not exercised by the "
                     "serial pipeline in its own module; the full path must "
                     "run every unit the incremental path reuses",
                 )
 
-        for name, (lineno, col) in sorted(incremental_refs.items()):
+        for name, (line, col) in sorted(incremental_refs.items()):
             if name not in defs:
                 yield self._diagnostic(
-                    incremental,
-                    lineno,
+                    config.incremental_path,
+                    line,
                     col,
                     f"incremental registry references {name}(), but no "
                     "per-entity unit with that name is defined in the core",
                 )
 
-        vector = self._find_module(modules, config.vector_path)
+        vector = by_relpath.get(config.vector_path)
         if vector is None:
             return
-        for name, (module, node) in sorted(defs.items()):
-            if name not in vector.source:
+        vector_words = set(vector.entity_words)
+        for name, (relpath, line, col) in sorted(defs.items()):
+            if name not in vector_words:
                 yield self._diagnostic(
-                    module,
-                    node.lineno,
-                    node.col_offset,
+                    relpath,
+                    line,
+                    col,
                     f"per-entity unit {name}() is unaccounted for in "
                     f"{config.vector_path}; dispatch it on the exceptional "
                     "path or name it in the replacement manifest",
                 )
-        for name, (lineno, col) in sorted(self._entity_refs(vector, config).items()):
+        vector_refs: Dict[str, Tuple[int, int]] = {}
+        for name, line, col in vector.entity_refs:
+            vector_refs.setdefault(name, (line, col))
+        for name, (line, col) in sorted(vector_refs.items()):
             if name not in defs:
                 yield self._diagnostic(
-                    vector,
-                    lineno,
+                    config.vector_path,
+                    line,
                     col,
                     f"vector backend references {name}(), but no per-entity "
                     "unit with that name is defined in the core",
@@ -120,80 +151,11 @@ class RegistryParityRule:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _find_incremental(
-        modules: List[ModuleUnderLint], config: LintConfig
-    ) -> Optional[ModuleUnderLint]:
-        return RegistryParityRule._find_module(modules, config.incremental_path)
-
-    @staticmethod
-    def _find_module(
-        modules: List[ModuleUnderLint], relpath: str
-    ) -> Optional[ModuleUnderLint]:
-        for module in modules:
-            if module.relpath == relpath:
-                return module
-        return None
-
-    @staticmethod
-    def _entity_defs(
-        modules: List[ModuleUnderLint],
-        config: LintConfig,
-        incremental: ModuleUnderLint,
-    ) -> Dict[str, Tuple[ModuleUnderLint, ast.FunctionDef]]:
-        """Entity-pattern functions defined in core modules (registry)."""
-        defs: Dict[str, Tuple[ModuleUnderLint, ast.FunctionDef]] = {}
-        for module in modules:
-            if module is incremental or not module.is_core:
-                continue
-            for node in ast.walk(module.tree):
-                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    if config.is_entity_function(node.name):
-                        defs.setdefault(node.name, (module, node))
-        return defs
-
-    @staticmethod
-    def _entity_refs(
-        module: ModuleUnderLint, config: LintConfig
-    ) -> Dict[str, Tuple[int, int]]:
-        """Entity-pattern names referenced in the incremental module."""
-        refs: Dict[str, Tuple[int, int]] = {}
-        for node in ast.walk(module.tree):
-            name: Optional[str] = None
-            if isinstance(node, ast.Attribute):
-                name = node.attr
-            elif isinstance(node, ast.Name):
-                name = node.id
-            if name is not None and config.is_entity_function(name):
-                refs.setdefault(name, (node.lineno, node.col_offset))
-        return refs
-
-    @staticmethod
-    def _referenced_in_own_module(
-        module: ModuleUnderLint, definition: ast.FunctionDef, name: str
-    ) -> bool:
-        """Is the unit used in its defining module beyond the def itself?
-
-        A ``def`` contributes no Name/Attribute node for its own name,
-        so any matching reference is a genuine use (the serial stage
-        driver dispatching the unit).
-        """
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Attribute) and node.attr == name:
-                return True
-            if isinstance(node, ast.Name) and node.id == name:
-                return True
-        return False
-
-    # ------------------------------------------------------------------
-
-    def _diagnostic(
-        self, module: ModuleUnderLint, line: int, col: int, message: str
-    ) -> Diagnostic:
+    def _diagnostic(self, path: str, line: int, col: int, message: str) -> Diagnostic:
         return Diagnostic(
             code=self.code,
             message=message,
-            path=module.relpath,
+            path=path,
             line=line,
             col=col,
             severity=self.severity,

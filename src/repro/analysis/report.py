@@ -10,9 +10,16 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
+from repro.analysis.diagnostics import Severity
 from repro.analysis.runner import LintResult
 
-__all__ = ["render_text", "render_rules", "to_json_text"]
+__all__ = [
+    "render_explain",
+    "render_github",
+    "render_rules",
+    "render_text",
+    "to_json_text",
+]
 
 
 def render_text(result: LintResult) -> str:
@@ -45,3 +52,70 @@ def render_rules(catalog: List[Dict[str, str]]) -> str:
 def to_json_text(result: LintResult) -> str:
     """The canonical ``--json`` document (sorted keys, trailing newline)."""
     return json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n"
+
+
+def _annotation_escape(text: str, in_property: bool) -> str:
+    """GitHub Actions workflow-command escaping."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if in_property:
+        text = text.replace(",", "%2C").replace(":", "%3A")
+    return text
+
+
+def render_github(result: LintResult) -> str:
+    """``--format github``: one ``::error``/``::warning`` workflow
+    command per finding, so CI annotates the offending lines inline."""
+    lines: List[str] = []
+    for diagnostic in result.diagnostics:
+        level = "error" if diagnostic.severity is Severity.ERROR else "warning"
+        lines.append(
+            f"::{level} "
+            f"file={_annotation_escape(diagnostic.path, True)},"
+            f"line={diagnostic.line},"
+            f"col={diagnostic.col + 1},"
+            f"title={_annotation_escape('lint ' + diagnostic.code, True)}"
+            f"::{_annotation_escape(f'{diagnostic.code}: {diagnostic.message}', False)}"
+        )
+    lines.append(
+        f"lint: {result.errors} error(s), {result.warnings} warning(s) "
+        f"across {result.files_scanned} file(s) "
+        f"({result.suppressed_count} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_explain(
+    result: LintResult, code: str, catalog: List[Dict[str, str]]
+) -> str:
+    """``--explain CODE``: the rule's rationale plus every finding of
+    that code, with the interprocedural taint path for T1 findings."""
+    lines: List[str] = []
+    entry = next((item for item in catalog if item["code"] == code), None)
+    if entry is not None:
+        lines.append(f"{entry['code']}: {entry['title']}")
+        lines.append(f"    {entry['rationale']}")
+        lines.append("")
+    traces = {
+        (
+            trace["diagnostic"]["path"],
+            trace["diagnostic"]["line"],
+            trace["diagnostic"]["col"],
+        ): trace["steps"]
+        for trace in result.taint_traces
+    }
+    findings = [d for d in result.diagnostics if d.code == code]
+    if not findings:
+        lines.append(f"no {code} findings.")
+        return "\n".join(lines)
+    for index, diagnostic in enumerate(findings, 1):
+        lines.append(f"[{index}] {diagnostic.render()}")
+        steps = traces.get((diagnostic.path, diagnostic.line, diagnostic.col))
+        if steps:
+            lines.append("    taint path (source -> sink):")
+            for number, step in enumerate(steps, 1):
+                lines.append(
+                    f"      {number}. {step['kind']:<9}"
+                    f"{step['path']}:{step['line']}  {step['detail']}"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")

@@ -1,4 +1,4 @@
-"""File-scoped lint rules: P1, P2, D1, F1.
+"""File-scoped lint rules: P1, P2, D1, F1, A1, A2, X1.
 
 Each rule is a class with a ``code``, a one-line ``title``, a longer
 ``rationale`` (both surfaced by ``lint --list-rules`` and mirrored in
@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.config import LintConfig
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.purity import mutation_sites
+from repro.analysis.purity import ALIAS_METHODS, MUTATING_METHODS, mutation_sites
 from repro.analysis.suppress import SuppressionIndex
 
 __all__ = [
@@ -81,6 +81,40 @@ class ProjectIndex:
             float_returns=returns,
             float_attrs=(float_attrs - other_attrs) - AMBIGUOUS_ATTRS,
         )
+
+    @classmethod
+    def from_facts(cls, facts_list) -> "ProjectIndex":
+        """Rebuild the index from cached per-file facts (no trees).
+
+        Each item needs ``float_returns`` / ``float_attrs`` /
+        ``other_attrs`` attributes; see
+        :class:`repro.analysis.facts.ModuleFacts`.
+        """
+        returns: Set[str] = set()
+        float_attrs: Set[str] = set()
+        other_attrs: Set[str] = set()
+        for facts in facts_list:
+            returns.update(facts.float_returns)
+            float_attrs.update(facts.float_attrs)
+            other_attrs.update(facts.other_attrs)
+        return cls(
+            float_returns=returns,
+            float_attrs=(float_attrs - other_attrs) - AMBIGUOUS_ATTRS,
+        )
+
+    def fingerprint(self) -> str:
+        """Hash of the cross-file inputs F1 consumes (cache gate)."""
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            {
+                "float_returns": sorted(self.float_returns),
+                "float_attrs": sorted(self.float_attrs),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
 
 
 #: Attribute names too polysemous to infer a float type from: every
@@ -737,6 +771,691 @@ def _is_floatish(node: ast.AST, float_names: Set[str], project: ProjectIndex) ->
 
 
 # ----------------------------------------------------------------------
+# A1: blocking calls inside async defs
+# ----------------------------------------------------------------------
+
+
+def _is_executor_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "run_in_executor"
+    )
+
+
+class BlockingAsyncRule(Rule):
+    code = "A1"
+    title = "blocking call inside an async def"
+    rationale = (
+        "One synchronous sleep, file read, or socket call inside a "
+        "coroutine stalls every feed, the assembler, and the consumer "
+        "sharing the event loop -- in fleet mode, every tenant.  Use the "
+        "async equivalent (asyncio.sleep, loop.run_in_executor) and "
+        "always await executor futures so failures surface."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        imports = import_map(module.tree)
+        for func in iter_functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            executor_futures: Dict[str, ast.AST] = {}
+            awaited: Set[str] = set()
+            for node in scope_nodes(func):
+                if isinstance(node, ast.Call):
+                    dotted = resolve_call_name(node, imports)
+                    if dotted in config.blocking_calls:
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"{dotted}() blocks the event loop inside async "
+                            f"{func.name}(); use the async equivalent or "
+                            "run_in_executor",
+                        )
+                elif isinstance(node, ast.Expr) and _is_executor_call(node.value):
+                    yield self.diagnostic(
+                        module,
+                        node.value,
+                        f"run_in_executor() future discarded in async "
+                        f"{func.name}(); await it (directly or via gather) so "
+                        "executor failures propagate",
+                    )
+                elif isinstance(node, ast.Assign) and _is_executor_call(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            executor_futures.setdefault(target.id, node.value)
+                elif isinstance(node, ast.Await):
+                    for sub in ast.walk(node):
+                        if isinstance(sub, ast.Name):
+                            awaited.add(sub.id)
+            for name in sorted(set(executor_futures) - awaited):
+                yield self.diagnostic(
+                    module,
+                    executor_futures[name],
+                    f"executor future {name!r} is never awaited in async "
+                    f"{func.name}(); its result and exceptions are lost",
+                )
+
+
+# ----------------------------------------------------------------------
+# A2: state mutated across an await without a lock/queue discipline
+# ----------------------------------------------------------------------
+
+#: Method calls that ARE the coordination discipline: invoking one on
+#: an attribute does not count as touching shared state (the queue /
+#: event / metric object is the safe channel itself).
+_CHANNEL_METHODS = frozenset(
+    {
+        "put", "put_nowait", "get_nowait", "task_done", "join",
+        "acquire", "release", "wait", "notify", "notify_all",
+        "inc", "dec", "observe", "set_to", "labels",
+    }
+)
+
+
+@dataclass
+class _Access:
+    """One touch of a shared key inside an async function."""
+
+    key: str
+    write: bool
+    pos: int  # number of awaits executed before this access
+    node: ast.AST
+    loop_hazard: bool  # a write inside a loop whose body awaits
+
+
+class _AsyncScan:
+    """Linearizes one async function into (key, read/write, await-count).
+
+    Within a single statement the model is reads -> awaits -> writes
+    (matching ``self.x = await f(self.y)`` evaluation order), so two
+    accesses with different ``pos`` have an await strictly between
+    them.  Statements under an ``async with <lock>`` guard are atomic:
+    skipped entirely, counted as one await.
+    """
+
+    def __init__(
+        self,
+        config: LintConfig,
+        func: ast.AST,
+        track_self: bool,
+        tracked_names: Set[str],
+    ) -> None:
+        self.config = config
+        self.track_self = track_self
+        self.tracked_names = tracked_names
+        self.accesses: List[_Access] = []
+        self._pos = 0
+        self._stmts(func.body, loop_await=False)
+
+    # -- statement walk ------------------------------------------------
+
+    def _stmts(self, stmts: List[ast.stmt], loop_await: bool) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, loop_await)
+
+    def _stmt(self, stmt: ast.stmt, loop_await: bool) -> None:
+        if isinstance(stmt, _SCOPE_NODES):
+            return
+        if isinstance(stmt, ast.If):
+            self._simple(stmt.test, loop_await)
+            self._stmts(stmt.body, loop_await)
+            self._stmts(stmt.orelse, loop_await)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            has_await = isinstance(stmt, ast.AsyncFor) or any(
+                isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith))
+                for node in scope_nodes(stmt)
+            )
+            inner = loop_await or has_await
+            if isinstance(stmt, ast.While):
+                self._simple(stmt.test, inner)
+            else:
+                self._simple(stmt.iter, loop_await)
+            if has_await:
+                self._pos += 1
+            self._stmts(stmt.body, inner)
+            self._stmts(stmt.orelse, loop_await)
+        elif isinstance(stmt, ast.Try):
+            self._stmts(stmt.body, loop_await)
+            for handler in stmt.handlers:
+                self._stmts(handler.body, loop_await)
+            self._stmts(stmt.orelse, loop_await)
+            self._stmts(stmt.finalbody, loop_await)
+        elif isinstance(stmt, ast.AsyncWith) and self._is_guarded(stmt):
+            self._pos += 1  # __aenter__/__aexit__ yield, contents are atomic
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if isinstance(stmt, ast.AsyncWith):
+                self._pos += 1
+            for item in stmt.items:
+                self._simple(item.context_expr, loop_await)
+            self._stmts(stmt.body, loop_await)
+            if isinstance(stmt, ast.AsyncWith):
+                self._pos += 1
+        else:
+            self._simple(stmt, loop_await)
+
+    def _is_guarded(self, stmt: ast.AsyncWith) -> bool:
+        for item in stmt.items:
+            dotted = dotted_name(item.context_expr)
+            if dotted is None and isinstance(item.context_expr, ast.Call):
+                dotted = dotted_name(item.context_expr.func)
+            if dotted is not None and self.config.is_async_guard(dotted):
+                return True
+        return False
+
+    # -- simple statements / expressions -------------------------------
+
+    def _simple(self, node: ast.AST, loop_await: bool) -> None:
+        nodes = [node] + [n for n in scope_nodes(node)]
+        awaits = sum(1 for n in nodes if isinstance(n, ast.Await))
+        for key, write, access_node in self._accesses_in(nodes):
+            pos = self._pos + (awaits if write else 0)
+            self.accesses.append(
+                _Access(key, write, pos, access_node, loop_await and write)
+            )
+        self._pos += awaits
+
+    def _accesses_in(self, nodes: List[ast.AST]):
+        handled: Set[int] = set()
+        out: List[Tuple[str, bool, ast.AST]] = []
+        for node in nodes:
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                keyed = self._key_of(node.func.value)
+                if keyed is None:
+                    continue
+                key, anchor = keyed
+                handled.add(id(anchor))
+                if node.func.attr in _CHANNEL_METHODS:
+                    continue
+                write = node.func.attr in MUTATING_METHODS
+                out.append((key, write, node))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    keyed = self._key_of(target)
+                    if keyed is None:
+                        continue
+                    key, anchor = keyed
+                    handled.add(id(anchor))
+                    out.append((key, True, target))
+                    if isinstance(node, ast.AugAssign):
+                        out.append((key, False, target))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    keyed = self._key_of(target)
+                    if keyed is None:
+                        continue
+                    key, anchor = keyed
+                    handled.add(id(anchor))
+                    out.append((key, True, target))
+        for node in nodes:
+            if id(node) in handled:
+                continue
+            if (
+                self.track_self
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                write = not isinstance(node.ctx, ast.Load)
+                out.append((f"self.{node.attr}", write, node))
+            elif isinstance(node, ast.Name) and node.id in self.tracked_names:
+                write = not isinstance(node.ctx, ast.Load)
+                out.append((node.id, write, node))
+        return out
+
+    def _key_of(self, expr: ast.AST) -> Optional[Tuple[str, ast.AST]]:
+        """(key, anchor access node) for a target/receiver expression."""
+        node = expr
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            inner = node.value
+            if (
+                self.track_self
+                and isinstance(inner, ast.Name)
+                and inner.id == "self"
+                and isinstance(node, ast.Attribute)
+            ):
+                return f"self.{node.attr}", node
+            node = inner
+        if isinstance(node, ast.Name) and node.id in self.tracked_names:
+            return node.id, node
+        return None
+
+
+class AwaitStateRule(Rule):
+    code = "A2"
+    title = "state mutated across an await without a queue/lock discipline"
+    rationale = (
+        "Every await is a scheduling point: another task runs and "
+        "observes the instance mid-update.  A field written on one side "
+        "of an await and touched on the other -- in the same coroutine or "
+        "a sibling coroutine of the class -- is exactly the hazard that "
+        "loses stream terminations under load.  Route the value through "
+        "the queue item itself, keep it local to one coroutine, or guard "
+        "both sides with an async lock."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, config, node)
+        for func in iter_functions(module.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                yield from self._check_closures(module, config, func)
+
+    # -- instance state across a class's coroutines --------------------
+
+    def _check_class(self, module, config, cls):
+        scans: Dict[str, _AsyncScan] = {}
+        for node in cls.body:
+            if isinstance(node, ast.AsyncFunctionDef):
+                scans[node.name] = _AsyncScan(config, node, True, set())
+        if not scans:
+            return
+        flagged: Dict[int, Tuple[ast.AST, str]] = {}
+        for name in sorted(scans):
+            self._h1(scans[name], name, flagged)
+        # H2: write in one coroutine, any touch in a sibling coroutine.
+        touched: Dict[str, Set[str]] = {}
+        for name, scan in scans.items():
+            for access in scan.accesses:
+                touched.setdefault(access.key, set()).add(name)
+        for name in sorted(scans):
+            for access in scans[name].accesses:
+                if not access.write or id(access.node) in flagged:
+                    continue
+                others = sorted(touched.get(access.key, set()) - {name})
+                if others:
+                    flagged[id(access.node)] = (
+                        access.node,
+                        f"{access.key} is written in async {name}() and "
+                        f"touched in async {others[0]}(); coroutines "
+                        "interleave at every await -- pass the value through "
+                        "the queue item or guard both sides with an async "
+                        "lock",
+                    )
+        for node, message in sorted(
+            flagged.values(),
+            key=lambda item: (item[0].lineno, item[0].col_offset, item[1]),
+        ):
+            yield self.diagnostic(module, node, message)
+
+    def _h1(self, scan, where, flagged):
+        by_key: Dict[str, List[_Access]] = {}
+        for access in scan.accesses:
+            by_key.setdefault(access.key, []).append(access)
+        for key in sorted(by_key):
+            accesses = by_key[key]
+            for access in accesses:
+                if not access.write or id(access.node) in flagged:
+                    continue
+                if access.loop_hazard:
+                    flagged[id(access.node)] = (
+                        access.node,
+                        f"{key} is mutated inside a loop that awaits in async "
+                        f"{where}(); the next iteration resumes after other "
+                        "tasks ran -- keep the accumulator local or guard the "
+                        "loop body with an async lock",
+                    )
+                elif any(
+                    other.node is not access.node and other.pos != access.pos
+                    for other in accesses
+                ):
+                    flagged[id(access.node)] = (
+                        access.node,
+                        f"{key} is accessed on both sides of an await in "
+                        f"async {where}(); another task can observe or clobber "
+                        "the intermediate state -- recompute after the await "
+                        "or guard with an async lock",
+                    )
+
+    # -- closure/global names inside one coroutine ----------------------
+
+    def _check_closures(self, module, config, func):
+        tracked: Set[str] = set()
+        for node in scope_nodes(func):
+            if isinstance(node, (ast.Nonlocal, ast.Global)):
+                tracked.update(node.names)
+        if not tracked:
+            return
+        flagged: Dict[int, Tuple[ast.AST, str]] = {}
+        self._h1(_AsyncScan(config, func, False, tracked), func.name, flagged)
+        for node, message in sorted(
+            flagged.values(),
+            key=lambda item: (item[0].lineno, item[0].col_offset, item[1]),
+        ):
+            yield self.diagnostic(module, node, message)
+
+
+# ----------------------------------------------------------------------
+# X1: cache mutation without exception-safety discipline
+# ----------------------------------------------------------------------
+
+#: Calls that cannot raise in a way that leaves a half-mutated cache
+#: observable (pure builtins and converters).
+_SAFE_CALL_NAMES = frozenset(
+    {
+        "len", "isinstance", "issubclass", "repr", "str", "int", "float",
+        "bool", "id", "print", "tuple", "min", "max", "sorted", "list",
+        "dict", "set", "frozenset", "getattr", "hasattr", "format", "range",
+        "enumerate", "zip", "abs", "round", "sum",
+    }
+)
+
+#: Attribute calls on a plain-name receiver that are data-structure or
+#: formatting operations, not arbitrary user code.
+_SAFE_CALL_ATTRS = (
+    MUTATING_METHODS
+    | ALIAS_METHODS
+    | frozenset(
+        {
+            "copy", "join", "split", "startswith", "endswith", "lower",
+            "upper", "strip", "format", "isnan", "isclose", "isfinite",
+            "info", "debug", "warning",
+        }
+    )
+)
+
+_FRESH_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "OrderedDict", "defaultdict", "deque", "Counter"}
+)
+
+
+class CacheMutationRule(Rule):
+    code = "X1"
+    title = "cache store mutated without exception-safety discipline"
+    rationale = (
+        "Long-lived stores (TopologyCacheStore, VectorModelStore, "
+        "_EpochMemo) outlive any one epoch; an exception after an "
+        "in-place mutation leaves entries the next epoch will trust.  "
+        "Mutations followed by fallible work must sit in a try whose "
+        "handler resets the store, or build a fresh structure and "
+        "assign it once at the end (build-then-swap)."
+    )
+
+    def check(self, module, config, project):
+        if not module.is_core:
+            return
+        for func, in_store_class in _functions_with_store_class(
+            module.tree, config.cache_store_classes
+        ):
+            yield from self._check_function(module, config, func, in_store_class)
+
+    # ------------------------------------------------------------------
+
+    def _check_function(self, module, config, func, in_store_class):
+        tracked = self._tracked_names(func, config, in_store_class)
+        if not tracked and not in_store_class:
+            return
+        mutations = self._mutations(func, tracked, in_store_class, config)
+        if not mutations:
+            return
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(func):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node, description in mutations:
+            ancestors = self._ancestors(node, func, parents)
+            if self._protected(ancestors, tracked, config):
+                continue
+            if not self._hazardous(func, node, ancestors, parents):
+                continue
+            yield self.diagnostic(
+                module,
+                node,
+                f"{description} in {func.name}() is not exception-safe: a "
+                "later failure leaves the store half-updated for the next "
+                "epoch; wrap in try/except calling reset()/clear(), or build "
+                "locally and assign once at the end",
+            )
+
+    # -- what is tracked ------------------------------------------------
+
+    def _tracked_names(self, func, config, in_store_class) -> Set[str]:
+        tracked: Set[str] = set()
+        args = func.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if config.is_cache_param(arg.arg):
+                tracked.add(arg.arg)
+        changed = True
+        while changed:
+            changed = False
+            for node in scope_nodes(func):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if not self._derives(value, tracked, in_store_class):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in tracked:
+                        tracked.add(target.id)
+                        changed = True
+        return tracked
+
+    def _derives(self, value, tracked, in_store_class) -> bool:
+        """Does this expression alias state already in a tracked store?"""
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Attribute) and func.attr in ALIAS_METHODS:
+                return self._derives(func.value, tracked, in_store_class)
+            dotted = dotted_name(func)
+            if dotted is not None and dotted.split(".")[-1] in _FRESH_CONSTRUCTORS:
+                return False
+            return False
+        node = value
+        while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            if node.id in tracked:
+                return True
+            if in_store_class and node.id == "self" and value is not node:
+                return True
+        return False
+
+    # -- what counts as a mutation --------------------------------------
+
+    def _mutations(self, func, tracked, in_store_class, config):
+        out: List[Tuple[ast.AST, str]] = []
+        for node in scope_nodes(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    described = self._mutating_target(
+                        target, tracked, in_store_class
+                    )
+                    if described is not None:
+                        out.append((target, described))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        described = self._mutating_target(
+                            target, tracked, in_store_class
+                        )
+                        if described is not None:
+                            out.append(
+                                (target, described.replace("item write", "item delete"))
+                            )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in MUTATING_METHODS:
+                    continue
+                if node.func.attr in config.cache_reset_names:
+                    # reset()/clear()/invalidate() IS the sanctioned
+                    # recovery action -- emptying a store is exception-
+                    # safe by definition (no half-applied state).
+                    continue
+                receiver = node.func.value
+                if self._derives(receiver, tracked, in_store_class) or (
+                    isinstance(receiver, ast.Name) and receiver.id in tracked
+                ):
+                    label = dotted_name(node.func) or node.func.attr
+                    out.append((node, f"in-place {label}()"))
+        return out
+
+    def _mutating_target(self, target, tracked, in_store_class) -> Optional[str]:
+        """Description if this store target is an in-place mutation.
+
+        Plain rebinds (``cache = ...``, ``self.entries = ...``) are
+        atomic and exempt -- they ARE the build-then-swap endgame.
+        """
+        if isinstance(target, ast.Subscript):
+            if self._derives(target.value, tracked, in_store_class) or (
+                isinstance(target.value, ast.Name) and target.value.id in tracked
+            ):
+                base = dotted_name(target.value) or "store"
+                return f"item write {base}[...]"
+            return None
+        if isinstance(target, ast.Attribute):
+            inner = target.value
+            if isinstance(inner, ast.Name) and inner.id == "self":
+                return None  # depth-1 self.x rebind: atomic
+            if isinstance(inner, ast.Name) and inner.id in tracked:
+                return f"field write {inner.id}.{target.attr}"
+            if self._derives(inner, tracked, in_store_class):
+                base = dotted_name(inner) or "store"
+                return f"field write {base}.{target.attr}"
+        return None
+
+    # -- protection and hazard ------------------------------------------
+
+    def _ancestors(self, node, func, parents) -> List[ast.AST]:
+        chain: List[ast.AST] = []
+        current = node
+        while current is not func:
+            current = parents.get(current)
+            if current is None:
+                break
+            chain.append(current)
+        return chain
+
+    def _protected(self, ancestors, tracked, config) -> bool:
+        previous: Optional[ast.AST] = None
+        for ancestor in ancestors:
+            if isinstance(ancestor, ast.Try) and previous is not None:
+                in_body = any(
+                    previous is stmt or previous in ast.walk(stmt)
+                    for stmt in ancestor.body
+                )
+                if in_body and any(
+                    self._handler_resets(handler, tracked, config)
+                    for handler in ancestor.handlers
+                ):
+                    return True
+            previous = ancestor
+        return False
+
+    def _handler_resets(self, handler, tracked, config) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is not None and dotted.split(".")[-1] in config.cache_reset_names:
+                    return True
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in tracked:
+                        return True
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        return True
+        return False
+
+    def _hazardous(self, func, node, ancestors, parents) -> bool:
+        for ancestor in ancestors:
+            if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                if self._contains_fallible(ancestor):
+                    return True
+                break  # nearest loop only
+        return self._forward_hazard(func, node, ancestors, parents)
+
+    def _forward_hazard(self, func, node, ancestors, parents) -> bool:
+        """Can a fallible call or raise run after the mutation commits?"""
+        chain = [node] + ancestors  # innermost first, func last
+        for index, ancestor in enumerate(chain[:-1]):
+            parent = chain[index + 1]
+            for field_name in ("body", "orelse", "finalbody"):
+                block = getattr(parent, field_name, None)
+                if not isinstance(block, list) or ancestor not in block:
+                    continue
+                for stmt in block[block.index(ancestor) + 1:]:
+                    if isinstance(stmt, ast.Return):
+                        if stmt.value is not None and self._contains_fallible(
+                            stmt.value
+                        ):
+                            return True
+                        return False  # clean exit
+                    if isinstance(stmt, (ast.Break, ast.Continue)):
+                        break
+                    if self._contains_fallible(stmt):
+                        return True
+        return False
+
+    def _contains_fallible(self, node) -> bool:
+        if isinstance(node, ast.Try) and node.handlers:
+            return any(
+                self._contains_fallible(stmt)
+                for stmt in list(node.orelse) + list(node.finalbody)
+            )
+        if isinstance(node, _SCOPE_NODES):
+            return False
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and self._fallible(node):
+            return True
+        return any(
+            self._contains_fallible(child) for child in ast.iter_child_nodes(node)
+        )
+
+    @staticmethod
+    def _fallible(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id not in _SAFE_CALL_NAMES
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, (ast.Attribute, ast.Subscript)):
+                return False  # data-structure op on a field, not user code
+            return func.attr not in _SAFE_CALL_ATTRS and func.attr not in _SAFE_CALL_NAMES
+        return True
+
+
+def _functions_with_store_class(tree: ast.Module, store_classes: FrozenSet[str]):
+    """(function, defined-inside-a-store-class) pairs, module-wide."""
+
+    def visit(node: ast.AST, in_store: bool):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name in store_classes)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, in_store
+                yield from visit(child, in_store)
+            else:
+                yield from visit(child, in_store)
+
+    yield from visit(tree, False)
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -746,22 +1465,36 @@ RULES: Tuple[Rule, ...] = (
     ModuleStateRule(),
     NondeterminismRule(),
     FloatEqualityRule(),
+    BlockingAsyncRule(),
+    AwaitStateRule(),
+    CacheMutationRule(),
 )
 
-#: Every rule code the linter can emit (incl. project rule C1 and the
-#: L1 unused-suppression meta check).
-ALL_RULE_CODES: Tuple[str, ...] = ("P1", "P2", "D1", "F1", "C1", "L1")
+#: Every rule code the linter can emit (incl. the project-scoped C1
+#: registry-parity and T1 taint rules and the L1 unused-suppression
+#: meta check).
+ALL_RULE_CODES: Tuple[str, ...] = (
+    "P1", "P2", "D1", "F1", "A1", "A2", "X1", "T1", "C1", "L1",
+)
 
 
 def rule_catalog() -> List[Dict[str, str]]:
     """Code/title/rationale for every rule (``lint --list-rules``)."""
     from repro.analysis.parity import RegistryParityRule
     from repro.analysis.suppress import UNUSED_SUPPRESSION_CODE
+    from repro.analysis.taint import TaintSolver
 
     catalog = [
         {"code": rule.code, "title": rule.title, "rationale": rule.rationale}
         for rule in RULES
     ]
+    catalog.append(
+        {
+            "code": TaintSolver.rule_code,
+            "title": TaintSolver.title,
+            "rationale": TaintSolver.rationale,
+        }
+    )
     parity = RegistryParityRule()
     catalog.append(
         {"code": parity.code, "title": parity.title, "rationale": parity.rationale}

@@ -3,28 +3,41 @@
 :func:`run_lint` is the importable API behind ``python -m repro lint``;
 it returns a :class:`LintResult` whose :meth:`~LintResult.to_payload`
 is exactly the CLI's ``--json`` document (one schema, golden-tested).
+
+With a ``cache_path``, runs are incremental: each file's parsed
+artifacts (raw diagnostics, suppressions, cross-file facts, taint
+summary) are keyed on its content hash, so a warm run over an
+unchanged tree re-parses nothing, and the call-graph resolution map is
+re-linked only when some module's import/def skeleton changed.  The
+project-scoped rules (C1 parity over facts, the T1 taint solve) run
+every time -- they are cheap once per-file extraction is cached, and
+cross-file soundness is exactly what must not go stale.
 """
 
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.cache import LintCache, content_sha
 from repro.analysis.config import LintConfig
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.facts import ModuleFacts, extract_facts
 from repro.analysis.parity import RegistryParityRule
 from repro.analysis.rules import RULES, ModuleUnderLint, ProjectIndex
 from repro.analysis.suppress import UNUSED_SUPPRESSION_CODE, SuppressionIndex
+from repro.analysis.taint import CallGraph, ModuleTaint, TaintSolver, extract_summary
 
 __all__ = ["LintResult", "run_lint", "PARSE_ERROR_CODE"]
 
 #: Pseudo-code attached to files the linter could not parse at all.
 PARSE_ERROR_CODE = "E1"
 
-#: Schema version of the ``--json`` payload.
-PAYLOAD_VERSION = 1
+#: Schema version of the ``--json`` payload (2: added "timing").
+PAYLOAD_VERSION = 2
 
 
 @dataclass
@@ -36,6 +49,14 @@ class LintResult:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     suppressions: List[Dict[str, object]] = field(default_factory=list)
     suppressed_count: int = 0
+    wall_time_s: float = 0.0
+    files_reparsed: int = 0
+    files_cached: int = 0
+    callgraph_reused: bool = False
+    #: T1 provenance traces for the *kept* taint diagnostics, in the
+    #: same order; rendered by ``lint --explain T1``.  Side channel:
+    #: not part of the JSON payload schema.
+    taint_traces: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def errors(self) -> int:
@@ -63,6 +84,12 @@ class LintResult:
                 "warnings": self.warnings,
                 "suppressed": self.suppressed_count,
             },
+            "timing": {
+                "wall_time_s": round(self.wall_time_s, 6),
+                "files_reparsed": self.files_reparsed,
+                "files_cached": self.files_cached,
+                "callgraph_reused": self.callgraph_reused,
+            },
         }
 
     @classmethod
@@ -72,6 +99,7 @@ class LintResult:
         if version != PAYLOAD_VERSION:
             raise ValueError(f"unsupported lint payload version {version!r}")
         summary = payload.get("summary", {})
+        timing = payload.get("timing", {})
         return cls(
             root=str(payload["root"]),
             files_scanned=int(payload["files_scanned"]),  # type: ignore[arg-type]
@@ -81,6 +109,10 @@ class LintResult:
             ],
             suppressions=list(payload.get("suppressions", ())),  # type: ignore[arg-type]
             suppressed_count=int(summary.get("suppressed", 0)),  # type: ignore[union-attr]
+            wall_time_s=float(timing.get("wall_time_s", 0.0)),  # type: ignore[union-attr]
+            files_reparsed=int(timing.get("files_reparsed", 0)),  # type: ignore[union-attr]
+            files_cached=int(timing.get("files_cached", 0)),  # type: ignore[union-attr]
+            callgraph_reused=bool(timing.get("callgraph_reused", False)),  # type: ignore[union-attr]
         )
 
     def merged_with(self, other: "LintResult") -> "LintResult":
@@ -93,6 +125,11 @@ class LintResult:
             ),
             suppressions=self.suppressions + other.suppressions,
             suppressed_count=self.suppressed_count + other.suppressed_count,
+            wall_time_s=self.wall_time_s + other.wall_time_s,
+            files_reparsed=self.files_reparsed + other.files_reparsed,
+            files_cached=self.files_cached + other.files_cached,
+            callgraph_reused=self.callgraph_reused and other.callgraph_reused,
+            taint_traces=self.taint_traces + other.taint_traces,
         )
         return merged
 
@@ -108,22 +145,10 @@ def _discover(root: Path) -> List[Path]:
     )
 
 
-def _load_module(
-    root: Path, path: Path, config: LintConfig
-) -> tuple[Optional[ModuleUnderLint], List[Diagnostic]]:
-    """Parse one file; parse failures become E1 diagnostics."""
-    relpath = path.relative_to(root).as_posix() if path != root else path.name
-    try:
-        raw = path.read_bytes()
-    except OSError as exc:
-        return None, [
-            Diagnostic(
-                code=PARSE_ERROR_CODE,
-                message=f"unreadable file: {exc}",
-                path=relpath,
-                line=1,
-            )
-        ]
+def _parse_module(
+    relpath: str, raw: bytes, filename: str, config: LintConfig
+) -> Tuple[Optional[ModuleUnderLint], List[Diagnostic]]:
+    """Parse one file's bytes; parse failures become E1 diagnostics."""
     if len(raw) > config.max_file_bytes:
         return None, [
             Diagnostic(
@@ -135,7 +160,7 @@ def _load_module(
         ]
     source = raw.decode("utf-8", errors="replace")
     try:
-        tree = ast.parse(source, filename=str(path))
+        tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
         return None, [
             Diagnostic(
@@ -156,38 +181,161 @@ def _load_module(
     return module, []
 
 
-def run_lint(root: Path, config: Optional[LintConfig] = None) -> LintResult:
+@dataclass
+class _FileRecord:
+    """Per-file working state for one run."""
+
+    relpath: str
+    filename: str
+    sha: str = ""
+    raw: Optional[bytes] = None
+    entry: Optional[Dict[str, object]] = None  # matching cache entry
+    module: Optional[ModuleUnderLint] = None
+    file_diags: List[Diagnostic] = field(default_factory=list)
+    facts: Optional[ModuleFacts] = None
+    taint: Optional[ModuleTaint] = None
+    suppression_index: Optional[SuppressionIndex] = None
+    parsed: bool = False  # this run actually parsed the file
+
+
+def _extract(record: _FileRecord, config: LintConfig) -> None:
+    """Parse + per-file extraction (facts, taint, suppressions)."""
+    record.parsed = True
+    record.entry = None
+    module, problems = _parse_module(
+        record.relpath, record.raw or b"", record.filename, config
+    )
+    record.module = module
+    record.file_diags = list(problems)
+    if module is not None:
+        record.facts = extract_facts(module, config)
+        record.taint = extract_summary(record.relpath, module.tree, config)
+        record.suppression_index = module.suppressions
+
+
+def _restore(record: _FileRecord, config: LintConfig) -> None:
+    """Rehydrate per-file artifacts from the matching cache entry."""
+    entry = record.entry or {}
+    record.file_diags = [
+        Diagnostic.from_dict(item)  # type: ignore[arg-type]
+        for item in entry.get("diags", ())  # type: ignore[union-attr]
+    ]
+    facts = entry.get("facts")
+    record.facts = ModuleFacts.from_dict(facts) if facts else None  # type: ignore[arg-type]
+    taint = entry.get("taint")
+    record.taint = ModuleTaint.from_dict(taint) if taint else None  # type: ignore[arg-type]
+    record.suppression_index = SuppressionIndex.from_pairs(
+        entry.get("suppressions", [])  # type: ignore[arg-type]
+    )
+
+
+def run_lint(
+    root: Path,
+    config: Optional[LintConfig] = None,
+    cache_path: Optional[Path] = None,
+) -> LintResult:
     """Lint every Python file under ``root`` and return the result.
 
     Diagnostics are sorted by location then code; suppressions are
-    applied per line; unused suppressions surface as L1.
+    applied per line; unused suppressions surface as L1.  With
+    ``cache_path``, unchanged files reuse their cached artifacts.
     """
+    started = time.perf_counter()
     config = config or LintConfig()
     root = Path(root).resolve()
     lint_root = root if root.is_dir() else root.parent
 
-    modules: List[ModuleUnderLint] = []
+    cache = (
+        LintCache.load(cache_path, config.fingerprint())
+        if cache_path is not None
+        else LintCache(config.fingerprint())
+    )
+
+    records: List[_FileRecord] = []
+    for path in _discover(root):
+        relpath = path.relative_to(lint_root).as_posix() if path != root else path.name
+        record = _FileRecord(relpath=relpath, filename=str(path))
+        records.append(record)
+        try:
+            record.raw = path.read_bytes()
+        except OSError as exc:
+            record.file_diags = [
+                Diagnostic(
+                    code=PARSE_ERROR_CODE,
+                    message=f"unreadable file: {exc}",
+                    path=relpath,
+                    line=1,
+                )
+            ]
+            continue
+        record.sha = content_sha(record.raw)
+        record.entry = cache.entry_for(relpath, record.sha)
+        if record.entry is not None:
+            _restore(record, config)
+        else:
+            _extract(record, config)
+
+    # Cross-file float facts gate per-file diagnostic reuse: F1's
+    # verdict in an unchanged file can flip when another file's type
+    # annotations change.
+    project = ProjectIndex.from_facts(
+        [record.facts for record in records if record.facts is not None]
+    )
+    project_fp = project.fingerprint()
+    if cache.project_fp != project_fp:
+        for record in records:
+            if record.entry is not None and record.raw is not None:
+                _extract(record, config)
+
+    # File-scoped rules on freshly parsed modules (cached files carry
+    # their raw diagnostics from the cache entry).
     raw_diagnostics: List[Diagnostic] = []
-    files = _discover(root)
-    for path in files:
-        module, problems = _load_module(lint_root, path, config)
-        raw_diagnostics.extend(problems)
-        if module is not None:
-            modules.append(module)
+    for record in records:
+        if record.parsed and record.module is not None:
+            for rule in RULES:
+                if not config.rule_enabled(rule.code):
+                    continue
+                record.file_diags.extend(
+                    rule.check(record.module, config, project)
+                )
+        raw_diagnostics.extend(record.file_diags)
 
-    project = ProjectIndex.build(modules)
-    for module in modules:
-        for rule in RULES:
-            if not config.rule_enabled(rule.code):
-                continue
-            raw_diagnostics.extend(rule.check(module, config, project))
-
+    # Project-scoped C1 over facts.
     parity = RegistryParityRule()
     if config.rule_enabled(parity.code):
-        raw_diagnostics.extend(parity.check(modules, config))
+        raw_diagnostics.extend(
+            parity.check_facts(
+                [record.facts for record in records if record.facts is not None],
+                config,
+            )
+        )
 
+    # Interprocedural T1: summaries are per-file artifacts; the link
+    # step reuses the cached resolution while the skeleton holds.
+    taints = [record.taint for record in records if record.taint is not None]
+    skeleton_fp = CallGraph.skeleton_fingerprint([m.decls for m in taints])
+    callgraph_reused = bool(
+        cache.skeleton_fp == skeleton_fp and cache.resolution
+    )
+    resolution = (
+        cache.resolution if callgraph_reused else TaintSolver.link(taints)
+    )
+    trace_by_key: Dict[Tuple[str, int, int, str], Dict[str, object]] = {}
+    if config.rule_enabled(TaintSolver.rule_code):
+        solver = TaintSolver(taints, config, resolution)
+        for finding in solver.solve():
+            raw_diagnostics.append(finding.diagnostic)
+            d = finding.diagnostic
+            trace_by_key[(d.path, d.line, d.col, d.message)] = {
+                "diagnostic": d.to_dict(),
+                "steps": finding.trace,
+            }
+
+    # Suppressions, then the L1 staleness check.
     suppression_index: Dict[str, SuppressionIndex] = {
-        module.relpath: module.suppressions for module in modules
+        record.relpath: record.suppression_index
+        for record in records
+        if record.suppression_index is not None
     }
     kept: List[Diagnostic] = []
     suppressed = 0
@@ -199,19 +347,55 @@ def run_lint(root: Path, config: Optional[LintConfig] = None) -> LintResult:
             kept.append(diagnostic)
 
     if config.rule_enabled(UNUSED_SUPPRESSION_CODE):
-        for module in modules:
-            kept.extend(module.suppressions.unused(module.relpath))
+        for record in records:
+            if record.suppression_index is not None:
+                kept.extend(record.suppression_index.unused(record.relpath))
 
     kept.sort(key=Diagnostic.sort_key)
     suppressions = [
         entry
-        for module in sorted(modules, key=lambda m: m.relpath)
-        for entry in module.suppressions.to_dicts(module.relpath)
+        for record in sorted(records, key=lambda r: r.relpath)
+        if record.suppression_index is not None
+        for entry in record.suppression_index.to_dicts(record.relpath)
     ]
+    taint_traces = [
+        trace_by_key[(d.path, d.line, d.col, d.message)]
+        for d in kept
+        if (d.path, d.line, d.col, d.message) in trace_by_key
+    ]
+
+    if cache_path is not None:
+        cache.project_fp = project_fp
+        cache.skeleton_fp = skeleton_fp
+        cache.resolution = resolution
+        cache.files = {
+            record.relpath: {
+                "sha": record.sha,
+                "diags": [d.to_dict() for d in record.file_diags],
+                "suppressions": (
+                    record.suppression_index.pairs()
+                    if record.suppression_index is not None
+                    else []
+                ),
+                "facts": record.facts.to_dict() if record.facts else None,
+                "taint": record.taint.to_dict() if record.taint else None,
+            }
+            for record in records
+            if record.sha
+        }
+        cache.save(cache_path)
+
     return LintResult(
         root=str(root),
-        files_scanned=len(files),
+        files_scanned=len(records),
         diagnostics=kept,
         suppressions=suppressions,
         suppressed_count=suppressed,
+        wall_time_s=time.perf_counter() - started,
+        files_reparsed=sum(1 for record in records if record.parsed),
+        files_cached=sum(
+            1 for record in records if record.entry is not None and not record.parsed
+        ),
+        callgraph_reused=callgraph_reused,
+        taint_traces=taint_traces,
     )

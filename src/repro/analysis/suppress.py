@@ -105,6 +105,34 @@ class SuppressionIndex:
             found[lineno] = Suppression(line=lineno, codes=codes)
         return cls(found)
 
+    @classmethod
+    def from_pairs(
+        cls, pairs: List[Tuple[int, Optional[List[str]]]]
+    ) -> "SuppressionIndex":
+        """Rebuild from :meth:`pairs` output (the incremental cache
+        stores pairs so unchanged files skip tokenization)."""
+        return cls(
+            {
+                int(line): Suppression(
+                    line=int(line),
+                    codes=None if codes is None else tuple(codes),
+                )
+                for line, codes in pairs
+            }
+        )
+
+    def pairs(self) -> List[Tuple[int, Optional[List[str]]]]:
+        """Serializable (line, codes-or-None) view, in line order."""
+        return [
+            (
+                line,
+                None
+                if self._by_line[line].codes is None
+                else list(self._by_line[line].codes),
+            )
+            for line in sorted(self._by_line)
+        ]
+
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:

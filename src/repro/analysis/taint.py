@@ -1,0 +1,772 @@
+"""T1: interprocedural validated-before-use taint analysis.
+
+The paper's thesis -- raw controller inputs must be validated before
+they influence decisions -- applied to this codebase's own dataflow.
+A value is **tainted** when it originates from a raw input source
+(:class:`NetworkSnapshot` / ``RouterSnapshot`` fields, ``UpdateEvent``
+payloads, assembler outputs -- ``LintConfig.taint_source_types``) and
+has not passed through a declared **sanitizer** (``harden_*``,
+``repair_flows``, the vector backend's hardening dispatch --
+``LintConfig.taint_sanitizers``).  Taint reaching a verdict / report /
+apply **sink** (``check_*_entity``, ``ValidationReport``, ``apply_*``
+-- ``LintConfig.taint_sinks``) is a T1 error.
+
+Layered on :mod:`repro.analysis.purity`'s machinery, the analysis is
+flow-insensitive and summary-based so the incremental cache can hold
+per-file results:
+
+1. :func:`extract_summary` (per module, pure function of content)
+   runs the intra-procedural dataflow: every local name maps to a set
+   of taint **roots** -- ``p:<param>`` (parameter), ``s:<line>:<col>``
+   (source-field read), ``o:<name>`` (a name statically typed as a
+   source object), ``c:<line>:<col>`` (a call's return value).  The
+   summary records each function's return roots, every call site with
+   its per-argument roots, and each source read's description.
+2. :class:`TaintSolver` links the summaries over the
+   :class:`~repro.analysis.callgraph.CallGraph` and runs a monotone
+   fixpoint: a callee's parameter root is tainted when any caller
+   passes a tainted argument; a call-return root is tainted when the
+   callee's return roots are.  Unresolved calls and constructor calls
+   of non-source types *break* taint (conservative in the direction
+   that never invents a flow), sanitizer calls kill it, and container
+   pass-throughs (``list``/``sorted``/``.items()``/...) keep it.
+3. Sink calls with a tainted argument become diagnostics, each with a
+   provenance **trace** (source -> call chain -> sink) rendered by
+   ``lint --explain T1``.
+
+Known imprecision, chosen deliberately: the solver is
+context-insensitive (a helper that returns its parameter is tainted
+for every caller once one caller passes taint), and state threaded
+through object attributes (``self.x = tainted`` read elsewhere) is not
+tracked.  Both err toward silence only where a sanitizer or unknown
+call already intervened.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, FunctionDecl, ModuleDecls, extract_decls
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.purity import ALIAS_METHODS
+
+__all__ = [
+    "FunctionSummary",
+    "ModuleTaint",
+    "TaintFinding",
+    "TaintSolver",
+    "extract_summary",
+    "TAINT_RULE_CODE",
+]
+
+TAINT_RULE_CODE = "T1"
+
+#: Builtins that return their argument's *contents*: taint flows
+#: through them (value taint, unlike purity.py's alias analysis).
+_CONTAINER_PASSTHROUGH = frozenset(
+    {"list", "dict", "tuple", "set", "frozenset", "sorted", "reversed", "sum", "min", "max"}
+)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _chain_root(node: ast.AST) -> Optional[str]:
+    """The base Name of an Attribute/Subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _annotation_types(node: Optional[ast.AST]) -> Set[str]:
+    """Every class name an annotation mentions (containers unwrapped)."""
+    names: Set[str] = set()
+    if node is None:
+        return names
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotation: re-parse ("Optional[UpdateEvent]").
+            try:
+                inner = ast.parse(sub.value, mode="eval").body
+            except SyntaxError:
+                continue
+            names.update(_annotation_types(inner))
+    return names
+
+
+@dataclass
+class FunctionSummary:
+    """Serializable taint facts for one function."""
+
+    decl: FunctionDecl
+    source_objects: Dict[str, str] = field(default_factory=dict)  # name -> type
+    sources: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    calls: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    returns: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decl": self.decl.to_dict(),
+            "source_objects": self.source_objects,
+            "sources": self.sources,
+            "calls": self.calls,
+            "returns": self.returns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FunctionSummary":
+        return cls(
+            decl=FunctionDecl.from_dict(payload["decl"]),  # type: ignore[arg-type]
+            source_objects=dict(payload["source_objects"]),  # type: ignore[arg-type]
+            sources={k: dict(v) for k, v in payload["sources"].items()},  # type: ignore[union-attr]
+            calls={k: dict(v) for k, v in payload["calls"].items()},  # type: ignore[union-attr]
+            returns=list(payload["returns"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ModuleTaint:
+    """Every function summary of one module plus its declarations."""
+
+    decls: ModuleDecls
+    summaries: Dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "decls": self.decls.to_dict(),
+            "summaries": {q: s.to_dict() for q, s in self.summaries.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleTaint":
+        return cls(
+            decls=ModuleDecls.from_dict(payload["decls"]),  # type: ignore[arg-type]
+            summaries={
+                q: FunctionSummary.from_dict(entry)
+                for q, entry in payload["summaries"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-function extraction
+# ----------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _own_nodes(func: ast.AST) -> List[ast.AST]:
+    """Nodes in the function's own scope (nested scopes excluded)."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+class _FunctionExtractor:
+    """Runs the intra-procedural dataflow for one function."""
+
+    def __init__(
+        self,
+        decl: FunctionDecl,
+        func: ast.AST,
+        imports: Dict[str, str],
+        config: LintConfig,
+    ) -> None:
+        self.decl = decl
+        self.func = func
+        self.imports = imports
+        self.config = config
+        self.summary = FunctionSummary(decl=decl)
+        self.env: Dict[str, Set[str]] = {}
+        self.source_typed: Set[str] = set()
+        self._nodes = _own_nodes(func)
+
+    # -- static source typing ------------------------------------------
+
+    def _seed_source_types(self) -> None:
+        args = self.func.args
+        all_args = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        for arg in all_args:
+            mentioned = _annotation_types(arg.annotation)
+            hits = sorted(t for t in mentioned if self.config.is_source_type(t))
+            if hits:
+                self.source_typed.add(arg.arg)
+                self.summary.source_objects[arg.arg] = hits[0]
+        # Fixpoint: aliases of source names and source-constructor
+        # results are source objects too.
+        changed = True
+        while changed:
+            changed = False
+            for node in self._nodes:
+                pairs = _binding_pairs(node)
+                for target, value in pairs:
+                    typename = self._source_type_of(value)
+                    if typename is None:
+                        continue
+                    for name in _target_names(target):
+                        if name not in self.source_typed:
+                            self.source_typed.add(name)
+                            self.summary.source_objects.setdefault(name, typename)
+                            changed = True
+
+    def _source_type_of(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Name) and value.id in self.source_typed:
+            return self.summary.source_objects.get(value.id, "source")
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is not None:
+                terminal = dotted.rsplit(".", 1)[-1]
+                if self.config.is_source_type(terminal):
+                    return terminal
+        if isinstance(value, ast.Await):
+            return self._source_type_of(value.value)
+        return None
+
+    # -- value roots ----------------------------------------------------
+
+    def roots_of(self, node: ast.AST) -> Set[str]:
+        if isinstance(node, ast.Name):
+            roots = set(self.env.get(node.id, ()))
+            if node.id in self.source_typed:
+                roots.add(f"o:{node.id}")
+            return roots
+        if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            base = _chain_root(node)
+            if base is not None and base in self.source_typed:
+                if isinstance(node, ast.Attribute) and self.config.is_benign_field(node.attr):
+                    return set()
+                root = f"s:{node.lineno}:{node.col_offset}"
+                self.summary.sources.setdefault(
+                    root,
+                    {
+                        "line": node.lineno,
+                        "col": node.col_offset,
+                        "expr": _dotted(node) or f"{base}[...]",
+                        "type": self.summary.source_objects.get(base, "source"),
+                    },
+                )
+                return {root}
+            return self.roots_of(node.value)
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            terminal = dotted.rsplit(".", 1)[-1] if dotted else None
+            if terminal is not None and self.config.is_sanitizer(terminal):
+                return set()
+            if terminal in _CONTAINER_PASSTHROUGH:
+                roots: Set[str] = set()
+                for arg in node.args:
+                    roots |= self.roots_of(arg)
+                return roots
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ALIAS_METHODS
+            ):
+                return self.roots_of(node.func.value)
+            return {f"c:{node.lineno}:{node.col_offset}"}
+        if isinstance(node, ast.Await):
+            return self.roots_of(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.roots_of(node.left) | self.roots_of(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.roots_of(node.operand)
+        if isinstance(node, ast.BoolOp):
+            roots = set()
+            for value in node.values:
+                roots |= self.roots_of(value)
+            return roots
+        if isinstance(node, ast.IfExp):
+            return self.roots_of(node.body) | self.roots_of(node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self.roots_of(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            roots = set()
+            for elt in node.elts:
+                roots |= self.roots_of(elt)
+            return roots
+        if isinstance(node, ast.Dict):
+            roots = set()
+            for value in node.values:
+                if value is not None:
+                    roots |= self.roots_of(value)
+            return roots
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            roots = self.roots_of(node.elt)
+            for gen in node.generators:
+                roots |= self.roots_of(gen.iter)
+            return roots
+        if isinstance(node, ast.DictComp):
+            roots = self.roots_of(node.key) | self.roots_of(node.value)
+            for gen in node.generators:
+                roots |= self.roots_of(gen.iter)
+            return roots
+        if isinstance(node, ast.JoinedStr):
+            roots = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    roots |= self.roots_of(value.value)
+            return roots
+        return set()
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        self._seed_source_types()
+        for name in self.decl.params:
+            self.env[name] = {f"p:{name}"}
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self._nodes:
+                for target, value in _binding_pairs(node):
+                    roots = self.roots_of(value)
+                    if not roots:
+                        continue
+                    for name in _target_names(target):
+                        have = self.env.setdefault(name, set())
+                        if not roots <= have:
+                            have |= roots
+                            changed = True
+
+        # Second pass with the final environment: call sites + returns.
+        for node in self._nodes:
+            if isinstance(node, ast.Call):
+                self._record_call(node)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for root in self.roots_of(node.value):
+                    if root not in self.summary.returns:
+                        self.summary.returns.append(root)
+        self.summary.returns.sort()
+        return self.summary
+
+    def _record_call(self, node: ast.Call) -> None:
+        display = _dotted(node.func)
+        if display is None:
+            return
+        head, _, _rest = display.partition(".")
+        origin = self.imports.get(head)
+        resolved = display
+        if origin is not None:
+            tail = display.partition(".")[2]
+            resolved = f"{origin}.{tail}" if tail else origin
+        terminal = display.rsplit(".", 1)[-1]
+        kind = "plain"
+        if self.config.is_sanitizer(terminal):
+            kind = "sanitizer"
+        elif self.config.is_sink(terminal):
+            kind = "sink"
+        recv_type: Optional[str] = None
+        if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+            recv = node.func.value.id
+            if recv in self.source_typed:
+                recv_type = self.summary.source_objects.get(recv)
+        args: List[List[object]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            roots = sorted(self.roots_of(arg))
+            if roots:
+                args.append([index, roots, _snippet(arg)])
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            roots = sorted(self.roots_of(keyword.value))
+            if roots:
+                args.append([f"k:{keyword.arg}", roots, _snippet(keyword.value)])
+        call_id = f"{node.lineno}:{node.col_offset}"
+        self.summary.calls[call_id] = {
+            "line": node.lineno,
+            "col": node.col_offset,
+            "display": display,
+            "resolved": resolved,
+            "recv_type": recv_type,
+            "terminal": terminal,
+            "kind": kind,
+            "args": args,
+        }
+
+
+def _snippet(node: ast.AST) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on py>=3.9
+        return "<expr>"
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _binding_pairs(node: ast.AST) -> List[Tuple[ast.AST, ast.AST]]:
+    """(target, value) pairs for every name-binding construct."""
+    if isinstance(node, ast.Assign):
+        return [(target, node.value) for target in node.targets]
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [(node.target, node.value)]
+    if isinstance(node, ast.AugAssign):
+        return [(node.target, node.value)]
+    if isinstance(node, ast.NamedExpr):
+        return [(node.target, node.value)]
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [(node.target, node.iter)]
+    if isinstance(node, ast.comprehension):
+        return [(node.target, node.iter)]
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        return [
+            (item.optional_vars, item.context_expr)
+            for item in node.items
+            if item.optional_vars is not None
+        ]
+    return []
+
+
+def _target_names(target: ast.AST):
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def extract_summary(
+    relpath: str, tree: ast.Module, config: LintConfig
+) -> ModuleTaint:
+    """Declarations plus per-function taint summaries for one module."""
+    decls = extract_decls(relpath, tree)
+    module = ModuleTaint(decls=decls)
+    imports = decls.imports
+
+    index: Dict[int, FunctionDecl] = {}
+    for qual, decl in decls.functions.items():
+        index[(decl.line, decl.col)] = decl  # type: ignore[index]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decl = index.get((node.lineno, node.col_offset))  # type: ignore[call-overload]
+            if decl is None:
+                continue
+            extractor = _FunctionExtractor(decl, node, imports, config)
+            module.summaries[decl.qualname] = extractor.run()
+    return module
+
+
+# ----------------------------------------------------------------------
+# Interprocedural solve
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TaintFinding:
+    """One T1 violation plus the provenance steps behind it."""
+
+    diagnostic: Diagnostic
+    trace: List[Dict[str, object]]
+
+
+class TaintSolver:
+    """Monotone fixpoint over every module's function summaries."""
+
+    rule_code = TAINT_RULE_CODE
+    title = "raw input reaches a verdict/report sink without validation"
+    rationale = (
+        "Every value originating from a raw snapshot, update event, or "
+        "assembled epoch must pass a declared sanitizer (harden_*, "
+        "repair_flows, the vector hardening dispatch) before a "
+        "check_*_entity / ValidationReport / apply_* sink consumes it -- "
+        "the paper's validate-before-use contract enforced across "
+        "function boundaries."
+    )
+
+    def __init__(
+        self,
+        modules: Sequence[ModuleTaint],
+        config: LintConfig,
+        resolution: Optional[Dict[str, Dict[str, List[object]]]] = None,
+    ) -> None:
+        self.config = config
+        self.modules = list(modules)
+        self.summaries: Dict[str, FunctionSummary] = {}
+        for module in self.modules:
+            self.summaries.update(module.summaries)
+        # Only (re)build the call graph when the caller did not hand us
+        # a cached resolution map -- that reuse is the whole point of
+        # the skeleton fingerprint.
+        if resolution is None:
+            resolution = self.link(self.modules)
+        self.resolution = resolution
+        self.tainted: Dict[str, Set[str]] = {}
+        # (qualname, root) -> provenance edge for trace reconstruction.
+        self._why: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def link(
+        modules: Sequence[ModuleTaint], graph: Optional[CallGraph] = None
+    ) -> Dict[str, Dict[str, List[object]]]:
+        """Resolve every call site: qualname -> call_id -> [callee, bound].
+
+        Separated from solving so the incremental runner can cache it
+        against the skeleton fingerprint and re-link only when the
+        import/def shape changes.
+        """
+        if graph is None:
+            graph = CallGraph([m.decls for m in modules])
+        resolution: Dict[str, Dict[str, List[object]]] = {}
+        for module in modules:
+            for qual, summary in sorted(module.summaries.items()):
+                table: Dict[str, List[object]] = {}
+                for call_id, call in sorted(summary.calls.items()):
+                    hit = graph.resolve(
+                        summary.decl,
+                        call.get("display"),  # type: ignore[arg-type]
+                        call.get("resolved"),  # type: ignore[arg-type]
+                        call.get("recv_type"),  # type: ignore[arg-type]
+                    )
+                    if hit is not None:
+                        table[call_id] = [hit[0], hit[1]]
+                if table:
+                    resolution[qual] = table
+        return resolution
+
+    # ------------------------------------------------------------------
+
+    def solve(self) -> List[TaintFinding]:
+        for qual, summary in self.summaries.items():
+            roots = set(summary.sources)
+            roots.update(f"o:{name}" for name in summary.source_objects)
+            self.tainted[qual] = roots
+
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.summaries):
+                summary = self.summaries[qual]
+                table = self.resolution.get(qual, {})
+                for call_id in sorted(summary.calls):
+                    call = summary.calls[call_id]
+                    if call["kind"] == "sanitizer":
+                        continue
+                    target = table.get(call_id)
+                    if target is None:
+                        continue
+                    callee_qual, bound = str(target[0]), bool(target[1])
+                    callee = self.summaries.get(callee_qual)
+                    if callee is None:
+                        continue
+                    changed |= self._propagate_args(qual, call, callee, bound)
+                    changed |= self._propagate_return(qual, call_id, call, callee)
+        return self._findings()
+
+    def _propagate_args(
+        self,
+        caller_qual: str,
+        call: Dict[str, object],
+        callee: FunctionSummary,
+        bound: bool,
+    ) -> bool:
+        params = list(callee.decl.params)
+        offset = 1 if bound and params and params[0] in ("self", "cls") else 0
+        caller_tainted = self.tainted[caller_qual]
+        changed = False
+        for argref, roots, snippet in call["args"]:  # type: ignore[misc]
+            live = sorted(r for r in roots if r in caller_tainted)
+            if not live:
+                continue
+            if isinstance(argref, int):
+                pindex = argref + offset
+                if pindex >= len(params):
+                    continue
+                pname = params[pindex]
+            else:
+                pname = str(argref)[2:]
+                if pname not in params:
+                    continue
+            proot = f"p:{pname}"
+            if proot not in self.tainted[callee.decl.qualname]:
+                self.tainted[callee.decl.qualname].add(proot)
+                self._why[(callee.decl.qualname, proot)] = (
+                    "arg",
+                    caller_qual,
+                    str(call["line"]),
+                    live[0],
+                    str(snippet),
+                )
+                changed = True
+        return changed
+
+    def _propagate_return(
+        self,
+        caller_qual: str,
+        call_id: str,
+        call: Dict[str, object],
+        callee: FunctionSummary,
+    ) -> bool:
+        croot = f"c:{call_id}"
+        if croot in self.tainted[caller_qual]:
+            return False
+        callee_tainted = self.tainted[callee.decl.qualname]
+        live = sorted(r for r in callee.returns if r in callee_tainted)
+        if not live:
+            return False
+        self.tainted[caller_qual].add(croot)
+        self._why[(caller_qual, croot)] = (
+            "ret",
+            callee.decl.qualname,
+            str(call["line"]),
+            live[0],
+        )
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _findings(self) -> List[TaintFinding]:
+        findings: List[TaintFinding] = []
+        for qual in sorted(self.summaries):
+            summary = self.summaries[qual]
+            if not self.config.is_core_path(summary.decl.relpath):
+                continue
+            for call_id in sorted(summary.calls):
+                call = summary.calls[call_id]
+                if call["kind"] != "sink":
+                    continue
+                witness: Optional[Tuple[str, str]] = None
+                for _argref, roots, snippet in call["args"]:  # type: ignore[misc]
+                    live = sorted(r for r in roots if r in self.tainted[qual])
+                    if live:
+                        witness = (live[0], str(snippet))
+                        break
+                if witness is None:
+                    continue
+                root, snippet = witness
+                trace = self._trace(qual, root)
+                origin = trace[0] if trace else None
+                where = (
+                    f"{origin['path']}:{origin['line']}" if origin else "its source"
+                )
+                diagnostic = Diagnostic(
+                    code=self.rule_code,
+                    message=(
+                        f"unvalidated input reaches sink {call['terminal']}(): "
+                        f"argument {snippet!r} is tainted from {where} and no "
+                        "sanitizer (harden_*/repair_flows) intervenes; see "
+                        "lint --explain T1"
+                    ),
+                    path=summary.decl.relpath,
+                    line=int(call["line"]),  # type: ignore[arg-type]
+                    col=int(call["col"]),  # type: ignore[arg-type]
+                    severity=Severity.ERROR,
+                )
+                trace.append(
+                    {
+                        "kind": "sink",
+                        "path": summary.decl.relpath,
+                        "line": int(call["line"]),  # type: ignore[arg-type]
+                        "detail": f"argument {snippet!r} of {call['terminal']}()",
+                    }
+                )
+                findings.append(TaintFinding(diagnostic=diagnostic, trace=trace))
+        return findings
+
+    def _trace(self, qual: str, root: str) -> List[Dict[str, object]]:
+        """Provenance steps, source first, by walking the why-edges."""
+        steps: List[Dict[str, object]] = []
+        seen: Set[Tuple[str, str]] = set()
+        while len(steps) < 24:
+            if (qual, root) in seen:
+                break
+            seen.add((qual, root))
+            summary = self.summaries[qual]
+            relpath = summary.decl.relpath
+            if root.startswith("s:"):
+                info = summary.sources.get(root, {})
+                steps.append(
+                    {
+                        "kind": "source",
+                        "path": relpath,
+                        "line": int(info.get("line", summary.decl.line)),
+                        "detail": (
+                            f"read of raw {info.get('type', 'source')} "
+                            f"field {info.get('expr', '?')}"
+                        ),
+                    }
+                )
+                break
+            if root.startswith("o:"):
+                name = root[2:]
+                typename = summary.source_objects.get(name, "source")
+                steps.append(
+                    {
+                        "kind": "source",
+                        "path": relpath,
+                        "line": summary.decl.line,
+                        "detail": (
+                            f"{name!r} in {summary.decl.name}() carries a raw "
+                            f"{typename}"
+                        ),
+                    }
+                )
+                break
+            edge = self._why.get((qual, root))
+            if edge is None:
+                steps.append(
+                    {
+                        "kind": "via",
+                        "path": relpath,
+                        "line": summary.decl.line,
+                        "detail": f"tainted value inside {summary.decl.name}()",
+                    }
+                )
+                break
+            if edge[0] == "arg":
+                _kind, caller_qual, line, caller_root, snippet = edge
+                steps.append(
+                    {
+                        "kind": "argument",
+                        "path": self.summaries[caller_qual].decl.relpath,
+                        "line": int(line),
+                        "detail": (
+                            f"{snippet} passed to {summary.decl.name}() "
+                            f"parameter {root[2:]!r}"
+                        ),
+                    }
+                )
+                qual, root = caller_qual, caller_root
+            else:
+                _kind, callee_qual, line, callee_root = edge
+                steps.append(
+                    {
+                        "kind": "return",
+                        "path": relpath,
+                        "line": int(line),
+                        "detail": (
+                            f"returned by "
+                            f"{self.summaries[callee_qual].decl.name}()"
+                        ),
+                    }
+                )
+                qual, root = callee_qual, callee_root
+        steps.reverse()
+        return steps

@@ -166,7 +166,12 @@ def _update_family(
         recomputed += 1
         if changed is not None and old != entry:
             changed.add(key)
-        cache[key] = entry
+        # Exception safety lives one level up: every call sits inside
+        # IncrementalValidator.validate()'s except-BaseException block,
+        # which reset()s the whole memo/cache state before re-raising,
+        # so a half-updated family can never survive into the next
+        # epoch.  X1 is file-scoped and cannot see the caller's guard.
+        cache[key] = entry  # lint: ignore[X1]
     counts[0] += recomputed
     counts[1] += len(cache) - recomputed
     return cache

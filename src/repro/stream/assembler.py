@@ -235,7 +235,14 @@ class EpochAssembler:
             coverage: Dict[str, int] = {}
             for key in sorted(state.events):
                 event = state.events[key]
-                apply_update(snapshot, event.path, event.value, event.meta)
+                # Assembly is the replay half of the event codec and
+                # deliberately upstream of validation: apply_update()
+                # must write the *raw* wire values (malformed junk
+                # included) into the snapshot, because hardening this
+                # early would hide exactly the garbage the engine's
+                # harden_* stages exist to catch.  Every sealed epoch
+                # is hardened by the engine before any verdict.
+                apply_update(snapshot, event.path, event.value, event.meta)  # lint: ignore[T1]
                 coverage[event.router] = coverage.get(event.router, 0) + 1
             missing = tuple(r for r in self.expected if r not in coverage)
             span.annotate(

@@ -25,7 +25,14 @@ Design points:
 * **Ordered completion.**  A feed's end-of-stream marker travels
   through the same queue *behind* its deliveries, so the assembler
   never learns a feed is done while that feed's updates are still
-  queued.
+  queued.  The consumer terminates by counting *terminal* markers --
+  one per producer task, enqueued as that task's very last put -- so
+  shutdown is itself ordered through the queue and cannot race a
+  producer whose final marker is written but not yet enqueued.
+* **Run-scoped state.**  Queue, counters, and the result object live
+  in a per-run ``_RunState`` passed explicitly to every coroutine;
+  the pipeline object holds no mutable run state, so overlapping
+  ``run_async()`` calls cannot interfere.
 * **Graceful drain.**  After every producer finishes, the consumer
   empties the queue and then drains the assembler, sealing whatever
   the watermark could not (the final epochs of any bounded run).
@@ -61,9 +68,39 @@ _BACKPRESSURE_POLICIES = ("block", "drop-oldest")
 
 @dataclass(frozen=True)
 class _FeedDone:
-    """In-band end-of-stream marker for one feed (never dropped)."""
+    """In-band end-of-stream marker for one feed (never dropped).
+
+    ``terminal`` marks a *producer task* exiting (its very last put).
+    The consumer runs until it has seen one terminal marker per
+    producer task -- the only termination signal that cannot race,
+    because FIFO order guarantees every event a producer enqueued
+    travels ahead of its terminal marker.  (The previous design
+    counted live producers in a shared integer decremented *before*
+    the marker was enqueued; a consumer scheduled inside that window
+    saw zero producers and an empty queue while the woken-but-
+    unscheduled putter still held the final marker, and shut down
+    without processing it.)
+    """
 
     router: str
+    terminal: bool = False
+
+
+@dataclass
+class _RunState:
+    """Mutable state owned by exactly one ``run_async()`` call.
+
+    Producers and the consumer share this object through explicit
+    parameters instead of pipeline attributes, so one pipeline can
+    never bleed counters or queue items across overlapping runs, and
+    hodor-lint A2 can verify no instance state straddles an ``await``.
+    """
+
+    queue: asyncio.Queue
+    result: StreamResult
+    retries: int = 0
+    shed: int = 0
+    abandoned: List[str] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -204,12 +241,6 @@ class StreamPipeline:
         ):
             counter.inc(0.0)
         self._queue_gauge.set(0.0)
-        self._queue: Optional[asyncio.Queue] = None
-        self._active = 0
-        self._retries = 0
-        self._shed = 0
-        self._abandoned: List[str] = []
-        self._result: Optional[StreamResult] = None
 
     @staticmethod
     def _as_callable(inputs_for) -> Callable[[float], object]:
@@ -232,7 +263,7 @@ class StreamPipeline:
             return await asyncio.wait_for(method(), self.config.feed_timeout_s)
         return method()
 
-    async def _pull(self, feed: RouterFeed) -> Optional[UpdateEvent]:
+    async def _pull(self, state: _RunState, feed: RouterFeed) -> Optional[UpdateEvent]:
         """Next delivery with retry/backoff; ``None`` = exhausted or
         abandoned (the caller cannot tell, and does not need to)."""
         attempts = 0
@@ -241,16 +272,16 @@ class StreamPipeline:
                 return await self._attempt(feed)
             except (FeedError, asyncio.TimeoutError):
                 attempts += 1
-                self._retries += 1
+                state.retries += 1
                 self._retry_total.inc()
                 if attempts > self.config.max_retries:
-                    self._abandoned.append(feed.router)
+                    state.abandoned.append(feed.router)
                     self._abandoned_total.inc()
                     return None
                 await asyncio.sleep(self.config.backoff_base_s * (2 ** (attempts - 1)))
 
-    async def _enqueue(self, item: object) -> None:
-        queue = self._queue
+    async def _enqueue(self, state: _RunState, item: object) -> None:
+        queue = state.queue
         if self.config.backpressure == "block" or isinstance(item, _FeedDone):
             await queue.put(item)
         else:
@@ -259,18 +290,18 @@ class StreamPipeline:
                     queue.put_nowait(item)
                     break
                 except asyncio.QueueFull:
-                    if not self._shed_oldest():
+                    if not self._shed_oldest(state):
                         # Queue full of control items: nothing is
                         # droppable, so fall back to blocking.
                         await queue.put(item)
                         break
         self._queue_gauge.set(float(queue.qsize()))
 
-    def _shed_oldest(self) -> bool:
+    def _shed_oldest(self, state: _RunState) -> bool:
         """Discard the oldest queued *event*; controls are re-queued
         behind it (only ever delayed, never lost or reordered ahead of
         their own feed's events, which are all already dequeued)."""
-        queue = self._queue
+        queue = state.queue
         controls: List[object] = []
         shed = False
         while not shed:
@@ -282,33 +313,35 @@ class StreamPipeline:
                 controls.append(item)
             else:
                 shed = True
-                self._shed += 1
+                state.shed += 1
                 self._shed_total.inc()
         for control in controls:
             queue.put_nowait(control)
         return shed
 
-    async def _produce_one(self, feed: RouterFeed) -> None:
-        """Concurrent mode: one producer task per feed."""
+    async def _produce_one(self, state: _RunState, feed: RouterFeed) -> None:
+        """Concurrent mode: one producer task per feed.  The feed's
+        done-marker doubles as this task's terminal marker."""
         try:
             while True:
-                event = await self._pull(feed)
+                event = await self._pull(state, feed)
                 if event is None:
                     break
-                await self._enqueue(event)
+                await self._enqueue(state, event)
         finally:
-            self._active -= 1
-            await self._queue.put(_FeedDone(feed.router))
+            await state.queue.put(_FeedDone(feed.router, terminal=True))
 
-    async def _produce_merged(self) -> None:
-        """Deterministic mode: merge every feed in delivery order."""
+    async def _produce_merged(self, state: _RunState) -> None:
+        """Deterministic mode: merge every feed in delivery order.
+        Per-feed done-markers are non-terminal (the single producer is
+        still running); one terminal marker closes the task."""
         try:
             heap: List[Tuple[float, str, int, int, UpdateEvent, RouterFeed]] = []
             tiebreak = 0
             for feed in self._feeds:
-                event = await self._pull(feed)
+                event = await self._pull(state, feed)
                 if event is None:
-                    await self._queue.put(_FeedDone(feed.router))
+                    await state.queue.put(_FeedDone(feed.router))
                     continue
                 tiebreak += 1
                 heapq.heappush(
@@ -317,10 +350,10 @@ class StreamPipeline:
                 )
             while heap:
                 _ts, _router, _uid, _tb, event, feed = heapq.heappop(heap)
-                await self._enqueue(event)
-                replacement = await self._pull(feed)
+                await self._enqueue(state, event)
+                replacement = await self._pull(state, feed)
                 if replacement is None:
-                    await self._queue.put(_FeedDone(feed.router))
+                    await state.queue.put(_FeedDone(feed.router))
                     continue
                 tiebreak += 1
                 heapq.heappush(
@@ -335,15 +368,16 @@ class StreamPipeline:
                     ),
                 )
         finally:
-            self._active -= 1
-            await self._queue.put(_FeedDone(""))
+            await state.queue.put(_FeedDone("", terminal=True))
 
     # ------------------------------------------------------------------
     # Consumer
     # ------------------------------------------------------------------
 
-    def _validate_epoch(self, epoch: AssembledEpoch, sealed_at: float) -> None:
-        result = self._result
+    def _validate_epoch(
+        self, state: _RunState, epoch: AssembledEpoch, sealed_at: float
+    ) -> None:
+        result = state.result
         inputs = self._inputs_for(epoch.timestamp)
         with self.tracer.span(
             "stream.epoch",
@@ -360,25 +394,32 @@ class StreamPipeline:
         result.reports.append(report)
         result.epoch_latency_s.append(event_loop_time() - sealed_at)
 
-    async def _consume(self) -> None:
-        queue = self._queue
+    async def _consume(self, state: _RunState, remaining: int) -> None:
+        """Drain the queue until every producer's terminal marker has
+        been seen.  Each producer enqueues its terminal marker last, so
+        FIFO order makes ``remaining == 0`` imply every queued event
+        and done-marker has already been processed -- no shared
+        counter, no window in which a pending marker can be missed."""
+        queue = state.queue
         assembler = self._assembler
-        while self._active > 0 or not queue.empty():
+        while remaining > 0:
             item = await queue.get()
             self._queue_gauge.set(float(queue.qsize()))
             if isinstance(item, _FeedDone):
+                if item.terminal:
+                    remaining -= 1
                 sealed = assembler.mark_done(item.router) if item.router else []
             else:
                 sealed = assembler.offer(item)
             if sealed:
                 sealed_at = event_loop_time()
                 for epoch in sealed:
-                    self._validate_epoch(epoch, sealed_at)
+                    self._validate_epoch(state, epoch, sealed_at)
         drained = assembler.drain()
         if drained:
             sealed_at = event_loop_time()
             for epoch in drained:
-                self._validate_epoch(epoch, sealed_at)
+                self._validate_epoch(state, epoch, sealed_at)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -386,33 +427,32 @@ class StreamPipeline:
 
     async def run_async(self) -> StreamResult:
         """Run the pipeline to completion inside a running loop."""
-        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
-        self._result = StreamResult()
+        state = _RunState(
+            queue=asyncio.Queue(maxsize=self.config.queue_size),
+            result=StreamResult(),
+        )
         if self.config.deterministic:
-            self._active = 1
-            producers = [asyncio.ensure_future(self._produce_merged())]
+            producers = [asyncio.ensure_future(self._produce_merged(state))]
         else:
-            self._active = len(self._feeds)
             producers = [
-                asyncio.ensure_future(self._produce_one(feed)) for feed in self._feeds
+                asyncio.ensure_future(self._produce_one(state, feed))
+                for feed in self._feeds
             ]
-        if not producers:
-            self._active = 0
         try:
-            await self._consume()
+            await self._consume(state, remaining=len(producers))
             for task in producers:
                 await task
         finally:
             for task in producers:
                 if not task.done():
                     task.cancel()
-        result = self._result
+        result = state.result
         result.updates = self._assembler.updates
         result.late_dropped = self._assembler.late_dropped
         result.duplicates = self._assembler.duplicates
-        result.backpressure_dropped = self._shed
-        result.retries = self._retries
-        result.abandoned = tuple(self._abandoned)
+        result.backpressure_dropped = state.shed
+        result.retries = state.retries
+        result.abandoned = tuple(state.abandoned)
         feed_dropped = sum(feed.stats.dropped for feed in self._feeds)
         self._feed_dropped_total.set_to(float(feed_dropped))
         return result

@@ -1,0 +1,11 @@
+"""Blocking calls and lost executor futures inside coroutines."""
+
+import time
+
+
+async def poll(loop, executor, job):
+    time.sleep(0.1)
+    data = open("/tmp/scratch").read()
+    loop.run_in_executor(executor, job)
+    future = loop.run_in_executor(executor, job)
+    return data

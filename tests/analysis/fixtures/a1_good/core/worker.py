@@ -1,0 +1,9 @@
+"""The non-blocking counterparts of every a1_bad hazard."""
+
+import asyncio
+
+
+async def poll(loop, executor, job):
+    await asyncio.sleep(0.1)
+    future = loop.run_in_executor(executor, job)
+    return await future

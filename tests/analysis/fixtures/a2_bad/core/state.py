@@ -1,0 +1,24 @@
+"""Instance state straddling awaits, three hazard shapes."""
+
+
+class Tracker:
+    async def step(self, queue):
+        before = self._count
+        item = await queue.get()
+        self._count = before + 1
+        return item
+
+    async def spin(self, queue):
+        for item in self._items:
+            self._seen += 1
+            await queue.put(item)
+
+
+class Pair:
+    async def produce(self, queue):
+        self._live -= 1
+        await queue.put(None)
+
+    async def consume(self, queue):
+        while self._live > 0:
+            await queue.get()

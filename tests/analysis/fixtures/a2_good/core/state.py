@@ -1,0 +1,17 @@
+"""Queue and lock disciplines that make the a2_bad shapes safe."""
+
+
+class Guarded:
+    async def step(self, queue):
+        async with self._lock:
+            self._count += 1
+        await queue.put(None)
+
+
+class Channelled:
+    async def produce(self, queue):
+        total = 0
+        for item in self._items:
+            total += item
+            await queue.put(item)
+        await queue.put(total)

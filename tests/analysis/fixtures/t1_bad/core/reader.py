@@ -1,0 +1,10 @@
+"""Reads raw fields out of source-typed telemetry objects."""
+
+
+def read_rate(snap: "RouterSnapshot"):
+    return snap.rate
+
+
+def relay_rate(snap: "RouterSnapshot"):
+    value = read_rate(snap)
+    return value

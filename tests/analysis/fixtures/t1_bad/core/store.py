@@ -1,0 +1,6 @@
+"""Method-dispatch leg of the taint chain."""
+
+
+class EpochStore:
+    def flows_of(self, epoch: "AssembledEpoch"):
+        return epoch.flows

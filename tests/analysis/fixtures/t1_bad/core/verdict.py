@@ -1,0 +1,13 @@
+"""Sinks fed by raw input across function boundaries."""
+
+from core.reader import relay_rate
+
+
+def verdict(snap: "RouterSnapshot"):
+    rate = relay_rate(snap)
+    return check_link_entity(rate)
+
+
+def summarize(store, epoch: "AssembledEpoch"):
+    flows = store.flows_of(epoch)
+    return ValidationReport(flows)

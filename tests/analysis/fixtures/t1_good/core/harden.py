@@ -1,0 +1,7 @@
+"""The declared sanitizer: clamps raw readings to the valid domain."""
+
+
+def harden_rate(value):
+    if value is None:
+        return 0.0
+    return value

@@ -1,0 +1,5 @@
+"""Same chain as t1_bad, with the sanitizer in the path."""
+
+
+def read_rate(snap: "RouterSnapshot"):
+    return snap.rate

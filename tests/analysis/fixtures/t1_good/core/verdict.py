@@ -1,0 +1,13 @@
+"""Validated-before-use: hardening kills the taint before the sink."""
+
+from core.harden import harden_rate
+from core.reader import read_rate
+
+
+def verdict(snap: "RouterSnapshot"):
+    rate = harden_rate(read_rate(snap))
+    return check_link_entity(rate)
+
+
+def stamp(snap: "NetworkSnapshot"):
+    return check_epoch_entity(snap.timestamp)

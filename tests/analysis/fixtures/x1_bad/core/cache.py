@@ -1,0 +1,16 @@
+"""Cache mutations a mid-flight exception leaves half-applied."""
+
+
+class TopologyCacheStore:
+    def refresh(self, keys, compute):
+        for key in keys:
+            self._entries[key] = compute(key)
+
+    def insert(self, key, value, audit):
+        self._entries[key] = value
+        audit(key)
+
+
+def warm(memo, keys, compute):
+    for key in keys:
+        memo[key] = compute(key)

@@ -1,0 +1,24 @@
+"""Exception-safe counterparts: reset-on-error and build-then-swap."""
+
+
+class TopologyCacheStore:
+    def refresh(self, keys, compute):
+        fresh = {}
+        for key in keys:
+            fresh[key] = compute(key)
+        self._entries = fresh
+
+    def insert(self, key, value, audit):
+        try:
+            self._entries[key] = value
+            audit(key)
+        except Exception:
+            self._entries.clear()
+            raise
+
+
+def warm(memo, keys, compute):
+    fresh = {}
+    for key in keys:
+        fresh[key] = compute(key)
+    memo.update(fresh)

@@ -25,9 +25,12 @@ def test_bad_fixture_exits_one_with_file_line_diagnostics(capsys):
 def test_json_flag_emits_the_payload_schema(capsys):
     assert main(["lint", str(FIXTURES / "f1"), "--json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["summary"]["errors"] == 3
     assert [d["code"] for d in payload["diagnostics"]] == ["F1", "F1", "F1"]
+    assert payload["timing"]["files_reparsed"] == 2
+    assert payload["timing"]["files_cached"] == 0
+    assert payload["timing"]["wall_time_s"] > 0.0
 
 
 def test_rule_filter_and_unknown_rule(capsys):
@@ -58,3 +61,40 @@ def test_default_root_is_live_package(capsys):
     assert main(["lint"]) == 0
     out = capsys.readouterr().out
     assert "clean" in out
+
+
+def test_github_format_emits_error_annotations(capsys):
+    assert main(["lint", str(FIXTURES / "f1"), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=core/bad_float.py,line=5,col=12,title=lint F1::F1:" in out
+    assert out.count("::error ") == 3
+
+
+def test_explain_renders_the_taint_path_golden(capsys):
+    assert main(["lint", str(FIXTURES / "t1_bad"), "--explain", "T1"]) == 1
+    out = capsys.readouterr().out
+    golden = (Path(__file__).parent / "golden" / "t1_explain.txt").read_text()
+    assert out == golden
+
+
+def test_explain_with_no_findings_says_so(capsys):
+    assert main(["lint", str(FIXTURES / "clean"), "--explain", "T1"]) == 0
+    out = capsys.readouterr().out
+    assert "no T1 findings." in out
+
+
+def test_explain_unknown_code_exits_two(capsys):
+    assert main(["lint", str(FIXTURES / "clean"), "--explain", "ZZ"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_cache_flag_round_trips_through_the_cli(capsys, tmp_path):
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(FIXTURES / "f1"), "--cache", str(cache), "--json"]) == 1
+    cold = json.loads(capsys.readouterr().out)
+    assert cache.exists()
+    assert main(["lint", str(FIXTURES / "f1"), "--cache", str(cache), "--json"]) == 1
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["timing"]["files_cached"] == 2
+    assert warm["timing"]["files_reparsed"] == 0
+    assert warm["diagnostics"] == cold["diagnostics"]

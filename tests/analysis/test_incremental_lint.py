@@ -1,0 +1,111 @@
+"""Incremental lint: content-hash reuse, invalidation, wall time.
+
+The cache contract: a byte-identical file is never re-parsed; any
+changed file is; a changed manifest (config fingerprint) or changed
+import/def skeleton discards the cross-file artifacts that depend on
+it.  Findings must be identical between cold and warm runs -- the
+cache is a pure accelerator, never an oracle.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+LIVE = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _findings(result):
+    return [(d.path, d.line, d.code) for d in result.diagnostics]
+
+
+def test_warm_run_reuses_every_file_and_the_call_graph(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "t1_bad", root)
+    cache = tmp_path / "lint-cache.json"
+
+    cold = run_lint(root, cache_path=cache)
+    assert cold.files_reparsed == 3
+    assert cold.files_cached == 0
+    assert not cold.callgraph_reused
+
+    warm = run_lint(root, cache_path=cache)
+    assert warm.files_reparsed == 0
+    assert warm.files_cached == 3
+    assert warm.callgraph_reused
+    assert _findings(warm) == _findings(cold)
+    # T1 traces survive the cached path (summaries round-trip).
+    assert len(warm.taint_traces) == len(cold.taint_traces) == 2
+
+
+def test_touched_file_is_reparsed_but_skeleton_reuse_holds(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "t1_bad", root)
+    cache = tmp_path / "lint-cache.json"
+    run_lint(root, cache_path=cache)
+
+    reader = root / "core" / "reader.py"
+    # A body-level edit: same imports, same defs -> same skeleton.
+    reader.write_text(
+        reader.read_text(encoding="utf-8").replace(
+            "value = read_rate(snap)", "value = read_rate(snap)  # touched"
+        ),
+        encoding="utf-8",
+    )
+    warm = run_lint(root, cache_path=cache)
+    assert warm.files_reparsed == 1
+    assert warm.files_cached == 2
+    assert warm.callgraph_reused
+
+
+def test_skeleton_change_rebuilds_the_call_graph(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "t1_bad", root)
+    cache = tmp_path / "lint-cache.json"
+    run_lint(root, cache_path=cache)
+
+    store = root / "core" / "store.py"
+    store.write_text(
+        store.read_text(encoding="utf-8") + "\n\ndef extra_probe():\n    return 0\n",
+        encoding="utf-8",
+    )
+    warm = run_lint(root, cache_path=cache)
+    assert warm.files_reparsed == 1
+    assert not warm.callgraph_reused
+
+
+def test_config_fingerprint_change_discards_the_whole_cache(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "t1_bad", root)
+    cache = tmp_path / "lint-cache.json"
+    run_lint(root, cache_path=cache)
+
+    # A removed sanitizer entry MUST flip verdicts, so summaries keyed
+    # to the old manifest may not be reused.
+    altered = run_lint(
+        root, config=LintConfig(taint_sanitizers=()), cache_path=cache
+    )
+    assert altered.files_reparsed == 3
+    assert altered.files_cached == 0
+
+
+def test_corrupt_cache_degrades_to_a_cold_run(tmp_path):
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "t1_bad", root)
+    cache = tmp_path / "lint-cache.json"
+    cache.write_text("{ not json", encoding="utf-8")
+    result = run_lint(root, cache_path=cache)
+    assert result.files_reparsed == 3
+    assert len(result.diagnostics) == 2
+
+
+def test_warm_run_on_the_live_tree_is_faster(tmp_path):
+    cache = tmp_path / "lint-cache.json"
+    cold = run_lint(LIVE, cache_path=cache)
+    warm = run_lint(LIVE, cache_path=cache)
+    assert cold.ok and warm.ok
+    assert warm.files_reparsed == 0
+    assert warm.files_cached == cold.files_reparsed == cold.files_scanned
+    assert warm.callgraph_reused
+    assert warm.wall_time_s < cold.wall_time_s

@@ -24,6 +24,7 @@ def test_json_output_matches_golden():
     result = run_lint(FIXTURES / "suppressed")
     payload = json.loads(to_json_text(result))
     payload["root"] = "<ROOT>"
+    payload["timing"]["wall_time_s"] = "<WALL>"
     golden = json.loads((GOLDEN / "suppressed.json").read_text())
     assert payload == golden
 

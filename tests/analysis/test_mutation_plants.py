@@ -1,0 +1,96 @@
+"""Mutation-testing the analyzer: plant known bugs, assert detection.
+
+A taint engine that never fires is indistinguishable from a correct
+one on a clean tree.  These tests copy a known-clean fixture, plant
+the exact bug class each rule exists for, and assert the finding
+appears at the planted line -- plus the manifest-sensitivity check:
+deleting a sanitizer entry must flip a passing tree to failing.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings(result):
+    return [(d.path, d.line, d.code) for d in result.diagnostics]
+
+
+def test_planted_route_around_hardening_is_caught(tmp_path):
+    """Raw link_status piped past the hardening step into a report."""
+    root = tmp_path / "plant"
+    shutil.copytree(FIXTURES / "t1_good", root)
+    assert run_lint(FIXTURES / "t1_good").ok
+    (root / "core" / "leak.py").write_text(
+        '"""Planted bug: raw status routed around hardening."""\n'
+        "\n"
+        "\n"
+        'def gather(snap: "NetworkSnapshot"):\n'
+        "    return snap.link_status\n"
+        "\n"
+        "\n"
+        'def publish(snap: "NetworkSnapshot"):\n'
+        "    status = gather(snap)\n"
+        "    return ValidationReport(status)\n",
+        encoding="utf-8",
+    )
+    planted = run_lint(root)
+    assert not planted.ok
+    assert ("core/leak.py", 10, "T1") in _findings(planted)
+    # The trace must walk back through gather() to the raw field read.
+    trace = planted.taint_traces[0]["steps"]
+    assert trace[0]["kind"] == "source"
+    assert trace[0]["line"] == 5
+    assert trace[-1]["kind"] == "sink"
+
+
+def test_planted_await_straddle_is_caught(tmp_path):
+    """State read before an await and written after it."""
+    root = tmp_path / "plant"
+    shutil.copytree(FIXTURES / "a2_good", root)
+    assert run_lint(FIXTURES / "a2_good").ok
+    state = root / "core" / "state.py"
+    state.write_text(
+        state.read_text(encoding="utf-8")
+        + "\n"
+        + "\n"
+        + "class Straddler:\n"
+        + "    async def tick(self, queue):\n"
+        + "        count = self._pending\n"
+        + "        await queue.put(count)\n"
+        + "        self._pending = count - 1\n",
+        encoding="utf-8",
+    )
+    planted = run_lint(root)
+    assert not planted.ok
+    codes = _findings(planted)
+    assert any(
+        path == "core/state.py" and code == "A2" for path, _line, code in codes
+    ), codes
+
+
+def test_removing_a_sanitizer_manifest_entry_flips_t1():
+    """The pass verdict must depend on the manifest, not luck."""
+    assert run_lint(FIXTURES / "t1_good").ok
+    stripped = run_lint(
+        FIXTURES / "t1_good", config=LintConfig(taint_sanitizers=())
+    )
+    assert not stripped.ok
+    assert [
+        (path, code) for path, _line, code in _findings(stripped)
+    ] == [("core/verdict.py", "T1")]
+
+
+def test_adding_a_sink_manifest_entry_extends_coverage():
+    """Symmetric check: manifests widen detection, not just narrow it."""
+    base = run_lint(FIXTURES / "t1_bad")
+    widened = run_lint(
+        FIXTURES / "t1_bad",
+        config=LintConfig(taint_sinks=(r"^check_\w+_entity$",)),
+    )
+    # Dropping the ValidationReport pattern removes exactly that finding.
+    assert len(widened.diagnostics) == len(base.diagnostics) - 1
+    assert all("check_link_entity" in d.message for d in widened.diagnostics)

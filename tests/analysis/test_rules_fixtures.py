@@ -159,3 +159,64 @@ def test_syntax_error_surfaces_as_e1_diagnostic(tmp_path):
     result = run_lint(tmp_path)
     assert [(d.path, d.code) for d in result.diagnostics] == [("core/broken.py", "E1")]
     assert not result.ok
+
+
+def test_t1_flags_interprocedural_and_dispatch_chains():
+    result = run_lint(FIXTURES / "t1_bad")
+    assert _findings(result) == [
+        ("core/verdict.py", 8, "T1"),   # check_link_entity(relay chain)
+        ("core/verdict.py", 13, "T1"),  # ValidationReport(dispatch chain)
+    ]
+    messages = "\n".join(d.message for d in result.diagnostics)
+    # The message names the cross-file origin, not just the sink line.
+    assert "core/reader.py:5" in messages
+    assert "core/store.py:6" in messages
+
+
+def test_t1_sanitized_and_benign_field_chains_are_clean():
+    result = run_lint(FIXTURES / "t1_good")
+    assert result.ok
+    assert result.diagnostics == []
+
+
+def test_a1_flags_each_blocking_shape_once():
+    result = run_lint(FIXTURES / "a1_bad")
+    assert _findings(result) == [
+        ("core/worker.py", 7, "A1"),   # time.sleep()
+        ("core/worker.py", 8, "A1"),   # open()
+        ("core/worker.py", 9, "A1"),   # discarded executor future
+        ("core/worker.py", 10, "A1"),  # future assigned, never awaited
+    ]
+
+
+def test_a1_async_equivalents_are_clean():
+    result = run_lint(FIXTURES / "a1_good")
+    assert result.diagnostics == []
+
+
+def test_a2_flags_straddle_loop_and_cross_coroutine_hazards():
+    result = run_lint(FIXTURES / "a2_bad")
+    assert _findings(result) == [
+        ("core/state.py", 8, "A2"),   # read-await-write straddle
+        ("core/state.py", 13, "A2"),  # mutation in awaiting loop
+        ("core/state.py", 19, "A2"),  # producer writes, consumer reads
+    ]
+
+
+def test_a2_lock_and_queue_disciplines_are_clean():
+    result = run_lint(FIXTURES / "a2_good")
+    assert result.diagnostics == []
+
+
+def test_x1_flags_unprotected_store_and_cache_param_writes():
+    result = run_lint(FIXTURES / "x1_bad")
+    assert _findings(result) == [
+        ("core/cache.py", 7, "X1"),   # store-class write in fallible loop
+        ("core/cache.py", 10, "X1"),  # write then fallible call
+        ("core/cache.py", 16, "X1"),  # cache-pattern param in loop
+    ]
+
+
+def test_x1_reset_handler_and_build_then_swap_are_clean():
+    result = run_lint(FIXTURES / "x1_good")
+    assert result.diagnostics == []

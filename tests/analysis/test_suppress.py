@@ -60,3 +60,64 @@ def test_to_dicts_reports_codes_and_usage_in_line_order():
         {"path": "core/x.py", "line": 1, "codes": ["P1"], "used": ["P1"]},
         {"path": "core/x.py", "line": 3, "codes": "*", "used": []},
     ]
+
+
+def test_codes_with_interior_whitespace_parse():
+    index = SuppressionIndex.from_source("x = 1  # lint: ignore[P1 , F1]\n")
+    assert index.suppresses(_diag("P1", 1))
+    assert index.suppresses(_diag("F1", 1))
+    assert not index.suppresses(_diag("D1", 1))
+
+
+def test_pairs_round_trip_preserves_codes_and_blanket():
+    source = "a = 1  # lint: ignore[P1,F1]\nb = 2  # lint: ignore\n"
+    index = SuppressionIndex.from_source(source)
+    rebuilt = SuppressionIndex.from_pairs(index.pairs())
+    assert rebuilt.pairs() == index.pairs()
+    assert rebuilt.suppresses(_diag("F1", 1))
+    assert rebuilt.suppresses(_diag("D1", 2))  # blanket on line 2
+    assert not rebuilt.suppresses(_diag("D1", 1))
+
+
+def test_suppression_on_decorator_line_does_not_cover_the_body(tmp_path):
+    from repro.analysis import run_lint
+
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "deco.py").write_text(
+        "import functools\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache  # lint: ignore[A1]\n"
+        "async def tick():\n"
+        "    time.sleep(1)\n",
+        encoding="utf-8",
+    )
+    result = run_lint(tmp_path)
+    # The diagnostic anchors on the blocking call, not the decorated
+    # def, so the decorator-line suppression is stale: A1 still fires
+    # and the suppression itself raises L1.
+    found = sorted((d.path, d.line, d.code) for d in result.diagnostics)
+    assert found == [("core/deco.py", 5, "L1"), ("core/deco.py", 7, "A1")]
+
+
+def test_new_code_families_participate_in_stale_l1(tmp_path):
+    from repro.analysis import run_lint
+
+    core = tmp_path / "core"
+    core.mkdir()
+    (core / "mixed.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "async def tick():\n"
+        "    time.sleep(1)  # lint: ignore[A1,X1]\n",
+        encoding="utf-8",
+    )
+    result = run_lint(tmp_path)
+    # A1 is genuinely silenced; the X1 half of the comment did nothing
+    # and must surface as exactly one stale-suppression finding.
+    assert [(d.line, d.code) for d in result.diagnostics] == [(5, "L1")]
+    assert "X1" in result.diagnostics[0].message
+    assert result.suppressed_count == 1

@@ -174,6 +174,85 @@ class TestBackpressure:
             IngestConfig(max_retries=-1)
 
 
+class _RecordingAssembler(EpochAssembler):
+    """Records the consumer-facing call sequence for ordering asserts."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = []
+
+    def offer(self, event):
+        self.calls.append(("offer", event.router))
+        return super().offer(event)
+
+    def mark_done(self, router):
+        self.calls.append(("mark_done", router))
+        return super().mark_done(router)
+
+    def drain(self):
+        self.calls.append(("drain",))
+        return super().drain()
+
+
+class _EmptyFeed:
+    """A feed that is exhausted from the start."""
+
+    def __init__(self, router):
+        self.router = router
+
+        class _Stats:
+            dropped = 0
+            emitted = 0
+
+        self.stats = _Stats()
+
+    def next_event(self):
+        return None
+
+
+class _NullEngine:
+    def validate(self, snapshot, inputs, topology=None):
+        return object()
+
+
+class TestTerminationOrdering:
+    def test_every_done_marker_is_processed_before_drain(self):
+        # Regression: the consumer used to stop on a shared live-producer
+        # count decremented *before* the done-marker was enqueued.  With
+        # queue_size=1 and two concurrent producers, producer B blocks
+        # putting its marker behind A's; the consumer, scheduled in that
+        # window, saw count==0 and an empty queue and shut down without
+        # ever processing mark_done("B").  Termination now counts the
+        # terminal markers themselves, which travel through the queue.
+        assembler = _RecordingAssembler(["A", "B"], lateness_s=1.0)
+        pipeline = StreamPipeline(
+            [_EmptyFeed("A"), _EmptyFeed("B")],
+            assembler,
+            _NullEngine(),
+            inputs_for=lambda _ts: None,
+            config=IngestConfig(queue_size=1, deterministic=False),
+        )
+        result = pipeline.run()
+        marked = {call[1] for call in assembler.calls if call[0] == "mark_done"}
+        assert marked == {"A", "B"}
+        assert assembler.calls[-1] == ("drain",)
+        assert result.epochs == []
+
+    def test_tiny_queue_concurrent_mode_still_seals_by_watermark(self):
+        # End-to-end shape of the same property: with real events on a
+        # one-slot queue, every epoch must seal on the watermark path
+        # (all done-markers processed), never by shutdown drain.
+        topology, epochs, inputs = _timeline()
+        result = _run(
+            topology,
+            epochs,
+            inputs,
+            config=IngestConfig(queue_size=1, deterministic=False),
+        )
+        assert len(result.epochs) == 3
+        assert all(epoch.sealed_by == "watermark" for epoch in result.epochs)
+
+
 class TestMetrics:
     def test_pipeline_families_present_from_boot(self):
         topology, epochs, inputs = _timeline()
