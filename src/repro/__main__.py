@@ -13,7 +13,8 @@ Exposes the library's studies and demos without writing any Python:
 - ``trace``       render an exported engine trace (spans + provenance),
 - ``scenarios``   list the outage catalog,
 - ``fuzz``        randomized fault timelines vs the tri-modal oracle,
-- ``lint``        static purity/determinism analysis of the pipeline.
+- ``lint``        static purity/determinism analysis of the pipeline,
+- ``history``     read verdict history stores (tail/trends/query/compact).
 """
 
 from __future__ import annotations
@@ -189,6 +190,11 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    try:
+        history = _history_sink(args, registry)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     totals = EngineStats(shards=args.shards, mode=args.mode, backend=args.backend)
     rows = []
     mismatched = 0
@@ -206,6 +212,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             backend=args.backend,
             tracer=tracer,
             metrics=registry,
+            history=history,
         ) as engine:
             for epoch in range(args.epochs):
                 outcome = world.run_epoch(timestamp=float(epoch))
@@ -226,6 +233,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             ]
         )
 
+    if history is not None:
+        history.close()
+        print(f"history: {args.history}", file=sys.stderr)
     if args.metrics_prom:
         engine_registry(totals, registry=registry)
         registry.write(args.metrics_prom)
@@ -298,21 +308,29 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.soak:
         from repro.stream import SoakConfig, run_soak
 
-        result = run_soak(
-            SoakConfig(
-                nodes=args.nodes,
-                epochs=args.epochs,
-                seed=args.seed,
-                perturb=perturb,
-                mode=args.mode,
-                backend=args.backend,
-                lateness_s=args.lateness,
-                queue_size=args.queue_size,
-                backpressure=args.backpressure,
-                deterministic=not args.concurrent,
-            ),
-            metrics=registry,
-        )
+        try:
+            result = run_soak(
+                SoakConfig(
+                    nodes=args.nodes,
+                    epochs=args.epochs,
+                    seed=args.seed,
+                    perturb=perturb,
+                    mode=args.mode,
+                    backend=args.backend,
+                    lateness_s=args.lateness,
+                    queue_size=args.queue_size,
+                    backpressure=args.backpressure,
+                    deterministic=not args.concurrent,
+                    history_path=args.history or None,
+                    history_deterministic=not args.history_live,
+                    alert_rules=tuple(args.alert),
+                    alert_jsonl=args.alerts_jsonl or None,
+                ),
+                metrics=registry,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         if args.metrics_prom:
             result.metrics.write(args.metrics_prom)
             print(f"wrote {args.metrics_prom}", file=sys.stderr)
@@ -335,6 +353,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             "complete_epochs": result.complete_epochs,
             "partial_epochs": result.partial_epochs,
         }
+        if args.history:
+            payload["history_epochs"] = result.history_epochs
+            payload["history_bytes"] = result.history_bytes
+            payload["history_bytes_compacted"] = result.history_bytes_compacted
+            payload["alerts_fired"] = result.alerts_fired
         if args.json:
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
@@ -349,6 +372,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     except KeyError:
         known = ", ".join(s.scenario_id for s in all_scenarios())
         print(f"unknown scenario {args.scenario!r} (known: {known})", file=sys.stderr)
+        return 2
+
+    try:
+        history = _history_sink(args, registry)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
 
     # With every perturbation probability at zero the streamed reports
@@ -390,6 +419,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     deterministic=not args.concurrent,
                 ),
                 metrics=registry,
+                history=history,
             )
             result = pipeline.run()
         matches = True
@@ -414,6 +444,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             ]
         )
 
+    if history is not None:
+        history.close()
+        print(f"history: {args.history}", file=sys.stderr)
     if args.metrics_prom:
         registry.write(args.metrics_prom)
         print(f"wrote {args.metrics_prom}", file=sys.stderr)
@@ -570,6 +603,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_cli(args)
 
 
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.history.cli import run_history
+
+    return run_history(args)
+
+
+def _history_sink(args: argparse.Namespace, registry):
+    """Build the optional ``--history`` write-through sink for the
+    engine/stream commands (plus its alert engine when rules given)."""
+    if not args.history:
+        return None
+    from repro.history.alerts import AlertEngine, JsonlAlertSink, LogAlertSink
+    from repro.history.sink import HistoryConfig, HistorySink
+
+    alert_engine = None
+    if args.alert:
+        sinks = [LogAlertSink()]
+        if args.alerts_jsonl:
+            sinks.append(JsonlAlertSink(args.alerts_jsonl))
+        alert_engine = AlertEngine(args.alert, sinks=sinks, metrics=registry)
+    return HistorySink(
+        HistoryConfig(path=args.history, deterministic=not args.history_live),
+        alerts=alert_engine,
+        metrics=registry,
+    )
+
+
+def _add_history_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history",
+        default="",
+        metavar="PATH",
+        help="write every validated epoch through to a history store (sqlite)",
+    )
+    parser.add_argument(
+        "--history-live",
+        action="store_true",
+        help="record wall-clock anchors and real latencies in the store "
+        "(default: deterministic, byte-reproducible across seeded runs)",
+    )
+    parser.add_argument(
+        "--alert",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="alert rule (repeatable): transition:<input>, "
+        "trend:<metric><op><thresh>@<window>, or "
+        "regression:<series>@<window>/<baseline>%%<band>",
+    )
+    parser.add_argument(
+        "--alerts-jsonl",
+        default="",
+        metavar="PATH",
+        help="also fan fired alerts out to a JSONL file",
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ReportConfig, run_full_report
 
@@ -703,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write Prometheus text exposition (registry incl. latency histograms)",
     )
+    _add_history_flags(engine)
     engine.set_defaults(func=_cmd_engine)
 
     stream = sub.add_parser(
@@ -779,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write Prometheus text exposition (stream_* + engine families)",
     )
+    _add_history_flags(stream)
     stream.set_defaults(func=_cmd_stream)
 
     trace = sub.add_parser(
@@ -846,6 +938,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    history = sub.add_parser(
+        "history",
+        help="read verdict history stores back (tail/trends/query/compact)",
+    )
+    from repro.history.cli import add_history_arguments
+
+    add_history_arguments(history)
+    history.set_defaults(func=_cmd_history)
 
     report = sub.add_parser("report", help="run every study, emit one markdown report")
     report.add_argument("--quick", action="store_true", help="fast low-trial profile")

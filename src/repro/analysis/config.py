@@ -96,7 +96,7 @@ DEFAULT_BLOCKING_CALLS: FrozenSet[str] = frozenset(
 #: in-place mutation of their state to the try/except-reset or
 #: build-then-swap discipline.
 DEFAULT_CACHE_STORE_CLASSES: FrozenSet[str] = frozenset(
-    {"TopologyCacheStore", "VectorModelStore", "_EpochMemo"}
+    {"TopologyCacheStore", "VectorModelStore", "_EpochMemo", "HistoryStore"}
 )
 
 #: Parameter-name patterns that mark a passed-in cache/memo/store (X1
@@ -108,8 +108,12 @@ DEFAULT_CACHE_PARAM_PATTERNS: Tuple[str, ...] = (
 )
 
 #: Method names an except-handler may call to count as the "reset"
-#: side of the try/except-reset discipline.
-DEFAULT_CACHE_RESET_NAMES: FrozenSet[str] = frozenset({"reset", "clear", "invalidate"})
+#: side of the try/except-reset discipline.  ``rollback`` is the
+#: sqlite-backed history store's reset: every mutation there runs
+#: inside try/except sqlite3.Error -> conn.rollback().
+DEFAULT_CACHE_RESET_NAMES: FrozenSet[str] = frozenset(
+    {"reset", "clear", "invalidate", "rollback"}
+)
 
 #: Substrings (case-insensitive) of an ``async with`` context
 #: expression that mark a lock/semaphore guard: state touched inside
@@ -136,7 +140,10 @@ class LintConfig:
             scenario fuzzer (``fuzz``) is included because its whole
             value rests on a case seed regenerating the exact case:
             global RNG, wall-clock reads or unordered iteration there
-            would make reproducers unreplayable.
+            would make reproducers unreplayable.  The verdict history
+            service (``history``) is included because its stores are
+            byte-reproducible artifacts and its alert replay is part
+            of the determinism contract.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
         vector_path: POSIX-relative path (from the lint root) of the
@@ -158,7 +165,10 @@ class LintConfig:
             sanctioned ``time.time()`` call (the display-only trace
             anchor) and the one sanctioned asyncio event-loop clock
             read (``event_loop_time``) so every other module gets its
-            clock injected.  A wall-clock or ``loop.time()`` read
+            clock injected.  ``history/store.py`` is the second seam:
+            months-long age retention is inherently wall-time-based,
+            the store takes an injectable ``clock`` and defaults it to
+            ``time.time``.  A wall-clock or ``loop.time()`` read
             *anywhere else* in core -- even inside a trace span body or
             an ingest coroutine -- is still a D1 error.
         max_file_bytes: Safety valve -- files larger than this are
@@ -187,14 +197,18 @@ class LintConfig:
     """
 
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
-    core_dirs: FrozenSet[str] = frozenset({"core", "engine", "fuzz", "obs", "stream"})
+    core_dirs: FrozenSet[str] = frozenset(
+        {"core", "engine", "fuzz", "history", "obs", "stream"}
+    )
     incremental_path: str = "engine/incremental.py"
     vector_path: str = "core/vector/backend.py"
     enabled_codes: FrozenSet[str] = frozenset()
     wall_clock_allowed: FrozenSet[str] = frozenset(
         {"time.perf_counter", "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns"}
     )
-    clock_seam_paths: FrozenSet[str] = frozenset({"obs/clock.py"})
+    clock_seam_paths: FrozenSet[str] = frozenset(
+        {"obs/clock.py", "history/store.py"}
+    )
     max_file_bytes: int = 2_000_000
     taint_source_types: FrozenSet[str] = DEFAULT_TAINT_SOURCE_TYPES
     taint_sanitizers: Tuple[str, ...] = DEFAULT_TAINT_SANITIZERS

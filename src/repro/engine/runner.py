@@ -31,7 +31,10 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.history.sink import HistorySink
 
 from repro.control.inputs import ControllerInputs
 from repro.core.collection import SignalCollector
@@ -120,6 +123,11 @@ class ValidationEngine:
             :class:`repro.obs.metrics.MetricsRegistry` to record the
             epoch/stage latency histograms into; one is created when
             omitted (exposed as :attr:`metrics`).
+        history: Optional :class:`repro.history.sink.HistorySink`;
+            every validated epoch is written through to it (durable
+            verdict history).  The engine never owns the sink -- the
+            caller closes it.  Attach a sink to either the engine or
+            the stream pipeline, not both, or epochs record twice.
     """
 
     _MODES = ("full", "incremental")
@@ -135,6 +143,7 @@ class ValidationEngine:
         backend: str = "python",
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
+        history: Optional["HistorySink"] = None,
     ) -> None:
         if mode not in self._MODES:
             raise ValueError(f"unknown engine mode {mode!r}; expected one of {self._MODES}")
@@ -160,6 +169,7 @@ class ValidationEngine:
             "Wall-clock seconds per pipeline stage per epoch.",
             labels=("stage",),
         )
+        self.history = history
         self.stats = EngineStats(shards=shards, mode=mode, backend=backend)
         self._components: "OrderedDict[str, _Components]" = OrderedDict()
         self._incremental: "OrderedDict[str, IncrementalValidator]" = OrderedDict()
@@ -294,6 +304,7 @@ class ValidationEngine:
                         self.stats.stage_seconds.get(stage, 0.0) - stage_before[stage]
                     )
                 self._emit_verdicts(report)
+                self._record_history(report, total_seconds)
                 return report
 
             shard_map = self._shard_map
@@ -334,7 +345,22 @@ class ValidationEngine:
             self.stats.shard_tasks = self._shard_map.tasks_dispatched
             self.stats.shard_busy_seconds = self._shard_map.busy_seconds
             self._emit_verdicts(report)
+            self._record_history(report, total_seconds)
         return report
+
+    def _record_history(self, report: ValidationReport, elapsed_s: float) -> None:
+        """Write one validated epoch through the attached history sink."""
+        if self.history is None:
+            return
+        self.history.record(
+            report,
+            source="engine",
+            mode=self._mode,
+            backend=self._backend,
+            sealed_by="batch",
+            elapsed_s=elapsed_s,
+            stats=self.stats,
+        )
 
     def _emit_verdicts(self, report: ValidationReport) -> None:
         """Emit one provenance instant per verdict (tracing only)."""

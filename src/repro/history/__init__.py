@@ -1,0 +1,78 @@
+"""Verdict history: durable retention, trend analytics, alert fan-out.
+
+The always-on counterpart to the validation engine: every validated
+epoch is written through an append-only sqlite store
+(:mod:`repro.history.store`), rolling quality metrics and regression
+checks are computed over it (:mod:`repro.history.analytics`), and
+operator-facing alerts fan out on verdict transitions and trend
+breaches (:mod:`repro.history.alerts`).  The engine and stream
+pipeline hold a :class:`~repro.history.sink.HistorySink`; the
+``python -m repro history`` CLI reads the stores back.
+"""
+
+from repro.history.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AlertSink,
+    JsonlAlertSink,
+    LogAlertSink,
+    WebhookAlertSink,
+    WebhookError,
+    parse_rule,
+)
+from repro.history.analytics import (
+    METRICS,
+    RegressionFinding,
+    TrendPoint,
+    compute_trends,
+    detect_regression,
+    percentile,
+    window_metric,
+)
+from repro.history.sink import HistoryConfig, HistorySink
+from repro.history.store import (
+    SCHEMA_VERSION,
+    AlertRow,
+    CompactionResult,
+    ConcurrentWriterError,
+    CounterSample,
+    EpochRow,
+    HistoryError,
+    HistoryStore,
+    RetentionPolicy,
+    SchemaMismatchError,
+    VerdictRow,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HistoryError",
+    "SchemaMismatchError",
+    "ConcurrentWriterError",
+    "HistoryStore",
+    "RetentionPolicy",
+    "EpochRow",
+    "VerdictRow",
+    "AlertRow",
+    "CounterSample",
+    "CompactionResult",
+    "HistoryConfig",
+    "HistorySink",
+    "METRICS",
+    "percentile",
+    "window_metric",
+    "compute_trends",
+    "detect_regression",
+    "TrendPoint",
+    "RegressionFinding",
+    "AlertEvent",
+    "AlertRule",
+    "parse_rule",
+    "AlertSink",
+    "JsonlAlertSink",
+    "LogAlertSink",
+    "WebhookAlertSink",
+    "WebhookError",
+    "AlertEngine",
+]

@@ -1,0 +1,536 @@
+"""Alert rules, evaluation, and sink fan-out for the history service.
+
+The alerting layer turns the history store's per-epoch rows into
+operator-facing events.  Three rule forms, parsed from a compact
+grammar string (:func:`parse_rule`):
+
+``transition:<input>``
+    Edge-triggered: fires when ``<input>``'s verdict flips from valid
+    to invalid (``any`` matches every input).  This is the paper's
+    headline moment -- validation catching a bad controller input --
+    and is severity ``critical``.
+
+``trend:<metric><op><threshold>@<window>``
+    Fires when ``<metric>`` (any name in
+    :data:`repro.history.analytics.METRICS`) over the last ``<window>``
+    epochs breaches ``<op> <threshold>``, e.g.
+    ``trend:unknown_rate>0.25@20``.  Edge-triggered on breach entry:
+    an alert fires when the window *enters* breach, not on every epoch
+    it stays there.  Severity ``warning``.
+
+``regression:<series>@<window>/<baseline>%<band>``
+    Fires when ``<series>`` over the last ``<window>`` epochs drifts
+    more than ``<band>`` percent above its value over the preceding
+    ``<baseline>`` epochs, e.g. ``regression:latency_p95@20/100%50``.
+    One-sided (higher is worse for every metric).  Severity
+    ``warning``.
+
+:class:`AlertEngine` evaluates rules over its rolling window each
+epoch, dedupes via edge-triggering plus a per-``(rule, key)`` cooldown
+measured in *epochs* (never wall time -- replay determinism), and fans
+fired events out to every configured sink.  Sinks never raise into the
+validation path: a sink failure is counted and contained.
+
+Determinism: event timestamps are the epoch's virtual ``ts``, messages
+derive only from stored epoch data, and the webhook sink's transport
+and backoff sleep are injected -- the seeded catalog-replay test pins
+the full fired sequence byte-for-byte and proves retries without
+touching the network.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+import time
+import urllib.request
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.history.analytics import METRICS, detect_regression, window_metric
+from repro.history.store import EpochRow
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "parse_rule",
+    "AlertSink",
+    "JsonlAlertSink",
+    "LogAlertSink",
+    "WebhookAlertSink",
+    "WebhookError",
+    "AlertEngine",
+]
+
+_TREND_RE = re.compile(
+    r"\Atrend:(?P<metric>[a-z0-9_]+)(?P<op>>=|<=|>|<)(?P<threshold>-?[0-9.]+)"
+    r"@(?P<window>[0-9]+)\Z"
+)
+_REGRESSION_RE = re.compile(
+    r"\Aregression:(?P<series>[a-z0-9_]+)@(?P<window>[0-9]+)"
+    r"/(?P<baseline>[0-9]+)%(?P<band>[0-9.]+)\Z"
+)
+_TRANSITION_RE = re.compile(r"\Atransition:(?P<input>[a-z_]+|any)\Z")
+
+_OPS: Mapping[str, Callable[[float, float], bool]] = MappingProxyType(
+    {
+        ">": lambda value, threshold: value > threshold,
+        ">=": lambda value, threshold: value >= threshold,
+        "<": lambda value, threshold: value < threshold,
+        "<=": lambda value, threshold: value <= threshold,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One fired alert, as fanned out to sinks and the store ledger.
+
+    ``ts`` is the triggering epoch's virtual timestamp and ``key``
+    distinguishes instances under one rule (the input name for
+    transitions, the metric name otherwise).
+    """
+
+    ts: float
+    epoch_id: int
+    rule: str
+    key: str
+    severity: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ts": self.ts,
+            "epoch_id": self.epoch_id,
+            "rule": self.rule,
+            "key": self.key,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One parsed rule.  Build via :func:`parse_rule`.
+
+    Attributes:
+        raw: The grammar string the rule was parsed from (its identity
+            in metrics, the ledger, and cooldown keys).
+        kind: ``transition`` / ``trend`` / ``regression``.
+        subject: Input name (transition) or metric name (others).
+        op: Comparison operator (trend only).
+        threshold: Breach threshold (trend only).
+        window: Evaluation window in epochs (trend/regression).
+        baseline: Trailing baseline in epochs (regression only).
+        band_pct: Allowed drift percent (regression only).
+    """
+
+    raw: str
+    kind: str
+    subject: str
+    op: str = ""
+    threshold: float = 0.0
+    window: int = 0
+    baseline: int = 0
+    band_pct: float = 0.0
+
+    @property
+    def severity(self) -> str:
+        return "critical" if self.kind == "transition" else "warning"
+
+    @property
+    def span(self) -> int:
+        """Epochs of history this rule needs to evaluate."""
+        return self.window + self.baseline
+
+
+def parse_rule(text: str) -> AlertRule:
+    """Parse one grammar string into an :class:`AlertRule`.
+
+    Raises ``ValueError`` with the offending text on any mismatch --
+    rules come from operator CLI flags, so the error is user-facing.
+    """
+    raw = text.strip()
+    match = _TRANSITION_RE.match(raw)
+    if match:
+        return AlertRule(raw=raw, kind="transition", subject=match.group("input"))
+    match = _TREND_RE.match(raw)
+    if match:
+        metric = match.group("metric")
+        if metric not in METRICS:
+            raise ValueError(
+                f"alert rule {raw!r}: unknown metric {metric!r} "
+                f"(known: {', '.join(sorted(METRICS))})"
+            )
+        window = int(match.group("window"))
+        if window < 1:
+            raise ValueError(f"alert rule {raw!r}: window must be >= 1")
+        return AlertRule(
+            raw=raw,
+            kind="trend",
+            subject=metric,
+            op=match.group("op"),
+            threshold=float(match.group("threshold")),
+            window=window,
+        )
+    match = _REGRESSION_RE.match(raw)
+    if match:
+        series = match.group("series")
+        if series not in METRICS:
+            raise ValueError(
+                f"alert rule {raw!r}: unknown metric {series!r} "
+                f"(known: {', '.join(sorted(METRICS))})"
+            )
+        window = int(match.group("window"))
+        baseline = int(match.group("baseline"))
+        if window < 1 or baseline < 1:
+            raise ValueError(f"alert rule {raw!r}: window and baseline must be >= 1")
+        return AlertRule(
+            raw=raw,
+            kind="regression",
+            subject=series,
+            window=window,
+            baseline=baseline,
+            band_pct=float(match.group("band")),
+        )
+    raise ValueError(
+        f"unparseable alert rule {raw!r}; expected transition:<input>, "
+        "trend:<metric><op><threshold>@<window>, or "
+        "regression:<series>@<window>/<baseline>%<band>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+class AlertSink:
+    """Fan-out target for fired alerts.  Subclasses set ``name``."""
+
+    name = "null"
+
+    def emit(self, event: AlertEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (default: nothing)."""
+
+
+class JsonlAlertSink(AlertSink):
+    """Appends one canonical-JSON line per event to a file."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: AlertEvent) -> None:
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class LogAlertSink(AlertSink):
+    """Writes one human-readable line per event (stderr by default)."""
+
+    name = "log"
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, event: AlertEvent) -> None:
+        self._stream.write(
+            f"ALERT [{event.severity}] t={event.ts:g} {event.rule} "
+            f"({event.key}): {event.message}\n"
+        )
+        self._stream.flush()
+
+
+class WebhookError(RuntimeError):
+    """A webhook delivery failed after exhausting its retries."""
+
+
+def _default_transport(url: str, payload: bytes) -> int:
+    """POST the payload as JSON; returns the HTTP status code."""
+    request = urllib.request.Request(
+        url,
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:  # pragma: no cover
+        return int(response.status)
+
+
+class WebhookAlertSink(AlertSink):
+    """Delivers events to an HTTP endpoint with bounded retry/backoff.
+
+    The transport is injected as a ``(url, payload_bytes) -> status``
+    callable so tests exercise the retry ladder hermetically; the
+    default posts JSON via urllib.  A delivery is successful on any 2xx
+    status; other statuses and transport exceptions are retried up to
+    ``max_retries`` times with exponential backoff
+    (``backoff_s * 2**attempt``) through the injected ``sleep``.
+    Exhausting retries raises :class:`WebhookError` -- the alert
+    engine catches it, counts it, and keeps validating.
+
+    Delivery contract (documented in docs/OBSERVABILITY.md): the body
+    is the event's canonical JSON (sorted keys, compact separators)
+    with the six :class:`AlertEvent` fields.
+    """
+
+    name = "webhook"
+
+    def __init__(
+        self,
+        url: str,
+        transport: Optional[Callable[[str, bytes], int]] = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.5,
+        sleep: Optional[Callable[[float], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.url = url
+        self._transport = transport if transport is not None else _default_transport
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self._sleep = sleep if sleep is not None else time.sleep
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._deliveries = registry.counter(
+            "history_webhook_deliveries_total",
+            "Webhook delivery attempts, by final result.",
+            labels=("result",),
+        )
+        self._retries = registry.counter(
+            "history_webhook_retries_total",
+            "Individual webhook retry attempts after a failed delivery.",
+        )
+        self._retries.inc(0.0)
+        for result in ("ok", "error"):
+            self._deliveries.labels(result=result).inc(0.0)
+
+    def emit(self, event: AlertEvent) -> None:
+        payload = event.to_json().encode("utf-8")
+        failures: List[str] = []
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._retries.inc()
+                self._sleep(self.backoff_s * (2.0 ** (attempt - 1)))
+            try:
+                status = self._transport(self.url, payload)
+            except Exception as exc:
+                failures.append(f"attempt {attempt + 1}: {exc}")
+                continue
+            if 200 <= status < 300:
+                self._deliveries.labels(result="ok").inc()
+                return
+            failures.append(f"attempt {attempt + 1}: HTTP {status}")
+        self._deliveries.labels(result="error").inc()
+        raise WebhookError(
+            f"webhook {self.url} failed after {self.max_retries + 1} attempts: "
+            + "; ".join(failures)
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class AlertEngine:
+    """Evaluates alert rules over a rolling epoch window and fans out.
+
+    Args:
+        rules: Parsed rules (or grammar strings, parsed here).
+        sinks: Fan-out targets; every fired event goes to every sink.
+        cooldown_epochs: After ``(rule, key)`` fires, suppress refires
+            for this many subsequent epochs.  Cooldown is counted in
+            observed epochs, never wall time, so replays are exact.
+        metrics: Optional shared registry for ``alerts_fired_total``
+            and sink-failure counters.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[object],
+        sinks: Sequence[AlertSink] = (),
+        cooldown_epochs: int = 10,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if cooldown_epochs < 0:
+            raise ValueError(f"cooldown_epochs must be >= 0, got {cooldown_epochs}")
+        self.rules: Tuple[AlertRule, ...] = tuple(
+            rule if isinstance(rule, AlertRule) else parse_rule(str(rule))
+            for rule in rules
+        )
+        self.sinks: Tuple[AlertSink, ...] = tuple(sinks)
+        self.cooldown_epochs = int(cooldown_epochs)
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._fired_total = registry.counter(
+            "alerts_fired_total",
+            "Alerts fired, by rule and delivery sink ('ledger' is the store).",
+            labels=("rule", "sink"),
+        )
+        self._sink_errors = registry.counter(
+            "history_alert_sink_errors_total",
+            "Alert deliveries a sink failed to accept (contained, counted).",
+            labels=("sink",),
+        )
+        span = max((rule.span for rule in self.rules), default=0)
+        self._window_need = max(span, 1)
+        self._window: List[EpochRow] = []
+        self._seen = 0
+        self._prev_valid: Dict[str, bool] = {}
+        self._breached: Dict[str, bool] = {}
+        self._last_fired: Dict[Tuple[str, str], int] = {}
+
+    # -- evaluation ----------------------------------------------------
+
+    def observe(
+        self, row: EpochRow, verdicts: Sequence[Tuple[str, bool]] = ()
+    ) -> List[AlertEvent]:
+        """Feed one epoch; evaluate every rule; fan out what fired.
+
+        Args:
+            row: The epoch just appended to the store.
+            verdicts: ``(input_name, valid)`` pairs for the epoch, in a
+                caller-fixed order (transitions need per-input state).
+
+        Returns:
+            The fired events, in rule order -- the caller appends them
+            to the store ledger.
+        """
+        self._seen += 1
+        self._window.append(row)
+        if len(self._window) > self._window_need:
+            del self._window[: len(self._window) - self._window_need]
+        fired: List[AlertEvent] = []
+        for rule in self.rules:
+            if rule.kind == "transition":
+                fired.extend(self._eval_transition(rule, row, verdicts))
+            elif rule.kind == "trend":
+                fired.extend(self._eval_trend(rule, row))
+            else:
+                fired.extend(self._eval_regression(rule, row))
+        # Update per-input verdict memory after all rules evaluated so
+        # two transition rules see the same previous state.
+        for name, valid in verdicts:
+            self._prev_valid[name] = bool(valid)
+        for event in fired:
+            self._fan_out(event)
+        return fired
+
+    def _eval_transition(
+        self, rule: AlertRule, row: EpochRow, verdicts: Sequence[Tuple[str, bool]]
+    ) -> List[AlertEvent]:
+        events: List[AlertEvent] = []
+        for name, valid in verdicts:
+            if rule.subject != "any" and rule.subject != name:
+                continue
+            was_valid = self._prev_valid.get(name, True)
+            if was_valid and not valid and self._off_cooldown(rule, name):
+                events.append(
+                    self._fire(
+                        rule,
+                        row,
+                        key=name,
+                        message=(
+                            f"input {name} flipped valid->invalid at epoch "
+                            f"t={row.ts:g} ({row.violations} violations in epoch)"
+                        ),
+                    )
+                )
+        return events
+
+    def _eval_trend(self, rule: AlertRule, row: EpochRow) -> List[AlertEvent]:
+        window = self._window[-rule.window :]
+        if len(window) < rule.window:
+            return []
+        value = window_metric(window, rule.subject)
+        breached = value is not None and _OPS[rule.op](value, rule.threshold)
+        entering = breached and not self._breached.get(rule.raw, False)
+        self._breached[rule.raw] = bool(breached)
+        if not (entering and self._off_cooldown(rule, rule.subject)):
+            return []
+        return [
+            self._fire(
+                rule,
+                row,
+                key=rule.subject,
+                message=(
+                    f"{rule.subject} over last {rule.window} epochs = "
+                    f"{value:.6g}, breaching {rule.op} {rule.threshold:g}"
+                ),
+            )
+        ]
+
+    def _eval_regression(self, rule: AlertRule, row: EpochRow) -> List[AlertEvent]:
+        finding = detect_regression(
+            self._window, rule.subject, rule.window, rule.baseline, rule.band_pct
+        )
+        breached = finding is not None and finding.breached
+        entering = breached and not self._breached.get(rule.raw, False)
+        self._breached[rule.raw] = bool(breached)
+        if not (entering and self._off_cooldown(rule, rule.subject)):
+            return []
+        assert finding is not None
+        drift = "inf" if math.isinf(finding.drift_pct) else f"{finding.drift_pct:.1f}"
+        return [
+            self._fire(
+                rule,
+                row,
+                key=rule.subject,
+                message=(
+                    f"{rule.subject} regressed: last {rule.window} epochs = "
+                    f"{finding.recent:.6g} vs baseline {rule.baseline} epochs = "
+                    f"{finding.baseline:.6g} ({drift}% > {rule.band_pct:g}% band)"
+                ),
+            )
+        ]
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _off_cooldown(self, rule: AlertRule, key: str) -> bool:
+        last = self._last_fired.get((rule.raw, key))
+        return last is None or self._seen - last > self.cooldown_epochs
+
+    def _fire(self, rule: AlertRule, row: EpochRow, key: str, message: str) -> AlertEvent:
+        self._last_fired[(rule.raw, key)] = self._seen
+        self._fired_total.labels(rule=rule.raw, sink="ledger").inc()
+        return AlertEvent(
+            ts=row.ts,
+            epoch_id=row.epoch_id,
+            rule=rule.raw,
+            key=key,
+            severity=rule.severity,
+            message=message,
+        )
+
+    def _fan_out(self, event: AlertEvent) -> None:
+        for sink in self.sinks:
+            try:
+                sink.emit(event)
+            except Exception:
+                # Alerting must never take down validation: count the
+                # loss and keep going (webhook retry detail is already
+                # on the sink's own counters).
+                self._sink_errors.labels(sink=sink.name).inc()
+            else:
+                self._fired_total.labels(rule=event.rule, sink=sink.name).inc()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,213 @@
+"""Rolling analytics over the verdict history store.
+
+Pure functions from ordered :class:`~repro.history.store.EpochRow`
+sequences to windowed quality metrics -- detection / repair / unknown
+rates, verdict-latency percentiles -- plus regression detection that
+flags when a recent window drifts beyond a configurable band versus
+its trailing baseline.  Everything here is deterministic and
+side-effect free: the alert engine evaluates these against its rolling
+window each epoch, and the ``repro history trends`` CLI evaluates them
+over a stored run after the fact.  Both paths share one metric
+vocabulary (:data:`METRICS`), so a trend an operator alerts on is the
+same number the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.history.store import EpochRow
+
+__all__ = [
+    "METRICS",
+    "TrendPoint",
+    "RegressionFinding",
+    "percentile",
+    "window_metric",
+    "compute_trends",
+    "detect_regression",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in ``[0, 100]``.  Raises on an empty sequence -- callers
+    guard with window emptiness checks rather than inventing a zero.
+    """
+    if not values:
+        raise ValueError("percentile of an empty window")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    # Nearest-rank: ceil(q/100 * N), 1-indexed.
+    rank = max(1, -(-int(q * len(ordered)) // 100) if q > 0 else 1)
+    rank = min(rank, len(ordered))
+    return ordered[rank - 1]
+
+
+def _rate(rows: Sequence[EpochRow], flag: Callable[[EpochRow], bool]) -> float:
+    return sum(1 for row in rows if flag(row)) / len(rows)
+
+
+def _signal_rate(rows: Sequence[EpochRow], pick: Callable[[EpochRow], int]) -> float:
+    total = sum(
+        row.signals_confirmed + row.signals_repaired + row.signals_raw + row.signals_unknown
+        for row in rows
+    )
+    if total == 0:
+        return 0.0
+    return sum(pick(row) for row in rows) / total
+
+
+def _latency(rows: Sequence[EpochRow], q: float) -> float:
+    return percentile([row.elapsed_s for row in rows], q)
+
+
+#: Windowed metric vocabulary: name -> fn(non-empty ordered window).
+#: These names are what the alert grammar's ``trend:`` / ``regression:``
+#: forms accept and what ``repro history trends`` prints.
+METRICS: Mapping[str, Callable[[Sequence[EpochRow]], float]] = MappingProxyType(
+    {
+        "detection_rate": lambda rows: _rate(rows, lambda r: r.detected),
+        "incomplete_rate": lambda rows: _rate(rows, lambda r: not r.complete),
+        "repair_rate": lambda rows: _signal_rate(rows, lambda r: r.signals_repaired),
+        "unknown_rate": lambda rows: _signal_rate(rows, lambda r: r.signals_unknown),
+        "confirmed_rate": lambda rows: _signal_rate(rows, lambda r: r.signals_confirmed),
+        "violations_per_epoch": lambda rows: sum(r.violations for r in rows) / len(rows),
+        "updates_per_epoch": lambda rows: sum(r.updates for r in rows) / len(rows),
+        "latency_p50": lambda rows: _latency(rows, 50.0),
+        "latency_p95": lambda rows: _latency(rows, 95.0),
+        "latency_p99": lambda rows: _latency(rows, 99.0),
+    }
+)
+
+
+def _metric(name: str) -> Callable[[Sequence[EpochRow]], float]:
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown history metric {name!r}; known: {', '.join(sorted(METRICS))}"
+        ) from None
+
+
+def window_metric(rows: Sequence[EpochRow], name: str) -> Optional[float]:
+    """One metric over one window; ``None`` when the window is empty."""
+    fn = _metric(name)
+    if not rows:
+        return None
+    return fn(rows)
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """Metrics over one consecutive window of epochs."""
+
+    first_epoch_id: int
+    last_epoch_id: int
+    last_ts: float
+    epochs: int
+    values: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "first_epoch_id": self.first_epoch_id,
+            "last_epoch_id": self.last_epoch_id,
+            "last_ts": self.last_ts,
+            "epochs": self.epochs,
+            "values": dict(self.values),
+        }
+
+
+def compute_trends(
+    rows: Sequence[EpochRow],
+    window: int,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[TrendPoint]:
+    """Split a run into consecutive windows and evaluate metrics on each.
+
+    The final window may be shorter than ``window`` (partial tail);
+    trailing partial windows are still reported so a live ``trends``
+    call reflects the newest epochs.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    names: Tuple[str, ...] = tuple(metrics) if metrics is not None else tuple(sorted(METRICS))
+    for name in names:
+        if name not in METRICS:
+            raise ValueError(
+                f"unknown history metric {name!r}; known: {', '.join(sorted(METRICS))}"
+            )
+    points: List[TrendPoint] = []
+    for start in range(0, len(rows), window):
+        chunk = rows[start : start + window]
+        points.append(
+            TrendPoint(
+                first_epoch_id=chunk[0].epoch_id,
+                last_epoch_id=chunk[-1].epoch_id,
+                last_ts=chunk[-1].ts,
+                epochs=len(chunk),
+                values={name: METRICS[name](chunk) for name in names},
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """Outcome of one recent-vs-baseline drift check.
+
+    ``breached`` is ``True`` when the recent window's value exceeded
+    the trailing baseline by more than ``band_pct`` percent.  The check
+    is one-sided -- for every metric in :data:`METRICS`, higher means
+    worse (rates of bad outcomes, latencies) -- so improvement never
+    alerts.
+    """
+
+    series: str
+    recent: float
+    baseline: float
+    drift_pct: float
+    band_pct: float
+    breached: bool
+
+
+def detect_regression(
+    rows: Sequence[EpochRow],
+    series: str,
+    window: int,
+    baseline: int,
+    band_pct: float,
+) -> Optional[RegressionFinding]:
+    """Compare the last ``window`` epochs against the ``baseline`` before.
+
+    Returns ``None`` until enough history exists (``window + baseline``
+    epochs) -- a regression needs something to regress *from*.  A zero
+    baseline with a positive recent value counts as infinite drift and
+    breaches any band.
+    """
+    if window < 1 or baseline < 1:
+        raise ValueError("window and baseline must both be >= 1")
+    if band_pct < 0.0:
+        raise ValueError(f"band_pct must be >= 0, got {band_pct}")
+    if len(rows) < window + baseline:
+        return None
+    recent_rows = rows[-window:]
+    baseline_rows = rows[-(window + baseline) : -window]
+    recent = _metric(series)(recent_rows)
+    base = _metric(series)(baseline_rows)
+    if base <= 0.0:
+        drift = float("inf") if recent > 0.0 else 0.0
+    else:
+        drift = 100.0 * (recent - base) / base
+    return RegressionFinding(
+        series=series,
+        recent=recent,
+        baseline=base,
+        drift_pct=drift,
+        band_pct=band_pct,
+        breached=drift > band_pct,
+    )

@@ -1,0 +1,280 @@
+"""``python -m repro history``: read verdict history stores back.
+
+Four subcommands over an existing store file (all open read-only
+except ``compact``):
+
+- ``tail``     the newest epochs, one row each;
+- ``trends``   windowed quality metrics over the whole run;
+- ``query``    filtered epoch rows, per-epoch verdicts, or the alert
+  ledger;
+- ``compact``  enforce a retention policy and rewrite the file.
+
+Every subcommand has a ``--json`` form (machine-readable, golden-
+tested) next to the human table rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from types import MappingProxyType
+from typing import List
+
+from repro.history.analytics import METRICS, compute_trends
+from repro.history.store import HistoryError, HistoryStore, RetentionPolicy
+
+__all__ = ["add_history_arguments", "run_history"]
+
+
+def add_history_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``history`` subcommand tree to an argparse parser."""
+    sub = parser.add_subparsers(dest="history_command", required=True)
+
+    tail = sub.add_parser("tail", help="newest epochs in the store")
+    tail.add_argument("store", help="history store file (sqlite)")
+    tail.add_argument("-n", type=int, default=10, help="epochs to show")
+    tail.add_argument("--json", action="store_true", help="machine-readable output")
+
+    trends = sub.add_parser("trends", help="windowed quality metrics over the run")
+    trends.add_argument("store", help="history store file (sqlite)")
+    trends.add_argument(
+        "--window", type=int, default=20, help="epochs per trend window"
+    )
+    trends.add_argument(
+        "--metrics",
+        default="detection_rate,repair_rate,unknown_rate,latency_p95",
+        help=f"comma-separated metric names (known: {', '.join(sorted(METRICS))})",
+    )
+    trends.add_argument("--json", action="store_true", help="machine-readable output")
+
+    query = sub.add_parser("query", help="filtered epochs, verdicts, or alerts")
+    query.add_argument("store", help="history store file (sqlite)")
+    query.add_argument("--since", type=float, default=None, help="min epoch timestamp")
+    query.add_argument("--until", type=float, default=None, help="max epoch timestamp")
+    query.add_argument(
+        "--detected-only", action="store_true", help="only epochs that flagged something"
+    )
+    query.add_argument("--limit", type=int, default=None, help="max rows")
+    query.add_argument(
+        "--verdicts",
+        default="",
+        metavar="INPUT",
+        help="per-epoch verdict rows for one input instead of epoch rows",
+    )
+    query.add_argument(
+        "--alerts", action="store_true", help="show the alert ledger instead"
+    )
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+
+    compact = sub.add_parser(
+        "compact", help="enforce retention and rewrite the store file"
+    )
+    compact.add_argument("store", help="history store file (sqlite)")
+    compact.add_argument(
+        "--max-epochs", type=int, default=None, help="keep at most N epochs"
+    )
+    compact.add_argument(
+        "--max-age-s", type=float, default=None, help="drop epochs older than S seconds"
+    )
+    compact.add_argument(
+        "--max-bytes", type=int, default=None, help="target store size ceiling"
+    )
+    compact.add_argument(
+        "--now",
+        type=float,
+        default=None,
+        help="age-retention reference time (default: wall clock)",
+    )
+    compact.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _format_table(headers: List[str], rows: List[List[object]]) -> str:
+    from repro.experiments import format_table
+
+    return format_table(headers, rows)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    with HistoryStore(args.store, writer=False) as store:
+        rows = store.tail(max(1, args.n))
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2, sort_keys=True))
+        return 0
+    print(
+        _format_table(
+            ["epoch", "ts", "src", "sealed", "ok", "updates", "viol", "detected"],
+            [
+                [
+                    row.epoch_id,
+                    f"{row.ts:g}",
+                    row.source,
+                    row.sealed_by,
+                    "yes" if row.complete else "part",
+                    row.updates,
+                    row.violations,
+                    "yes" if row.detected else "no",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    names = [name for name in args.metrics.split(",") if name]
+    for name in names:
+        if name not in METRICS:
+            print(
+                f"unknown metric {name!r} (known: {', '.join(sorted(METRICS))})",
+                file=sys.stderr,
+            )
+            return 2
+    if args.window < 1:
+        print(f"--window must be >= 1, got {args.window}", file=sys.stderr)
+        return 2
+    with HistoryStore(args.store, writer=False) as store:
+        points = compute_trends(store.epochs(), args.window, names)
+    if args.json:
+        print(json.dumps([p.to_dict() for p in points], indent=2, sort_keys=True))
+        return 0
+    print(
+        _format_table(
+            ["epochs", "last ts"] + names,
+            [
+                [
+                    f"{p.first_epoch_id}-{p.last_epoch_id}",
+                    f"{p.last_ts:g}",
+                ]
+                + [f"{p.values[name]:.4g}" for name in names]
+                for p in points
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with HistoryStore(args.store, writer=False) as store:
+        if args.alerts:
+            alerts = store.alerts(limit=args.limit)
+            if args.json:
+                print(
+                    json.dumps([a.to_dict() for a in alerts], indent=2, sort_keys=True)
+                )
+                return 0
+            print(
+                _format_table(
+                    ["id", "epoch", "ts", "sev", "rule", "key", "message"],
+                    [
+                        [a.alert_id, a.epoch_id, f"{a.ts:g}", a.severity, a.rule, a.key, a.message]
+                        for a in alerts
+                    ],
+                )
+            )
+            return 0
+        if args.verdicts:
+            verdicts = store.verdicts_for(input_name=args.verdicts)
+            if args.limit is not None:
+                verdicts = verdicts[: args.limit]
+            if args.json:
+                print(
+                    json.dumps(
+                        [v.to_dict() for v in verdicts], indent=2, sort_keys=True
+                    )
+                )
+                return 0
+            print(
+                _format_table(
+                    ["epoch", "input", "valid", "violations", "evaluated"],
+                    [
+                        [v.epoch_id, v.input_name, "yes" if v.valid else "NO",
+                         v.num_violations, v.num_evaluated]
+                        for v in verdicts
+                    ],
+                )
+            )
+            return 0
+        rows = store.epochs(
+            since=args.since,
+            until=args.until,
+            detected_only=args.detected_only,
+            limit=args.limit,
+        )
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2, sort_keys=True))
+        return 0
+    print(
+        _format_table(
+            ["epoch", "ts", "detected", "violations", "confirmed", "repaired", "raw", "unknown"],
+            [
+                [
+                    row.epoch_id,
+                    f"{row.ts:g}",
+                    "yes" if row.detected else "no",
+                    row.violations,
+                    row.signals_confirmed,
+                    row.signals_repaired,
+                    row.signals_raw,
+                    row.signals_unknown,
+                ]
+                for row in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.exists(args.store):
+        # A writer open would create an empty store here; a compact of
+        # a missing path is always a typo.
+        print(f"history store not found: {args.store}", file=sys.stderr)
+        return 2
+    try:
+        policy = RetentionPolicy(
+            max_epochs=args.max_epochs,
+            max_age_s=args.max_age_s,
+            max_bytes=args.max_bytes,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with HistoryStore(args.store, writer=True) as store:
+        result = store.compact(policy if policy.bounded else None, now=args.now)
+        remaining = store.epoch_count()
+    payload = {
+        "bytes_before": result.bytes_before,
+        "bytes_after": result.bytes_after,
+        "reclaimed": result.reclaimed,
+        "epochs_deleted": result.epochs_deleted,
+        "epochs_remaining": remaining,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key, value in payload.items():
+            print(f"{key:18} {value}")
+    return 0
+
+
+_DISPATCH = MappingProxyType(
+    {
+        "tail": _cmd_tail,
+        "trends": _cmd_trends,
+        "query": _cmd_query,
+        "compact": _cmd_compact,
+    }
+)
+
+
+def run_history(args: argparse.Namespace) -> int:
+    """Entry point for the ``history`` CLI subcommand."""
+    try:
+        return _DISPATCH[args.history_command](args)
+    except HistoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2

@@ -24,6 +24,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    parse_exposition,
 )
 from repro.obs.provenance import (
     FiredInvariant,
@@ -43,6 +44,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "parse_exposition",
     "SignalProvenance",
     "FiredInvariant",
     "VerdictProvenance",

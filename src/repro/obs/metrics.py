@@ -26,6 +26,7 @@ Two write modes coexist deliberately:
 from __future__ import annotations
 
 import bisect
+import math
 import re
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -35,6 +36,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "parse_exposition",
 ]
 
 #: Upper bounds (seconds) for latency histograms; +Inf is implicit.
@@ -62,11 +64,49 @@ def _escape_label_value(value: str) -> str:
 
 def _format_value(value: float) -> str:
     """Prometheus sample value: shortest round-trip representation,
-    with integral floats rendered without a decimal point."""
+    with integral floats rendered without a decimal point and the
+    exposition format's spellings for the special values (``repr``
+    would emit ``inf``/``nan``, which Prometheus rejects)."""
     as_float = float(value)
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if math.isnan(as_float):
+        return "NaN"
     if as_float.is_integer() and abs(as_float) < 1e15:
         return str(int(as_float))
     return repr(as_float)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _unescape_label_value(value: str) -> str:
+    """Inverse of :func:`_escape_label_value` (single left-to-right
+    pass, so ``\\\\n`` decodes to backslash-n, not newline)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
 
 
 def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
@@ -93,6 +133,9 @@ class _CounterChild:
             raise ValueError(f"counter value must be >= 0 (got {value!r})")
         self.value = float(value)
 
+    def merge_from(self, other: "_CounterChild") -> None:
+        self.value += other.value
+
 
 class _GaugeChild:
     __slots__ = ("value",)
@@ -110,6 +153,11 @@ class _GaugeChild:
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def merge_from(self, other: "_GaugeChild") -> None:
+        # Gauges are point-in-time readings: the merged-in (newer)
+        # snapshot wins rather than summing two absolute levels.
+        self.value = other.value
 
 
 class _HistogramChild:
@@ -134,6 +182,17 @@ class _HistogramChild:
             running += count
             out.append(running)
         return out
+
+    def merge_from(self, other: "_HistogramChild") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
 
 
 class _Family:
@@ -175,6 +234,17 @@ class _Family:
         if self.label_names:
             raise ValueError(f"{self.name} has labels; use .labels(...).{op}")
         return self.labels()
+
+    def merge_from(self, other: "_Family") -> None:
+        """Fold another family's children into this one, per label set.
+
+        Counters add, gauges take the incoming reading, histograms add
+        bucket-wise (same bounds required).  The other family must have
+        the same kind and label names -- the registry checks before
+        delegating here.
+        """
+        for key, child in other._sorted_children():
+            self._children.setdefault(key, self._new_child()).merge_from(child)  # type: ignore[attr-defined]
 
 
 class Counter(_Family):
@@ -319,6 +389,34 @@ class MetricsRegistry:
                 out.append((name, dict(pairs), value))
         return out
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Families present in both must agree on kind and label names
+        (and bucket bounds, for histograms) -- a mismatch raises and
+        leaves the conflicting family partially untouched only past the
+        point of the error.  Families only in ``other`` are deep-merged
+        into fresh families here, so later writes to ``other`` do not
+        alias into this registry.
+        """
+        for family in other.families():
+            if family.kind == "histogram":
+                mine = self.histogram(
+                    family.name, family.help, family.label_names, family.bounds  # type: ignore[attr-defined]
+                )
+                if mine.bounds != family.bounds:  # type: ignore[attr-defined]
+                    raise ValueError(
+                        f"metric {family.name!r} bucket bounds differ: "
+                        f"{mine.bounds} vs {family.bounds}"  # type: ignore[attr-defined]
+                    )
+            elif family.kind == "counter":
+                mine = self.counter(family.name, family.help, family.label_names)
+            elif family.kind == "gauge":
+                mine = self.gauge(family.name, family.help, family.label_names)
+            else:  # pragma: no cover - no other kinds exist
+                raise ValueError(f"unknown family kind {family.kind!r}")
+            mine.merge_from(family)
+
     def render(self) -> str:
         """Prometheus text exposition format, version 0.0.4."""
         lines: List[str] = []
@@ -332,3 +430,73 @@ class MetricsRegistry:
     def write(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render())
+
+
+def _parse_label_body(body: str, line: str) -> List[Tuple[str, str]]:
+    """Parse the inside of ``{...}`` into ordered (name, value) pairs."""
+    pairs: List[Tuple[str, str]] = []
+    index = 0
+    length = len(body)
+    while index < length:
+        eq = body.index("=", index)
+        name = body[index:eq]
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r} in line {line!r}")
+        if eq + 1 >= length or body[eq + 1] != '"':
+            raise ValueError(f"expected quoted label value in line {line!r}")
+        cursor = eq + 2
+        raw: List[str] = []
+        while True:
+            if cursor >= length:
+                raise ValueError(f"unterminated label value in line {line!r}")
+            char = body[cursor]
+            if char == "\\" and cursor + 1 < length:
+                raw.append(body[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        pairs.append((name, _unescape_label_value("".join(raw))))
+        index = cursor + 1
+        if index < length:
+            if body[index] != ",":
+                raise ValueError(f"expected ',' between labels in line {line!r}")
+            index += 1
+    return pairs
+
+
+def parse_exposition(
+    text: str,
+) -> List[Tuple[str, List[Tuple[str, str]], float]]:
+    """Parse Prometheus text exposition back into flat samples.
+
+    The inverse of :meth:`MetricsRegistry.render` for the subset this
+    module emits: ``# HELP``/``# TYPE`` lines are skipped, every other
+    non-blank line becomes one ``(name, label_pairs, value)`` tuple
+    with label values unescaped and ``+Inf``/``-Inf``/``NaN`` decoded.
+    Exists so tests can assert exposition round-trips exactly.
+    """
+    samples: List[Tuple[str, List[Tuple[str, str]], float]] = []
+    # Split on "\n" only: str.splitlines() also breaks on control
+    # characters (\x1c-\x1e, \x85, ...) that are legal inside label
+    # values, which would split a sample line in half.
+    for line in text.split("\n"):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            open_brace = line.index("{")
+            close_brace = line.rindex("}")
+            name = line[:open_brace]
+            pairs = _parse_label_body(line[open_brace + 1 : close_brace], line)
+            value_text = line[close_brace + 1 :].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            pairs = []
+            value_text = value_text.strip()
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name in line {line!r}")
+        samples.append((name, pairs, _parse_value(value_text)))
+    return samples

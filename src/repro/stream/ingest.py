@@ -192,6 +192,12 @@ class StreamPipeline:
             the assembler and engine for a single exposition).
         tracer: Optional tracer; each validated epoch records a
             ``stream.epoch`` span.
+        history: Optional :class:`repro.history.sink.HistorySink`;
+            every sealed-and-validated epoch is written through with
+            its assembly coverage and seal-to-verdict latency.  The
+            pipeline never owns the sink -- the caller closes it.
+            Attach a sink to either the pipeline or the engine, not
+            both, or epochs record twice.
     """
 
     def __init__(
@@ -204,6 +210,7 @@ class StreamPipeline:
         config: Optional[IngestConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        history=None,
     ) -> None:
         self._feeds = list(feeds)
         self._assembler = assembler
@@ -213,6 +220,7 @@ class StreamPipeline:
         self.config = config or IngestConfig()
         self.metrics = metrics if metrics is not None else assembler.metrics
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.history = history
         self._queue_gauge = self.metrics.gauge(
             "stream_queue_depth",
             "Deliveries waiting in the ingest queue.",
@@ -392,7 +400,21 @@ class StreamPipeline:
             span.annotate(updates=epoch.updates, missing=len(epoch.missing))
         result.epochs.append(epoch)
         result.reports.append(report)
-        result.epoch_latency_s.append(event_loop_time() - sealed_at)
+        latency = event_loop_time() - sealed_at
+        result.epoch_latency_s.append(latency)
+        if self.history is not None:
+            self.history.record(
+                report,
+                source="stream",
+                mode=getattr(self._engine, "mode", "full"),
+                backend=getattr(self._engine, "backend", "python"),
+                sealed_by=epoch.sealed_by,
+                complete=epoch.complete,
+                updates=epoch.updates,
+                missing=len(epoch.missing),
+                elapsed_s=latency,
+                stats=getattr(self._engine, "stats", None),
+            )
 
     async def _consume(self, state: _RunState, remaining: int) -> None:
         """Drain the queue until every producer's terminal marker has

@@ -51,6 +51,20 @@ class SoakConfig:
         queue_size: Ingest queue bound.
         backpressure: ``"block"`` or ``"drop-oldest"``.
         deterministic: Merged single-producer delivery order.
+        history_path: When set, attach a history sink at this sqlite
+            path and write every validated epoch through (E18's store).
+        history_deterministic: Byte-reproducible store writes (epoch
+            virtual timestamps, zeroed latencies).  Default off for
+            soak runs -- E18 measures *real* verdict-latency drift.
+        history_retention_epochs: Retention cap on stored epochs
+            (``None`` = unbounded; E18 sets this to prove sublinear
+            store growth).
+        history_snapshot_every: Engine counter-snapshot cadence.
+        history_compact_every: Mid-run full-compaction cadence
+            (0 = only the final compaction).
+        alert_rules: Alert rule grammar strings evaluated as epochs
+            stream (see :mod:`repro.history.alerts`).
+        alert_jsonl: JSONL fan-out path for fired alerts.
     """
 
     nodes: int = 80
@@ -66,6 +80,13 @@ class SoakConfig:
     queue_size: int = 256
     backpressure: str = "block"
     deterministic: bool = True
+    history_path: Optional[str] = None
+    history_deterministic: bool = False
+    history_retention_epochs: Optional[int] = None
+    history_snapshot_every: int = 10
+    history_compact_every: int = 0
+    alert_rules: Tuple[str, ...] = ()
+    alert_jsonl: Optional[str] = None
 
 
 @dataclass
@@ -93,6 +114,14 @@ class SoakResult:
         complete_epochs / partial_epochs: Coverage split.
         metrics: The run's registry (``stream_*`` + engine families),
             ready for Prometheus exposition.
+        history_epochs: Epoch rows retained in the history store at
+            run end (post-retention; 0 with no history sink).
+        history_bytes: Store file bytes before the final compaction.
+        history_bytes_compacted: Store file bytes after the final
+            compaction (checkpoint + VACUUM rewrite).
+        history_compaction_deleted: Epoch rows the final compaction's
+            retention sweep deleted.
+        alerts_fired: Alerts appended to the store ledger.
     """
 
     nodes: int
@@ -115,6 +144,11 @@ class SoakResult:
     complete_epochs: int
     partial_epochs: int
     metrics: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
+    history_epochs: int = 0
+    history_bytes: int = 0
+    history_bytes_compacted: int = 0
+    history_compaction_deleted: int = 0
+    alerts_fired: int = 0
 
 
 def _percentile_ms(sorted_s: List[float], q: float) -> float:
@@ -171,6 +205,34 @@ def run_soak(
         snapshot = churn_snapshot(snapshot, config.churn, rng, timestamp)
         epochs.append((timestamp, snapshot))
 
+    sink = None
+    if config.history_path is not None:
+        from repro.history.alerts import AlertEngine, JsonlAlertSink
+        from repro.history.sink import HistoryConfig, HistorySink
+        from repro.history.store import RetentionPolicy
+
+        alert_engine = None
+        if config.alert_rules:
+            sinks = (
+                [JsonlAlertSink(config.alert_jsonl)]
+                if config.alert_jsonl is not None
+                else []
+            )
+            alert_engine = AlertEngine(
+                config.alert_rules, sinks=sinks, metrics=registry
+            )
+        sink = HistorySink(
+            HistoryConfig(
+                path=config.history_path,
+                deterministic=config.history_deterministic,
+                counter_snapshot_every=config.history_snapshot_every,
+                retention=RetentionPolicy(max_epochs=config.history_retention_epochs),
+                compact_every=config.history_compact_every,
+            ),
+            alerts=alert_engine,
+            metrics=registry,
+        )
+
     feeds = make_feeds(epochs, perturb=config.perturb, seed=config.seed)
     assembler = EpochAssembler(
         routers=list(feeds),
@@ -198,11 +260,22 @@ def run_soak(
             ),
             metrics=registry,
             tracer=tracer,
+            history=sink,
         )
         start = monotonic_clock()
         result = pipeline.run()
         wall_s = monotonic_clock() - start
         engine_registry(engine.stats, registry=registry)
+
+    history_epochs = history_bytes = history_compacted = deleted = alerts_fired = 0
+    if sink is not None:
+        compaction = sink.compact()
+        history_bytes = compaction.bytes_before
+        history_compacted = compaction.bytes_after
+        deleted = compaction.epochs_deleted
+        history_epochs = sink.store.epoch_count()
+        alerts_fired = len(sink.store.alerts())
+        sink.close()
 
     latencies = sorted(epoch.assembly_latency_s for epoch in result.epochs)
     feed_dropped = sum(feed.stats.dropped for feed in feeds.values())
@@ -227,4 +300,9 @@ def run_soak(
         complete_epochs=result.complete_epochs,
         partial_epochs=result.partial_epochs,
         metrics=registry,
+        history_epochs=history_epochs,
+        history_bytes=history_bytes,
+        history_bytes_compacted=history_compacted,
+        history_compaction_deleted=deleted,
+        alerts_fired=alerts_fired,
     )

@@ -1,0 +1,13 @@
+"""Known-bad history-core fixture: an unprotected store mutation.
+
+``HistoryStore`` is a pinned cache-store class, so a write interleaved
+with a fallible call -- a half-appended ledger if ``flush`` raises --
+must be flagged by X1 even though the module lives outside ``engine/``.
+"""
+
+
+class HistoryStore:
+    def append_all(self, rows, flush):
+        for row in rows:
+            self._pending[row] = True
+            flush(row)

@@ -1,0 +1,12 @@
+"""Known-bad history-core fixture: a wall-clock read off the seam.
+
+``history/`` is core scope and only ``history/store.py`` is the
+sanctioned clock seam -- a ``time.time()`` anchor here would break the
+byte-reproducible store contract and must be flagged by D1.
+"""
+
+import time
+
+
+def record_anchor():
+    return time.time()

@@ -1,0 +1,25 @@
+"""Known-good seam fixture: the history store's sanctioned clock.
+
+Mirrors the live ``repro/history/store.py`` -- this path is listed in
+``LintConfig.clock_seam_paths`` (age retention is inherently
+wall-time-based), so its ``time.time`` default is exempt from D1.  The
+store class is also a pinned cache-store: its mutations follow the
+try/except-rollback discipline, which X1 accepts because ``rollback``
+is a sanctioned reset name.
+"""
+
+import time
+
+
+class HistoryStore:
+    def default_anchor(self, recorded_at):
+        return time.time() if recorded_at is None else recorded_at
+
+    def append(self, rows):
+        try:
+            for row in rows:
+                self._pending[row] = True
+            self._conn.commit()
+        except Exception:
+            self._conn.rollback()
+            raise

@@ -220,3 +220,28 @@ def test_x1_flags_unprotected_store_and_cache_param_writes():
 def test_x1_reset_handler_and_build_then_swap_are_clean():
     result = run_lint(FIXTURES / "x1_good")
     assert result.diagnostics == []
+
+
+def test_history_is_core_scope_with_store_as_the_clock_seam():
+    result = run_lint(FIXTURES / "history_seam")
+    # history/ is core scope: the wall-clock anchor outside the pinned
+    # seam module and the unprotected HistoryStore mutation are both
+    # flagged; the seam's time.time default and the rollback-protected
+    # append in store.py are clean.
+    assert _findings(result) == [
+        ("history/ledger.py", 12, "X1"),  # store write then fallible flush
+        ("history/sink.py", 12, "D1"),    # time.time() off the seam
+    ]
+
+
+def test_history_clock_seam_is_per_file_not_per_directory():
+    from repro.analysis import LintConfig
+
+    result = run_lint(
+        FIXTURES / "history_seam", config=LintConfig(clock_seam_paths=frozenset())
+    )
+    assert _findings(result) == [
+        ("history/ledger.py", 12, "X1"),
+        ("history/sink.py", 12, "D1"),
+        ("history/store.py", 16, "D1"),
+    ]

@@ -1,0 +1,273 @@
+"""Alert grammar, engine semantics, and sink fan-out -- all hermetic.
+
+The webhook tests prove the retry ladder with an injected transport
+and a recording fake sleep: zero network, zero real waiting.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.history.alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertSink,
+    JsonlAlertSink,
+    LogAlertSink,
+    WebhookAlertSink,
+    WebhookError,
+    parse_rule,
+)
+from repro.obs.metrics import MetricsRegistry
+from tests.history.test_analytics import _row
+
+
+class TestParseRule:
+    def test_transition(self):
+        rule = parse_rule("transition:links")
+        assert (rule.kind, rule.subject, rule.severity) == (
+            "transition", "links", "critical",
+        )
+        assert parse_rule("transition:any").subject == "any"
+        assert rule.span == 0
+
+    def test_trend(self):
+        rule = parse_rule("trend:unknown_rate>=0.25@20")
+        assert (rule.kind, rule.subject, rule.op) == ("trend", "unknown_rate", ">=")
+        assert rule.threshold == 0.25 and rule.window == 20
+        assert rule.severity == "warning" and rule.span == 20
+
+    def test_regression(self):
+        rule = parse_rule("regression:latency_p95@20/100%50")
+        assert (rule.kind, rule.subject) == ("regression", "latency_p95")
+        assert (rule.window, rule.baseline, rule.band_pct) == (20, 100, 50.0)
+        assert rule.span == 120
+
+    @pytest.mark.parametrize(
+        "bad,match",
+        [
+            ("nonsense", "unparseable"),
+            ("trend:nope>1@5", "unknown metric"),
+            ("trend:detection_rate>1@0", "window must be"),
+            ("regression:nope@5/5%10", "unknown metric"),
+            ("regression:latency_p50@0/5%10", "must be >= 1"),
+            ("transition:UPPER", "unparseable"),
+        ],
+    )
+    def test_rejects(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_rule(bad)
+
+
+class _Recorder(AlertSink):
+    name = "recorder"
+
+    def __init__(self, fail=False):
+        self.events = []
+        self.fail = fail
+        self.closed = False
+
+    def emit(self, event):
+        if self.fail:
+            raise RuntimeError("sink down")
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+class TestTransitionRule:
+    def test_fires_on_valid_to_invalid_edge_only(self):
+        engine = AlertEngine(["transition:links"], cooldown_epochs=0)
+        assert engine.observe(_row(1), [("links", True)]) == []
+        (event,) = engine.observe(_row(2), [("links", False)])
+        assert event.key == "links" and event.severity == "critical"
+        assert "flipped valid->invalid" in event.message
+        # Still invalid: no refire until it recovers and flips again.
+        assert engine.observe(_row(3), [("links", False)]) == []
+        assert engine.observe(_row(4), [("links", True)]) == []
+        assert len(engine.observe(_row(5), [("links", False)])) == 1
+
+    def test_any_matches_every_input_separately(self):
+        engine = AlertEngine(["transition:any"], cooldown_epochs=0)
+        engine.observe(_row(1), [("links", True), ("demands", True)])
+        events = engine.observe(_row(2), [("links", False), ("demands", False)])
+        assert [event.key for event in events] == ["links", "demands"]
+
+    def test_first_epoch_invalid_counts_as_a_flip(self):
+        # Unknown inputs default to previously-valid: a store that opens
+        # on a bad input should alert immediately.
+        engine = AlertEngine(["transition:any"])
+        (event,) = engine.observe(_row(1), [("links", False)])
+        assert event.epoch_id == 1
+
+    def test_cooldown_suppresses_refire_per_key(self):
+        engine = AlertEngine(["transition:any"], cooldown_epochs=3)
+        engine.observe(_row(1), [("links", False)])
+        engine.observe(_row(2), [("links", True)])
+        # Flip again within cooldown: suppressed.
+        assert engine.observe(_row(3), [("links", False)]) == []
+        engine.observe(_row(4), [("links", True)])
+        # Epoch 5 is > 3 epochs after the epoch-1 fire: allowed.
+        assert len(engine.observe(_row(5), [("links", False)])) == 1
+
+
+class TestTrendRule:
+    def test_edge_triggered_on_breach_entry(self):
+        engine = AlertEngine(["trend:detection_rate>0.5@2"], cooldown_epochs=0)
+        assert engine.observe(_row(1, detected=True)) == []  # window not full
+        (event,) = engine.observe(_row(2, detected=True))
+        assert "detection_rate over last 2 epochs = 1" in event.message
+        # Still breached: stays quiet until it leaves and re-enters.
+        assert engine.observe(_row(3, detected=True)) == []
+        assert engine.observe(_row(4, detected=False)) == []
+        assert engine.observe(_row(5, detected=False)) == []  # rate 0: left breach
+        assert len(engine.observe(_row(6, detected=True))) == 0  # rate 0.5, not > 0.5
+        engine.observe(_row(7, detected=True))  # rate 1.0: re-entered
+
+
+class TestRegressionRule:
+    def test_fires_when_recent_window_drifts(self):
+        engine = AlertEngine(
+            ["regression:latency_p50@2/2%50"], cooldown_epochs=0
+        )
+        fired = []
+        for index, elapsed in enumerate([0.1, 0.1, 0.1, 0.3, 0.3], start=1):
+            fired.extend(engine.observe(_row(index, elapsed_s=elapsed)))
+        (event,) = fired
+        assert "regressed" in event.message and event.key == "latency_p50"
+
+
+class TestFanOut:
+    def test_events_reach_every_sink_and_failures_are_contained(self):
+        registry = MetricsRegistry()
+        good, bad = _Recorder(), _Recorder(fail=True)
+        engine = AlertEngine(
+            ["transition:any"], sinks=[bad, good], metrics=registry
+        )
+        engine.observe(_row(1), [("links", False)])
+        assert len(good.events) == 1
+        fired = registry.get("alerts_fired_total")
+        assert fired.labels(rule="transition:any", sink="ledger").value == 1
+        assert fired.labels(rule="transition:any", sink="recorder").value == 1
+        errors = registry.get("history_alert_sink_errors_total")
+        assert errors.labels(sink="recorder").value == 1
+
+    def test_close_closes_sinks(self):
+        recorder = _Recorder()
+        AlertEngine([], sinks=[recorder]).close()
+        assert recorder.closed
+
+    def test_jsonl_sink_writes_canonical_lines(self, tmp_path):
+        path = str(tmp_path / "alerts.jsonl")
+        sink = JsonlAlertSink(path)
+        event = AlertEvent(1.0, 2, "transition:any", "links", "critical", "m")
+        sink.emit(event)
+        sink.close()
+        with open(path, encoding="utf-8") as handle:
+            (line,) = handle.read().splitlines()
+        assert line == event.to_json()
+        assert json.loads(line)["epoch_id"] == 2
+
+    def test_log_sink_format(self):
+        stream = io.StringIO()
+        LogAlertSink(stream).emit(
+            AlertEvent(20.0, 3, "trend:unknown_rate>0.1@5", "unknown_rate",
+                       "warning", "breach")
+        )
+        assert stream.getvalue() == (
+            "ALERT [warning] t=20 trend:unknown_rate>0.1@5 (unknown_rate): breach\n"
+        )
+
+
+class TestWebhookSink:
+    def _event(self):
+        return AlertEvent(1.0, 1, "transition:any", "links", "critical", "m")
+
+    def test_delivers_payload_on_2xx(self):
+        calls = []
+
+        def transport(url, payload):
+            calls.append((url, payload))
+            return 204
+
+        registry = MetricsRegistry()
+        sink = WebhookAlertSink("http://hook", transport=transport, metrics=registry)
+        sink.emit(self._event())
+        ((url, payload),) = calls
+        assert url == "http://hook"
+        assert json.loads(payload) == self._event().to_dict()
+        deliveries = registry.get("history_webhook_deliveries_total")
+        assert deliveries.labels(result="ok").value == 1
+        assert registry.get("history_webhook_retries_total").value == 0
+
+    def test_retries_with_exponential_backoff_then_succeeds(self):
+        statuses = iter([500, 503, 200])
+        sleeps = []
+        registry = MetricsRegistry()
+        sink = WebhookAlertSink(
+            "http://hook",
+            transport=lambda _url, _payload: next(statuses),
+            max_retries=3,
+            backoff_s=0.5,
+            sleep=sleeps.append,
+            metrics=registry,
+        )
+        sink.emit(self._event())
+        assert sleeps == [0.5, 1.0]
+        assert registry.get("history_webhook_retries_total").value == 2
+        deliveries = registry.get("history_webhook_deliveries_total")
+        assert deliveries.labels(result="ok").value == 1
+        assert deliveries.labels(result="error").value == 0
+
+    def test_exhausted_retries_raise_with_attempt_history(self):
+        registry = MetricsRegistry()
+        sink = WebhookAlertSink(
+            "http://hook",
+            transport=lambda _url, _payload: 500,
+            max_retries=2,
+            sleep=lambda _s: None,
+            metrics=registry,
+        )
+        with pytest.raises(WebhookError, match="failed after 3 attempts") as info:
+            sink.emit(self._event())
+        assert "attempt 3: HTTP 500" in str(info.value)
+        assert registry.get("history_webhook_deliveries_total").labels(
+            result="error"
+        ).value == 1
+
+    def test_transport_exceptions_are_retried_like_bad_statuses(self):
+        attempts = []
+
+        def transport(_url, _payload):
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ConnectionError("refused")
+            return 201
+
+        sink = WebhookAlertSink(
+            "http://hook", transport=transport, sleep=lambda _s: None
+        )
+        sink.emit(self._event())
+        assert len(attempts) == 2
+
+    def test_engine_contains_webhook_exhaustion(self):
+        registry = MetricsRegistry()
+        hook = WebhookAlertSink(
+            "http://hook",
+            transport=lambda _url, _payload: 500,
+            max_retries=1,
+            sleep=lambda _s: None,
+            metrics=registry,
+        )
+        engine = AlertEngine(["transition:any"], sinks=[hook], metrics=registry)
+        (event,) = engine.observe(_row(1), [("links", False)])
+        assert event.key == "links"  # validation path unaffected
+        assert registry.get("history_alert_sink_errors_total").labels(
+            sink="webhook"
+        ).value == 1
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            WebhookAlertSink("http://hook", max_retries=-1)

@@ -1,0 +1,165 @@
+"""Rolling analytics: windowed metrics, trends, regression detection."""
+
+import math
+
+import pytest
+
+from repro.history.analytics import (
+    METRICS,
+    compute_trends,
+    detect_regression,
+    percentile,
+    window_metric,
+)
+from repro.history.store import EpochRow
+
+
+def _row(epoch_id, *, detected=False, complete=True, violations=0, updates=100,
+         elapsed_s=0.01, signals=(8, 0, 2, 0)):
+    confirmed, repaired, raw, unknown = signals
+    return EpochRow(
+        epoch_id=epoch_id,
+        ts=float(epoch_id * 10),
+        recorded_at=float(epoch_id * 10),
+        source="engine",
+        mode="full",
+        backend="python",
+        sealed_by="batch",
+        complete=complete,
+        updates=updates,
+        missing=0,
+        elapsed_s=elapsed_s,
+        detected=detected,
+        violations=violations,
+        signals_confirmed=confirmed,
+        signals_repaired=repaired,
+        signals_raw=raw,
+        signals_unknown=unknown,
+    )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        assert percentile(values, 50.0) == 0.5
+        assert percentile(values, 95.0) == 1.0
+        assert percentile(values, 0.0) == 0.1
+        assert percentile(values, 100.0) == 1.0
+        assert percentile([3.0], 99.0) == 3.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 101.0)
+
+
+class TestWindowMetrics:
+    def test_detection_and_incomplete_rates(self):
+        rows = [_row(1, detected=True), _row(2), _row(3, complete=False), _row(4)]
+        assert window_metric(rows, "detection_rate") == 0.25
+        assert window_metric(rows, "incomplete_rate") == 0.25
+
+    def test_signal_rates_share_one_denominator(self):
+        rows = [_row(1, signals=(6, 2, 1, 1)), _row(2, signals=(8, 0, 2, 0))]
+        assert window_metric(rows, "repair_rate") == 2 / 20
+        assert window_metric(rows, "unknown_rate") == 1 / 20
+        assert window_metric(rows, "confirmed_rate") == 14 / 20
+
+    def test_signal_rate_with_zero_signals_is_zero(self):
+        rows = [_row(1, signals=(0, 0, 0, 0))]
+        assert window_metric(rows, "repair_rate") == 0.0
+
+    def test_per_epoch_averages_and_latency(self):
+        rows = [
+            _row(1, violations=4, updates=10, elapsed_s=0.1),
+            _row(2, violations=0, updates=30, elapsed_s=0.3),
+        ]
+        assert window_metric(rows, "violations_per_epoch") == 2.0
+        assert window_metric(rows, "updates_per_epoch") == 20.0
+        assert window_metric(rows, "latency_p50") == 0.1
+        assert window_metric(rows, "latency_p99") == 0.3
+
+    def test_empty_window_is_none_unknown_metric_raises(self):
+        assert window_metric([], "detection_rate") is None
+        with pytest.raises(ValueError, match="unknown history metric"):
+            window_metric([_row(1)], "nope")
+
+    def test_every_metric_evaluates_on_a_real_window(self):
+        rows = [_row(index, detected=index % 2 == 0) for index in range(1, 6)]
+        for name in METRICS:
+            value = window_metric(rows, name)
+            assert isinstance(value, float) and not math.isnan(value)
+
+
+class TestTrends:
+    def test_consecutive_windows_with_partial_tail(self):
+        rows = [_row(index, detected=index <= 4) for index in range(1, 8)]
+        points = compute_trends(rows, 3, ["detection_rate"])
+        assert [(p.first_epoch_id, p.last_epoch_id, p.epochs) for p in points] == [
+            (1, 3, 3), (4, 6, 3), (7, 7, 1),
+        ]
+        assert [p.values["detection_rate"] for p in points] == [1.0, 1 / 3, 0.0]
+        assert points[-1].last_ts == 70.0
+
+    def test_defaults_to_all_metrics_sorted(self):
+        (point,) = compute_trends([_row(1)], 5)
+        assert list(point.values) == sorted(METRICS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            compute_trends([_row(1)], 0)
+        with pytest.raises(ValueError, match="unknown history metric"):
+            compute_trends([_row(1)], 1, ["bogus"])
+
+    def test_to_dict_is_json_shaped(self):
+        (point,) = compute_trends([_row(1)], 1, ["detection_rate"])
+        assert point.to_dict() == {
+            "first_epoch_id": 1,
+            "last_epoch_id": 1,
+            "last_ts": 10.0,
+            "epochs": 1,
+            "values": {"detection_rate": 0.0},
+        }
+
+
+class TestRegression:
+    def test_needs_window_plus_baseline_history(self):
+        rows = [_row(index) for index in range(1, 5)]
+        assert detect_regression(rows, "latency_p50", 3, 2, 10.0) is None
+
+    def test_detects_drift_beyond_band(self):
+        rows = [_row(index, elapsed_s=0.1) for index in range(1, 5)] + [
+            _row(index, elapsed_s=0.2) for index in range(5, 9)
+        ]
+        finding = detect_regression(rows, "latency_p50", 4, 4, 50.0)
+        assert finding is not None and finding.breached
+        assert finding.recent == 0.2 and finding.baseline == 0.1
+        assert finding.drift_pct == pytest.approx(100.0)
+
+    def test_within_band_does_not_breach(self):
+        rows = [_row(index, elapsed_s=0.1) for index in range(1, 9)]
+        finding = detect_regression(rows, "latency_p50", 4, 4, 5.0)
+        assert finding is not None and not finding.breached
+        assert finding.drift_pct == pytest.approx(0.0)
+
+    def test_improvement_never_breaches(self):
+        rows = [_row(index, elapsed_s=0.2) for index in range(1, 5)] + [
+            _row(index, elapsed_s=0.1) for index in range(5, 9)
+        ]
+        finding = detect_regression(rows, "latency_p50", 4, 4, 0.0)
+        assert finding is not None and not finding.breached
+
+    def test_zero_baseline_with_positive_recent_is_infinite_drift(self):
+        rows = [_row(index, violations=0) for index in range(1, 5)] + [
+            _row(index, violations=3) for index in range(5, 9)
+        ]
+        finding = detect_regression(rows, "violations_per_epoch", 4, 4, 1000.0)
+        assert finding is not None and finding.breached
+        assert finding.drift_pct == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            detect_regression([], "latency_p50", 0, 1, 5.0)
+        with pytest.raises(ValueError, match="band_pct"):
+            detect_regression([], "latency_p50", 1, 1, -1.0)

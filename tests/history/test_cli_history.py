@@ -1,0 +1,264 @@
+"""Golden tests for ``python -m repro history`` and the history flags
+on the ``engine``/``stream`` commands.
+
+One seeded S02 stream run writes the shared store fixture; every
+subcommand's output is then pinned against it.  The store is written
+in deterministic mode (the stream CLI default), so the goldens are
+stable across machines and runs.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def seeded_store(tmp_path_factory):
+    """One S02 run with history + alerts: (store_path, jsonl_path)."""
+    root = tmp_path_factory.mktemp("history-cli")
+    store = str(root / "s02.db")
+    jsonl = str(root / "alerts.jsonl")
+    code = main(
+        [
+            "stream", "--scenario", "S02", "--epochs", "6",
+            "--history", store,
+            "--alert", "transition:any",
+            "--alert", "trend:detection_rate>0.5@3",
+            "--alerts-jsonl", jsonl,
+        ]
+    )
+    assert code == 0
+    return store, jsonl
+
+
+class TestTail:
+    def test_table(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(["history", "tail", store, "-n", "3"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].split() == [
+            "epoch", "ts", "src", "sealed", "ok", "updates", "viol", "detected"
+        ]
+        assert len(lines) == 5  # header, rule, 3 rows
+        assert lines[2].split()[0] == "4"
+        assert lines[4].split()[0] == "6"
+
+    def test_json(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(["history", "tail", store, "-n", "2", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["epoch_id"] for row in rows] == [5, 6]
+        first = rows[0]
+        assert first["source"] == "stream"
+        assert first["ts"] == 40.0
+        assert first["recorded_at"] == 40.0  # deterministic default
+        assert first["elapsed_s"] == 0.0
+        assert set(first) == {
+            "epoch_id", "ts", "recorded_at", "source", "mode", "backend",
+            "sealed_by", "complete", "updates", "missing", "elapsed_s",
+            "detected", "violations", "signals_confirmed",
+            "signals_repaired", "signals_raw", "signals_unknown",
+        }
+
+
+class TestTrends:
+    def test_json_golden(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(
+            [
+                "history", "trends", store, "--window", "3",
+                "--metrics", "detection_rate,violations_per_epoch",
+            ]
+        ) == 0
+        table = capsys.readouterr().out.splitlines()
+        assert table[0].split() == [
+            "epochs", "last", "ts", "detection_rate", "violations_per_epoch"
+        ]
+        assert len(table) == 4  # header, rule, 2 windows of 3
+        assert main(
+            [
+                "history", "trends", store, "--window", "3", "--json",
+                "--metrics", "detection_rate",
+            ]
+        ) == 0
+        points = json.loads(capsys.readouterr().out)
+        assert [(p["first_epoch_id"], p["last_epoch_id"]) for p in points] == [
+            (1, 3), (4, 6),
+        ]
+        assert points[0]["values"]["detection_rate"] == 1.0
+
+    def test_unknown_metric_is_usage_error(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(["history", "trends", store, "--metrics", "bogus"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_epoch_filters(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(
+            ["history", "query", store, "--since", "20", "--until", "40", "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["epoch_id"] for row in rows] == [3, 4, 5]
+
+    def test_detected_only(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(["history", "query", store, "--detected-only", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(row["detected"] for row in rows)
+
+    def test_verdict_series_for_one_input(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(
+            ["history", "query", store, "--verdicts", "topology", "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["epoch_id"] for row in rows] == [1, 2, 3, 4, 5, 6]
+        assert all(row["input"] == "topology" for row in rows)
+        assert rows[0]["valid"] is False  # S02's epoch-1 outage
+
+    def test_alert_ledger_golden(self, seeded_store, capsys):
+        store, jsonl = seeded_store
+        capsys.readouterr()
+        assert main(["history", "query", store, "--alerts", "--json"]) == 0
+        ledger = json.loads(capsys.readouterr().out)
+        assert [
+            (a["epoch_id"], a["ts"], a["rule"], a["key"], a["severity"])
+            for a in ledger
+        ] == [
+            (1, 0.0, "transition:any", "topology", "critical"),
+            (3, 20.0, "trend:detection_rate>0.5@3", "detection_rate", "warning"),
+        ]
+        # The JSONL fan-out saw the same events, in the same order.
+        with open(jsonl, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle.read().splitlines()]
+        assert [(a["epoch_id"], a["rule"]) for a in lines] == [
+            (a["epoch_id"], a["rule"]) for a in ledger
+        ]
+
+
+class TestCompact:
+    def test_compact_applies_retention_and_reports(self, seeded_store, capsys, tmp_path):
+        store, _ = seeded_store
+        # Work on a copy: other tests share the module-scoped fixture.
+        import shutil
+
+        copy = str(tmp_path / "copy.db")
+        shutil.copy(store, copy)
+        capsys.readouterr()
+        assert main(
+            ["history", "compact", copy, "--max-epochs", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["epochs_deleted"] == 4
+        assert payload["epochs_remaining"] == 2
+        assert payload["bytes_after"] <= payload["bytes_before"]
+        assert payload["reclaimed"] == (
+            payload["bytes_before"] - payload["bytes_after"]
+        )
+
+    def test_missing_store_is_an_error_not_an_empty_store(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.db")
+        assert main(["history", "compact", absent]) == 2
+        assert "not found" in capsys.readouterr().err
+        import os
+
+        assert not os.path.exists(absent)
+
+    def test_bad_policy_is_usage_error(self, seeded_store, capsys):
+        store, _ = seeded_store
+        capsys.readouterr()
+        assert main(["history", "compact", store, "--max-epochs", "0"]) == 2
+        assert "max_epochs" in capsys.readouterr().err
+
+
+class TestStoreReproducibility:
+    def test_stream_written_store_is_byte_reproducible(self, tmp_path):
+        paths = [str(tmp_path / name) for name in ("r1.db", "r2.db")]
+        for path in paths:
+            assert main(
+                ["stream", "--scenario", "S02", "--epochs", "4", "--history", path]
+            ) == 0
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestMetricsPromCoverage:
+    def test_history_families_in_prom_export(self, tmp_path, capsys):
+        """Satellite: --metrics-prom covers the history/alert layer."""
+        store = str(tmp_path / "s.db")
+        prom = tmp_path / "run.prom"
+        assert main(
+            [
+                "stream", "--scenario", "S02", "--epochs", "4",
+                "--history", store,
+                "--alert", "transition:any",
+                "--metrics-prom", str(prom),
+            ]
+        ) == 0
+        text = prom.read_text()
+        for family in (
+            "history_rows_total",
+            "history_store_bytes",
+            "history_epochs_written_total",
+            "history_compactions_total",
+            "history_retention_deleted_total",
+            "alerts_fired_total",
+            "history_alert_sink_errors_total",
+        ):
+            assert f"# TYPE {family} " in text, family
+        assert 'history_rows_total{table="epochs"} 4' in text
+        assert 'alerts_fired_total{rule="transition:any",sink="ledger"} 1' in text
+
+
+class TestEngineHistoryFlag:
+    def test_engine_run_writes_store(self, tmp_path, capsys):
+        store = str(tmp_path / "engine.db")
+        assert main(
+            [
+                "engine", "--scenario", "S02", "--epochs", "3",
+                "--history", store,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["history", "tail", store, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 3
+        assert all(row["source"] == "engine" for row in rows)
+        assert all(row["sealed_by"] == "batch" for row in rows)
+
+    def test_bad_alert_rule_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            [
+                "engine", "--scenario", "S02", "--epochs", "1",
+                "--history", str(tmp_path / "h.db"),
+                "--alert", "garbage",
+            ]
+        ) == 2
+        assert "unparseable" in capsys.readouterr().err
+
+
+class TestSoakHistory:
+    def test_soak_reports_history_shape(self, capsys, tmp_path):
+        store = str(tmp_path / "soak.db")
+        assert main(
+            [
+                "stream", "--soak", "--nodes", "8", "--epochs", "4",
+                "--history", store, "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["history_epochs"] == 4
+        assert payload["history_bytes"] > 0
+        assert payload["history_bytes_compacted"] > 0
+        assert payload["alerts_fired"] == 0

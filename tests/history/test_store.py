@@ -1,0 +1,288 @@
+"""HistoryStore unit + pathological tests.
+
+Everything hermetic: ``tmp_path`` stores, :class:`ManualClock` where
+the store's wall-clock seam matters.  The pathological block covers
+the crash/abuse paths the ISSUE names -- WAL replay after a simulated
+crash, schema-mismatch refusal, retention deleting exactly the oldest
+epochs, and concurrent-writer rejection.
+"""
+
+import os
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.history.store import (
+    SCHEMA_VERSION,
+    ConcurrentWriterError,
+    HistoryError,
+    HistoryStore,
+    RetentionPolicy,
+    SchemaMismatchError,
+)
+from repro.obs.clock import ManualClock
+
+
+def _append(store, index, **overrides):
+    """One synthetic epoch; index drives ts and distinguishability."""
+    kwargs = dict(
+        source="engine",
+        mode="full",
+        backend="python",
+        sealed_by="batch",
+        complete=True,
+        updates=100 + index,
+        missing=0,
+        elapsed_s=0.001 * index,
+        detected=index % 3 == 0,
+        violations=index % 3,
+        signals=(5, 1, 2, 0),
+        verdicts=[("links", index % 3 != 0, index % 3, 7), ("demands", True, 0, 3)],
+        provenance=[("links", '{"valid":false}')] if index % 3 == 0 else [],
+    )
+    kwargs.update(overrides)
+    return store.append_epoch(float(index * 10), **kwargs)
+
+
+class TestAppendAndQuery:
+    def test_append_epoch_round_trips_every_field(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        with HistoryStore(path, clock=ManualClock(1000.0)) as store:
+            epoch_id = _append(store, 1)
+            row = store.tail(1)[0]
+        assert epoch_id == 1
+        assert row.ts == 10.0
+        assert row.recorded_at == 1000.0  # store clock, injected
+        assert (row.source, row.mode, row.backend) == ("engine", "full", "python")
+        assert row.sealed_by == "batch"
+        assert row.complete and row.updates == 101 and row.missing == 0
+        assert row.elapsed_s == pytest.approx(0.001)
+        assert not row.detected and row.violations == 1
+        assert (
+            row.signals_confirmed,
+            row.signals_repaired,
+            row.signals_raw,
+            row.signals_unknown,
+        ) == (5, 1, 2, 0)
+
+    def test_recorded_at_override_skips_the_clock(self, tmp_path):
+        clock = ManualClock(500.0)
+        with HistoryStore(str(tmp_path / "h.db"), clock=clock) as store:
+            store.append_epoch(1.0, recorded_at=1.0)
+            assert store.tail(1)[0].recorded_at == 1.0
+
+    def test_verdicts_and_provenance_round_trip(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            epoch_id = _append(store, 0)
+            verdicts = store.verdicts_for(epoch_id=epoch_id)
+            assert [(v.input_name, v.valid) for v in verdicts] == [
+                ("demands", True),
+                ("links", False),
+            ]
+            assert store.provenance_for(epoch_id) == {"links": {"valid": False}}
+
+    def test_tail_returns_newest_oldest_first(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(6):
+                _append(store, index)
+            assert [row.epoch_id for row in store.tail(3)] == [4, 5, 6]
+
+    def test_epochs_filters(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(6):
+                _append(store, index)
+            assert [r.epoch_id for r in store.epochs(since=20.0, until=40.0)] == [3, 4, 5]
+            assert [r.epoch_id for r in store.epochs(detected_only=True)] == [1, 4]
+            assert [r.epoch_id for r in store.epochs(limit=2)] == [1, 2]
+
+    def test_counter_snapshots_round_trip(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            epoch_id = _append(store, 0)
+            snap = store.append_counters(
+                epoch_id,
+                [("hodor_epochs_total", {}, 3.0), ("hodor_shards", {"mode": "full"}, 2.0)],
+            )
+            assert snap == 1
+            assert store.counter_series("hodor_shards") == [(1, {"mode": "full"}, 2.0)]
+            assert store.append_counters(epoch_id, [("hodor_epochs_total", {}, 4.0)]) == 2
+
+    def test_alert_ledger_round_trips(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            epoch_id = _append(store, 0)
+            store.append_alert(epoch_id, 0.0, "transition:any", "links", "critical", "boom")
+            (alert,) = store.alerts()
+            assert (alert.rule, alert.key, alert.severity) == (
+                "transition:any", "links", "critical",
+            )
+
+    def test_row_counts_and_ts_range(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            assert store.ts_range() is None
+            for index in range(3):
+                _append(store, index)
+            counts = store.row_counts()
+            assert counts["epochs"] == 3 and counts["verdicts"] == 6
+            assert counts["provenance"] == 1  # only index 0 detected
+            assert store.ts_range() == (0.0, 20.0)
+
+    def test_reader_sees_writer_appends(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        with HistoryStore(path) as store:
+            _append(store, 0)
+            with HistoryStore(path, writer=False) as reader:
+                assert reader.epoch_count() == 1
+                with pytest.raises(HistoryError, match="read-only"):
+                    reader.append_alert(1, 0.0, "r", "k", "warning", "m")
+
+    def test_reader_requires_existing_file(self, tmp_path):
+        with pytest.raises(HistoryError, match="not found"):
+            HistoryStore(str(tmp_path / "absent.db"), writer=False)
+
+    def test_closed_store_raises(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "h.db"))
+        store.close()
+        with pytest.raises(HistoryError, match="closed"):
+            store.epoch_count()
+
+
+class TestRetention:
+    def test_max_epochs_deletes_exactly_the_oldest(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(10):
+                _append(store, index)
+            deleted = store.enforce_retention(RetentionPolicy(max_epochs=4))
+            assert deleted == 6
+            assert [row.epoch_id for row in store.epochs()] == [7, 8, 9, 10]
+
+    def test_retention_cascades_child_tables(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(4):
+                epoch_id = _append(store, index)
+                store.append_counters(epoch_id, [("n", {}, float(index))])
+                store.append_alert(epoch_id, 0.0, "r", "k", "warning", "m")
+            store.enforce_retention(RetentionPolicy(max_epochs=1))
+            counts = store.row_counts()
+            # Survivor is index 3 (detected), so one provenance row stays.
+            assert counts == {
+                "epochs": 1, "verdicts": 2, "provenance": 1,
+                "counters": 1, "alerts": 1,
+            }
+
+    def test_max_age_uses_recorded_at_and_explicit_now(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(5):
+                _append(store, index, recorded_at=float(index * 10))
+            # now=40, max_age=15 -> keep recorded_at >= 25: epochs 4, 5.
+            deleted = store.enforce_retention(
+                RetentionPolicy(max_age_s=15.0), now=40.0
+            )
+            assert deleted == 3
+            assert [row.epoch_id for row in store.epochs()] == [4, 5]
+
+    def test_max_age_defaults_to_injected_clock(self, tmp_path):
+        clock = ManualClock(100.0)
+        with HistoryStore(str(tmp_path / "h.db"), clock=clock) as store:
+            _append(store, 0)  # recorded_at = 100.0
+            clock.tick(30.0)
+            assert store.enforce_retention(RetentionPolicy(max_age_s=60.0)) == 0
+            clock.tick(40.0)  # now 170, age 70 > 60
+            assert store.enforce_retention(RetentionPolicy(max_age_s=60.0)) == 1
+
+    def test_max_bytes_shrinks_store(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(2000):
+                _append(store, index)
+            before = store.store_bytes()
+            # Keep the target above the empty-schema page floor, or the
+            # shrink loop can never get there no matter what it deletes.
+            target = max(65536, before // 2)
+            assert before > target
+            deleted = store.enforce_retention(RetentionPolicy(max_bytes=target))
+            assert deleted > 0
+            assert store.store_bytes() <= target
+            # Survivors are the newest contiguous suffix.
+            remaining = [row.epoch_id for row in store.epochs()]
+            assert remaining == list(range(remaining[0], 2001))
+
+    def test_unbounded_policy_is_a_no_op(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            _append(store, 0)
+            assert store.enforce_retention(RetentionPolicy()) == 0
+            assert store.epoch_count() == 1
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_epochs"):
+            RetentionPolicy(max_epochs=0)
+        with pytest.raises(ValueError, match="max_age_s"):
+            RetentionPolicy(max_age_s=-1.0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            RetentionPolicy(max_bytes=1024)
+
+    def test_compact_reclaims_retention_garbage(self, tmp_path):
+        with HistoryStore(str(tmp_path / "h.db")) as store:
+            for index in range(400):
+                _append(store, index)
+            result = store.compact(RetentionPolicy(max_epochs=10))
+            assert result.epochs_deleted == 390
+            assert result.bytes_after < result.bytes_before
+            assert result.reclaimed == result.bytes_before - result.bytes_after
+            assert store.epoch_count() == 10
+
+
+class TestPathological:
+    def test_wal_replay_after_simulated_crash(self, tmp_path):
+        """Committed epochs must survive a kill -9 (copy db+wal mid-run)."""
+        path = str(tmp_path / "live.db")
+        crashed = str(tmp_path / "crashed.db")
+        store = HistoryStore(path)
+        try:
+            for index in range(20):
+                _append(store, index)
+            # Snapshot the database mid-flight, WAL and shm included --
+            # the moral equivalent of the page cache at SIGKILL time.
+            assert os.path.exists(path + "-wal")
+            for suffix in ("", "-wal", "-shm"):
+                if os.path.exists(path + suffix):
+                    shutil.copy(path + suffix, crashed + suffix)
+        finally:
+            store.close()
+        with HistoryStore(crashed) as replayed:
+            assert replayed.epoch_count() == 20
+            assert [row.epoch_id for row in replayed.tail(3)] == [18, 19, 20]
+
+    def test_schema_mismatch_refuses_writer_and_reader(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        HistoryStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SchemaMismatchError, match="refusing to open"):
+            HistoryStore(path)
+        with pytest.raises(SchemaMismatchError):
+            HistoryStore(path, writer=False)
+        # The refused open must not leave the lock held.
+        HistoryStore(str(tmp_path / "other.db")).close()
+
+    def test_concurrent_writer_rejected_reader_allowed(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        with HistoryStore(path) as first:
+            _append(first, 0)
+            with pytest.raises(ConcurrentWriterError, match="live writer"):
+                HistoryStore(path)
+            with HistoryStore(path, writer=False) as reader:
+                assert reader.epoch_count() == 1
+        # Lock released on close: a new writer may open.
+        with HistoryStore(path) as second:
+            _append(second, 1)
+            assert second.epoch_count() == 2
+
+    def test_writer_lock_survives_schema_check_failure_of_others(self, tmp_path):
+        """A writer crash (simulated by GC-less close) frees the lock."""
+        path = str(tmp_path / "h.db")
+        store = HistoryStore(path)
+        store.close()
+        store.close()  # idempotent
+        with HistoryStore(path) as again:
+            assert again.epoch_count() == 0

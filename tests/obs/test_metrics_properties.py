@@ -1,0 +1,161 @@
+"""Property tests for metrics exposition and merge.
+
+Two contracts the history layer now leans on:
+
+1. **Exposition round-trip** -- ``registry.render()`` followed by
+   :func:`repro.obs.metrics.parse_exposition` reproduces every sample
+   exactly, for arbitrary label values (quotes, backslashes, newlines)
+   and for the special float values (``+Inf``/``-Inf``/``NaN``).
+2. **Histogram merge** -- merging two histograms bucket-wise equals
+   observing both value streams into a single histogram; counter merge
+   adds, gauge merge takes the incoming reading.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+# Printable-ish label values plus the characters the escaper handles.
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r", max_codepoint=0x2FF
+    ),
+    max_size=12,
+)
+label_keys = st.sampled_from(["shard", "stage", "result", "rule"])
+finite_values = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=0.0, max_value=1e12
+)
+observations = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, min_value=0.0, max_value=10.0),
+    max_size=30,
+)
+
+
+def _sample_map(samples):
+    return {(name, tuple(pairs)): value for name, pairs, value in samples}
+
+
+class TestExpositionRoundTrip:
+    @given(pairs=st.dictionaries(label_keys, label_values, max_size=3), value=finite_values)
+    @settings(max_examples=80, deadline=None)
+    def test_labelled_counter_round_trips(self, pairs, value):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "E.", labels=tuple(sorted(pairs)))
+        (counter.labels(**pairs) if pairs else counter.labels()).inc(value)
+        parsed = _sample_map(parse_exposition(registry.render()))
+        key = ("events_total", tuple((k, pairs[k]) for k in sorted(pairs)))
+        assert parsed[key] == pytest.approx(value, abs=0.0)
+
+    @given(values=observations)
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_round_trips(self, values):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", "L.")
+        histogram.labels()  # materialise the child even with no observations
+        for value in values:
+            histogram.observe(value)
+        parsed = _sample_map(parse_exposition(registry.render()))
+        assert parsed[("lat_seconds_count", ())] == len(values)
+        assert parsed[("lat_seconds_sum", ())] == pytest.approx(
+            math.fsum(values), rel=1e-9, abs=1e-12
+        )
+        # The implicit bucket is spelled +Inf and must parse back as such.
+        assert parsed[("lat_seconds_bucket", (("le", "+Inf"),))] == len(values)
+
+    def test_special_values_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("drift", "D.", labels=("series",)).labels(
+            series="detection_rate"
+        ).set(float("inf"))
+        registry.gauge("drift", "D.", labels=("series",)).labels(
+            series="repair_rate"
+        ).set(float("-inf"))
+        registry.gauge("drift", "D.", labels=("series",)).labels(
+            series="unknown_rate"
+        ).set(float("nan"))
+        rendered = registry.render()
+        assert "+Inf" in rendered and "-Inf" in rendered and "NaN" in rendered
+        assert "inf\n" not in rendered  # repr() spelling must not leak
+        parsed = _sample_map(parse_exposition(rendered))
+        assert parsed[("drift", (("series", "detection_rate"),))] == float("inf")
+        assert parsed[("drift", (("series", "repair_rate"),))] == float("-inf")
+        assert math.isnan(parsed[("drift", (("series", "unknown_rate"),))])
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = 'a\\b"c\nd\\ne,={}"'
+        registry.counter("x_total", "X.", labels=("k",)).labels(k=hostile).inc()
+        parsed = parse_exposition(registry.render())
+        assert parsed == [("x_total", [("k", hostile)], 1.0)]
+
+
+class TestMerge:
+    @given(values_a=observations, values_b=observations)
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_merge_equals_combined_stream(self, values_a, values_b):
+        reg_a, reg_b, reg_both = (MetricsRegistry() for _ in range(3))
+        for registry, values in ((reg_a, values_a), (reg_b, values_b)):
+            histogram = registry.histogram("lat_seconds", "L.")
+            for value in values:
+                histogram.observe(value)
+        combined = reg_both.histogram("lat_seconds", "L.")
+        for value in values_a + values_b:
+            combined.observe(value)
+        reg_a.merge(reg_b)
+        flat = lambda reg: {  # noqa: E731
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value in reg.samples()
+        }
+        merged, combined = flat(reg_a), flat(reg_both)
+        assert merged.keys() == combined.keys()
+        for key, value in combined.items():
+            # _sum differs by float associativity; counts are exact.
+            assert merged[key] == pytest.approx(value, rel=1e-12, abs=1e-12)
+
+    @given(a=finite_values, b=finite_values)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_merge_adds_and_gauge_takes_incoming(self, a, b):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.counter("n_total", "N.").inc(a)
+        reg_b.counter("n_total", "N.").inc(b)
+        reg_a.gauge("level", "G.").set(a)
+        reg_b.gauge("level", "G.").set(b)
+        reg_a.merge(reg_b)
+        assert reg_a.get("n_total").value == pytest.approx(a + b)
+        assert reg_a.get("level").value == b
+
+    def test_merge_brings_over_missing_families_by_copy(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_b.counter("only_total", "O.").inc(2)
+        reg_a.merge(reg_b)
+        assert reg_a.get("only_total").value == 2
+        reg_b.get("only_total").inc(5)  # must not alias into reg_a
+        assert reg_a.get("only_total").value == 2
+
+    def test_merge_rejects_kind_and_bucket_mismatch(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.counter("m", "M.")
+        reg_b.gauge("m", "M.")
+        with pytest.raises(ValueError, match="already registered"):
+            reg_a.merge(reg_b)
+        reg_c, reg_d = MetricsRegistry(), MetricsRegistry()
+        reg_c.histogram("h_seconds", "H.", buckets=(0.1, 1.0))
+        reg_d.histogram("h_seconds", "H.", buckets=(0.5, 1.0))
+        with pytest.raises(ValueError, match="bucket"):
+            reg_c.merge(reg_d)
+
+    def test_merge_rejects_label_mismatch(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.counter("m_total", "M.", labels=("x",))
+        reg_b.counter("m_total", "M.", labels=("y",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg_a.merge(reg_b)
