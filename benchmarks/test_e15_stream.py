@@ -103,3 +103,66 @@ def test_stream_soak(benchmark, write_result, results_dir):
     benchmark.extra_info["p95_ms_at_80"] = at_80.p95_ms
     benchmark.extra_info["duplicates_at_80"] = at_80.duplicates
     benchmark.extra_info["feed_dropped_at_80"] = at_80.feed_dropped
+
+
+def test_stream_soak_scatter_vector(benchmark, write_result, results_dir):
+    """Satellite to E15: the scatter hot loop under the vector backend.
+
+    The fleet hot path seals epochs as sorted event buffers and folds
+    them through the cached decoder (``validate_events``) instead of
+    reassembling a snapshot per epoch; the engine side runs the
+    array-compiled backend.  Reported against the classic
+    applied-snapshot python-backend soak on the identical shape so the
+    p50 moves are attributable.
+    """
+    from repro.stream.feed import Perturbations
+    from repro.stream.soak import SoakConfig, run_soak
+
+    nodes = SIZES[-1]
+    perturb = Perturbations(reorder=REORDER, drop=DROP, duplicate=DUPLICATE)
+    scatter_vector = SoakConfig(
+        nodes=nodes,
+        epochs=EPOCHS,
+        perturb=perturb,
+        scatter=True,
+        backend="vector",
+    )
+    classic_python = SoakConfig(
+        nodes=nodes,
+        epochs=EPOCHS,
+        perturb=perturb,
+    )
+    fast = benchmark.pedantic(
+        lambda: run_soak(scatter_vector), rounds=1, iterations=1
+    )
+    classic = run_soak(classic_python)
+
+    for result, label in ((fast, "scatter+vector"), (classic, "classic+python")):
+        assert result.epochs_sealed == EPOCHS, (
+            f"{label}: only {result.epochs_sealed}/{EPOCHS} epochs sealed"
+        )
+
+    table = format_table(
+        ["pipeline", "backend", "epochs", "updates", "updates/s",
+         "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        [
+            [
+                label,
+                backend,
+                f"{result.epochs_sealed}/{EPOCHS}",
+                result.updates,
+                f"{result.updates_per_s:.0f}",
+                f"{result.p50_ms:.1f}",
+                f"{result.p95_ms:.1f}",
+                f"{result.p99_ms:.1f}",
+            ]
+            for result, label, backend in (
+                (classic, "classic (applied snapshots)", "python"),
+                (fast, "scatter (event fold)", "vector"),
+            )
+        ],
+    )
+    write_result("E15_scatter_vector", table)
+
+    benchmark.extra_info["scatter_vector_p50_ms"] = fast.p50_ms
+    benchmark.extra_info["classic_python_p50_ms"] = classic.p50_ms

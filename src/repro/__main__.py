@@ -14,7 +14,8 @@ Exposes the library's studies and demos without writing any Python:
 - ``scenarios``   list the outage catalog,
 - ``fuzz``        randomized fault timelines vs the tri-modal oracle,
 - ``lint``        static purity/determinism analysis of the pipeline,
-- ``history``     read verdict history stores (tail/trends/query/compact).
+- ``history``     read verdict history stores (tail/trends/query/compact),
+- ``fleet``       validate many tenant WANs across a worker-process pool.
 """
 
 from __future__ import annotations
@@ -609,6 +610,12 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return run_history(args)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.cli import run_fleet
+
+    return run_fleet(args)
+
+
 def _history_sink(args: argparse.Namespace, registry):
     """Build the optional ``--history`` write-through sink for the
     engine/stream commands (plus its alert engine when rules given)."""
@@ -947,6 +954,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_history_arguments(history)
     history.set_defaults(func=_cmd_history)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="validate many tenant WANs from one service (worker-process pool)",
+    )
+    from repro.fleet.cli import add_fleet_arguments
+
+    add_fleet_arguments(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
 
     report = sub.add_parser("report", help="run every study, emit one markdown report")
     report.add_argument("--quick", action="store_true", help="fast low-trial profile")

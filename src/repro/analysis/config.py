@@ -143,7 +143,13 @@ class LintConfig:
             would make reproducers unreplayable.  The verdict history
             service (``history``) is included because its stores are
             byte-reproducible artifacts and its alert replay is part
-            of the determinism contract.
+            of the determinism contract.  The multi-tenant fleet
+            supervisor (``fleet``) is included because its whole
+            recovery story -- crash reschedules asserted
+            fingerprint-identical, readmissions byte-identical to
+            untroubled runs -- collapses if digests, admission
+            decisions, or dispatch order pick up wall time or global
+            RNG.
         incremental_path: POSIX-relative path (from the lint root) of
             the module that must wire every per-entity unit (C1).
         vector_path: POSIX-relative path (from the lint root) of the
@@ -198,7 +204,7 @@ class LintConfig:
 
     entity_patterns: Tuple[str, ...] = DEFAULT_ENTITY_PATTERNS
     core_dirs: FrozenSet[str] = frozenset(
-        {"core", "engine", "fuzz", "history", "obs", "stream"}
+        {"core", "engine", "fleet", "fuzz", "history", "obs", "stream"}
     )
     incremental_path: str = "engine/incremental.py"
     vector_path: str = "core/vector/backend.py"

@@ -176,6 +176,7 @@ class ValidationEngine:
         self._vector: "OrderedDict[str, object]" = OrderedDict()
         self._model_store = VectorModelStore()
         self._max_component_sets = 32
+        self._folder = None
 
     @property
     def config(self) -> HodorConfig:
@@ -347,6 +348,42 @@ class ValidationEngine:
             self._emit_verdicts(report)
             self._record_history(report, total_seconds)
         return report
+
+    def validate_events(
+        self,
+        events,
+        timestamp: float,
+        inputs: ControllerInputs,
+        topology: Optional[Topology] = None,
+    ) -> ValidationReport:
+        """Validate one sealed epoch directly from its update events.
+
+        The scatter entry point: sealed epochs from an assembler running
+        with ``build_snapshots=False`` arrive as sorted event buffers;
+        the engine folds them through a persistent
+        :class:`~repro.stream.fold.EventFolder` (one regex decode per
+        *distinct* path for the engine's whole lifetime, then dict
+        lookups) and validates the folded snapshot on the configured
+        mode/backend.  Because folding replicates the reference apply
+        codec object for object, the report -- findings, verdicts, and
+        provenance -- is byte-identical to :meth:`validate` on a
+        snapshot applied the classic way; the scatter differential in
+        ``tests/stream`` enforces this across all four mode/backend
+        combinations.
+
+        Args:
+            events: Deduped deliveries in sorted ``(router, uid)`` seal
+                order (``AssembledEpoch.events``).
+            timestamp: The epoch's collection instant.
+            inputs: The controller inputs under validation.
+            topology: Optional reference override for this epoch.
+        """
+        if self._folder is None:
+            from repro.stream.fold import EventFolder
+
+            self._folder = EventFolder()
+        snapshot = self._folder.fold(events, timestamp)
+        return self.validate(snapshot, inputs, topology=topology)
 
     def _record_history(self, report: ValidationReport, elapsed_s: float) -> None:
         """Write one validated epoch through the attached history sink."""

@@ -1,0 +1,213 @@
+"""Admission control: budgets, quarantine, and graceful degradation.
+
+The fleet's fairness guard.  Every digest a worker ships is scored
+against the :class:`AdmissionPolicy`; a tenant whose feeds *sustain*
+misbehaviour -- over-budget update volume, duplicate storms, or
+chronically incomplete epochs -- is quarantined so it cannot starve
+healthy tenants of worker time.  Quarantine is not forever: after a
+cooldown the tenant is readmitted once (bounded by
+``max_readmissions``), and a tenant that flaps straight back into
+quarantine is evicted for the run.
+
+Everything here is counted in **epochs observed**, never wall time:
+cooldowns elapse as the fleet processes digests, so the controller's
+decisions are a pure function of the digest sequence and replay
+deterministically (hodor-lint D1: no wall clocks in core scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fleet.digest import EpochDigest
+
+__all__ = ["AdmissionController", "AdmissionPolicy", "TenantAdmission"]
+
+#: Tenant admission states.
+ADMITTED = "admitted"
+QUARANTINED = "quarantined"
+EVICTED = "evicted"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """What the fleet tolerates before isolating a tenant.
+
+    Attributes:
+        max_updates_per_epoch: Per-epoch update-rate budget; ``None``
+            disables volume scoring.  An epoch over budget is a
+            strike.
+        max_duplicates_per_epoch: Duplicate deliveries tolerated per
+            epoch before the epoch counts as a strike.
+        allow_partial: When ``False``, an incomplete epoch (missing
+            routers) is a strike.
+        sustain_epochs: Consecutive striking epochs before quarantine
+            -- a single bad epoch never quarantines.
+        cooldown_epochs: Fleet-observed epochs a quarantined tenant
+            waits before readmission eligibility.
+        max_readmissions: Times a tenant may re-enter after
+            quarantine; the next quarantine evicts it for the run.
+        degrade_after_quarantines: Active quarantines at which the
+            supervisor broadcasts degraded mode (workers shed
+            partial-epoch sealing to protect healthy tenants).
+    """
+
+    max_updates_per_epoch: Optional[int] = None
+    max_duplicates_per_epoch: int = 50
+    allow_partial: bool = True
+    sustain_epochs: int = 3
+    cooldown_epochs: int = 20
+    max_readmissions: int = 1
+    degrade_after_quarantines: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sustain_epochs < 1:
+            raise ValueError(f"sustain_epochs must be >= 1, got {self.sustain_epochs}")
+        if self.cooldown_epochs < 0:
+            raise ValueError(
+                f"cooldown_epochs must be >= 0, got {self.cooldown_epochs}"
+            )
+        if self.max_readmissions < 0:
+            raise ValueError(
+                f"max_readmissions must be >= 0, got {self.max_readmissions}"
+            )
+
+    def striking(self, digest: EpochDigest) -> bool:
+        """Does this epoch count against its tenant?"""
+        if (
+            self.max_updates_per_epoch is not None
+            and digest.updates > self.max_updates_per_epoch
+        ):
+            return True
+        if digest.duplicates > self.max_duplicates_per_epoch:
+            return True
+        if not self.allow_partial and digest.missing > 0:
+            return True
+        return False
+
+
+@dataclass
+class TenantAdmission:
+    """One tenant's standing with the controller."""
+
+    status: str = ADMITTED
+    strikes: int = 0
+    quarantines: int = 0
+    readmissions: int = 0
+    quarantined_at: int = -1  # observation counter value, -1 = never
+
+
+class AdmissionController:
+    """Scores digests and decides quarantine/readmission/eviction.
+
+    The controller is passive bookkeeping: it never talks to workers.
+    The supervisor calls :meth:`observe` per digest and acts on the
+    returned decision, and polls :meth:`readmittable` to re-dispatch
+    cooled-down tenants.  Keeping the side effects in the supervisor
+    makes the controller trivially unit-testable with synthetic digest
+    sequences (the flapping/cooldown edge cases).
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.observed = 0
+        self._tenants: Dict[str, TenantAdmission] = {}
+
+    # ------------------------------------------------------------------
+
+    def _state(self, tenant: str) -> TenantAdmission:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = TenantAdmission()
+        return state
+
+    def status(self, tenant: str) -> str:
+        return self._state(tenant).status
+
+    def observe(self, digest: EpochDigest) -> Optional[str]:
+        """Score one digest; returns ``"quarantine"`` on the epoch that
+        crosses the sustain threshold, else ``None``.
+
+        Digests from already-quarantined/evicted tenants (in flight
+        when the quarantine landed) are counted as observations but
+        never re-scored.
+        """
+        self.observed += 1
+        state = self._state(digest.tenant)
+        if state.status != ADMITTED:
+            return None
+        if self.policy.striking(digest):
+            state.strikes += 1
+        else:
+            state.strikes = 0
+        if state.strikes >= self.policy.sustain_epochs:
+            state.strikes = 0
+            state.quarantines += 1
+            if state.readmissions >= self.policy.max_readmissions:
+                state.status = EVICTED
+            else:
+                state.status = QUARANTINED
+            state.quarantined_at = self.observed
+            return "quarantine"
+        return None
+
+    def readmittable(self) -> List[str]:
+        """Quarantined tenants whose cooldown has fully elapsed."""
+        out = []
+        for tenant, state in sorted(self._tenants.items()):
+            if state.status != QUARANTINED:
+                continue
+            if self.observed - state.quarantined_at >= self.policy.cooldown_epochs:
+                out.append(tenant)
+        return out
+
+    def readmit(self, tenant: str) -> None:
+        """Re-admit a cooled-down tenant (the supervisor re-dispatches).
+
+        Raises:
+            ValueError: If the tenant is not quarantined or its
+                cooldown has not elapsed -- readmitting early would be
+                exactly the flapping the cooldown exists to stop.
+        """
+        state = self._state(tenant)
+        if state.status != QUARANTINED:
+            raise ValueError(f"tenant {tenant!r} is {state.status}, not quarantined")
+        if self.observed - state.quarantined_at < self.policy.cooldown_epochs:
+            raise ValueError(
+                f"tenant {tenant!r} cooldown not elapsed "
+                f"({self.observed - state.quarantined_at}"
+                f"/{self.policy.cooldown_epochs} epochs)"
+            )
+        state.status = ADMITTED
+        state.readmissions += 1
+        state.strikes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active_quarantines(self) -> int:
+        return sum(
+            1 for state in self._tenants.values() if state.status == QUARANTINED
+        )
+
+    def should_degrade(self) -> bool:
+        """Has quarantine pressure crossed the degraded-mode bar?"""
+        blocked = sum(
+            1
+            for state in self._tenants.values()
+            if state.status in (QUARANTINED, EVICTED)
+        )
+        return blocked >= self.policy.degrade_after_quarantines
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready per-tenant standing (for ``fleet status``)."""
+        return {
+            tenant: {
+                "status": state.status,
+                "strikes": state.strikes,
+                "quarantines": state.quarantines,
+                "readmissions": state.readmissions,
+            }
+            for tenant, state in sorted(self._tenants.items())
+        }

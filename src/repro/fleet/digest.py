@@ -1,0 +1,132 @@
+"""Per-epoch verdict digests: what workers stream back to the supervisor.
+
+A digest is the supervisor-side unit of truth about one tenant epoch:
+every verdict, the full provenance (canonical JSON), assembly-quality
+counters the admission controller scores, and a SHA-256 fingerprint
+over all determinism-relevant fields.  The fingerprint is what makes
+crash recovery safe: a rescheduled tenant re-produces digests for
+epochs the dead worker already shipped, and the supervisor *asserts*
+fingerprint equality instead of guessing which copy to trust.
+
+Measured latency is carried for percentile rollups but excluded from
+the fingerprint -- wall time differs run to run by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["EpochDigest", "digest_report"]
+
+
+@dataclass(frozen=True)
+class EpochDigest:
+    """One tenant epoch's validation outcome, compressed for the wire.
+
+    Attributes:
+        tenant: Tenant id.
+        timestamp: Epoch virtual timestamp.
+        sealed_by: ``"watermark"`` or ``"drain"``.
+        complete: Every expected router contributed.
+        updates: Distinct updates the epoch sealed with.
+        duplicates: Duplicate deliveries suppressed for the epoch.
+        missing: Expected routers that contributed nothing.
+        detected: The engine flagged anything this epoch.
+        violations: Total violated invariants across verdicts.
+        verdicts: ``(name, valid, num_violations, num_evaluated)``
+            per input, sorted by name.
+        provenance_json: Canonical (sorted-keys) JSON of every
+            verdict's provenance record, keyed by input name.
+        latency_s: Seal-to-verdict seconds (excluded from the
+            fingerprint).
+        fingerprint: SHA-256 over the determinism-relevant fields.
+    """
+
+    tenant: str
+    timestamp: float
+    sealed_by: str
+    complete: bool
+    updates: int
+    duplicates: int
+    missing: int
+    detected: bool
+    violations: int
+    verdicts: Tuple[Tuple[str, bool, int, int], ...]
+    provenance_json: str
+    latency_s: float
+    fingerprint: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "timestamp": self.timestamp,
+            "sealed_by": self.sealed_by,
+            "complete": self.complete,
+            "updates": self.updates,
+            "duplicates": self.duplicates,
+            "missing": self.missing,
+            "detected": self.detected,
+            "violations": self.violations,
+            "verdicts": [list(v) for v in self.verdicts],
+            "latency_s": self.latency_s,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _fingerprint(payload: Dict[str, object]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def digest_report(
+    tenant: str, epoch, report, latency_s: float = 0.0
+) -> EpochDigest:
+    """Digest one sealed epoch + its validation report.
+
+    Args:
+        tenant: Owning tenant id.
+        epoch: The :class:`~repro.stream.assembler.AssembledEpoch`.
+        report: The engine's :class:`~repro.core.ValidationReport`.
+        latency_s: Seal-to-verdict latency (informational only).
+    """
+    verdicts = tuple(
+        (name, v.valid, v.num_violations, v.num_evaluated)
+        for name, v in sorted(report.verdicts.items())
+    )
+    provenance_json = json.dumps(
+        {name: record.to_dict() for name, record in report.provenance.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    violations = sum(v[2] for v in verdicts)
+    fingerprint = _fingerprint(
+        {
+            "tenant": tenant,
+            "timestamp": epoch.timestamp,
+            "sealed_by": epoch.sealed_by,
+            "complete": epoch.complete,
+            "updates": epoch.updates,
+            "duplicates": epoch.duplicates,
+            "missing": len(epoch.missing),
+            "verdicts": [list(v) for v in verdicts],
+            "provenance": provenance_json,
+        }
+    )
+    return EpochDigest(
+        tenant=tenant,
+        timestamp=epoch.timestamp,
+        sealed_by=epoch.sealed_by,
+        complete=epoch.complete,
+        updates=epoch.updates,
+        duplicates=epoch.duplicates,
+        missing=len(epoch.missing),
+        detected=report.detected_anything(),
+        violations=violations,
+        verdicts=verdicts,
+        provenance_json=provenance_json,
+        latency_s=latency_s,
+        fingerprint=fingerprint,
+    )

@@ -1,0 +1,132 @@
+"""Fleet metrics rollup: per-tenant expositions -> one registry.
+
+Workers ship each finished tenant's metrics as Prometheus text
+exposition -- a versionless, process-boundary-safe wire format the
+observability layer can already render *and* parse.  This module
+closes the loop: :func:`registry_from_exposition` reconstructs a live
+:class:`~repro.obs.metrics.MetricsRegistry` from exposition text
+(``# HELP``/``# TYPE`` metadata plus
+:func:`~repro.obs.metrics.parse_exposition` samples), and
+:func:`merge_expositions` folds any number of tenant expositions into
+one fleet-level registry through the registry's own ``merge`` --
+counters add, gauges take the newest reading, histograms add
+bucket-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, parse_exposition
+
+__all__ = ["merge_expositions", "registry_from_exposition"]
+
+
+def _family_meta(text: str) -> Dict[str, Tuple[str, str]]:
+    """``{family_name: (kind, help)}`` from the comment lines."""
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for line in text.split("\n"):
+        line = line.strip()
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kinds[name] = kind.strip()
+        elif line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+    return {name: (kind, helps.get(name, "")) for name, kind in kinds.items()}
+
+
+def _histogram_family(sample_name: str, meta: Dict[str, Tuple[str, str]]) -> Optional[str]:
+    """Map a ``_bucket``/``_sum``/``_count`` sample back to its family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            family = sample_name[: -len(suffix)]
+            if meta.get(family, ("",))[0] == "histogram":
+                return family
+    return None
+
+
+def registry_from_exposition(text: str) -> MetricsRegistry:
+    """Reconstruct a registry from its text exposition.
+
+    Counter and gauge samples restore exactly.  Histograms restore
+    their per-bucket counts, sum, and count from the cumulative
+    ``_bucket`` series (bucket bounds are recovered from the ``le``
+    labels), so merged histograms keep real percentile resolution
+    rather than collapsing to sums.
+
+    Raises:
+        ValueError: On malformed exposition or a sample whose family
+            has no ``# TYPE`` metadata.
+    """
+    meta = _family_meta(text)
+    registry = MetricsRegistry()
+    # (family, label_key) -> {"le_counts": {bound: cum}, "sum": x, "count": n,
+    #                         "pairs": non-le label pairs}
+    histograms: Dict[Tuple[str, Tuple[str, ...]], Dict[str, object]] = {}
+
+    for name, pairs, value in parse_exposition(text):
+        family = _histogram_family(name, meta)
+        if family is not None:
+            non_le = [(k, v) for k, v in pairs if k != "le"]
+            key = (family, tuple(v for _k, v in non_le))
+            bucket = histograms.setdefault(
+                key, {"le_counts": {}, "sum": 0.0, "count": 0, "pairs": non_le}
+            )
+            if name.endswith("_bucket"):
+                # Key by numeric bound, not label text: render() emits
+                # the shortest round-trip spelling, which need not match
+                # any one format string.
+                bucket["le_counts"][float(dict(pairs)["le"])] = value  # type: ignore[index]
+            elif name.endswith("_sum"):
+                bucket["sum"] = value
+            else:
+                bucket["count"] = value
+            continue
+        if name not in meta:
+            raise ValueError(f"sample {name!r} has no # TYPE metadata")
+        kind, help_text = meta[name]
+        label_names = tuple(k for k, _v in pairs)
+        if kind == "counter":
+            child = registry.counter(name, help_text, label_names)
+        elif kind == "gauge":
+            child = registry.gauge(name, help_text, label_names)
+        else:
+            raise ValueError(f"unsupported family kind {kind!r} for {name!r}")
+        child.labels(**dict(pairs)).set_to(value)
+
+    for (family, _key), bucket in sorted(histograms.items()):
+        kind, help_text = meta[family]
+        pairs: List[Tuple[str, str]] = bucket["pairs"]  # type: ignore[assignment]
+        label_names = tuple(k for k, _v in pairs)
+        le_counts: Dict[float, float] = bucket["le_counts"]  # type: ignore[assignment]
+        # Exact identity is the contract: the ``+Inf`` bucket label
+        # parses to exactly ``float("inf")``, never a near value, so a
+        # tolerance here could only misclassify a real finite bound.
+        bounds = tuple(
+            sorted(le for le in le_counts if le != float("inf"))  # lint: ignore[F1]
+        )
+        hist = registry.histogram(family, help_text, label_names, bounds)
+        child = hist.labels(**dict(pairs)) if label_names else hist.labels()
+        cumulative = [le_counts[b] for b in bounds]
+        cumulative.append(le_counts.get(float("inf"), bucket["count"]))  # type: ignore[arg-type]
+        running = 0.0
+        for index, cum in enumerate(cumulative):
+            child.bucket_counts[index] = int(cum - running)
+            running = cum
+        child.sum = float(bucket["sum"])  # type: ignore[arg-type]
+        child.count = int(bucket["count"])  # type: ignore[arg-type]
+    return registry
+
+
+def merge_expositions(
+    texts: Iterable[str], into: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Fold tenant expositions into one fleet-level registry."""
+    rollup = into if into is not None else MetricsRegistry()
+    for text in texts:
+        rollup.merge(registry_from_exposition(text))
+    return rollup

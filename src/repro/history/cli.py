@@ -37,7 +37,16 @@ def add_history_arguments(parser: argparse.ArgumentParser) -> None:
     tail.add_argument("--json", action="store_true", help="machine-readable output")
 
     trends = sub.add_parser("trends", help="windowed quality metrics over the run")
-    trends.add_argument("store", help="history store file (sqlite)")
+    trends.add_argument(
+        "store", nargs="?", default=None, help="history store file (sqlite)"
+    )
+    trends.add_argument(
+        "--fleet",
+        default=None,
+        metavar="DIR",
+        help="fleet store-per-tenant directory: per-tenant trends plus a "
+        "cross-tenant rollup (mutually exclusive with a store file)",
+    )
     trends.add_argument(
         "--window", type=int, default=20, help="epochs per trend window"
     )
@@ -134,6 +143,14 @@ def _cmd_trends(args: argparse.Namespace) -> int:
     if args.window < 1:
         print(f"--window must be >= 1, got {args.window}", file=sys.stderr)
         return 2
+    if (args.store is None) == (args.fleet is None):
+        print(
+            "trends needs exactly one of: a store file, or --fleet DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet is not None:
+        return _trends_fleet(args, names)
     with HistoryStore(args.store, writer=False) as store:
         points = compute_trends(store.epochs(), args.window, names)
     if args.json:
@@ -152,6 +169,31 @@ def _cmd_trends(args: argparse.Namespace) -> int:
             ],
         )
     )
+    return 0
+
+
+def _trends_fleet(args: argparse.Namespace, names: List[str]) -> int:
+    """Per-tenant trend tables plus the cross-tenant rollup."""
+    from repro.history.fleet import ROLLUP, fleet_trends
+
+    result = fleet_trends(args.fleet, args.window, names or None)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    rows: List[List[object]] = []
+    labelled = [(tenant, points) for tenant, points in sorted(result.tenants.items())]
+    labelled.append((ROLLUP, result.rollup))
+    for tenant, points in labelled:
+        for p in points:
+            rows.append(
+                [
+                    tenant,
+                    f"{p.first_epoch_id}-{p.last_epoch_id}",
+                    f"{p.last_ts:g}",
+                ]
+                + [f"{p.values[name]:.4g}" for name in names]
+            )
+    print(_format_table(["tenant", "epochs", "last ts"] + names, rows))
     return 0
 
 

@@ -1,0 +1,108 @@
+"""Cross-tenant history rollups over a fleet's store-per-tenant layout.
+
+A fleet run (:mod:`repro.fleet`) leaves one sqlite store per tenant
+under its ``stores/`` directory.  This module reads that layout back:
+:func:`discover_fleet` maps the directory, :func:`fleet_trends`
+computes each tenant's windowed quality metrics *plus* a fleet-level
+rollup over all tenants' epochs merged in timestamp order -- the
+cross-tenant view ``repro history trends --fleet DIR`` prints.
+
+Everything is read-only and deterministic: tenants are visited in
+sorted id order and the merged timeline breaks timestamp ties by
+tenant id, so two invocations over the same directory always agree.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.history.analytics import TrendPoint, compute_trends
+from repro.history.store import EpochRow, HistoryError, HistoryStore
+
+__all__ = ["FleetTrends", "discover_fleet", "fleet_trends"]
+
+#: The rollup's pseudo-tenant label (sorts after real ids in output).
+ROLLUP = "(fleet)"
+
+
+def discover_fleet(store_dir: str) -> List[Tuple[str, str]]:
+    """``[(tenant, store_path)]`` for every tenant store in a fleet dir.
+
+    Tenant ids are store filenames minus the ``.sqlite`` suffix,
+    returned sorted.  Sidecar files (``-wal``/``-shm``/``.lock``) are
+    ignored.
+
+    Raises:
+        HistoryError: If the directory does not exist or holds no
+            tenant stores -- a silent empty rollup would read as "the
+            fleet validated nothing wrong".
+    """
+    if not os.path.isdir(store_dir):
+        raise HistoryError(f"fleet store directory not found: {store_dir}")
+    stores = [
+        (name[: -len(".sqlite")], os.path.join(store_dir, name))
+        for name in sorted(os.listdir(store_dir))
+        if name.endswith(".sqlite")
+    ]
+    if not stores:
+        raise HistoryError(f"no tenant stores (*.sqlite) under {store_dir}")
+    return stores
+
+
+@dataclass(frozen=True)
+class FleetTrends:
+    """Per-tenant trend points plus the cross-tenant rollup.
+
+    Attributes:
+        tenants: ``{tenant: [TrendPoint, ...]}`` -- each tenant's own
+            run windowed independently.
+        rollup: Trend points over *all* tenants' epochs merged in
+            ``(ts, tenant)`` order; window boundaries therefore cut
+            across tenants, which is the point -- fleet-level
+            detection/latency drift regardless of which tenant
+            produced it.
+        epochs: Total epoch rows consumed across the fleet.
+    """
+
+    tenants: Dict[str, List[TrendPoint]]
+    rollup: List[TrendPoint]
+    epochs: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenants": {
+                tenant: [p.to_dict() for p in points]
+                for tenant, points in sorted(self.tenants.items())
+            },
+            "rollup": [p.to_dict() for p in self.rollup],
+            "epochs": self.epochs,
+        }
+
+
+def fleet_trends(
+    store_dir: str,
+    window: int,
+    metrics: Optional[Sequence[str]] = None,
+) -> FleetTrends:
+    """Windowed quality metrics per tenant and fleet-wide.
+
+    Args:
+        store_dir: A fleet run's ``stores/`` directory.
+        window: Epochs per trend window (both per-tenant and rollup).
+        metrics: Metric names from
+            :data:`repro.history.analytics.METRICS`; all when omitted.
+    """
+    per_tenant: Dict[str, List[TrendPoint]] = {}
+    merged: List[Tuple[float, str, EpochRow]] = []
+    total = 0
+    for tenant, path in discover_fleet(store_dir):
+        with HistoryStore(path, writer=False) as store:
+            rows = store.epochs()
+        per_tenant[tenant] = compute_trends(rows, window, metrics)
+        total += len(rows)
+        merged.extend((row.ts, tenant, row) for row in rows)
+    merged.sort(key=lambda item: (item[0], item[1]))
+    rollup = compute_trends([row for _ts, _tenant, row in merged], window, metrics)
+    return FleetTrends(tenants=per_tenant, rollup=rollup, epochs=total)

@@ -59,7 +59,10 @@ class AssembledEpoch:
 
     Attributes:
         timestamp: The epoch's collection instant (snapshot timestamp).
-        snapshot: The snapshot rebuilt from buffered deliveries.
+        snapshot: The snapshot rebuilt from buffered deliveries, or
+            ``None`` when the assembler runs with
+            ``build_snapshots=False`` (the scatter path: the engine
+            folds :attr:`events` itself through the cached decoder).
         coverage: Applied-update count per contributing router.
         expected: Every router the assembler expected to hear from.
         missing: Expected routers that contributed nothing (sorted).
@@ -70,10 +73,13 @@ class AssembledEpoch:
         duplicates: Duplicate deliveries suppressed for this epoch.
         assembly_latency_s: Real seconds from the epoch's first
             buffered delivery to seal.
+        events: The deduped deliveries in sorted ``(router, uid)``
+            seal order; retained only with ``build_snapshots=False``
+            (otherwise empty -- the snapshot already holds the fold).
     """
 
     timestamp: float
-    snapshot: NetworkSnapshot
+    snapshot: Optional[NetworkSnapshot]
     coverage: Dict[str, int]
     expected: Tuple[str, ...]
     missing: Tuple[str, ...]
@@ -82,6 +88,7 @@ class AssembledEpoch:
     updates: int
     duplicates: int
     assembly_latency_s: float
+    events: Tuple[UpdateEvent, ...] = ()
 
 
 @dataclass
@@ -109,6 +116,13 @@ class EpochAssembler:
             span.  Defaults to the no-op tracer.
         clock: Monotonic seconds source for assembly latency; defaults
             to :func:`repro.obs.clock.monotonic_clock`.
+        build_snapshots: ``True`` (default) applies the buffered
+            deliveries into a :class:`NetworkSnapshot` at seal time --
+            the classic path.  ``False`` seals epochs that carry only
+            their sorted event buffers (``snapshot=None``): the scatter
+            path, where the engine's cached decoder folds the events
+            without re-parsing a single path string (see
+            :mod:`repro.stream.fold`).
     """
 
     def __init__(
@@ -118,6 +132,7 @@ class EpochAssembler:
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
         clock=None,
+        build_snapshots: bool = True,
     ) -> None:
         if lateness_s < 0.0:
             raise ValueError(f"lateness_s must be >= 0, got {lateness_s!r}")
@@ -126,6 +141,7 @@ class EpochAssembler:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
         self._clock = clock if clock is not None else monotonic_clock
+        self._build_snapshots = build_snapshots
         self._open: Dict[float, _OpenEpoch] = {}
         self._sealed_ts: set = set()
         self._progress: Dict[str, float] = {r: float("-inf") for r in self.expected}
@@ -231,19 +247,28 @@ class EpochAssembler:
         with self.tracer.span(
             "assemble", category="stream", timestamp=timestamp, sealed_by=sealed_by
         ) as span:
-            snapshot = NetworkSnapshot(timestamp=timestamp)
+            ordered = tuple(state.events[key] for key in sorted(state.events))
             coverage: Dict[str, int] = {}
-            for key in sorted(state.events):
-                event = state.events[key]
-                # Assembly is the replay half of the event codec and
-                # deliberately upstream of validation: apply_update()
-                # must write the *raw* wire values (malformed junk
-                # included) into the snapshot, because hardening this
-                # early would hide exactly the garbage the engine's
-                # harden_* stages exist to catch.  Every sealed epoch
-                # is hardened by the engine before any verdict.
-                apply_update(snapshot, event.path, event.value, event.meta)  # lint: ignore[T1]
+            for event in ordered:
                 coverage[event.router] = coverage.get(event.router, 0) + 1
+            if self._build_snapshots:
+                snapshot: Optional[NetworkSnapshot] = NetworkSnapshot(timestamp=timestamp)
+                for event in ordered:
+                    # Assembly is the replay half of the event codec and
+                    # deliberately upstream of validation: apply_update()
+                    # must write the *raw* wire values (malformed junk
+                    # included) into the snapshot, because hardening this
+                    # early would hide exactly the garbage the engine's
+                    # harden_* stages exist to catch.  Every sealed epoch
+                    # is hardened by the engine before any verdict.
+                    apply_update(snapshot, event.path, event.value, event.meta)  # lint: ignore[T1]
+                events: Tuple[UpdateEvent, ...] = ()
+            else:
+                # Scatter path: the engine folds the sorted buffer
+                # itself through the cached decoder; carrying both the
+                # events and a snapshot would double epoch memory.
+                snapshot = None
+                events = ordered
             missing = tuple(r for r in self.expected if r not in coverage)
             span.annotate(
                 updates=len(state.events),
@@ -264,4 +289,5 @@ class EpochAssembler:
             updates=len(state.events),
             duplicates=state.duplicates,
             assembly_latency_s=latency,
+            events=events,
         )

@@ -153,6 +153,9 @@ class StreamResult:
         abandoned: Feeds given up on after exhausting retries.
         epoch_latency_s: Per-epoch seconds from seal to validated,
             on the event-loop clock (aligned with ``epochs``).
+        shed_epochs: Sealed epochs the admission gate declined to
+            validate (graceful degradation; never recorded in
+            ``epochs``/``reports``).
     """
 
     epochs: List[AssembledEpoch] = field(default_factory=list)
@@ -164,6 +167,7 @@ class StreamResult:
     retries: int = 0
     abandoned: Tuple[str, ...] = ()
     epoch_latency_s: List[float] = field(default_factory=list)
+    shed_epochs: int = 0
 
     @property
     def complete_epochs(self) -> int:
@@ -198,6 +202,16 @@ class StreamPipeline:
             pipeline never owns the sink -- the caller closes it.
             Attach a sink to either the pipeline or the engine, not
             both, or epochs record twice.
+        gate: Optional admission callback: ``gate(epoch) -> bool``
+            runs before each sealed epoch is validated; returning
+            ``False`` *sheds* the epoch (skipped entirely, counted in
+            ``StreamResult.shed_epochs``).  The fleet layer uses this
+            for graceful degradation -- shedding partial-epoch sealing
+            under overload before healthy tenants starve.
+        on_epoch: Optional observer: ``on_epoch(epoch, report,
+            latency_s)`` runs after each epoch validates (and after
+            any history write-through).  The fleet worker streams
+            per-epoch verdict digests through this seam.
     """
 
     def __init__(
@@ -211,6 +225,8 @@ class StreamPipeline:
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
         history=None,
+        gate=None,
+        on_epoch=None,
     ) -> None:
         self._feeds = list(feeds)
         self._assembler = assembler
@@ -221,9 +237,15 @@ class StreamPipeline:
         self.metrics = metrics if metrics is not None else assembler.metrics
         self.tracer = tracer if tracer is not None else NullTracer()
         self.history = history
+        self._gate = gate
+        self._on_epoch = on_epoch
         self._queue_gauge = self.metrics.gauge(
             "stream_queue_depth",
             "Deliveries waiting in the ingest queue.",
+        )
+        self._epochs_shed_total = self.metrics.counter(
+            "stream_epochs_shed_total",
+            "Sealed epochs the admission gate declined to validate.",
         )
         self._shed_total = self.metrics.counter(
             "stream_backpressure_dropped_total",
@@ -386,6 +408,10 @@ class StreamPipeline:
         self, state: _RunState, epoch: AssembledEpoch, sealed_at: float
     ) -> None:
         result = state.result
+        if self._gate is not None and not self._gate(epoch):
+            result.shed_epochs += 1
+            self._epochs_shed_total.inc()
+            return
         inputs = self._inputs_for(epoch.timestamp)
         with self.tracer.span(
             "stream.epoch",
@@ -394,9 +420,17 @@ class StreamPipeline:
             complete=epoch.complete,
             sealed_by=epoch.sealed_by,
         ) as span:
-            report = self._engine.validate(
-                epoch.snapshot, inputs, topology=self._topology
-            )
+            if epoch.snapshot is None:
+                # Scatter path: the assembler sealed events only; the
+                # engine's cached decoder folds them without re-parsing
+                # a single path string.
+                report = self._engine.validate_events(
+                    epoch.events, epoch.timestamp, inputs, topology=self._topology
+                )
+            else:
+                report = self._engine.validate(
+                    epoch.snapshot, inputs, topology=self._topology
+                )
             span.annotate(updates=epoch.updates, missing=len(epoch.missing))
         result.epochs.append(epoch)
         result.reports.append(report)
@@ -415,6 +449,8 @@ class StreamPipeline:
                 elapsed_s=latency,
                 stats=getattr(self._engine, "stats", None),
             )
+        if self._on_epoch is not None:
+            self._on_epoch(epoch, report, latency)
 
     async def _consume(self, state: _RunState, remaining: int) -> None:
         """Drain the queue until every producer's terminal marker has

@@ -51,6 +51,10 @@ class SoakConfig:
         queue_size: Ingest queue bound.
         backpressure: ``"block"`` or ``"drop-oldest"``.
         deterministic: Merged single-producer delivery order.
+        scatter: Seal epochs as sorted event buffers instead of
+            pre-applied snapshots; the engine folds them through the
+            cached decoder (``validate_events``), skipping the
+            per-event path re-parse of the classic reassembly path.
         history_path: When set, attach a history sink at this sqlite
             path and write every validated epoch through (E18's store).
         history_deterministic: Byte-reproducible store writes (epoch
@@ -80,6 +84,7 @@ class SoakConfig:
     queue_size: int = 256
     backpressure: str = "block"
     deterministic: bool = True
+    scatter: bool = False
     history_path: Optional[str] = None
     history_deterministic: bool = False
     history_retention_epochs: Optional[int] = None
@@ -239,6 +244,7 @@ def run_soak(
         lateness_s=config.lateness_s,
         metrics=registry,
         tracer=tracer,
+        build_snapshots=not config.scatter,
     )
     with ValidationEngine(
         topology,

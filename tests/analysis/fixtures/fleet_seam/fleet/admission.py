@@ -1,0 +1,18 @@
+"""Known-bad fleet-core fixture: a wall-clock quarantine cooldown.
+
+``fleet/`` is core scope: admission decisions must be a pure function
+of the digest sequence so a fleet run replays deterministically.  A
+cooldown anchored to ``time.time()`` makes readmission timing depend
+on host load -- D1 must flag it.  The epoch-counted variant below it
+is the sanctioned pattern and stays clean.
+"""
+
+import time
+
+
+def quarantined_long_enough(quarantined_at_wall):
+    return time.time() - quarantined_at_wall > 60.0
+
+
+def cooldown_elapsed(observed, quarantined_at, cooldown_epochs):
+    return observed - quarantined_at >= cooldown_epochs

@@ -1,0 +1,23 @@
+"""Known-bad fleet-core fixture: blocking and unordered worker code.
+
+A worker hosts many tenants' pipelines on one event loop; a blocking
+sleep in an async handler stalls *every* tenant on that worker (A1).
+Draining an unsorted set of tenant tasks makes shutdown order -- and
+therefore the results-channel message order the supervisor replays --
+nondeterministic (D1).
+"""
+
+import time
+
+
+async def backoff_then_ack(results, worker_id):
+    time.sleep(0.2)
+    results.put(("worker_done", worker_id))
+
+
+def drain_order(running, cancelled):
+    active = set(running) | set(cancelled)
+    order = []
+    for tenant in active:
+        order.append(tenant)
+    return order

@@ -245,3 +245,28 @@ def test_history_clock_seam_is_per_file_not_per_directory():
         ("history/sink.py", 12, "D1"),
         ("history/store.py", 16, "D1"),
     ]
+
+
+def test_fleet_is_core_scope():
+    result = run_lint(FIXTURES / "fleet_seam")
+    # fleet/ is core scope: wall-clock admission cooldowns, blocking
+    # calls on a worker's event loop, and unordered drain sequencing
+    # would all make fleet recovery unreplayable.  The epoch-counted
+    # cooldown in admission.py stays clean.
+    assert _findings(result) == [
+        ("fleet/admission.py", 14, "D1"),  # wall-clock cooldown
+        ("fleet/worker.py", 14, "A1"),     # sleep on the worker loop
+        ("fleet/worker.py", 21, "D1"),     # set-ordered drain
+    ]
+
+
+def test_fleet_scope_off_when_core_dirs_excludes_it():
+    from repro.analysis import LintConfig
+
+    result = run_lint(
+        FIXTURES / "fleet_seam",
+        config=LintConfig(core_dirs=frozenset({"core"})),
+    )
+    # Outside core scope nothing fires: the findings above are owed
+    # entirely to fleet/ joining core_dirs.
+    assert _findings(result) == []

@@ -1,0 +1,210 @@
+"""Admission controller unit tests: strikes, quarantine, cooldown, eviction.
+
+The controller is pure bookkeeping over a digest sequence, so every
+edge case the supervisor relies on -- sustained vs transient
+misbehaviour, cooldown arithmetic, the flap-then-evict ladder -- is
+checked here with synthetic digests and no processes.
+"""
+
+import pytest
+
+from repro.fleet.admission import (
+    ADMITTED,
+    EVICTED,
+    QUARANTINED,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.fleet.digest import EpochDigest
+
+
+def _digest(tenant="t0", timestamp=0.0, updates=10, duplicates=0, missing=0):
+    return EpochDigest(
+        tenant=tenant,
+        timestamp=timestamp,
+        sealed_by="watermark",
+        complete=missing == 0,
+        updates=updates,
+        duplicates=duplicates,
+        missing=missing,
+        detected=False,
+        violations=0,
+        verdicts=(),
+        provenance_json="{}",
+        latency_s=0.0,
+        fingerprint="f" * 64,
+    )
+
+
+class TestPolicy:
+    def test_update_budget_strike(self):
+        policy = AdmissionPolicy(max_updates_per_epoch=100)
+        assert not policy.striking(_digest(updates=100))
+        assert policy.striking(_digest(updates=101))
+
+    def test_no_budget_means_no_volume_strikes(self):
+        policy = AdmissionPolicy(max_updates_per_epoch=None)
+        assert not policy.striking(_digest(updates=10**9))
+
+    def test_duplicate_budget_strike(self):
+        policy = AdmissionPolicy(max_duplicates_per_epoch=2)
+        assert not policy.striking(_digest(duplicates=2))
+        assert policy.striking(_digest(duplicates=3))
+
+    def test_partial_epoch_strike_only_when_disallowed(self):
+        assert not AdmissionPolicy(allow_partial=True).striking(_digest(missing=3))
+        assert AdmissionPolicy(allow_partial=False).striking(_digest(missing=1))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(sustain_epochs=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(cooldown_epochs=-1)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_readmissions=-1)
+
+
+class TestSustainThreshold:
+    def test_single_bad_epoch_never_quarantines(self):
+        ctl = AdmissionController(AdmissionPolicy(max_duplicates_per_epoch=0))
+        assert ctl.observe(_digest(duplicates=5)) is None
+        assert ctl.status("t0") == ADMITTED
+
+    def test_clean_epoch_resets_strikes(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(max_duplicates_per_epoch=0, sustain_epochs=3)
+        )
+        # bad, bad, clean, bad, bad: never 3 consecutive -> admitted.
+        for duplicates in (5, 5, 0, 5, 5):
+            assert ctl.observe(_digest(duplicates=duplicates)) is None
+        assert ctl.status("t0") == ADMITTED
+
+    def test_sustained_strikes_quarantine_on_threshold_epoch(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(max_duplicates_per_epoch=0, sustain_epochs=3)
+        )
+        assert ctl.observe(_digest(duplicates=1)) is None
+        assert ctl.observe(_digest(duplicates=1)) is None
+        assert ctl.observe(_digest(duplicates=1)) == "quarantine"
+        assert ctl.status("t0") == QUARANTINED
+        assert ctl.active_quarantines == 1
+
+    def test_quarantined_tenant_not_rescored(self):
+        """In-flight digests after quarantine count as observations but
+        cannot double-quarantine or evict."""
+        ctl = AdmissionController(
+            AdmissionPolicy(max_duplicates_per_epoch=0, sustain_epochs=1)
+        )
+        assert ctl.observe(_digest(duplicates=9)) == "quarantine"
+        for _ in range(5):
+            assert ctl.observe(_digest(duplicates=9)) is None
+        assert ctl.status("t0") == QUARANTINED
+        assert ctl.observed == 6
+
+    def test_tenants_scored_independently(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(max_duplicates_per_epoch=0, sustain_epochs=2)
+        )
+        ctl.observe(_digest(tenant="bad", duplicates=7))
+        ctl.observe(_digest(tenant="good"))
+        ctl.observe(_digest(tenant="bad", duplicates=7))
+        assert ctl.status("bad") == QUARANTINED
+        assert ctl.status("good") == ADMITTED
+
+
+class TestCooldownAndReadmission:
+    def _quarantine(self, ctl, tenant="t0"):
+        decision = None
+        while decision != "quarantine":
+            decision = ctl.observe(_digest(tenant=tenant, duplicates=99))
+        return ctl
+
+    def test_cooldown_respected(self):
+        """Readmission before the cooldown elapses must raise -- early
+        readmission is exactly the flapping the cooldown prevents."""
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                max_duplicates_per_epoch=0, sustain_epochs=1, cooldown_epochs=4
+            )
+        )
+        self._quarantine(ctl)
+        assert ctl.readmittable() == []
+        with pytest.raises(ValueError, match="cooldown not elapsed"):
+            ctl.readmit("t0")
+        # Other tenants' digests advance the fleet clock.
+        for index in range(4):
+            ctl.observe(_digest(tenant="other", timestamp=float(index)))
+        assert ctl.readmittable() == ["t0"]
+        ctl.readmit("t0")
+        assert ctl.status("t0") == ADMITTED
+
+    def test_readmit_requires_quarantine(self):
+        ctl = AdmissionController()
+        with pytest.raises(ValueError, match="not quarantined"):
+            ctl.readmit("t0")
+
+    def test_flapping_tenant_evicted_after_max_readmissions(self):
+        """Quarantine -> cooldown -> readmit -> re-offend: the second
+        quarantine evicts (max_readmissions=1)."""
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                max_duplicates_per_epoch=0,
+                sustain_epochs=2,
+                cooldown_epochs=2,
+                max_readmissions=1,
+            )
+        )
+        self._quarantine(ctl)
+        ctl.observe(_digest(tenant="other"))
+        ctl.observe(_digest(tenant="other"))
+        ctl.readmit("t0")
+        state = ctl.snapshot()["t0"]
+        assert state["readmissions"] == 1 and state["quarantines"] == 1
+        # Strikes were reset on readmission: takes the full sustain run again.
+        assert ctl.observe(_digest(duplicates=5)) is None
+        assert ctl.observe(_digest(duplicates=5)) == "quarantine"
+        assert ctl.status("t0") == EVICTED
+        assert "t0" not in ctl.readmittable()
+        with pytest.raises(ValueError, match="not quarantined"):
+            ctl.readmit("t0")
+
+    def test_zero_readmissions_evicts_on_first_quarantine(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                max_duplicates_per_epoch=0, sustain_epochs=1, max_readmissions=0
+            )
+        )
+        assert ctl.observe(_digest(duplicates=1)) == "quarantine"
+        assert ctl.status("t0") == EVICTED
+
+
+class TestDegradedMode:
+    def test_degrade_threshold_counts_quarantined_and_evicted(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                max_duplicates_per_epoch=0,
+                sustain_epochs=1,
+                max_readmissions=0,
+                degrade_after_quarantines=2,
+            )
+        )
+        ctl.observe(_digest(tenant="a", duplicates=1))
+        assert not ctl.should_degrade()
+        ctl.observe(_digest(tenant="b", duplicates=1))
+        assert ctl.should_degrade()
+
+    def test_snapshot_shape(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(max_duplicates_per_epoch=0, sustain_epochs=1)
+        )
+        ctl.observe(_digest(tenant="bad", duplicates=1))
+        ctl.observe(_digest(tenant="good"))
+        snap = ctl.snapshot()
+        assert list(snap) == ["bad", "good"]
+        assert snap["bad"]["status"] == QUARANTINED
+        assert snap["good"] == {
+            "status": ADMITTED,
+            "strikes": 0,
+            "quarantines": 0,
+            "readmissions": 0,
+        }

@@ -1,0 +1,97 @@
+"""Metrics rollup tests: exposition round-trip and fleet merge."""
+
+import pytest
+
+from repro.fleet.rollup import merge_expositions, registry_from_exposition
+from repro.obs.metrics import MetricsRegistry, parse_exposition
+
+
+def _sample_registry(scale=1):
+    registry = MetricsRegistry()
+    counter = registry.counter("stream_updates_total", "Updates ingested.")
+    counter.labels().inc(100 * scale)
+    labelled = registry.counter(
+        "engine_verdicts_total", "Verdicts by outcome.", ("outcome",)
+    )
+    labelled.labels(outcome="valid").inc(7 * scale)
+    labelled.labels(outcome="invalid").inc(2 * scale)
+    gauge = registry.gauge("stream_queue_depth", "Queue depth.")
+    gauge.labels().set_to(5.0 * scale)
+    hist = registry.histogram(
+        "stream_seal_latency_seconds",
+        "Seal-to-verdict latency.",
+        (),
+        (0.001, 0.01, 0.1, 1.0),
+    )
+    child = hist.labels()
+    for value in (0.0005, 0.005, 0.005, 0.05, 2.0):
+        for _ in range(scale):
+            child.observe(value)
+    return registry
+
+
+def _samples(text):
+    return sorted(parse_exposition(text))
+
+
+class TestRoundTrip:
+    def test_exposition_round_trips_exactly(self):
+        original = _sample_registry()
+        text = original.render()
+        rebuilt = registry_from_exposition(text)
+        assert rebuilt.render() == text
+
+    def test_histogram_buckets_survive(self):
+        rebuilt = registry_from_exposition(_sample_registry().render())
+        buckets = {
+            tuple(pairs): value
+            for name, pairs, value in parse_exposition(rebuilt.render())
+            if name == "stream_seal_latency_seconds_bucket"
+        }
+        # Cumulative counts: 1 <= .001, 3 <= .01, 4 <= .1, 4 <= 1, 5 total.
+        assert buckets[(("le", "0.001"),)] == 1
+        assert buckets[(("le", "0.01"),)] == 3
+        assert buckets[(("le", "0.1"),)] == 4
+        assert buckets[(("le", "+Inf"),)] == 5
+
+    def test_unknown_family_kind_rejected(self):
+        text = "# TYPE weird summary\nweird 1\n"
+        with pytest.raises(ValueError, match="unsupported family kind"):
+            registry_from_exposition(text)
+
+    def test_sample_without_metadata_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE metadata"):
+            registry_from_exposition("orphan_total 3\n")
+
+    def test_empty_exposition(self):
+        empty = MetricsRegistry().render()
+        assert registry_from_exposition("").render() == empty
+
+
+class TestMerge:
+    def test_counters_add_histograms_add_bucketwise(self):
+        merged = merge_expositions(
+            [_sample_registry(1).render(), _sample_registry(2).render()]
+        )
+        samples = dict(
+            ((name, tuple(pairs)), value)
+            for name, pairs, value in parse_exposition(merged.render())
+        )
+        assert samples[("stream_updates_total", ())] == 300
+        assert samples[("engine_verdicts_total", (("outcome", "valid"),))] == 21
+        assert samples[("stream_seal_latency_seconds_count", ())] == 15
+        assert (
+            samples[("stream_seal_latency_seconds_bucket", (("le", "0.01"),))] == 9
+        )
+
+    def test_merge_into_existing_registry(self):
+        into = _sample_registry(1)
+        merge_expositions([_sample_registry(1).render()], into=into)
+        samples = dict(
+            ((name, tuple(pairs)), value)
+            for name, pairs, value in parse_exposition(into.render())
+        )
+        assert samples[("stream_updates_total", ())] == 200
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_expositions([]).render() == MetricsRegistry().render()

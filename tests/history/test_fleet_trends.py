@@ -1,0 +1,109 @@
+"""Cross-tenant history rollup tests (store-per-tenant layout)."""
+
+import json
+
+import pytest
+
+from repro.history.fleet import ROLLUP, discover_fleet, fleet_trends
+from repro.history.store import HistoryError
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    """A real 3-tenant fleet run with history on."""
+    from repro.fleet import FleetConfig, FleetSupervisor
+    from repro.fleet.spec import synthetic_fleet
+
+    stores = tmp_path_factory.mktemp("fleet") / "stores"
+    specs = synthetic_fleet(3, nodes=8, epochs=6, seed=2, history=True)
+    result = FleetSupervisor(
+        specs, FleetConfig(workers=2, store_dir=str(stores))
+    ).run()
+    assert result.statuses() == {"done": 3}
+    return str(stores)
+
+
+class TestDiscovery:
+    def test_discover_sorted_tenants(self, fleet_dir):
+        found = discover_fleet(fleet_dir)
+        assert [tenant for tenant, _path in found] == ["t0000", "t0001", "t0002"]
+        assert all(path.endswith(f"{tenant}.sqlite") for tenant, path in found)
+
+    def test_missing_dir_raises(self):
+        with pytest.raises(HistoryError, match="not found"):
+            discover_fleet("/nonexistent/fleet/stores")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(HistoryError, match="no tenant stores"):
+            discover_fleet(str(tmp_path))
+
+
+class TestFleetTrends:
+    def test_per_tenant_and_rollup_windows(self, fleet_dir):
+        trends = fleet_trends(fleet_dir, window=3)
+        assert sorted(trends.tenants) == ["t0000", "t0001", "t0002"]
+        assert trends.epochs == 18
+        for points in trends.tenants.values():
+            # 6 epochs / window 3 -> two full windows per tenant.
+            assert [p.epochs for p in points] == [3, 3]
+        # The rollup windows the merged 18-epoch timeline.
+        assert sum(p.epochs for p in trends.rollup) == 18
+
+    def test_rollup_merges_in_timestamp_order(self, fleet_dir):
+        trends = fleet_trends(fleet_dir, window=3)
+        # Tenants share the virtual timeline (epochs at t=0,10,...,50),
+        # so each rollup window of 3 holds one timestamp's three
+        # tenants: last_ts must be non-decreasing across windows.
+        last = [p.last_ts for p in trends.rollup]
+        assert last == sorted(last)
+
+    def test_metric_selection(self, fleet_dir):
+        trends = fleet_trends(fleet_dir, window=6, metrics=["updates_per_epoch"])
+        for points in trends.tenants.values():
+            assert all(set(p.values) == {"updates_per_epoch"} for p in points)
+            assert all(p.values["updates_per_epoch"] > 0 for p in points)
+
+    def test_to_dict_round_trips_json(self, fleet_dir):
+        payload = fleet_trends(fleet_dir, window=4).to_dict()
+        again = json.loads(json.dumps(payload))
+        assert again["epochs"] == 18
+        assert set(again["tenants"]) == {"t0000", "t0001", "t0002"}
+        assert again["rollup"]
+
+
+class TestCli:
+    def _run(self, argv):
+        import contextlib
+        import io
+
+        from repro.__main__ import main
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(argv)
+        return code, buffer.getvalue()
+
+    def test_trends_fleet_table(self, fleet_dir):
+        code, out = self._run(
+            ["history", "trends", "--fleet", fleet_dir, "--window", "3"]
+        )
+        assert code == 0
+        assert "t0000" in out and "t0002" in out
+        assert ROLLUP in out
+
+    def test_trends_fleet_json(self, fleet_dir):
+        code, out = self._run(
+            ["history", "trends", "--fleet", fleet_dir, "--window", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["epochs"] == 18
+        assert len(payload["rollup"]) == 6
+
+    def test_trends_requires_exactly_one_source(self, fleet_dir, capsys):
+        from repro.__main__ import main
+
+        assert main(["history", "trends"]) == 2
+        assert (
+            main(["history", "trends", "some.sqlite", "--fleet", fleet_dir]) == 2
+        )
